@@ -1,0 +1,101 @@
+//! Shared plumbing for the baseline detectors.
+
+use std::rc::Rc;
+use uvd_tensor::{Matrix, Rng64};
+use uvd_urg::Urg;
+
+/// Hyper-parameters shared by the baselines (paper Section VI-A: Adam,
+/// hidden size 64 — scaled to the synthetic cities).
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineConfig {
+    pub hidden: usize,
+    /// Image features are linearly reduced to this width where applicable.
+    pub img_reduce: usize,
+    pub lr: f32,
+    /// Exponential LR decay per epoch.
+    pub lr_decay: f32,
+    pub epochs: usize,
+    pub grad_clip: f32,
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            hidden: 32,
+            img_reduce: 32,
+            lr: 5e-3,
+            lr_decay: 0.001,
+            epochs: 80,
+            grad_clip: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Fast settings for unit/integration tests.
+    pub fn fast_test() -> Self {
+        BaselineConfig { hidden: 8, img_reduce: 8, epochs: 10, ..Default::default() }
+    }
+}
+
+/// `(labeled rows, targets, weights)` triple shared by the BCE losses.
+pub type BceVectors = (Rc<Vec<u32>>, Rc<Vec<f32>>, Rc<Vec<f32>>);
+
+/// BCE target/weight vectors for a train split over the labeled set.
+pub fn bce_vectors(urg: &Urg, train_idx: &[usize]) -> BceVectors {
+    let rows: Vec<u32> = train_idx.iter().map(|&i| urg.labeled[i]).collect();
+    let targets: Vec<f32> = train_idx.iter().map(|&i| urg.y[i]).collect();
+    let weights = vec![1.0f32; train_idx.len()];
+    (Rc::new(rows), Rc::new(targets), Rc::new(weights))
+}
+
+/// Gather the labeled training rows of a feature matrix into a dense batch.
+pub fn gather_batch(x: &Matrix, urg: &Urg, train_idx: &[usize]) -> Matrix {
+    let rows: Vec<u32> = train_idx.iter().map(|&i| urg.labeled[i]).collect();
+    x.gather_rows(&rows)
+}
+
+/// Sample `count` distinct-ish random indices below `n`.
+pub fn random_indices(n: usize, count: usize, rng: &mut Rng64) -> Vec<u32> {
+    use rand::Rng;
+    (0..count).map(|_| rng.gen_range(0..n) as u32).collect()
+}
+
+/// A constant per-channel average-pooling matrix: multiplying an
+/// `n × (c*hw)` activation by this `(c*hw) × c` matrix yields per-channel
+/// spatial means (used by MUVFCN's head).
+pub fn avg_pool_matrix(channels: usize, hw: usize) -> Matrix {
+    let mut m = Matrix::zeros(channels * hw, channels);
+    for c in 0..channels {
+        for p in 0..hw {
+            m.set(c * hw + p, c, 1.0 / hw as f32);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_matrix_averages() {
+        let m = avg_pool_matrix(2, 3);
+        // Sample with channel 0 = [1,2,3], channel 1 = [4,5,6].
+        let x = Matrix::from_vec(1, 6, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = x.matmul(&m);
+        assert_eq!(y.shape(), (1, 2));
+        assert!((y.get(0, 0) - 2.0).abs() < 1e-6);
+        assert!((y.get(0, 1) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_indices_in_range() {
+        let mut rng = uvd_tensor::seeded_rng(1);
+        let idx = random_indices(10, 50, &mut rng);
+        assert_eq!(idx.len(), 50);
+        assert!(idx.iter().all(|&i| i < 10));
+    }
+}

@@ -1,0 +1,31 @@
+//! # uvd-baselines
+//!
+//! The seven comparison methods of the paper's Table II, implemented per
+//! Appendix I-A:
+//!
+//! * [`MlpBaseline`] — per-modality FC encoders + LR, no graph.
+//! * [`GraphBaseline::gcn`] / [`GraphBaseline::gat`] — per-modality 2-layer
+//!   graph encoders over the URG.
+//! * [`MmreBaseline`] — multi-modal region embedding (denoising autoencoder
+//!   + POI GCN + SkipGram) with an LR on the frozen embedding.
+//! * [`ImgagnBaseline`] — adversarial minority-class augmentation.
+//! * [`UvlensBaseline`] — image-only CNN with histogram equalization.
+//! * [`MuvfcnBaseline`] — fully convolutional mapper with average pooling.
+//!
+//! All implement [`uvd_urg::Detector`].
+
+pub mod common;
+pub mod gnn;
+pub mod imgagn;
+pub mod mlp;
+pub mod mmre;
+pub mod muvfcn;
+pub mod uvlens;
+
+pub use common::BaselineConfig;
+pub use gnn::GraphBaseline;
+pub use imgagn::ImgagnBaseline;
+pub use mlp::MlpBaseline;
+pub use mmre::MmreBaseline;
+pub use muvfcn::MuvfcnBaseline;
+pub use uvlens::UvlensBaseline;

@@ -1,0 +1,126 @@
+//! MLP baseline (Appendix I-A): two fully connected layers per modality,
+//! concat fusion, LR classifier. No graph structure is used.
+
+use crate::common::{bce_vectors, gather_batch, BaselineConfig};
+use std::time::Instant;
+use uvd_nn::{Activation, Linear, Mlp};
+use uvd_tensor::init::{derive_seed, seeded_rng};
+use uvd_tensor::{Adam, Graph, NodeId, ParamSet};
+use uvd_urg::{Detector, FitReport, Urg};
+
+pub struct MlpBaseline {
+    cfg: BaselineConfig,
+    poi_enc: Mlp,
+    img_enc: Option<Mlp>,
+    clf: Linear,
+    params: ParamSet,
+}
+
+impl MlpBaseline {
+    pub fn new(urg: &Urg, cfg: BaselineConfig) -> Self {
+        let mut rng = seeded_rng(derive_seed(cfg.seed, 0x31B0));
+        let h = cfg.hidden;
+        let poi_enc = Mlp::new("mlp.poi", &[urg.x_poi.cols(), h, h], Activation::Relu, &mut rng);
+        let img_enc = urg.has_image().then(|| {
+            Mlp::new("mlp.img", &[urg.x_img.cols(), h, h], Activation::Relu, &mut rng)
+        });
+        let fused = if img_enc.is_some() { 2 * h } else { h };
+        let clf = Linear::new("mlp.clf", fused, 1, &mut rng);
+        let mut params = ParamSet::new();
+        poi_enc.collect_params(&mut params);
+        if let Some(e) = &img_enc {
+            e.collect_params(&mut params);
+        }
+        clf.collect_params(&mut params);
+        MlpBaseline { cfg, poi_enc, img_enc, clf, params }
+    }
+
+    fn logits(&self, g: &mut Graph, x_poi: NodeId, x_img: Option<NodeId>) -> NodeId {
+        let hp = self.poi_enc.forward(g, x_poi);
+        let hp = Activation::Relu.apply(g, hp);
+        let fused = match (&self.img_enc, x_img) {
+            (Some(enc), Some(xi)) => {
+                let hi = enc.forward(g, xi);
+                let hi = Activation::Relu.apply(g, hi);
+                g.concat_cols(hp, hi)
+            }
+            _ => hp,
+        };
+        self.clf.forward(g, fused)
+    }
+}
+
+impl Detector for MlpBaseline {
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+
+    fn fit(&mut self, urg: &Urg, train_idx: &[usize]) -> FitReport {
+        let start = Instant::now();
+        let (_, targets, weights) = bce_vectors(urg, train_idx);
+        // The MLP ignores graph structure, so we can train directly on the
+        // gathered labeled batch.
+        let xp = gather_batch(&urg.x_poi, urg, train_idx);
+        let xi = urg.has_image().then(|| gather_batch(&urg.x_img, urg, train_idx));
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut last = 0.0;
+        for _ in 0..self.cfg.epochs {
+            let mut g = Graph::new();
+            let xp_n = g.constant(xp.clone());
+            let xi_n = xi.as_ref().map(|m| g.constant(m.clone()));
+            let z = self.logits(&mut g, xp_n, xi_n);
+            let loss = g.bce_with_logits(z, targets.clone(), weights.clone());
+            last = g.scalar(loss);
+            g.backward(loss);
+            g.write_grads();
+            self.params.clip_grad_norm(self.cfg.grad_clip);
+            opt.step(&self.params);
+            opt.decay(self.cfg.lr_decay);
+        }
+        FitReport { epochs: self.cfg.epochs, train_secs: start.elapsed().as_secs_f64(), final_loss: last }
+    }
+
+    fn predict(&self, urg: &Urg) -> Vec<f32> {
+        let mut g = Graph::new();
+        let xp = g.constant(urg.x_poi.clone());
+        let xi = urg.has_image().then(|| g.constant(urg.x_img.clone()));
+        let z = self.logits(&mut g, xp, xi);
+        let p = g.sigmoid(z);
+        g.value(p).as_slice().to_vec()
+    }
+
+    fn num_params(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::{City, CityPreset};
+    use uvd_urg::UrgOptions;
+
+    #[test]
+    fn mlp_learns_training_set() {
+        let city = City::from_config(CityPreset::tiny(), 1);
+        let urg = Urg::build(&city, UrgOptions::default());
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut cfg = BaselineConfig::fast_test();
+        cfg.epochs = 60;
+        let mut model = MlpBaseline::new(&urg, cfg);
+        let r = model.fit(&urg, &train);
+        assert!(r.final_loss < 0.6, "loss {}", r.final_loss);
+        let probs = model.predict(&urg);
+        assert_eq!(probs.len(), urg.n);
+    }
+
+    #[test]
+    fn mlp_without_image_modality() {
+        let city = City::from_config(CityPreset::tiny(), 2);
+        let urg = Urg::build(&city, UrgOptions::no_image());
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut model = MlpBaseline::new(&urg, BaselineConfig::fast_test());
+        let r = model.fit(&urg, &train);
+        assert!(r.final_loss.is_finite());
+    }
+}

@@ -1,0 +1,262 @@
+//! MMRE baseline (Appendix I-A): multi-modal region embedding — a denoising
+//! autoencoder for image features (encoder 120-84-64), a 2-layer GCN for POI
+//! features (128, 64), a SkipGram objective with positive neighbours and
+//! negative samples over the concatenated embedding, then an LR classifier
+//! on the frozen embedding. Trade-offs follow the paper: `λ_I = 0.5`
+//! (reconstruction), `λ_s = 0.1` (SkipGram), 4 positive / 10 negative
+//! samples. The taxi-transition loss of the original is omitted (no mobility
+//! data), as in the paper's own adaptation.
+
+use crate::common::{bce_vectors, BaselineConfig};
+use rand::Rng;
+use std::rc::Rc;
+use std::time::Instant;
+use uvd_nn::{Activation, GcnStack, Linear, Mlp};
+use uvd_tensor::init::{derive_seed, normal_matrix, seeded_rng};
+use uvd_tensor::{Adam, Graph, Matrix, NodeId, ParamSet, Rng64};
+use uvd_urg::{Detector, FitReport, Urg};
+
+const LAMBDA_I: f32 = 0.5;
+const LAMBDA_S: f32 = 0.1;
+const N_POS: usize = 4;
+const N_NEG: usize = 10;
+/// Anchors sampled per epoch for the SkipGram objective.
+const N_ANCHORS: usize = 128;
+/// Noise injected for the denoising autoencoder.
+const NOISE_STD: f32 = 0.1;
+
+pub struct MmreBaseline {
+    cfg: BaselineConfig,
+    encoder: Mlp,
+    decoder: Mlp,
+    poi_gcn: GcnStack,
+    clf: Linear,
+    embed_params: ParamSet,
+    clf_params: ParamSet,
+    rng: Rng64,
+    /// Cached embedding after the embedding stage (frozen for the LR).
+    embedding: Option<Matrix>,
+}
+
+impl MmreBaseline {
+    pub fn new(urg: &Urg, cfg: BaselineConfig) -> Self {
+        let mut rng = seeded_rng(derive_seed(cfg.seed, 0x33E0));
+        let d_img = if urg.has_image() { urg.x_img.cols() } else { urg.x_poi.cols() };
+        let encoder = Mlp::new("mmre.enc", &[d_img, 120, 84, 64], Activation::Relu, &mut rng);
+        let decoder = Mlp::new("mmre.dec", &[64, 84, 120, d_img], Activation::Relu, &mut rng);
+        let poi_gcn = GcnStack::new("mmre.poi", &[urg.x_poi.cols(), 128, 64], Activation::Relu, &mut rng);
+        let clf = Linear::new("mmre.clf", 128, 1, &mut rng);
+        let mut embed_params = ParamSet::new();
+        encoder.collect_params(&mut embed_params);
+        decoder.collect_params(&mut embed_params);
+        poi_gcn.collect_params(&mut embed_params);
+        let mut clf_params = ParamSet::new();
+        clf.collect_params(&mut clf_params);
+        MmreBaseline {
+            cfg,
+            encoder,
+            decoder,
+            poi_gcn,
+            clf,
+            embed_params,
+            clf_params,
+            rng,
+            embedding: None,
+        }
+    }
+
+    /// Image input (falls back to POI features when the image modality is
+    /// ablated, so the autoencoder still has something to reconstruct).
+    fn img_input(urg: &Urg) -> &Matrix {
+        if urg.has_image() {
+            &urg.x_img
+        } else {
+            &urg.x_poi
+        }
+    }
+
+    /// Joint embedding of all regions (POI-GCN ⊕ image encoder), 128-d.
+    fn embed(&self, g: &mut Graph, urg: &Urg, noisy: bool, rng: &mut Rng64) -> NodeId {
+        let xp = g.constant(urg.x_poi.clone());
+        let zp = self.poi_gcn.forward(g, xp, &urg.adj_norm);
+        let img = Self::img_input(urg);
+        let x_img = if noisy {
+            let noise = normal_matrix(img.rows(), img.cols(), 0.0, NOISE_STD, rng);
+            let mut noisy_img = img.clone();
+            noisy_img.add_assign(&noise);
+            noisy_img
+        } else {
+            img.clone()
+        };
+        let xi = g.constant(x_img);
+        let zi = self.encoder.forward(g, xi);
+        let zi = Activation::Relu.apply(g, zi);
+        g.concat_cols(zp, zi)
+    }
+
+    /// SkipGram loss: anchors attract a few graph neighbours and repel
+    /// random nodes in embedding space.
+    fn skipgram_loss(&self, g: &mut Graph, z: NodeId, urg: &Urg, rng: &mut Rng64) -> NodeId {
+        let n = urg.n;
+        let mut anchors = Vec::new();
+        let mut positives = Vec::new();
+        let mut negatives_a = Vec::new();
+        let mut negatives = Vec::new();
+        for _ in 0..N_ANCHORS {
+            let a = rng.gen_range(0..n);
+            let incoming = urg.edges.incoming(a);
+            if incoming.is_empty() {
+                continue;
+            }
+            let edge_ids: Vec<usize> = incoming.collect();
+            for _ in 0..N_POS {
+                let e = edge_ids[rng.gen_range(0..edge_ids.len())];
+                anchors.push(a as u32);
+                positives.push(urg.edges.src()[e]);
+            }
+            for _ in 0..N_NEG {
+                negatives_a.push(a as u32);
+                negatives.push(rng.gen_range(0..n) as u32);
+            }
+        }
+        if anchors.is_empty() {
+            return g.constant(Matrix::zeros(1, 1));
+        }
+        let dot = |g: &mut Graph, a: &[u32], b: &[u32]| -> NodeId {
+            let za = g.gather_rows(z, Rc::new(a.to_vec()));
+            let zb = g.gather_rows(z, Rc::new(b.to_vec()));
+            let prod = g.mul(za, zb);
+            g.row_sum(prod)
+        };
+        // -log σ(z_a · z_p): attract positives.
+        let pos_dot = dot(g, &anchors, &positives);
+        let pos_sig = g.sigmoid(pos_dot);
+        let pos_log = g.ln_eps(pos_sig, 1e-6);
+        let pos_loss = g.mean_all(pos_log);
+        // -log σ(-z_a · z_n): repel negatives.
+        let neg_dot = dot(g, &negatives_a, &negatives);
+        let neg_dot = g.scale(neg_dot, -1.0);
+        let neg_sig = g.sigmoid(neg_dot);
+        let neg_log = g.ln_eps(neg_sig, 1e-6);
+        let neg_loss = g.mean_all(neg_log);
+        let total = g.add(pos_loss, neg_loss);
+        g.scale(total, -1.0)
+    }
+}
+
+impl Detector for MmreBaseline {
+    fn name(&self) -> &'static str {
+        "MMRE"
+    }
+
+    fn fit(&mut self, urg: &Urg, train_idx: &[usize]) -> FitReport {
+        let start = Instant::now();
+        let mut rng = self.rng.clone();
+        // Stage A: embedding training (reconstruction + SkipGram).
+        let mut opt = Adam::new(self.cfg.lr);
+        for _ in 0..self.cfg.epochs {
+            let mut g = Graph::new();
+            let z = self.embed(&mut g, urg, true, &mut rng);
+            // Denoising reconstruction of the image features from the image
+            // half of the embedding.
+            let zi = g.slice_cols(z, 64, 128);
+            let recon = self.decoder.forward(&mut g, zi);
+            let target = g.constant(Self::img_input(urg).clone());
+            let l_rec = g.mse(recon, target);
+            let l_sg = self.skipgram_loss(&mut g, z, urg, &mut rng);
+            let l_rec_s = g.scale(l_rec, LAMBDA_I);
+            let l_sg_s = g.scale(l_sg, LAMBDA_S);
+            let loss = g.add(l_rec_s, l_sg_s);
+            g.backward(loss);
+            g.write_grads();
+            self.embed_params.clip_grad_norm(self.cfg.grad_clip);
+            opt.step(&self.embed_params);
+            opt.decay(self.cfg.lr_decay);
+        }
+        // Freeze the embedding.
+        let mut g = Graph::new();
+        let z = self.embed(&mut g, urg, false, &mut rng);
+        let embedding = g.value(z).clone();
+        self.embedding = Some(embedding.clone());
+
+        // Stage B: LR classifier on the frozen embedding.
+        let (rows, targets, weights) = bce_vectors(urg, train_idx);
+        let batch = embedding.gather_rows(&rows);
+        let mut opt2 = Adam::new(self.cfg.lr * 4.0);
+        let mut last = 0.0;
+        for _ in 0..(self.cfg.epochs * 6) {
+            let mut g = Graph::new();
+            let x = g.constant(batch.clone());
+            let zl = self.clf.forward(&mut g, x);
+            let loss = g.bce_with_logits(zl, targets.clone(), weights.clone());
+            last = g.scalar(loss);
+            g.backward(loss);
+            g.write_grads();
+            opt2.step(&self.clf_params);
+        }
+        self.rng = rng;
+        FitReport {
+            epochs: 2 * self.cfg.epochs,
+            train_secs: start.elapsed().as_secs_f64(),
+            final_loss: last,
+        }
+    }
+
+    fn predict(&self, urg: &Urg) -> Vec<f32> {
+        let embedding = match &self.embedding {
+            Some(e) if e.rows() == urg.n => e.clone(),
+            // Unseen URG (or untrained): recompute the embedding.
+            _ => {
+                let mut g = Graph::new();
+                let mut rng = self.rng.clone();
+                let z = self.embed(&mut g, urg, false, &mut rng);
+                g.value(z).clone()
+            }
+        };
+        let mut g = Graph::new();
+        let x = g.constant(embedding);
+        let z = self.clf.forward(&mut g, x);
+        let p = g.sigmoid(z);
+        g.value(p).as_slice().to_vec()
+    }
+
+    fn num_params(&self) -> usize {
+        self.embed_params.num_scalars() + self.clf_params.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::{City, CityPreset};
+    use uvd_urg::UrgOptions;
+
+    #[test]
+    fn mmre_trains_and_predicts() {
+        let city = City::from_config(CityPreset::tiny(), 4);
+        let urg = Urg::build(&city, UrgOptions::default());
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut cfg = BaselineConfig::fast_test();
+        cfg.epochs = 5;
+        let mut model = MmreBaseline::new(&urg, cfg);
+        let r = model.fit(&urg, &train);
+        assert!(r.final_loss.is_finite());
+        let probs = model.predict(&urg);
+        assert_eq!(probs.len(), urg.n);
+        assert!(probs.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn embedding_is_cached_after_fit() {
+        let city = City::from_config(CityPreset::tiny(), 5);
+        let urg = Urg::build(&city, UrgOptions::default());
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut cfg = BaselineConfig::fast_test();
+        cfg.epochs = 2;
+        let mut model = MmreBaseline::new(&urg, cfg);
+        assert!(model.embedding.is_none());
+        model.fit(&urg, &train);
+        let e = model.embedding.as_ref().expect("cached embedding");
+        assert_eq!(e.shape(), (urg.n, 128));
+    }
+}

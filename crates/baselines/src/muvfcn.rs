@@ -1,0 +1,133 @@
+//! MUVFCN baseline (Appendix I-A): fully convolutional urban-village mapper.
+//! A conv backbone produces feature maps whose spatial average pooling
+//! yields a compact vector (32-d, as in the paper's FCN-8s adaptation)
+//! classified by a logistic regression.
+
+use crate::common::{avg_pool_matrix, bce_vectors, BaselineConfig};
+use std::time::Instant;
+use uvd_citysim::IMG_SIZE;
+use uvd_nn::{ConvBackbone, ConvBlock, Linear};
+use uvd_tensor::init::{derive_seed, seeded_rng};
+use uvd_tensor::{Adam, Graph, Matrix, ParamSet};
+use uvd_urg::{Detector, FitReport, Urg};
+
+const PREDICT_BATCH: usize = 256;
+/// Channels of the final feature map (the paper pools to a 32-d vector).
+const POOLED_DIM: usize = 32;
+
+pub struct MuvfcnBaseline {
+    cfg: BaselineConfig,
+    backbone: ConvBackbone,
+    pool: Matrix,
+    clf: Linear,
+    params: ParamSet,
+}
+
+impl MuvfcnBaseline {
+    pub fn new(_urg: &Urg, cfg: BaselineConfig) -> Self {
+        let mut rng = seeded_rng(derive_seed(cfg.seed, 0x3FC2));
+        let backbone = ConvBackbone {
+            blocks: vec![
+                ConvBlock::with_stride("muvfcn.c0", 3, 12, IMG_SIZE, 2, &mut rng),
+                ConvBlock::with_stride("muvfcn.c1", 12, POOLED_DIM, IMG_SIZE / 4, 1, &mut rng),
+            ],
+        };
+        let hw = backbone.out_len() / POOLED_DIM;
+        let pool = avg_pool_matrix(POOLED_DIM, hw);
+        let clf = Linear::new("muvfcn.clf", POOLED_DIM, 1, &mut rng);
+        let mut params = ParamSet::new();
+        backbone.collect_params(&mut params);
+        clf.collect_params(&mut params);
+        MuvfcnBaseline { cfg, backbone, pool, clf, params }
+    }
+
+    fn forward_probs(&self, images: &Matrix) -> Vec<f32> {
+        let mut out = Vec::with_capacity(images.rows());
+        let mut start = 0;
+        while start < images.rows() {
+            let end = (start + PREDICT_BATCH).min(images.rows());
+            let rows: Vec<u32> = (start as u32..end as u32).collect();
+            let batch = images.gather_rows(&rows);
+            let mut g = Graph::new();
+            let x = g.constant(batch);
+            let h = self.backbone.forward(&mut g, x);
+            let pool = g.constant(self.pool.clone());
+            let pooled = g.matmul(h, pool);
+            let z = self.clf.forward(&mut g, pooled);
+            let p = g.sigmoid(z);
+            out.extend_from_slice(g.value(p).as_slice());
+            start = end;
+        }
+        out
+    }
+}
+
+impl Detector for MuvfcnBaseline {
+    fn name(&self) -> &'static str {
+        "MUVFCN"
+    }
+
+    fn fit(&mut self, urg: &Urg, train_idx: &[usize]) -> FitReport {
+        let start = Instant::now();
+        let raw = urg.raw_images.as_ref().expect("MUVFCN needs raw images");
+        let rows: Vec<u32> = train_idx.iter().map(|&i| urg.labeled[i]).collect();
+        let batch = raw.gather_rows(&rows);
+        let (_, targets, weights) = bce_vectors(urg, train_idx);
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut last = 0.0;
+        for _ in 0..self.cfg.epochs {
+            let mut g = Graph::new();
+            let x = g.constant(batch.clone());
+            let h = self.backbone.forward(&mut g, x);
+            let pool = g.constant(self.pool.clone());
+            let pooled = g.matmul(h, pool);
+            let z = self.clf.forward(&mut g, pooled);
+            let loss = g.bce_with_logits(z, targets.clone(), weights.clone());
+            last = g.scalar(loss);
+            g.backward(loss);
+            g.write_grads();
+            self.params.clip_grad_norm(self.cfg.grad_clip);
+            opt.step(&self.params);
+            opt.decay(self.cfg.lr_decay);
+        }
+        FitReport { epochs: self.cfg.epochs, train_secs: start.elapsed().as_secs_f64(), final_loss: last }
+    }
+
+    fn predict(&self, urg: &Urg) -> Vec<f32> {
+        let raw = urg.raw_images.as_ref().expect("MUVFCN needs raw images");
+        self.forward_probs(raw)
+    }
+
+    fn num_params(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::{City, CityPreset};
+    use uvd_urg::UrgOptions;
+
+    #[test]
+    fn muvfcn_trains_and_predicts() {
+        let city = City::from_config(CityPreset::tiny(), 11);
+        let urg = Urg::build(&city, UrgOptions::default());
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut cfg = BaselineConfig::fast_test();
+        cfg.epochs = 3;
+        let mut model = MuvfcnBaseline::new(&urg, cfg);
+        let r = model.fit(&urg, &train);
+        assert!(r.final_loss.is_finite());
+        let p = model.predict(&urg);
+        assert_eq!(p.len(), urg.n);
+    }
+
+    #[test]
+    fn pooled_dim_is_32() {
+        let city = City::from_config(CityPreset::tiny(), 12);
+        let urg = Urg::build(&city, UrgOptions::default());
+        let model = MuvfcnBaseline::new(&urg, BaselineConfig::fast_test());
+        assert_eq!(model.pool.cols(), 32);
+    }
+}

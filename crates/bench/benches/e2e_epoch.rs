@@ -1,0 +1,47 @@
+//! End-to-end CMSF epoch cost on the tiny city: one full-batch master epoch
+//! and one slave epoch (the quantities Table III reports per method).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+use cmsf::{Cmsf, CmsfConfig};
+use uvd_citysim::{City, CityPreset};
+use uvd_tensor::Adam;
+use uvd_urg::{Urg, UrgOptions};
+
+fn bench_epochs(c: &mut Criterion) {
+    let city = City::from_config(CityPreset::tiny(), 5);
+    let urg = Urg::build(&city, UrgOptions::default());
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut cfg = CmsfConfig::fast_test();
+    cfg.master_epochs = 3;
+    cfg.slave_epochs = 2;
+    let mut model = Cmsf::new(&urg, cfg);
+    let rows: Rc<Vec<u32>> = Rc::new(train.iter().map(|&i| urg.labeled[i]).collect());
+    let targets: Rc<Vec<f32>> = Rc::new(train.iter().map(|&i| urg.y[i]).collect());
+    let weights: Rc<Vec<f32>> = Rc::new(vec![1.0; train.len()]);
+
+    c.bench_function("cmsf_master_epoch_tiny", |b| {
+        let mut opt = Adam::new(1e-4);
+        b.iter(|| {
+            black_box(model.master_epoch(&urg, &rows, &targets, &weights, &mut opt));
+        });
+    });
+
+    model.train_master(&urg, &train);
+    let fixed = model.fixed_assignment().expect("after master").clone();
+    let (c1, c0) = fixed.partition();
+    c.bench_function("cmsf_slave_epoch_tiny", |b| {
+        let mut opt = Adam::new(1e-4);
+        b.iter(|| {
+            black_box(model.slave_epoch(&urg, &fixed, &c1, &c0, &rows, &targets, &weights, &mut opt));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_epochs
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Empirical check of the GSCM complexity (paper eq. 26):
+//! T = O(|V| K d + K d^2 + K^2 d) — near-linear in K for K << |V|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use cmsf::Gscm;
+use uvd_tensor::init::{normal_matrix, seeded_rng};
+use uvd_tensor::Graph;
+
+fn bench_gscm(c: &mut Criterion) {
+    let n = 1600usize;
+    let d = 64usize;
+    let mut group = c.benchmark_group("gscm_fwd_bwd");
+    for k in [8usize, 16, 32, 64] {
+        let mut rng = seeded_rng(11);
+        let gscm = Gscm::new("g", d, k, 0.1, &mut rng);
+        let x = normal_matrix(n, d, 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
+            bch.iter(|| {
+                let mut g = Graph::new();
+                let xn = g.constant(x.clone());
+                let out = gscm.forward(&mut g, xn, None);
+                let sq = g.mul(out.x_global, out.x_global);
+                let loss = g.sum_all(sq);
+                g.backward(loss);
+                black_box(g.scalar(loss))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_gscm
+}
+criterion_main!(benches);

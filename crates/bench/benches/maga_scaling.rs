@@ -1,0 +1,67 @@
+//! Empirical check of the MAGA complexity (paper eq. 25):
+//! T = O(|V| d^2 + |E| d) — time per forward+backward should grow roughly
+//! linearly in |V| (with |E| ∝ |V| at fixed degree).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+use cmsf::MagaStack;
+use uvd_nn::AggMode;
+use uvd_tensor::init::{normal_matrix, seeded_rng};
+use uvd_tensor::{EdgeIndex, Graph, ParamSet};
+
+fn grid_edges(side: usize) -> Rc<EdgeIndex> {
+    let n = side * side;
+    let mut pairs = Vec::new();
+    for y in 0..side {
+        for x in 0..side {
+            let r = (y * side + x) as u32;
+            pairs.push((r, r));
+            if x + 1 < side {
+                let q = r + 1;
+                pairs.push((r, q));
+                pairs.push((q, r));
+            }
+            if y + 1 < side {
+                let q = r + side as u32;
+                pairs.push((r, q));
+                pairs.push((q, r));
+            }
+        }
+    }
+    Rc::new(EdgeIndex::from_pairs(n, pairs))
+}
+
+fn bench_maga(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maga_fwd_bwd");
+    for side in [12usize, 24, 36] {
+        let n = side * side;
+        let edges = grid_edges(side);
+        let mut rng = seeded_rng(7);
+        let maga = MagaStack::new("m", 64, 32, 16, 2, 2, AggMode::Attention, true, &mut rng);
+        let xp = normal_matrix(n, 64, 0.0, 1.0, &mut rng);
+        let xi = normal_matrix(n, 32, 0.0, 1.0, &mut rng);
+        let mut set = ParamSet::new();
+        maga.collect_params(&mut set);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut g = Graph::new();
+                let p = g.constant(xp.clone());
+                let i = g.constant(xi.clone());
+                let out = maga.forward(&mut g, p, Some(i), &edges);
+                let sq = g.mul(out, out);
+                let loss = g.sum_all(sq);
+                g.backward(loss);
+                black_box(g.scalar(loss))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_maga
+}
+criterion_main!(benches);

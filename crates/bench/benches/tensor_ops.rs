@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the autodiff primitives that dominate training time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+use uvd_tensor::init::{normal_matrix, seeded_rng};
+use uvd_tensor::{EdgeIndex, Graph, Matrix};
+
+fn bench_tensor_ops(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let a = normal_matrix(128, 128, 0.0, 1.0, &mut rng);
+    let b = normal_matrix(128, 128, 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_128", |bch| {
+        bch.iter(|| black_box(a.matmul(black_box(&b))));
+    });
+
+    // Edge attention primitives on a 1k-node, ~16k-edge graph.
+    let n = 1000usize;
+    let mut pairs = Vec::new();
+    let mut r2 = seeded_rng(2);
+    for i in 0..n as u32 {
+        pairs.push((i, i));
+        for _ in 0..15 {
+            pairs.push((rand::Rng::gen_range(&mut r2, 0..n as u32), i));
+        }
+    }
+    let edges = Rc::new(EdgeIndex::from_pairs(n, pairs));
+    let scores = normal_matrix(edges.n_edges(), 1, 0.0, 1.0, &mut rng);
+    let h = normal_matrix(n, 32, 0.0, 1.0, &mut rng);
+    c.bench_function("edge_softmax_aggregate_16k_edges", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let s = g.constant(scores.clone());
+            let hn = g.constant(h.clone());
+            let alpha = g.edge_softmax(s, edges.clone());
+            let out = g.edge_aggregate(alpha, hn, edges.clone());
+            black_box(g.value(out).sum())
+        });
+    });
+
+    // MS-Gate gated matmul: 1000 samples, 64 -> 16.
+    let x = normal_matrix(n, 64, 0.0, 1.0, &mut rng);
+    let w = normal_matrix(64, 16, 0.0, 1.0, &mut rng);
+    let f = normal_matrix(n, 64 * 16, 0.0, 0.1, &mut rng).map(|v| 0.5 + v.clamp(-0.4, 0.4));
+    c.bench_function("gated_matmul_1000x64x16", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let xn = g.constant(x.clone());
+            let wn = g.constant(w.clone());
+            let fn_ = g.constant(f.clone());
+            let z = g.gated_matmul(xn, wn, fn_);
+            black_box(g.value(z).sum())
+        });
+    });
+
+    // Full forward+backward of a small attention block.
+    let feats = normal_matrix(n, 64, 0.0, 1.0, &mut rng);
+    let wproj = normal_matrix(64, 16, 0.0, 0.3, &mut rng);
+    c.bench_function("attention_block_fwd_bwd", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let x = g.constant(feats.clone());
+            let w = g.constant(wproj.clone());
+            let hx = g.matmul(x, w);
+            let al = g.constant(Matrix::filled(16, 1, 0.1));
+            let sl = g.matmul(hx, al);
+            let dsts = Rc::new(edges.dst().to_vec());
+            let srcs = Rc::new(edges.src().to_vec());
+            let sd = g.gather_rows(sl, dsts);
+            let ss = g.gather_rows(sl, srcs);
+            let s = g.add(sd, ss);
+            let s = g.leaky_relu(s, 0.2);
+            let alpha = g.edge_softmax(s, edges.clone());
+            let out = g.edge_aggregate(alpha, hx, edges.clone());
+            let sq = g.mul(out, out);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            black_box(g.scalar(loss))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_tensor_ops
+}
+criterion_main!(benches);

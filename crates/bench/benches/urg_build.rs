@@ -1,0 +1,32 @@
+//! URG construction benchmarks: edge building (spatial + bounded-hop road
+//! BFS), POI feature extraction, and VGG-sim feature extraction per image.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uvd_citysim::{City, CityPreset, IMG_LEN};
+use uvd_urg::features::{poi_features, PoiFeatureOptions};
+use uvd_urg::{edges, VggSim};
+
+fn bench_urg(c: &mut Criterion) {
+    let city = City::from_config(CityPreset::tiny(), 3);
+    c.bench_function("spatial_edges_tiny", |b| {
+        b.iter(|| black_box(edges::spatial_edges(&city).len()));
+    });
+    c.bench_function("road_edges_5hop_tiny", |b| {
+        b.iter(|| black_box(edges::road_edges(&city, 5).len()));
+    });
+    c.bench_function("poi_features_tiny", |b| {
+        b.iter(|| black_box(poi_features(&city, PoiFeatureOptions::default()).sum()));
+    });
+    let vgg = VggSim::new();
+    c.bench_function("vgg_sim_16_images", |b| {
+        b.iter(|| black_box(vgg.features(&city.images[..16 * IMG_LEN]).sum()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_urg
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Design-choice ablation (DESIGN.md §6): quantifies the implementation
+//! decisions this reproduction makes where the paper leaves latitude —
+//! hard (binarized, mean-pooled) vs. soft regions→clusters collection, the
+//! AGG operator for inter-modal fusion (eq. 8), and the local/global fusion
+//! (eq. 13).
+
+use uvd_bench::{format_row, header, Scale, RESULTS_DIR};
+use uvd_citysim::CityPreset;
+use uvd_eval::{
+    dataset_urg, factory::cmsf_config, records::write_json, run_custom, ExperimentRecord,
+};
+use uvd_nn::AggMode;
+use uvd_urg::UrgOptions;
+
+fn main() {
+    let scale = Scale::from_args();
+    let spec = scale.sweep_spec();
+    let (master_epochs, slave_epochs) = scale.sweep_epochs();
+    println!("Design-choice ablation ({} scale)\n", scale.label());
+
+    type Tweak = fn(&mut cmsf::CmsfConfig);
+    let variants: [(&str, Tweak); 6] = [
+        ("default(hard+attn+sum)", |_| {}),
+        ("soft-collection", |c| c.soft_collection = true),
+        ("modal-agg=sum", |c| c.modal_agg = AggMode::Sum),
+        ("modal-agg=concat", |c| c.modal_agg = AggMode::Concat),
+        ("global-agg=concat", |c| c.global_agg = AggMode::Concat),
+        ("global-agg=attention", |c| c.global_agg = AggMode::Attention),
+    ];
+
+    let mut rows = Vec::new();
+    for preset in [CityPreset::FuzhouLike, CityPreset::ShenzhenLike] {
+        let urg = dataset_urg(preset, UrgOptions::default());
+        println!("--- {} ---", urg.name);
+        println!("{}", header());
+        for (label, tweak) in variants {
+            let s = run_custom(&urg, &spec, label, |seed, urg| {
+                let mut cfg = cmsf_config(urg, seed, spec.quick);
+                cfg.master_epochs = master_epochs;
+                cfg.slave_epochs = slave_epochs;
+                tweak(&mut cfg);
+                Box::new(cmsf::Cmsf::new(urg, cfg))
+            });
+            println!("{}", format_row(&s));
+            rows.push(s);
+        }
+        println!();
+    }
+
+    let record = ExperimentRecord {
+        experiment: "design_ablation".into(),
+        description: "Ablation of this reproduction's design choices (DESIGN.md §6)".into(),
+        params: format!("scale={}, folds={}, seeds={:?}", scale.label(), spec.folds, spec.seeds),
+        rows,
+    };
+    write_json(&format!("{RESULTS_DIR}/design_ablation.json"), &record)
+        .expect("write results/design_ablation.json");
+    println!("wrote {RESULTS_DIR}/design_ablation.json");
+}

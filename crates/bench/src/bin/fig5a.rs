@@ -1,0 +1,58 @@
+//! Figure 5(a) — ablation of model components: CMSF vs CMSF-M (no
+//! cross-modal attention), CMSF-G (no MS-Gate) and CMSF-H (no hierarchy).
+
+use uvd_bench::{format_row, header, Scale, RESULTS_DIR};
+use uvd_citysim::CityPreset;
+use uvd_eval::{
+    dataset_urg, factory::cmsf_config, records::write_json, run_custom, ExperimentRecord,
+    MethodKind,
+};
+use uvd_urg::UrgOptions;
+
+fn main() {
+    let scale = Scale::from_args();
+    // Component differences need fully-trained models: full epoch budget,
+    // 3 folds, one seed (the sweep-lite 50-epoch budget under-trains the
+    // hierarchy and scrambles the ordering).
+    let mut spec = scale.spec();
+    spec.seeds.truncate(1);
+    let (master_epochs, slave_epochs) =
+        if spec.quick { scale.sweep_epochs() } else { (100, 20) };
+    println!("Figure 5(a): effect of model components ({} scale)\n", scale.label());
+
+    let mut rows = Vec::new();
+    for preset in CityPreset::ALL {
+        let urg = dataset_urg(preset, UrgOptions::default());
+        println!("--- {} ---", urg.name);
+        println!("{}", header());
+        for kind in MethodKind::FIG5A {
+            let s = run_custom(&urg, &spec, kind.label(), |seed, urg| {
+                let mut cfg = cmsf_config(urg, seed, spec.quick);
+                cfg.master_epochs = master_epochs;
+                cfg.slave_epochs = slave_epochs;
+                match kind {
+                    MethodKind::CmsfM => cfg.use_maga_cross = false,
+                    MethodKind::CmsfG => cfg.use_gate = false,
+                    MethodKind::CmsfH => {
+                        cfg.use_hierarchy = false;
+                        cfg.use_gate = false;
+                    }
+                    _ => {}
+                }
+                Box::new(cmsf::Cmsf::new(urg, cfg))
+            });
+            println!("{}", format_row(&s));
+            rows.push(s);
+        }
+        println!();
+    }
+
+    let record = ExperimentRecord {
+        experiment: "fig5a".into(),
+        description: "Component ablation (paper Figure 5a)".into(),
+        params: format!("scale={}, folds={}, seeds={:?}", scale.label(), spec.folds, spec.seeds),
+        rows,
+    };
+    write_json(&format!("{RESULTS_DIR}/fig5a.json"), &record).expect("write results/fig5a.json");
+    println!("wrote {RESULTS_DIR}/fig5a.json");
+}

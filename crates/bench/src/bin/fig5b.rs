@@ -1,0 +1,58 @@
+//! Figure 5(b) — ablation of multi-modal urban data: CMSF run on URG
+//! variants with one data source removed (noImage, noCate, noRad, noIndex,
+//! noRoad, noProx).
+
+use uvd_bench::{format_row, header, Scale, RESULTS_DIR};
+use uvd_citysim::CityPreset;
+use uvd_eval::{
+    dataset_city, dataset_urg, factory::cmsf_config, records::write_json, run_custom,
+    ExperimentRecord,
+};
+use uvd_urg::{Urg, UrgOptions};
+
+fn main() {
+    let scale = Scale::from_args();
+    let spec = scale.sweep_spec();
+    println!("Figure 5(b): effect of multi-modal urban data ({} scale)\n", scale.label());
+
+    type VariantFn = fn() -> UrgOptions;
+    let variants: [(&str, VariantFn); 7] = [
+        ("CMSF", UrgOptions::default),
+        ("noImage", UrgOptions::no_image),
+        ("noCate", UrgOptions::no_cate),
+        ("noRad", UrgOptions::no_rad),
+        ("noIndex", UrgOptions::no_index),
+        ("noRoad", UrgOptions::no_road),
+        ("noProx", UrgOptions::no_prox),
+    ];
+
+    let (master_epochs, slave_epochs) = scale.sweep_epochs();
+    let mut rows = Vec::new();
+    for preset in CityPreset::ALL {
+        println!("--- {} ---", preset.name());
+        println!("{}", header());
+        let city = dataset_city(preset);
+        let base = dataset_urg(preset, UrgOptions::default());
+        for (label, opts) in variants {
+            let urg = Urg::variant_from(&city, opts(), &base);
+            let s = run_custom(&urg, &spec, label, |seed, urg| {
+                let mut cfg = cmsf_config(urg, seed, spec.quick);
+                cfg.master_epochs = master_epochs;
+                cfg.slave_epochs = slave_epochs;
+                Box::new(cmsf::Cmsf::new(urg, cfg))
+            });
+            println!("{}", format_row(&s));
+            rows.push(s);
+        }
+        println!();
+    }
+
+    let record = ExperimentRecord {
+        experiment: "fig5b".into(),
+        description: "Data ablation over URG variants (paper Figure 5b)".into(),
+        params: format!("scale={}, folds={}, seeds={:?}", scale.label(), spec.folds, spec.seeds),
+        rows,
+    };
+    write_json(&format!("{RESULTS_DIR}/fig5b.json"), &record).expect("write results/fig5b.json");
+    println!("wrote {RESULTS_DIR}/fig5b.json");
+}

@@ -1,0 +1,46 @@
+//! Figure 6(a) — sensitivity of CMSF to the number of latent semantic
+//! clusters K.
+
+use uvd_bench::{Scale, RESULTS_DIR};
+use uvd_citysim::CityPreset;
+use uvd_eval::{
+    dataset_urg, factory::cmsf_config, records::write_json, run_custom, ExperimentRecord,
+};
+use uvd_urg::UrgOptions;
+
+const K_SWEEP: [usize; 4] = [4, 8, 16, 32];
+
+fn main() {
+    let scale = Scale::from_args();
+    let spec = scale.sweep_spec();
+    println!("Figure 6(a): sensitivity to the number of latent clusters K ({} scale)\n", scale.label());
+
+    let mut rows = Vec::new();
+    for preset in CityPreset::ALL {
+        let urg = dataset_urg(preset, UrgOptions::default());
+        print!("{:16}", urg.name);
+        for k in K_SWEEP {
+            let label = format!("CMSF(K={k})");
+            let s = run_custom(&urg, &spec, &label, |seed, urg| {
+                let mut cfg = cmsf_config(urg, seed, spec.quick);
+                cfg.k_clusters = k;
+                let (me, se) = scale.sweep_epochs();
+                cfg.master_epochs = me;
+                cfg.slave_epochs = se;
+                Box::new(cmsf::Cmsf::new(urg, cfg))
+            });
+            print!("  K={k}: {:.3}", s.auc.mean);
+            rows.push(s);
+        }
+        println!();
+    }
+
+    let record = ExperimentRecord {
+        experiment: "fig6a".into(),
+        description: "AUC vs number of latent clusters K (paper Figure 6a)".into(),
+        params: format!("scale={}, K sweep {:?}, seeds={:?}", scale.label(), K_SWEEP, spec.seeds),
+        rows,
+    };
+    write_json(&format!("{RESULTS_DIR}/fig6a.json"), &record).expect("write results/fig6a.json");
+    println!("wrote {RESULTS_DIR}/fig6a.json");
+}

@@ -1,0 +1,51 @@
+//! Figure 6(b) — sensitivity of CMSF to the balancing weight λ of the
+//! pseudo-label (PU rank) loss.
+
+use uvd_bench::{Scale, RESULTS_DIR};
+use uvd_citysim::CityPreset;
+use uvd_eval::{
+    dataset_urg, factory::cmsf_config, records::write_json, run_custom, ExperimentRecord,
+};
+use uvd_urg::UrgOptions;
+
+const LAMBDA_SWEEP: [f32; 5] = [0.001, 0.01, 0.05, 0.5, 5.0];
+
+fn main() {
+    let scale = Scale::from_args();
+    let spec = scale.sweep_spec();
+    println!("Figure 6(b): sensitivity to the balancing weight lambda ({} scale)\n", scale.label());
+
+    let mut rows = Vec::new();
+    for preset in CityPreset::ALL {
+        let urg = dataset_urg(preset, UrgOptions::default());
+        print!("{:16}", urg.name);
+        for lambda in LAMBDA_SWEEP {
+            let label = format!("CMSF(lambda={lambda})");
+            let s = run_custom(&urg, &spec, &label, |seed, urg| {
+                let mut cfg = cmsf_config(urg, seed, spec.quick);
+                cfg.lambda = lambda;
+                let (me, se) = scale.sweep_epochs();
+                cfg.master_epochs = me;
+                cfg.slave_epochs = se;
+                Box::new(cmsf::Cmsf::new(urg, cfg))
+            });
+            print!("  l={lambda}: {:.3}", s.auc.mean);
+            rows.push(s);
+        }
+        println!();
+    }
+
+    let record = ExperimentRecord {
+        experiment: "fig6b".into(),
+        description: "AUC vs balancing weight lambda (paper Figure 6b)".into(),
+        params: format!(
+            "scale={}, lambda sweep {:?}, seeds={:?}",
+            scale.label(),
+            LAMBDA_SWEEP,
+            spec.seeds
+        ),
+        rows,
+    };
+    write_json(&format!("{RESULTS_DIR}/fig6b.json"), &record).expect("write results/fig6b.json");
+    println!("wrote {RESULTS_DIR}/fig6b.json");
+}

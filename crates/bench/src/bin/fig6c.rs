@@ -1,0 +1,61 @@
+//! Figure 6(c) — robustness to the ratio of available labeled data: CMSF vs
+//! the strongest image baseline (UVLens in the paper) trained on 10 / 25 /
+//! 50 / 75 / 100 % of each training split.
+
+use uvd_bench::{Scale, RESULTS_DIR};
+use uvd_citysim::CityPreset;
+use uvd_eval::{
+    dataset_urg, factory::{baseline_config, cmsf_config}, records::write_json, run_custom,
+    ExperimentRecord, MethodKind,
+};
+use uvd_urg::{Detector, Urg, UrgOptions};
+
+const RATIOS: [f64; 4] = [0.10, 0.25, 0.50, 0.75];
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 6(c): AUC vs ratio of available labeled data ({} scale)\n", scale.label());
+
+    let mut rows = Vec::new();
+    for preset in CityPreset::ALL {
+        let urg = dataset_urg(preset, UrgOptions::default());
+        println!("--- {} ---", urg.name);
+        let (master_epochs, slave_epochs) = scale.sweep_epochs();
+        for kind in [MethodKind::Cmsf, MethodKind::Uvlens] {
+            print!("{:8}", kind.label());
+            for ratio in RATIOS {
+                let mut spec = scale.sweep_spec();
+                spec.label_ratio = ratio;
+                let builder = |seed: u64, urg: &Urg| -> Box<dyn Detector> {
+                    match kind {
+                        MethodKind::Cmsf => {
+                            let mut cfg = cmsf_config(urg, seed, spec.quick);
+                            cfg.master_epochs = master_epochs;
+                            cfg.slave_epochs = slave_epochs;
+                            Box::new(cmsf::Cmsf::new(urg, cfg))
+                        }
+                        _ => {
+                            let mut cfg = baseline_config(kind, seed, spec.quick);
+                            cfg.epochs = cfg.epochs.min(15);
+                            Box::new(uvd_baselines::UvlensBaseline::new(urg, cfg))
+                        }
+                    }
+                };
+                let mut s = run_custom(&urg, &spec, kind.label(), builder);
+                s.method = format!("{}@{:.0}%", kind.label(), ratio * 100.0);
+                print!("  {:.0}%: {:.3}", ratio * 100.0, s.auc.mean);
+                rows.push(s);
+            }
+            println!();
+        }
+    }
+
+    let record = ExperimentRecord {
+        experiment: "fig6c".into(),
+        description: "Label-ratio robustness, CMSF vs UVLens (paper Figure 6c)".into(),
+        params: format!("scale={}, ratios {:?}", scale.label(), RATIOS),
+        rows,
+    };
+    write_json(&format!("{RESULTS_DIR}/fig6c.json"), &record).expect("write results/fig6c.json");
+    println!("wrote {RESULTS_DIR}/fig6c.json");
+}

@@ -1,0 +1,134 @@
+//! Figure 7 — case study: maps of the top-3% regions detected by CMSF vs
+//! UVLens against the ground truth, plus a spatial-coherence statistic
+//! quantifying the paper's qualitative claim that CMSF detects correlated
+//! UV regions together.
+
+use uvd_bench::{Scale, RESULTS_DIR};
+use uvd_citysim::CityPreset;
+use uvd_eval::{
+    block_folds, dataset_urg, factory::build_detector, prf_at_top_percent, train_test_pairs,
+    MethodKind,
+};
+use uvd_urg::{Urg, UrgOptions};
+
+/// Render the labeled test regions of a city as an ASCII map.
+/// `#` ground-truth UV, `o` detected, `@` detected true UV (hit),
+/// `.` labeled non-UV, ` ` unlabeled.
+fn render_map(urg: &Urg, test_idx: &[usize], detected: &[u32]) -> String {
+    let det: std::collections::HashSet<u32> = detected.iter().copied().collect();
+    let mut grid = vec![b' '; urg.n];
+    for &i in test_idx {
+        let r = urg.labeled[i];
+        let is_uv = urg.y[i] > 0.5;
+        let is_det = det.contains(&r);
+        grid[r as usize] = match (is_uv, is_det) {
+            (true, true) => b'@',
+            (true, false) => b'#',
+            (false, true) => b'o',
+            (false, false) => b'.',
+        };
+    }
+    let mut out = String::new();
+    for y in 0..urg.height {
+        let row = &grid[y * urg.width..(y + 1) * urg.width];
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Fraction of detected regions that are 8-adjacent to another detected
+/// region — the "detects correlated UVs together" statistic.
+fn spatial_coherence(urg: &Urg, detected: &[u32]) -> f64 {
+    if detected.is_empty() {
+        return 0.0;
+    }
+    let det: std::collections::HashSet<u32> = detected.iter().copied().collect();
+    let mut adjacent = 0usize;
+    for &r in detected {
+        let (x, y) = ((r as usize % urg.width) as i64, (r as usize / urg.width) as i64);
+        let mut any = false;
+        for dy in -1..=1i64 {
+            for dx in -1..=1i64 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let (nx, ny) = (x + dx, y + dy);
+                if nx < 0 || ny < 0 || nx >= urg.width as i64 || ny >= urg.height as i64 {
+                    continue;
+                }
+                if det.contains(&((ny as usize * urg.width + nx as usize) as u32)) {
+                    any = true;
+                }
+            }
+        }
+        if any {
+            adjacent += 1;
+        }
+    }
+    adjacent as f64 / detected.len() as f64
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 7: case study, top-3%% detections vs ground truth ({} scale)\n", scale.label());
+    let mut summary = Vec::new();
+
+    for preset in [CityPreset::FuzhouLike, CityPreset::ShenzhenLike] {
+        let urg = dataset_urg(preset, UrgOptions::default());
+        let folds = block_folds(&urg, 3, 8, 7);
+        let (train, test) = train_test_pairs(&folds).into_iter().next().expect("3 folds");
+        println!("--- {} (fold 1 of 3, {} test regions) ---", urg.name, test.len());
+
+        for kind in [MethodKind::Cmsf, MethodKind::Uvlens] {
+            let mut det = build_detector(kind, &urg, 0, scale == Scale::Quick);
+            det.fit(&urg, &train);
+            let scores = det.predict(&urg);
+            // Rank the test labeled regions, take the top 3%.
+            let mut ranked: Vec<usize> = test.clone();
+            ranked.sort_by(|&a, &b| {
+                scores[urg.labeled[b] as usize]
+                    .partial_cmp(&scores[urg.labeled[a] as usize])
+                    .expect("finite scores")
+            });
+            let k = ((test.len() as f64 * 0.03).ceil() as usize).max(1);
+            let detected: Vec<u32> = ranked[..k].iter().map(|&i| urg.labeled[i]).collect();
+
+            let s: Vec<f32> = test.iter().map(|&i| scores[urg.labeled[i] as usize]).collect();
+            let y: Vec<f32> = test.iter().map(|&i| urg.y[i]).collect();
+            let prf = prf_at_top_percent(&s, &y, 3);
+            let coherence = spatial_coherence(&urg, &detected);
+            println!(
+                "{:8} precision@3={:.3} recall@3={:.3} spatial-coherence={:.3}",
+                kind.label(),
+                prf.precision,
+                prf.recall,
+                coherence
+            );
+
+            let map = render_map(&urg, &test, &detected);
+            let path = format!("{RESULTS_DIR}/fig7_{}_{}.txt", urg.name, kind.label().to_lowercase());
+            std::fs::create_dir_all(RESULTS_DIR).expect("results dir");
+            std::fs::write(&path, format!(
+                "Figure 7 case study — {} on {}\nlegend: '@' detected true UV, '#' missed UV, 'o' false alarm, '.' labeled non-UV\n\n{}",
+                kind.label(), urg.name, map
+            )).expect("write map");
+            println!("         map -> {path}");
+            summary.push(serde_json::json!({
+                "city": urg.name,
+                "method": kind.label(),
+                "precision_at_3": prf.precision,
+                "recall_at_3": prf.recall,
+                "spatial_coherence": coherence,
+            }));
+        }
+        println!();
+    }
+
+    std::fs::write(
+        format!("{RESULTS_DIR}/fig7.json"),
+        serde_json::to_string_pretty(&summary).expect("serialize"),
+    )
+    .expect("write results/fig7.json");
+    println!("wrote {RESULTS_DIR}/fig7.json");
+}

@@ -1,0 +1,31 @@
+use cmsf::{Cmsf, CmsfConfig};
+use uvd_citysim::CityPreset;
+use uvd_eval::{block_folds, dataset_urg, eval_scores, train_test_pairs};
+use uvd_urg::{Detector, UrgOptions};
+
+fn main() {
+    let urg = dataset_urg(CityPreset::BeijingLike, UrgOptions::default());
+    let pairs = train_test_pairs(&block_folds(&urg, 3, 8, 13));
+    for (k, tau, epochs, lr, hid) in [
+        (20usize, 0.1f32, 100usize, 5e-3f32, 16usize),
+        (16, 0.1, 100, 5e-3, 16),
+        (20, 0.1, 160, 5e-3, 16),
+        (20, 0.2, 100, 5e-3, 16),
+        (20, 0.1, 100, 8e-3, 16),
+        (12, 0.1, 100, 5e-3, 16),
+    ] {
+        let mut aucs = vec![];
+        for (train, test) in pairs.iter().take(2) {
+            for seed in [0u64, 1] {
+                let mut cfg = CmsfConfig::for_city(&urg.name);
+                cfg.k_clusters = k; cfg.tau = tau; cfg.master_epochs = epochs; cfg.lr = lr; cfg.hidden = hid; cfg.seed = seed;
+                let mut m = Cmsf::new(&urg, cfg);
+                m.fit(&urg, train);
+                let (a, _) = eval_scores(&m.predict(&urg), &urg, test, &[3]);
+                aucs.push(a);
+            }
+        }
+        let mean = aucs.iter().sum::<f64>() / aucs.len() as f64;
+        println!("K={k} tau={tau} ep={epochs} lr={lr} hid={hid}: auc={mean:.3} ({:?})", aucs.iter().map(|a| (a*1000.0) as i64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,30 @@
+//! Table I — statistics of the three datasets: number of regions, URG
+//! edges, labeled UVs and labeled non-UVs.
+
+use uvd_bench::RESULTS_DIR;
+use uvd_citysim::CityPreset;
+use uvd_eval::{dataset_urg, records::write_json, DatasetRow};
+use uvd_urg::UrgOptions;
+
+fn main() {
+    println!("Table I: statistics of the three synthetic datasets\n");
+    println!("{:16} {:>10} {:>10} {:>7} {:>10}", "", "# Regions", "# Edges", "# UVs", "# Non-UVs");
+    let mut rows = Vec::new();
+    for preset in CityPreset::ALL {
+        let urg = dataset_urg(preset, UrgOptions::default());
+        let s = urg.stats();
+        println!(
+            "{:16} {:>10} {:>10} {:>7} {:>10}",
+            s.name, s.n_regions, s.n_edges, s.n_uvs, s.n_non_uvs
+        );
+        rows.push(DatasetRow {
+            city: s.name,
+            n_regions: s.n_regions,
+            n_edges: s.n_edges,
+            n_uvs: s.n_uvs,
+            n_non_uvs: s.n_non_uvs,
+        });
+    }
+    write_json(&format!("{RESULTS_DIR}/table1.json"), &rows).expect("write results/table1.json");
+    println!("\nwrote {RESULTS_DIR}/table1.json");
+}

@@ -1,0 +1,36 @@
+//! Table II — detection performance comparison: AUC and Recall / Precision /
+//! F1 at p = 3 and p = 5 for all eight methods in the three cities, mean
+//! (SD) across random runs of 3-fold block cross-validation.
+
+use uvd_bench::{format_row, header, Scale, RESULTS_DIR};
+use uvd_citysim::CityPreset;
+use uvd_eval::{dataset_urg, records::write_json, run_method, ExperimentRecord, MethodKind};
+use uvd_urg::UrgOptions;
+
+fn main() {
+    let scale = Scale::from_args();
+    let spec = scale.spec();
+    println!("Table II: detection performance ({} scale, {} seeds, {} folds)\n", scale.label(), spec.seeds.len(), spec.folds);
+
+    let mut rows = Vec::new();
+    for preset in CityPreset::ALL {
+        let urg = dataset_urg(preset, UrgOptions::default());
+        println!("--- {} ---", urg.name);
+        println!("{}", header());
+        for kind in MethodKind::TABLE2 {
+            let s = run_method(kind, &urg, &spec);
+            println!("{}", format_row(&s));
+            rows.push(s);
+        }
+        println!();
+    }
+
+    let record = ExperimentRecord {
+        experiment: "table2".into(),
+        description: "Detection performance comparison (paper Table II)".into(),
+        params: format!("scale={}, folds={}, seeds={:?}", scale.label(), spec.folds, spec.seeds),
+        rows,
+    };
+    write_json(&format!("{RESULTS_DIR}/table2.json"), &record).expect("write results/table2.json");
+    println!("wrote {RESULTS_DIR}/table2.json");
+}

@@ -1,0 +1,54 @@
+//! Table III — efficiency comparison in Shenzhen-like and Fuzhou-like:
+//! average training time per epoch, inference time, and model size.
+
+use uvd_bench::{Scale, RESULTS_DIR};
+use uvd_citysim::CityPreset;
+use uvd_eval::{
+    dataset_urg, records::write_json, run_method, ExperimentRecord, MethodKind, RunSpec,
+};
+use uvd_urg::UrgOptions;
+
+fn main() {
+    let scale = Scale::from_args();
+    // Per-epoch timing is unaffected by the epoch count, so reduced-epoch
+    // fits measure it just as well.
+    let spec = RunSpec { folds: 2, seeds: vec![0], quick: true, ..Default::default() };
+    println!("Table III: efficiency comparison ({} scale)\n", scale.label());
+    println!(
+        "{:10} | {:>14} {:>14} | {:>14} {:>14} | {:>12}",
+        "", "train s/epoch", "", "inference (s)", "", "size (MB)"
+    );
+    println!(
+        "{:10} | {:>14} {:>14} | {:>14} {:>14} | {:>12}",
+        "method", "shenzhen-like", "fuzhou-like", "shenzhen-like", "fuzhou-like", "(fuzhou)"
+    );
+
+    let sz = dataset_urg(CityPreset::ShenzhenLike, UrgOptions::default());
+    let fz = dataset_urg(CityPreset::FuzhouLike, UrgOptions::default());
+
+    let mut rows = Vec::new();
+    for kind in MethodKind::TABLE2 {
+        let s_sz = run_method(kind, &sz, &spec);
+        let s_fz = run_method(kind, &fz, &spec);
+        println!(
+            "{:10} | {:>14.4} {:>14.4} | {:>14.4} {:>14.4} | {:>12.3}",
+            kind.label(),
+            s_sz.train_secs_per_epoch,
+            s_fz.train_secs_per_epoch,
+            s_sz.inference_secs,
+            s_fz.inference_secs,
+            s_fz.model_mbytes
+        );
+        rows.push(s_sz);
+        rows.push(s_fz);
+    }
+
+    let record = ExperimentRecord {
+        experiment: "table3".into(),
+        description: "Efficiency comparison (paper Table III)".into(),
+        params: format!("scale={}, folds={}, seeds={:?}", scale.label(), spec.folds, spec.seeds),
+        rows,
+    };
+    write_json(&format!("{RESULTS_DIR}/table3.json"), &record).expect("write results/table3.json");
+    println!("\nwrote {RESULTS_DIR}/table3.json");
+}

@@ -1,0 +1,136 @@
+//! # uvd-bench
+//!
+//! Benchmark harness: one binary per table/figure of the paper's evaluation
+//! (Section VI), plus criterion micro-benches validating the complexity
+//! analysis of Section V-D. Each binary prints the paper-style rows and
+//! writes a JSON record under `results/`.
+//!
+//! | binary   | reproduces            |
+//! |----------|-----------------------|
+//! | `table1` | dataset statistics    |
+//! | `table2` | detection performance |
+//! | `fig5a`  | component ablation    |
+//! | `fig5b`  | data ablation         |
+//! | `fig6a`  | sensitivity to K      |
+//! | `fig6b`  | sensitivity to λ      |
+//! | `fig6c`  | label-ratio sweep     |
+//! | `table3` | efficiency            |
+//! | `fig7`   | case-study maps       |
+
+use uvd_eval::{MethodSummary, RunSpec};
+
+/// Where experiment records are written.
+pub const RESULTS_DIR: &str = "results";
+
+/// Scale of an experiment run, from CLI flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test: reduced epochs, one seed.
+    Quick,
+    /// Default: full epochs, two seeds.
+    Standard,
+    /// Paper-style: full epochs, five seeds.
+    Full,
+}
+
+impl Scale {
+    /// Parse from process args: `--quick` or `--full` (default standard).
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else if args.iter().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Standard
+        }
+    }
+
+    /// The run protocol for this scale.
+    pub fn spec(self) -> RunSpec {
+        match self {
+            Scale::Quick => RunSpec { quick: true, seeds: vec![0], ..Default::default() },
+            Scale::Standard => RunSpec { seeds: vec![0, 1], ..Default::default() },
+            Scale::Full => RunSpec { seeds: vec![0, 1, 2, 3, 4], ..Default::default() },
+        }
+    }
+
+    /// A lighter protocol for hyper-parameter sweeps (one seed, two folds;
+    /// sweeps show relative shape, not absolute level).
+    pub fn sweep_spec(self) -> RunSpec {
+        let mut s = self.spec();
+        s.folds = 2;
+        s.seeds = match self {
+            Scale::Full => vec![0, 1],
+            _ => vec![0],
+        };
+        s
+    }
+
+    /// Reduced training budget for sweep points (shape, not level).
+    pub fn sweep_epochs(self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (20, 6),
+            _ => (50, 10),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Standard => "standard",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Format a `MethodSummary` as a paper-style table row.
+pub fn format_row(s: &MethodSummary) -> String {
+    let p3 = s.at(3).expect("p=3 metrics");
+    let p5 = s.at(5).expect("p=5 metrics");
+    format!(
+        "{:10} | {} | {} {} {} | {} {} {}",
+        s.method, s.auc, p3.recall, p3.precision, p3.f1, p5.recall, p5.precision, p5.f1
+    )
+}
+
+/// Table II/ablation header matching [`format_row`].
+pub fn header() -> String {
+    format!(
+        "{:10} | {:12} | {:^38} | {:^38}\n{:10} | {:12} | {:12} {:12} {:12} | {:12} {:12} {:12}",
+        "", "AUC", "p=3", "p=5", "method", "", "Recall", "Precision", "F1", "Recall", "Precision", "F1"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_eval::{MeanStd, PSummary};
+
+    #[test]
+    fn scale_specs_are_graded() {
+        assert!(Scale::Quick.spec().quick);
+        assert_eq!(Scale::Standard.spec().seeds.len(), 2);
+        assert_eq!(Scale::Full.spec().seeds.len(), 5);
+        assert!(Scale::Full.sweep_spec().seeds.len() <= 2);
+    }
+
+    #[test]
+    fn format_row_contains_all_metrics() {
+        let ms = MeanStd { mean: 0.5, std: 0.001 };
+        let p = |p| PSummary { p, recall: ms, precision: ms, f1: ms };
+        let s = MethodSummary {
+            method: "X".into(),
+            city: "c".into(),
+            auc: ms,
+            at_p: vec![p(3), p(5)],
+            train_secs_per_epoch: 0.0,
+            inference_secs: 0.0,
+            model_mbytes: 0.0,
+            runs: 1,
+        };
+        let row = format_row(&s);
+        assert!(row.contains("0.500"));
+        assert_eq!(row.matches("0.500").count(), 7);
+    }
+}

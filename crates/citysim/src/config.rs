@@ -1,0 +1,153 @@
+//! City generation configuration and the three paper-analogue presets.
+
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the synthetic city generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CityConfig {
+    pub name: String,
+    /// Grid height (regions).
+    pub height: usize,
+    /// Grid width (regions).
+    pub width: usize,
+    /// Number of city (sub)centers driving the density gradient.
+    pub n_centers: usize,
+    /// Number of urban-village patches to plant.
+    pub n_uv_patches: usize,
+    /// Min/max regions per UV patch.
+    pub uv_patch_size: (usize, usize),
+    /// Fraction of UV patches "discovered" by the survey (labeled).
+    pub uv_discovery_rate: f64,
+    /// Labeled non-UV regions per labeled UV region.
+    pub non_uv_label_ratio: f64,
+    /// Road lattice spacing in regions (smaller = denser roads).
+    pub road_spacing: usize,
+    /// Probability of keeping a lattice road segment.
+    pub road_keep_prob: f64,
+    /// Global POI density multiplier.
+    pub poi_density: f64,
+    /// Number of green/water patches.
+    pub n_nature_patches: usize,
+}
+
+impl CityConfig {
+    pub fn n_regions(&self) -> usize {
+        self.height * self.width
+    }
+}
+
+/// Paper-analogue city presets (scaled ≈1/25 in region count; see DESIGN.md).
+/// Rank orderings mirror the real datasets: Beijing-like is largest with the
+/// fewest labeled UVs, Fuzhou-like is smallest with the densest labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CityPreset {
+    /// Analogue of Shenzhen (93,600 regions; 295 UVs; dense roads).
+    ShenzhenLike,
+    /// Analogue of Fuzhou (59,872 regions; 276 UVs).
+    FuzhouLike,
+    /// Analogue of Beijing (354,316 regions; 204 UVs; sparsest labels).
+    BeijingLike,
+}
+
+impl CityPreset {
+    pub const ALL: [CityPreset; 3] =
+        [CityPreset::ShenzhenLike, CityPreset::FuzhouLike, CityPreset::BeijingLike];
+
+    pub fn config(self) -> CityConfig {
+        match self {
+            CityPreset::ShenzhenLike => CityConfig {
+                name: "shenzhen-like".into(),
+                height: 36,
+                width: 36,
+                n_centers: 2,
+                n_uv_patches: 20,
+                uv_patch_size: (4, 10),
+                uv_discovery_rate: 0.85,
+                non_uv_label_ratio: 4.5,
+                road_spacing: 2,
+                road_keep_prob: 0.88,
+                poi_density: 0.35,
+                n_nature_patches: 5,
+            },
+            CityPreset::FuzhouLike => CityConfig {
+                name: "fuzhou-like".into(),
+                height: 30,
+                width: 30,
+                n_centers: 1,
+                n_uv_patches: 17,
+                uv_patch_size: (4, 10),
+                uv_discovery_rate: 0.9,
+                non_uv_label_ratio: 3.5,
+                road_spacing: 2,
+                road_keep_prob: 0.82,
+                poi_density: 0.32,
+                n_nature_patches: 4,
+            },
+            CityPreset::BeijingLike => CityConfig {
+                name: "beijing-like".into(),
+                height: 48,
+                width: 48,
+                n_centers: 3,
+                n_uv_patches: 16,
+                uv_patch_size: (4, 10),
+                uv_discovery_rate: 0.8,
+                non_uv_label_ratio: 8.0,
+                road_spacing: 3,
+                road_keep_prob: 0.85,
+                poi_density: 0.28,
+                n_nature_patches: 8,
+            },
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CityPreset::ShenzhenLike => "shenzhen-like",
+            CityPreset::FuzhouLike => "fuzhou-like",
+            CityPreset::BeijingLike => "beijing-like",
+        }
+    }
+
+    /// A miniature config for fast tests: same structure, ~300 regions.
+    pub fn tiny() -> CityConfig {
+        CityConfig {
+            name: "tiny".into(),
+            height: 18,
+            width: 18,
+            n_centers: 1,
+            n_uv_patches: 7,
+            uv_patch_size: (3, 7),
+            uv_discovery_rate: 0.9,
+            non_uv_label_ratio: 3.0,
+            road_spacing: 2,
+            road_keep_prob: 0.85,
+            poi_density: 0.5,
+            n_nature_patches: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_preserve_size_ordering() {
+        // Beijing-like largest, Fuzhou-like smallest — as in Table I.
+        let sz = CityPreset::ShenzhenLike.config().n_regions();
+        let fz = CityPreset::FuzhouLike.config().n_regions();
+        let bj = CityPreset::BeijingLike.config().n_regions();
+        assert!(bj > sz && sz > fz);
+    }
+
+    #[test]
+    fn beijing_has_sparsest_labels() {
+        // Highest non-UV ratio and lowest discovery — hardest label regime.
+        let bj = CityPreset::BeijingLike.config();
+        for p in [CityPreset::ShenzhenLike, CityPreset::FuzhouLike] {
+            let c = p.config();
+            assert!(bj.non_uv_label_ratio > c.non_uv_label_ratio);
+            assert!(bj.uv_discovery_rate <= c.uv_discovery_rate);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Procedural "satellite" textures. Each region gets a 32×32 RGB image whose
+//! block statistics are conditioned on its *observable profile*: inner urban
+//! villages render as densely packed, small, irregular buildings separated
+//! by narrow alleys — the visual signature the paper's VGG features exploit
+//! — while downtown shows large regular blocks, and the confuser profiles
+//! (`OldResidential`, `UvOuter`) deliberately sit between classes.
+
+use crate::types::{RegionProfile, IMG_CHANNELS, IMG_LEN, IMG_SIZE};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Rendering parameters per profile.
+struct Style {
+    /// Background RGB.
+    bg: [f32; 3],
+    /// Mean building RGB.
+    building: [f32; 3],
+    /// Building color jitter.
+    color_jitter: f32,
+    /// Building side length range in pixels (0 disables buildings).
+    block: (usize, usize),
+    /// Gap between blocks in pixels.
+    gap: usize,
+    /// Positional jitter in pixels (irregularity).
+    jitter: usize,
+    /// Probability that a grid slot actually holds a building.
+    fill: f64,
+    /// Per-pixel background noise amplitude.
+    noise: f32,
+}
+
+fn style(profile: RegionProfile) -> Style {
+    match profile {
+        RegionProfile::Downtown => Style {
+            bg: [0.45, 0.45, 0.47],
+            building: [0.66, 0.66, 0.69],
+            color_jitter: 0.05,
+            block: (9, 12),
+            gap: 4,
+            jitter: 0,
+            fill: 0.92,
+            noise: 0.015,
+        },
+        RegionProfile::Commercial => Style {
+            bg: [0.4, 0.38, 0.36],
+            building: [0.65, 0.6, 0.58],
+            color_jitter: 0.12,
+            block: (6, 9),
+            gap: 3,
+            jitter: 1,
+            fill: 0.85,
+            noise: 0.03,
+        },
+        RegionProfile::Residential => Style {
+            bg: [0.42, 0.42, 0.4],
+            building: [0.6, 0.55, 0.5],
+            color_jitter: 0.06,
+            block: (5, 7),
+            gap: 2,
+            jitter: 0,
+            fill: 0.9,
+            noise: 0.02,
+        },
+        // Confuser: between Residential and UvInner in block scale, gap,
+        // irregularity and palette.
+        RegionProfile::OldResidential => Style {
+            bg: [0.21, 0.19, 0.17],
+            building: [0.52, 0.47, 0.4],
+            color_jitter: 0.23,
+            block: (2, 4),
+            gap: 1,
+            jitter: 1,
+            fill: 0.92,
+            noise: 0.048,
+        },
+        RegionProfile::UvInner => Style {
+            bg: [0.2, 0.18, 0.16],
+            building: [0.52, 0.47, 0.4],
+            color_jitter: 0.24,
+            block: (2, 4),
+            gap: 1,
+            jitter: 1,
+            fill: 0.94,
+            noise: 0.05,
+        },
+        // Peripheral UV: small informal blocks but lower coverage on a
+        // greenish background — reads like dense suburb.
+        RegionProfile::UvOuter => Style {
+            bg: [0.34, 0.42, 0.29],
+            building: [0.54, 0.5, 0.44],
+            color_jitter: 0.13,
+            block: (3, 5),
+            gap: 4,
+            jitter: 2,
+            fill: 0.5,
+            noise: 0.042,
+        },
+        RegionProfile::Industrial => Style {
+            bg: [0.45, 0.45, 0.47],
+            building: [0.55, 0.6, 0.68],
+            color_jitter: 0.05,
+            block: (10, 14),
+            gap: 5,
+            jitter: 1,
+            fill: 0.7,
+            noise: 0.02,
+        },
+        RegionProfile::Suburb => Style {
+            bg: [0.34, 0.43, 0.29],
+            building: [0.54, 0.5, 0.44],
+            color_jitter: 0.12,
+            block: (3, 5),
+            gap: 4,
+            jitter: 2,
+            fill: 0.45,
+            noise: 0.04,
+        },
+        RegionProfile::Green => Style {
+            bg: [0.2, 0.45, 0.22],
+            building: [0.0, 0.0, 0.0],
+            color_jitter: 0.0,
+            block: (0, 0),
+            gap: 0,
+            jitter: 0,
+            fill: 0.0,
+            noise: 0.06,
+        },
+        RegionProfile::Water => Style {
+            bg: [0.15, 0.25, 0.5],
+            building: [0.0, 0.0, 0.0],
+            color_jitter: 0.0,
+            block: (0, 0),
+            gap: 0,
+            jitter: 0,
+            fill: 0.0,
+            noise: 0.015,
+        },
+    }
+}
+
+/// Render one region image into `out` (length [`IMG_LEN`], channel-major,
+/// values clamped to [0, 1]).
+pub fn render_region(profile: RegionProfile, rng: &mut SmallRng, out: &mut [f32]) {
+    assert_eq!(out.len(), IMG_LEN);
+    let st = style(profile);
+
+    // Background with per-pixel noise (shared across channels for a
+    // luminance-like texture).
+    for y in 0..IMG_SIZE {
+        for x in 0..IMG_SIZE {
+            let n = (rng.gen::<f32>() - 0.5) * 2.0 * st.noise;
+            for c in 0..IMG_CHANNELS {
+                out[c * IMG_SIZE * IMG_SIZE + y * IMG_SIZE + x] = (st.bg[c] + n).clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    // Buildings on a jittered grid.
+    if st.block.1 > 0 {
+        let pitch = st.block.1 + st.gap;
+        let mut gy = 0usize;
+        while gy + st.block.0 <= IMG_SIZE {
+            let mut gx = 0usize;
+            while gx + st.block.0 <= IMG_SIZE {
+                if rng.gen::<f64>() < st.fill {
+                    let bw = rng.gen_range(st.block.0..=st.block.1);
+                    let bh = rng.gen_range(st.block.0..=st.block.1);
+                    let jx = if st.jitter > 0 { rng.gen_range(0..=st.jitter) } else { 0 };
+                    let jy = if st.jitter > 0 { rng.gen_range(0..=st.jitter) } else { 0 };
+                    let x0 = (gx + jx).min(IMG_SIZE - 1);
+                    let y0 = (gy + jy).min(IMG_SIZE - 1);
+                    let x1 = (x0 + bw).min(IMG_SIZE);
+                    let y1 = (y0 + bh).min(IMG_SIZE);
+                    let tint = (rng.gen::<f32>() - 0.5) * 2.0 * st.color_jitter;
+                    for c in 0..IMG_CHANNELS {
+                        let col = (st.building[c] + tint).clamp(0.0, 1.0);
+                        for py in y0..y1 {
+                            for px in x0..x1 {
+                                out[c * IMG_SIZE * IMG_SIZE + py * IMG_SIZE + px] = col;
+                            }
+                        }
+                    }
+                }
+                gx += pitch;
+            }
+            gy += pitch;
+        }
+    }
+}
+
+/// Render every region of a profile map into one flat buffer.
+pub fn render_city(profiles: &[RegionProfile], rng: &mut SmallRng) -> Vec<f32> {
+    let mut out = vec![0.0f32; profiles.len() * IMG_LEN];
+    for (r, &p) in profiles.iter().enumerate() {
+        render_region(p, rng, &mut out[r * IMG_LEN..(r + 1) * IMG_LEN]);
+    }
+    out
+}
+
+/// Mean squared horizontal gradient of the green channel — a cheap
+/// "texture frequency" statistic used by tests to verify that urban-village
+/// imagery is busier than downtown imagery.
+pub fn texture_energy(img: &[f32]) -> f32 {
+    let plane = &img[IMG_SIZE * IMG_SIZE..2 * IMG_SIZE * IMG_SIZE];
+    let mut e = 0.0f32;
+    for y in 0..IMG_SIZE {
+        for x in 0..IMG_SIZE - 1 {
+            let d = plane[y * IMG_SIZE + x + 1] - plane[y * IMG_SIZE + x];
+            e += d * d;
+        }
+    }
+    e / (IMG_SIZE * (IMG_SIZE - 1)) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const ALL_PROFILES: [RegionProfile; 10] = [
+        RegionProfile::Downtown,
+        RegionProfile::Commercial,
+        RegionProfile::Residential,
+        RegionProfile::OldResidential,
+        RegionProfile::UvInner,
+        RegionProfile::UvOuter,
+        RegionProfile::Industrial,
+        RegionProfile::Suburb,
+        RegionProfile::Green,
+        RegionProfile::Water,
+    ];
+
+    fn render(p: RegionProfile, seed: u64) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = vec![0.0; IMG_LEN];
+        render_region(p, &mut rng, &mut out);
+        out
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        for p in ALL_PROFILES {
+            let img = render(p, 1);
+            assert!(img.iter().all(|v| (0.0..=1.0).contains(v)), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn uv_texture_busier_than_downtown() {
+        let avg = |p: RegionProfile| -> f32 {
+            (0..8).map(|s| texture_energy(&render(p, s))).sum::<f32>() / 8.0
+        };
+        assert!(
+            avg(RegionProfile::UvInner) > 1.5 * avg(RegionProfile::Downtown),
+            "UV texture should be higher-frequency than downtown"
+        );
+    }
+
+    #[test]
+    fn old_residential_between_residential_and_uv_inner() {
+        let avg = |p: RegionProfile| -> f32 {
+            (0..8).map(|s| texture_energy(&render(p, s))).sum::<f32>() / 8.0
+        };
+        let res = avg(RegionProfile::Residential);
+        let old = avg(RegionProfile::OldResidential);
+        let uv = avg(RegionProfile::UvInner);
+        assert!(res < old && old < uv, "ordering {res} {old} {uv}");
+    }
+
+    #[test]
+    fn water_is_blue_green_is_green() {
+        let water = render(RegionProfile::Water, 2);
+        let green = render(RegionProfile::Green, 2);
+        let plane = IMG_SIZE * IMG_SIZE;
+        let mean = |img: &[f32], c: usize| -> f32 {
+            img[c * plane..(c + 1) * plane].iter().sum::<f32>() / plane as f32
+        };
+        assert!(mean(&water, 2) > mean(&water, 0), "water should be blue-dominant");
+        assert!(mean(&green, 1) > mean(&green, 2), "greenspace should be green-dominant");
+    }
+
+    #[test]
+    fn render_city_fills_all_regions() {
+        let profiles = vec![RegionProfile::Residential; 5];
+        let mut rng = SmallRng::seed_from_u64(3);
+        let out = render_city(&profiles, &mut rng);
+        assert_eq!(out.len(), 5 * IMG_LEN);
+        for r in 0..5 {
+            let img = &out[r * IMG_LEN..(r + 1) * IMG_LEN];
+            assert!(img.iter().any(|&p| p > 0.1));
+        }
+    }
+
+    #[test]
+    fn rendering_deterministic() {
+        assert_eq!(render(RegionProfile::UvInner, 7), render(RegionProfile::UvInner, 7));
+    }
+}

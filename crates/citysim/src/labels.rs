@@ -1,0 +1,154 @@
+//! The "survey": which regions carry labels a detector may train on.
+//!
+//! Mirrors the paper's ground-truth collection (Appendix I-C): a subset of
+//! urban-village patches is *discovered* (news reports + crowdsourcing) and
+//! all their regions labeled positive; a sample of verified ordinary regions
+//! is labeled negative. Undiscovered UV patches stay unlabeled — they are
+//! exactly what the detector is supposed to find.
+
+use crate::config::CityConfig;
+use crate::landuse::LandUseMap;
+use crate::types::{LandUse, SurveyLabels};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Run the survey over a generated land-use map.
+pub fn survey(cfg: &CityConfig, map: &LandUseMap, rng: &mut SmallRng) -> SurveyLabels {
+    // Discover UV patches.
+    let mut uv_regions: Vec<u32> = Vec::new();
+    for patch in &map.uv_patches {
+        if rng.gen::<f64>() < cfg.uv_discovery_rate {
+            uv_regions.extend_from_slice(patch);
+        }
+    }
+    // Always discover at least one patch so training is possible.
+    if uv_regions.is_empty() {
+        if let Some(patch) = map.uv_patches.first() {
+            uv_regions.extend_from_slice(patch);
+        }
+    }
+
+    // Negative sample: verified non-UV regions, weighted toward inhabited
+    // land uses (the paper samples residential areas for verification).
+    let weight = |lu: LandUse| -> f64 {
+        match lu {
+            LandUse::Residential => 3.0,
+            LandUse::Commercial => 2.0,
+            LandUse::DowntownCore => 1.5,
+            LandUse::Suburb => 1.5,
+            LandUse::Industrial => 1.0,
+            LandUse::GreenSpace => 0.3,
+            LandUse::Water => 0.1,
+            LandUse::UrbanVillage => 0.0,
+        }
+    };
+    let mut candidates: Vec<(u32, f64)> = map
+        .cells
+        .iter()
+        .enumerate()
+        .filter(|&(_, &lu)| lu != LandUse::UrbanVillage)
+        .map(|(r, &lu)| (r as u32, weight(lu)))
+        .collect();
+
+    let target = ((uv_regions.len() as f64) * cfg.non_uv_label_ratio).round() as usize;
+    let target = target.min(candidates.len());
+    // Weighted sampling without replacement via exponential sort keys
+    // (Efraimidis–Spirakis).
+    let mut keyed: Vec<(f64, u32)> = candidates
+        .drain(..)
+        .map(|(r, w)| {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let key = if w > 0.0 { u.powf(1.0 / w) } else { 0.0 };
+            (key, r)
+        })
+        .collect();
+    keyed.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+    let mut non_uv_regions: Vec<u32> = keyed.into_iter().take(target).map(|(_, r)| r).collect();
+
+    uv_regions.sort_unstable();
+    uv_regions.dedup();
+    non_uv_regions.sort_unstable();
+
+    SurveyLabels { uv_regions, non_uv_regions }
+}
+
+/// Shuffle helper used by downstream splitters (re-exported for tests).
+pub fn shuffled_indices(n: usize, rng: &mut SmallRng) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    v.shuffle(rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CityPreset;
+    use crate::landuse::generate_land_use;
+    use rand::SeedableRng;
+
+    fn run(seed: u64) -> (CityConfig, LandUseMap, SurveyLabels) {
+        let cfg = CityPreset::tiny();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let map = generate_land_use(&cfg, &mut rng);
+        let labels = survey(&cfg, &map, &mut rng);
+        (cfg, map, labels)
+    }
+
+    #[test]
+    fn labels_are_consistent_with_ground_truth() {
+        let (_, map, labels) = run(1);
+        for &r in &labels.uv_regions {
+            assert_eq!(map.cells[r as usize], LandUse::UrbanVillage);
+        }
+        for &r in &labels.non_uv_regions {
+            assert_ne!(map.cells[r as usize], LandUse::UrbanVillage);
+        }
+    }
+
+    #[test]
+    fn label_sets_disjoint_and_deduped() {
+        let (_, _, labels) = run(2);
+        let uv: std::collections::HashSet<_> = labels.uv_regions.iter().collect();
+        assert_eq!(uv.len(), labels.uv_regions.len());
+        for r in &labels.non_uv_regions {
+            assert!(!uv.contains(r));
+        }
+    }
+
+    #[test]
+    fn non_uv_ratio_approximately_respected() {
+        let (cfg, _, labels) = run(3);
+        let ratio = labels.non_uv_regions.len() as f64 / labels.uv_regions.len().max(1) as f64;
+        assert!(
+            (ratio - cfg.non_uv_label_ratio).abs() < 1.0,
+            "ratio {ratio} vs target {}",
+            cfg.non_uv_label_ratio
+        );
+    }
+
+    #[test]
+    fn some_uvs_remain_undiscovered_across_seeds() {
+        // With discovery < 1.0, at least one seed should leave a patch
+        // unlabeled — the detection target.
+        let mut any_undiscovered = false;
+        for seed in 0..10 {
+            let (_, map, labels) = run(seed);
+            let labeled: std::collections::HashSet<_> = labels.uv_regions.iter().copied().collect();
+            let total_uv: usize = map.uv_patches.iter().map(|p| p.len()).sum();
+            if labeled.len() < total_uv {
+                any_undiscovered = true;
+                break;
+            }
+        }
+        assert!(any_undiscovered);
+    }
+
+    #[test]
+    fn survey_deterministic() {
+        let (_, _, a) = run(5);
+        let (_, _, b) = run(5);
+        assert_eq!(a.uv_regions, b.uv_regions);
+        assert_eq!(a.non_uv_regions, b.non_uv_regions);
+    }
+}

@@ -1,0 +1,368 @@
+//! Latent land-use map generation: a center-based density gradient perturbed
+//! by value noise, nature patches, and urban-village patches planted in the
+//! downtown–suburb transition ring.
+//!
+//! UV patches come in two archetypes — inner-city and peripheral — so the
+//! city exhibits the "diverse urban patterns" challenge the paper's
+//! master-slave design targets.
+
+use crate::config::CityConfig;
+use crate::noise::ValueNoise;
+use crate::types::{LandUse, RegionProfile};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Output of land-use generation.
+#[derive(Clone, Debug)]
+pub struct LandUseMap {
+    pub cells: Vec<LandUse>,
+    /// Region ids of each urban-village patch (contiguous blob).
+    pub uv_patches: Vec<Vec<u32>>,
+    /// City (sub)center positions in grid coordinates.
+    pub centers: Vec<(f64, f64)>,
+    /// Normalized distance-to-center field in [0, 1] per region.
+    pub centrality: Vec<f64>,
+}
+
+/// Generate the land-use map for a city configuration.
+pub fn generate_land_use(cfg: &CityConfig, rng: &mut SmallRng) -> LandUseMap {
+    let (w, h) = (cfg.width, cfg.height);
+    let n = w * h;
+
+    // City centers: primary near the middle, subcenters in the inner 60%.
+    let mut centers = Vec::with_capacity(cfg.n_centers);
+    centers.push((
+        w as f64 * rng.gen_range(0.42..0.58),
+        h as f64 * rng.gen_range(0.42..0.58),
+    ));
+    for _ in 1..cfg.n_centers {
+        centers.push((
+            w as f64 * rng.gen_range(0.2..0.8),
+            h as f64 * rng.gen_range(0.2..0.8),
+        ));
+    }
+
+    let zone_noise = ValueNoise::new(w, h, (w as f64 / 6.0).max(2.0), rng);
+    let mix_noise = ValueNoise::new(w, h, (w as f64 / 12.0).max(2.0), rng);
+
+    // Normalized, noise-perturbed distance to the nearest center.
+    let half_diag = ((w * w + h * h) as f64).sqrt() / 2.0;
+    let mut centrality = vec![0.0f64; n];
+    for y in 0..h {
+        for x in 0..w {
+            let d = centers
+                .iter()
+                .map(|&(cx, cy)| ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt())
+                .fold(f64::INFINITY, f64::min)
+                / half_diag;
+            let nudge = 0.25 * (zone_noise.sample(x as f64, y as f64) - 0.5);
+            centrality[y * w + x] = (d + nudge).clamp(0.0, 1.0);
+        }
+    }
+
+    // Base zoning by centrality + mixing noise.
+    let mut cells = vec![LandUse::Suburb; n];
+    for y in 0..h {
+        for x in 0..w {
+            let r = y * w + x;
+            let dd = centrality[r];
+            let mix = mix_noise.sample(x as f64, y as f64);
+            cells[r] = if dd < 0.12 {
+                LandUse::DowntownCore
+            } else if dd < 0.30 {
+                if mix < 0.5 {
+                    LandUse::Commercial
+                } else {
+                    LandUse::Residential
+                }
+            } else if dd < 0.60 {
+                if mix < 0.62 {
+                    LandUse::Residential
+                } else {
+                    LandUse::Industrial
+                }
+            } else if mix < 0.25 {
+                LandUse::Residential
+            } else {
+                LandUse::Suburb
+            };
+        }
+    }
+
+    // Nature patches (half green, half water), grown as random blobs.
+    for i in 0..cfg.n_nature_patches {
+        let kind = if i % 2 == 0 { LandUse::GreenSpace } else { LandUse::Water };
+        let seed = rng.gen_range(0..n);
+        let size = rng.gen_range(5..20);
+        for r in grow_blob(seed, size, w, h, rng) {
+            cells[r as usize] = kind;
+        }
+    }
+
+    // Urban-village patches. Seeds live in the transition ring; roughly a
+    // third are inner-city UVs (denser fabric), the rest peripheral. Every
+    // patch must be anchored near employment (industrial or downtown fabric
+    // within Chebyshev distance 2–4): urban villages form where migrant
+    // workers find jobs. This anchoring is the key *relational* signal — it
+    // is outside the 3×3 feature window, but road-connectivity edges carry
+    // it to graph models, separating true UVs from old-residential
+    // look-alikes (which are placed independently of employment).
+    let mut uv_patches = Vec::with_capacity(cfg.n_uv_patches);
+    let mut attempts = 0;
+    while uv_patches.len() < cfg.n_uv_patches && attempts < cfg.n_uv_patches * 60 {
+        attempts += 1;
+        let seed = rng.gen_range(0..n);
+        let dd = centrality[seed];
+        let inner = uv_patches.len() % 3 == 0;
+        let range = if inner { 0.14..0.40 } else { 0.35..0.85 };
+        if !range.contains(&dd) {
+            continue;
+        }
+        if matches!(cells[seed], LandUse::Water | LandUse::GreenSpace | LandUse::UrbanVillage) {
+            continue;
+        }
+        if !near_employment(&cells, seed, w, h, 2, 4) {
+            continue;
+        }
+        let size = rng.gen_range(cfg.uv_patch_size.0..=cfg.uv_patch_size.1);
+        // Grow around water and existing UV cells (filtering *during*
+        // growth keeps the patch contiguous).
+        let blob = grow_blob_where(seed, size, w, h, rng, |r| {
+            !matches!(cells[r], LandUse::Water | LandUse::UrbanVillage)
+        });
+        if blob.len() < cfg.uv_patch_size.0 {
+            continue;
+        }
+        for &r in &blob {
+            cells[r as usize] = LandUse::UrbanVillage;
+        }
+        uv_patches.push(blob);
+    }
+
+    LandUseMap { cells, uv_patches, centers, centrality }
+}
+
+/// Derive the *observable* generation profile of every region from the
+/// ground-truth land use. Urban-village patches pick an archetype by their
+/// mean centrality (inner vs. peripheral); a slice of formal residential and
+/// commercial fabric becomes spatially-clustered "old residential" (a
+/// UV-look-alike confuser); a few UV regions are "upgraded" and render as
+/// old residential. POIs and imagery are generated from these profiles while
+/// labels stay tied to the land use — the overlap is irreducible by design.
+pub fn derive_profiles(
+    cfg: &CityConfig,
+    map: &LandUseMap,
+    rng: &mut SmallRng,
+) -> Vec<RegionProfile> {
+    let (w, h) = (cfg.width, cfg.height);
+    let age_noise = ValueNoise::new(w, h, (w as f64 / 8.0).max(2.0), rng);
+    let mut profiles: Vec<RegionProfile> = map
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(r, &lu)| {
+            let (x, y) = (r % w, r / w);
+            let age = age_noise.sample(x as f64, y as f64);
+            match lu {
+                LandUse::DowntownCore => RegionProfile::Downtown,
+                LandUse::Commercial => {
+                    if age > 0.76 {
+                        RegionProfile::OldResidential
+                    } else {
+                        RegionProfile::Commercial
+                    }
+                }
+                LandUse::Residential => {
+                    if age > 0.62 {
+                        RegionProfile::OldResidential
+                    } else {
+                        RegionProfile::Residential
+                    }
+                }
+                // Archetype is overwritten patch-wise below.
+                LandUse::UrbanVillage => RegionProfile::UvInner,
+                LandUse::Industrial => RegionProfile::Industrial,
+                LandUse::Suburb => RegionProfile::Suburb,
+                LandUse::GreenSpace => RegionProfile::Green,
+                LandUse::Water => RegionProfile::Water,
+            }
+        })
+        .collect();
+
+    // One archetype per UV patch (whole settlements share a character), with
+    // a small fraction of regions "upgraded" to formal-looking fabric.
+    for patch in &map.uv_patches {
+        let mean_centrality: f64 =
+            patch.iter().map(|&r| map.centrality[r as usize]).sum::<f64>() / patch.len() as f64;
+        let archetype =
+            if mean_centrality < 0.42 { RegionProfile::UvInner } else { RegionProfile::UvOuter };
+        for &r in patch {
+            profiles[r as usize] = if rng.gen::<f64>() < 0.12 {
+                RegionProfile::OldResidential
+            } else {
+                archetype
+            };
+        }
+    }
+    profiles
+}
+
+/// True iff a region has employment fabric (industrial or downtown core)
+/// within Chebyshev distance `[lo, hi]` — but *not* closer than `lo`, so the
+/// signal stays outside the immediate 3×3 feature window.
+pub fn near_employment(
+    cells: &[LandUse],
+    r: usize,
+    w: usize,
+    h: usize,
+    lo: usize,
+    hi: usize,
+) -> bool {
+    let (x, y) = (r % w, r / w);
+    let is_employment = |lu: LandUse| matches!(lu, LandUse::Industrial | LandUse::DowntownCore);
+    // Reject anything with employment adjacent (distance < lo).
+    let mut nearest = usize::MAX;
+    for dy in -(hi as i64)..=(hi as i64) {
+        for dx in -(hi as i64)..=(hi as i64) {
+            let (nx, ny) = (x as i64 + dx, y as i64 + dy);
+            if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                continue;
+            }
+            if is_employment(cells[ny as usize * w + nx as usize]) {
+                let d = dx.unsigned_abs().max(dy.unsigned_abs()) as usize;
+                nearest = nearest.min(d);
+            }
+        }
+    }
+    nearest >= lo && nearest <= hi
+}
+
+/// Grow a contiguous random blob of up to `size` regions from `seed`,
+/// 4-connected. Returns the member region ids (always contains `seed`).
+pub fn grow_blob(seed: usize, size: usize, w: usize, h: usize, rng: &mut SmallRng) -> Vec<u32> {
+    grow_blob_where(seed, size, w, h, rng, |_| true)
+}
+
+/// As [`grow_blob`] but only admitting cells satisfying `admit` (the seed is
+/// always included). Filtering during growth keeps the blob contiguous.
+pub fn grow_blob_where(
+    seed: usize,
+    size: usize,
+    w: usize,
+    h: usize,
+    rng: &mut SmallRng,
+    admit: impl Fn(usize) -> bool,
+) -> Vec<u32> {
+    let mut members = vec![seed as u32];
+    let mut in_blob = vec![false; w * h];
+    in_blob[seed] = true;
+    let mut frontier: Vec<u32> = neighbors4(seed, w, h).collect();
+    while members.len() < size && !frontier.is_empty() {
+        let i = rng.gen_range(0..frontier.len());
+        let r = frontier.swap_remove(i) as usize;
+        if in_blob[r] || !admit(r) {
+            continue;
+        }
+        in_blob[r] = true;
+        members.push(r as u32);
+        frontier.extend(neighbors4(r, w, h).filter(|&q| !in_blob[q as usize]));
+    }
+    members
+}
+
+/// 4-connected neighbours of region `r` in a `w×h` grid.
+pub fn neighbors4(r: usize, w: usize, h: usize) -> impl Iterator<Item = u32> {
+    let (x, y) = (r % w, r / w);
+    let mut out = Vec::with_capacity(4);
+    if x > 0 {
+        out.push((r - 1) as u32);
+    }
+    if x + 1 < w {
+        out.push((r + 1) as u32);
+    }
+    if y > 0 {
+        out.push((r - w) as u32);
+    }
+    if y + 1 < h {
+        out.push((r + w) as u32);
+    }
+    out.into_iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CityPreset;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uv_patches_are_marked_and_contiguous() {
+        let cfg = CityPreset::tiny();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let map = generate_land_use(&cfg, &mut rng);
+        assert!(!map.uv_patches.is_empty());
+        for patch in &map.uv_patches {
+            for &r in patch {
+                assert_eq!(map.cells[r as usize], LandUse::UrbanVillage);
+            }
+            // Contiguity: BFS within the patch reaches every member.
+            let set: std::collections::HashSet<u32> = patch.iter().copied().collect();
+            let mut seen = std::collections::HashSet::new();
+            let mut stack = vec![patch[0]];
+            seen.insert(patch[0]);
+            while let Some(r) = stack.pop() {
+                for q in neighbors4(r as usize, cfg.width, cfg.height) {
+                    if set.contains(&q) && seen.insert(q) {
+                        stack.push(q);
+                    }
+                }
+            }
+            assert_eq!(seen.len(), patch.len(), "patch not contiguous");
+        }
+    }
+
+    #[test]
+    fn downtown_is_central() {
+        let cfg = CityPreset::ShenzhenLike.config();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let map = generate_land_use(&cfg, &mut rng);
+        let mean_centrality = |lu: LandUse| {
+            let (mut s, mut c) = (0.0, 0usize);
+            for (r, &l) in map.cells.iter().enumerate() {
+                if l == lu {
+                    s += map.centrality[r];
+                    c += 1;
+                }
+            }
+            s / c.max(1) as f64
+        };
+        assert!(mean_centrality(LandUse::DowntownCore) < mean_centrality(LandUse::Suburb));
+    }
+
+    #[test]
+    fn grow_blob_respects_size_and_membership() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let blob = grow_blob(55, 8, 10, 10, &mut rng);
+        assert!(blob.len() <= 8 && !blob.is_empty());
+        assert!(blob.contains(&55));
+        let uniq: std::collections::HashSet<_> = blob.iter().collect();
+        assert_eq!(uniq.len(), blob.len());
+    }
+
+    #[test]
+    fn land_use_deterministic() {
+        let cfg = CityPreset::tiny();
+        let a = generate_land_use(&cfg, &mut SmallRng::seed_from_u64(9));
+        let b = generate_land_use(&cfg, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(a.uv_patches, b.uv_patches);
+    }
+
+    #[test]
+    fn neighbors4_edge_cases() {
+        let corner: Vec<u32> = neighbors4(0, 5, 5).collect();
+        assert_eq!(corner.len(), 2);
+        let center: Vec<u32> = neighbors4(12, 5, 5).collect();
+        assert_eq!(center.len(), 4);
+    }
+}

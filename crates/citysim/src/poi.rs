@@ -1,0 +1,291 @@
+//! POI generation. Per-region counts are Poisson draws whose rates depend on
+//! the region's *observable profile*, encoding the socioeconomic contrasts
+//! the paper's POI features are designed to pick up — with deliberate
+//! overlap across the label boundary:
+//!
+//! * `UvInner` (inner-city urban village): extremely dense cheap eateries,
+//!   small shops and informal services; starved of culture, sport, finance.
+//! * `UvOuter` (peripheral urban village): sparse services with a workshop
+//!   mix — resembles suburb/industrial fabric.
+//! * `OldResidential` (a *non-UV* confuser): rates sit between formal
+//!   residential and `UvInner`.
+
+use crate::config::CityConfig;
+use crate::landuse::LandUseMap;
+use crate::types::{Poi, PoiKind, RegionProfile, CELL_METERS};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Expected POIs per region for a `(kind, profile)` pair, before the global
+/// `poi_density` multiplier.
+///
+/// Column order: `[Downtown, Commercial, Residential, OldResidential,
+/// UvInner, UvOuter, Industrial, Suburb, Green, Water]`.
+pub fn kind_rate(kind: PoiKind, profile: RegionProfile) -> f64 {
+    use PoiKind::*;
+    let t: [f64; 10] = match kind {
+        Restaurant =>        [1.5, 1.8, 0.8, 1.4, 1.9, 0.7, 0.4, 0.15, 0.02, 0.0],
+        FastFood =>          [0.8, 1.0, 0.5, 0.9, 1.3, 0.6, 0.3, 0.1, 0.0, 0.0],
+        Teahouse =>          [0.3, 0.4, 0.2, 0.3, 0.5, 0.15, 0.05, 0.03, 0.02, 0.0],
+        Hotel =>             [0.6, 0.5, 0.1, 0.15, 0.35, 0.1, 0.05, 0.03, 0.01, 0.0],
+        Hostel =>            [0.15, 0.2, 0.05, 0.15, 0.6, 0.2, 0.03, 0.02, 0.0, 0.0],
+        ShoppingMall =>      [0.25, 0.15, 0.04, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        Supermarket =>       [0.3, 0.35, 0.25, 0.2, 0.12, 0.06, 0.05, 0.04, 0.0, 0.0],
+        Market =>            [0.1, 0.2, 0.12, 0.3, 0.5, 0.2, 0.04, 0.03, 0.0, 0.0],
+        Shop =>              [2.0, 2.5, 1.0, 2.0, 2.6, 1.1, 0.4, 0.2, 0.02, 0.0],
+        Laundry =>           [0.15, 0.25, 0.2, 0.4, 0.65, 0.25, 0.03, 0.03, 0.0, 0.0],
+        TelecomOffice =>     [0.2, 0.25, 0.15, 0.12, 0.08, 0.04, 0.04, 0.02, 0.0, 0.0],
+        Housekeeping =>      [0.1, 0.2, 0.2, 0.35, 0.55, 0.2, 0.02, 0.03, 0.0, 0.0],
+        BeautySalon =>       [0.5, 0.7, 0.35, 0.5, 0.75, 0.25, 0.05, 0.05, 0.0, 0.0],
+        ScenicSpot =>        [0.08, 0.04, 0.02, 0.02, 0.0, 0.0, 0.0, 0.02, 0.3, 0.1],
+        Cinema =>            [0.15, 0.1, 0.03, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        Ktv =>               [0.25, 0.3, 0.08, 0.15, 0.3, 0.08, 0.02, 0.01, 0.0, 0.0],
+        InternetCafe =>      [0.15, 0.2, 0.1, 0.3, 0.6, 0.2, 0.05, 0.02, 0.0, 0.0],
+        Gym =>               [0.3, 0.25, 0.18, 0.06, 0.02, 0.005, 0.02, 0.02, 0.0, 0.0],
+        Stadium =>           [0.03, 0.02, 0.015, 0.008, 0.0, 0.0, 0.0, 0.005, 0.02, 0.0],
+        School =>            [0.12, 0.12, 0.22, 0.15, 0.05, 0.03, 0.02, 0.05, 0.0, 0.0],
+        College =>           [0.02, 0.015, 0.02, 0.01, 0.0, 0.0, 0.005, 0.01, 0.0, 0.0],
+        Kindergarten =>      [0.1, 0.15, 0.3, 0.2, 0.1, 0.05, 0.02, 0.06, 0.0, 0.0],
+        Library =>           [0.08, 0.04, 0.03, 0.015, 0.0, 0.0, 0.0, 0.005, 0.0, 0.0],
+        Museum =>            [0.05, 0.02, 0.005, 0.003, 0.0, 0.0, 0.0, 0.0, 0.01, 0.0],
+        Hospital =>          [0.05, 0.04, 0.035, 0.02, 0.0, 0.0, 0.005, 0.008, 0.0, 0.0],
+        Clinic =>            [0.3, 0.35, 0.3, 0.3, 0.2, 0.1, 0.05, 0.06, 0.0, 0.0],
+        Pharmacy =>          [0.35, 0.4, 0.35, 0.35, 0.32, 0.12, 0.06, 0.06, 0.0, 0.0],
+        GasStation =>        [0.05, 0.06, 0.05, 0.04, 0.01, 0.05, 0.15, 0.08, 0.0, 0.0],
+        CarRepair =>         [0.08, 0.12, 0.1, 0.12, 0.06, 0.15, 0.3, 0.08, 0.0, 0.0],
+        Parking =>           [0.8, 0.5, 0.4, 0.2, 0.05, 0.04, 0.25, 0.06, 0.01, 0.0],
+        BusStop =>           [0.5, 0.45, 0.4, 0.3, 0.14, 0.08, 0.2, 0.12, 0.03, 0.0],
+        SubwayStation =>     [0.12, 0.06, 0.03, 0.02, 0.005, 0.0, 0.01, 0.0, 0.0, 0.0],
+        Airport =>           [0.0; 10], // placed at city level
+        TrainStation =>      [0.0; 10], // placed at city level
+        CoachStation =>      [0.0; 10], // placed at city level
+        Bank =>              [0.6, 0.4, 0.2, 0.1, 0.03, 0.01, 0.04, 0.02, 0.0, 0.0],
+        Atm =>               [0.8, 0.6, 0.35, 0.2, 0.07, 0.02, 0.06, 0.03, 0.0, 0.0],
+        ResidentialEstate => [0.4, 0.5, 1.3, 1.0, 0.5, 0.3, 0.05, 0.35, 0.0, 0.0],
+        OfficeBuilding =>    [2.0, 0.8, 0.25, 0.15, 0.06, 0.05, 0.35, 0.05, 0.0, 0.0],
+        Factory =>           [0.02, 0.05, 0.04, 0.08, 0.12, 0.5, 1.6, 0.12, 0.0, 0.0],
+        GovernmentOffice =>  [0.25, 0.12, 0.08, 0.05, 0.01, 0.01, 0.04, 0.03, 0.0, 0.0],
+        PoliceStation =>     [0.06, 0.05, 0.045, 0.035, 0.008, 0.005, 0.02, 0.02, 0.0, 0.0],
+        Gate =>              [0.3, 0.3, 0.5, 0.45, 0.4, 0.25, 0.3, 0.1, 0.05, 0.0],
+        Hill =>              [0.0, 0.0, 0.005, 0.005, 0.005, 0.03, 0.005, 0.04, 0.15, 0.0],
+        RoadFacility =>      [0.5, 0.45, 0.35, 0.3, 0.15, 0.1, 0.3, 0.15, 0.03, 0.0],
+        RailwayFacility =>   [0.03, 0.02, 0.015, 0.01, 0.005, 0.02, 0.05, 0.02, 0.0, 0.0],
+        Park =>              [0.1, 0.08, 0.12, 0.08, 0.01, 0.01, 0.01, 0.05, 0.8, 0.02],
+        BusRouteStop =>      [0.45, 0.4, 0.35, 0.28, 0.12, 0.06, 0.18, 0.1, 0.02, 0.0],
+    };
+    match profile {
+        // The confusers are *mixtures*: at region level (with Poisson noise
+        // on low densities) they are nearly indistinguishable from their UV
+        // counterparts; only aggregating several regions recovers the small
+        // systematic gap — the relational signal graph models exploit.
+        RegionProfile::OldResidential => 0.28 * t[2] + 0.72 * t[4],
+        RegionProfile::UvOuter => 0.55 * t[5] + 0.45 * t[7],
+        _ => t[profile_index(profile)],
+    }
+}
+
+fn profile_index(p: RegionProfile) -> usize {
+    match p {
+        RegionProfile::Downtown => 0,
+        RegionProfile::Commercial => 1,
+        RegionProfile::Residential => 2,
+        RegionProfile::OldResidential => 3,
+        RegionProfile::UvInner => 4,
+        RegionProfile::UvOuter => 5,
+        RegionProfile::Industrial => 6,
+        RegionProfile::Suburb => 7,
+        RegionProfile::Green => 8,
+        RegionProfile::Water => 9,
+    }
+}
+
+/// Knuth Poisson sampler (adequate for the small rates used here).
+pub fn poisson(lambda: f64, rng: &mut SmallRng) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // guard against pathological lambda
+        }
+    }
+}
+
+/// City-level landmark kinds placed explicitly so every radius feature has a
+/// referent somewhere in the city.
+const LANDMARKS: [(PoiKind, usize); 3] =
+    [(PoiKind::Airport, 1), (PoiKind::TrainStation, 2), (PoiKind::CoachStation, 3)];
+
+/// Generate all POIs for the city.
+pub fn generate_pois(
+    cfg: &CityConfig,
+    map: &LandUseMap,
+    profiles: &[RegionProfile],
+    rng: &mut SmallRng,
+) -> Vec<Poi> {
+    let (w, h) = (cfg.width, cfg.height);
+    let mut pois = Vec::new();
+
+    // Per-region Poisson draws for the common kinds.
+    for (r, &profile) in profiles.iter().enumerate().take(w * h) {
+        let (gx, gy) = (r % w, r / w);
+        for kind in PoiKind::ALL {
+            let rate = kind_rate(kind, profile) * cfg.poi_density;
+            let count = poisson(rate, rng);
+            for _ in 0..count {
+                pois.push(Poi {
+                    kind,
+                    x: (gx as f64 + rng.gen::<f64>()) * CELL_METERS,
+                    y: (gy as f64 + rng.gen::<f64>()) * CELL_METERS,
+                });
+            }
+        }
+    }
+
+    // Landmarks: airport on the far periphery, stations toward the center.
+    for (kind, count) in LANDMARKS {
+        for _ in 0..count {
+            let r = match kind {
+                PoiKind::Airport => sample_region_by(map, profiles, rng, |c| c > 0.8),
+                _ => sample_region_by(map, profiles, rng, |c| c < 0.45),
+            };
+            let (gx, gy) = (r % w, r / w);
+            pois.push(Poi {
+                kind,
+                x: (gx as f64 + rng.gen::<f64>()) * CELL_METERS,
+                y: (gy as f64 + rng.gen::<f64>()) * CELL_METERS,
+            });
+        }
+    }
+
+    pois
+}
+
+/// Sample a region whose centrality satisfies `pred` (falls back to any
+/// region after enough rejections, so generation always terminates).
+fn sample_region_by(
+    map: &LandUseMap,
+    profiles: &[RegionProfile],
+    rng: &mut SmallRng,
+    pred: impl Fn(f64) -> bool,
+) -> usize {
+    let n = map.cells.len();
+    for _ in 0..200 {
+        let r = rng.gen_range(0..n);
+        if pred(map.centrality[r]) && profiles[r] != RegionProfile::Water {
+            return r;
+        }
+    }
+    rng.gen_range(0..n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CityConfig, CityPreset};
+    use crate::landuse::{derive_profiles, generate_land_use};
+    use rand::SeedableRng;
+
+    fn tiny_city_pois(seed: u64) -> (LandUseMap, Vec<RegionProfile>, Vec<Poi>, CityConfig) {
+        let cfg = CityPreset::tiny();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let map = generate_land_use(&cfg, &mut rng);
+        let profiles = derive_profiles(&cfg, &map, &mut rng);
+        let pois = generate_pois(&cfg, &map, &profiles, &mut rng);
+        (map, profiles, pois, cfg)
+    }
+
+    #[test]
+    fn pois_land_inside_their_region() {
+        let (_, _, pois, cfg) = tiny_city_pois(1);
+        for p in &pois {
+            let r = p.region(cfg.width);
+            assert!(r < cfg.n_regions(), "poi outside grid");
+        }
+    }
+
+    #[test]
+    fn landmarks_present() {
+        let (_, _, pois, _) = tiny_city_pois(2);
+        for (kind, count) in LANDMARKS {
+            let got = pois.iter().filter(|p| p.kind == kind).count();
+            assert_eq!(got, count, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn uv_inner_denser_than_residential_but_poor_in_finance() {
+        use RegionProfile::*;
+        assert!(kind_rate(PoiKind::Restaurant, UvInner) > kind_rate(PoiKind::Restaurant, Residential));
+        assert!(kind_rate(PoiKind::Bank, UvInner) < kind_rate(PoiKind::Bank, Residential));
+        assert!(kind_rate(PoiKind::Gym, UvInner) < kind_rate(PoiKind::Gym, Residential));
+        assert_eq!(kind_rate(PoiKind::ShoppingMall, UvInner), 0.0);
+    }
+
+    #[test]
+    fn old_residential_sits_between_residential_and_uv() {
+        // The confuser profile must genuinely interpolate for the key
+        // discriminative kinds.
+        use RegionProfile::*;
+        for kind in [PoiKind::Restaurant, PoiKind::Shop, PoiKind::Laundry, PoiKind::Bank] {
+            let res = kind_rate(kind, Residential);
+            let old = kind_rate(kind, OldResidential);
+            let uv = kind_rate(kind, UvInner);
+            let (lo, hi) = if res < uv { (res, uv) } else { (uv, res) };
+            assert!(old >= lo && old <= hi, "{kind:?}: {res} {old} {uv}");
+        }
+    }
+
+    #[test]
+    fn uv_outer_resembles_suburb_more_than_uv_inner_does() {
+        use RegionProfile::*;
+        let dist = |a: RegionProfile, b: RegionProfile| -> f64 {
+            PoiKind::ALL
+                .iter()
+                .map(|&k| (kind_rate(k, a) - kind_rate(k, b)).abs())
+                .sum()
+        };
+        assert!(dist(UvOuter, Suburb) < dist(UvInner, Suburb));
+    }
+
+    #[test]
+    fn poisson_mean_close_to_lambda() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 20_000;
+        let lambda = 2.5;
+        let total: usize = (0..n).map(|_| poisson(lambda, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        assert_eq!(poisson(-1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn water_regions_nearly_empty() {
+        let (_, profiles, pois, cfg) = tiny_city_pois(6);
+        let mut water_pois = 0usize;
+        let mut water_cells = 0usize;
+        for (r, &p) in profiles.iter().enumerate() {
+            if p == RegionProfile::Water {
+                water_cells += 1;
+                water_pois += pois.iter().filter(|q| q.region(cfg.width) == r).count();
+            }
+        }
+        if water_cells > 0 {
+            assert!(water_pois <= water_cells, "water should be nearly POI-free");
+        }
+    }
+}

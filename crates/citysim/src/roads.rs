@@ -1,0 +1,185 @@
+//! Road network generation: a jittered lattice of intersections with lattice
+//! streets, radial arterials from the primary center, and deliberately poor
+//! internal connectivity inside urban villages (whose narrow alleys are not
+//! part of the formal road network).
+
+use crate::config::CityConfig;
+use crate::landuse::LandUseMap;
+use crate::types::{LandUse, RoadNetwork, CELL_METERS};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Generate the city's road network.
+pub fn generate_roads(cfg: &CityConfig, map: &LandUseMap, rng: &mut SmallRng) -> RoadNetwork {
+    let (w, h) = (cfg.width, cfg.height);
+    let s = cfg.road_spacing.max(1);
+    let gw = w / s;
+    let gh = h / s;
+
+    // Lattice intersections with jitter; some lattice slots stay empty
+    // (water almost always, urban villages often — the formal grid skirts
+    // them).
+    let mut node_at = vec![None::<u32>; gw * gh];
+    let mut nodes: Vec<(f64, f64)> = Vec::new();
+    for gy in 0..gh {
+        for gx in 0..gw {
+            let rx = (gx * s).min(w - 1);
+            let ry = (gy * s).min(h - 1);
+            let lu = map.cells[ry * w + rx];
+            let keep = match lu {
+                LandUse::Water => 0.05,
+                LandUse::GreenSpace => 0.4,
+                LandUse::UrbanVillage => 0.7,
+                _ => 0.97,
+            };
+            if rng.gen::<f64>() < keep {
+                let x = (rx as f64 + rng.gen::<f64>()) * CELL_METERS;
+                let y = (ry as f64 + rng.gen::<f64>()) * CELL_METERS;
+                node_at[gy * gw + gx] = Some(nodes.len() as u32);
+                nodes.push((x, y));
+            }
+        }
+    }
+
+    // Lattice streets between 4-adjacent intersections.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for gy in 0..gh {
+        for gx in 0..gw {
+            let Some(a) = node_at[gy * gw + gx] else { continue };
+            for (nx, ny) in [(gx + 1, gy), (gx, gy + 1)] {
+                if nx >= gw || ny >= gh {
+                    continue;
+                }
+                let Some(b) = node_at[ny * gw + nx] else { continue };
+                // Streets through urban villages are sparser.
+                let ar = region_of(nodes[a as usize], w);
+                let br = region_of(nodes[b as usize], w);
+                let through_uv = map.cells[ar] == LandUse::UrbanVillage
+                    || map.cells[br] == LandUse::UrbanVillage;
+                let p = if through_uv { cfg.road_keep_prob * 0.8 } else { cfg.road_keep_prob };
+                if rng.gen::<f64>() < p {
+                    edges.push((a, b));
+                }
+            }
+        }
+    }
+
+    // Radial arterials: connect rings of intersections toward the primary
+    // center, creating the long-range functional correlations the road
+    // connectivity edges of the URG are meant to capture.
+    if let Some(&(cx, cy)) = map.centers.first() {
+        let center_gx = ((cx / s as f64) as usize).min(gw.saturating_sub(1));
+        let center_gy = ((cy / s as f64) as usize).min(gh.saturating_sub(1));
+        for dir in 0..8 {
+            let angle = dir as f64 * std::f64::consts::PI / 4.0;
+            let (dx, dy) = (angle.cos(), angle.sin());
+            let mut prev: Option<u32> = node_at[center_gy * gw + center_gx];
+            let mut t = 1.0;
+            loop {
+                let gx = (center_gx as f64 + dx * t).round();
+                let gy = (center_gy as f64 + dy * t).round();
+                if gx < 0.0 || gy < 0.0 || gx as usize >= gw || gy as usize >= gh {
+                    break;
+                }
+                if let Some(b) = node_at[gy as usize * gw + gx as usize] {
+                    if let Some(a) = prev {
+                        if a != b {
+                            edges.push((a, b));
+                        }
+                    }
+                    prev = Some(b);
+                }
+                t += 1.0;
+            }
+        }
+    }
+
+    edges.sort_unstable();
+    edges.dedup();
+    RoadNetwork { nodes, edges }
+}
+
+fn region_of((x, y): (f64, f64), width: usize) -> usize {
+    let gx = (x / CELL_METERS) as usize;
+    let gy = (y / CELL_METERS) as usize;
+    gy * width + gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CityPreset;
+    use crate::landuse::generate_land_use;
+    use rand::SeedableRng;
+
+    fn make(seed: u64) -> (CityConfig, LandUseMap, RoadNetwork) {
+        let cfg = CityPreset::tiny();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let map = generate_land_use(&cfg, &mut rng);
+        let roads = generate_roads(&cfg, &map, &mut rng);
+        (cfg, map, roads)
+    }
+
+    #[test]
+    fn roads_nonempty_and_in_bounds() {
+        let (cfg, _, roads) = make(1);
+        assert!(roads.nodes.len() > 10);
+        assert!(roads.edges.len() > 10);
+        let (wm, hm) = (cfg.width as f64 * CELL_METERS, cfg.height as f64 * CELL_METERS);
+        for &(x, y) in &roads.nodes {
+            assert!(x >= 0.0 && x < wm && y >= 0.0 && y < hm);
+        }
+        for &(a, b) in &roads.edges {
+            assert!((a as usize) < roads.nodes.len() && (b as usize) < roads.nodes.len());
+            assert_ne!(a, b, "no self-loop road segments");
+        }
+    }
+
+    #[test]
+    fn edges_deduplicated() {
+        let (_, _, roads) = make(2);
+        let mut e = roads.edges.clone();
+        e.sort_unstable();
+        e.dedup();
+        assert_eq!(e.len(), roads.edges.len());
+    }
+
+    #[test]
+    fn largest_component_is_dominant() {
+        // The formal road grid should be mostly connected.
+        let (_, _, roads) = make(3);
+        let adj = roads.adjacency();
+        let n = roads.nodes.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut best = 0usize;
+        let mut c = 0usize;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut size = 0usize;
+            let mut stack = vec![start as u32];
+            comp[start] = c;
+            while let Some(v) = stack.pop() {
+                size += 1;
+                for &u in &adj[v as usize] {
+                    if comp[u as usize] == usize::MAX {
+                        comp[u as usize] = c;
+                        stack.push(u);
+                    }
+                }
+            }
+            best = best.max(size);
+            c += 1;
+        }
+        assert!(best * 2 > n, "largest component {best} of {n}");
+    }
+
+    #[test]
+    fn roads_deterministic() {
+        let (_, _, a) = make(9);
+        let (_, _, b) = make(9);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.nodes.len(), b.nodes.len());
+    }
+}

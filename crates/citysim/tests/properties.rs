@@ -1,0 +1,91 @@
+//! Property-based tests of the city generator: invariants that must hold
+//! for any seed and a range of configurations.
+
+use proptest::prelude::*;
+use uvd_citysim::{City, CityConfig, CityPreset, LandUse, RegionProfile, IMG_LEN};
+
+fn any_config() -> impl Strategy<Value = CityConfig> {
+    (12usize..24, 12usize..24, 1usize..3, 3usize..8, 0.5f64..1.0, 2.0f64..5.0).prop_map(
+        |(h, w, centers, patches, discovery, ratio)| CityConfig {
+            name: "prop".into(),
+            height: h,
+            width: w,
+            n_centers: centers,
+            n_uv_patches: patches,
+            uv_patch_size: (2, 5),
+            uv_discovery_rate: discovery,
+            non_uv_label_ratio: ratio,
+            road_spacing: 2,
+            road_keep_prob: 0.8,
+            poi_density: 0.5,
+            n_nature_patches: 2,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural invariants hold for any configuration and seed.
+    #[test]
+    fn city_invariants(cfg in any_config(), seed in 0u64..1000) {
+        let city = City::from_config(cfg, seed);
+        let n = city.n_regions();
+        prop_assert_eq!(city.land_use.len(), n);
+        prop_assert_eq!(city.profiles.len(), n);
+        prop_assert_eq!(city.images.len(), n * IMG_LEN);
+        // Every pixel in [0,1].
+        prop_assert!(city.images.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Every POI lies inside the grid.
+        prop_assert!(city.pois.iter().all(|p| p.region(city.width) < n));
+        // Road endpoints are valid intersections.
+        let nn = city.roads.nodes.len() as u32;
+        prop_assert!(city.roads.edges.iter().all(|&(a, b)| a < nn && b < nn && a != b));
+    }
+
+    /// Labels are consistent: labeled UVs are true UVs, labeled non-UVs are
+    /// not, and the two sets are disjoint.
+    #[test]
+    fn label_consistency(cfg in any_config(), seed in 0u64..1000) {
+        let city = City::from_config(cfg, seed);
+        for &r in &city.labels.uv_regions {
+            prop_assert_eq!(city.land_use[r as usize], LandUse::UrbanVillage);
+        }
+        for &r in &city.labels.non_uv_regions {
+            prop_assert_ne!(city.land_use[r as usize], LandUse::UrbanVillage);
+        }
+        let uv: std::collections::HashSet<_> = city.labels.uv_regions.iter().collect();
+        prop_assert!(city.labels.non_uv_regions.iter().all(|r| !uv.contains(r)));
+    }
+
+    /// Water and green regions never render as urban-village profiles, and
+    /// urban-village land always renders as a UV archetype or the upgraded
+    /// confuser.
+    #[test]
+    fn profile_consistency(seed in 0u64..1000) {
+        let city = City::from_config(CityPreset::tiny(), seed);
+        for (r, &lu) in city.land_use.iter().enumerate() {
+            let p = city.profiles[r];
+            match lu {
+                LandUse::Water => prop_assert_eq!(p, RegionProfile::Water),
+                LandUse::GreenSpace => prop_assert_eq!(p, RegionProfile::Green),
+                LandUse::UrbanVillage => prop_assert!(matches!(
+                    p,
+                    RegionProfile::UvInner | RegionProfile::UvOuter | RegionProfile::OldResidential
+                )),
+                _ => prop_assert!(!matches!(p, RegionProfile::UvInner | RegionProfile::UvOuter)),
+            }
+        }
+    }
+
+    /// Generation is a pure function of (config, seed).
+    #[test]
+    fn determinism(seed in 0u64..1000) {
+        let a = City::from_config(CityPreset::tiny(), seed);
+        let b = City::from_config(CityPreset::tiny(), seed);
+        prop_assert_eq!(a.land_use, b.land_use);
+        prop_assert_eq!(a.profiles, b.profiles);
+        prop_assert_eq!(a.pois.len(), b.pois.len());
+        prop_assert_eq!(a.labels.uv_regions, b.labels.uv_regions);
+    }
+}

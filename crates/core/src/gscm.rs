@@ -1,0 +1,348 @@
+//! Global Semantic Clustering Module (GSCM, paper Section V-A-2).
+//!
+//! Regions are softly assigned to K latent clusters (eq. 9, temperature
+//! softmax), cluster representations are collected through the *binarized*
+//! assignment (eq. 10), related by a learnable complete-graph convolution
+//! (eq. 11), and shared back to regions through the *soft* assignment
+//! (eq. 12). In the slave stage the assignment is frozen (Algorithm 2) and
+//! passed in as [`FixedAssignment`].
+
+use uvd_nn::{Activation, Linear};
+use uvd_tensor::init::glorot_uniform;
+use uvd_tensor::{Graph, Matrix, NodeId, ParamRef, ParamSet, Rng64};
+
+/// How regions→clusters collection (eq. 10) is performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectionMode {
+    /// The paper's binarized assignment `B̃`, mean-pooled per cluster
+    /// (default; see the stability note on [`Gscm::binarize_t`]).
+    HardMean,
+    /// Soft collection through `B` itself (design-choice ablation): every
+    /// region contributes to every cluster with its membership weight,
+    /// scaled by `K/N` to keep cluster magnitudes comparable to mean
+    /// pooling. Differentiable through the assignment.
+    Soft,
+}
+
+/// Frozen clustering state carried from the master stage into the slave
+/// stage (membership + cluster pseudo labels, eq. 16).
+#[derive(Clone, Debug)]
+pub struct FixedAssignment {
+    /// Soft assignment `B` (N×K).
+    pub b_soft: Matrix,
+    /// Transposed hard assignment `B̃^T` (K×N) for regions→clusters sums.
+    pub b_hard_t: Matrix,
+    /// Cluster pseudo labels `y^h` (eq. 16), derived from *training* labels.
+    pub pseudo: Vec<f32>,
+    /// Hard cluster id per region.
+    pub cluster_of: Vec<u32>,
+}
+
+impl FixedAssignment {
+    pub fn k(&self) -> usize {
+        self.b_hard_t.rows()
+    }
+
+    /// Clusters containing at least one known UV (`C₁`) and the rest (`C₀`).
+    pub fn partition(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut c1 = Vec::new();
+        let mut c0 = Vec::new();
+        for (j, &p) in self.pseudo.iter().enumerate() {
+            if p > 0.5 {
+                c1.push(j as u32);
+            } else {
+                c0.push(j as u32);
+            }
+        }
+        (c1, c0)
+    }
+}
+
+/// Output of a GSCM forward pass.
+pub struct GscmOut {
+    /// Soft assignment node (N×K).
+    pub b_soft: NodeId,
+    /// Hard assignment value (constant within the iteration).
+    pub b_hard_t: Matrix,
+    /// Updated cluster representations `h'` (K×d).
+    pub h_prime: NodeId,
+    /// Global-aware region representation `x̃^g` (N×d).
+    pub x_global: NodeId,
+}
+
+/// The GSCM module.
+pub struct Gscm {
+    /// Assignment transform `W_B` (eq. 9).
+    w_b: Linear,
+    /// Learnable complete-graph edge weights `e_{ij}` (eq. 11).
+    e: ParamRef,
+    /// Cluster transform `W_h` (eq. 11).
+    w_h: Linear,
+    /// Reverse-sharing transform `W_r` (eq. 12).
+    w_r: Linear,
+    pub k: usize,
+    pub tau: f32,
+    pub collection: CollectionMode,
+    act: Activation,
+}
+
+impl Gscm {
+    /// `d` is the region representation dimensionality; cluster
+    /// representations keep the same width.
+    pub fn new(name: &str, d: usize, k: usize, tau: f32, rng: &mut Rng64) -> Self {
+        Gscm {
+            w_b: Linear::new_no_bias(&format!("{name}.w_b"), d, k, rng),
+            e: ParamRef::new(format!("{name}.e"), glorot_uniform(k, k, rng)),
+            w_h: Linear::new(&format!("{name}.w_h"), d, d, rng),
+            w_r: Linear::new(&format!("{name}.w_r"), d, d, rng),
+            k,
+            tau,
+            collection: CollectionMode::HardMean,
+            act: Activation::LeakyRelu(0.2),
+        }
+    }
+
+    /// Compute the soft assignment matrix `B` for the current representation
+    /// (eq. 9), as a graph node.
+    pub fn assignment(&self, g: &mut Graph, x_tilde: NodeId) -> NodeId {
+        let logits = self.w_b.forward(g, x_tilde);
+        g.softmax_rows(logits, self.tau)
+    }
+
+    /// Binarize a soft assignment value into a mean-pooling `B̃^T`
+    /// (K×N; row `j` holds `1/|cluster_j|` at its member columns).
+    ///
+    /// Eq. 10 of the paper is a raw sum over cluster members; at hundreds of
+    /// regions per cluster the summed representations are ~|cluster|× larger
+    /// than region representations, saturating downstream activations and
+    /// collapsing eq. 13's fusion. The per-cluster `1/|cluster|` scale is
+    /// absorbable by `W_h` in exact arithmetic, so mean pooling is
+    /// mathematically equivalent up to reparameterization while keeping f32
+    /// training stable (see DESIGN.md §3).
+    pub fn binarize_t(&self, b_soft: &Matrix) -> (Matrix, Vec<u32>) {
+        let n = b_soft.rows();
+        let arg = b_soft.argmax_rows();
+        let mut counts = vec![0usize; self.k];
+        for &j in &arg {
+            counts[j as usize] += 1;
+        }
+        let mut bt = Matrix::zeros(self.k, n);
+        for (i, &j) in arg.iter().enumerate() {
+            bt.set(j as usize, i, 1.0 / counts[j as usize] as f32);
+        }
+        (bt, arg)
+    }
+
+    /// Full forward pass. When `fixed` is provided (slave stage), the
+    /// assignment matrices are constants; otherwise they are computed from
+    /// `x_tilde` (master stage).
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        x_tilde: NodeId,
+        fixed: Option<&FixedAssignment>,
+    ) -> GscmOut {
+        let (b_soft, b_hard_t) = match fixed {
+            Some(f) => (g.constant(f.b_soft.clone()), f.b_hard_t.clone()),
+            None => {
+                let b = self.assignment(g, x_tilde);
+                let (bt, _) = self.binarize_t(g.value(b));
+                (b, bt)
+            }
+        };
+        // eq. 10: h_j = Σ_i B̃_ij x̃_i  (binary weights are constants), or
+        // the soft differentiable collection in the design ablation.
+        let h0 = match self.collection {
+            CollectionMode::HardMean => {
+                let bt_node = g.constant(b_hard_t.clone());
+                g.matmul(bt_node, x_tilde) // K×d
+            }
+            CollectionMode::Soft => {
+                let bt = g.transpose(b_soft);
+                let sum = g.matmul(bt, x_tilde);
+                let n = g.value(x_tilde).rows().max(1);
+                g.scale(sum, self.k as f32 / n as f32)
+            }
+        };
+        // eq. 11: h'_i = σ(Σ_j e_ij W_h h_j) — complete graph with learnable
+        // edge weights.
+        let e = g.param(&self.e);
+        let mixed = g.matmul(e, h0);
+        let hw = self.w_h.forward(g, mixed);
+        let h_prime = self.act.apply(g, hw);
+        // eq. 12: x̃^g_i = σ(Σ_j B_ij W_r h'_j) — soft assignment.
+        let hr = self.w_r.forward(g, h_prime);
+        let shared = g.matmul(b_soft, hr);
+        let x_global = self.act.apply(g, shared);
+        GscmOut { b_soft, b_hard_t, h_prime, x_global }
+    }
+
+    /// Cluster pseudo labels from region labels (eq. 16): a cluster is
+    /// positive iff it contains at least one *known* (training) UV region.
+    pub fn pseudo_labels(
+        &self,
+        cluster_of: &[u32],
+        labeled: &[u32],
+        y: &[f32],
+        train_idx: &[usize],
+    ) -> Vec<f32> {
+        let mut pseudo = vec![0.0f32; self.k];
+        for &ti in train_idx {
+            if y[ti] > 0.5 {
+                let region = labeled[ti] as usize;
+                pseudo[cluster_of[region] as usize] = 1.0;
+            }
+        }
+        pseudo
+    }
+
+    pub fn collect_params(&self, set: &mut ParamSet) {
+        self.w_b.collect_params(set);
+        set.track(self.e.clone());
+        self.w_h.collect_params(set);
+        self.w_r.collect_params(set);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_tensor::init::{normal_matrix, seeded_rng};
+
+    #[test]
+    fn assignment_rows_are_distributions() {
+        let mut rng = seeded_rng(1);
+        let gscm = Gscm::new("g", 6, 4, 0.5, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(normal_matrix(10, 6, 0.0, 1.0, &mut rng));
+        let b = gscm.assignment(&mut g, x);
+        let bv = g.value(b);
+        assert_eq!(bv.shape(), (10, 4));
+        for r in 0..10 {
+            let s: f32 = bv.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn binarize_is_mean_pooling() {
+        let mut rng = seeded_rng(2);
+        let gscm = Gscm::new("g", 6, 4, 0.5, &mut rng);
+        // Regions 0 and 2 both land in cluster 1; region 1 in cluster 0.
+        let b = Matrix::from_rows(&[
+            &[0.1, 0.7, 0.1, 0.1],
+            &[0.4, 0.3, 0.2, 0.1],
+            &[0.0, 0.9, 0.05, 0.05],
+        ]);
+        let (bt, arg) = gscm.binarize_t(&b);
+        assert_eq!(arg, vec![1, 0, 1]);
+        // Cluster 1 has two members -> weights 1/2 each; cluster 0 one -> 1.
+        assert_eq!(bt.get(1, 0), 0.5);
+        assert_eq!(bt.get(1, 2), 0.5);
+        assert_eq!(bt.get(0, 1), 1.0);
+        // Each cluster row sums to 1 (mean pooling) or 0 (empty cluster).
+        for j in 0..4 {
+            let s: f32 = (0..3).map(|i| bt.get(j, i)).sum();
+            assert!(s == 0.0 || (s - 1.0).abs() < 1e-6, "row {j} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn forward_shapes_live_and_fixed() {
+        let mut rng = seeded_rng(3);
+        let gscm = Gscm::new("g", 6, 4, 0.5, &mut rng);
+        let x = normal_matrix(10, 6, 0.0, 1.0, &mut rng);
+        let mut g = Graph::new();
+        let xn = g.constant(x.clone());
+        let out = gscm.forward(&mut g, xn, None);
+        assert_eq!(g.value(out.h_prime).shape(), (4, 6));
+        assert_eq!(g.value(out.x_global).shape(), (10, 6));
+
+        let (bt, arg) = gscm.binarize_t(g.value(out.b_soft));
+        let fixed = FixedAssignment {
+            b_soft: g.value(out.b_soft).clone(),
+            b_hard_t: bt,
+            pseudo: vec![0.0; 4],
+            cluster_of: arg,
+        };
+        let mut g2 = Graph::new();
+        let xn2 = g2.constant(x);
+        let out2 = gscm.forward(&mut g2, xn2, Some(&fixed));
+        assert_eq!(g2.value(out2.x_global).shape(), (10, 6));
+        // Fixed assignment is used verbatim.
+        assert_eq!(g2.value(out2.b_soft), &fixed.b_soft);
+    }
+
+    #[test]
+    fn pseudo_labels_only_from_training_positives() {
+        let mut rng = seeded_rng(4);
+        let gscm = Gscm::new("g", 6, 3, 0.5, &mut rng);
+        // regions 0..4; clusters: r0,r1 -> c0; r2 -> c1; r3 -> c2.
+        let cluster_of = vec![0u32, 0, 1, 2];
+        let labeled = vec![0u32, 2, 3];
+        let y = vec![1.0, 1.0, 0.0];
+        // Only the first labeled sample is in the training split.
+        let pseudo = gscm.pseudo_labels(&cluster_of, &labeled, &y, &[0]);
+        assert_eq!(pseudo, vec![1.0, 0.0, 0.0]);
+        // Both positives in training: clusters 0 and 1 become positive.
+        let pseudo2 = gscm.pseudo_labels(&cluster_of, &labeled, &y, &[0, 1, 2]);
+        assert_eq!(pseudo2, vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn partition_splits_clusters() {
+        let fixed = FixedAssignment {
+            b_soft: Matrix::zeros(1, 3),
+            b_hard_t: Matrix::zeros(3, 1),
+            pseudo: vec![1.0, 0.0, 1.0],
+            cluster_of: vec![0],
+        };
+        let (c1, c0) = fixed.partition();
+        assert_eq!(c1, vec![0, 2]);
+        assert_eq!(c0, vec![1]);
+    }
+
+    #[test]
+    fn soft_collection_gradient_reaches_assignment() {
+        // With soft collection, gradients flow through B into W_B even on
+        // the regions→clusters path (the hard path blocks it by design).
+        let mut rng = seeded_rng(6);
+        let mut gscm = Gscm::new("g", 6, 4, 0.5, &mut rng);
+        gscm.collection = CollectionMode::Soft;
+        let mut g = Graph::new();
+        let x = g.constant(normal_matrix(10, 6, 0.0, 1.0, &mut rng));
+        let out = gscm.forward(&mut g, x, None);
+        // Take the loss from h' only: the hard path would give W_B no
+        // gradient here, the soft path must.
+        let sq = g.mul(out.h_prime, out.h_prime);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.write_grads();
+        let mut set = ParamSet::new();
+        gscm.collect_params(&mut set);
+        let w_b_grad: f32 = set
+            .iter()
+            .filter(|p| p.name().contains("w_b"))
+            .map(|p| p.grad().frob_norm())
+            .sum();
+        assert!(w_b_grad > 0.0, "soft collection must propagate into W_B");
+    }
+
+    #[test]
+    fn gradient_flows_through_hierarchy() {
+        let mut rng = seeded_rng(5);
+        let gscm = Gscm::new("g", 6, 4, 0.5, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(normal_matrix(10, 6, 0.0, 1.0, &mut rng));
+        let out = gscm.forward(&mut g, x, None);
+        let sq = g.mul(out.x_global, out.x_global);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.write_grads();
+        let mut set = ParamSet::new();
+        gscm.collect_params(&mut set);
+        assert!(set.grad_norm() > 0.0);
+        // The input regions also receive gradient (for upstream MAGA).
+        assert!(g.grad(x).is_some());
+    }
+}

@@ -1,0 +1,295 @@
+//! Mutual-Attentive Graph Aggregation (MAGA, paper Section V-A-1).
+//!
+//! Each layer runs, per modality, an intra-modal attention (eqs. 1–3) and a
+//! cross-modal attention over the other modality (eqs. 5–7), then fuses the
+//! two context vectors with the AGG operator (eq. 8). Stacking layers
+//! exploits richer cross-modal context; the final multi-modal representation
+//! is the concatenation of the two modality representations.
+//!
+//! With the image modality absent (`noImage` ablation) the layer degrades to
+//! intra-modal attention over POI features only. With `use_cross = false`
+//! (CMSF-M variant) each modality is aggregated independently — a vanilla
+//! GAT per modality.
+
+use std::rc::Rc;
+use uvd_nn::{AggMode, FusionAgg, MultiHeadAttention};
+use uvd_tensor::{EdgeIndex, Graph, NodeId, ParamSet, Rng64};
+
+/// One MAGA layer over (POI, image) modalities.
+pub struct MagaLayer {
+    intra_p: MultiHeadAttention,
+    cross_p: Option<MultiHeadAttention>,
+    fuse_p: Option<FusionAgg>,
+    intra_i: Option<MultiHeadAttention>,
+    cross_i: Option<MultiHeadAttention>,
+    fuse_i: Option<FusionAgg>,
+    out_p: usize,
+    out_i: usize,
+}
+
+impl MagaLayer {
+    /// `d_p`/`d_i`: input dims per modality (`d_i = 0` disables the image
+    /// branch). `use_cross = false` builds the CMSF-M variant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        d_p: usize,
+        d_i: usize,
+        hidden: usize,
+        n_heads: usize,
+        agg: AggMode,
+        use_cross: bool,
+        rng: &mut Rng64,
+    ) -> Self {
+        let head_out = hidden * n_heads;
+        let intra_p = MultiHeadAttention::new_intra(&format!("{name}.pp"), d_p, hidden, n_heads, rng);
+        let (cross_p, fuse_p, intra_i, cross_i, fuse_i, out_p, out_i);
+        if d_i > 0 {
+            intra_i = Some(MultiHeadAttention::new_intra(
+                &format!("{name}.ii"),
+                d_i,
+                hidden,
+                n_heads,
+                rng,
+            ));
+            if use_cross {
+                cross_p = Some(MultiHeadAttention::new_cross(
+                    &format!("{name}.pi"),
+                    d_p,
+                    d_i,
+                    hidden,
+                    n_heads,
+                    rng,
+                ));
+                cross_i = Some(MultiHeadAttention::new_cross(
+                    &format!("{name}.ip"),
+                    d_i,
+                    d_p,
+                    hidden,
+                    n_heads,
+                    rng,
+                ));
+                let fp = FusionAgg::new(&format!("{name}.fp"), agg, head_out, rng);
+                let fi = FusionAgg::new(&format!("{name}.fi"), agg, head_out, rng);
+                out_p = fp.out_dim(head_out);
+                out_i = fi.out_dim(head_out);
+                fuse_p = Some(fp);
+                fuse_i = Some(fi);
+            } else {
+                cross_p = None;
+                cross_i = None;
+                fuse_p = None;
+                fuse_i = None;
+                out_p = head_out;
+                out_i = head_out;
+            }
+        } else {
+            intra_i = None;
+            cross_p = None;
+            cross_i = None;
+            fuse_p = None;
+            fuse_i = None;
+            out_p = head_out;
+            out_i = 0;
+        }
+        MagaLayer { intra_p, cross_p, fuse_p, intra_i, cross_i, fuse_i, out_p, out_i }
+    }
+
+    pub fn out_dims(&self) -> (usize, usize) {
+        (self.out_p, self.out_i)
+    }
+
+    /// Forward one layer. Returns the updated per-modality representations.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        x_p: NodeId,
+        x_i: Option<NodeId>,
+        edges: &Rc<EdgeIndex>,
+    ) -> (NodeId, Option<NodeId>) {
+        let pp = self.intra_p.forward(g, x_p, x_p, edges);
+        match (x_i, &self.intra_i) {
+            (Some(xi), Some(intra_i)) => {
+                let ii = intra_i.forward(g, xi, xi, edges);
+                match (&self.cross_p, &self.cross_i, &self.fuse_p, &self.fuse_i) {
+                    (Some(cp), Some(ci), Some(fp), Some(fi)) => {
+                        let pi = cp.forward(g, x_p, xi, edges);
+                        let ip = ci.forward(g, xi, x_p, edges);
+                        let hp = fp.forward(g, pp, pi);
+                        let hi = fi.forward(g, ii, ip);
+                        (hp, Some(hi))
+                    }
+                    _ => (pp, Some(ii)),
+                }
+            }
+            _ => (pp, None),
+        }
+    }
+
+    pub fn collect_params(&self, set: &mut ParamSet) {
+        self.intra_p.collect_params(set);
+        for m in [&self.cross_p, &self.intra_i, &self.cross_i].into_iter().flatten() {
+            m.collect_params(set);
+        }
+        for f in [&self.fuse_p, &self.fuse_i].into_iter().flatten() {
+            f.collect_params(set);
+        }
+    }
+}
+
+/// A stack of MAGA layers; the final representation is `x̂^P ⊕ x̂^I`.
+pub struct MagaStack {
+    pub layers: Vec<MagaLayer>,
+    out_dim: usize,
+}
+
+impl MagaStack {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        d_p: usize,
+        d_i: usize,
+        hidden: usize,
+        n_heads: usize,
+        n_layers: usize,
+        agg: AggMode,
+        use_cross: bool,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(n_layers >= 1);
+        let mut layers = Vec::with_capacity(n_layers);
+        let (mut dp, mut di) = (d_p, d_i);
+        for l in 0..n_layers {
+            let layer = MagaLayer::new(
+                &format!("{name}.l{l}"),
+                dp,
+                di,
+                hidden,
+                n_heads,
+                agg,
+                use_cross,
+                rng,
+            );
+            let (op, oi) = layer.out_dims();
+            dp = op;
+            di = oi;
+            layers.push(layer);
+        }
+        MagaStack { layers, out_dim: dp + di }
+    }
+
+    /// Dimensionality of the concatenated multi-modal representation.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        x_p: NodeId,
+        x_i: Option<NodeId>,
+        edges: &Rc<EdgeIndex>,
+    ) -> NodeId {
+        let (mut hp, mut hi) = (x_p, x_i);
+        for layer in &self.layers {
+            let (np, ni) = layer.forward(g, hp, hi, edges);
+            hp = np;
+            hi = ni;
+        }
+        match hi {
+            Some(hi) => g.concat_cols(hp, hi),
+            None => hp,
+        }
+    }
+
+    pub fn collect_params(&self, set: &mut ParamSet) {
+        for l in &self.layers {
+            l.collect_params(set);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_nn::AggMode;
+    use uvd_tensor::init::{normal_matrix, seeded_rng};
+
+    fn edges4() -> Rc<EdgeIndex> {
+        let mut pairs = vec![(0u32, 1u32), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)];
+        for i in 0..4 {
+            pairs.push((i, i));
+        }
+        Rc::new(EdgeIndex::from_pairs(4, pairs))
+    }
+
+    #[test]
+    fn two_modal_stack_dims() {
+        let mut rng = seeded_rng(1);
+        let stack =
+            MagaStack::new("m", 6, 5, 4, 2, 2, AggMode::Attention, true, &mut rng);
+        // Attention fusion keeps head_out = 8 per modality; concat of the two
+        // modalities -> 16.
+        assert_eq!(stack.out_dim(), 16);
+        let mut g = Graph::new();
+        let xp = g.constant(normal_matrix(4, 6, 0.0, 1.0, &mut rng));
+        let xi = g.constant(normal_matrix(4, 5, 0.0, 1.0, &mut rng));
+        let out = stack.forward(&mut g, xp, Some(xi), &edges4());
+        assert_eq!(g.value(out).shape(), (4, 16));
+    }
+
+    #[test]
+    fn concat_fusion_grows_dims_per_layer() {
+        let mut rng = seeded_rng(2);
+        let stack = MagaStack::new("m", 6, 5, 4, 1, 2, AggMode::Concat, true, &mut rng);
+        // layer1: per-modality 4 -> concat fusion 8; layer2: 8 -> 8 heads out
+        // is 4, fused 8; final concat 16.
+        assert_eq!(stack.out_dim(), 16);
+    }
+
+    #[test]
+    fn single_modality_falls_back_to_intra() {
+        let mut rng = seeded_rng(3);
+        let stack = MagaStack::new("m", 6, 0, 4, 2, 1, AggMode::Attention, true, &mut rng);
+        assert_eq!(stack.out_dim(), 8);
+        let mut g = Graph::new();
+        let xp = g.constant(normal_matrix(4, 6, 0.0, 1.0, &mut rng));
+        let out = stack.forward(&mut g, xp, None, &edges4());
+        assert_eq!(g.value(out).shape(), (4, 8));
+    }
+
+    #[test]
+    fn no_cross_variant_has_fewer_params() {
+        let mut rng = seeded_rng(4);
+        let full = MagaStack::new("f", 6, 5, 4, 1, 1, AggMode::Attention, true, &mut rng);
+        let no_cross = MagaStack::new("n", 6, 5, 4, 1, 1, AggMode::Attention, false, &mut rng);
+        let count = |s: &MagaStack| {
+            let mut set = ParamSet::new();
+            s.collect_params(&mut set);
+            set.num_scalars()
+        };
+        assert!(count(&no_cross) < count(&full));
+    }
+
+    #[test]
+    fn gradients_reach_all_params() {
+        let mut rng = seeded_rng(5);
+        let stack = MagaStack::new("m", 6, 5, 4, 1, 2, AggMode::Attention, true, &mut rng);
+        let mut g = Graph::new();
+        let xp = g.constant(normal_matrix(4, 6, 0.0, 1.0, &mut rng));
+        let xi = g.constant(normal_matrix(4, 5, 0.0, 1.0, &mut rng));
+        let out = stack.forward(&mut g, xp, Some(xi), &edges4());
+        let sq = g.mul(out, out);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.write_grads();
+        let mut set = ParamSet::new();
+        stack.collect_params(&mut set);
+        let nonzero = set
+            .iter()
+            .filter(|p| p.grad().as_slice().iter().any(|&v| v != 0.0))
+            .count();
+        // At least the transformation matrices must receive gradient.
+        assert!(nonzero * 2 > set.len(), "{nonzero}/{} params got grads", set.len());
+    }
+}

@@ -1,0 +1,490 @@
+//! The full CMSF model: two-stage training (Algorithms 1 & 2) and region-wise
+//! detection (Section V-C).
+
+use crate::config::CmsfConfig;
+use crate::gate::MsGate;
+use crate::gscm::{FixedAssignment, Gscm};
+use crate::maga::MagaStack;
+use std::rc::Rc;
+use std::time::Instant;
+use uvd_nn::{Activation, FusionAgg, Linear, Mlp};
+use uvd_tensor::init::{derive_seed, seeded_rng};
+use uvd_tensor::{Adam, Graph, NodeId, ParamSet};
+use uvd_urg::{Detector, FitReport, Urg};
+
+/// `(labeled rows, targets, weights)` triple shared by the BCE losses.
+pub type BceVectors = (Rc<Vec<u32>>, Rc<Vec<f32>>, Rc<Vec<f32>>);
+
+/// The Contextual Master-Slave Framework.
+pub struct Cmsf {
+    pub cfg: CmsfConfig,
+    img_reduce: Option<Linear>,
+    maga: MagaStack,
+    gscm: Option<Gscm>,
+    global_fuse: FusionAgg,
+    classifier: Mlp,
+    gate: Option<MsGate>,
+    /// Frozen clustering state after the master stage.
+    fixed: Option<FixedAssignment>,
+    params: ParamSet,
+    trained_slave: bool,
+}
+
+/// Intermediate representation of one forward pass.
+struct Repr {
+    /// Region representation `x̃'` fed to the classifier (N×d_final).
+    x_final: NodeId,
+    /// Updated cluster representations `h'` (None without hierarchy).
+    h_prime: Option<NodeId>,
+}
+
+impl Cmsf {
+    /// Construct CMSF for a URG's feature dimensions.
+    pub fn new(urg: &Urg, cfg: CmsfConfig) -> Self {
+        let mut rng = seeded_rng(derive_seed(cfg.seed, 0xC35F));
+        let d_poi = urg.x_poi.cols();
+        let (img_reduce, d_img) = if urg.has_image() {
+            (Some(Linear::new("cmsf.img_reduce", urg.x_img.cols(), cfg.img_reduce, &mut rng)), cfg.img_reduce)
+        } else {
+            (None, 0)
+        };
+        let maga = MagaStack::new(
+            "cmsf.maga",
+            d_poi,
+            d_img,
+            cfg.hidden,
+            cfg.n_heads,
+            cfg.maga_layers,
+            cfg.modal_agg,
+            cfg.use_maga_cross,
+            &mut rng,
+        );
+        let d_rep = maga.out_dim();
+        let (gscm, global_fuse, d_final) = if cfg.use_hierarchy {
+            let mut gscm = Gscm::new("cmsf.gscm", d_rep, cfg.k_clusters, cfg.tau, &mut rng);
+            if cfg.soft_collection {
+                gscm.collection = crate::gscm::CollectionMode::Soft;
+            }
+            let fuse = FusionAgg::new("cmsf.gfuse", cfg.global_agg, d_rep, &mut rng);
+            let d_final = fuse.out_dim(d_rep);
+            (Some(gscm), fuse, d_final)
+        } else {
+            (None, FusionAgg::Sum, d_rep)
+        };
+        let classifier = Mlp::new("cmsf.clf", &[d_final, cfg.hidden, 1], Activation::Tanh, &mut rng);
+        let gate = if cfg.use_hierarchy && cfg.use_gate {
+            Some(MsGate::new("cmsf.gate", d_rep, cfg.k_clusters, cfg.hidden, &classifier, &mut rng))
+        } else {
+            None
+        };
+
+        let mut params = ParamSet::new();
+        if let Some(l) = &img_reduce {
+            l.collect_params(&mut params);
+        }
+        maga.collect_params(&mut params);
+        if let Some(gscm) = &gscm {
+            gscm.collect_params(&mut params);
+        }
+        global_fuse.collect_params(&mut params);
+        classifier.collect_params(&mut params);
+        if let Some(gate) = &gate {
+            gate.collect_params(&mut params);
+        }
+
+        Cmsf {
+            cfg,
+            img_reduce,
+            maga,
+            gscm,
+            global_fuse,
+            classifier,
+            gate,
+            fixed: None,
+            params,
+            trained_slave: false,
+        }
+    }
+
+    /// Forward through MAGA (+ image reduction). Returns `x̃` (N×d_rep).
+    fn maga_forward(&self, g: &mut Graph, urg: &Urg) -> NodeId {
+        let x_p = g.constant(urg.x_poi.clone());
+        let x_i = self.img_reduce.as_ref().map(|l| {
+            let raw = g.constant(urg.x_img.clone());
+            let reduced = l.forward(g, raw);
+            g.tanh(reduced)
+        });
+        self.maga.forward(g, x_p, x_i, &urg.edges)
+    }
+
+    /// Full representation pass; `fixed` freezes the assignment (slave
+    /// stage / inference after slave training).
+    fn representation(&self, g: &mut Graph, urg: &Urg, fixed: Option<&FixedAssignment>) -> Repr {
+        let x_tilde = self.maga_forward(g, urg);
+        match &self.gscm {
+            Some(gscm) => {
+                let out = gscm.forward(g, x_tilde, fixed);
+                let x_final = self.global_fuse.forward(g, x_tilde, out.x_global);
+                Repr { x_final, h_prime: Some(out.h_prime) }
+            }
+            None => Repr { x_final: x_tilde, h_prime: None },
+        }
+    }
+
+    /// Training targets/weights over all labeled rows for a train split.
+    fn bce_vectors(&self, urg: &Urg, train_idx: &[usize]) -> BceVectors {
+        let rows: Vec<u32> = train_idx.iter().map(|&i| urg.labeled[i]).collect();
+        let targets: Vec<f32> = train_idx.iter().map(|&i| urg.y[i]).collect();
+        let weights = vec![1.0f32; train_idx.len()];
+        (Rc::new(rows), Rc::new(targets), Rc::new(weights))
+    }
+
+    /// Algorithm 1: master training stage. Returns the average loss of the
+    /// final epoch.
+    pub fn train_master(&mut self, urg: &Urg, train_idx: &[usize]) -> f32 {
+        let (rows, targets, weights) = self.bce_vectors(urg, train_idx);
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut last = 0.0;
+        for _ in 0..self.cfg.master_epochs {
+            last = self.master_epoch(urg, &rows, &targets, &weights, &mut opt);
+            opt.decay(self.cfg.lr_decay);
+        }
+        // Freeze the assignment and derive pseudo labels (Alg. 1 line 11).
+        if let Some(gscm) = &self.gscm {
+            let mut g = Graph::new();
+            let x_tilde = self.maga_forward(&mut g, urg);
+            let b = gscm.assignment(&mut g, x_tilde);
+            let b_soft = g.value(b).clone();
+            let (b_hard_t, cluster_of) = gscm.binarize_t(&b_soft);
+            let pseudo = gscm.pseudo_labels(&cluster_of, &urg.labeled, &urg.y, train_idx);
+            self.fixed = Some(FixedAssignment { b_soft, b_hard_t, pseudo, cluster_of });
+        }
+        last
+    }
+
+    /// One master epoch (full-batch). Exposed for the Table III timing
+    /// harness.
+    pub fn master_epoch(
+        &self,
+        urg: &Urg,
+        rows: &Rc<Vec<u32>>,
+        targets: &Rc<Vec<f32>>,
+        weights: &Rc<Vec<f32>>,
+        opt: &mut Adam,
+    ) -> f32 {
+        let mut g = Graph::new();
+        let repr = self.representation(&mut g, urg, None);
+        let logits = self.classifier.forward(&mut g, repr.x_final);
+        let labeled_logits = g.gather_rows(logits, rows.clone());
+        let loss = g.bce_with_logits(labeled_logits, targets.clone(), weights.clone());
+        let value = g.scalar(loss);
+        g.backward(loss);
+        g.write_grads();
+        if self.cfg.grad_clip > 0.0 {
+            self.params.clip_grad_norm(self.cfg.grad_clip);
+        }
+        opt.step(&self.params);
+        value
+    }
+
+    /// Algorithm 2: slave adaptive training stage. Requires a prior
+    /// [`Cmsf::train_master`] (which froze the assignment).
+    pub fn train_slave(&mut self, urg: &Urg, train_idx: &[usize]) -> f32 {
+        let (Some(_), Some(_)) = (&self.gscm, &self.gate) else {
+            return 0.0; // CMSF-G / CMSF-H variants skip this stage.
+        };
+        let fixed = self.fixed.clone().expect("train_master must run first");
+        let (rows, targets, weights) = self.bce_vectors(urg, train_idx);
+        let (c1, c0) = fixed.partition();
+        // The slave stage refines an already-trained master; a smaller step
+        // size keeps the joint fine-tuning from washing out stage one.
+        let mut opt = Adam::new(self.cfg.lr * 0.3);
+        let mut last = 0.0;
+        for _ in 0..self.cfg.slave_epochs {
+            last = self.slave_epoch(urg, &fixed, &c1, &c0, &rows, &targets, &weights, &mut opt);
+            opt.decay(self.cfg.lr_decay);
+        }
+        self.trained_slave = true;
+        last
+    }
+
+    /// One slave epoch (full-batch); exposed for timing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn slave_epoch(
+        &self,
+        urg: &Urg,
+        fixed: &FixedAssignment,
+        c1: &[u32],
+        c0: &[u32],
+        rows: &Rc<Vec<u32>>,
+        targets: &Rc<Vec<f32>>,
+        weights: &Rc<Vec<f32>>,
+        opt: &mut Adam,
+    ) -> f32 {
+        let gate = self.gate.as_ref().expect("slave stage requires the gate");
+        let mut g = Graph::new();
+        let repr = self.representation(&mut g, urg, Some(fixed));
+        let h_prime = repr.h_prime.expect("hierarchy present in slave stage");
+        // eq. 17 + eq. 18.
+        let probs = gate.inclusion_probs(&mut g, h_prime);
+        let l_p = gate.rank_loss(&mut g, probs, c1, c0);
+        // eqs. 19–22.
+        let q = gate.context(&mut g, fixed, probs);
+        let f = gate.filter(&mut g, q);
+        let logits = gate.gated_forward(&mut g, &self.classifier, repr.x_final, f);
+        let labeled_logits = g.gather_rows(logits, rows.clone());
+        let l_c = g.bce_with_logits(labeled_logits, targets.clone(), weights.clone());
+        // eq. 24.
+        let l_p_scaled = g.scale(l_p, self.cfg.lambda);
+        let loss = g.add(l_c, l_p_scaled);
+        let value = g.scalar(loss);
+        g.backward(loss);
+        g.write_grads();
+        if self.cfg.grad_clip > 0.0 {
+            self.params.clip_grad_norm(self.cfg.grad_clip);
+        }
+        opt.step(&self.params);
+        value
+    }
+
+    /// Detection (Section V-C): probability of being an urban village for
+    /// every region.
+    pub fn predict_proba(&self, urg: &Urg) -> Vec<f32> {
+        let mut g = Graph::new();
+        let logits = match (&self.gate, &self.fixed, self.trained_slave) {
+            (Some(gate), Some(fixed), true) => {
+                let repr = self.representation(&mut g, urg, Some(fixed));
+                let h_prime = repr.h_prime.expect("hierarchy present");
+                let probs = gate.inclusion_probs(&mut g, h_prime);
+                let q = gate.context(&mut g, fixed, probs);
+                let f = gate.filter(&mut g, q);
+                gate.gated_forward(&mut g, &self.classifier, repr.x_final, f)
+            }
+            _ => {
+                let repr = self.representation(&mut g, urg, self.fixed.as_ref());
+                self.classifier.forward(&mut g, repr.x_final)
+            }
+        };
+        let p = g.sigmoid(logits);
+        g.value(p).as_slice().to_vec()
+    }
+
+    /// Predict with a *live* assignment recomputed from the current
+    /// representation (Section V-C describes computing membership for new
+    /// regions at detection time; used by the city-growth example).
+    pub fn predict_proba_live(&self, urg: &Urg, train_idx: &[usize]) -> Vec<f32> {
+        match &self.gscm {
+            Some(gscm) => {
+                let mut g = Graph::new();
+                let x_tilde = self.maga_forward(&mut g, urg);
+                let b = gscm.assignment(&mut g, x_tilde);
+                let b_soft = g.value(b).clone();
+                let (b_hard_t, cluster_of) = gscm.binarize_t(&b_soft);
+                let pseudo = gscm.pseudo_labels(&cluster_of, &urg.labeled, &urg.y, train_idx);
+                let fixed = FixedAssignment { b_soft, b_hard_t, pseudo, cluster_of };
+                let mut g = Graph::new();
+                let logits = match (&self.gate, self.trained_slave) {
+                    (Some(gate), true) => {
+                        let repr = self.representation(&mut g, urg, Some(&fixed));
+                        let h_prime = repr.h_prime.expect("hierarchy present");
+                        let probs = gate.inclusion_probs(&mut g, h_prime);
+                        let q = gate.context(&mut g, &fixed, probs);
+                        let f = gate.filter(&mut g, q);
+                        gate.gated_forward(&mut g, &self.classifier, repr.x_final, f)
+                    }
+                    _ => {
+                        let repr = self.representation(&mut g, urg, Some(&fixed));
+                        self.classifier.forward(&mut g, repr.x_final)
+                    }
+                };
+                let p = g.sigmoid(logits);
+                g.value(p).as_slice().to_vec()
+            }
+            None => self.predict_proba(urg),
+        }
+    }
+
+    /// Frozen clustering state (available after the master stage).
+    pub fn fixed_assignment(&self) -> Option<&FixedAssignment> {
+        self.fixed.as_ref()
+    }
+
+    /// True once the slave adaptive stage has run.
+    pub fn slave_trained(&self) -> bool {
+        self.trained_slave
+    }
+
+    /// Overwrite the trained-state markers (used by checkpoint loading).
+    pub fn set_trained_state(&mut self, fixed: Option<FixedAssignment>, slave_trained: bool) {
+        self.fixed = fixed;
+        self.trained_slave = slave_trained && self.gate.is_some();
+    }
+
+    /// The model's parameter set (for optimizers / size accounting).
+    pub fn param_set(&self) -> &ParamSet {
+        &self.params
+    }
+}
+
+impl Detector for Cmsf {
+    fn name(&self) -> &'static str {
+        if !self.cfg.use_maga_cross {
+            "CMSF-M"
+        } else if !self.cfg.use_hierarchy {
+            "CMSF-H"
+        } else if !self.cfg.use_gate {
+            "CMSF-G"
+        } else {
+            "CMSF"
+        }
+    }
+
+    fn fit(&mut self, urg: &Urg, train_idx: &[usize]) -> FitReport {
+        let start = Instant::now();
+        let master_loss = self.train_master(urg, train_idx);
+        let slave_loss = self.train_slave(urg, train_idx);
+        let final_loss = if self.trained_slave { slave_loss } else { master_loss };
+        FitReport {
+            epochs: self.cfg.master_epochs
+                + if self.trained_slave { self.cfg.slave_epochs } else { 0 },
+            train_secs: start.elapsed().as_secs_f64(),
+            final_loss,
+        }
+    }
+
+    fn predict(&self, urg: &Urg) -> Vec<f32> {
+        self.predict_proba(urg)
+    }
+
+    fn num_params(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::{City, CityPreset};
+    use uvd_urg::UrgOptions;
+
+    fn tiny_setup(seed: u64) -> (Urg, Vec<usize>) {
+        let city = City::from_config(CityPreset::tiny(), seed);
+        let urg = Urg::build(&city, UrgOptions::default());
+        let train_idx: Vec<usize> = (0..urg.labeled.len()).collect();
+        (urg, train_idx)
+    }
+
+    #[test]
+    fn master_training_reduces_loss() {
+        let (urg, train) = tiny_setup(1);
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.master_epochs = 1;
+        let mut model = Cmsf::new(&urg, cfg);
+        let first = model.train_master(&urg, &train);
+        let mut cfg2 = CmsfConfig::fast_test();
+        cfg2.master_epochs = 25;
+        let mut model2 = Cmsf::new(&urg, cfg2);
+        let last = model2.train_master(&urg, &train);
+        assert!(last < first, "loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn full_two_stage_fit_and_predict() {
+        let (urg, train) = tiny_setup(2);
+        let mut model = Cmsf::new(&urg, CmsfConfig::fast_test());
+        let report = model.fit(&urg, &train);
+        assert!(report.final_loss.is_finite());
+        assert!(report.epochs > 0);
+        let probs = model.predict(&urg);
+        assert_eq!(probs.len(), urg.n);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Training separates classes on the training data itself.
+        let mean = |positive: bool| -> f32 {
+            let (mut s, mut c) = (0.0, 0usize);
+            for (i, &r) in urg.labeled.iter().enumerate() {
+                if (urg.y[i] > 0.5) == positive {
+                    s += probs[r as usize];
+                    c += 1;
+                }
+            }
+            s / c.max(1) as f32
+        };
+        assert!(mean(true) > mean(false), "positives should score higher");
+    }
+
+    #[test]
+    fn variants_build_and_fit() {
+        let (urg, train) = tiny_setup(3);
+        for (cross, hier, gate, name) in [
+            (false, true, true, "CMSF-M"),
+            (true, true, false, "CMSF-G"),
+            (true, false, false, "CMSF-H"),
+        ] {
+            let mut cfg = CmsfConfig::fast_test();
+            cfg.use_maga_cross = cross;
+            cfg.use_hierarchy = hier;
+            cfg.use_gate = gate;
+            cfg.master_epochs = 5;
+            cfg.slave_epochs = 2;
+            let mut model = Cmsf::new(&urg, cfg);
+            assert_eq!(model.name(), name);
+            let r = model.fit(&urg, &train);
+            assert!(r.final_loss.is_finite(), "{name}");
+            assert_eq!(model.predict(&urg).len(), urg.n);
+        }
+    }
+
+    #[test]
+    fn no_image_urg_is_supported() {
+        let city = City::from_config(CityPreset::tiny(), 4);
+        let urg = Urg::build(&city, UrgOptions::no_image());
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.master_epochs = 4;
+        cfg.slave_epochs = 2;
+        let mut model = Cmsf::new(&urg, cfg);
+        let r = model.fit(&urg, &train);
+        assert!(r.final_loss.is_finite());
+    }
+
+    #[test]
+    fn pseudo_labels_derive_from_training_split_only() {
+        let (urg, _) = tiny_setup(5);
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.master_epochs = 3;
+        let mut model = Cmsf::new(&urg, cfg);
+        // Train with an empty positive set: no cluster can be pseudo-positive.
+        let negatives: Vec<usize> =
+            (0..urg.labeled.len()).filter(|&i| urg.y[i] < 0.5).collect();
+        model.train_master(&urg, &negatives);
+        let fixed = model.fixed_assignment().expect("fixed after master");
+        assert!(fixed.pseudo.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn soft_collection_variant_trains() {
+        let (urg, train) = tiny_setup(7);
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.soft_collection = true;
+        cfg.master_epochs = 8;
+        cfg.slave_epochs = 2;
+        let mut model = Cmsf::new(&urg, cfg);
+        let r = model.fit(&urg, &train);
+        assert!(r.final_loss.is_finite());
+        let probs = model.predict(&urg);
+        assert!(probs.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (urg, train) = tiny_setup(6);
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.master_epochs = 5;
+        cfg.slave_epochs = 2;
+        let mut m1 = Cmsf::new(&urg, cfg);
+        m1.fit(&urg, &train);
+        let mut m2 = Cmsf::new(&urg, cfg);
+        m2.fit(&urg, &train);
+        assert_eq!(m1.predict(&urg), m2.predict(&urg));
+    }
+}

@@ -1,0 +1,45 @@
+//! Canonical dataset instances: each preset city is generated with a fixed
+//! seed so that "the Shenzhen-like dataset" is the same object across all
+//! experiments, mirroring a collected-once real dataset.
+
+use uvd_citysim::{City, CityPreset};
+use uvd_urg::{Urg, UrgOptions};
+
+/// Fixed generation seed per preset (the "data collection date").
+pub fn dataset_seed(preset: CityPreset) -> u64 {
+    match preset {
+        CityPreset::ShenzhenLike => 20200601,
+        CityPreset::FuzhouLike => 20200602,
+        CityPreset::BeijingLike => 20200603,
+    }
+}
+
+/// Generate the canonical city for a preset.
+pub fn dataset_city(preset: CityPreset) -> City {
+    City::from_preset(preset, dataset_seed(preset))
+}
+
+/// Build the canonical URG for a preset with the given options.
+pub fn dataset_urg(preset: CityPreset, opts: UrgOptions) -> Urg {
+    Urg::build(&dataset_city(preset), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_cities_are_stable() {
+        let a = dataset_city(CityPreset::FuzhouLike);
+        let b = dataset_city(CityPreset::FuzhouLike);
+        assert_eq!(a.land_use, b.land_use);
+        assert_eq!(a.labels.uv_regions, b.labels.uv_regions);
+    }
+
+    #[test]
+    fn presets_have_distinct_seeds() {
+        let seeds: std::collections::HashSet<u64> =
+            CityPreset::ALL.iter().map(|&p| dataset_seed(p)).collect();
+        assert_eq!(seeds.len(), 3);
+    }
+}

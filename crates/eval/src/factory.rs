@@ -1,0 +1,156 @@
+//! Detector construction by method kind, with the per-city hyper-parameters
+//! used in the experiments.
+
+use cmsf::{Cmsf, CmsfConfig};
+use uvd_baselines::{
+    BaselineConfig, GraphBaseline, ImgagnBaseline, MlpBaseline, MmreBaseline, MuvfcnBaseline,
+    UvlensBaseline,
+};
+use uvd_urg::{Detector, Urg};
+
+/// Every detector the experiments compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    Mlp,
+    Gcn,
+    Gat,
+    Mmre,
+    Uvlens,
+    Muvfcn,
+    Imgagn,
+    Cmsf,
+    /// Ablation: MAGA replaced by vanilla per-modality GAT (no cross-modal).
+    CmsfM,
+    /// Ablation: no MS-Gate / slave stage.
+    CmsfG,
+    /// Ablation: no hierarchy (GSCM + MS-Gate removed).
+    CmsfH,
+}
+
+impl MethodKind {
+    /// Table II row order.
+    pub const TABLE2: [MethodKind; 8] = [
+        MethodKind::Mlp,
+        MethodKind::Gcn,
+        MethodKind::Gat,
+        MethodKind::Mmre,
+        MethodKind::Uvlens,
+        MethodKind::Muvfcn,
+        MethodKind::Imgagn,
+        MethodKind::Cmsf,
+    ];
+
+    /// Figure 5(a) ablation variants.
+    pub const FIG5A: [MethodKind; 4] =
+        [MethodKind::Cmsf, MethodKind::CmsfM, MethodKind::CmsfG, MethodKind::CmsfH];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            MethodKind::Mlp => "MLP",
+            MethodKind::Gcn => "GCN",
+            MethodKind::Gat => "GAT",
+            MethodKind::Mmre => "MMRE",
+            MethodKind::Uvlens => "UVLens",
+            MethodKind::Muvfcn => "MUVFCN",
+            MethodKind::Imgagn => "ImGAGN",
+            MethodKind::Cmsf => "CMSF",
+            MethodKind::CmsfM => "CMSF-M",
+            MethodKind::CmsfG => "CMSF-G",
+            MethodKind::CmsfH => "CMSF-H",
+        }
+    }
+
+    /// True for methods that require the image modality (raw pixels).
+    pub fn needs_raw_images(self) -> bool {
+        matches!(self, MethodKind::Uvlens | MethodKind::Muvfcn)
+    }
+}
+
+/// CMSF configuration for a city, honoring the quick flag.
+pub fn cmsf_config(urg: &Urg, seed: u64, quick: bool) -> CmsfConfig {
+    let mut cfg = CmsfConfig::for_city(&urg.name);
+    cfg.seed = seed;
+    if quick {
+        cfg.master_epochs = 20;
+        cfg.slave_epochs = 6;
+    }
+    cfg
+}
+
+/// Baseline configuration per method kind.
+pub fn baseline_config(kind: MethodKind, seed: u64, quick: bool) -> BaselineConfig {
+    let mut cfg = BaselineConfig { seed, ..Default::default() };
+    cfg.epochs = match kind {
+        MethodKind::Mlp => 100,
+        MethodKind::Gcn | MethodKind::Gat => 150,
+        MethodKind::Mmre => 30,
+        MethodKind::Imgagn => 30,
+        MethodKind::Uvlens | MethodKind::Muvfcn => 25,
+        _ => 80,
+    };
+    if quick {
+        cfg.epochs = (cfg.epochs / 4).max(5);
+    }
+    cfg
+}
+
+/// Build a detector of the given kind for a URG.
+pub fn build_detector(kind: MethodKind, urg: &Urg, seed: u64, quick: bool) -> Box<dyn Detector> {
+    match kind {
+        MethodKind::Mlp => Box::new(MlpBaseline::new(urg, baseline_config(kind, seed, quick))),
+        MethodKind::Gcn => Box::new(GraphBaseline::gcn(urg, baseline_config(kind, seed, quick))),
+        MethodKind::Gat => Box::new(GraphBaseline::gat(urg, baseline_config(kind, seed, quick))),
+        MethodKind::Mmre => Box::new(MmreBaseline::new(urg, baseline_config(kind, seed, quick))),
+        MethodKind::Uvlens => {
+            Box::new(UvlensBaseline::new(urg, baseline_config(kind, seed, quick)))
+        }
+        MethodKind::Muvfcn => {
+            Box::new(MuvfcnBaseline::new(urg, baseline_config(kind, seed, quick)))
+        }
+        MethodKind::Imgagn => {
+            Box::new(ImgagnBaseline::new(urg, baseline_config(kind, seed, quick)))
+        }
+        MethodKind::Cmsf => Box::new(Cmsf::new(urg, cmsf_config(urg, seed, quick))),
+        MethodKind::CmsfM => {
+            let mut cfg = cmsf_config(urg, seed, quick);
+            cfg.use_maga_cross = false;
+            Box::new(Cmsf::new(urg, cfg))
+        }
+        MethodKind::CmsfG => {
+            let mut cfg = cmsf_config(urg, seed, quick);
+            cfg.use_gate = false;
+            Box::new(Cmsf::new(urg, cfg))
+        }
+        MethodKind::CmsfH => {
+            let mut cfg = cmsf_config(urg, seed, quick);
+            cfg.use_hierarchy = false;
+            cfg.use_gate = false;
+            Box::new(Cmsf::new(urg, cfg))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::{City, CityPreset};
+    use uvd_urg::UrgOptions;
+
+    #[test]
+    fn all_kinds_build() {
+        let city = City::from_config(CityPreset::tiny(), 1);
+        let urg = Urg::build(&city, UrgOptions::default());
+        for kind in MethodKind::TABLE2.into_iter().chain(MethodKind::FIG5A) {
+            let d = build_detector(kind, &urg, 0, true);
+            assert_eq!(d.name(), kind.label());
+            assert!(d.num_params() > 0, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn quick_flag_reduces_epochs() {
+        let slow = baseline_config(MethodKind::Gcn, 0, false);
+        let quick = baseline_config(MethodKind::Gcn, 0, true);
+        assert!(quick.epochs < slow.epochs);
+    }
+}

@@ -1,0 +1,163 @@
+//! Evaluation metrics (paper Section VI-C): AUC over the test labels, and
+//! Recall / Precision / F1 in the practical top-p% screening setting — the
+//! test-fold labeled regions are ranked by predicted probability and the top
+//! p% are treated as predicted urban villages.
+
+/// Precision / recall / F1 triple.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formula with
+/// average ranks for ties. Returns 0.5 when either class is absent.
+pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    // Average ranks over tie groups (1-based ranks).
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0; // 1-based average rank
+        for &k in &idx[i..=j] {
+            if labels[k] > 0.5 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
+}
+
+/// Top-p% screening metrics: rank the test items by score, mark the top
+/// `ceil(p% * n)` as predicted positives, compare with labels.
+pub fn prf_at_top_percent(scores: &[f32], labels: &[f32], p: usize) -> Prf {
+    assert_eq!(scores.len(), labels.len());
+    let n = scores.len();
+    let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    if n == 0 || n_pos == 0 {
+        return Prf::default();
+    }
+    let k = ((n as f64 * p as f64 / 100.0).ceil() as usize).clamp(1, n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let hits = idx[..k].iter().filter(|&&i| labels[i] > 0.5).count();
+    let precision = hits as f64 / k as f64;
+    let recall = hits as f64 / n_pos as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    Prf { precision, recall, f1 }
+}
+
+/// Mean and (population) standard deviation of a sample.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_inverted_ranking() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!(auc(&scores, &labels).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_all_ties_is_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc(&[0.1, 0.9], &[0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_matches_pair_counting() {
+        // Brute-force pair counting on a small random-ish example.
+        let scores = [0.3f32, 0.7, 0.7, 0.1, 0.5, 0.9];
+        let labels = [0.0f32, 1.0, 0.0, 0.0, 1.0, 1.0];
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for i in 0..6 {
+            for j in 0..6 {
+                if labels[i] > 0.5 && labels[j] < 0.5 {
+                    den += 1.0;
+                    if scores[i] > scores[j] {
+                        num += 1.0;
+                    } else if scores[i] == scores[j] {
+                        num += 0.5;
+                    }
+                }
+            }
+        }
+        assert!((auc(&scores, &labels) - num / den).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prf_top_percent_counts_hits() {
+        // 10 items, top 30% = 3 items; 2 of them positive; 4 positives total.
+        let scores = [0.95, 0.9, 0.85, 0.5, 0.4, 0.3, 0.2, 0.15, 0.1, 0.05];
+        let labels = [1.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let prf = prf_at_top_percent(&scores, &labels, 30);
+        assert!((prf.precision - 2.0 / 3.0).abs() < 1e-9);
+        assert!((prf.recall - 2.0 / 4.0).abs() < 1e-9);
+        let expect_f1 = 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+        assert!((prf.f1 - expect_f1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prf_at_least_one_predicted() {
+        // Tiny test sets still predict at least one region.
+        let prf = prf_at_top_percent(&[0.9, 0.1], &[1.0, 0.0], 3);
+        assert_eq!(prf.precision, 1.0);
+        assert_eq!(prf.recall, 1.0);
+    }
+
+    #[test]
+    fn prf_no_positives_is_zero() {
+        let prf = prf_at_top_percent(&[0.9, 0.1], &[0.0, 0.0], 50);
+        assert_eq!(prf, Prf::default());
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

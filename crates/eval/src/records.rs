@@ -1,0 +1,137 @@
+//! Serializable result records emitted by the experiment binaries. Each
+//! table/figure binary writes one JSON file under `results/` from which
+//! EXPERIMENTS.md is assembled.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean ± standard deviation of a metric across runs.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct MeanStd {
+    pub mean: f64,
+    pub std: f64,
+}
+
+impl MeanStd {
+    pub fn from_samples(xs: &[f64]) -> Self {
+        let (mean, std) = crate::metrics::mean_std(xs);
+        MeanStd { mean, std }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} (.{:03})", self.mean, (self.std * 1000.0).round() as u64)
+    }
+}
+
+/// Screening metrics at one p threshold.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PSummary {
+    pub p: usize,
+    pub recall: MeanStd,
+    pub precision: MeanStd,
+    pub f1: MeanStd,
+}
+
+/// One Table II / ablation row: a method evaluated on a city.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MethodSummary {
+    pub method: String,
+    pub city: String,
+    pub auc: MeanStd,
+    pub at_p: Vec<PSummary>,
+    /// Table III columns.
+    pub train_secs_per_epoch: f64,
+    pub inference_secs: f64,
+    pub model_mbytes: f64,
+    /// Number of (seed × fold) runs aggregated.
+    pub runs: usize,
+}
+
+impl MethodSummary {
+    /// Look up the screening summary at a given p.
+    pub fn at(&self, p: usize) -> Option<&PSummary> {
+        self.at_p.iter().find(|s| s.p == p)
+    }
+}
+
+/// Table I row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetRow {
+    pub city: String,
+    pub n_regions: usize,
+    pub n_edges: usize,
+    pub n_uvs: usize,
+    pub n_non_uvs: usize,
+}
+
+/// A generic experiment record: an id (e.g. "table2"), metadata, and rows.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    pub experiment: String,
+    pub description: String,
+    /// Free-form parameter string (seeds, folds, scale notes).
+    pub params: String,
+    pub rows: Vec<MethodSummary>,
+}
+
+/// Write a serializable record as pretty JSON under `results/`.
+pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let json = serde_json::to_string_pretty(value).expect("serializable record");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_from_samples() {
+        let ms = MeanStd::from_samples(&[1.0, 3.0]);
+        assert!((ms.mean - 2.0).abs() < 1e-12);
+        assert!((ms.std - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let ms = MeanStd { mean: 0.8701, std: 0.0014 };
+        assert_eq!(format!("{ms}"), "0.870 (.001)");
+    }
+
+    #[test]
+    fn method_summary_lookup() {
+        let row = MethodSummary {
+            method: "CMSF".into(),
+            city: "tiny".into(),
+            auc: MeanStd::default(),
+            at_p: vec![PSummary {
+                p: 3,
+                recall: MeanStd::default(),
+                precision: MeanStd::default(),
+                f1: MeanStd::default(),
+            }],
+            train_secs_per_epoch: 0.0,
+            inference_secs: 0.0,
+            model_mbytes: 0.0,
+            runs: 1,
+        };
+        assert!(row.at(3).is_some());
+        assert!(row.at(5).is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rec = ExperimentRecord {
+            experiment: "t".into(),
+            description: "d".into(),
+            params: "p".into(),
+            rows: vec![],
+        };
+        let s = serde_json::to_string(&rec).expect("serialize");
+        let back: ExperimentRecord = serde_json::from_str(&s).expect("deserialize");
+        assert_eq!(back.experiment, "t");
+    }
+}

@@ -1,0 +1,203 @@
+//! Experiment runner: k-fold block CV × random seeds for any detector,
+//! aggregating the paper's metrics plus the Table III efficiency columns.
+
+use crate::factory::{build_detector, MethodKind};
+use crate::metrics::{auc, prf_at_top_percent, Prf};
+use crate::records::{MeanStd, MethodSummary, PSummary};
+use crate::splits::{block_folds, mask_ratio, train_test_pairs, DEFAULT_BLOCK};
+use std::time::Instant;
+use uvd_tensor::init::derive_seed;
+use uvd_tensor::seeded_rng;
+use uvd_urg::{Detector, Urg};
+
+/// How an experiment is run.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    pub folds: usize,
+    pub block: usize,
+    pub seeds: Vec<u64>,
+    /// Top-p% thresholds to evaluate (paper: 3 and 5).
+    pub ps: Vec<usize>,
+    /// Reduced-epoch mode for smoke runs.
+    pub quick: bool,
+    /// Keep only this fraction of each training split (Figure 6(c)); 1.0
+    /// disables masking.
+    pub label_ratio: f64,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            folds: 3,
+            block: DEFAULT_BLOCK,
+            seeds: vec![0, 1],
+            ps: vec![3, 5],
+            quick: false,
+            label_ratio: 1.0,
+        }
+    }
+}
+
+impl RunSpec {
+    pub fn quick() -> Self {
+        RunSpec { quick: true, seeds: vec![0], ..Default::default() }
+    }
+}
+
+/// Evaluate region scores against the test labeled subset.
+pub fn eval_scores(
+    scores: &[f32],
+    urg: &Urg,
+    test_idx: &[usize],
+    ps: &[usize],
+) -> (f64, Vec<(usize, Prf)>) {
+    let s: Vec<f32> = test_idx.iter().map(|&i| scores[urg.labeled[i] as usize]).collect();
+    let y: Vec<f32> = test_idx.iter().map(|&i| urg.y[i]).collect();
+    let a = auc(&s, &y);
+    let prfs = ps.iter().map(|&p| (p, prf_at_top_percent(&s, &y, p))).collect();
+    (a, prfs)
+}
+
+/// Run one detector kind through the full protocol on a URG.
+pub fn run_method(kind: MethodKind, urg: &Urg, spec: &RunSpec) -> MethodSummary {
+    run_custom(urg, spec, kind.label(), |seed, urg| build_detector(kind, urg, seed, spec.quick))
+}
+
+/// Run an arbitrary detector builder through the protocol (used by the
+/// hyper-parameter sweeps, which need CMSF config overrides).
+pub fn run_custom(
+    urg: &Urg,
+    spec: &RunSpec,
+    label: &str,
+    mut builder: impl FnMut(u64, &Urg) -> Box<dyn Detector>,
+) -> MethodSummary {
+    // Per-seed averages over folds (the paper reports mean/SD over runs).
+    let mut auc_runs = Vec::new();
+    let mut prf_runs: Vec<Vec<(usize, Prf)>> = Vec::new();
+    let mut epoch_secs = Vec::new();
+    let mut infer_secs = Vec::new();
+    let mut model_mb = 0.0f64;
+    let mut runs = 0usize;
+
+    for (si, &seed) in spec.seeds.iter().enumerate() {
+        let folds = block_folds(urg, spec.folds, spec.block, derive_seed(seed, 0xF01D));
+        let mut fold_aucs = Vec::new();
+        let mut fold_prfs: Vec<Vec<(usize, Prf)>> = Vec::new();
+        for (fi, (train, test)) in train_test_pairs(&folds).into_iter().enumerate() {
+            let train = if spec.label_ratio < 1.0 {
+                let mut rng = seeded_rng(derive_seed(seed, 0x3A5C + fi as u64));
+                mask_ratio(urg, &train, spec.label_ratio, &mut rng)
+            } else {
+                train
+            };
+            let model_seed = derive_seed(seed, (si * spec.folds + fi) as u64);
+            let mut det = builder(model_seed, urg);
+            let report = det.fit(urg, &train);
+            let t0 = Instant::now();
+            let scores = det.predict(urg);
+            infer_secs.push(t0.elapsed().as_secs_f64());
+            epoch_secs.push(report.secs_per_epoch());
+            model_mb = det.num_params() as f64 * 4.0 / 1.0e6;
+            let (a, prfs) = eval_scores(&scores, urg, &test, &spec.ps);
+            fold_aucs.push(a);
+            fold_prfs.push(prfs);
+            runs += 1;
+        }
+        // Average folds into one run value.
+        auc_runs.push(fold_aucs.iter().sum::<f64>() / fold_aucs.len() as f64);
+        let mut per_p = Vec::new();
+        for (pi, &p) in spec.ps.iter().enumerate() {
+            let mean = |f: &dyn Fn(&Prf) -> f64| {
+                fold_prfs.iter().map(|v| f(&v[pi].1)).sum::<f64>() / fold_prfs.len() as f64
+            };
+            per_p.push((
+                p,
+                Prf {
+                    precision: mean(&|x| x.precision),
+                    recall: mean(&|x| x.recall),
+                    f1: mean(&|x| x.f1),
+                },
+            ));
+        }
+        prf_runs.push(per_p);
+    }
+
+    let at_p = spec
+        .ps
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| PSummary {
+            p,
+            recall: MeanStd::from_samples(
+                &prf_runs.iter().map(|r| r[pi].1.recall).collect::<Vec<_>>(),
+            ),
+            precision: MeanStd::from_samples(
+                &prf_runs.iter().map(|r| r[pi].1.precision).collect::<Vec<_>>(),
+            ),
+            f1: MeanStd::from_samples(&prf_runs.iter().map(|r| r[pi].1.f1).collect::<Vec<_>>()),
+        })
+        .collect();
+
+    MethodSummary {
+        method: label.to_string(),
+        city: urg.name.clone(),
+        auc: MeanStd::from_samples(&auc_runs),
+        at_p,
+        train_secs_per_epoch: epoch_secs.iter().sum::<f64>() / epoch_secs.len().max(1) as f64,
+        inference_secs: infer_secs.iter().sum::<f64>() / infer_secs.len().max(1) as f64,
+        model_mbytes: model_mb,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::{City, CityPreset};
+    use uvd_urg::UrgOptions;
+
+    fn tiny_urg() -> Urg {
+        let city = City::from_config(CityPreset::tiny(), 1);
+        Urg::build(&city, UrgOptions::default())
+    }
+
+    #[test]
+    fn eval_scores_respects_test_subset() {
+        let urg = tiny_urg();
+        // Oracle scores: the true labels — AUC must be 1 on any subset.
+        let mut scores = vec![0.0f32; urg.n];
+        for (i, &r) in urg.labeled.iter().enumerate() {
+            scores[r as usize] = urg.y[i];
+        }
+        let test: Vec<usize> = (0..urg.labeled.len()).step_by(2).collect();
+        let (a, prfs) = eval_scores(&scores, &urg, &test, &[5]);
+        assert!((a - 1.0).abs() < 1e-9);
+        assert!(prfs[0].1.precision > 0.99);
+    }
+
+    #[test]
+    fn run_method_produces_summary() {
+        let urg = tiny_urg();
+        let spec = RunSpec { folds: 2, seeds: vec![0], quick: true, ..Default::default() };
+        let s = run_method(MethodKind::Mlp, &urg, &spec);
+        assert_eq!(s.method, "MLP");
+        assert_eq!(s.runs, 2);
+        assert!(s.auc.mean > 0.0 && s.auc.mean <= 1.0);
+        assert_eq!(s.at_p.len(), 2);
+        assert!(s.model_mbytes > 0.0);
+    }
+
+    #[test]
+    fn label_ratio_runs() {
+        let urg = tiny_urg();
+        let spec = RunSpec {
+            folds: 2,
+            seeds: vec![0],
+            quick: true,
+            label_ratio: 0.3,
+            ..Default::default()
+        };
+        let s = run_method(MethodKind::Mlp, &urg, &spec);
+        assert!(s.auc.mean.is_finite());
+    }
+}

@@ -1,0 +1,158 @@
+//! Deployment-side screening utilities: turn region probabilities into the
+//! ranked candidate short-list a city manager would hand to a survey team
+//! (the paper's practical application setting, Section VI-C).
+
+use uvd_urg::Urg;
+
+/// One screening candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Candidate {
+    pub region: u32,
+    pub probability: f32,
+    /// Grid coordinates, for field maps.
+    pub x: usize,
+    pub y: usize,
+    /// Whether the region already carries a survey label.
+    pub already_labeled: bool,
+}
+
+/// Rank all regions by detection probability (descending, ties broken by
+/// region id for determinism).
+pub fn rank_regions(urg: &Urg, probs: &[f32]) -> Vec<Candidate> {
+    assert_eq!(probs.len(), urg.n, "one probability per region");
+    let labeled: std::collections::HashSet<u32> = urg.labeled.iter().copied().collect();
+    let mut out: Vec<Candidate> = (0..urg.n)
+        .map(|r| Candidate {
+            region: r as u32,
+            probability: probs[r],
+            x: r % urg.width,
+            y: r / urg.width,
+            already_labeled: labeled.contains(&(r as u32)),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("finite probabilities")
+            .then(a.region.cmp(&b.region))
+    });
+    out
+}
+
+/// The top-p% screening short-list over *unlabeled* regions — the candidates
+/// actually worth a site visit (labeled regions are already known).
+pub fn short_list(urg: &Urg, probs: &[f32], p_percent: f64) -> Vec<Candidate> {
+    let ranked = rank_regions(urg, probs);
+    let unlabeled: Vec<Candidate> =
+        ranked.into_iter().filter(|c| !c.already_labeled).collect();
+    let k = ((unlabeled.len() as f64 * p_percent / 100.0).ceil() as usize)
+        .clamp(1, unlabeled.len().max(1));
+    unlabeled.into_iter().take(k).collect()
+}
+
+/// Group a candidate list into 8-connected spatial clusters — detected UV
+/// patches rather than isolated cells (Figure 7's "correlated UVs detected
+/// together"). Returns clusters sorted by size (largest first).
+pub fn cluster_candidates(urg: &Urg, candidates: &[Candidate]) -> Vec<Vec<u32>> {
+    let set: std::collections::HashSet<u32> = candidates.iter().map(|c| c.region).collect();
+    let mut seen: std::collections::HashSet<u32> = Default::default();
+    let mut clusters = Vec::new();
+    for c in candidates {
+        if seen.contains(&c.region) {
+            continue;
+        }
+        let mut cluster = Vec::new();
+        let mut stack = vec![c.region];
+        seen.insert(c.region);
+        while let Some(r) = stack.pop() {
+            cluster.push(r);
+            let (x, y) = ((r as usize % urg.width) as i64, (r as usize / urg.width) as i64);
+            for dy in -1..=1i64 {
+                for dx in -1..=1i64 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let (nx, ny) = (x + dx, y + dy);
+                    if nx < 0 || ny < 0 || nx >= urg.width as i64 || ny >= urg.height as i64 {
+                        continue;
+                    }
+                    let q = (ny as usize * urg.width + nx as usize) as u32;
+                    if set.contains(&q) && seen.insert(q) {
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+        cluster.sort_unstable();
+        clusters.push(cluster);
+    }
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::{City, CityPreset};
+    use uvd_urg::UrgOptions;
+
+    fn urg() -> Urg {
+        let city = City::from_config(CityPreset::tiny(), 61);
+        Urg::build(&city, UrgOptions::no_image())
+    }
+
+    #[test]
+    fn rank_regions_is_descending_and_deterministic() {
+        let u = urg();
+        let probs: Vec<f32> = (0..u.n).map(|r| ((r * 37) % 101) as f32 / 101.0).collect();
+        let ranked = rank_regions(&u, &probs);
+        assert_eq!(ranked.len(), u.n);
+        for w in ranked.windows(2) {
+            assert!(w[0].probability >= w[1].probability);
+        }
+        assert_eq!(ranked, rank_regions(&u, &probs));
+    }
+
+    #[test]
+    fn short_list_excludes_labeled_regions() {
+        let u = urg();
+        let probs = vec![0.5f32; u.n];
+        let list = short_list(&u, &probs, 5.0);
+        assert!(!list.is_empty());
+        assert!(list.iter().all(|c| !c.already_labeled));
+    }
+
+    #[test]
+    fn short_list_size_tracks_percentage() {
+        let u = urg();
+        let probs: Vec<f32> = (0..u.n).map(|r| r as f32 / u.n as f32).collect();
+        let l3 = short_list(&u, &probs, 3.0);
+        let l10 = short_list(&u, &probs, 10.0);
+        assert!(l10.len() > l3.len());
+    }
+
+    #[test]
+    fn cluster_candidates_groups_adjacent_cells() {
+        let u = urg();
+        // Candidates: an L-shaped triple near the origin and one far cell.
+        let make = |r: u32| Candidate {
+            region: r,
+            probability: 1.0,
+            x: r as usize % u.width,
+            y: r as usize / u.width,
+            already_labeled: false,
+        };
+        let w = u.width as u32;
+        let candidates = vec![make(0), make(1), make(w), make(5 * w + 9)];
+        let clusters = cluster_candidates(&u, &candidates);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1, w]);
+        assert_eq!(clusters[1], vec![5 * w + 9]);
+    }
+
+    #[test]
+    fn cluster_candidates_empty_input() {
+        let u = urg();
+        assert!(cluster_candidates(&u, &[]).is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the evaluation metrics.
+
+use proptest::prelude::*;
+use uvd_eval::{auc, prf_at_top_percent};
+
+fn scores_and_labels() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    proptest::collection::vec((0.0f32..1.0, prop::bool::ANY), 2..60).prop_map(|v| {
+        let scores: Vec<f32> = v.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<f32> = v.iter().map(|(_, y)| if *y { 1.0 } else { 0.0 }).collect();
+        (scores, labels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// AUC is always in [0, 1].
+    #[test]
+    fn auc_bounded((scores, labels) in scores_and_labels()) {
+        let a = auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    /// AUC is invariant to strictly monotone transformations of the scores.
+    #[test]
+    fn auc_rank_invariant((scores, labels) in scores_and_labels()) {
+        let a = auc(&scores, &labels);
+        let transformed: Vec<f32> = scores.iter().map(|&s| (3.0 * s + 1.0).exp()).collect();
+        let b = auc(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    /// Flipping the labels mirrors the AUC around 0.5.
+    #[test]
+    fn auc_label_flip_symmetry((scores, labels) in scores_and_labels()) {
+        let a = auc(&scores, &labels);
+        let flipped: Vec<f32> = labels.iter().map(|&y| 1.0 - y).collect();
+        let b = auc(&scores, &flipped);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+    }
+
+    /// Negating the scores mirrors the AUC around 0.5.
+    #[test]
+    fn auc_score_flip_symmetry((scores, labels) in scores_and_labels()) {
+        let a = auc(&scores, &labels);
+        let negated: Vec<f32> = scores.iter().map(|&s| -s).collect();
+        let b = auc(&negated, &labels);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    /// Screening metrics are bounded, and recall grows (weakly) with p.
+    #[test]
+    fn prf_bounded_and_recall_monotone((scores, labels) in scores_and_labels()) {
+        let mut last_recall = 0.0f64;
+        for p in [1usize, 5, 10, 25, 50, 100] {
+            let prf = prf_at_top_percent(&scores, &labels, p);
+            prop_assert!((0.0..=1.0).contains(&prf.precision));
+            prop_assert!((0.0..=1.0).contains(&prf.recall));
+            prop_assert!((0.0..=1.0).contains(&prf.f1));
+            prop_assert!(prf.recall + 1e-9 >= last_recall, "recall must not shrink with p");
+            last_recall = prf.recall;
+        }
+    }
+
+    /// F1 is the harmonic mean of precision and recall whenever both exist.
+    #[test]
+    fn f1_is_harmonic_mean((scores, labels) in scores_and_labels(), p in 1usize..100) {
+        let prf = prf_at_top_percent(&scores, &labels, p);
+        if prf.precision + prf.recall > 0.0 {
+            let expect = 2.0 * prf.precision * prf.recall / (prf.precision + prf.recall);
+            prop_assert!((prf.f1 - expect).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(prf.f1, 0.0);
+        }
+    }
+
+    /// At p = 100 every item is predicted positive: recall is 1 whenever any
+    /// positive exists, and precision equals the base rate.
+    #[test]
+    fn prf_at_100_percent((scores, labels) in scores_and_labels()) {
+        let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
+        let prf = prf_at_top_percent(&scores, &labels, 100);
+        if n_pos > 0 {
+            prop_assert!((prf.recall - 1.0).abs() < 1e-9);
+            let base = n_pos as f64 / labels.len() as f64;
+            prop_assert!((prf.precision - base).abs() < 1e-9);
+        }
+    }
+}

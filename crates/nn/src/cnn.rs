@@ -1,0 +1,194 @@
+//! Trainable CNN blocks for the image-based baselines (UVLens, MUVFCN).
+
+use crate::layers::Activation;
+use uvd_tensor::conv::{ConvMeta, PoolMeta};
+use uvd_tensor::init::he_normal;
+use uvd_tensor::{Graph, Matrix, NodeId, ParamRef, ParamSet, Rng64};
+
+/// Conv + bias + activation + 2×2 max pool.
+#[derive(Clone, Debug)]
+pub struct ConvBlock {
+    pub kernel: ParamRef,
+    pub bias: ParamRef,
+    pub meta: ConvMeta,
+    pub pool: PoolMeta,
+    pub activation: Activation,
+}
+
+impl ConvBlock {
+    /// 3×3 stride-1 pad-1 convolution over a `side × side` input, followed by
+    /// a 2×2 pool. Output side is `side / 2`.
+    pub fn new(name: &str, c_in: usize, c_out: usize, side: usize, rng: &mut Rng64) -> Self {
+        Self::with_stride(name, c_in, c_out, side, 1, rng)
+    }
+
+    /// As [`ConvBlock::new`] but with a configurable convolution stride; a
+    /// stride of 2 halves the side before pooling (output side
+    /// `side / (2 * stride)`), trading accuracy for speed in the heavy CNN
+    /// baselines.
+    pub fn with_stride(
+        name: &str,
+        c_in: usize,
+        c_out: usize,
+        side: usize,
+        stride: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        let meta = ConvMeta { c_in, h_in: side, w_in: side, c_out, k: 3, stride, pad: 1 };
+        let (kr, kc) = meta.kernel_shape();
+        let conv_side = meta.h_out();
+        ConvBlock {
+            kernel: ParamRef::new(format!("{name}.k"), he_normal(kr, kc, rng)),
+            bias: ParamRef::new(format!("{name}.b"), Matrix::zeros(1, c_out)),
+            meta,
+            pool: PoolMeta { channels: c_out, h_in: conv_side, w_in: conv_side },
+            activation: Activation::Relu,
+        }
+    }
+
+    /// Flattened output length per sample after pooling.
+    pub fn out_len(&self) -> usize {
+        self.pool.out_len()
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let k = g.param(&self.kernel);
+        let y = g.conv2d(x, k, self.meta);
+        let b = g.param(&self.bias);
+        let y = g.add_chan_bias(y, b, self.meta.c_out, self.meta.h_out() * self.meta.w_out());
+        let y = self.activation.apply(g, y);
+        g.max_pool2(y, self.pool)
+    }
+
+    pub fn collect_params(&self, set: &mut ParamSet) {
+        set.track(self.kernel.clone());
+        set.track(self.bias.clone());
+    }
+}
+
+/// A small conv backbone: a chain of [`ConvBlock`]s halving the spatial side
+/// each stage.
+#[derive(Clone, Debug)]
+pub struct ConvBackbone {
+    pub blocks: Vec<ConvBlock>,
+}
+
+impl ConvBackbone {
+    /// `channels = [c_in, c1, c2, ...]` with input side `side` (must be
+    /// divisible by `2^(len-1)`).
+    pub fn new(name: &str, channels: &[usize], side: usize, rng: &mut Rng64) -> Self {
+        assert!(channels.len() >= 2);
+        let mut s = side;
+        let blocks = (0..channels.len() - 1)
+            .map(|i| {
+                let b = ConvBlock::new(&format!("{name}.c{i}"), channels[i], channels[i + 1], s, rng);
+                s /= 2;
+                b
+            })
+            .collect();
+        ConvBackbone { blocks }
+    }
+
+    pub fn out_len(&self) -> usize {
+        self.blocks.last().expect("non-empty").out_len()
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let mut h = x;
+        for b in &self.blocks {
+            h = b.forward(g, h);
+        }
+        h
+    }
+
+    pub fn collect_params(&self, set: &mut ParamSet) {
+        for b in &self.blocks {
+            b.collect_params(set);
+        }
+    }
+}
+
+/// Histogram equalization over each image's luminance distribution, the
+/// UVLens preprocessing step. Operates on a flat batch (`n × img_len`
+/// values in [0,1]); equalizes each sample independently across all
+/// channels.
+pub fn histogram_equalize(images: &Matrix) -> Matrix {
+    let (n, len) = images.shape();
+    let mut out = Matrix::zeros(n, len);
+    let bins = 64usize;
+    for i in 0..n {
+        let row = images.row(i);
+        let mut hist = vec![0usize; bins];
+        for &v in row {
+            let b = ((v.clamp(0.0, 1.0) * (bins - 1) as f32).round()) as usize;
+            hist[b] += 1;
+        }
+        let mut cdf = vec![0f32; bins];
+        let mut acc = 0usize;
+        for (b, &h) in hist.iter().enumerate() {
+            acc += h;
+            cdf[b] = acc as f32 / len as f32;
+        }
+        let orow = out.row_mut(i);
+        for (o, &v) in orow.iter_mut().zip(row.iter()) {
+            let b = ((v.clamp(0.0, 1.0) * (bins - 1) as f32).round()) as usize;
+            *o = cdf[b];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_tensor::init::{seeded_rng, uniform_matrix};
+
+    #[test]
+    fn conv_block_halves_side() {
+        let mut rng = seeded_rng(1);
+        let b = ConvBlock::new("c", 3, 8, 16, &mut rng);
+        assert_eq!(b.out_len(), 8 * 8 * 8);
+        let mut g = Graph::new();
+        let x = g.constant(uniform_matrix(2, 3 * 16 * 16, 0.0, 1.0, &mut rng));
+        let y = b.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (2, 8 * 8 * 8));
+    }
+
+    #[test]
+    fn backbone_chains_and_trains() {
+        let mut rng = seeded_rng(2);
+        let bb = ConvBackbone::new("b", &[3, 4, 8], 16, &mut rng);
+        assert_eq!(bb.out_len(), 8 * 4 * 4);
+        let mut g = Graph::new();
+        let x = g.constant(uniform_matrix(2, 3 * 16 * 16, 0.0, 1.0, &mut rng));
+        let y = bb.forward(&mut g, x);
+        let sq = g.mul(y, y);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.write_grads();
+        let mut set = ParamSet::new();
+        bb.collect_params(&mut set);
+        assert!(set.grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn histogram_equalization_flattens_distribution() {
+        let mut rng = seeded_rng(3);
+        // Low-contrast image concentrated in [0.4, 0.5].
+        let img = uniform_matrix(1, 256, 0.4, 0.5, &mut rng);
+        let eq = histogram_equalize(&img);
+        let min = eq.as_slice().iter().copied().fold(f32::INFINITY, f32::min);
+        let max = eq.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 0.5, "equalization should stretch contrast");
+        assert!(eq.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn histogram_equalization_monotone() {
+        // Pixel order must be preserved within a sample.
+        let img = Matrix::from_vec(1, 4, vec![0.1, 0.5, 0.3, 0.9]);
+        let eq = histogram_equalize(&img);
+        let v = eq.as_slice();
+        assert!(v[0] <= v[2] && v[2] <= v[1] && v[1] <= v[3]);
+    }
+}

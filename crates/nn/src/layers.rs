@@ -1,0 +1,193 @@
+//! Basic trainable layers: linear maps, MLPs, and activation plumbing.
+
+use uvd_tensor::init::glorot_uniform;
+use uvd_tensor::{Graph, Matrix, NodeId, ParamRef, ParamSet, Rng64};
+
+/// Activation functions used across the workspace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Activation {
+    Identity,
+    Relu,
+    /// LeakyReLU with the given negative slope (paper uses 0.2-style slopes).
+    LeakyRelu(f32),
+    Tanh,
+    Sigmoid,
+}
+
+impl Activation {
+    pub fn apply(self, g: &mut Graph, x: NodeId) -> NodeId {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => g.relu(x),
+            Activation::LeakyRelu(s) => g.leaky_relu(x, s),
+            Activation::Tanh => g.tanh(x),
+            Activation::Sigmoid => g.sigmoid(x),
+        }
+    }
+}
+
+/// Fully connected layer `x W + b` with Glorot-initialized weights.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    pub w: ParamRef,
+    pub b: Option<ParamRef>,
+}
+
+impl Linear {
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, rng: &mut Rng64) -> Self {
+        Linear {
+            w: ParamRef::new(format!("{name}.w"), glorot_uniform(in_dim, out_dim, rng)),
+            b: Some(ParamRef::new(format!("{name}.b"), Matrix::zeros(1, out_dim))),
+        }
+    }
+
+    /// Linear layer without bias.
+    pub fn new_no_bias(name: &str, in_dim: usize, out_dim: usize, rng: &mut Rng64) -> Self {
+        Linear { w: ParamRef::new(format!("{name}.w"), glorot_uniform(in_dim, out_dim, rng)), b: None }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.w.shape().0
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.w.shape().1
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let w = g.param(&self.w);
+        let y = g.matmul(x, w);
+        match &self.b {
+            Some(b) => {
+                let bn = g.param(b);
+                g.add_row(y, bn)
+            }
+            None => y,
+        }
+    }
+
+    pub fn collect_params(&self, set: &mut ParamSet) {
+        set.track(self.w.clone());
+        if let Some(b) = &self.b {
+            set.track(b.clone());
+        }
+    }
+}
+
+/// Multi-layer perceptron with a shared hidden activation; the final layer is
+/// linear (logits).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+    pub hidden_activation: Activation,
+}
+
+impl Mlp {
+    /// `dims` is `[in, h1, ..., out]`.
+    pub fn new(name: &str, dims: &[usize], hidden_activation: Activation, rng: &mut Rng64) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least in/out dims");
+        let layers = (0..dims.len() - 1)
+            .map(|i| Linear::new(&format!("{name}.l{i}"), dims[i], dims[i + 1], rng))
+            .collect();
+        Mlp { layers, hidden_activation }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, h);
+            if i + 1 < self.layers.len() {
+                h = self.hidden_activation.apply(g, h);
+            }
+        }
+        h
+    }
+
+    pub fn collect_params(&self, set: &mut ParamSet) {
+        for l in &self.layers {
+            l.collect_params(set);
+        }
+    }
+
+    /// Total scalar parameter count (used for MS-Gate filter sizing and the
+    /// Table III model-size column).
+    pub fn num_scalars(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.len() + l.b.as_ref().map_or(0, |b| b.len()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_tensor::init::{normal_matrix, seeded_rng};
+    use uvd_tensor::Adam;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = seeded_rng(1);
+        let l = Linear::new("t", 4, 3, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::zeros(5, 4));
+        let y = l.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (5, 3));
+    }
+
+    #[test]
+    fn mlp_learns_xor_like_split() {
+        // Tiny sanity check: 2-layer MLP separates two Gaussian blobs.
+        let mut rng = seeded_rng(2);
+        let mlp = Mlp::new("m", &[2, 8, 1], Activation::Tanh, &mut rng);
+        let mut set = ParamSet::new();
+        mlp.collect_params(&mut set);
+        let mut opt = Adam::new(0.05);
+
+        let mut xs = normal_matrix(40, 2, 0.0, 0.3, &mut rng);
+        let mut targets = vec![0.0f32; 40];
+        for (i, t) in targets.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                xs.set(i, 0, xs.get(i, 0) + 2.0);
+                *t = 1.0;
+            }
+        }
+        let targets = std::rc::Rc::new(targets);
+        let weights = std::rc::Rc::new(vec![1.0f32; 40]);
+        let mut last = f32::INFINITY;
+        for _ in 0..120 {
+            let mut g = Graph::new();
+            let x = g.constant(xs.clone());
+            let z = mlp.forward(&mut g, x);
+            let loss = g.bce_with_logits(z, targets.clone(), weights.clone());
+            last = g.scalar(loss);
+            g.backward(loss);
+            g.write_grads();
+            opt.step(&set);
+        }
+        assert!(last < 0.2, "final loss {last}");
+    }
+
+    #[test]
+    fn mlp_param_count() {
+        let mut rng = seeded_rng(3);
+        let mlp = Mlp::new("m", &[4, 3, 1], Activation::Relu, &mut rng);
+        // 4*3 + 3 + 3*1 + 1 = 19
+        assert_eq!(mlp.num_scalars(), 19);
+        let mut set = ParamSet::new();
+        mlp.collect_params(&mut set);
+        assert_eq!(set.num_scalars(), 19);
+    }
+
+    #[test]
+    fn activations_apply() {
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::from_rows(&[&[-1.0, 2.0]]));
+        let r = Activation::Relu.apply(&mut g, x);
+        assert_eq!(g.value(r).as_slice(), &[0.0, 2.0]);
+        let lr = Activation::LeakyRelu(0.1).apply(&mut g, x);
+        assert!((g.value(lr).get(0, 0) + 0.1).abs() < 1e-6);
+        let id = Activation::Identity.apply(&mut g, x);
+        assert_eq!(id, x);
+    }
+}

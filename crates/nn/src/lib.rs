@@ -1,0 +1,16 @@
+//! # uvd-nn
+//!
+//! Reusable neural network layers on top of [`uvd_tensor`]: linear layers
+//! and MLPs, graph attention heads (intra- and cross-modal, multi-head),
+//! GCN layers with precomputed normalized adjacency, CNN blocks for the
+//! image baselines, and the paper's `AGG(·,·)` fusion operator.
+
+pub mod attention;
+pub mod cnn;
+pub mod gcn;
+pub mod layers;
+
+pub use attention::{AggMode, FusionAgg, GraphAttentionHead, MultiHeadAttention};
+pub use cnn::{histogram_equalize, ConvBackbone, ConvBlock};
+pub use gcn::{GcnLayer, GcnStack};
+pub use layers::{Activation, Linear, Mlp};

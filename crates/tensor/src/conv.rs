@@ -1,0 +1,218 @@
+//! im2col-based 2-D convolution and max-pooling kernels.
+//!
+//! Images are stored one per matrix row in `C*H*W` (channel-major) layout, so
+//! a batch of `n` images of shape `(C, H, W)` is an `n × (C*H*W)` [`Matrix`].
+
+use crate::matrix::Matrix;
+
+/// Shape metadata for a 2-D convolution with a square kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvMeta {
+    pub c_in: usize,
+    pub h_in: usize,
+    pub w_in: usize,
+    pub c_out: usize,
+    /// Square kernel side.
+    pub k: usize,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl ConvMeta {
+    pub fn h_out(&self) -> usize {
+        (self.h_in + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    pub fn w_out(&self) -> usize {
+        (self.w_in + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Flattened input feature count per sample.
+    pub fn in_len(&self) -> usize {
+        self.c_in * self.h_in * self.w_in
+    }
+
+    /// Flattened output feature count per sample.
+    pub fn out_len(&self) -> usize {
+        self.c_out * self.h_out() * self.w_out()
+    }
+
+    /// Kernel matrix shape: `(c_out, c_in * k * k)`.
+    pub fn kernel_shape(&self) -> (usize, usize) {
+        (self.c_out, self.c_in * self.k * self.k)
+    }
+}
+
+/// Shape metadata for 2×2 max pooling with stride 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolMeta {
+    pub channels: usize,
+    pub h_in: usize,
+    pub w_in: usize,
+}
+
+impl PoolMeta {
+    pub fn h_out(&self) -> usize {
+        self.h_in / 2
+    }
+
+    pub fn w_out(&self) -> usize {
+        self.w_in / 2
+    }
+
+    pub fn in_len(&self) -> usize {
+        self.channels * self.h_in * self.w_in
+    }
+
+    pub fn out_len(&self) -> usize {
+        self.channels * self.h_out() * self.w_out()
+    }
+}
+
+/// Unfold one sample (slice of length `c_in*h_in*w_in`) into a column matrix
+/// of shape `(c_in*k*k) × (h_out*w_out)`.
+pub fn im2col(sample: &[f32], m: &ConvMeta) -> Matrix {
+    let (ho, wo) = (m.h_out(), m.w_out());
+    let rows = m.c_in * m.k * m.k;
+    let cols = ho * wo;
+    let mut out = Matrix::zeros(rows, cols);
+    for c in 0..m.c_in {
+        for ky in 0..m.k {
+            for kx in 0..m.k {
+                let row = (c * m.k + ky) * m.k + kx;
+                for oy in 0..ho {
+                    let iy = (oy * m.stride + ky) as isize - m.pad as isize;
+                    for ox in 0..wo {
+                        let ix = (ox * m.stride + kx) as isize - m.pad as isize;
+                        let v = if iy >= 0
+                            && (iy as usize) < m.h_in
+                            && ix >= 0
+                            && (ix as usize) < m.w_in
+                        {
+                            sample[(c * m.h_in + iy as usize) * m.w_in + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out.set(row, oy * wo + ox, v);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fold a column-gradient matrix back into a sample gradient (adds into
+/// `dsample`, inverse scatter of [`im2col`]).
+pub fn col2im_add(dcols: &Matrix, m: &ConvMeta, dsample: &mut [f32]) {
+    let (ho, wo) = (m.h_out(), m.w_out());
+    for c in 0..m.c_in {
+        for ky in 0..m.k {
+            for kx in 0..m.k {
+                let row = (c * m.k + ky) * m.k + kx;
+                for oy in 0..ho {
+                    let iy = (oy * m.stride + ky) as isize - m.pad as isize;
+                    if iy < 0 || iy as usize >= m.h_in {
+                        continue;
+                    }
+                    for ox in 0..wo {
+                        let ix = (ox * m.stride + kx) as isize - m.pad as isize;
+                        if ix < 0 || ix as usize >= m.w_in {
+                            continue;
+                        }
+                        dsample[(c * m.h_in + iy as usize) * m.w_in + ix as usize] +=
+                            dcols.get(row, oy * wo + ox);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2×2 max pool of one sample; also returns argmax flat indices into
+/// the input sample (used for the backward pass).
+pub fn maxpool2(sample: &[f32], m: &PoolMeta) -> (Vec<f32>, Vec<u32>) {
+    let (ho, wo) = (m.h_out(), m.w_out());
+    let mut out = vec![0.0f32; m.channels * ho * wo];
+    let mut arg = vec![0u32; m.channels * ho * wo];
+    for c in 0..m.channels {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_i = 0u32;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let iy = oy * 2 + dy;
+                        let ix = ox * 2 + dx;
+                        let i = (c * m.h_in + iy) * m.w_in + ix;
+                        if sample[i] > best {
+                            best = sample[i];
+                            best_i = i as u32;
+                        }
+                    }
+                }
+                let o = (c * ho + oy) * wo + ox;
+                out[o] = best;
+                arg[o] = best_i;
+            }
+        }
+    }
+    (out, arg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_dims() {
+        let m = ConvMeta { c_in: 3, h_in: 32, w_in: 32, c_out: 8, k: 3, stride: 1, pad: 1 };
+        assert_eq!(m.h_out(), 32);
+        assert_eq!(m.w_out(), 32);
+        assert_eq!(m.kernel_shape(), (8, 27));
+    }
+
+    #[test]
+    fn im2col_identity_kernel_1x1() {
+        let m = ConvMeta { c_in: 1, h_in: 2, w_in: 2, c_out: 1, k: 1, stride: 1, pad: 0 };
+        let sample = [1.0, 2.0, 3.0, 4.0];
+        let cols = im2col(&sample, &m);
+        assert_eq!(cols.shape(), (1, 4));
+        assert_eq!(cols.as_slice(), &sample);
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border() {
+        let m = ConvMeta { c_in: 1, h_in: 1, w_in: 1, c_out: 1, k: 3, stride: 1, pad: 1 };
+        let cols = im2col(&[7.0], &m);
+        assert_eq!(cols.shape(), (9, 1));
+        // Only the center tap sees the pixel.
+        let center = 4;
+        for r in 0..9 {
+            let expect = if r == center { 7.0 } else { 0.0 };
+            assert_eq!(cols.get(r, 0), expect);
+        }
+    }
+
+    #[test]
+    fn col2im_inverts_scatter() {
+        let m = ConvMeta { c_in: 1, h_in: 3, w_in: 3, c_out: 1, k: 2, stride: 1, pad: 0 };
+        let sample: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let cols = im2col(&sample, &m);
+        // Scatter all-ones gradient back; each pixel gradient equals the
+        // number of patches that cover it.
+        let dcols = Matrix::filled(cols.rows(), cols.cols(), 1.0);
+        let mut d = vec![0.0f32; 9];
+        col2im_add(&dcols, &m, &mut d);
+        // Corner covered once, edges twice, center four times.
+        assert_eq!(d, vec![1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_picks_max_and_argmax() {
+        let m = PoolMeta { channels: 1, h_in: 2, w_in: 2 };
+        let (out, arg) = maxpool2(&[1.0, 5.0, 3.0, 2.0], &m);
+        assert_eq!(out, vec![5.0]);
+        assert_eq!(arg, vec![1]);
+    }
+}

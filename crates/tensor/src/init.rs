@@ -1,0 +1,105 @@
+//! Seeded random number helpers and weight initializers.
+//!
+//! Everything in the workspace is deterministic given a `u64` seed; this
+//! module centralizes the RNG type so experiments are reproducible.
+
+use crate::matrix::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The workspace-wide RNG type.
+pub type Rng64 = SmallRng;
+
+/// Deterministic RNG from a seed.
+pub fn seeded_rng(seed: u64) -> Rng64 {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Derive a sub-seed for an independent stream (e.g. per fold / per run).
+/// Uses SplitMix64 so nearby seeds give unrelated streams.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Standard normal sample via Box–Muller (rand 0.8 without rand_distr).
+pub fn normal(rng: &mut Rng64) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        let u2: f32 = rng.gen::<f32>();
+        if u1 > 1e-12 {
+            return (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Normal sample with mean/std.
+pub fn normal_ms(rng: &mut Rng64, mean: f32, std: f32) -> f32 {
+    mean + std * normal(rng)
+}
+
+/// Glorot/Xavier uniform initializer for a `rows×cols` weight matrix.
+pub fn glorot_uniform(rows: usize, cols: usize, rng: &mut Rng64) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// He (Kaiming) normal initializer, suited to ReLU-family activations.
+pub fn he_normal(rows: usize, cols: usize, rng: &mut Rng64) -> Matrix {
+    let std = (2.0 / rows as f32).sqrt();
+    let data = (0..rows * cols).map(|_| std * normal(rng)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Matrix with i.i.d. N(mean, std) entries.
+pub fn normal_matrix(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut Rng64) -> Matrix {
+    let data = (0..rows * cols).map(|_| normal_ms(rng, mean, std)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Matrix with i.i.d. U(lo, hi) entries.
+pub fn uniform_matrix(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut Rng64) -> Matrix {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = glorot_uniform(4, 4, &mut seeded_rng(7));
+        let b = glorot_uniform(4, 4, &mut seeded_rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derive_seed_changes_stream() {
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+        assert_eq!(derive_seed(1, 5), derive_seed(1, 5));
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = seeded_rng(42);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn glorot_within_limit() {
+        let m = glorot_uniform(10, 20, &mut seeded_rng(3));
+        let limit = (6.0f32 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+}

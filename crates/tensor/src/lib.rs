@@ -1,0 +1,54 @@
+//! # uvd-tensor
+//!
+//! Minimal dense-matrix tensor library with tape-based reverse-mode autodiff,
+//! purpose-built for the graph neural network workloads of the CMSF urban
+//! village detection reproduction.
+//!
+//! The crate provides:
+//! * [`Matrix`] — dense row-major `f32` matrices and the kernels used by the
+//!   tape (matmul with free transposition, softmax, gather, ...).
+//! * [`Graph`] — a define-by-run autodiff tape with graph-learning primitives:
+//!   per-destination edge softmax, attention aggregation, constant sparse
+//!   matmul, the MS-Gate `gated_matmul`, and im2col convolution.
+//! * [`ParamRef`] / [`ParamSet`] / [`Adam`] — trainable parameters and the
+//!   Adam optimizer with exponential learning-rate decay.
+//! * [`Csr`] / [`EdgeIndex`] — the sparse structures shared with the URG.
+//! * [`init`] — deterministic seeded initialization helpers.
+//!
+//! ```
+//! use uvd_tensor::{Graph, Matrix, ParamRef, ParamSet, Adam};
+//!
+//! // Fit y = 2x with one weight.
+//! let w = ParamRef::new("w", Matrix::filled(1, 1, 0.0));
+//! let mut set = ParamSet::new();
+//! set.track(w.clone());
+//! let mut opt = Adam::new(0.1);
+//! for _ in 0..300 {
+//!     let mut g = Graph::new();
+//!     let wv = g.param(&w);
+//!     let x = g.constant(Matrix::filled(1, 1, 3.0));
+//!     let y = g.matmul(x, wv);
+//!     let target = g.constant(Matrix::filled(1, 1, 6.0));
+//!     let loss = g.mse(y, target);
+//!     g.backward(loss);
+//!     g.write_grads();
+//!     opt.step(&set);
+//! }
+//! assert!((w.value().get(0, 0) - 2.0).abs() < 1e-2);
+//! ```
+
+pub mod conv;
+pub mod graph;
+pub mod init;
+pub mod matrix;
+pub mod param;
+pub mod persist;
+pub mod sparse;
+
+pub use conv::{ConvMeta, PoolMeta};
+pub use graph::{CsrPair, Graph, NodeId};
+pub use init::{seeded_rng, Rng64};
+pub use matrix::Matrix;
+pub use param::{Adam, ParamRef, ParamSet};
+pub use persist::MatrixStore;
+pub use sparse::{Csr, EdgeIndex};

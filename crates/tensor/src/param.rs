@@ -1,0 +1,263 @@
+//! Trainable parameters and the Adam optimizer.
+//!
+//! A [`ParamRef`] is a shared handle to a parameter's value, its accumulated
+//! gradient and its Adam moment buffers. Models own `ParamRef`s; each training
+//! iteration binds them into a fresh [`crate::Graph`], runs forward/backward,
+//! calls [`crate::Graph::write_grads`] and then steps the optimizer.
+
+use crate::matrix::Matrix;
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+#[derive(Debug)]
+pub(crate) struct ParamInner {
+    pub name: String,
+    pub value: Matrix,
+    pub grad: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+/// Shared handle to a trainable parameter.
+#[derive(Clone, Debug)]
+pub struct ParamRef(pub(crate) Rc<RefCell<ParamInner>>);
+
+impl ParamRef {
+    /// New named parameter with the given initial value.
+    pub fn new(name: impl Into<String>, value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        ParamRef(Rc::new(RefCell::new(ParamInner {
+            name: name.into(),
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+            value,
+        })))
+    }
+
+    pub fn name(&self) -> String {
+        self.0.borrow().name.clone()
+    }
+
+    /// Borrow the current value.
+    pub fn value(&self) -> Ref<'_, Matrix> {
+        Ref::map(self.0.borrow(), |p| &p.value)
+    }
+
+    /// Mutably borrow the current value (e.g. to load weights).
+    pub fn value_mut(&self) -> RefMut<'_, Matrix> {
+        RefMut::map(self.0.borrow_mut(), |p| &mut p.value)
+    }
+
+    /// Borrow the accumulated gradient.
+    pub fn grad(&self) -> Ref<'_, Matrix> {
+        Ref::map(self.0.borrow(), |p| &p.grad)
+    }
+
+    /// Add to the accumulated gradient.
+    pub fn accumulate_grad(&self, g: &Matrix) {
+        self.0.borrow_mut().grad.add_assign(g);
+    }
+
+    /// Reset the accumulated gradient to zero.
+    pub fn zero_grad(&self) {
+        let mut p = self.0.borrow_mut();
+        for x in p.grad.as_mut_slice() {
+            *x = 0.0;
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.0.borrow().value.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shape of the parameter matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.0.borrow().value.shape()
+    }
+
+    /// True if both handles refer to the same parameter.
+    pub fn same(&self, other: &ParamRef) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// An ordered collection of parameters (a model's trainable state).
+#[derive(Clone, Default, Debug)]
+pub struct ParamSet {
+    params: Vec<ParamRef>,
+}
+
+impl ParamSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a parameter; returns the handle for convenience.
+    pub fn track(&mut self, p: ParamRef) -> ParamRef {
+        self.params.push(p.clone());
+        p
+    }
+
+    /// Append every parameter of another set (e.g. a sub-module).
+    pub fn extend(&mut self, other: &ParamSet) {
+        self.params.extend(other.params.iter().cloned());
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &ParamRef> {
+        self.params.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.len()).sum()
+    }
+
+    /// Model size in megabytes assuming f32 storage (paper Table III metric).
+    pub fn size_mbytes(&self) -> f64 {
+        self.num_scalars() as f64 * 4.0 / 1.0e6
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grads(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Global gradient L2 norm (diagnostics / clipping).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| {
+                let g = p.grad();
+                g.as_slice().iter().map(|&x| x * x).sum::<f32>()
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for p in &self.params {
+                p.0.borrow_mut().grad.scale_assign(scale);
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with optional exponential learning-rate
+/// decay, as used in the paper ("decay rate ... 0.1% per epoch").
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Exponential decay: multiply the learning rate by `(1 - rate)`.
+    /// Call once per epoch with e.g. `rate = 0.001` for 0.1%/epoch.
+    pub fn decay(&mut self, rate: f32) {
+        self.lr *= 1.0 - rate;
+    }
+
+    /// Apply one Adam update using the gradients accumulated in `params`,
+    /// then zero the gradients.
+    pub fn step(&mut self, params: &ParamSet) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter() {
+            let mut inner = p.0.borrow_mut();
+            let ParamInner { value, grad, m, v, .. } = &mut *inner;
+            for i in 0..value.len() {
+                let g = grad.as_slice()[i];
+                let mi = &mut m.as_mut_slice()[i];
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                let vi = &mut v.as_mut_slice()[i];
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / b1t;
+                let v_hat = *vi / b2t;
+                value.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            for g in grad.as_mut_slice() {
+                *g = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // minimize f(x) = (x - 3)^2 by hand-feeding gradients.
+        let p = ParamRef::new("x", Matrix::filled(1, 1, 0.0));
+        let mut set = ParamSet::new();
+        set.track(p.clone());
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let x = p.value().get(0, 0);
+            p.accumulate_grad(&Matrix::filled(1, 1, 2.0 * (x - 3.0)));
+            opt.step(&set);
+        }
+        let x = p.value().get(0, 0);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn decay_reduces_lr() {
+        let mut opt = Adam::new(1.0);
+        opt.decay(0.001);
+        assert!((opt.lr - 0.999).abs() < 1e-6);
+    }
+
+    #[test]
+    fn param_set_counts_scalars() {
+        let mut set = ParamSet::new();
+        set.track(ParamRef::new("a", Matrix::zeros(3, 4)));
+        set.track(ParamRef::new("b", Matrix::zeros(5, 1)));
+        assert_eq!(set.num_scalars(), 17);
+        assert!((set.size_mbytes() - 17.0 * 4.0 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let p = ParamRef::new("x", Matrix::zeros(1, 2));
+        let mut set = ParamSet::new();
+        set.track(p.clone());
+        p.accumulate_grad(&Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        set.clip_grad_norm(1.0);
+        assert!((set.grad_norm() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,235 @@
+//! Minimal, dependency-free persistence for named matrices and parameter
+//! sets — enough to save a trained detector to disk and reload it for
+//! inference (little-endian binary format with a magic header).
+//!
+//! Format (version 1):
+//! ```text
+//! magic  : b"UVDT0001"
+//! count  : u32
+//! entry* : name_len u32 | name bytes (utf-8) | rows u32 | cols u32 | f32*
+//! ```
+
+use crate::matrix::Matrix;
+use crate::param::ParamSet;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"UVDT0001";
+
+/// An ordered collection of named matrices.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MatrixStore {
+    entries: Vec<(String, Matrix)>,
+}
+
+impl MatrixStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a named matrix.
+    pub fn insert(&mut self, name: impl Into<String>, m: Matrix) {
+        let name = name.into();
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = m;
+        } else {
+            self.entries.push((name, m));
+        }
+    }
+
+    /// Look up a matrix by name.
+    pub fn get(&self, name: &str) -> Option<&Matrix> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Capture every parameter of a set (by parameter name).
+    pub fn capture_params(&mut self, params: &ParamSet) {
+        for p in params.iter() {
+            self.insert(p.name(), p.value().clone());
+        }
+    }
+
+    /// Restore parameters of a set from the store by name. Every parameter
+    /// must be present with a matching shape.
+    pub fn restore_params(&self, params: &ParamSet) -> io::Result<()> {
+        for p in params.iter() {
+            let name = p.name();
+            let m = self.get(&name).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("missing parameter '{name}'"))
+            })?;
+            if m.shape() != p.shape() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("shape mismatch for '{name}': {:?} vs {:?}", m.shape(), p.shape()),
+                ));
+            }
+            *p.value_mut() = m.clone();
+        }
+        Ok(())
+    }
+
+    /// Serialize to a writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        for (name, m) in &self.entries {
+            let bytes = name.as_bytes();
+            w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            w.write_all(bytes)?;
+            w.write_all(&(m.rows() as u32).to_le_bytes())?;
+            w.write_all(&(m.cols() as u32).to_le_bytes())?;
+            for &v in m.as_slice() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a reader.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let count = read_u32(r)? as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_len = read_u32(r)? as usize;
+            if name_len > 1 << 20 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "name too long"));
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 name"))?;
+            let rows = read_u32(r)? as usize;
+            let cols = read_u32(r)? as usize;
+            if rows.checked_mul(cols).is_none_or(|n| n > 1 << 28) {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "matrix too large"));
+            }
+            let mut data = vec![0.0f32; rows * cols];
+            let mut buf = [0u8; 4];
+            for v in &mut data {
+                r.read_exact(&mut buf)?;
+                *v = f32::from_le_bytes(buf);
+            }
+            entries.push((name, Matrix::from_vec(rows, cols, data)));
+        }
+        Ok(MatrixStore { entries })
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)?;
+        f.flush()
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut f)
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{normal_matrix, seeded_rng};
+    use crate::param::ParamRef;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let mut rng = seeded_rng(1);
+        let mut store = MatrixStore::new();
+        store.insert("a", normal_matrix(3, 4, 0.0, 1.0, &mut rng));
+        store.insert("b", Matrix::zeros(1, 1));
+        store.insert("empty", Matrix::zeros(2, 0));
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).expect("write");
+        let back = MatrixStore::read_from(&mut buf.as_slice()).expect("read");
+        assert_eq!(store, back);
+    }
+
+    #[test]
+    fn insert_replaces_by_name() {
+        let mut store = MatrixStore::new();
+        store.insert("x", Matrix::filled(1, 1, 1.0));
+        store.insert("x", Matrix::filled(1, 1, 2.0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get("x").expect("x").get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn param_capture_restore() {
+        let mut rng = seeded_rng(2);
+        let p1 = ParamRef::new("w", normal_matrix(2, 3, 0.0, 1.0, &mut rng));
+        let p2 = ParamRef::new("b", normal_matrix(1, 3, 0.0, 1.0, &mut rng));
+        let mut set = ParamSet::new();
+        set.track(p1.clone());
+        set.track(p2.clone());
+        let mut store = MatrixStore::new();
+        store.capture_params(&set);
+        // Mutate, then restore.
+        p1.value_mut().set(0, 0, 99.0);
+        store.restore_params(&set).expect("restore");
+        assert_ne!(p1.value().get(0, 0), 99.0);
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let p = ParamRef::new("w", Matrix::zeros(2, 2));
+        let mut set = ParamSet::new();
+        set.track(p);
+        let mut store = MatrixStore::new();
+        store.insert("w", Matrix::zeros(3, 3));
+        assert!(store.restore_params(&set).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_missing_param() {
+        let p = ParamRef::new("w", Matrix::zeros(2, 2));
+        let mut set = ParamSet::new();
+        set.track(p);
+        let store = MatrixStore::new();
+        assert!(store.restore_params(&set).is_err());
+    }
+
+    #[test]
+    fn read_rejects_bad_magic() {
+        let buf = b"NOTMAGIC\0\0\0\0".to_vec();
+        assert!(MatrixStore::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut store = MatrixStore::new();
+        store.insert("m", Matrix::from_rows(&[&[1.5, -2.5]]));
+        let dir = std::env::temp_dir().join("uvd_persist_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("weights.uvdt");
+        store.save(&path).expect("save");
+        let back = MatrixStore::load(&path).expect("load");
+        assert_eq!(store, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

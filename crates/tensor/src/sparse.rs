@@ -1,0 +1,242 @@
+//! Sparse structures used by graph neural network layers: a CSR matrix for
+//! GCN-style propagation and an edge index (sorted by destination) for
+//! attention-style aggregation.
+
+use crate::matrix::Matrix;
+
+/// Compressed sparse row matrix of `f32`.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<u32>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Build from COO triplets; duplicate entries are summed.
+    pub fn from_coo(rows: usize, cols: usize, mut coo: Vec<(u32, u32, f32)>) -> Self {
+        coo.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = vec![0u32; rows + 1];
+        let mut indices: Vec<u32> = Vec::with_capacity(coo.len());
+        let mut values: Vec<f32> = Vec::with_capacity(coo.len());
+        let mut last: Option<(u32, u32)> = None;
+        for &(r, c, v) in &coo {
+            assert!((r as usize) < rows && (c as usize) < cols, "coo out of bounds");
+            if last == Some((r, c)) {
+                *values.last_mut().expect("non-empty after a push") += v;
+            } else {
+                indices.push(c);
+                values.push(v);
+                indptr[r as usize + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for i in 1..indptr.len() {
+            indptr[i] += indptr[i - 1];
+        }
+        Csr { rows, cols, indptr, indices, values }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterate the non-zeros of one row as `(col, value)` pairs.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let lo = self.indptr[r] as usize;
+        let hi = self.indptr[r + 1] as usize;
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Sparse × dense product: `self * x`.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.cols, x.rows(), "spmm: {}x{} * {}x{}", self.rows, self.cols, x.rows(), x.cols());
+        let n = x.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        for r in 0..self.rows {
+            let lo = self.indptr[r] as usize;
+            let hi = self.indptr[r + 1] as usize;
+            let o_row = &mut out.as_mut_slice()[r * n..(r + 1) * n];
+            for k in lo..hi {
+                let c = self.indices[k] as usize;
+                let v = self.values[k];
+                let x_row = &x.as_slice()[c * n..(c + 1) * n];
+                for (o, &xv) in o_row.iter_mut().zip(x_row.iter()) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Csr {
+        let mut coo = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                coo.push((c, r as u32, v));
+            }
+        }
+        Csr::from_coo(self.cols, self.rows, coo)
+    }
+
+    /// Symmetric normalization `D^{-1/2} (A) D^{-1/2}` (GCN, Kipf & Welling).
+    /// The caller is expected to have added self-loops already if desired.
+    pub fn sym_normalized(&self) -> Csr {
+        assert_eq!(self.rows, self.cols, "sym_normalized requires square");
+        let mut deg = vec![0.0f32; self.rows];
+        for (r, d) in deg.iter_mut().enumerate() {
+            for (_, v) in self.row_iter(r) {
+                *d += v;
+            }
+        }
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let mut coo = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                coo.push((r as u32, c, v * inv_sqrt[r] * inv_sqrt[c as usize]));
+            }
+        }
+        Csr::from_coo(self.rows, self.cols, coo)
+    }
+}
+
+/// Directed edge list sorted by destination node, with CSR-style offsets per
+/// destination. `src[e]` is the message sender, `dst[e]` the receiver; all
+/// edges with the same destination are contiguous.
+#[derive(Clone, Debug)]
+pub struct EdgeIndex {
+    n_nodes: usize,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    /// `dst_ptr[i]..dst_ptr[i+1]` is the edge range whose destination is `i`.
+    dst_ptr: Vec<u32>,
+}
+
+impl EdgeIndex {
+    /// Build from `(src, dst)` pairs. Pairs are sorted by destination.
+    pub fn from_pairs(n_nodes: usize, mut pairs: Vec<(u32, u32)>) -> Self {
+        pairs.sort_unstable_by_key(|&(s, d)| (d, s));
+        let mut src = Vec::with_capacity(pairs.len());
+        let mut dst = Vec::with_capacity(pairs.len());
+        let mut dst_ptr = vec![0u32; n_nodes + 1];
+        for &(s, d) in &pairs {
+            assert!((s as usize) < n_nodes && (d as usize) < n_nodes, "edge out of bounds");
+            src.push(s);
+            dst.push(d);
+            dst_ptr[d as usize + 1] += 1;
+        }
+        for i in 1..dst_ptr.len() {
+            dst_ptr[i] += dst_ptr[i - 1];
+        }
+        EdgeIndex { n_nodes, src, dst, dst_ptr }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    pub fn n_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    pub fn src(&self) -> &[u32] {
+        &self.src
+    }
+
+    pub fn dst(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// Edge id range with destination `i`.
+    pub fn incoming(&self, i: usize) -> std::ops::Range<usize> {
+        self.dst_ptr[i] as usize..self.dst_ptr[i + 1] as usize
+    }
+
+    /// In-degree of node `i`.
+    pub fn in_degree(&self, i: usize) -> usize {
+        (self.dst_ptr[i + 1] - self.dst_ptr[i]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_spmm_matches_dense() {
+        let coo = vec![(0, 1, 2.0), (1, 0, 3.0), (1, 2, 1.0), (2, 2, 4.0)];
+        let a = Csr::from_coo(3, 3, coo);
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let y = a.spmm(&x);
+        let dense = Matrix::from_rows(&[&[0.0, 2.0, 0.0], &[3.0, 0.0, 1.0], &[0.0, 0.0, 4.0]]);
+        assert_eq!(y, dense.matmul(&x));
+    }
+
+    #[test]
+    fn csr_duplicates_summed() {
+        let a = Csr::from_coo(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]);
+        assert_eq!(a.nnz(), 2);
+        let x = Matrix::eye(2);
+        let y = a.spmm(&x);
+        assert_eq!(y.get(0, 0), 3.0);
+        assert_eq!(y.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn csr_empty_rows_ok() {
+        let a = Csr::from_coo(4, 4, vec![(3, 0, 1.0)]);
+        let x = Matrix::eye(4);
+        let y = a.spmm(&x);
+        assert_eq!(y.get(0, 0), 0.0);
+        assert_eq!(y.get(3, 0), 1.0);
+    }
+
+    #[test]
+    fn csr_transpose_roundtrip() {
+        let a = Csr::from_coo(2, 3, vec![(0, 2, 1.5), (1, 0, -2.0)]);
+        let att = a.transpose().transpose();
+        let x = Matrix::eye(3);
+        assert_eq!(a.spmm(&x), att.spmm(&x));
+    }
+
+    #[test]
+    fn sym_normalized_row_scale() {
+        // Path graph 0-1 with self loops: degrees 2,2 after loops.
+        let coo = vec![(0, 0, 1.0), (1, 1, 1.0), (0, 1, 1.0), (1, 0, 1.0)];
+        let a = Csr::from_coo(2, 2, coo).sym_normalized();
+        let x = Matrix::eye(2);
+        let y = a.spmm(&x);
+        assert!((y.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((y.get(0, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edge_index_groups_by_dst() {
+        let e = EdgeIndex::from_pairs(3, vec![(0, 2), (1, 2), (2, 0)]);
+        assert_eq!(e.n_edges(), 3);
+        assert_eq!(e.incoming(2), 1..3);
+        assert_eq!(e.in_degree(1), 0);
+        assert_eq!(e.in_degree(2), 2);
+        for eid in e.incoming(2) {
+            assert_eq!(e.dst()[eid], 2);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests over the tensor kernels and autodiff invariants.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use uvd_tensor::{Csr, EdgeIndex, Graph, Matrix};
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (AB)C == A(BC) within f32 tolerance.
+    #[test]
+    fn matmul_associative(a in small_matrix(3, 4), b in small_matrix(4, 2), c in small_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// A^T B computed by matmul_tn matches the explicit transpose.
+    #[test]
+    fn matmul_tn_consistent(a in small_matrix(4, 3), b in small_matrix(4, 2)) {
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// A B^T computed by matmul_nt matches the explicit transpose.
+    #[test]
+    fn matmul_nt_consistent(a in small_matrix(3, 4), b in small_matrix(2, 4)) {
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows sum to one and are within (0, 1], for any temperature.
+    #[test]
+    fn softmax_rows_is_distribution(a in small_matrix(4, 6), tau in 0.05f32..5.0) {
+        let s = a.softmax_rows(tau);
+        for r in 0..4 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+            for &x in s.row(r) {
+                prop_assert!(x > 0.0 && x <= 1.0 + 1e-6);
+            }
+        }
+    }
+
+    /// Softmax is shift-invariant per row.
+    #[test]
+    fn softmax_shift_invariant(a in small_matrix(2, 5), shift in -10.0f32..10.0) {
+        let s1 = a.softmax_rows(1.0);
+        let s2 = a.map(|x| x + shift).softmax_rows(1.0);
+        for (x, y) in s1.as_slice().iter().zip(s2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// CSR spmm agrees with a dense reconstruction of the matrix.
+    #[test]
+    fn spmm_matches_dense(
+        entries in proptest::collection::vec((0u32..5, 0u32..5, -2.0f32..2.0), 0..12),
+        x in small_matrix(5, 3),
+    ) {
+        let csr = Csr::from_coo(5, 5, entries.clone());
+        let mut dense = Matrix::zeros(5, 5);
+        for (r, c, v) in entries {
+            dense.set(r as usize, c as usize, dense.get(r as usize, c as usize) + v);
+        }
+        let a = csr.spmm(&x);
+        let b = dense.matmul(&x);
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    /// Edge softmax produces a distribution over every non-empty incoming set.
+    #[test]
+    fn edge_softmax_distribution(
+        pairs in proptest::collection::vec((0u32..6, 0u32..6), 1..20),
+        raw in proptest::collection::vec(-4.0f32..4.0, 20),
+    ) {
+        let edges = Rc::new(EdgeIndex::from_pairs(6, pairs));
+        let scores = Matrix::from_vec(
+            edges.n_edges(), 1, raw[..edges.n_edges()].to_vec(),
+        );
+        let mut g = Graph::new();
+        let s = g.constant(scores);
+        let a = g.edge_softmax(s, edges.clone());
+        let alpha = g.value(a);
+        for i in 0..6 {
+            let range = edges.incoming(i);
+            if range.is_empty() { continue; }
+            let sum: f32 = range.map(|e| alpha.get(e, 0)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "node {i} sum {sum}");
+        }
+    }
+
+    /// Uniform attention equals mean aggregation of neighbour features.
+    #[test]
+    fn uniform_attention_is_mean(h in small_matrix(4, 3)) {
+        let edges = Rc::new(EdgeIndex::from_pairs(
+            4, vec![(0, 3), (1, 3), (2, 3)],
+        ));
+        let mut g = Graph::new();
+        let s = g.constant(Matrix::col_vec(&[0.0, 0.0, 0.0]));
+        let hi = g.constant(h.clone());
+        let alpha = g.edge_softmax(s, edges.clone());
+        let out = g.edge_aggregate(alpha, hi, edges);
+        for c in 0..3 {
+            let mean = (h.get(0, c) + h.get(1, c) + h.get(2, c)) / 3.0;
+            prop_assert!((g.value(out).get(3, c) - mean).abs() < 1e-4);
+        }
+    }
+
+    /// Backward of sum(X*W) gives exact analytic gradients for any inputs.
+    #[test]
+    fn backward_linear_exact(x in small_matrix(3, 4), w in small_matrix(4, 2)) {
+        let mut g = Graph::new();
+        let xi = g.constant(x.clone());
+        let wi = g.constant(w.clone());
+        let y = g.matmul(xi, wi);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        // dW = X^T * ones, dX = ones * W^T.
+        let ones = Matrix::filled(3, 2, 1.0);
+        let dw = x.matmul_tn(&ones);
+        let dx = ones.matmul_nt(&w);
+        for (a, b) in g.grad(wi).unwrap().as_slice().iter().zip(dw.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        for (a, b) in g.grad(xi).unwrap().as_slice().iter().zip(dx.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// gather then sum == selecting rows and summing them manually.
+    #[test]
+    fn gather_rows_sum(x in small_matrix(5, 2), idx in proptest::collection::vec(0u32..5, 1..8)) {
+        let g = x.gather_rows(&idx);
+        let manual: f32 = idx.iter().map(|&i| x.row(i as usize).iter().sum::<f32>()).sum();
+        prop_assert!((g.sum() - manual).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,43 @@
+//! The common interface every urban-village detector implements (CMSF and
+//! all baselines). Living next to [`crate::Urg`] because the URG is the data
+//! contract shared by every model.
+
+use crate::Urg;
+
+/// Outcome of a training run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FitReport {
+    /// Epochs actually run.
+    pub epochs: usize,
+    /// Wall-clock training time in seconds.
+    pub train_secs: f64,
+    /// Final training-loss value.
+    pub final_loss: f32,
+}
+
+impl FitReport {
+    /// Average seconds per epoch (Table III "training time" metric).
+    pub fn secs_per_epoch(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.train_secs / self.epochs as f64
+        }
+    }
+}
+
+/// A trainable region-wise urban-village detector.
+pub trait Detector {
+    /// Short display name (Table II row label).
+    fn name(&self) -> &'static str;
+
+    /// Train on the labeled regions selected by `train_idx` (indices into
+    /// `urg.labeled` / `urg.y`).
+    fn fit(&mut self, urg: &Urg, train_idx: &[usize]) -> FitReport;
+
+    /// Predicted urban-village probability for every region (length `urg.n`).
+    fn predict(&self, urg: &Urg) -> Vec<f32>;
+
+    /// Total scalar parameter count (Table III "model size").
+    fn num_params(&self) -> usize;
+}

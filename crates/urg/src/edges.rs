@@ -1,0 +1,153 @@
+//! Region relation construction (paper Section IV-A): spatial-proximity
+//! edges between the eight grid neighbours, and road-connectivity edges
+//! between regions whose road intersections are within a bounded number of
+//! road segments of each other (5 hops in the paper).
+
+use std::collections::VecDeque;
+use uvd_citysim::City;
+
+/// Spatial proximity: connect each region with its 8 neighbours in the
+/// 3×3 window (Figure 1(a)). Returns undirected unique pairs `(a, b)` with
+/// `a < b`.
+pub fn spatial_edges(city: &City) -> Vec<(u32, u32)> {
+    let (w, h) = (city.width, city.height);
+    let mut pairs = Vec::with_capacity(w * h * 4);
+    for y in 0..h {
+        for x in 0..w {
+            let r = (y * w + x) as u32;
+            // Emit only "forward" neighbours so each pair appears once.
+            for (dx, dy) in [(1i64, 0i64), (-1, 1), (0, 1), (1, 1)] {
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                    continue;
+                }
+                let q = (ny as usize * w + nx as usize) as u32;
+                pairs.push((r.min(q), r.max(q)));
+            }
+        }
+    }
+    pairs
+}
+
+/// Road connectivity (Figure 1(b)): regions `v_i`, `v_j` are connected iff
+/// some intersection in `v_i` reaches some intersection in `v_j` within
+/// `max_hops` road segments. Returns undirected unique pairs with `a < b`.
+pub fn road_edges(city: &City, max_hops: usize) -> Vec<(u32, u32)> {
+    let n_nodes = city.roads.nodes.len();
+    if n_nodes == 0 {
+        return Vec::new();
+    }
+    let adj = city.roads.adjacency();
+    let node_region: Vec<u32> = (0..n_nodes)
+        .map(|i| city.roads.node_region(i, city.width) as u32)
+        .collect();
+
+    let mut pairs = Vec::new();
+    let mut dist = vec![u32::MAX; n_nodes];
+    let mut touched: Vec<u32> = Vec::new();
+    for start in 0..n_nodes {
+        // BFS bounded by max_hops from each intersection.
+        let mut queue = VecDeque::new();
+        dist[start] = 0;
+        touched.push(start as u32);
+        queue.push_back(start as u32);
+        let start_region = node_region[start];
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v as usize];
+            if d as usize >= max_hops {
+                continue;
+            }
+            for &u in &adj[v as usize] {
+                if dist[u as usize] == u32::MAX {
+                    dist[u as usize] = d + 1;
+                    touched.push(u);
+                    queue.push_back(u);
+                    let r = node_region[u as usize];
+                    if r != start_region {
+                        pairs.push((start_region.min(r), start_region.max(r)));
+                    }
+                }
+            }
+        }
+        for &t in &touched {
+            dist[t as usize] = u32::MAX;
+        }
+        touched.clear();
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Merge undirected pair lists into one deduplicated list.
+pub fn merge_pairs(mut lists: Vec<Vec<(u32, u32)>>) -> Vec<(u32, u32)> {
+    let mut all: Vec<(u32, u32)> = lists.drain(..).flatten().collect();
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::{City, CityPreset};
+
+    #[test]
+    fn spatial_edges_count_matches_formula() {
+        let city = City::from_config(CityPreset::tiny(), 1);
+        let pairs = spatial_edges(&city);
+        let (w, h) = (city.width, city.height);
+        // Undirected 8-neighbour grid: horizontal + vertical + 2 diagonals.
+        let expect = h * (w - 1) + w * (h - 1) + 2 * (w - 1) * (h - 1);
+        assert_eq!(pairs.len(), expect);
+    }
+
+    #[test]
+    fn spatial_edges_unique_and_ordered() {
+        let city = City::from_config(CityPreset::tiny(), 2);
+        let pairs = spatial_edges(&city);
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pairs.len());
+        for &(a, b) in &pairs {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn road_edges_respect_hop_bound() {
+        let city = City::from_config(CityPreset::tiny(), 3);
+        // 0 hops -> no edges at all; more hops -> monotonically more pairs.
+        let e0 = road_edges(&city, 0);
+        assert!(e0.is_empty());
+        let e2 = road_edges(&city, 2);
+        let e5 = road_edges(&city, 5);
+        assert!(e5.len() >= e2.len());
+        // Every 2-hop pair must be a 5-hop pair.
+        let set: std::collections::HashSet<_> = e5.iter().collect();
+        for p in &e2 {
+            assert!(set.contains(p));
+        }
+    }
+
+    #[test]
+    fn road_edges_can_skip_spatial_gaps() {
+        // Road connectivity should produce at least some pairs that are NOT
+        // spatial neighbours (long-range functional correlation).
+        let city = City::from_config(CityPreset::tiny(), 4);
+        let spatial: std::collections::HashSet<_> = spatial_edges(&city).into_iter().collect();
+        let road = road_edges(&city, 5);
+        assert!(
+            road.iter().any(|p| !spatial.contains(p)),
+            "expected some long-range road pairs"
+        );
+    }
+
+    #[test]
+    fn merge_pairs_dedups_across_lists() {
+        let merged = merge_pairs(vec![vec![(0, 1), (1, 2)], vec![(1, 2), (0, 3)]]);
+        assert_eq!(merged, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+}

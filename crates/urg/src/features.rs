@@ -1,0 +1,387 @@
+//! POI feature construction (paper Section IV-B and Table IV).
+//!
+//! The full POI feature vector has 64 dimensions:
+//!
+//! | slice    | content                                                    |
+//! |----------|------------------------------------------------------------|
+//! | `0..23`  | category distribution inside the region (proportions)      |
+//! | `23`     | total POI count in the region (log-normalized)              |
+//! | `24..47` | category distribution over the surrounding 3×3 grids        |
+//! | `47`     | total POI count over the 3×3 grids (log-normalized)         |
+//! | `48..63` | 15 POI-radius features, bucketized (<0.5 / 0.5–1.5 / 1.5–3 / >3 km) |
+//! | `63`     | index of basic living facility (all 9 classes within 1 km)  |
+//!
+//! Feature groups can be ablated independently (Figure 5(b) variants
+//! `noCate`, `noRad`, `noIndex`).
+
+use uvd_citysim::{City, FacilityClass, PoiCategory, RadiusType, CELL_METERS};
+use uvd_tensor::Matrix;
+
+/// Which POI feature groups to include.
+#[derive(Clone, Copy, Debug)]
+pub struct PoiFeatureOptions {
+    /// Category distribution + counts (48 dims).
+    pub cate: bool,
+    /// POI radius buckets (15 dims).
+    pub radius: bool,
+    /// Basic-living-facility index (1 dim).
+    pub facility: bool,
+}
+
+impl Default for PoiFeatureOptions {
+    fn default() -> Self {
+        PoiFeatureOptions { cate: true, radius: true, facility: true }
+    }
+}
+
+impl PoiFeatureOptions {
+    /// Output dimensionality under these options.
+    pub fn dim(&self) -> usize {
+        (if self.cate { 48 } else { 0 })
+            + (if self.radius { RadiusType::COUNT } else { 0 })
+            + (if self.facility { 1 } else { 0 })
+    }
+}
+
+/// Spatial index over the city's POIs, bucketed per region, supporting the
+/// bounded nearest-POI queries that the radius/facility features need.
+pub struct PoiSpatialIndex {
+    width: usize,
+    height: usize,
+    /// Per radius type, per region: POI positions (meters).
+    radius_buckets: Vec<Vec<Vec<(f64, f64)>>>,
+    /// Per facility class, per region: POI positions (meters).
+    facility_buckets: Vec<Vec<Vec<(f64, f64)>>>,
+    /// Per region: POI count per top-level category.
+    category_counts: Vec<[f32; PoiCategory::COUNT]>,
+}
+
+impl PoiSpatialIndex {
+    pub fn build(city: &City) -> Self {
+        let n = city.n_regions();
+        let mut radius_buckets = vec![vec![Vec::new(); n]; RadiusType::COUNT];
+        let mut facility_buckets = vec![vec![Vec::new(); n]; FacilityClass::COUNT];
+        let mut category_counts = vec![[0.0f32; PoiCategory::COUNT]; n];
+        for p in &city.pois {
+            let r = p.region(city.width);
+            category_counts[r][p.kind.category().index()] += 1.0;
+            if let Some(rt) = p.kind.radius_type() {
+                radius_buckets[rt.index()][r].push((p.x, p.y));
+            }
+            if let Some(fc) = p.kind.facility_class() {
+                facility_buckets[fc.index()][r].push((p.x, p.y));
+            }
+        }
+        PoiSpatialIndex {
+            width: city.width,
+            height: city.height,
+            radius_buckets,
+            facility_buckets,
+            category_counts,
+        }
+    }
+
+    /// Per-region category count table.
+    pub fn category_counts(&self) -> &[[f32; PoiCategory::COUNT]] {
+        &self.category_counts
+    }
+
+    /// Distance in meters from the center of `region` to the nearest POI of
+    /// the given radius type, capped at `cap_m` (returns `None` if nothing is
+    /// within the cap).
+    pub fn nearest_radius_poi(&self, region: usize, rt: RadiusType, cap_m: f64) -> Option<f64> {
+        self.nearest_in(&self.radius_buckets[rt.index()], region, cap_m)
+    }
+
+    /// Nearest facility of a class, capped.
+    pub fn nearest_facility(&self, region: usize, fc: FacilityClass, cap_m: f64) -> Option<f64> {
+        self.nearest_in(&self.facility_buckets[fc.index()], region, cap_m)
+    }
+
+    /// Expanding ring search over region cells. Exact nearest distance as
+    /// long as it is below the cap.
+    fn nearest_in(&self, buckets: &[Vec<(f64, f64)>], region: usize, cap_m: f64) -> Option<f64> {
+        let (w, h) = (self.width, self.height);
+        let (cx, cy) = (region % w, region / w);
+        let (px, py) = ((cx as f64 + 0.5) * CELL_METERS, (cy as f64 + 0.5) * CELL_METERS);
+        let max_ring = (cap_m / CELL_METERS).ceil() as i64 + 1;
+        let mut best = f64::INFINITY;
+        for ring in 0..=max_ring {
+            // Cells in this ring cannot contain anything closer than
+            // (ring-1) cells away; stop once the current best beats that.
+            let ring_floor = ((ring - 1).max(0)) as f64 * CELL_METERS;
+            if best <= ring_floor {
+                break;
+            }
+            for (gx, gy) in ring_cells(cx as i64, cy as i64, ring, w as i64, h as i64) {
+                for &(x, y) in &buckets[gy as usize * w + gx as usize] {
+                    let d = ((x - px).powi(2) + (y - py).powi(2)).sqrt();
+                    if d < best {
+                        best = d;
+                    }
+                }
+            }
+        }
+        if best <= cap_m {
+            Some(best)
+        } else {
+            None
+        }
+    }
+}
+
+/// Grid cells at Chebyshev distance `ring` from `(cx, cy)`, clipped to the
+/// grid.
+fn ring_cells(cx: i64, cy: i64, ring: i64, w: i64, h: i64) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    if ring == 0 {
+        if cx >= 0 && cy >= 0 && cx < w && cy < h {
+            out.push((cx, cy));
+        }
+        return out;
+    }
+    for dx in -ring..=ring {
+        for &dy in &[-ring, ring] {
+            let (x, y) = (cx + dx, cy + dy);
+            if x >= 0 && y >= 0 && x < w && y < h {
+                out.push((x, y));
+            }
+        }
+    }
+    for dy in (-ring + 1)..ring {
+        for &dx in &[-ring, ring] {
+            let (x, y) = (cx + dx, cy + dy);
+            if x >= 0 && y >= 0 && x < w && y < h {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+/// Bucketize a radius distance per the paper: `<0.5 km`, `0.5–1.5 km`,
+/// `1.5–3 km`, `>3 km` → `{0, 1, 2, 3}`.
+pub fn radius_bucket(dist_m: Option<f64>) -> u8 {
+    match dist_m {
+        Some(d) if d < 500.0 => 0,
+        Some(d) if d < 1500.0 => 1,
+        Some(d) if d < 3000.0 => 2,
+        _ => 3,
+    }
+}
+
+/// Build the POI feature matrix (`n_regions × opts.dim()`).
+pub fn poi_features(city: &City, opts: PoiFeatureOptions) -> Matrix {
+    let index = PoiSpatialIndex::build(city);
+    poi_features_with_index(city, &index, opts)
+}
+
+/// As [`poi_features`] but reusing a prebuilt spatial index.
+pub fn poi_features_with_index(
+    city: &City,
+    index: &PoiSpatialIndex,
+    opts: PoiFeatureOptions,
+) -> Matrix {
+    let n = city.n_regions();
+    let (w, h) = (city.width, city.height);
+    let counts = index.category_counts();
+
+    // Global normalizers for the count features.
+    let max_count = counts
+        .iter()
+        .map(|c| c.iter().sum::<f32>())
+        .fold(0.0f32, f32::max)
+        .max(1.0);
+    let max_count_9 = max_count * 9.0;
+
+    let mut out = Matrix::zeros(n, opts.dim());
+    for r in 0..n {
+        let row = out.row_mut(r);
+        let mut col = 0usize;
+        if opts.cate {
+            // Region-level distribution + count.
+            let total: f32 = counts[r].iter().sum();
+            if total > 0.0 {
+                for (i, &c) in counts[r].iter().enumerate() {
+                    row[col + i] = c / total;
+                }
+            }
+            row[col + PoiCategory::COUNT] = (1.0 + total).ln() / (1.0 + max_count).ln();
+            col += PoiCategory::COUNT + 1;
+
+            // 3×3 neighbourhood distribution + count.
+            let (cx, cy) = (r % w, r / w);
+            let mut nb = [0.0f32; PoiCategory::COUNT];
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let (x, y) = (cx as i64 + dx, cy as i64 + dy);
+                    if x < 0 || y < 0 || x >= w as i64 || y >= h as i64 {
+                        continue;
+                    }
+                    let q = y as usize * w + x as usize;
+                    for (i, &c) in counts[q].iter().enumerate() {
+                        nb[i] += c;
+                    }
+                }
+            }
+            let nb_total: f32 = nb.iter().sum();
+            if nb_total > 0.0 {
+                for (i, &c) in nb.iter().enumerate() {
+                    row[col + i] = c / nb_total;
+                }
+            }
+            row[col + PoiCategory::COUNT] = (1.0 + nb_total).ln() / (1.0 + max_count_9).ln();
+            col += PoiCategory::COUNT + 1;
+        }
+        if opts.radius {
+            for i in 0..RadiusType::COUNT {
+                let rt = radius_type_by_index(i);
+                let d = index.nearest_radius_poi(r, rt, 3000.0);
+                row[col + i] = radius_bucket(d) as f32 / 3.0;
+            }
+            col += RadiusType::COUNT;
+        }
+        if opts.facility {
+            let all_within = (0..FacilityClass::COUNT).all(|i| {
+                index
+                    .nearest_facility(r, facility_class_by_index(i), 1000.0)
+                    .is_some()
+            });
+            row[col] = if all_within { 1.0 } else { 0.0 };
+        }
+    }
+    out
+}
+
+fn radius_type_by_index(i: usize) -> RadiusType {
+    use RadiusType::*;
+    [
+        Hospital, Clinic, College, School, BusStop, SubwayStation, Airport, TrainStation,
+        CoachStation, ShoppingMall, Supermarket, Market, Shop, PoliceStation, ScenicSpot,
+    ][i]
+}
+
+fn facility_class_by_index(i: usize) -> FacilityClass {
+    use FacilityClass::*;
+    [
+        MedicalService,
+        ShoppingPlace,
+        SportsVenue,
+        EducationService,
+        FoodService,
+        FinancialService,
+        CommunicationService,
+        PublicSecurityOrgan,
+        TransportationFacility,
+    ][i]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::CityPreset;
+
+    fn tiny(seed: u64) -> City {
+        City::from_config(CityPreset::tiny(), seed)
+    }
+
+    #[test]
+    fn full_feature_dim_is_64() {
+        assert_eq!(PoiFeatureOptions::default().dim(), 64);
+    }
+
+    #[test]
+    fn ablated_dims() {
+        let no_cate = PoiFeatureOptions { cate: false, ..Default::default() };
+        assert_eq!(no_cate.dim(), 16);
+        let no_rad = PoiFeatureOptions { radius: false, ..Default::default() };
+        assert_eq!(no_rad.dim(), 49);
+        let no_idx = PoiFeatureOptions { facility: false, ..Default::default() };
+        assert_eq!(no_idx.dim(), 63);
+    }
+
+    #[test]
+    fn category_distribution_sums_to_one_or_zero() {
+        let city = tiny(1);
+        let x = poi_features(&city, PoiFeatureOptions::default());
+        for r in 0..city.n_regions() {
+            let s: f32 = x.row(r)[..23].iter().sum();
+            assert!(s.abs() < 1e-5 || (s - 1.0).abs() < 1e-4, "region {r} sum {s}");
+        }
+    }
+
+    #[test]
+    fn features_in_unit_range() {
+        let city = tiny(2);
+        let x = poi_features(&city, PoiFeatureOptions::default());
+        for v in x.as_slice() {
+            assert!((0.0..=1.0).contains(v), "feature {v} out of range");
+        }
+    }
+
+    #[test]
+    fn radius_bucket_thresholds() {
+        assert_eq!(radius_bucket(Some(100.0)), 0);
+        assert_eq!(radius_bucket(Some(500.0)), 1);
+        assert_eq!(radius_bucket(Some(1499.0)), 1);
+        assert_eq!(radius_bucket(Some(2999.0)), 2);
+        assert_eq!(radius_bucket(Some(3000.0)), 3);
+        assert_eq!(radius_bucket(None), 3);
+    }
+
+    #[test]
+    fn nearest_search_matches_brute_force() {
+        let city = tiny(3);
+        let index = PoiSpatialIndex::build(&city);
+        for r in (0..city.n_regions()).step_by(37) {
+            let (px, py) = city.region_center(r);
+            for rt in [RadiusType::Shop, RadiusType::Hospital, RadiusType::BusStop] {
+                let brute = city
+                    .pois
+                    .iter()
+                    .filter(|p| p.kind.radius_type() == Some(rt))
+                    .map(|p| ((p.x - px).powi(2) + (p.y - py).powi(2)).sqrt())
+                    .fold(f64::INFINITY, f64::min);
+                let fast = index.nearest_radius_poi(r, rt, 3000.0);
+                match fast {
+                    Some(d) => assert!((d - brute).abs() < 1e-6, "r={r} {rt:?}"),
+                    None => assert!(brute > 3000.0, "r={r} {rt:?} brute={brute}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uv_category_profile_differs_from_residential() {
+        // The generator plants UVs with a higher share of food-service POIs
+        // and a lower share of financial-service POIs than formal
+        // residential regions; the category-distribution features should
+        // carry that signal (averaged over regions to damp Poisson noise).
+        let city = City::from_preset(CityPreset::FuzhouLike, 7);
+        let x = poi_features(&city, PoiFeatureOptions::default());
+        let food = PoiCategory::FoodService.index();
+        let finance = PoiCategory::FinancialService.index();
+        let mean_share = |pred: &dyn Fn(usize) -> bool, col: usize| {
+            let (mut s, mut c) = (0.0f32, 0usize);
+            for r in 0..city.n_regions() {
+                if pred(r) {
+                    s += x.row(r)[col];
+                    c += 1;
+                }
+            }
+            s / c.max(1) as f32
+        };
+        let is_uv = |r: usize| city.is_uv(r);
+        let is_res = |r: usize| city.land_use[r] == uvd_citysim::LandUse::Residential;
+        assert!(mean_share(&is_uv, food) > mean_share(&is_res, food));
+        assert!(mean_share(&is_uv, finance) < mean_share(&is_res, finance));
+    }
+
+    #[test]
+    fn ring_cells_cover_square_perimeter() {
+        let cells = ring_cells(5, 5, 2, 100, 100);
+        assert_eq!(cells.len(), 16); // 5x5 square perimeter
+        let cells0 = ring_cells(5, 5, 0, 100, 100);
+        assert_eq!(cells0, vec![(5, 5)]);
+    }
+}

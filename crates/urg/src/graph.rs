@@ -1,0 +1,364 @@
+//! Assembly of the Urban Region Graph G(V, E, A, X) from a generated city:
+//! edge construction (spatial + road connectivity), POI and image feature
+//! matrices, and the sparse structures models consume.
+
+use crate::edges::{merge_pairs, road_edges, spatial_edges};
+use crate::features::{poi_features, PoiFeatureOptions};
+use crate::vgg::{standardize_columns, VggSim};
+use serde_like::UrgStats;
+use std::rc::Rc;
+use uvd_citysim::{City, IMG_LEN};
+use uvd_tensor::graph::CsrPair;
+use uvd_tensor::{Csr, EdgeIndex, Matrix};
+
+/// Options controlling URG construction; the Figure 5(b) data-ablation
+/// variants are expressed by toggling these flags.
+#[derive(Clone, Copy, Debug)]
+pub struct UrgOptions {
+    /// Include 8-neighbour spatial-proximity edges.
+    pub spatial: bool,
+    /// Include road-connectivity edges.
+    pub road: bool,
+    /// Road connectivity hop bound (paper: 5).
+    pub road_hops: usize,
+    /// POI feature groups.
+    pub poi: PoiFeatureOptions,
+    /// Include VGG-sim image features.
+    pub image: bool,
+}
+
+impl Default for UrgOptions {
+    fn default() -> Self {
+        UrgOptions {
+            spatial: true,
+            road: true,
+            road_hops: 5,
+            poi: PoiFeatureOptions::default(),
+            image: true,
+        }
+    }
+}
+
+impl UrgOptions {
+    /// The Figure 5(b) named variants.
+    pub fn no_image() -> Self {
+        UrgOptions { image: false, ..Default::default() }
+    }
+
+    pub fn no_cate() -> Self {
+        let mut o = UrgOptions::default();
+        o.poi.cate = false;
+        o
+    }
+
+    pub fn no_rad() -> Self {
+        let mut o = UrgOptions::default();
+        o.poi.radius = false;
+        o
+    }
+
+    pub fn no_index() -> Self {
+        let mut o = UrgOptions::default();
+        o.poi.facility = false;
+        o
+    }
+
+    pub fn no_road() -> Self {
+        UrgOptions { road: false, ..Default::default() }
+    }
+
+    pub fn no_prox() -> Self {
+        UrgOptions { spatial: false, ..Default::default() }
+    }
+}
+
+/// The Urban Region Graph: nodes are region grids, edges come from spatial
+/// proximity and road connectivity, features from POIs and imagery
+/// (paper Section IV).
+pub struct Urg {
+    pub name: String,
+    pub n: usize,
+    pub width: usize,
+    pub height: usize,
+    /// Undirected unique edge pairs `(a, b)`, `a < b`, no self-loops.
+    pub pairs: Vec<(u32, u32)>,
+    /// Directed edge index (both directions plus self-loops), sorted by
+    /// destination — the neighbourhood structure attention layers use.
+    pub edges: Rc<EdgeIndex>,
+    /// Symmetrically normalized `A + I` for GCN-style propagation.
+    pub adj_norm: Rc<CsrPair>,
+    /// POI feature matrix (`n × d_poi`).
+    pub x_poi: Matrix,
+    /// Standardized image feature matrix (`n × 256`), or `n × 0` when the
+    /// image modality is ablated.
+    pub x_img: Matrix,
+    /// Raw region images (`n × IMG_LEN`), kept for the CNN baselines that
+    /// operate on pixels (UVLens, MUVFCN); `None` when the image modality is
+    /// ablated.
+    pub raw_images: Option<Rc<Matrix>>,
+    /// Labeled region ids (survey output), sorted.
+    pub labeled: Vec<u32>,
+    /// Binary labels aligned with `labeled` (1 = urban village).
+    pub y: Vec<f32>,
+}
+
+impl Urg {
+    /// Build the URG from a city with the given options.
+    pub fn build(city: &City, opts: UrgOptions) -> Urg {
+        let n = city.n_regions();
+
+        let mut lists = Vec::new();
+        if opts.spatial {
+            lists.push(spatial_edges(city));
+        }
+        if opts.road {
+            lists.push(road_edges(city, opts.road_hops));
+        }
+        let pairs = merge_pairs(lists);
+
+        // Directed edges + self-loops for attention neighbourhoods.
+        let mut directed: Vec<(u32, u32)> = Vec::with_capacity(pairs.len() * 2 + n);
+        for &(a, b) in &pairs {
+            directed.push((a, b));
+            directed.push((b, a));
+        }
+        for i in 0..n as u32 {
+            directed.push((i, i));
+        }
+        let edges = Rc::new(EdgeIndex::from_pairs(n, directed));
+
+        // Normalized adjacency (A + I) for GCN baselines.
+        let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(pairs.len() * 2 + n);
+        for &(a, b) in &pairs {
+            coo.push((a, b, 1.0));
+            coo.push((b, a, 1.0));
+        }
+        for i in 0..n as u32 {
+            coo.push((i, i, 1.0));
+        }
+        let adj_norm = CsrPair::new(Csr::from_coo(n, n, coo).sym_normalized());
+
+        let x_poi = poi_features(city, opts.poi);
+        let (x_img, raw_images) = if opts.image {
+            let raw = Matrix::from_vec(n, IMG_LEN, city.images.clone());
+            let feats = standardize_columns(&VggSim::new().features(&city.images));
+            (feats, Some(Rc::new(raw)))
+        } else {
+            (Matrix::zeros(n, 0), None)
+        };
+
+        // Labeled set: positives then negatives, sorted by region id.
+        let mut labeled: Vec<(u32, f32)> = city
+            .labels
+            .uv_regions
+            .iter()
+            .map(|&r| (r, 1.0))
+            .chain(city.labels.non_uv_regions.iter().map(|&r| (r, 0.0)))
+            .collect();
+        labeled.sort_unstable_by_key(|&(r, _)| r);
+        let (labeled, y): (Vec<u32>, Vec<f32>) = labeled.into_iter().unzip();
+
+        Urg {
+            name: city.name.clone(),
+            n,
+            width: city.width,
+            height: city.height,
+            pairs,
+            edges,
+            adj_norm,
+            x_poi,
+            x_img,
+            raw_images,
+            labeled,
+            y,
+        }
+    }
+
+    /// Build an ablation variant of the URG cheaply by reusing the
+    /// expensive pieces of an already-built full URG (VGG image features
+    /// dominate build time). `base` must have been built from the same
+    /// `city` with [`UrgOptions::default`].
+    pub fn variant_from(city: &City, opts: UrgOptions, base: &Urg) -> Urg {
+        assert_eq!(base.n, city.n_regions(), "base URG mismatch");
+        // Edges: recompute only if an edge source was toggled (cheap).
+        let mut variant = if opts.spatial && opts.road && opts.road_hops == 5 {
+            Urg {
+                name: base.name.clone(),
+                n: base.n,
+                width: base.width,
+                height: base.height,
+                pairs: base.pairs.clone(),
+                edges: base.edges.clone(),
+                adj_norm: base.adj_norm.clone(),
+                x_poi: base.x_poi.clone(),
+                x_img: base.x_img.clone(),
+                raw_images: base.raw_images.clone(),
+                labeled: base.labeled.clone(),
+                y: base.y.clone(),
+            }
+        } else {
+            let mut o = opts;
+            o.image = false; // skip VGG; restored from base below
+            let mut u = Urg::build(city, o);
+            u.x_img = base.x_img.clone();
+            u.raw_images = base.raw_images.clone();
+            u
+        };
+        // Feature ablations.
+        let default_poi = PoiFeatureOptions::default();
+        if opts.poi.dim() != default_poi.dim() {
+            variant.x_poi = poi_features(city, opts.poi);
+        }
+        if !opts.image {
+            variant.x_img = Matrix::zeros(variant.n, 0);
+            variant.raw_images = None;
+        }
+        variant
+    }
+
+    /// Dataset statistics in the shape of the paper's Table I. The edge
+    /// count is directed (adjacency-matrix non-zeros, excluding self-loops)
+    /// to match the paper's accounting.
+    pub fn stats(&self) -> UrgStats {
+        UrgStats {
+            name: self.name.clone(),
+            n_regions: self.n,
+            n_edges: self.pairs.len() * 2,
+            n_uvs: self.y.iter().filter(|&&v| v > 0.5).count(),
+            n_non_uvs: self.y.iter().filter(|&&v| v <= 0.5).count(),
+        }
+    }
+
+    /// Combined feature dimensionality (POI + image).
+    pub fn feature_dim(&self) -> usize {
+        self.x_poi.cols() + self.x_img.cols()
+    }
+
+    /// True iff the image modality is present.
+    pub fn has_image(&self) -> bool {
+        self.x_img.cols() > 0
+    }
+
+    /// Index into `labeled`/`y` for a region id, if labeled.
+    pub fn label_of(&self, region: u32) -> Option<f32> {
+        self.labeled
+            .binary_search(&region)
+            .ok()
+            .map(|i| self.y[i])
+    }
+}
+
+/// Serializable record types (kept in a tiny module so `urg` itself does not
+/// depend on serde).
+pub mod serde_like {
+    /// Table I row.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct UrgStats {
+        pub name: String,
+        pub n_regions: usize,
+        pub n_edges: usize,
+        pub n_uvs: usize,
+        pub n_non_uvs: usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::CityPreset;
+
+    fn tiny_urg(seed: u64, opts: UrgOptions) -> Urg {
+        let city = City::from_config(CityPreset::tiny(), seed);
+        Urg::build(&city, opts)
+    }
+
+    #[test]
+    fn build_full_urg() {
+        let urg = tiny_urg(1, UrgOptions::default());
+        assert!(urg.pairs.len() > urg.n); // denser than a path graph
+        assert_eq!(urg.x_poi.rows(), urg.n);
+        assert_eq!(urg.x_poi.cols(), 64);
+        assert_eq!(urg.x_img.shape(), (urg.n, 256));
+        assert_eq!(urg.labeled.len(), urg.y.len());
+        assert!(urg.stats().n_uvs > 0);
+    }
+
+    #[test]
+    fn every_node_has_self_loop() {
+        let urg = tiny_urg(2, UrgOptions::default());
+        for i in 0..urg.n {
+            let has_self = urg
+                .edges
+                .incoming(i)
+                .any(|e| urg.edges.src()[e] as usize == i);
+            assert!(has_self, "node {i} missing self-loop");
+        }
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let urg = tiny_urg(3, UrgOptions::default());
+        let set: std::collections::HashSet<(u32, u32)> = (0..urg.edges.n_edges())
+            .map(|e| (urg.edges.src()[e], urg.edges.dst()[e]))
+            .collect();
+        for &(s, d) in set.iter() {
+            assert!(set.contains(&(d, s)), "missing reverse of ({s},{d})");
+        }
+    }
+
+    #[test]
+    fn no_road_has_fewer_edges_than_full() {
+        let full = tiny_urg(4, UrgOptions::default());
+        let no_road = tiny_urg(4, UrgOptions::no_road());
+        let no_prox = tiny_urg(4, UrgOptions::no_prox());
+        assert!(no_road.pairs.len() < full.pairs.len());
+        assert!(no_prox.pairs.len() < full.pairs.len());
+    }
+
+    #[test]
+    fn ablation_feature_dims() {
+        assert_eq!(tiny_urg(5, UrgOptions::no_image()).x_img.cols(), 0);
+        assert_eq!(tiny_urg(5, UrgOptions::no_cate()).x_poi.cols(), 16);
+        assert_eq!(tiny_urg(5, UrgOptions::no_rad()).x_poi.cols(), 49);
+        assert_eq!(tiny_urg(5, UrgOptions::no_index()).x_poi.cols(), 63);
+    }
+
+    #[test]
+    fn label_lookup() {
+        let urg = tiny_urg(6, UrgOptions::default());
+        for (i, &r) in urg.labeled.iter().enumerate() {
+            assert_eq!(urg.label_of(r), Some(urg.y[i]));
+        }
+        // A region id beyond the grid is never labeled.
+        assert_eq!(urg.label_of(u32::MAX), None);
+    }
+
+    #[test]
+    fn variant_from_matches_direct_build() {
+        let city = City::from_config(CityPreset::tiny(), 8);
+        let base = Urg::build(&city, UrgOptions::default());
+        for opts in [
+            UrgOptions::no_image(),
+            UrgOptions::no_cate(),
+            UrgOptions::no_road(),
+            UrgOptions::no_prox(),
+        ] {
+            let fast = Urg::variant_from(&city, opts, &base);
+            let slow = Urg::build(&city, opts);
+            assert_eq!(fast.pairs, slow.pairs);
+            assert_eq!(fast.x_poi, slow.x_poi);
+            assert_eq!(fast.x_img.shape(), slow.x_img.shape());
+            assert_eq!(fast.labeled, slow.labeled);
+        }
+    }
+
+    #[test]
+    fn stats_match_labels() {
+        let city = City::from_config(CityPreset::tiny(), 7);
+        let urg = Urg::build(&city, UrgOptions::default());
+        let s = urg.stats();
+        assert_eq!(s.n_uvs, city.labels.uv_regions.len());
+        assert_eq!(s.n_non_uvs, city.labels.non_uv_regions.len());
+        assert_eq!(s.n_regions, city.n_regions());
+    }
+}

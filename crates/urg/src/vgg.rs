@@ -1,0 +1,188 @@
+//! "VGG-sim": a frozen, seeded random-weight convolutional feature extractor
+//! standing in for the ImageNet-pretrained VGG16 of the paper (see DESIGN.md
+//! §1). Three conv+ReLU+maxpool stages map a 3×32×32 region image to a
+//! 256-dimensional descriptor. The weights depend only on a fixed seed, so —
+//! like a pretrained backbone — the extractor is identical across cities,
+//! folds and runs.
+
+use uvd_tensor::conv::{im2col, maxpool2, ConvMeta, PoolMeta};
+use uvd_tensor::init::{he_normal, seeded_rng};
+use uvd_tensor::Matrix;
+use uvd_citysim::{IMG_CHANNELS, IMG_LEN, IMG_SIZE};
+
+/// Output dimensionality of the extractor.
+pub const VGG_SIM_DIM: usize = 256;
+
+/// Seed of the "pretrained" weights — deliberately decoupled from city and
+/// experiment seeds.
+pub const PRETRAINED_SEED: u64 = 0xBAD5_EED5;
+
+/// Frozen convolutional feature extractor.
+pub struct VggSim {
+    stages: Vec<(ConvMeta, Matrix, PoolMeta)>,
+}
+
+impl Default for VggSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VggSim {
+    /// Build the extractor with its fixed weights.
+    pub fn new() -> Self {
+        let mut rng = seeded_rng(PRETRAINED_SEED);
+        let specs = [
+            (IMG_CHANNELS, IMG_SIZE, 8usize),
+            (8, IMG_SIZE / 2, 16),
+            (16, IMG_SIZE / 4, 16),
+        ];
+        let stages = specs
+            .iter()
+            .map(|&(c_in, side, c_out)| {
+                let meta = ConvMeta { c_in, h_in: side, w_in: side, c_out, k: 3, stride: 1, pad: 1 };
+                let (kr, kc) = meta.kernel_shape();
+                let kernel = he_normal(kr, kc, &mut rng);
+                let pool = PoolMeta { channels: c_out, h_in: side, w_in: side };
+                (meta, kernel, pool)
+            })
+            .collect();
+        VggSim { stages }
+    }
+
+    /// Extract features for one image (length [`IMG_LEN`]).
+    pub fn features_one(&self, image: &[f32]) -> Vec<f32> {
+        assert_eq!(image.len(), IMG_LEN);
+        let mut x = image.to_vec();
+        for (meta, kernel, pool) in &self.stages {
+            let cols = im2col(&x, meta);
+            let mut y = kernel.matmul(&cols); // c_out × (h*w)
+            for v in y.as_mut_slice() {
+                *v = v.max(0.0); // ReLU
+            }
+            let (pooled, _) = maxpool2(y.as_slice(), pool);
+            x = pooled;
+        }
+        debug_assert_eq!(x.len(), VGG_SIM_DIM);
+        x
+    }
+
+    /// Extract features for every region image in a flat buffer
+    /// (`n * IMG_LEN` values) into an `n × 256` matrix.
+    pub fn features(&self, images: &[f32]) -> Matrix {
+        assert_eq!(images.len() % IMG_LEN, 0);
+        let n = images.len() / IMG_LEN;
+        let mut out = Matrix::zeros(n, VGG_SIM_DIM);
+        for i in 0..n {
+            let f = self.features_one(&images[i * IMG_LEN..(i + 1) * IMG_LEN]);
+            out.row_mut(i).copy_from_slice(&f);
+        }
+        out
+    }
+}
+
+/// Standardize each column to zero mean / unit variance (columns with zero
+/// variance are left at zero). Returns the standardized matrix.
+pub fn standardize_columns(x: &Matrix) -> Matrix {
+    let (n, d) = x.shape();
+    let mut out = x.clone();
+    for c in 0..d {
+        let mut mean = 0.0f64;
+        for r in 0..n {
+            mean += x.get(r, c) as f64;
+        }
+        mean /= n.max(1) as f64;
+        let mut var = 0.0f64;
+        for r in 0..n {
+            let v = x.get(r, c) as f64 - mean;
+            var += v * v;
+        }
+        var /= n.max(1) as f64;
+        let std = var.sqrt();
+        for r in 0..n {
+            let v = if std > 1e-9 {
+                ((x.get(r, c) as f64 - mean) / std) as f32
+            } else {
+                0.0
+            };
+            out.set(r, c, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use uvd_citysim::imagery::render_region;
+    use uvd_citysim::RegionProfile;
+
+    fn image(profile: RegionProfile, seed: u64) -> Vec<f32> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut out = vec![0.0; IMG_LEN];
+        render_region(profile, &mut rng, &mut out);
+        out
+    }
+
+    #[test]
+    fn output_dim_is_256() {
+        let vgg = VggSim::new();
+        let f = vgg.features_one(&image(RegionProfile::Residential, 1));
+        assert_eq!(f.len(), VGG_SIM_DIM);
+    }
+
+    #[test]
+    fn extractor_is_frozen_and_deterministic() {
+        let a = VggSim::new().features_one(&image(RegionProfile::UvInner, 2));
+        let b = VggSim::new().features_one(&image(RegionProfile::UvInner, 2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn features_separate_land_uses() {
+        // Same-class images should be closer in feature space than
+        // different-class images, on average.
+        let vgg = VggSim::new();
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let k = 6;
+        for s in 0..k {
+            let uv1 = vgg.features_one(&image(RegionProfile::UvInner, s));
+            let uv2 = vgg.features_one(&image(RegionProfile::UvInner, s + 100));
+            let dt = vgg.features_one(&image(RegionProfile::Downtown, s));
+            within += dist(&uv1, &uv2);
+            across += dist(&uv1, &dt);
+        }
+        assert!(across > within, "across {across} within {within}");
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let vgg = VggSim::new();
+        let img1 = image(RegionProfile::Water, 3);
+        let img2 = image(RegionProfile::Suburb, 4);
+        let mut flat = img1.clone();
+        flat.extend_from_slice(&img2);
+        let batch = vgg.features(&flat);
+        assert_eq!(batch.row(0), &vgg.features_one(&img1)[..]);
+        assert_eq!(batch.row(1), &vgg.features_one(&img2)[..]);
+    }
+
+    #[test]
+    fn standardize_columns_zero_mean_unit_var() {
+        let x = Matrix::from_rows(&[&[1.0, 5.0], &[3.0, 5.0], &[5.0, 5.0]]);
+        let s = standardize_columns(&x);
+        let mean0: f32 = (0..3).map(|r| s.get(r, 0)).sum::<f32>() / 3.0;
+        assert!(mean0.abs() < 1e-5);
+        let var0: f32 = (0..3).map(|r| s.get(r, 0).powi(2)).sum::<f32>() / 3.0;
+        assert!((var0 - 1.0).abs() < 1e-4);
+        // Constant column maps to zeros.
+        for r in 0..3 {
+            assert_eq!(s.get(r, 1), 0.0);
+        }
+    }
+}

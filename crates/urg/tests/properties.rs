@@ -1,0 +1,75 @@
+//! Property-based tests of URG construction invariants.
+
+use proptest::prelude::*;
+use uvd_citysim::{City, CityPreset};
+use uvd_urg::{PoiFeatureOptions, Urg, UrgOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Structural invariants of the URG hold for any generation seed.
+    #[test]
+    fn urg_structure_invariants(seed in 0u64..500) {
+        let city = City::from_config(CityPreset::tiny(), seed);
+        let urg = Urg::build(&city, UrgOptions::no_image());
+        // Pairs are unique, ordered, in range, and never self-loops.
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &urg.pairs {
+            prop_assert!(a < b);
+            prop_assert!((b as usize) < urg.n);
+            prop_assert!(seen.insert((a, b)));
+        }
+        // The directed edge index has 2·pairs + n self-loops.
+        prop_assert_eq!(urg.edges.n_edges(), urg.pairs.len() * 2 + urg.n);
+        // Every node has at least its self-loop incoming.
+        for i in 0..urg.n {
+            prop_assert!(urg.edges.in_degree(i) >= 1);
+        }
+        // Labels are sorted, unique, and aligned with y.
+        prop_assert!(urg.labeled.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(urg.labeled.len(), urg.y.len());
+    }
+
+    /// POI features are bounded and the category block is a distribution.
+    #[test]
+    fn poi_features_bounded(seed in 0u64..500) {
+        let city = City::from_config(CityPreset::tiny(), seed);
+        let x = uvd_urg::features::poi_features(&city, PoiFeatureOptions::default());
+        prop_assert_eq!(x.shape(), (city.n_regions(), 64));
+        prop_assert!(x.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+        for r in 0..city.n_regions() {
+            let s: f32 = x.row(r)[..23].iter().sum();
+            prop_assert!(s.abs() < 1e-4 || (s - 1.0).abs() < 1e-3);
+        }
+    }
+
+    /// Hop monotonicity: more road hops can only add connectivity pairs.
+    #[test]
+    fn road_hops_monotone(seed in 0u64..200) {
+        let city = City::from_config(CityPreset::tiny(), seed);
+        let mut prev = 0usize;
+        for hops in [1usize, 3, 5] {
+            let pairs = uvd_urg::edges::road_edges(&city, hops);
+            prop_assert!(pairs.len() >= prev, "hops {hops}");
+            prev = pairs.len();
+        }
+    }
+
+    /// The union of the two single-relation URGs covers the full edge set.
+    #[test]
+    fn edge_sources_compose(seed in 0u64..200) {
+        let city = City::from_config(CityPreset::tiny(), seed);
+        let full = Urg::build(&city, UrgOptions::no_image());
+        let mut opts_road = UrgOptions::no_image();
+        opts_road.spatial = false;
+        let mut opts_prox = UrgOptions::no_image();
+        opts_prox.road = false;
+        let road = Urg::build(&city, opts_road);
+        let prox = Urg::build(&city, opts_prox);
+        let mut union: Vec<(u32, u32)> =
+            road.pairs.iter().chain(prox.pairs.iter()).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        prop_assert_eq!(union, full.pairs.clone());
+    }
+}

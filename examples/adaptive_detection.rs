@@ -1,0 +1,77 @@
+//! Demonstrates the master-slave mechanism itself (paper Section V-C):
+//! after the two training stages, a *slave* predictor is derived per region
+//! from its cluster context — including for regions whose membership is
+//! computed live at detection time, with no retraining.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_detection
+//! ```
+
+use uvd::prelude::*;
+use uvd_eval::eval_scores;
+
+fn main() {
+    let city = City::from_config(CityPreset::tiny(), 21);
+    let urg = Urg::build(&city, UrgOptions::default());
+    let folds = block_folds(&urg, 3, 4, 5);
+    let (train, test) = train_test_pairs(&folds).into_iter().next().expect("3 folds");
+
+    let mut cfg = CmsfConfig::for_city("tiny");
+    cfg.master_epochs = 40;
+    cfg.slave_epochs = 10;
+    let mut model = Cmsf::new(&urg, cfg);
+    model.fit(&urg, &train);
+
+    // Inspect the learned hierarchy: cluster sizes and pseudo labels.
+    let fixed = model.fixed_assignment().expect("trained master");
+    let k = fixed.k();
+    let mut sizes = vec![0usize; k];
+    for &c in &fixed.cluster_of {
+        sizes[c as usize] += 1;
+    }
+    println!("learned hierarchy ({k} latent clusters):");
+    for (j, &size) in sizes.iter().enumerate() {
+        if size == 0 {
+            continue;
+        }
+        println!(
+            "  cluster {j:2}: {size:4} regions, pseudo label {} (contains known UVs: {})",
+            fixed.pseudo[j],
+            if fixed.pseudo[j] > 0.5 { "yes" } else { "no" }
+        );
+    }
+
+    // Frozen-assignment detection (training-time membership)...
+    let frozen = model.predict(&urg);
+    let (auc_frozen, _) = eval_scores(&frozen, &urg, &test, &[3]);
+    // ...vs live-assignment detection: membership recomputed from the
+    // current representation, as Section V-C describes for unseen regions.
+    let live = model.predict_proba_live(&urg, &train);
+    let (auc_live, _) = eval_scores(&live, &urg, &test, &[3]);
+    println!("\ntest AUC with frozen membership: {auc_frozen:.3}");
+    println!("test AUC with live membership:   {auc_live:.3}");
+
+    // The point of MS-Gate: regions in different contexts get *different*
+    // predictors. Show the spread of predictions for the most / least
+    // UV-correlated clusters.
+    let (c1, c0) = fixed.partition();
+    println!(
+        "\n{} clusters carry known UVs (C1), {} do not (C0); the gate derives",
+        c1.len(),
+        c0.len()
+    );
+    println!("sharper slave predictors inside C1's context:");
+    let mean_prob = |clusters: &[u32]| -> f32 {
+        let set: std::collections::HashSet<u32> = clusters.iter().copied().collect();
+        let (mut s, mut n) = (0.0, 0usize);
+        for (r, &c) in fixed.cluster_of.iter().enumerate() {
+            if set.contains(&c) {
+                s += frozen[r];
+                n += 1;
+            }
+        }
+        s / n.max(1) as f32
+    };
+    println!("  mean detection probability in C1 regions: {:.3}", mean_prob(&c1));
+    println!("  mean detection probability in C0 regions: {:.3}", mean_prob(&c0));
+}

@@ -1,0 +1,72 @@
+//! City-wide urban-village scan — the deployment scenario from the paper's
+//! introduction: a city manager needs the panorama of UV distribution with
+//! acceptable verification labor, so the detector screens the whole grid and
+//! hands back a ranked candidate list plus a map.
+//!
+//! ```sh
+//! cargo run --release --example city_scan
+//! ```
+
+use uvd::prelude::*;
+
+fn main() {
+    // The "collected" dataset: the Fuzhou-like preset city.
+    let city = City::from_preset(CityPreset::FuzhouLike, 20200602);
+    let urg = Urg::build(&city, UrgOptions::default());
+    println!(
+        "scanning {}: {} regions, {} labeled by survey ({} known UVs)",
+        city.name,
+        urg.n,
+        urg.labeled.len(),
+        urg.y.iter().filter(|&&v| v > 0.5).count()
+    );
+
+    // Train on every labeled region (deployment uses all knowledge).
+    let train_idx: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut model = Cmsf::new(&urg, CmsfConfig::for_city(&urg.name));
+    let report = model.fit(&urg, &train_idx);
+    println!("trained in {:.1}s ({} epochs)", report.train_secs, report.epochs);
+
+    // Rank all *unlabeled* regions: those are the candidates worth a site
+    // visit (labeled ones are already known).
+    let probs = model.predict(&urg);
+    let labeled: std::collections::HashSet<u32> = urg.labeled.iter().copied().collect();
+    let mut candidates: Vec<usize> = (0..urg.n).filter(|&r| !labeled.contains(&(r as u32))).collect();
+    candidates.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).expect("finite probabilities"));
+
+    let k = (candidates.len() as f64 * 0.03).ceil() as usize;
+    let short_list = &candidates[..k];
+    let true_hits = short_list.iter().filter(|&&r| city.is_uv(r)).count();
+    let undiscovered_total = (0..urg.n)
+        .filter(|&r| city.is_uv(r) && !labeled.contains(&(r as u32)))
+        .count();
+    println!(
+        "\nshort list: {k} unlabeled candidates → {true_hits} are real undiscovered UV regions \
+         (of {undiscovered_total} hidden in the city)"
+    );
+
+    // A field-team map: '*' = candidate, '#' = already-known UV, '.' = other.
+    let short: std::collections::HashSet<usize> = short_list.iter().copied().collect();
+    let known: std::collections::HashSet<u32> = urg
+        .labeled
+        .iter()
+        .zip(&urg.y)
+        .filter(|&(_, &y)| y > 0.5)
+        .map(|(&r, _)| r)
+        .collect();
+    println!("\ncandidate map ('*' candidate, '#' known UV):");
+    for y in 0..city.height {
+        let mut row = String::with_capacity(city.width);
+        for x in 0..city.width {
+            let r = y * city.width + x;
+            row.push(if short.contains(&r) {
+                '*'
+            } else if known.contains(&(r as u32)) {
+                '#'
+            } else {
+                '.'
+            });
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper's evaluation.
+# Usage: ./run_experiments.sh [--quick|--full]
+set -e
+SCALE="$1"
+for exp in table1 table2 fig7 table3 fig5a fig5b fig6a fig6b fig6c design_ablation; do
+    echo "=== $exp ==="
+    cargo run --release -p uvd-bench --bin "$exp" -- $SCALE
+done

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from the JSON records under results/.
+
+Run after ./run_experiments.sh. Rewrites the '## Measured' blocks of
+EXPERIMENTS.md in place from results/*.json.
+"""
+import json
+import os
+
+R = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def load(name):
+    with open(os.path.join(R, name)) as f:
+        return json.load(f)
+
+
+def ms(x):
+    return f"{x['mean']:.3f} (.{round(x['std'] * 1000):03d})"
+
+
+def table1():
+    rows = load("table1.json")
+    out = ["| city | # regions | # edges | # UVs | # non-UVs |", "|---|---|---|---|---|"]
+    for r in rows:
+        out.append(
+            f"| {r['city']} | {r['n_regions']} | {r['n_edges']} | {r['n_uvs']} | {r['n_non_uvs']} |"
+        )
+    return "\n".join(out)
+
+
+def method_table(rows):
+    out = [
+        "| city | method | AUC | R@3 | P@3 | F1@3 | R@5 | P@5 | F1@5 |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        p3 = next(p for p in r["at_p"] if p["p"] == 3)
+        p5 = next(p for p in r["at_p"] if p["p"] == 5)
+        out.append(
+            f"| {r['city']} | {r['method']} | {ms(r['auc'])} | {ms(p3['recall'])} | "
+            f"{ms(p3['precision'])} | {ms(p3['f1'])} | {ms(p5['recall'])} | "
+            f"{ms(p5['precision'])} | {ms(p5['f1'])} |"
+        )
+    return "\n".join(out)
+
+
+def auc_sweep(rows, key_prefix):
+    out = ["| city | " + " | ".join(r["method"].replace(key_prefix, "") for r in rows if r["city"] == rows[0]["city"]) + " |"]
+    cities = []
+    for r in rows:
+        if r["city"] not in cities:
+            cities.append(r["city"])
+    out.append("|---|" + "---|" * sum(1 for r in rows if r["city"] == cities[0]))
+    for c in cities:
+        vals = [f"{r['auc']['mean']:.3f}" for r in rows if r["city"] == c]
+        out.append(f"| {c} | " + " | ".join(vals) + " |")
+    return "\n".join(out)
+
+
+def table3():
+    rec = load("table3.json")
+    by = {}
+    for r in rec["rows"]:
+        by.setdefault(r["method"], {})[r["city"]] = r
+    out = [
+        "| method | train s/epoch (SZ) | train s/epoch (FZ) | inference s (SZ) | inference s (FZ) | size MB |",
+        "|---|---|---|---|---|---|",
+    ]
+    for m, cities in by.items():
+        sz = cities.get("shenzhen-like")
+        fz = cities.get("fuzhou-like")
+        out.append(
+            f"| {m} | {sz['train_secs_per_epoch']:.4f} | {fz['train_secs_per_epoch']:.4f} | "
+            f"{sz['inference_secs']:.4f} | {fz['inference_secs']:.4f} | {fz['model_mbytes']:.3f} |"
+        )
+    return "\n".join(out)
+
+
+def fig7():
+    rows = load("fig7.json")
+    out = [
+        "| city | method | precision@3 | recall@3 | spatial coherence |",
+        "|---|---|---|---|---|",
+    ]
+    for r in rows:
+        out.append(
+            f"| {r['city']} | {r['method']} | {r['precision_at_3']:.3f} | "
+            f"{r['recall_at_3']:.3f} | {r['spatial_coherence']:.3f} |"
+        )
+    return "\n".join(out)
+
+
+def main():
+    builders = {
+        "TABLE1": table1,
+        "TABLE2": lambda: method_table(load("table2.json")["rows"]),
+        "FIG5A": lambda: method_table(load("fig5a.json")["rows"]),
+        "FIG5B": lambda: method_table(load("fig5b.json")["rows"]),
+        "FIG6A": lambda: auc_sweep(load("fig6a.json")["rows"], "CMSF(K="),
+        "FIG6B": lambda: auc_sweep(load("fig6b.json")["rows"], "CMSF(lambda="),
+        "FIG6C": lambda: auc_sweep(load("fig6c.json")["rows"], ""),
+        "TABLE3": table3,
+        "FIG7": fig7,
+    }
+    blocks = {}
+    for key, build in builders.items():
+        try:
+            blocks[key] = build()
+        except FileNotFoundError as e:
+            print(f"skipping {key}: {e}")
+    path = os.path.join(os.path.dirname(__file__), "..", "EXPERIMENTS.md")
+    with open(path) as f:
+        text = f.read()
+    for key, block in blocks.items():
+        marker_a = f"<!-- {key}:BEGIN -->"
+        marker_b = f"<!-- {key}:END -->"
+        if marker_a in text:
+            pre, rest = text.split(marker_a, 1)
+            _, post = rest.split(marker_b, 1)
+            text = pre + marker_a + "\n" + block + "\n" + marker_b + post
+    with open(path, "w") as f:
+        f.write(text)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

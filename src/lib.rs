@@ -1,0 +1,45 @@
+//! # uvd — urban village detection on urban region graphs
+//!
+//! Umbrella crate for the Rust reproduction of *"A Contextual Master-Slave
+//! Framework on Urban Region Graph for Urban Village Detection"* (ICDE 2023).
+//!
+//! The workspace is organized bottom-up:
+//!
+//! * [`uvd_tensor`] — dense matrices + tape autodiff + Adam.
+//! * [`uvd_citysim`] — synthetic city generator (the data substrate).
+//! * [`uvd_urg`] — Urban Region Graph construction and features.
+//! * [`uvd_nn`] — neural network layers (attention, GCN, CNN, MLP).
+//! * [`cmsf`] — the paper's contribution: MAGA + GSCM + MS-Gate.
+//! * [`uvd_baselines`] — the seven Table II comparison methods.
+//! * [`uvd_eval`] — metrics, block CV, experiment runner.
+//!
+//! ```
+//! use uvd::prelude::*;
+//!
+//! let city = City::from_config(CityPreset::tiny(), 7);
+//! let urg = Urg::build(&city, UrgOptions::default());
+//! let train: Vec<usize> = (0..urg.labeled.len()).collect();
+//! let mut model = Cmsf::new(&urg, CmsfConfig::fast_test());
+//! model.fit(&urg, &train);
+//! assert_eq!(model.predict(&urg).len(), urg.n);
+//! ```
+
+pub use cmsf;
+pub use uvd_baselines;
+pub use uvd_citysim;
+pub use uvd_eval;
+pub use uvd_nn;
+pub use uvd_tensor;
+pub use uvd_urg;
+
+/// The common imports for working with the system.
+pub mod prelude {
+    pub use cmsf::{Cmsf, CmsfConfig};
+    pub use uvd_baselines::{BaselineConfig, GraphBaseline, MlpBaseline, UvlensBaseline};
+    pub use uvd_citysim::{City, CityConfig, CityPreset, LandUse, RegionProfile};
+    pub use uvd_eval::{
+        auc, block_folds, dataset_urg, prf_at_top_percent, run_method, train_test_pairs,
+        MethodKind, RunSpec,
+    };
+    pub use uvd_urg::{Detector, Urg, UrgOptions};
+}

@@ -1,0 +1,74 @@
+//! Every method kind and every URG data-ablation variant runs end-to-end
+//! (quick settings) — the integration surface behind Table II and Figure 5.
+
+use uvd::prelude::*;
+use uvd_eval::build_detector;
+
+#[test]
+fn all_table2_methods_run_on_full_urg() {
+    let city = City::from_config(CityPreset::tiny(), 31);
+    let urg = Urg::build(&city, UrgOptions::default());
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    for kind in MethodKind::TABLE2 {
+        let mut det = build_detector(kind, &urg, 0, true);
+        let r = det.fit(&urg, &train);
+        assert!(r.final_loss.is_finite(), "{:?}", kind);
+        let p = det.predict(&urg);
+        assert_eq!(p.len(), urg.n);
+        assert!(
+            p.iter().all(|v| (0.0..=1.0).contains(v)),
+            "{:?} must output probabilities",
+            kind
+        );
+    }
+}
+
+#[test]
+fn all_cmsf_variants_run() {
+    let city = City::from_config(CityPreset::tiny(), 32);
+    let urg = Urg::build(&city, UrgOptions::default());
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    for kind in MethodKind::FIG5A {
+        let mut det = build_detector(kind, &urg, 0, true);
+        det.fit(&urg, &train);
+        assert_eq!(det.predict(&urg).len(), urg.n, "{:?}", kind);
+    }
+}
+
+#[test]
+fn cmsf_runs_on_every_data_ablation_variant() {
+    let city = City::from_config(CityPreset::tiny(), 33);
+    let variants: [(&str, UrgOptions); 6] = [
+        ("noImage", UrgOptions::no_image()),
+        ("noCate", UrgOptions::no_cate()),
+        ("noRad", UrgOptions::no_rad()),
+        ("noIndex", UrgOptions::no_index()),
+        ("noRoad", UrgOptions::no_road()),
+        ("noProx", UrgOptions::no_prox()),
+    ];
+    for (name, opts) in variants {
+        let urg = Urg::build(&city, opts);
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.master_epochs = 6;
+        cfg.slave_epochs = 2;
+        let mut model = Cmsf::new(&urg, cfg);
+        let r = model.fit(&urg, &train);
+        assert!(r.final_loss.is_finite(), "variant {name}");
+        assert_eq!(model.predict(&urg).len(), urg.n, "variant {name}");
+    }
+}
+
+#[test]
+fn graph_ablations_change_edge_counts_but_not_node_count() {
+    let city = City::from_config(CityPreset::tiny(), 34);
+    let full = Urg::build(&city, UrgOptions::default());
+    let no_road = Urg::build(&city, UrgOptions::no_road());
+    let no_prox = Urg::build(&city, UrgOptions::no_prox());
+    assert_eq!(full.n, no_road.n);
+    assert_eq!(full.n, no_prox.n);
+    // The two partial edge sets cannot both exceed the merged set.
+    assert!(no_road.pairs.len() + no_prox.pairs.len() >= full.pairs.len());
+    assert!(no_road.pairs.len() < full.pairs.len());
+    assert!(no_prox.pairs.len() < full.pairs.len());
+}

@@ -1,0 +1,114 @@
+//! Failure injection: degenerate inputs the system must survive without
+//! panics or NaNs — all-negative training splits, K=1 clustering, cities
+//! with no roads, extreme label masks, and ranking with constant scores.
+
+use uvd::prelude::*;
+use uvd_eval::{auc, eval_scores, mask_ratio, prf_at_top_percent};
+use uvd_tensor::seeded_rng;
+
+fn tiny_urg(seed: u64, opts: UrgOptions) -> Urg {
+    let city = City::from_config(CityPreset::tiny(), seed);
+    Urg::build(&city, opts)
+}
+
+#[test]
+fn training_with_no_positives_does_not_panic() {
+    let urg = tiny_urg(41, UrgOptions::default());
+    let negatives: Vec<usize> = (0..urg.labeled.len()).filter(|&i| urg.y[i] < 0.5).collect();
+    let mut cfg = CmsfConfig::fast_test();
+    cfg.master_epochs = 4;
+    cfg.slave_epochs = 2;
+    let mut model = Cmsf::new(&urg, cfg);
+    let r = model.fit(&urg, &negatives);
+    assert!(r.final_loss.is_finite());
+    // Every cluster pseudo label is 0 -> C1 empty -> rank loss degenerates
+    // to zero, but detection still produces valid probabilities.
+    let p = model.predict(&urg);
+    assert!(p.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn k_equals_one_cluster_works() {
+    let urg = tiny_urg(42, UrgOptions::default());
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut cfg = CmsfConfig::fast_test();
+    cfg.k_clusters = 1;
+    cfg.master_epochs = 4;
+    cfg.slave_epochs = 2;
+    let mut model = Cmsf::new(&urg, cfg);
+    let r = model.fit(&urg, &train);
+    assert!(r.final_loss.is_finite());
+}
+
+#[test]
+fn oversized_k_leaves_empty_clusters_safely() {
+    let urg = tiny_urg(43, UrgOptions::default());
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut cfg = CmsfConfig::fast_test();
+    // Far more clusters than distinguishable groups: most stay empty.
+    cfg.k_clusters = 64;
+    cfg.master_epochs = 4;
+    cfg.slave_epochs = 2;
+    let mut model = Cmsf::new(&urg, cfg);
+    let r = model.fit(&urg, &train);
+    assert!(r.final_loss.is_finite());
+    assert!(model.predict(&urg).iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn city_without_roads_still_builds_and_trains() {
+    // A config with road_keep_prob 0 yields a road graph with no street
+    // segments; road-connectivity contributes nothing but the URG must
+    // still assemble from spatial edges.
+    let mut cfg = CityPreset::tiny();
+    cfg.road_keep_prob = 0.0;
+    let city = City::from_config(cfg, 44);
+    let urg = Urg::build(&city, UrgOptions::default());
+    assert!(urg.pairs.len() > urg.n, "spatial edges remain");
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut mcfg = CmsfConfig::fast_test();
+    mcfg.master_epochs = 4;
+    mcfg.slave_epochs = 2;
+    let mut model = Cmsf::new(&urg, mcfg);
+    assert!(model.fit(&urg, &train).final_loss.is_finite());
+}
+
+#[test]
+fn mask_ratio_zero_keeps_a_seed_of_each_class() {
+    let urg = tiny_urg(45, UrgOptions::no_image());
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut rng = seeded_rng(1);
+    let kept = mask_ratio(&urg, &train, 0.0, &mut rng);
+    assert!(kept.iter().any(|&i| urg.y[i] > 0.5));
+    assert!(kept.iter().any(|&i| urg.y[i] < 0.5));
+    assert!(kept.len() <= 2 + 2);
+}
+
+#[test]
+fn metrics_on_constant_scores_are_sane() {
+    let scores = vec![0.5f32; 10];
+    let labels = vec![1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+    assert!((auc(&scores, &labels) - 0.5).abs() < 1e-9);
+    let prf = prf_at_top_percent(&scores, &labels, 30);
+    assert!(prf.precision.is_finite() && prf.recall.is_finite());
+}
+
+#[test]
+fn evaluating_an_untrained_detector_is_defined() {
+    let urg = tiny_urg(46, UrgOptions::default());
+    let model = Cmsf::new(&urg, CmsfConfig::fast_test());
+    let scores = model.predict(&urg);
+    let test: Vec<usize> = (0..urg.labeled.len()).collect();
+    let (a, _) = eval_scores(&scores, &urg, &test, &[3]);
+    assert!((0.0..=1.0).contains(&a));
+}
+
+#[test]
+fn single_modality_mlp_and_gnn_survive() {
+    let urg = tiny_urg(47, UrgOptions::no_image());
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut mlp = MlpBaseline::new(&urg, BaselineConfig::fast_test());
+    assert!(mlp.fit(&urg, &train).final_loss.is_finite());
+    let mut gcn = GraphBaseline::gcn(&urg, BaselineConfig::fast_test());
+    assert!(gcn.fit(&urg, &train).final_loss.is_finite());
+}

@@ -1,0 +1,103 @@
+//! End-to-end integration: city generation → URG → CMSF two-stage training
+//! → detection → evaluation, on a tiny city.
+
+use uvd::prelude::*;
+use uvd_eval::eval_scores;
+
+fn setup(seed: u64) -> (City, Urg) {
+    let city = City::from_config(CityPreset::tiny(), seed);
+    let urg = Urg::build(&city, UrgOptions::default());
+    (city, urg)
+}
+
+#[test]
+fn full_pipeline_detects_better_than_chance() {
+    let (_, urg) = setup(1);
+    let folds = block_folds(&urg, 3, 4, 7);
+    let (train, test) = train_test_pairs(&folds).into_iter().next().expect("folds");
+    let mut cfg = CmsfConfig::fast_test();
+    cfg.master_epochs = 30;
+    cfg.slave_epochs = 8;
+    let mut model = Cmsf::new(&urg, cfg);
+    let report = model.fit(&urg, &train);
+    assert!(report.final_loss.is_finite());
+    let scores = model.predict(&urg);
+    let (auc, prfs) = eval_scores(&scores, &urg, &test, &[3, 5]);
+    assert!(auc > 0.6, "test AUC {auc} should beat chance comfortably");
+    // Screening metrics are well-formed.
+    for (_, prf) in prfs {
+        assert!((0.0..=1.0).contains(&prf.precision));
+        assert!((0.0..=1.0).contains(&prf.recall));
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let run = || {
+        let (_, urg) = setup(2);
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut model = Cmsf::new(&urg, CmsfConfig::fast_test());
+        model.fit(&urg, &train);
+        model.predict(&urg)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn cmsf_outperforms_untrained_model() {
+    let (_, urg) = setup(3);
+    let folds = block_folds(&urg, 3, 4, 9);
+    let (train, test) = train_test_pairs(&folds).into_iter().next().expect("folds");
+    let mut cfg = CmsfConfig::fast_test();
+    cfg.master_epochs = 30;
+    cfg.slave_epochs = 5;
+    let untrained = Cmsf::new(&urg, cfg);
+    let (auc_untrained, _) = eval_scores(&untrained.predict(&urg), &urg, &test, &[3]);
+    let mut trained = Cmsf::new(&urg, cfg);
+    trained.fit(&urg, &train);
+    let (auc_trained, _) = eval_scores(&trained.predict(&urg), &urg, &test, &[3]);
+    assert!(
+        auc_trained > auc_untrained + 0.05,
+        "training must help: {auc_untrained} -> {auc_trained}"
+    );
+}
+
+#[test]
+fn live_assignment_prediction_is_consistent() {
+    let (_, urg) = setup(4);
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut cfg = CmsfConfig::fast_test();
+    cfg.master_epochs = 20;
+    let mut model = Cmsf::new(&urg, cfg);
+    model.fit(&urg, &train);
+    let frozen = model.predict(&urg);
+    let live = model.predict_proba_live(&urg, &train);
+    assert_eq!(frozen.len(), live.len());
+    // Both are probability vectors and broadly agree in ranking: the top
+    // frozen-score decile should overlap the top live decile.
+    let top = |v: &[f32]| -> std::collections::HashSet<usize> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).expect("finite"));
+        idx[..v.len() / 10].iter().copied().collect()
+    };
+    let overlap = top(&frozen).intersection(&top(&live)).count();
+    assert!(overlap * 2 >= frozen.len() / 10, "rank agreement too low: {overlap}");
+}
+
+#[test]
+fn detector_trait_objects_are_interchangeable() {
+    let (_, urg) = setup(5);
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(MlpBaseline::new(&urg, BaselineConfig::fast_test())),
+        Box::new(GraphBaseline::gcn(&urg, BaselineConfig::fast_test())),
+        Box::new(Cmsf::new(&urg, CmsfConfig::fast_test())),
+    ];
+    for det in &mut detectors {
+        let r = det.fit(&urg, &train);
+        assert!(r.train_secs >= 0.0);
+        let p = det.predict(&urg);
+        assert_eq!(p.len(), urg.n, "{}", det.name());
+        assert!(det.num_params() > 0);
+    }
+}

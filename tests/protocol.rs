@@ -1,0 +1,89 @@
+//! Integration tests of the evaluation protocol against the real URG:
+//! block-level splits, oracle metrics, and the experiment runner.
+
+use uvd::prelude::*;
+use uvd_eval::{eval_scores, run_method, MeanStd};
+
+fn urg(seed: u64) -> Urg {
+    let city = City::from_config(CityPreset::tiny(), seed);
+    Urg::build(&city, UrgOptions::no_image())
+}
+
+#[test]
+fn oracle_scores_achieve_perfect_metrics() {
+    let urg = urg(1);
+    // An oracle scoring function: the ground-truth labels.
+    let mut scores = vec![0.0f32; urg.n];
+    for (i, &r) in urg.labeled.iter().enumerate() {
+        scores[r as usize] = urg.y[i];
+    }
+    let folds = block_folds(&urg, 3, 4, 3);
+    for (_, test) in train_test_pairs(&folds) {
+        let (a, prfs) = eval_scores(&scores, &urg, &test, &[5]);
+        assert!((a - 1.0).abs() < 1e-9, "oracle AUC must be 1");
+        // Every top-p prediction is a true UV (as long as p% <= base rate).
+        assert!(prfs[0].1.precision > 0.99);
+    }
+}
+
+#[test]
+fn anti_oracle_scores_achieve_zero_auc() {
+    let urg = urg(2);
+    let mut scores = vec![0.0f32; urg.n];
+    for (i, &r) in urg.labeled.iter().enumerate() {
+        scores[r as usize] = 1.0 - urg.y[i];
+    }
+    let test: Vec<usize> = (0..urg.labeled.len()).collect();
+    let (a, _) = eval_scores(&scores, &urg, &test, &[3]);
+    assert!(a < 1e-9);
+}
+
+#[test]
+fn folds_cover_each_labeled_sample_exactly_once_as_test() {
+    let urg = urg(3);
+    let folds = block_folds(&urg, 3, 4, 5);
+    let mut seen = vec![0usize; urg.labeled.len()];
+    for (_, test) in train_test_pairs(&folds) {
+        for i in test {
+            seen[i] += 1;
+        }
+    }
+    assert!(seen.iter().all(|&c| c == 1), "each sample tests exactly once");
+}
+
+#[test]
+fn runner_aggregates_mean_and_std() {
+    let urg = urg(4);
+    let spec = RunSpec { folds: 2, seeds: vec![0, 1], quick: true, ..Default::default() };
+    let s = run_method(MethodKind::Mlp, &urg, &spec);
+    assert_eq!(s.runs, 4); // 2 folds × 2 seeds
+    assert!(s.auc.mean > 0.0 && s.auc.mean <= 1.0);
+    // Standard deviation across two seeds is finite and not absurd.
+    assert!(s.auc.std >= 0.0 && s.auc.std < 0.5);
+    assert!(s.train_secs_per_epoch > 0.0);
+    assert!(s.model_mbytes > 0.0);
+}
+
+#[test]
+fn mean_std_display_matches_paper_format() {
+    let ms = MeanStd { mean: 0.76231, std: 0.0095 };
+    assert_eq!(format!("{ms}"), "0.762 (.010)");
+}
+
+#[test]
+fn label_ratio_spec_shrinks_effective_training() {
+    // With a tiny label ratio the training set shrinks and quality drops
+    // (or at least does not improve) relative to the full set.
+    let urg = urg(5);
+    let full = RunSpec { folds: 2, seeds: vec![0], quick: true, ..Default::default() };
+    let starved =
+        RunSpec { folds: 2, seeds: vec![0], quick: true, label_ratio: 0.1, ..Default::default() };
+    let s_full = run_method(MethodKind::Mlp, &urg, &full);
+    let s_starved = run_method(MethodKind::Mlp, &urg, &starved);
+    assert!(
+        s_starved.auc.mean <= s_full.auc.mean + 0.1,
+        "starved {} vs full {}",
+        s_starved.auc.mean,
+        s_full.auc.mean
+    );
+}
