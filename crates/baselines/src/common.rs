@@ -1,6 +1,6 @@
 //! Shared plumbing for the baseline detectors.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use uvd_tensor::{Matrix, Rng64};
 use uvd_urg::Urg;
 
@@ -36,19 +36,24 @@ impl Default for BaselineConfig {
 impl BaselineConfig {
     /// Fast settings for unit/integration tests.
     pub fn fast_test() -> Self {
-        BaselineConfig { hidden: 8, img_reduce: 8, epochs: 10, ..Default::default() }
+        BaselineConfig {
+            hidden: 8,
+            img_reduce: 8,
+            epochs: 10,
+            ..Default::default()
+        }
     }
 }
 
 /// `(labeled rows, targets, weights)` triple shared by the BCE losses.
-pub type BceVectors = (Rc<Vec<u32>>, Rc<Vec<f32>>, Rc<Vec<f32>>);
+pub type BceVectors = (Arc<Vec<u32>>, Arc<Vec<f32>>, Arc<Vec<f32>>);
 
 /// BCE target/weight vectors for a train split over the labeled set.
 pub fn bce_vectors(urg: &Urg, train_idx: &[usize]) -> BceVectors {
     let rows: Vec<u32> = train_idx.iter().map(|&i| urg.labeled[i]).collect();
     let targets: Vec<f32> = train_idx.iter().map(|&i| urg.y[i]).collect();
     let weights = vec![1.0f32; train_idx.len()];
-    (Rc::new(rows), Rc::new(targets), Rc::new(weights))
+    (Arc::new(rows), Arc::new(targets), Arc::new(weights))
 }
 
 /// Gather the labeled training rows of a feature matrix into a dense batch.

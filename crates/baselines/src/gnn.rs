@@ -3,7 +3,7 @@
 //! LR predictor. The two models differ only in the aggregation function.
 
 use crate::common::{bce_vectors, BaselineConfig};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use uvd_nn::{Activation, GcnStack, Linear, MultiHeadAttention};
 use uvd_tensor::init::{derive_seed, seeded_rng};
@@ -64,7 +64,10 @@ impl GraphBaseline {
     }
 
     fn build(urg: &Urg, cfg: BaselineConfig, kind: &'static str) -> Self {
-        let mut rng = seeded_rng(derive_seed(cfg.seed, if kind == "GCN" { 0x6C1 } else { 0x6A7 }));
+        let mut rng = seeded_rng(derive_seed(
+            cfg.seed,
+            if kind == "GCN" { 0x6C1 } else { 0x6A7 },
+        ));
         let h = cfg.hidden;
         let make_encoder = |name: &str, d_in: usize, rng: &mut uvd_tensor::Rng64| -> Encoder {
             if kind == "GCN" {
@@ -76,9 +79,14 @@ impl GraphBaseline {
                 ])
             }
         };
-        let img_reduce = urg
-            .has_image()
-            .then(|| Linear::new(&format!("{kind}.imgred"), urg.x_img.cols(), cfg.img_reduce, &mut rng));
+        let img_reduce = urg.has_image().then(|| {
+            Linear::new(
+                &format!("{kind}.imgred"),
+                urg.x_img.cols(),
+                cfg.img_reduce,
+                &mut rng,
+            )
+        });
         let poi_enc = make_encoder(&format!("{kind}.poi"), urg.x_poi.cols(), &mut rng);
         let img_enc = urg
             .has_image()
@@ -97,7 +105,16 @@ impl GraphBaseline {
         }
         fuse.collect_params(&mut params);
         clf.collect_params(&mut params);
-        GraphBaseline { cfg, kind, img_reduce, poi_enc, img_enc, fuse, clf, params }
+        GraphBaseline {
+            cfg,
+            kind,
+            img_reduce,
+            poi_enc,
+            img_enc,
+            fuse,
+            clf,
+            params,
+        }
     }
 
     fn logits(&self, g: &mut Graph, urg: &Urg) -> NodeId {
@@ -132,7 +149,7 @@ impl Detector for GraphBaseline {
         for _ in 0..self.cfg.epochs {
             let mut g = Graph::new();
             let z = self.logits(&mut g, urg);
-            let zl = g.gather_rows(z, Rc::new(rows.to_vec()));
+            let zl = g.gather_rows(z, Arc::new(rows.to_vec()));
             let loss = g.bce_with_logits(zl, targets.clone(), weights.clone());
             last = g.scalar(loss);
             g.backward(loss);
@@ -141,7 +158,11 @@ impl Detector for GraphBaseline {
             opt.step(&self.params);
             opt.decay(self.cfg.lr_decay);
         }
-        FitReport { epochs: self.cfg.epochs, train_secs: start.elapsed().as_secs_f64(), final_loss: last }
+        FitReport {
+            epochs: self.cfg.epochs,
+            train_secs: start.elapsed().as_secs_f64(),
+            final_loss: last,
+        }
     }
 
     fn predict(&self, urg: &Urg) -> Vec<f32> {

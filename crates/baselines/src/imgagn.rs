@@ -12,7 +12,7 @@
 //! rebuilding CSR structures every generator step.
 
 use crate::common::{bce_vectors, gather_batch, BaselineConfig};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use uvd_nn::{Activation, Linear, Mlp};
 use uvd_tensor::init::{derive_seed, normal_matrix, seeded_rng};
@@ -47,8 +47,12 @@ impl ImgagnBaseline {
         let d = urg.feature_dim();
         let h = cfg.hidden;
         // 3-layer MLP generator (paper recommendation).
-        let generator =
-            Mlp::new("imgagn.gen", &[NOISE_DIM, h, h, n_minority], Activation::Relu, &mut rng);
+        let generator = Mlp::new(
+            "imgagn.gen",
+            &[NOISE_DIM, h, h, n_minority],
+            Activation::Relu,
+            &mut rng,
+        );
         let disc_body = Mlp::new("imgagn.disc", &[d, h, h], Activation::Relu, &mut rng);
         let head_real_fake = Linear::new("imgagn.rf", h, 1, &mut rng);
         let head_uv = Linear::new("imgagn.uv", h, 1, &mut rng);
@@ -94,7 +98,10 @@ impl ImgagnBaseline {
     fn disc_logits(&self, g: &mut Graph, x: NodeId) -> (NodeId, NodeId) {
         let h = self.disc_body.forward(g, x);
         let h = Activation::Relu.apply(g, h);
-        (self.head_real_fake.forward(g, h), self.head_uv.forward(g, h))
+        (
+            self.head_real_fake.forward(g, h),
+            self.head_uv.forward(g, h),
+        )
     }
 }
 
@@ -120,8 +127,9 @@ impl Detector for ImgagnBaseline {
         let minority = if pos_rows.is_empty() {
             Matrix::zeros(self.n_minority, feats.cols())
         } else {
-            let rows: Vec<u32> =
-                (0..self.n_minority).map(|i| pos_rows[i % pos_rows.len()]).collect();
+            let rows: Vec<u32> = (0..self.n_minority)
+                .map(|i| pos_rows[i % pos_rows.len()])
+                .collect();
             feats.gather_rows(&rows)
         };
         let n_real = train_idx.len();
@@ -132,7 +140,7 @@ impl Detector for ImgagnBaseline {
         let mut opt_d = Adam::new(self.cfg.lr);
         let mut opt_g = Adam::new(self.cfg.lr);
         let mut last = 0.0;
-        let ones = |n: usize| Rc::new(vec![1.0f32; n]);
+        let ones = |n: usize| Arc::new(vec![1.0f32; n]);
         for _ in 0..self.cfg.epochs {
             // ---- discriminator steps ----
             for _ in 0..D_STEPS {
@@ -149,8 +157,7 @@ impl Detector for ImgagnBaseline {
                 let (rf_f, uv_f) = self.disc_logits(&mut g, xf);
                 // Real/fake discrimination.
                 let l_rf_r = g.bce_with_logits(rf_r, ones(n_real), weights.clone());
-                let l_rf_f =
-                    g.bce_with_logits(rf_f, Rc::new(vec![0.0; n_fake]), ones(n_fake));
+                let l_rf_f = g.bce_with_logits(rf_f, Arc::new(vec![0.0; n_fake]), ones(n_fake));
                 // UV classification: real labels + fakes treated as minority.
                 let l_uv_r = g.bce_with_logits(uv_r, targets.clone(), weights.clone());
                 let l_uv_f = g.bce_with_logits(uv_f, ones(n_fake), ones(n_fake));

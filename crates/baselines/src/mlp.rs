@@ -20,9 +20,19 @@ impl MlpBaseline {
     pub fn new(urg: &Urg, cfg: BaselineConfig) -> Self {
         let mut rng = seeded_rng(derive_seed(cfg.seed, 0x31B0));
         let h = cfg.hidden;
-        let poi_enc = Mlp::new("mlp.poi", &[urg.x_poi.cols(), h, h], Activation::Relu, &mut rng);
+        let poi_enc = Mlp::new(
+            "mlp.poi",
+            &[urg.x_poi.cols(), h, h],
+            Activation::Relu,
+            &mut rng,
+        );
         let img_enc = urg.has_image().then(|| {
-            Mlp::new("mlp.img", &[urg.x_img.cols(), h, h], Activation::Relu, &mut rng)
+            Mlp::new(
+                "mlp.img",
+                &[urg.x_img.cols(), h, h],
+                Activation::Relu,
+                &mut rng,
+            )
         });
         let fused = if img_enc.is_some() { 2 * h } else { h };
         let clf = Linear::new("mlp.clf", fused, 1, &mut rng);
@@ -32,7 +42,13 @@ impl MlpBaseline {
             e.collect_params(&mut params);
         }
         clf.collect_params(&mut params);
-        MlpBaseline { cfg, poi_enc, img_enc, clf, params }
+        MlpBaseline {
+            cfg,
+            poi_enc,
+            img_enc,
+            clf,
+            params,
+        }
     }
 
     fn logits(&self, g: &mut Graph, x_poi: NodeId, x_img: Option<NodeId>) -> NodeId {
@@ -61,7 +77,9 @@ impl Detector for MlpBaseline {
         // The MLP ignores graph structure, so we can train directly on the
         // gathered labeled batch.
         let xp = gather_batch(&urg.x_poi, urg, train_idx);
-        let xi = urg.has_image().then(|| gather_batch(&urg.x_img, urg, train_idx));
+        let xi = urg
+            .has_image()
+            .then(|| gather_batch(&urg.x_img, urg, train_idx));
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
         for _ in 0..self.cfg.epochs {
@@ -77,7 +95,11 @@ impl Detector for MlpBaseline {
             opt.step(&self.params);
             opt.decay(self.cfg.lr_decay);
         }
-        FitReport { epochs: self.cfg.epochs, train_secs: start.elapsed().as_secs_f64(), final_loss: last }
+        FitReport {
+            epochs: self.cfg.epochs,
+            train_secs: start.elapsed().as_secs_f64(),
+            final_loss: last,
+        }
     }
 
     fn predict(&self, urg: &Urg) -> Vec<f32> {

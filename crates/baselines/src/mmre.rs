@@ -9,7 +9,7 @@
 
 use crate::common::{bce_vectors, BaselineConfig};
 use rand::Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use uvd_nn::{Activation, GcnStack, Linear, Mlp};
 use uvd_tensor::init::{derive_seed, normal_matrix, seeded_rng};
@@ -41,10 +41,29 @@ pub struct MmreBaseline {
 impl MmreBaseline {
     pub fn new(urg: &Urg, cfg: BaselineConfig) -> Self {
         let mut rng = seeded_rng(derive_seed(cfg.seed, 0x33E0));
-        let d_img = if urg.has_image() { urg.x_img.cols() } else { urg.x_poi.cols() };
-        let encoder = Mlp::new("mmre.enc", &[d_img, 120, 84, 64], Activation::Relu, &mut rng);
-        let decoder = Mlp::new("mmre.dec", &[64, 84, 120, d_img], Activation::Relu, &mut rng);
-        let poi_gcn = GcnStack::new("mmre.poi", &[urg.x_poi.cols(), 128, 64], Activation::Relu, &mut rng);
+        let d_img = if urg.has_image() {
+            urg.x_img.cols()
+        } else {
+            urg.x_poi.cols()
+        };
+        let encoder = Mlp::new(
+            "mmre.enc",
+            &[d_img, 120, 84, 64],
+            Activation::Relu,
+            &mut rng,
+        );
+        let decoder = Mlp::new(
+            "mmre.dec",
+            &[64, 84, 120, d_img],
+            Activation::Relu,
+            &mut rng,
+        );
+        let poi_gcn = GcnStack::new(
+            "mmre.poi",
+            &[urg.x_poi.cols(), 128, 64],
+            Activation::Relu,
+            &mut rng,
+        );
         let clf = Linear::new("mmre.clf", 128, 1, &mut rng);
         let mut embed_params = ParamSet::new();
         encoder.collect_params(&mut embed_params);
@@ -123,8 +142,8 @@ impl MmreBaseline {
             return g.constant(Matrix::zeros(1, 1));
         }
         let dot = |g: &mut Graph, a: &[u32], b: &[u32]| -> NodeId {
-            let za = g.gather_rows(z, Rc::new(a.to_vec()));
-            let zb = g.gather_rows(z, Rc::new(b.to_vec()));
+            let za = g.gather_rows(z, Arc::new(a.to_vec()));
+            let zb = g.gather_rows(z, Arc::new(b.to_vec()));
             let prod = g.mul(za, zb);
             g.row_sum(prod)
         };

@@ -38,7 +38,13 @@ impl MuvfcnBaseline {
         let mut params = ParamSet::new();
         backbone.collect_params(&mut params);
         clf.collect_params(&mut params);
-        MuvfcnBaseline { cfg, backbone, pool, clf, params }
+        MuvfcnBaseline {
+            cfg,
+            backbone,
+            pool,
+            clf,
+            params,
+        }
     }
 
     fn forward_probs(&self, images: &Matrix) -> Vec<f32> {
@@ -90,7 +96,11 @@ impl Detector for MuvfcnBaseline {
             opt.step(&self.params);
             opt.decay(self.cfg.lr_decay);
         }
-        FitReport { epochs: self.cfg.epochs, train_secs: start.elapsed().as_secs_f64(), final_loss: last }
+        FitReport {
+            epochs: self.cfg.epochs,
+            train_secs: start.elapsed().as_secs_f64(),
+            final_loss: last,
+        }
     }
 
     fn predict(&self, urg: &Urg) -> Vec<f32> {

@@ -38,7 +38,12 @@ impl UvlensBaseline {
         let mut params = ParamSet::new();
         backbone.collect_params(&mut params);
         head.collect_params(&mut params);
-        UvlensBaseline { cfg, backbone, head, params }
+        UvlensBaseline {
+            cfg,
+            backbone,
+            head,
+            params,
+        }
     }
 
     fn forward_probs(&self, images: &Matrix) -> Vec<f32> {
@@ -86,7 +91,11 @@ impl Detector for UvlensBaseline {
             opt.step(&self.params);
             opt.decay(self.cfg.lr_decay);
         }
-        FitReport { epochs: self.cfg.epochs, train_secs: start.elapsed().as_secs_f64(), final_loss: last }
+        FitReport {
+            epochs: self.cfg.epochs,
+            train_secs: start.elapsed().as_secs_f64(),
+            final_loss: last,
+        }
     }
 
     fn predict(&self, urg: &Urg) -> Vec<f32> {

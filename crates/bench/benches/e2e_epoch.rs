@@ -1,10 +1,10 @@
 //! End-to-end CMSF epoch cost on the tiny city: one full-batch master epoch
 //! and one slave epoch (the quantities Table III reports per method).
 
+use cmsf::{Cmsf, CmsfConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::rc::Rc;
-use cmsf::{Cmsf, CmsfConfig};
+use std::sync::Arc;
 use uvd_citysim::{City, CityPreset};
 use uvd_tensor::Adam;
 use uvd_urg::{Urg, UrgOptions};
@@ -17,9 +17,9 @@ fn bench_epochs(c: &mut Criterion) {
     cfg.master_epochs = 3;
     cfg.slave_epochs = 2;
     let mut model = Cmsf::new(&urg, cfg);
-    let rows: Rc<Vec<u32>> = Rc::new(train.iter().map(|&i| urg.labeled[i]).collect());
-    let targets: Rc<Vec<f32>> = Rc::new(train.iter().map(|&i| urg.y[i]).collect());
-    let weights: Rc<Vec<f32>> = Rc::new(vec![1.0; train.len()]);
+    let rows: Arc<Vec<u32>> = Arc::new(train.iter().map(|&i| urg.labeled[i]).collect());
+    let targets: Arc<Vec<f32>> = Arc::new(train.iter().map(|&i| urg.y[i]).collect());
+    let weights: Arc<Vec<f32>> = Arc::new(vec![1.0; train.len()]);
 
     c.bench_function("cmsf_master_epoch_tiny", |b| {
         let mut opt = Adam::new(1e-4);
@@ -34,7 +34,9 @@ fn bench_epochs(c: &mut Criterion) {
     c.bench_function("cmsf_slave_epoch_tiny", |b| {
         let mut opt = Adam::new(1e-4);
         b.iter(|| {
-            black_box(model.slave_epoch(&urg, &fixed, &c1, &c0, &rows, &targets, &weights, &mut opt));
+            black_box(
+                model.slave_epoch(&urg, &fixed, &c1, &c0, &rows, &targets, &weights, &mut opt),
+            );
         });
     });
 }

@@ -1,9 +1,9 @@
 //! Empirical check of the GSCM complexity (paper eq. 26):
 //! T = O(|V| K d + K d^2 + K^2 d) — near-linear in K for K << |V|.
 
+use cmsf::Gscm;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use cmsf::Gscm;
 use uvd_tensor::init::{normal_matrix, seeded_rng};
 use uvd_tensor::Graph;
 

@@ -2,15 +2,15 @@
 //! T = O(|V| d^2 + |E| d) — time per forward+backward should grow roughly
 //! linearly in |V| (with |E| ∝ |V| at fixed degree).
 
+use cmsf::MagaStack;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use std::rc::Rc;
-use cmsf::MagaStack;
+use std::sync::Arc;
 use uvd_nn::AggMode;
 use uvd_tensor::init::{normal_matrix, seeded_rng};
 use uvd_tensor::{EdgeIndex, Graph, ParamSet};
 
-fn grid_edges(side: usize) -> Rc<EdgeIndex> {
+fn grid_edges(side: usize) -> Arc<EdgeIndex> {
     let n = side * side;
     let mut pairs = Vec::new();
     for y in 0..side {
@@ -29,7 +29,7 @@ fn grid_edges(side: usize) -> Rc<EdgeIndex> {
             }
         }
     }
-    Rc::new(EdgeIndex::from_pairs(n, pairs))
+    Arc::new(EdgeIndex::from_pairs(n, pairs))
 }
 
 fn bench_maga(c: &mut Criterion) {

@@ -1,9 +1,9 @@
 //! Empirical check of the MS-Gate complexity (paper eq. 27):
 //! T = O(K d + |V| K + |V| K d + |V| d |F|) — linear in |V|.
 
+use cmsf::{FixedAssignment, MsGate};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use cmsf::{FixedAssignment, MsGate};
 use uvd_nn::{Activation, Mlp};
 use uvd_tensor::init::{normal_matrix, seeded_rng};
 use uvd_tensor::{Graph, Matrix};

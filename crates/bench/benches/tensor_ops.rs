@@ -2,9 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 use uvd_tensor::init::{normal_matrix, seeded_rng};
-use uvd_tensor::{EdgeIndex, Graph, Matrix};
+use uvd_tensor::{par, Csr, EdgeIndex, Graph, Matrix};
 
 fn bench_tensor_ops(c: &mut Criterion) {
     let mut rng = seeded_rng(1);
@@ -24,7 +24,7 @@ fn bench_tensor_ops(c: &mut Criterion) {
             pairs.push((rand::Rng::gen_range(&mut r2, 0..n as u32), i));
         }
     }
-    let edges = Rc::new(EdgeIndex::from_pairs(n, pairs));
+    let edges = Arc::new(EdgeIndex::from_pairs(n, pairs));
     let scores = normal_matrix(edges.n_edges(), 1, 0.0, 1.0, &mut rng);
     let h = normal_matrix(n, 32, 0.0, 1.0, &mut rng);
     c.bench_function("edge_softmax_aggregate_16k_edges", |bch| {
@@ -64,8 +64,8 @@ fn bench_tensor_ops(c: &mut Criterion) {
             let hx = g.matmul(x, w);
             let al = g.constant(Matrix::filled(16, 1, 0.1));
             let sl = g.matmul(hx, al);
-            let dsts = Rc::new(edges.dst().to_vec());
-            let srcs = Rc::new(edges.src().to_vec());
+            let dsts = Arc::new(edges.dst().to_vec());
+            let srcs = Arc::new(edges.src().to_vec());
             let sd = g.gather_rows(sl, dsts);
             let ss = g.gather_rows(sl, srcs);
             let s = g.add(sd, ss);
@@ -77,6 +77,52 @@ fn bench_tensor_ops(c: &mut Criterion) {
             g.backward(loss);
             black_box(g.scalar(loss))
         });
+    });
+
+    // ----- serial vs parallel pairs for the rayon-backed kernels ---------
+    // The `_serial` variant pins one thread; `_par4` dispatches on four
+    // (oversubscribed if the machine has fewer cores, in which case the
+    // pair degenerates to roughly equal timings).
+
+    let a256 = normal_matrix(256, 256, 0.0, 1.0, &mut rng);
+    let b256 = normal_matrix(256, 256, 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_256_serial", |bch| {
+        bch.iter(|| par::serial_scope(|| black_box(a256.matmul(black_box(&b256)))));
+    });
+    c.bench_function("matmul_256_par4", |bch| {
+        bch.iter(|| par::with_threads(4, || black_box(a256.matmul(black_box(&b256)))));
+    });
+
+    // ~16k-nnz sparse matrix against a 2000×64 dense block.
+    let mut r3 = seeded_rng(3);
+    let mut coo = Vec::new();
+    for r in 0..2000u32 {
+        for _ in 0..8 {
+            coo.push((r, rand::Rng::gen_range(&mut r3, 0..2000u32), 0.5f32));
+        }
+    }
+    let sp = Csr::from_coo(2000, 2000, coo);
+    let xd = normal_matrix(2000, 64, 0.0, 1.0, &mut rng);
+    c.bench_function("spmm_16k_nnz_serial", |bch| {
+        bch.iter(|| par::serial_scope(|| black_box(sp.spmm(black_box(&xd)))));
+    });
+    c.bench_function("spmm_16k_nnz_par4", |bch| {
+        bch.iter(|| par::with_threads(4, || black_box(sp.spmm(black_box(&xd)))));
+    });
+
+    let edge_pass = |edges: &Arc<EdgeIndex>, scores: &Matrix, h: &Matrix| {
+        let mut g = Graph::new();
+        let s = g.constant(scores.clone());
+        let hn = g.constant(h.clone());
+        let alpha = g.edge_softmax(s, edges.clone());
+        let out = g.edge_aggregate(alpha, hn, edges.clone());
+        g.value(out).sum()
+    };
+    c.bench_function("edge_softmax_aggregate_serial", |bch| {
+        bch.iter(|| par::serial_scope(|| black_box(edge_pass(&edges, &scores, &h))));
+    });
+    c.bench_function("edge_softmax_aggregate_par4", |bch| {
+        bch.iter(|| par::with_threads(4, || black_box(edge_pass(&edges, &scores, &h))));
     });
 }
 

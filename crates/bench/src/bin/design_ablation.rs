@@ -25,7 +25,9 @@ fn main() {
         ("modal-agg=sum", |c| c.modal_agg = AggMode::Sum),
         ("modal-agg=concat", |c| c.modal_agg = AggMode::Concat),
         ("global-agg=concat", |c| c.global_agg = AggMode::Concat),
-        ("global-agg=attention", |c| c.global_agg = AggMode::Attention),
+        ("global-agg=attention", |c| {
+            c.global_agg = AggMode::Attention
+        }),
     ];
 
     let mut rows = Vec::new();
@@ -50,7 +52,12 @@ fn main() {
     let record = ExperimentRecord {
         experiment: "design_ablation".into(),
         description: "Ablation of this reproduction's design choices (DESIGN.md §6)".into(),
-        params: format!("scale={}, folds={}, seeds={:?}", scale.label(), spec.folds, spec.seeds),
+        params: format!(
+            "scale={}, folds={}, seeds={:?}",
+            scale.label(),
+            spec.folds,
+            spec.seeds
+        ),
         rows,
     };
     write_json(&format!("{RESULTS_DIR}/design_ablation.json"), &record)

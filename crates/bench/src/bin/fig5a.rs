@@ -16,9 +16,15 @@ fn main() {
     // hierarchy and scrambles the ordering).
     let mut spec = scale.spec();
     spec.seeds.truncate(1);
-    let (master_epochs, slave_epochs) =
-        if spec.quick { scale.sweep_epochs() } else { (100, 20) };
-    println!("Figure 5(a): effect of model components ({} scale)\n", scale.label());
+    let (master_epochs, slave_epochs) = if spec.quick {
+        scale.sweep_epochs()
+    } else {
+        (100, 20)
+    };
+    println!(
+        "Figure 5(a): effect of model components ({} scale)\n",
+        scale.label()
+    );
 
     let mut rows = Vec::new();
     for preset in CityPreset::ALL {
@@ -50,7 +56,12 @@ fn main() {
     let record = ExperimentRecord {
         experiment: "fig5a".into(),
         description: "Component ablation (paper Figure 5a)".into(),
-        params: format!("scale={}, folds={}, seeds={:?}", scale.label(), spec.folds, spec.seeds),
+        params: format!(
+            "scale={}, folds={}, seeds={:?}",
+            scale.label(),
+            spec.folds,
+            spec.seeds
+        ),
         rows,
     };
     write_json(&format!("{RESULTS_DIR}/fig5a.json"), &record).expect("write results/fig5a.json");

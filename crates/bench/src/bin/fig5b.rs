@@ -13,7 +13,10 @@ use uvd_urg::{Urg, UrgOptions};
 fn main() {
     let scale = Scale::from_args();
     let spec = scale.sweep_spec();
-    println!("Figure 5(b): effect of multi-modal urban data ({} scale)\n", scale.label());
+    println!(
+        "Figure 5(b): effect of multi-modal urban data ({} scale)\n",
+        scale.label()
+    );
 
     type VariantFn = fn() -> UrgOptions;
     let variants: [(&str, VariantFn); 7] = [
@@ -50,7 +53,12 @@ fn main() {
     let record = ExperimentRecord {
         experiment: "fig5b".into(),
         description: "Data ablation over URG variants (paper Figure 5b)".into(),
-        params: format!("scale={}, folds={}, seeds={:?}", scale.label(), spec.folds, spec.seeds),
+        params: format!(
+            "scale={}, folds={}, seeds={:?}",
+            scale.label(),
+            spec.folds,
+            spec.seeds
+        ),
         rows,
     };
     write_json(&format!("{RESULTS_DIR}/fig5b.json"), &record).expect("write results/fig5b.json");

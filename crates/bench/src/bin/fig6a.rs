@@ -13,7 +13,10 @@ const K_SWEEP: [usize; 4] = [4, 8, 16, 32];
 fn main() {
     let scale = Scale::from_args();
     let spec = scale.sweep_spec();
-    println!("Figure 6(a): sensitivity to the number of latent clusters K ({} scale)\n", scale.label());
+    println!(
+        "Figure 6(a): sensitivity to the number of latent clusters K ({} scale)\n",
+        scale.label()
+    );
 
     let mut rows = Vec::new();
     for preset in CityPreset::ALL {
@@ -38,7 +41,12 @@ fn main() {
     let record = ExperimentRecord {
         experiment: "fig6a".into(),
         description: "AUC vs number of latent clusters K (paper Figure 6a)".into(),
-        params: format!("scale={}, K sweep {:?}, seeds={:?}", scale.label(), K_SWEEP, spec.seeds),
+        params: format!(
+            "scale={}, K sweep {:?}, seeds={:?}",
+            scale.label(),
+            K_SWEEP,
+            spec.seeds
+        ),
         rows,
     };
     write_json(&format!("{RESULTS_DIR}/fig6a.json"), &record).expect("write results/fig6a.json");

@@ -13,7 +13,10 @@ const LAMBDA_SWEEP: [f32; 5] = [0.001, 0.01, 0.05, 0.5, 5.0];
 fn main() {
     let scale = Scale::from_args();
     let spec = scale.sweep_spec();
-    println!("Figure 6(b): sensitivity to the balancing weight lambda ({} scale)\n", scale.label());
+    println!(
+        "Figure 6(b): sensitivity to the balancing weight lambda ({} scale)\n",
+        scale.label()
+    );
 
     let mut rows = Vec::new();
     for preset in CityPreset::ALL {

@@ -5,8 +5,10 @@
 use uvd_bench::{Scale, RESULTS_DIR};
 use uvd_citysim::CityPreset;
 use uvd_eval::{
-    dataset_urg, factory::{baseline_config, cmsf_config}, records::write_json, run_custom,
-    ExperimentRecord, MethodKind,
+    dataset_urg,
+    factory::{baseline_config, cmsf_config},
+    records::write_json,
+    run_custom, ExperimentRecord, MethodKind,
 };
 use uvd_urg::{Detector, Urg, UrgOptions};
 
@@ -14,7 +16,10 @@ const RATIOS: [f64; 4] = [0.10, 0.25, 0.50, 0.75];
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Figure 6(c): AUC vs ratio of available labeled data ({} scale)\n", scale.label());
+    println!(
+        "Figure 6(c): AUC vs ratio of available labeled data ({} scale)\n",
+        scale.label()
+    );
 
     let mut rows = Vec::new();
     for preset in CityPreset::ALL {

@@ -46,7 +46,10 @@ fn spatial_coherence(urg: &Urg, detected: &[u32]) -> f64 {
     let det: std::collections::HashSet<u32> = detected.iter().copied().collect();
     let mut adjacent = 0usize;
     for &r in detected {
-        let (x, y) = ((r as usize % urg.width) as i64, (r as usize / urg.width) as i64);
+        let (x, y) = (
+            (r as usize % urg.width) as i64,
+            (r as usize / urg.width) as i64,
+        );
         let mut any = false;
         for dy in -1..=1i64 {
             for dx in -1..=1i64 {
@@ -71,14 +74,24 @@ fn spatial_coherence(urg: &Urg, detected: &[u32]) -> f64 {
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Figure 7: case study, top-3%% detections vs ground truth ({} scale)\n", scale.label());
+    println!(
+        "Figure 7: case study, top-3%% detections vs ground truth ({} scale)\n",
+        scale.label()
+    );
     let mut summary = Vec::new();
 
     for preset in [CityPreset::FuzhouLike, CityPreset::ShenzhenLike] {
         let urg = dataset_urg(preset, UrgOptions::default());
         let folds = block_folds(&urg, 3, 8, 7);
-        let (train, test) = train_test_pairs(&folds).into_iter().next().expect("3 folds");
-        println!("--- {} (fold 1 of 3, {} test regions) ---", urg.name, test.len());
+        let (train, test) = train_test_pairs(&folds)
+            .into_iter()
+            .next()
+            .expect("3 folds");
+        println!(
+            "--- {} (fold 1 of 3, {} test regions) ---",
+            urg.name,
+            test.len()
+        );
 
         for kind in [MethodKind::Cmsf, MethodKind::Uvlens] {
             let mut det = build_detector(kind, &urg, 0, scale == Scale::Quick);
@@ -94,7 +107,10 @@ fn main() {
             let k = ((test.len() as f64 * 0.03).ceil() as usize).max(1);
             let detected: Vec<u32> = ranked[..k].iter().map(|&i| urg.labeled[i]).collect();
 
-            let s: Vec<f32> = test.iter().map(|&i| scores[urg.labeled[i] as usize]).collect();
+            let s: Vec<f32> = test
+                .iter()
+                .map(|&i| scores[urg.labeled[i] as usize])
+                .collect();
             let y: Vec<f32> = test.iter().map(|&i| urg.y[i]).collect();
             let prf = prf_at_top_percent(&s, &y, 3);
             let coherence = spatial_coherence(&urg, &detected);
@@ -107,7 +123,11 @@ fn main() {
             );
 
             let map = render_map(&urg, &test, &detected);
-            let path = format!("{RESULTS_DIR}/fig7_{}_{}.txt", urg.name, kind.label().to_lowercase());
+            let path = format!(
+                "{RESULTS_DIR}/fig7_{}_{}.txt",
+                urg.name,
+                kind.label().to_lowercase()
+            );
             std::fs::create_dir_all(RESULTS_DIR).expect("results dir");
             std::fs::write(&path, format!(
                 "Figure 7 case study — {} on {}\nlegend: '@' detected true UV, '#' missed UV, 'o' false alarm, '.' labeled non-UV\n\n{}",

@@ -1,0 +1,154 @@
+//! Performance snapshot of the parallel tensor runtime.
+//!
+//! Times each rayon-backed kernel serially (one thread) and in parallel
+//! (`UVD_THREADS` or the machine's core count, floored at 4 so the snapshot
+//! is comparable across hosts), then writes the serial/parallel pairs and
+//! speedups to `BENCH_tensor.json` at the repository root.
+//!
+//! The committed snapshot is a reference point for regressions, not a
+//! promise: speedups depend on the host's physical core count, and on a
+//! single-core machine the parallel column converges to the serial one.
+
+use std::sync::Arc;
+use std::time::Instant;
+use uvd_bench::repo_root_path;
+use uvd_tensor::init::{normal_matrix, seeded_rng};
+use uvd_tensor::{par, Csr, EdgeIndex, Graph};
+
+/// Median of `reps` timed runs, in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm the pool and the caches
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct Pair {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+fn pair(name: &'static str, threads: usize, reps: usize, mut f: impl FnMut()) -> Pair {
+    let serial_ms = time_ms(reps, || par::serial_scope(&mut f));
+    let parallel_ms = time_ms(reps, || par::with_threads(threads, &mut f));
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    println!("{name:32} serial {serial_ms:8.3} ms   par {parallel_ms:8.3} ms   x{speedup:.2}");
+    Pair {
+        name,
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+fn main() {
+    let threads = par::effective_threads().max(4);
+    println!("perfsnap: timing kernels with {threads} parallel threads\n");
+    let mut rng = seeded_rng(42);
+    let mut pairs = Vec::new();
+
+    let a = normal_matrix(256, 256, 0.0, 1.0, &mut rng);
+    let b = normal_matrix(256, 256, 0.0, 1.0, &mut rng);
+    pairs.push(pair("matmul_256", threads, 9, || {
+        std::hint::black_box(a.matmul(&b));
+    }));
+    pairs.push(pair("matmul_tn_256", threads, 9, || {
+        std::hint::black_box(a.matmul_tn(&b));
+    }));
+
+    let mut coo = Vec::new();
+    for r in 0..2000u32 {
+        for j in 0..8u32 {
+            coo.push((
+                r,
+                (r.wrapping_mul(2654435761).wrapping_add(j * 40503)) % 2000,
+                0.5f32,
+            ));
+        }
+    }
+    let sp = Csr::from_coo(2000, 2000, coo);
+    let xd = normal_matrix(2000, 64, 0.0, 1.0, &mut rng);
+    pairs.push(pair("spmm_16k_nnz", threads, 9, || {
+        std::hint::black_box(sp.spmm(&xd));
+    }));
+
+    let n = 2000usize;
+    let mut ep = Vec::new();
+    for i in 0..n as u32 {
+        for j in 0..12u32 {
+            ep.push((
+                (i.wrapping_mul(48271).wrapping_add(j * 16807)) % n as u32,
+                i,
+            ));
+        }
+    }
+    let edges = Arc::new(EdgeIndex::from_pairs(n, ep));
+    let scores = normal_matrix(edges.n_edges(), 1, 0.0, 1.0, &mut rng);
+    let h = normal_matrix(n, 32, 0.0, 1.0, &mut rng);
+    pairs.push(pair("edge_softmax_aggregate", threads, 9, || {
+        let mut g = Graph::new();
+        let s = g.constant(scores.clone());
+        let hn = g.constant(h.clone());
+        let alpha = g.edge_softmax(s, edges.clone());
+        let out = g.edge_aggregate(alpha, hn, edges.clone());
+        std::hint::black_box(g.value(out).sum());
+    }));
+
+    let meta = uvd_tensor::ConvMeta {
+        c_in: 2,
+        h_in: 32,
+        w_in: 32,
+        c_out: 8,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let xc = normal_matrix(16, meta.in_len(), 0.0, 1.0, &mut rng);
+    let (co, klen) = meta.kernel_shape();
+    let kern = normal_matrix(co, klen, 0.0, 0.3, &mut rng);
+    pairs.push(pair("conv2d_batch16_2x32x32", threads, 9, || {
+        std::hint::black_box(uvd_tensor::conv::conv2d_batch(&xc, &kern, &meta));
+    }));
+
+    let xg = normal_matrix(1000, 64, 0.0, 1.0, &mut rng);
+    let wg = normal_matrix(64, 16, 0.0, 1.0, &mut rng);
+    let fg = normal_matrix(1000, 64 * 16, 0.5, 0.1, &mut rng);
+    pairs.push(pair("gated_matmul_1000x64x16", threads, 9, || {
+        let mut g = Graph::new();
+        let xn = g.constant(xg.clone());
+        let wn = g.constant(wg.clone());
+        let fn_ = g.constant(fg.clone());
+        let z = g.gated_matmul(xn, wn, fn_);
+        std::hint::black_box(g.value(z).sum());
+    }));
+
+    let kernels: Vec<serde_json::Value> = pairs
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "name": p.name,
+                "serial_ms": p.serial_ms,
+                "parallel_ms": p.parallel_ms,
+                "speedup": p.serial_ms / p.parallel_ms.max(1e-9),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "threads": threads,
+        "host_cores": std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+        "kernels": kernels,
+    });
+    let path = repo_root_path("BENCH_tensor.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serialize snapshot") + "\n",
+    )
+    .expect("write BENCH_tensor.json");
+    println!("\nwrote {}", path.display());
+}

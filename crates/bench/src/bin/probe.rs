@@ -18,7 +18,12 @@ fn main() {
         for (train, test) in pairs.iter().take(2) {
             for seed in [0u64, 1] {
                 let mut cfg = CmsfConfig::for_city(&urg.name);
-                cfg.k_clusters = k; cfg.tau = tau; cfg.master_epochs = epochs; cfg.lr = lr; cfg.hidden = hid; cfg.seed = seed;
+                cfg.k_clusters = k;
+                cfg.tau = tau;
+                cfg.master_epochs = epochs;
+                cfg.lr = lr;
+                cfg.hidden = hid;
+                cfg.seed = seed;
                 let mut m = Cmsf::new(&urg, cfg);
                 m.fit(&urg, train);
                 let (a, _) = eval_scores(&m.predict(&urg), &urg, test, &[3]);
@@ -26,6 +31,9 @@ fn main() {
             }
         }
         let mean = aucs.iter().sum::<f64>() / aucs.len() as f64;
-        println!("K={k} tau={tau} ep={epochs} lr={lr} hid={hid}: auc={mean:.3} ({:?})", aucs.iter().map(|a| (a*1000.0) as i64).collect::<Vec<_>>());
+        println!(
+            "K={k} tau={tau} ep={epochs} lr={lr} hid={hid}: auc={mean:.3} ({:?})",
+            aucs.iter().map(|a| (a * 1000.0) as i64).collect::<Vec<_>>()
+        );
     }
 }

@@ -8,7 +8,10 @@ use uvd_urg::UrgOptions;
 
 fn main() {
     println!("Table I: statistics of the three synthetic datasets\n");
-    println!("{:16} {:>10} {:>10} {:>7} {:>10}", "", "# Regions", "# Edges", "# UVs", "# Non-UVs");
+    println!(
+        "{:16} {:>10} {:>10} {:>7} {:>10}",
+        "", "# Regions", "# Edges", "# UVs", "# Non-UVs"
+    );
     let mut rows = Vec::new();
     for preset in CityPreset::ALL {
         let urg = dataset_urg(preset, UrgOptions::default());

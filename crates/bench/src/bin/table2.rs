@@ -10,7 +10,12 @@ use uvd_urg::UrgOptions;
 fn main() {
     let scale = Scale::from_args();
     let spec = scale.spec();
-    println!("Table II: detection performance ({} scale, {} seeds, {} folds)\n", scale.label(), spec.seeds.len(), spec.folds);
+    println!(
+        "Table II: detection performance ({} scale, {} seeds, {} folds)\n",
+        scale.label(),
+        spec.seeds.len(),
+        spec.folds
+    );
 
     let mut rows = Vec::new();
     for preset in CityPreset::ALL {
@@ -28,7 +33,12 @@ fn main() {
     let record = ExperimentRecord {
         experiment: "table2".into(),
         description: "Detection performance comparison (paper Table II)".into(),
-        params: format!("scale={}, folds={}, seeds={:?}", scale.label(), spec.folds, spec.seeds),
+        params: format!(
+            "scale={}, folds={}, seeds={:?}",
+            scale.label(),
+            spec.folds,
+            spec.seeds
+        ),
         rows,
     };
     write_json(&format!("{RESULTS_DIR}/table2.json"), &record).expect("write results/table2.json");

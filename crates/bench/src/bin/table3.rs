@@ -12,8 +12,16 @@ fn main() {
     let scale = Scale::from_args();
     // Per-epoch timing is unaffected by the epoch count, so reduced-epoch
     // fits measure it just as well.
-    let spec = RunSpec { folds: 2, seeds: vec![0], quick: true, ..Default::default() };
-    println!("Table III: efficiency comparison ({} scale)\n", scale.label());
+    let spec = RunSpec {
+        folds: 2,
+        seeds: vec![0],
+        quick: true,
+        ..Default::default()
+    };
+    println!(
+        "Table III: efficiency comparison ({} scale)\n",
+        scale.label()
+    );
     println!(
         "{:10} | {:>14} {:>14} | {:>14} {:>14} | {:>12}",
         "", "train s/epoch", "", "inference (s)", "", "size (MB)"
@@ -46,7 +54,12 @@ fn main() {
     let record = ExperimentRecord {
         experiment: "table3".into(),
         description: "Efficiency comparison (paper Table III)".into(),
-        params: format!("scale={}, folds={}, seeds={:?}", scale.label(), spec.folds, spec.seeds),
+        params: format!(
+            "scale={}, folds={}, seeds={:?}",
+            scale.label(),
+            spec.folds,
+            spec.seeds
+        ),
         rows,
     };
     write_json(&format!("{RESULTS_DIR}/table3.json"), &record).expect("write results/table3.json");

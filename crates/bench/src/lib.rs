@@ -22,6 +22,17 @@ use uvd_eval::{MethodSummary, RunSpec};
 /// Where experiment records are written.
 pub const RESULTS_DIR: &str = "results";
 
+/// Resolve `name` against the repository root (two levels above this
+/// crate's manifest), so binaries write there regardless of the invocation
+/// directory.
+pub fn repo_root_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels below the repo root")
+        .join(name)
+}
+
 /// Scale of an experiment run, from CLI flags.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
@@ -49,9 +60,19 @@ impl Scale {
     /// The run protocol for this scale.
     pub fn spec(self) -> RunSpec {
         match self {
-            Scale::Quick => RunSpec { quick: true, seeds: vec![0], ..Default::default() },
-            Scale::Standard => RunSpec { seeds: vec![0, 1], ..Default::default() },
-            Scale::Full => RunSpec { seeds: vec![0, 1, 2, 3, 4], ..Default::default() },
+            Scale::Quick => RunSpec {
+                quick: true,
+                seeds: vec![0],
+                ..Default::default()
+            },
+            Scale::Standard => RunSpec {
+                seeds: vec![0, 1],
+                ..Default::default()
+            },
+            Scale::Full => RunSpec {
+                seeds: vec![0, 1, 2, 3, 4],
+                ..Default::default()
+            },
         }
     }
 
@@ -98,7 +119,18 @@ pub fn format_row(s: &MethodSummary) -> String {
 pub fn header() -> String {
     format!(
         "{:10} | {:12} | {:^38} | {:^38}\n{:10} | {:12} | {:12} {:12} {:12} | {:12} {:12} {:12}",
-        "", "AUC", "p=3", "p=5", "method", "", "Recall", "Precision", "F1", "Recall", "Precision", "F1"
+        "",
+        "AUC",
+        "p=3",
+        "p=5",
+        "method",
+        "",
+        "Recall",
+        "Precision",
+        "F1",
+        "Recall",
+        "Precision",
+        "F1"
     )
 }
 
@@ -117,8 +149,16 @@ mod tests {
 
     #[test]
     fn format_row_contains_all_metrics() {
-        let ms = MeanStd { mean: 0.5, std: 0.001 };
-        let p = |p| PSummary { p, recall: ms, precision: ms, f1: ms };
+        let ms = MeanStd {
+            mean: 0.5,
+            std: 0.001,
+        };
+        let p = |p| PSummary {
+            p,
+            recall: ms,
+            precision: ms,
+            f1: ms,
+        };
         let s = MethodSummary {
             method: "X".into(),
             city: "c".into(),

@@ -50,8 +50,11 @@ pub enum CityPreset {
 }
 
 impl CityPreset {
-    pub const ALL: [CityPreset; 3] =
-        [CityPreset::ShenzhenLike, CityPreset::FuzhouLike, CityPreset::BeijingLike];
+    pub const ALL: [CityPreset; 3] = [
+        CityPreset::ShenzhenLike,
+        CityPreset::FuzhouLike,
+        CityPreset::BeijingLike,
+    ];
 
     pub fn config(self) -> CityConfig {
         match self {

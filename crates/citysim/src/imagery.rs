@@ -165,8 +165,16 @@ pub fn render_region(profile: RegionProfile, rng: &mut SmallRng, out: &mut [f32]
                 if rng.gen::<f64>() < st.fill {
                     let bw = rng.gen_range(st.block.0..=st.block.1);
                     let bh = rng.gen_range(st.block.0..=st.block.1);
-                    let jx = if st.jitter > 0 { rng.gen_range(0..=st.jitter) } else { 0 };
-                    let jy = if st.jitter > 0 { rng.gen_range(0..=st.jitter) } else { 0 };
+                    let jx = if st.jitter > 0 {
+                        rng.gen_range(0..=st.jitter)
+                    } else {
+                        0
+                    };
+                    let jy = if st.jitter > 0 {
+                        rng.gen_range(0..=st.jitter)
+                    } else {
+                        0
+                    };
                     let x0 = (gx + jx).min(IMG_SIZE - 1);
                     let y0 = (gy + jy).min(IMG_SIZE - 1);
                     let x1 = (x0 + bw).min(IMG_SIZE);
@@ -275,8 +283,14 @@ mod tests {
         let mean = |img: &[f32], c: usize| -> f32 {
             img[c * plane..(c + 1) * plane].iter().sum::<f32>() / plane as f32
         };
-        assert!(mean(&water, 2) > mean(&water, 0), "water should be blue-dominant");
-        assert!(mean(&green, 1) > mean(&green, 2), "greenspace should be green-dominant");
+        assert!(
+            mean(&water, 2) > mean(&water, 0),
+            "water should be blue-dominant"
+        );
+        assert!(
+            mean(&green, 1) > mean(&green, 2),
+            "greenspace should be green-dominant"
+        );
     }
 
     #[test]
@@ -293,6 +307,9 @@ mod tests {
 
     #[test]
     fn rendering_deterministic() {
-        assert_eq!(render(RegionProfile::UvInner, 7), render(RegionProfile::UvInner, 7));
+        assert_eq!(
+            render(RegionProfile::UvInner, 7),
+            render(RegionProfile::UvInner, 7)
+        );
     }
 }

@@ -70,7 +70,10 @@ pub fn survey(cfg: &CityConfig, map: &LandUseMap, rng: &mut SmallRng) -> SurveyL
     uv_regions.dedup();
     non_uv_regions.sort_unstable();
 
-    SurveyLabels { uv_regions, non_uv_regions }
+    SurveyLabels {
+        uv_regions,
+        non_uv_regions,
+    }
 }
 
 /// Shuffle helper used by downstream splitters (re-exported for tests).

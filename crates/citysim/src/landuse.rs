@@ -91,7 +91,11 @@ pub fn generate_land_use(cfg: &CityConfig, rng: &mut SmallRng) -> LandUseMap {
 
     // Nature patches (half green, half water), grown as random blobs.
     for i in 0..cfg.n_nature_patches {
-        let kind = if i % 2 == 0 { LandUse::GreenSpace } else { LandUse::Water };
+        let kind = if i % 2 == 0 {
+            LandUse::GreenSpace
+        } else {
+            LandUse::Water
+        };
         let seed = rng.gen_range(0..n);
         let size = rng.gen_range(5..20);
         for r in grow_blob(seed, size, w, h, rng) {
@@ -118,7 +122,10 @@ pub fn generate_land_use(cfg: &CityConfig, rng: &mut SmallRng) -> LandUseMap {
         if !range.contains(&dd) {
             continue;
         }
-        if matches!(cells[seed], LandUse::Water | LandUse::GreenSpace | LandUse::UrbanVillage) {
+        if matches!(
+            cells[seed],
+            LandUse::Water | LandUse::GreenSpace | LandUse::UrbanVillage
+        ) {
             continue;
         }
         if !near_employment(&cells, seed, w, h, 2, 4) {
@@ -139,7 +146,12 @@ pub fn generate_land_use(cfg: &CityConfig, rng: &mut SmallRng) -> LandUseMap {
         uv_patches.push(blob);
     }
 
-    LandUseMap { cells, uv_patches, centers, centrality }
+    LandUseMap {
+        cells,
+        uv_patches,
+        centers,
+        centrality,
+    }
 }
 
 /// Derive the *observable* generation profile of every region from the
@@ -192,10 +204,16 @@ pub fn derive_profiles(
     // One archetype per UV patch (whole settlements share a character), with
     // a small fraction of regions "upgraded" to formal-looking fabric.
     for patch in &map.uv_patches {
-        let mean_centrality: f64 =
-            patch.iter().map(|&r| map.centrality[r as usize]).sum::<f64>() / patch.len() as f64;
-        let archetype =
-            if mean_centrality < 0.42 { RegionProfile::UvInner } else { RegionProfile::UvOuter };
+        let mean_centrality: f64 = patch
+            .iter()
+            .map(|&r| map.centrality[r as usize])
+            .sum::<f64>()
+            / patch.len() as f64;
+        let archetype = if mean_centrality < 0.42 {
+            RegionProfile::UvInner
+        } else {
+            RegionProfile::UvOuter
+        };
         for &r in patch {
             profiles[r as usize] = if rng.gen::<f64>() < 0.12 {
                 RegionProfile::OldResidential

@@ -1,8 +1,8 @@
 //! Lattice value noise used to perturb zoning boundaries so land-use regions
 //! have organic shapes rather than concentric rings.
 
-use rand::Rng;
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 /// Smooth 2-D value noise: random values on a coarse lattice, bilinearly
 /// interpolated. Output range is [0, 1].
@@ -21,7 +21,12 @@ impl ValueNoise {
         let grid_w = (width as f64 / cell).ceil() as usize + 2;
         let grid_h = (height as f64 / cell).ceil() as usize + 2;
         let values = (0..grid_w * grid_h).map(|_| rng.gen::<f64>()).collect();
-        ValueNoise { grid_w, grid_h, cell, values }
+        ValueNoise {
+            grid_w,
+            grid_h,
+            cell,
+            values,
+        }
     }
 
     /// Sample the noise field at `(x, y)`.

@@ -24,54 +24,54 @@ use rand::Rng;
 pub fn kind_rate(kind: PoiKind, profile: RegionProfile) -> f64 {
     use PoiKind::*;
     let t: [f64; 10] = match kind {
-        Restaurant =>        [1.5, 1.8, 0.8, 1.4, 1.9, 0.7, 0.4, 0.15, 0.02, 0.0],
-        FastFood =>          [0.8, 1.0, 0.5, 0.9, 1.3, 0.6, 0.3, 0.1, 0.0, 0.0],
-        Teahouse =>          [0.3, 0.4, 0.2, 0.3, 0.5, 0.15, 0.05, 0.03, 0.02, 0.0],
-        Hotel =>             [0.6, 0.5, 0.1, 0.15, 0.35, 0.1, 0.05, 0.03, 0.01, 0.0],
-        Hostel =>            [0.15, 0.2, 0.05, 0.15, 0.6, 0.2, 0.03, 0.02, 0.0, 0.0],
-        ShoppingMall =>      [0.25, 0.15, 0.04, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
-        Supermarket =>       [0.3, 0.35, 0.25, 0.2, 0.12, 0.06, 0.05, 0.04, 0.0, 0.0],
-        Market =>            [0.1, 0.2, 0.12, 0.3, 0.5, 0.2, 0.04, 0.03, 0.0, 0.0],
-        Shop =>              [2.0, 2.5, 1.0, 2.0, 2.6, 1.1, 0.4, 0.2, 0.02, 0.0],
-        Laundry =>           [0.15, 0.25, 0.2, 0.4, 0.65, 0.25, 0.03, 0.03, 0.0, 0.0],
-        TelecomOffice =>     [0.2, 0.25, 0.15, 0.12, 0.08, 0.04, 0.04, 0.02, 0.0, 0.0],
-        Housekeeping =>      [0.1, 0.2, 0.2, 0.35, 0.55, 0.2, 0.02, 0.03, 0.0, 0.0],
-        BeautySalon =>       [0.5, 0.7, 0.35, 0.5, 0.75, 0.25, 0.05, 0.05, 0.0, 0.0],
-        ScenicSpot =>        [0.08, 0.04, 0.02, 0.02, 0.0, 0.0, 0.0, 0.02, 0.3, 0.1],
-        Cinema =>            [0.15, 0.1, 0.03, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
-        Ktv =>               [0.25, 0.3, 0.08, 0.15, 0.3, 0.08, 0.02, 0.01, 0.0, 0.0],
-        InternetCafe =>      [0.15, 0.2, 0.1, 0.3, 0.6, 0.2, 0.05, 0.02, 0.0, 0.0],
-        Gym =>               [0.3, 0.25, 0.18, 0.06, 0.02, 0.005, 0.02, 0.02, 0.0, 0.0],
-        Stadium =>           [0.03, 0.02, 0.015, 0.008, 0.0, 0.0, 0.0, 0.005, 0.02, 0.0],
-        School =>            [0.12, 0.12, 0.22, 0.15, 0.05, 0.03, 0.02, 0.05, 0.0, 0.0],
-        College =>           [0.02, 0.015, 0.02, 0.01, 0.0, 0.0, 0.005, 0.01, 0.0, 0.0],
-        Kindergarten =>      [0.1, 0.15, 0.3, 0.2, 0.1, 0.05, 0.02, 0.06, 0.0, 0.0],
-        Library =>           [0.08, 0.04, 0.03, 0.015, 0.0, 0.0, 0.0, 0.005, 0.0, 0.0],
-        Museum =>            [0.05, 0.02, 0.005, 0.003, 0.0, 0.0, 0.0, 0.0, 0.01, 0.0],
-        Hospital =>          [0.05, 0.04, 0.035, 0.02, 0.0, 0.0, 0.005, 0.008, 0.0, 0.0],
-        Clinic =>            [0.3, 0.35, 0.3, 0.3, 0.2, 0.1, 0.05, 0.06, 0.0, 0.0],
-        Pharmacy =>          [0.35, 0.4, 0.35, 0.35, 0.32, 0.12, 0.06, 0.06, 0.0, 0.0],
-        GasStation =>        [0.05, 0.06, 0.05, 0.04, 0.01, 0.05, 0.15, 0.08, 0.0, 0.0],
-        CarRepair =>         [0.08, 0.12, 0.1, 0.12, 0.06, 0.15, 0.3, 0.08, 0.0, 0.0],
-        Parking =>           [0.8, 0.5, 0.4, 0.2, 0.05, 0.04, 0.25, 0.06, 0.01, 0.0],
-        BusStop =>           [0.5, 0.45, 0.4, 0.3, 0.14, 0.08, 0.2, 0.12, 0.03, 0.0],
-        SubwayStation =>     [0.12, 0.06, 0.03, 0.02, 0.005, 0.0, 0.01, 0.0, 0.0, 0.0],
-        Airport =>           [0.0; 10], // placed at city level
-        TrainStation =>      [0.0; 10], // placed at city level
-        CoachStation =>      [0.0; 10], // placed at city level
-        Bank =>              [0.6, 0.4, 0.2, 0.1, 0.03, 0.01, 0.04, 0.02, 0.0, 0.0],
-        Atm =>               [0.8, 0.6, 0.35, 0.2, 0.07, 0.02, 0.06, 0.03, 0.0, 0.0],
+        Restaurant => [1.5, 1.8, 0.8, 1.4, 1.9, 0.7, 0.4, 0.15, 0.02, 0.0],
+        FastFood => [0.8, 1.0, 0.5, 0.9, 1.3, 0.6, 0.3, 0.1, 0.0, 0.0],
+        Teahouse => [0.3, 0.4, 0.2, 0.3, 0.5, 0.15, 0.05, 0.03, 0.02, 0.0],
+        Hotel => [0.6, 0.5, 0.1, 0.15, 0.35, 0.1, 0.05, 0.03, 0.01, 0.0],
+        Hostel => [0.15, 0.2, 0.05, 0.15, 0.6, 0.2, 0.03, 0.02, 0.0, 0.0],
+        ShoppingMall => [0.25, 0.15, 0.04, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        Supermarket => [0.3, 0.35, 0.25, 0.2, 0.12, 0.06, 0.05, 0.04, 0.0, 0.0],
+        Market => [0.1, 0.2, 0.12, 0.3, 0.5, 0.2, 0.04, 0.03, 0.0, 0.0],
+        Shop => [2.0, 2.5, 1.0, 2.0, 2.6, 1.1, 0.4, 0.2, 0.02, 0.0],
+        Laundry => [0.15, 0.25, 0.2, 0.4, 0.65, 0.25, 0.03, 0.03, 0.0, 0.0],
+        TelecomOffice => [0.2, 0.25, 0.15, 0.12, 0.08, 0.04, 0.04, 0.02, 0.0, 0.0],
+        Housekeeping => [0.1, 0.2, 0.2, 0.35, 0.55, 0.2, 0.02, 0.03, 0.0, 0.0],
+        BeautySalon => [0.5, 0.7, 0.35, 0.5, 0.75, 0.25, 0.05, 0.05, 0.0, 0.0],
+        ScenicSpot => [0.08, 0.04, 0.02, 0.02, 0.0, 0.0, 0.0, 0.02, 0.3, 0.1],
+        Cinema => [0.15, 0.1, 0.03, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        Ktv => [0.25, 0.3, 0.08, 0.15, 0.3, 0.08, 0.02, 0.01, 0.0, 0.0],
+        InternetCafe => [0.15, 0.2, 0.1, 0.3, 0.6, 0.2, 0.05, 0.02, 0.0, 0.0],
+        Gym => [0.3, 0.25, 0.18, 0.06, 0.02, 0.005, 0.02, 0.02, 0.0, 0.0],
+        Stadium => [0.03, 0.02, 0.015, 0.008, 0.0, 0.0, 0.0, 0.005, 0.02, 0.0],
+        School => [0.12, 0.12, 0.22, 0.15, 0.05, 0.03, 0.02, 0.05, 0.0, 0.0],
+        College => [0.02, 0.015, 0.02, 0.01, 0.0, 0.0, 0.005, 0.01, 0.0, 0.0],
+        Kindergarten => [0.1, 0.15, 0.3, 0.2, 0.1, 0.05, 0.02, 0.06, 0.0, 0.0],
+        Library => [0.08, 0.04, 0.03, 0.015, 0.0, 0.0, 0.0, 0.005, 0.0, 0.0],
+        Museum => [0.05, 0.02, 0.005, 0.003, 0.0, 0.0, 0.0, 0.0, 0.01, 0.0],
+        Hospital => [0.05, 0.04, 0.035, 0.02, 0.0, 0.0, 0.005, 0.008, 0.0, 0.0],
+        Clinic => [0.3, 0.35, 0.3, 0.3, 0.2, 0.1, 0.05, 0.06, 0.0, 0.0],
+        Pharmacy => [0.35, 0.4, 0.35, 0.35, 0.32, 0.12, 0.06, 0.06, 0.0, 0.0],
+        GasStation => [0.05, 0.06, 0.05, 0.04, 0.01, 0.05, 0.15, 0.08, 0.0, 0.0],
+        CarRepair => [0.08, 0.12, 0.1, 0.12, 0.06, 0.15, 0.3, 0.08, 0.0, 0.0],
+        Parking => [0.8, 0.5, 0.4, 0.2, 0.05, 0.04, 0.25, 0.06, 0.01, 0.0],
+        BusStop => [0.5, 0.45, 0.4, 0.3, 0.14, 0.08, 0.2, 0.12, 0.03, 0.0],
+        SubwayStation => [0.12, 0.06, 0.03, 0.02, 0.005, 0.0, 0.01, 0.0, 0.0, 0.0],
+        Airport => [0.0; 10],      // placed at city level
+        TrainStation => [0.0; 10], // placed at city level
+        CoachStation => [0.0; 10], // placed at city level
+        Bank => [0.6, 0.4, 0.2, 0.1, 0.03, 0.01, 0.04, 0.02, 0.0, 0.0],
+        Atm => [0.8, 0.6, 0.35, 0.2, 0.07, 0.02, 0.06, 0.03, 0.0, 0.0],
         ResidentialEstate => [0.4, 0.5, 1.3, 1.0, 0.5, 0.3, 0.05, 0.35, 0.0, 0.0],
-        OfficeBuilding =>    [2.0, 0.8, 0.25, 0.15, 0.06, 0.05, 0.35, 0.05, 0.0, 0.0],
-        Factory =>           [0.02, 0.05, 0.04, 0.08, 0.12, 0.5, 1.6, 0.12, 0.0, 0.0],
-        GovernmentOffice =>  [0.25, 0.12, 0.08, 0.05, 0.01, 0.01, 0.04, 0.03, 0.0, 0.0],
-        PoliceStation =>     [0.06, 0.05, 0.045, 0.035, 0.008, 0.005, 0.02, 0.02, 0.0, 0.0],
-        Gate =>              [0.3, 0.3, 0.5, 0.45, 0.4, 0.25, 0.3, 0.1, 0.05, 0.0],
-        Hill =>              [0.0, 0.0, 0.005, 0.005, 0.005, 0.03, 0.005, 0.04, 0.15, 0.0],
-        RoadFacility =>      [0.5, 0.45, 0.35, 0.3, 0.15, 0.1, 0.3, 0.15, 0.03, 0.0],
-        RailwayFacility =>   [0.03, 0.02, 0.015, 0.01, 0.005, 0.02, 0.05, 0.02, 0.0, 0.0],
-        Park =>              [0.1, 0.08, 0.12, 0.08, 0.01, 0.01, 0.01, 0.05, 0.8, 0.02],
-        BusRouteStop =>      [0.45, 0.4, 0.35, 0.28, 0.12, 0.06, 0.18, 0.1, 0.02, 0.0],
+        OfficeBuilding => [2.0, 0.8, 0.25, 0.15, 0.06, 0.05, 0.35, 0.05, 0.0, 0.0],
+        Factory => [0.02, 0.05, 0.04, 0.08, 0.12, 0.5, 1.6, 0.12, 0.0, 0.0],
+        GovernmentOffice => [0.25, 0.12, 0.08, 0.05, 0.01, 0.01, 0.04, 0.03, 0.0, 0.0],
+        PoliceStation => [0.06, 0.05, 0.045, 0.035, 0.008, 0.005, 0.02, 0.02, 0.0, 0.0],
+        Gate => [0.3, 0.3, 0.5, 0.45, 0.4, 0.25, 0.3, 0.1, 0.05, 0.0],
+        Hill => [0.0, 0.0, 0.005, 0.005, 0.005, 0.03, 0.005, 0.04, 0.15, 0.0],
+        RoadFacility => [0.5, 0.45, 0.35, 0.3, 0.15, 0.1, 0.3, 0.15, 0.03, 0.0],
+        RailwayFacility => [0.03, 0.02, 0.015, 0.01, 0.005, 0.02, 0.05, 0.02, 0.0, 0.0],
+        Park => [0.1, 0.08, 0.12, 0.08, 0.01, 0.01, 0.01, 0.05, 0.8, 0.02],
+        BusRouteStop => [0.45, 0.4, 0.35, 0.28, 0.12, 0.06, 0.18, 0.1, 0.02, 0.0],
     };
     match profile {
         // The confusers are *mixtures*: at region level (with Poisson noise
@@ -121,8 +121,11 @@ pub fn poisson(lambda: f64, rng: &mut SmallRng) -> usize {
 
 /// City-level landmark kinds placed explicitly so every radius feature has a
 /// referent somewhere in the city.
-const LANDMARKS: [(PoiKind, usize); 3] =
-    [(PoiKind::Airport, 1), (PoiKind::TrainStation, 2), (PoiKind::CoachStation, 3)];
+const LANDMARKS: [(PoiKind, usize); 3] = [
+    (PoiKind::Airport, 1),
+    (PoiKind::TrainStation, 2),
+    (PoiKind::CoachStation, 3),
+];
 
 /// Generate all POIs for the city.
 pub fn generate_pois(
@@ -224,7 +227,9 @@ mod tests {
     #[test]
     fn uv_inner_denser_than_residential_but_poor_in_finance() {
         use RegionProfile::*;
-        assert!(kind_rate(PoiKind::Restaurant, UvInner) > kind_rate(PoiKind::Restaurant, Residential));
+        assert!(
+            kind_rate(PoiKind::Restaurant, UvInner) > kind_rate(PoiKind::Restaurant, Residential)
+        );
         assert!(kind_rate(PoiKind::Bank, UvInner) < kind_rate(PoiKind::Bank, Residential));
         assert!(kind_rate(PoiKind::Gym, UvInner) < kind_rate(PoiKind::Gym, Residential));
         assert_eq!(kind_rate(PoiKind::ShoppingMall, UvInner), 0.0);
@@ -235,7 +240,12 @@ mod tests {
         // The confuser profile must genuinely interpolate for the key
         // discriminative kinds.
         use RegionProfile::*;
-        for kind in [PoiKind::Restaurant, PoiKind::Shop, PoiKind::Laundry, PoiKind::Bank] {
+        for kind in [
+            PoiKind::Restaurant,
+            PoiKind::Shop,
+            PoiKind::Laundry,
+            PoiKind::Bank,
+        ] {
             let res = kind_rate(kind, Residential);
             let old = kind_rate(kind, OldResidential);
             let uv = kind_rate(kind, UvInner);

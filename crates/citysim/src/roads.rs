@@ -45,18 +45,26 @@ pub fn generate_roads(cfg: &CityConfig, map: &LandUseMap, rng: &mut SmallRng) ->
     let mut edges: Vec<(u32, u32)> = Vec::new();
     for gy in 0..gh {
         for gx in 0..gw {
-            let Some(a) = node_at[gy * gw + gx] else { continue };
+            let Some(a) = node_at[gy * gw + gx] else {
+                continue;
+            };
             for (nx, ny) in [(gx + 1, gy), (gx, gy + 1)] {
                 if nx >= gw || ny >= gh {
                     continue;
                 }
-                let Some(b) = node_at[ny * gw + nx] else { continue };
+                let Some(b) = node_at[ny * gw + nx] else {
+                    continue;
+                };
                 // Streets through urban villages are sparser.
                 let ar = region_of(nodes[a as usize], w);
                 let br = region_of(nodes[b as usize], w);
                 let through_uv = map.cells[ar] == LandUse::UrbanVillage
                     || map.cells[br] == LandUse::UrbanVillage;
-                let p = if through_uv { cfg.road_keep_prob * 0.8 } else { cfg.road_keep_prob };
+                let p = if through_uv {
+                    cfg.road_keep_prob * 0.8
+                } else {
+                    cfg.road_keep_prob
+                };
                 if rng.gen::<f64>() < p {
                     edges.push((a, b));
                 }
@@ -125,7 +133,10 @@ mod tests {
         let (cfg, _, roads) = make(1);
         assert!(roads.nodes.len() > 10);
         assert!(roads.edges.len() > 10);
-        let (wm, hm) = (cfg.width as f64 * CELL_METERS, cfg.height as f64 * CELL_METERS);
+        let (wm, hm) = (
+            cfg.width as f64 * CELL_METERS,
+            cfg.height as f64 * CELL_METERS,
+        );
         for &(x, y) in &roads.nodes {
             assert!(x >= 0.0 && x < wm && y >= 0.0 && y < hm);
         }

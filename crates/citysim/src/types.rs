@@ -465,7 +465,10 @@ impl City {
     /// Center of a region in meters.
     pub fn region_center(&self, r: usize) -> (f64, f64) {
         let (x, y) = self.region_xy(r);
-        ((x as f64 + 0.5) * CELL_METERS, (y as f64 + 0.5) * CELL_METERS)
+        (
+            (x as f64 + 0.5) * CELL_METERS,
+            (y as f64 + 0.5) * CELL_METERS,
+        )
     }
 
     /// True iff the region's latent land use is an urban village.
@@ -475,7 +478,10 @@ impl City {
 
     /// Total number of true urban-village regions in the city.
     pub fn n_true_uvs(&self) -> usize {
-        self.land_use.iter().filter(|l| l.is_urban_village()).count()
+        self.land_use
+            .iter()
+            .filter(|l| l.is_urban_village())
+            .count()
     }
 
     /// Image of region `r` as a flat `[f32; IMG_LEN]` slice.
@@ -521,7 +527,11 @@ mod tests {
 
     #[test]
     fn poi_region_assignment() {
-        let p = Poi { kind: PoiKind::Restaurant, x: 130.0, y: 260.0 };
+        let p = Poi {
+            kind: PoiKind::Restaurant,
+            x: 130.0,
+            y: 260.0,
+        };
         // x in cell 1, y in cell 2 of a width-10 grid -> region 21.
         assert_eq!(p.region(10), 21);
     }

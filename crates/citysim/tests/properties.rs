@@ -5,8 +5,15 @@ use proptest::prelude::*;
 use uvd_citysim::{City, CityConfig, CityPreset, LandUse, RegionProfile, IMG_LEN};
 
 fn any_config() -> impl Strategy<Value = CityConfig> {
-    (12usize..24, 12usize..24, 1usize..3, 3usize..8, 0.5f64..1.0, 2.0f64..5.0).prop_map(
-        |(h, w, centers, patches, discovery, ratio)| CityConfig {
+    (
+        12usize..24,
+        12usize..24,
+        1usize..3,
+        3usize..8,
+        0.5f64..1.0,
+        2.0f64..5.0,
+    )
+        .prop_map(|(h, w, centers, patches, discovery, ratio)| CityConfig {
             name: "prop".into(),
             height: h,
             width: w,
@@ -19,8 +26,7 @@ fn any_config() -> impl Strategy<Value = CityConfig> {
             road_keep_prob: 0.8,
             poi_density: 0.5,
             n_nature_patches: 2,
-        },
-    )
+        })
 }
 
 proptest! {

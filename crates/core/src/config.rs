@@ -81,12 +81,20 @@ impl CmsfConfig {
     pub fn for_city(name: &str) -> Self {
         let base = CmsfConfig::default();
         match name {
-            n if n.starts_with("shenzhen") => {
-                CmsfConfig { n_heads: 2, k_clusters: 20, tau: 0.1, lambda: 0.01, ..base }
-            }
-            n if n.starts_with("fuzhou") => {
-                CmsfConfig { n_heads: 2, k_clusters: 16, tau: 0.01, lambda: 0.05, ..base }
-            }
+            n if n.starts_with("shenzhen") => CmsfConfig {
+                n_heads: 2,
+                k_clusters: 20,
+                tau: 0.1,
+                lambda: 0.01,
+                ..base
+            },
+            n if n.starts_with("fuzhou") => CmsfConfig {
+                n_heads: 2,
+                k_clusters: 16,
+                tau: 0.01,
+                lambda: 0.05,
+                ..base
+            },
             // Model selection on the synthetic Beijing-like dataset prefers
             // 2 heads + Sum fusion over the paper's 1 head + concat (chosen
             // for the real Beijing data), and a smaller K: the synthetic
@@ -95,9 +103,13 @@ impl CmsfConfig {
             // consistent with the paper's finding that K tracks the number
             // of latent semantic groups, even though the direction differs
             // from the real Beijing.
-            n if n.starts_with("beijing") => {
-                CmsfConfig { n_heads: 2, k_clusters: 12, tau: 0.1, lambda: 0.01, ..base }
-            }
+            n if n.starts_with("beijing") => CmsfConfig {
+                n_heads: 2,
+                k_clusters: 12,
+                tau: 0.1,
+                lambda: 0.01,
+                ..base
+            },
             _ => base,
         }
     }

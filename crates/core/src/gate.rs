@@ -8,7 +8,7 @@
 //! region-specific slave predictor (eq. 22).
 
 use crate::gscm::FixedAssignment;
-use std::rc::Rc;
+use std::sync::Arc;
 use uvd_nn::{Activation, Linear, Mlp};
 use uvd_tensor::{Graph, Matrix, NodeId, ParamSet, Rng64};
 
@@ -37,7 +37,11 @@ impl MsGate {
         classifier: &Mlp,
         rng: &mut Rng64,
     ) -> Self {
-        assert_eq!(classifier.layers.len(), 2, "MS-Gate expects a 2-layer MLP classifier");
+        assert_eq!(
+            classifier.layers.len(),
+            2,
+            "MS-Gate expects a 2-layer MLP classifier"
+        );
         let filter_len = classifier.num_scalars();
         let w_f = Linear::new(&format!("{name}.w_f"), ctx_dim, filter_len, rng);
         // Near-identity start: a +4 bias puts the sigmoid filter at ≈0.98,
@@ -74,8 +78,8 @@ impl MsGate {
         if c1.is_empty() || c0.is_empty() {
             return g.constant(Matrix::zeros(1, 1));
         }
-        let y1 = g.gather_rows(probs, Rc::new(c1.to_vec()));
-        let y0 = g.gather_rows(probs, Rc::new(c0.to_vec()));
+        let y1 = g.gather_rows(probs, Arc::new(c1.to_vec()));
+        let y0 = g.gather_rows(probs, Arc::new(c0.to_vec()));
         let d = g.sub_outer(y1, y0); // |C1|×|C0|: ŷ_i - ŷ_j
         let neg = g_neg(g, d);
         let one_minus = g.add_scalar(neg, 1.0); // 1 - (ŷ_i - ŷ_j)
@@ -170,7 +174,12 @@ mod tests {
             b_hard_t.set(i % k, i, 1.0);
             *c = (i % k) as u32;
         }
-        FixedAssignment { b_soft, b_hard_t, pseudo: vec![1.0, 0.0, 0.0], cluster_of }
+        FixedAssignment {
+            b_soft,
+            b_hard_t,
+            pseudo: vec![1.0, 0.0, 0.0],
+            cluster_of,
+        }
     }
 
     fn make_gate(rng: &mut uvd_tensor::Rng64) -> (MsGate, Mlp) {
@@ -224,7 +233,12 @@ mod tests {
         let ones = g.constant(Matrix::filled(5, gate.filter_len(), 1.0));
         let slave = gate.gated_forward(&mut g, &clf, xn, ones);
         let master = clf.forward(&mut g, xn);
-        for (a, b) in g.value(slave).as_slice().iter().zip(g.value(master).as_slice()) {
+        for (a, b) in g
+            .value(slave)
+            .as_slice()
+            .iter()
+            .zip(g.value(master).as_slice())
+        {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
     }

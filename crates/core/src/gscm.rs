@@ -174,7 +174,12 @@ impl Gscm {
         let hr = self.w_r.forward(g, h_prime);
         let shared = g.matmul(b_soft, hr);
         let x_global = self.act.apply(g, shared);
-        GscmOut { b_soft, b_hard_t, h_prime, x_global }
+        GscmOut {
+            b_soft,
+            b_hard_t,
+            h_prime,
+            x_global,
+        }
     }
 
     /// Cluster pseudo labels from region labels (eq. 16): a cluster is

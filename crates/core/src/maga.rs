@@ -11,7 +11,7 @@
 //! (CMSF-M variant) each modality is aggregated independently — a vanilla
 //! GAT per modality.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use uvd_nn::{AggMode, FusionAgg, MultiHeadAttention};
 use uvd_tensor::{EdgeIndex, Graph, NodeId, ParamSet, Rng64};
 
@@ -42,7 +42,8 @@ impl MagaLayer {
         rng: &mut Rng64,
     ) -> Self {
         let head_out = hidden * n_heads;
-        let intra_p = MultiHeadAttention::new_intra(&format!("{name}.pp"), d_p, hidden, n_heads, rng);
+        let intra_p =
+            MultiHeadAttention::new_intra(&format!("{name}.pp"), d_p, hidden, n_heads, rng);
         let (cross_p, fuse_p, intra_i, cross_i, fuse_i, out_p, out_i);
         if d_i > 0 {
             intra_i = Some(MultiHeadAttention::new_intra(
@@ -92,7 +93,16 @@ impl MagaLayer {
             out_p = head_out;
             out_i = 0;
         }
-        MagaLayer { intra_p, cross_p, fuse_p, intra_i, cross_i, fuse_i, out_p, out_i }
+        MagaLayer {
+            intra_p,
+            cross_p,
+            fuse_p,
+            intra_i,
+            cross_i,
+            fuse_i,
+            out_p,
+            out_i,
+        }
     }
 
     pub fn out_dims(&self) -> (usize, usize) {
@@ -105,7 +115,7 @@ impl MagaLayer {
         g: &mut Graph,
         x_p: NodeId,
         x_i: Option<NodeId>,
-        edges: &Rc<EdgeIndex>,
+        edges: &Arc<EdgeIndex>,
     ) -> (NodeId, Option<NodeId>) {
         let pp = self.intra_p.forward(g, x_p, x_p, edges);
         match (x_i, &self.intra_i) {
@@ -128,7 +138,10 @@ impl MagaLayer {
 
     pub fn collect_params(&self, set: &mut ParamSet) {
         self.intra_p.collect_params(set);
-        for m in [&self.cross_p, &self.intra_i, &self.cross_i].into_iter().flatten() {
+        for m in [&self.cross_p, &self.intra_i, &self.cross_i]
+            .into_iter()
+            .flatten()
+        {
             m.collect_params(set);
         }
         for f in [&self.fuse_p, &self.fuse_i].into_iter().flatten() {
@@ -175,7 +188,10 @@ impl MagaStack {
             di = oi;
             layers.push(layer);
         }
-        MagaStack { layers, out_dim: dp + di }
+        MagaStack {
+            layers,
+            out_dim: dp + di,
+        }
     }
 
     /// Dimensionality of the concatenated multi-modal representation.
@@ -188,7 +204,7 @@ impl MagaStack {
         g: &mut Graph,
         x_p: NodeId,
         x_i: Option<NodeId>,
-        edges: &Rc<EdgeIndex>,
+        edges: &Arc<EdgeIndex>,
     ) -> NodeId {
         let (mut hp, mut hi) = (x_p, x_i);
         for layer in &self.layers {
@@ -215,19 +231,18 @@ mod tests {
     use uvd_nn::AggMode;
     use uvd_tensor::init::{normal_matrix, seeded_rng};
 
-    fn edges4() -> Rc<EdgeIndex> {
+    fn edges4() -> Arc<EdgeIndex> {
         let mut pairs = vec![(0u32, 1u32), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)];
         for i in 0..4 {
             pairs.push((i, i));
         }
-        Rc::new(EdgeIndex::from_pairs(4, pairs))
+        Arc::new(EdgeIndex::from_pairs(4, pairs))
     }
 
     #[test]
     fn two_modal_stack_dims() {
         let mut rng = seeded_rng(1);
-        let stack =
-            MagaStack::new("m", 6, 5, 4, 2, 2, AggMode::Attention, true, &mut rng);
+        let stack = MagaStack::new("m", 6, 5, 4, 2, 2, AggMode::Attention, true, &mut rng);
         // Attention fusion keeps head_out = 8 per modality; concat of the two
         // modalities -> 16.
         assert_eq!(stack.out_dim(), 16);
@@ -290,6 +305,10 @@ mod tests {
             .filter(|p| p.grad().as_slice().iter().any(|&v| v != 0.0))
             .count();
         // At least the transformation matrices must receive gradient.
-        assert!(nonzero * 2 > set.len(), "{nonzero}/{} params got grads", set.len());
+        assert!(
+            nonzero * 2 > set.len(),
+            "{nonzero}/{} params got grads",
+            set.len()
+        );
     }
 }

@@ -5,7 +5,7 @@ use crate::config::CmsfConfig;
 use crate::gate::MsGate;
 use crate::gscm::{FixedAssignment, Gscm};
 use crate::maga::MagaStack;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use uvd_nn::{Activation, FusionAgg, Linear, Mlp};
 use uvd_tensor::init::{derive_seed, seeded_rng};
@@ -13,7 +13,7 @@ use uvd_tensor::{Adam, Graph, NodeId, ParamSet};
 use uvd_urg::{Detector, FitReport, Urg};
 
 /// `(labeled rows, targets, weights)` triple shared by the BCE losses.
-pub type BceVectors = (Rc<Vec<u32>>, Rc<Vec<f32>>, Rc<Vec<f32>>);
+pub type BceVectors = (Arc<Vec<u32>>, Arc<Vec<f32>>, Arc<Vec<f32>>);
 
 /// The Contextual Master-Slave Framework.
 pub struct Cmsf {
@@ -44,7 +44,15 @@ impl Cmsf {
         let mut rng = seeded_rng(derive_seed(cfg.seed, 0xC35F));
         let d_poi = urg.x_poi.cols();
         let (img_reduce, d_img) = if urg.has_image() {
-            (Some(Linear::new("cmsf.img_reduce", urg.x_img.cols(), cfg.img_reduce, &mut rng)), cfg.img_reduce)
+            (
+                Some(Linear::new(
+                    "cmsf.img_reduce",
+                    urg.x_img.cols(),
+                    cfg.img_reduce,
+                    &mut rng,
+                )),
+                cfg.img_reduce,
+            )
         } else {
             (None, 0)
         };
@@ -71,9 +79,21 @@ impl Cmsf {
         } else {
             (None, FusionAgg::Sum, d_rep)
         };
-        let classifier = Mlp::new("cmsf.clf", &[d_final, cfg.hidden, 1], Activation::Tanh, &mut rng);
+        let classifier = Mlp::new(
+            "cmsf.clf",
+            &[d_final, cfg.hidden, 1],
+            Activation::Tanh,
+            &mut rng,
+        );
         let gate = if cfg.use_hierarchy && cfg.use_gate {
-            Some(MsGate::new("cmsf.gate", d_rep, cfg.k_clusters, cfg.hidden, &classifier, &mut rng))
+            Some(MsGate::new(
+                "cmsf.gate",
+                d_rep,
+                cfg.k_clusters,
+                cfg.hidden,
+                &classifier,
+                &mut rng,
+            ))
         } else {
             None
         };
@@ -125,9 +145,15 @@ impl Cmsf {
             Some(gscm) => {
                 let out = gscm.forward(g, x_tilde, fixed);
                 let x_final = self.global_fuse.forward(g, x_tilde, out.x_global);
-                Repr { x_final, h_prime: Some(out.h_prime) }
+                Repr {
+                    x_final,
+                    h_prime: Some(out.h_prime),
+                }
             }
-            None => Repr { x_final: x_tilde, h_prime: None },
+            None => Repr {
+                x_final: x_tilde,
+                h_prime: None,
+            },
         }
     }
 
@@ -136,7 +162,7 @@ impl Cmsf {
         let rows: Vec<u32> = train_idx.iter().map(|&i| urg.labeled[i]).collect();
         let targets: Vec<f32> = train_idx.iter().map(|&i| urg.y[i]).collect();
         let weights = vec![1.0f32; train_idx.len()];
-        (Rc::new(rows), Rc::new(targets), Rc::new(weights))
+        (Arc::new(rows), Arc::new(targets), Arc::new(weights))
     }
 
     /// Algorithm 1: master training stage. Returns the average loss of the
@@ -157,7 +183,12 @@ impl Cmsf {
             let b_soft = g.value(b).clone();
             let (b_hard_t, cluster_of) = gscm.binarize_t(&b_soft);
             let pseudo = gscm.pseudo_labels(&cluster_of, &urg.labeled, &urg.y, train_idx);
-            self.fixed = Some(FixedAssignment { b_soft, b_hard_t, pseudo, cluster_of });
+            self.fixed = Some(FixedAssignment {
+                b_soft,
+                b_hard_t,
+                pseudo,
+                cluster_of,
+            });
         }
         last
     }
@@ -167,9 +198,9 @@ impl Cmsf {
     pub fn master_epoch(
         &self,
         urg: &Urg,
-        rows: &Rc<Vec<u32>>,
-        targets: &Rc<Vec<f32>>,
-        weights: &Rc<Vec<f32>>,
+        rows: &Arc<Vec<u32>>,
+        targets: &Arc<Vec<f32>>,
+        weights: &Arc<Vec<f32>>,
         opt: &mut Adam,
     ) -> f32 {
         let mut g = Graph::new();
@@ -216,9 +247,9 @@ impl Cmsf {
         fixed: &FixedAssignment,
         c1: &[u32],
         c0: &[u32],
-        rows: &Rc<Vec<u32>>,
-        targets: &Rc<Vec<f32>>,
-        weights: &Rc<Vec<f32>>,
+        rows: &Arc<Vec<u32>>,
+        targets: &Arc<Vec<f32>>,
+        weights: &Arc<Vec<f32>>,
         opt: &mut Adam,
     ) -> f32 {
         let gate = self.gate.as_ref().expect("slave stage requires the gate");
@@ -281,7 +312,12 @@ impl Cmsf {
                 let b_soft = g.value(b).clone();
                 let (b_hard_t, cluster_of) = gscm.binarize_t(&b_soft);
                 let pseudo = gscm.pseudo_labels(&cluster_of, &urg.labeled, &urg.y, train_idx);
-                let fixed = FixedAssignment { b_soft, b_hard_t, pseudo, cluster_of };
+                let fixed = FixedAssignment {
+                    b_soft,
+                    b_hard_t,
+                    pseudo,
+                    cluster_of,
+                };
                 let mut g = Graph::new();
                 let logits = match (&self.gate, self.trained_slave) {
                     (Some(gate), true) => {
@@ -343,10 +379,18 @@ impl Detector for Cmsf {
         let start = Instant::now();
         let master_loss = self.train_master(urg, train_idx);
         let slave_loss = self.train_slave(urg, train_idx);
-        let final_loss = if self.trained_slave { slave_loss } else { master_loss };
+        let final_loss = if self.trained_slave {
+            slave_loss
+        } else {
+            master_loss
+        };
         FitReport {
             epochs: self.cfg.master_epochs
-                + if self.trained_slave { self.cfg.slave_epochs } else { 0 },
+                + if self.trained_slave {
+                    self.cfg.slave_epochs
+                } else {
+                    0
+                },
             train_secs: start.elapsed().as_secs_f64(),
             final_loss,
         }
@@ -454,8 +498,7 @@ mod tests {
         cfg.master_epochs = 3;
         let mut model = Cmsf::new(&urg, cfg);
         // Train with an empty positive set: no cluster can be pseudo-positive.
-        let negatives: Vec<usize> =
-            (0..urg.labeled.len()).filter(|&i| urg.y[i] < 0.5).collect();
+        let negatives: Vec<usize> = (0..urg.labeled.len()).filter(|&i| urg.y[i] < 0.5).collect();
         model.train_master(&urg, &negatives);
         let fixed = model.fixed_assignment().expect("fixed after master");
         assert!(fixed.pseudo.iter().all(|&p| p == 0.0));

@@ -58,10 +58,18 @@ impl Cmsf {
             let b_soft = get(KEY_B_SOFT)?;
             let b_hard_t = get(KEY_B_HARD_T)?;
             let pseudo = get(KEY_PSEUDO)?.as_slice().to_vec();
-            let cluster_of: Vec<u32> =
-                get(KEY_CLUSTER_OF)?.as_slice().iter().map(|&v| v as u32).collect();
+            let cluster_of: Vec<u32> = get(KEY_CLUSTER_OF)?
+                .as_slice()
+                .iter()
+                .map(|&v| v as u32)
+                .collect();
             self.set_trained_state(
-                Some(FixedAssignment { b_soft, b_hard_t, pseudo, cluster_of }),
+                Some(FixedAssignment {
+                    b_soft,
+                    b_hard_t,
+                    pseudo,
+                    cluster_of,
+                }),
                 slave_trained,
             );
         } else {
@@ -107,9 +115,17 @@ mod tests {
 
         let store = model.to_store();
         let mut fresh = Cmsf::new(&urg, cfg);
-        assert_ne!(fresh.predict(&urg), expected, "fresh model differs before load");
+        assert_ne!(
+            fresh.predict(&urg),
+            expected,
+            "fresh model differs before load"
+        );
         fresh.restore_from_store(&store).expect("restore");
-        assert_eq!(fresh.predict(&urg), expected, "restored model predicts identically");
+        assert_eq!(
+            fresh.predict(&urg),
+            expected,
+            "restored model predicts identically"
+        );
     }
 
     #[test]

@@ -41,8 +41,12 @@ impl MethodKind {
     ];
 
     /// Figure 5(a) ablation variants.
-    pub const FIG5A: [MethodKind; 4] =
-        [MethodKind::Cmsf, MethodKind::CmsfM, MethodKind::CmsfG, MethodKind::CmsfH];
+    pub const FIG5A: [MethodKind; 4] = [
+        MethodKind::Cmsf,
+        MethodKind::CmsfM,
+        MethodKind::CmsfG,
+        MethodKind::CmsfH,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -79,7 +83,10 @@ pub fn cmsf_config(urg: &Urg, seed: u64, quick: bool) -> CmsfConfig {
 
 /// Baseline configuration per method kind.
 pub fn baseline_config(kind: MethodKind, seed: u64, quick: bool) -> BaselineConfig {
-    let mut cfg = BaselineConfig { seed, ..Default::default() };
+    let mut cfg = BaselineConfig {
+        seed,
+        ..Default::default()
+    };
     cfg.epochs = match kind {
         MethodKind::Mlp => 100,
         MethodKind::Gcn | MethodKind::Gat => 150,

@@ -61,7 +61,11 @@ pub fn prf_at_top_percent(scores: &[f32], labels: &[f32], p: usize) -> Prf {
     } else {
         0.0
     };
-    Prf { precision, recall, f1 }
+    Prf {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Mean and (population) standard deviation of a sample.

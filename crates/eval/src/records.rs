@@ -20,7 +20,12 @@ impl MeanStd {
 
 impl std::fmt::Display for MeanStd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.3} (.{:03})", self.mean, (self.std * 1000.0).round() as u64)
+        write!(
+            f,
+            "{:.3} (.{:03})",
+            self.mean,
+            (self.std * 1000.0).round() as u64
+        )
     }
 }
 
@@ -97,7 +102,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_style() {
-        let ms = MeanStd { mean: 0.8701, std: 0.0014 };
+        let ms = MeanStd {
+            mean: 0.8701,
+            std: 0.0014,
+        };
         assert_eq!(format!("{ms}"), "0.870 (.001)");
     }
 

@@ -7,6 +7,7 @@ use crate::records::{MeanStd, MethodSummary, PSummary};
 use crate::splits::{block_folds, mask_ratio, train_test_pairs, DEFAULT_BLOCK};
 use std::time::Instant;
 use uvd_tensor::init::derive_seed;
+use uvd_tensor::par;
 use uvd_tensor::seeded_rng;
 use uvd_urg::{Detector, Urg};
 
@@ -40,7 +41,11 @@ impl Default for RunSpec {
 
 impl RunSpec {
     pub fn quick() -> Self {
-        RunSpec { quick: true, seeds: vec![0], ..Default::default() }
+        RunSpec {
+            quick: true,
+            seeds: vec![0],
+            ..Default::default()
+        }
     }
 }
 
@@ -51,38 +56,63 @@ pub fn eval_scores(
     test_idx: &[usize],
     ps: &[usize],
 ) -> (f64, Vec<(usize, Prf)>) {
-    let s: Vec<f32> = test_idx.iter().map(|&i| scores[urg.labeled[i] as usize]).collect();
+    let s: Vec<f32> = test_idx
+        .iter()
+        .map(|&i| scores[urg.labeled[i] as usize])
+        .collect();
     let y: Vec<f32> = test_idx.iter().map(|&i| urg.y[i]).collect();
     let a = auc(&s, &y);
-    let prfs = ps.iter().map(|&p| (p, prf_at_top_percent(&s, &y, p))).collect();
+    let prfs = ps
+        .iter()
+        .map(|&p| (p, prf_at_top_percent(&s, &y, p)))
+        .collect();
     (a, prfs)
 }
 
 /// Run one detector kind through the full protocol on a URG.
 pub fn run_method(kind: MethodKind, urg: &Urg, spec: &RunSpec) -> MethodSummary {
-    run_custom(urg, spec, kind.label(), |seed, urg| build_detector(kind, urg, seed, spec.quick))
+    run_custom(urg, spec, kind.label(), |seed, urg| {
+        build_detector(kind, urg, seed, spec.quick)
+    })
+}
+
+/// One (seed, fold) training/evaluation unit, precomputed so the pairs can
+/// fan out across threads.
+struct FoldTask {
+    si: usize,
+    model_seed: u64,
+    train: Vec<usize>,
+    test: Vec<usize>,
+}
+
+/// Measurements from one completed fold run.
+struct FoldOutcome {
+    si: usize,
+    auc: f64,
+    prfs: Vec<(usize, Prf)>,
+    epoch_sec: f64,
+    infer_sec: f64,
+    model_mb: f64,
 }
 
 /// Run an arbitrary detector builder through the protocol (used by the
 /// hyper-parameter sweeps, which need CMSF config overrides).
+///
+/// Every (seed, fold) pair is independent, so the pairs run in parallel via
+/// [`uvd_tensor::par::run_tasks`]; each task trains with nested kernel
+/// parallelism disabled, so its numerics are identical to a serial run, and
+/// results are aggregated in deterministic task order.
 pub fn run_custom(
     urg: &Urg,
     spec: &RunSpec,
     label: &str,
-    mut builder: impl FnMut(u64, &Urg) -> Box<dyn Detector>,
+    builder: impl Fn(u64, &Urg) -> Box<dyn Detector> + Sync,
 ) -> MethodSummary {
-    // Per-seed averages over folds (the paper reports mean/SD over runs).
-    let mut auc_runs = Vec::new();
-    let mut prf_runs: Vec<Vec<(usize, Prf)>> = Vec::new();
-    let mut epoch_secs = Vec::new();
-    let mut infer_secs = Vec::new();
-    let mut model_mb = 0.0f64;
-    let mut runs = 0usize;
-
+    // Precompute every (seed, fold) split on the main thread: the fold
+    // layout and label masking depend only on seeds, not on training.
+    let mut tasks: Vec<FoldTask> = Vec::new();
     for (si, &seed) in spec.seeds.iter().enumerate() {
         let folds = block_folds(urg, spec.folds, spec.block, derive_seed(seed, 0xF01D));
-        let mut fold_aucs = Vec::new();
-        let mut fold_prfs: Vec<Vec<(usize, Prf)>> = Vec::new();
         for (fi, (train, test)) in train_test_pairs(&folds).into_iter().enumerate() {
             let train = if spec.label_ratio < 1.0 {
                 let mut rng = seeded_rng(derive_seed(seed, 0x3A5C + fi as u64));
@@ -91,24 +121,54 @@ pub fn run_custom(
                 train
             };
             let model_seed = derive_seed(seed, (si * spec.folds + fi) as u64);
-            let mut det = builder(model_seed, urg);
-            let report = det.fit(urg, &train);
-            let t0 = Instant::now();
-            let scores = det.predict(urg);
-            infer_secs.push(t0.elapsed().as_secs_f64());
-            epoch_secs.push(report.secs_per_epoch());
-            model_mb = det.num_params() as f64 * 4.0 / 1.0e6;
-            let (a, prfs) = eval_scores(&scores, urg, &test, &spec.ps);
-            fold_aucs.push(a);
-            fold_prfs.push(prfs);
-            runs += 1;
+            tasks.push(FoldTask {
+                si,
+                model_seed,
+                train,
+                test,
+            });
+        }
+    }
+
+    let outcomes = par::run_tasks(tasks.len(), |t| {
+        let task = &tasks[t];
+        let mut det = builder(task.model_seed, urg);
+        let report = det.fit(urg, &task.train);
+        let t0 = Instant::now();
+        let scores = det.predict(urg);
+        let infer_sec = t0.elapsed().as_secs_f64();
+        let (a, prfs) = eval_scores(&scores, urg, &task.test, &spec.ps);
+        FoldOutcome {
+            si: task.si,
+            auc: a,
+            prfs,
+            epoch_sec: report.secs_per_epoch(),
+            infer_sec,
+            model_mb: det.num_params() as f64 * 4.0 / 1.0e6,
+        }
+    });
+
+    // Per-seed averages over folds (the paper reports mean/SD over runs).
+    let mut auc_runs = Vec::new();
+    let mut prf_runs: Vec<Vec<(usize, Prf)>> = Vec::new();
+    let mut epoch_secs = Vec::new();
+    let mut infer_secs = Vec::new();
+    let mut model_mb = 0.0f64;
+    let runs = outcomes.len();
+
+    for (si, _) in spec.seeds.iter().enumerate() {
+        let fold_outs: Vec<&FoldOutcome> = outcomes.iter().filter(|o| o.si == si).collect();
+        for o in &fold_outs {
+            epoch_secs.push(o.epoch_sec);
+            infer_secs.push(o.infer_sec);
+            model_mb = o.model_mb;
         }
         // Average folds into one run value.
-        auc_runs.push(fold_aucs.iter().sum::<f64>() / fold_aucs.len() as f64);
+        auc_runs.push(fold_outs.iter().map(|o| o.auc).sum::<f64>() / fold_outs.len() as f64);
         let mut per_p = Vec::new();
         for (pi, &p) in spec.ps.iter().enumerate() {
             let mean = |f: &dyn Fn(&Prf) -> f64| {
-                fold_prfs.iter().map(|v| f(&v[pi].1)).sum::<f64>() / fold_prfs.len() as f64
+                fold_outs.iter().map(|o| f(&o.prfs[pi].1)).sum::<f64>() / fold_outs.len() as f64
             };
             per_p.push((
                 p,
@@ -132,7 +192,10 @@ pub fn run_custom(
                 &prf_runs.iter().map(|r| r[pi].1.recall).collect::<Vec<_>>(),
             ),
             precision: MeanStd::from_samples(
-                &prf_runs.iter().map(|r| r[pi].1.precision).collect::<Vec<_>>(),
+                &prf_runs
+                    .iter()
+                    .map(|r| r[pi].1.precision)
+                    .collect::<Vec<_>>(),
             ),
             f1: MeanStd::from_samples(&prf_runs.iter().map(|r| r[pi].1.f1).collect::<Vec<_>>()),
         })
@@ -178,7 +241,12 @@ mod tests {
     #[test]
     fn run_method_produces_summary() {
         let urg = tiny_urg();
-        let spec = RunSpec { folds: 2, seeds: vec![0], quick: true, ..Default::default() };
+        let spec = RunSpec {
+            folds: 2,
+            seeds: vec![0],
+            quick: true,
+            ..Default::default()
+        };
         let s = run_method(MethodKind::Mlp, &urg, &spec);
         assert_eq!(s.method, "MLP");
         assert_eq!(s.runs, 2);

@@ -43,8 +43,7 @@ pub fn rank_regions(urg: &Urg, probs: &[f32]) -> Vec<Candidate> {
 /// actually worth a site visit (labeled regions are already known).
 pub fn short_list(urg: &Urg, probs: &[f32], p_percent: f64) -> Vec<Candidate> {
     let ranked = rank_regions(urg, probs);
-    let unlabeled: Vec<Candidate> =
-        ranked.into_iter().filter(|c| !c.already_labeled).collect();
+    let unlabeled: Vec<Candidate> = ranked.into_iter().filter(|c| !c.already_labeled).collect();
     let k = ((unlabeled.len() as f64 * p_percent / 100.0).ceil() as usize)
         .clamp(1, unlabeled.len().max(1));
     unlabeled.into_iter().take(k).collect()
@@ -66,7 +65,10 @@ pub fn cluster_candidates(urg: &Urg, candidates: &[Candidate]) -> Vec<Vec<u32>> 
         seen.insert(c.region);
         while let Some(r) = stack.pop() {
             cluster.push(r);
-            let (x, y) = ((r as usize % urg.width) as i64, (r as usize / urg.width) as i64);
+            let (x, y) = (
+                (r as usize % urg.width) as i64,
+                (r as usize / urg.width) as i64,
+            );
             for dy in -1..=1i64 {
                 for dx in -1..=1i64 {
                     if dx == 0 && dy == 0 {

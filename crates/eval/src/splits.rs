@@ -33,8 +33,7 @@ pub fn block_folds(urg: &Urg, k: usize, block: usize, seed: u64) -> Vec<Vec<usiz
     // greedy balancer distributes positives first.
     let mut rng = seeded_rng(seed);
     blocks.shuffle(&mut rng);
-    let pos_count =
-        |members: &[usize]| members.iter().filter(|&&i| urg.y[i] > 0.5).count();
+    let pos_count = |members: &[usize]| members.iter().filter(|&&i| urg.y[i] > 0.5).count();
     blocks.sort_by_key(|(_, members)| std::cmp::Reverse((pos_count(members), members.len())));
 
     let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];

@@ -3,7 +3,7 @@
 //! AGG(·,·) operator.
 
 use crate::layers::Activation;
-use std::rc::Rc;
+use std::sync::Arc;
 use uvd_tensor::init::glorot_uniform;
 use uvd_tensor::{EdgeIndex, Graph, NodeId, ParamRef, ParamSet, Rng64};
 
@@ -48,7 +48,10 @@ impl GraphAttentionHead {
         rng: &mut Rng64,
     ) -> Self {
         GraphAttentionHead {
-            w_dst: ParamRef::new(format!("{name}.w_dst"), glorot_uniform(in_dst, out_dim, rng)),
+            w_dst: ParamRef::new(
+                format!("{name}.w_dst"),
+                glorot_uniform(in_dst, out_dim, rng),
+            ),
             w_src: Some(ParamRef::new(
                 format!("{name}.w_src"),
                 glorot_uniform(in_src, out_dim, rng),
@@ -72,7 +75,7 @@ impl GraphAttentionHead {
         g: &mut Graph,
         x_dst: NodeId,
         x_src: NodeId,
-        edges: &Rc<EdgeIndex>,
+        edges: &Arc<EdgeIndex>,
     ) -> NodeId {
         let w_dst = g.param(&self.w_dst);
         let h_dst = g.matmul(x_dst, w_dst);
@@ -88,8 +91,8 @@ impl GraphAttentionHead {
         let a_src = g.param(&self.a_src);
         let s_dst = g.matmul(h_dst, a_dst); // N×1
         let s_src = g.matmul(h_src, a_src); // N×1
-        let dst_idx = Rc::new(edges.dst().to_vec());
-        let src_idx = Rc::new(edges.src().to_vec());
+        let dst_idx = Arc::new(edges.dst().to_vec());
+        let src_idx = Arc::new(edges.src().to_vec());
         let s_d = g.gather_rows(s_dst, dst_idx);
         let s_s = g.gather_rows(s_src, src_idx);
         let scores = g.add(s_d, s_s);
@@ -156,7 +159,7 @@ impl MultiHeadAttention {
         g: &mut Graph,
         x_dst: NodeId,
         x_src: NodeId,
-        edges: &Rc<EdgeIndex>,
+        edges: &Arc<EdgeIndex>,
     ) -> NodeId {
         let mut out: Option<NodeId> = None;
         for head in &self.heads {
@@ -249,13 +252,13 @@ mod tests {
     use uvd_tensor::init::{normal_matrix, seeded_rng};
     use uvd_tensor::Matrix;
 
-    fn small_edges() -> Rc<EdgeIndex> {
+    fn small_edges() -> Arc<EdgeIndex> {
         // 4 nodes, bidirectional path + self-loops.
         let mut pairs = vec![(0u32, 1u32), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)];
         for i in 0..4 {
             pairs.push((i, i));
         }
-        Rc::new(EdgeIndex::from_pairs(4, pairs))
+        Arc::new(EdgeIndex::from_pairs(4, pairs))
     }
 
     #[test]
@@ -273,7 +276,10 @@ mod tests {
         g.write_grads();
         let mut set = ParamSet::new();
         head.collect_params(&mut set);
-        assert!(set.grad_norm() > 0.0, "gradients must reach attention params");
+        assert!(
+            set.grad_norm() > 0.0,
+            "gradients must reach attention params"
+        );
     }
 
     #[test]
@@ -331,7 +337,10 @@ mod tests {
         // A node with only a self-loop must aggregate its own features.
         let mut rng = seeded_rng(6);
         let head = GraphAttentionHead::new_intra("h", 2, 2, &mut rng);
-        let edges = Rc::new(EdgeIndex::from_pairs(2, vec![(0, 0), (1, 1), (0, 1), (1, 0)]));
+        let edges = Arc::new(EdgeIndex::from_pairs(
+            2,
+            vec![(0, 0), (1, 1), (0, 1), (1, 0)],
+        ));
         let mut g = Graph::new();
         let x = g.constant(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
         let out = head.forward(&mut g, x, x, &edges);

@@ -34,14 +34,26 @@ impl ConvBlock {
         stride: usize,
         rng: &mut Rng64,
     ) -> Self {
-        let meta = ConvMeta { c_in, h_in: side, w_in: side, c_out, k: 3, stride, pad: 1 };
+        let meta = ConvMeta {
+            c_in,
+            h_in: side,
+            w_in: side,
+            c_out,
+            k: 3,
+            stride,
+            pad: 1,
+        };
         let (kr, kc) = meta.kernel_shape();
         let conv_side = meta.h_out();
         ConvBlock {
             kernel: ParamRef::new(format!("{name}.k"), he_normal(kr, kc, rng)),
             bias: ParamRef::new(format!("{name}.b"), Matrix::zeros(1, c_out)),
             meta,
-            pool: PoolMeta { channels: c_out, h_in: conv_side, w_in: conv_side },
+            pool: PoolMeta {
+                channels: c_out,
+                h_in: conv_side,
+                w_in: conv_side,
+            },
             activation: Activation::Relu,
         }
     }
@@ -81,7 +93,13 @@ impl ConvBackbone {
         let mut s = side;
         let blocks = (0..channels.len() - 1)
             .map(|i| {
-                let b = ConvBlock::new(&format!("{name}.c{i}"), channels[i], channels[i + 1], s, rng);
+                let b = ConvBlock::new(
+                    &format!("{name}.c{i}"),
+                    channels[i],
+                    channels[i + 1],
+                    s,
+                    rng,
+                );
                 s /= 2;
                 b
             })
@@ -178,7 +196,11 @@ mod tests {
         let img = uniform_matrix(1, 256, 0.4, 0.5, &mut rng);
         let eq = histogram_equalize(&img);
         let min = eq.as_slice().iter().copied().fold(f32::INFINITY, f32::min);
-        let max = eq.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let max = eq
+            .as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
         assert!(max - min > 0.5, "equalization should stretch contrast");
         assert!(eq.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }

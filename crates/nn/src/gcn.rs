@@ -2,7 +2,7 @@
 //! normalized adjacency `Â = D^{-1/2}(A + I)D^{-1/2}`.
 
 use crate::layers::{Activation, Linear};
-use std::rc::Rc;
+use std::sync::Arc;
 use uvd_tensor::graph::CsrPair;
 use uvd_tensor::{Graph, NodeId, ParamSet, Rng64};
 
@@ -14,11 +14,20 @@ pub struct GcnLayer {
 }
 
 impl GcnLayer {
-    pub fn new(name: &str, in_dim: usize, out_dim: usize, activation: Activation, rng: &mut Rng64) -> Self {
-        GcnLayer { linear: Linear::new(name, in_dim, out_dim, rng), activation }
+    pub fn new(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut Rng64,
+    ) -> Self {
+        GcnLayer {
+            linear: Linear::new(name, in_dim, out_dim, rng),
+            activation,
+        }
     }
 
-    pub fn forward(&self, g: &mut Graph, x: NodeId, adj: &Rc<CsrPair>) -> NodeId {
+    pub fn forward(&self, g: &mut Graph, x: NodeId, adj: &Arc<CsrPair>) -> NodeId {
         let xw = self.linear.forward(g, x);
         let prop = g.spmm(adj.clone(), xw);
         self.activation.apply(g, prop)
@@ -42,14 +51,18 @@ impl GcnStack {
         assert!(dims.len() >= 2);
         let layers = (0..dims.len() - 1)
             .map(|i| {
-                let act = if i + 2 < dims.len() { activation } else { Activation::Identity };
+                let act = if i + 2 < dims.len() {
+                    activation
+                } else {
+                    Activation::Identity
+                };
                 GcnLayer::new(&format!("{name}.g{i}"), dims[i], dims[i + 1], act, rng)
             })
             .collect();
         GcnStack { layers }
     }
 
-    pub fn forward(&self, g: &mut Graph, x: NodeId, adj: &Rc<CsrPair>) -> NodeId {
+    pub fn forward(&self, g: &mut Graph, x: NodeId, adj: &Arc<CsrPair>) -> NodeId {
         let mut h = x;
         for l in &self.layers {
             h = l.forward(g, h, adj);
@@ -74,7 +87,7 @@ mod tests {
     use uvd_tensor::init::{normal_matrix, seeded_rng};
     use uvd_tensor::{Csr, Matrix};
 
-    fn path_adj(n: usize) -> Rc<CsrPair> {
+    fn path_adj(n: usize) -> Arc<CsrPair> {
         let mut coo = Vec::new();
         for i in 0..n as u32 {
             coo.push((i, i, 1.0));

@@ -37,13 +37,19 @@ impl Linear {
     pub fn new(name: &str, in_dim: usize, out_dim: usize, rng: &mut Rng64) -> Self {
         Linear {
             w: ParamRef::new(format!("{name}.w"), glorot_uniform(in_dim, out_dim, rng)),
-            b: Some(ParamRef::new(format!("{name}.b"), Matrix::zeros(1, out_dim))),
+            b: Some(ParamRef::new(
+                format!("{name}.b"),
+                Matrix::zeros(1, out_dim),
+            )),
         }
     }
 
     /// Linear layer without bias.
     pub fn new_no_bias(name: &str, in_dim: usize, out_dim: usize, rng: &mut Rng64) -> Self {
-        Linear { w: ParamRef::new(format!("{name}.w"), glorot_uniform(in_dim, out_dim, rng)), b: None }
+        Linear {
+            w: ParamRef::new(format!("{name}.w"), glorot_uniform(in_dim, out_dim, rng)),
+            b: None,
+        }
     }
 
     pub fn in_dim(&self) -> usize {
@@ -89,7 +95,10 @@ impl Mlp {
         let layers = (0..dims.len() - 1)
             .map(|i| Linear::new(&format!("{name}.l{i}"), dims[i], dims[i + 1], rng))
             .collect();
-        Mlp { layers, hidden_activation }
+        Mlp {
+            layers,
+            hidden_activation,
+        }
     }
 
     pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
@@ -152,8 +161,8 @@ mod tests {
                 *t = 1.0;
             }
         }
-        let targets = std::rc::Rc::new(targets);
-        let weights = std::rc::Rc::new(vec![1.0f32; 40]);
+        let targets = std::sync::Arc::new(targets);
+        let weights = std::sync::Arc::new(vec![1.0f32; 40]);
         let mut last = f32::INFINITY;
         for _ in 0..120 {
             let mut g = Graph::new();

@@ -4,6 +4,7 @@
 //! a batch of `n` images of shape `(C, H, W)` is an `n × (C*H*W)` [`Matrix`].
 
 use crate::matrix::Matrix;
+use crate::par;
 
 /// Shape metadata for a 2-D convolution with a square kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,13 +161,123 @@ pub fn maxpool2(sample: &[f32], m: &PoolMeta) -> (Vec<f32>, Vec<u32>) {
     (out, arg)
 }
 
+/// Estimated scalar ops for one sample's im2col + kernel matmul.
+fn conv_sample_work(m: &ConvMeta) -> usize {
+    let patch = m.c_in * m.k * m.k;
+    let hw = m.h_out() * m.w_out();
+    patch * hw * (m.c_out + 1)
+}
+
+/// Batched conv forward: `x` is `n × in_len`, returns `n × out_len`.
+/// Samples are independent, so the batch is partitioned across threads with
+/// one worker per contiguous sample range (each sample's output row has one
+/// writer; per-sample numerics are the serial kernel's).
+pub fn conv2d_batch(x: &Matrix, kernel: &Matrix, m: &ConvMeta) -> Matrix {
+    let n = x.rows();
+    let out_len = m.out_len();
+    let mut v = Matrix::zeros(n, out_len);
+    let work = n * conv_sample_work(m);
+    par::for_each_row_block(v.as_mut_slice(), out_len, work, |samples, chunk| {
+        for (si, i) in samples.enumerate() {
+            let cols = im2col(x.row(i), m);
+            let out = kernel.matmul(&cols);
+            chunk[si * out_len..(si + 1) * out_len].copy_from_slice(out.as_slice());
+        }
+    });
+    v
+}
+
+/// Batched conv backward: given upstream `dy` (`n × out_len`), returns
+/// `(dx, dk)`. `dx` rows are per-sample (one writer each); `dk` is a
+/// reduction over samples, computed as per-chunk partials summed in
+/// ascending chunk order — deterministic for a fixed thread configuration.
+pub fn conv2d_backward_batch(
+    x: &Matrix,
+    kernel: &Matrix,
+    dy: &Matrix,
+    m: &ConvMeta,
+) -> (Matrix, Matrix) {
+    let n = x.rows();
+    let (co, klen) = m.kernel_shape();
+    let (ho, wo) = (m.h_out(), m.w_out());
+    let in_len = m.in_len();
+    let work = n * conv_sample_work(m) * 2;
+
+    let mut dx = Matrix::zeros(n, in_len);
+    par::for_each_row_block(dx.as_mut_slice(), in_len, work, |samples, chunk| {
+        for (si, i) in samples.enumerate() {
+            let dout = Matrix::from_vec(co, ho * wo, dy.row(i).to_vec());
+            let dcols = kernel.matmul_tn(&dout);
+            col2im_add(&dcols, m, &mut chunk[si * in_len..(si + 1) * in_len]);
+        }
+    });
+
+    let partials = par::map_chunks(n, work, |samples| {
+        let mut dk = Matrix::zeros(co, klen);
+        for i in samples {
+            let cols = im2col(x.row(i), m);
+            let dout = Matrix::from_vec(co, ho * wo, dy.row(i).to_vec());
+            dk.add_assign(&dout.matmul_nt(&cols));
+        }
+        dk
+    });
+    let mut dk = Matrix::zeros(co, klen);
+    for p in partials {
+        dk.add_assign(&p);
+    }
+    (dx, dk)
+}
+
+/// Batched 2×2 max pool forward (`n × in_len` → `n × out_len`), batch
+/// partitioned across threads.
+pub fn maxpool2_batch(x: &Matrix, m: &PoolMeta) -> Matrix {
+    let n = x.rows();
+    let out_len = m.out_len();
+    let mut v = Matrix::zeros(n, out_len);
+    let work = n * m.in_len();
+    par::for_each_row_block(v.as_mut_slice(), out_len, work, |samples, chunk| {
+        for (si, i) in samples.enumerate() {
+            let (out, _) = maxpool2(x.row(i), m);
+            chunk[si * out_len..(si + 1) * out_len].copy_from_slice(&out);
+        }
+    });
+    v
+}
+
+/// Batched 2×2 max pool backward: routes `dy` to each sample's argmax
+/// positions (recomputed per sample), batch partitioned across threads.
+pub fn maxpool2_backward_batch(x: &Matrix, dy: &Matrix, m: &PoolMeta) -> Matrix {
+    let n = x.rows();
+    let in_len = m.in_len();
+    let mut dx = Matrix::zeros(n, in_len);
+    let work = n * m.in_len() * 2;
+    par::for_each_row_block(dx.as_mut_slice(), in_len, work, |samples, chunk| {
+        for (si, i) in samples.enumerate() {
+            let (_, arg) = maxpool2(x.row(i), m);
+            let dxr = &mut chunk[si * in_len..(si + 1) * in_len];
+            for (o, &src) in arg.iter().enumerate() {
+                dxr[src as usize] += dy.row(i)[o];
+            }
+        }
+    });
+    dx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn conv_output_dims() {
-        let m = ConvMeta { c_in: 3, h_in: 32, w_in: 32, c_out: 8, k: 3, stride: 1, pad: 1 };
+        let m = ConvMeta {
+            c_in: 3,
+            h_in: 32,
+            w_in: 32,
+            c_out: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
         assert_eq!(m.h_out(), 32);
         assert_eq!(m.w_out(), 32);
         assert_eq!(m.kernel_shape(), (8, 27));
@@ -174,7 +285,15 @@ mod tests {
 
     #[test]
     fn im2col_identity_kernel_1x1() {
-        let m = ConvMeta { c_in: 1, h_in: 2, w_in: 2, c_out: 1, k: 1, stride: 1, pad: 0 };
+        let m = ConvMeta {
+            c_in: 1,
+            h_in: 2,
+            w_in: 2,
+            c_out: 1,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        };
         let sample = [1.0, 2.0, 3.0, 4.0];
         let cols = im2col(&sample, &m);
         assert_eq!(cols.shape(), (1, 4));
@@ -183,7 +302,15 @@ mod tests {
 
     #[test]
     fn im2col_padding_zeroes_border() {
-        let m = ConvMeta { c_in: 1, h_in: 1, w_in: 1, c_out: 1, k: 3, stride: 1, pad: 1 };
+        let m = ConvMeta {
+            c_in: 1,
+            h_in: 1,
+            w_in: 1,
+            c_out: 1,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
         let cols = im2col(&[7.0], &m);
         assert_eq!(cols.shape(), (9, 1));
         // Only the center tap sees the pixel.
@@ -196,7 +323,15 @@ mod tests {
 
     #[test]
     fn col2im_inverts_scatter() {
-        let m = ConvMeta { c_in: 1, h_in: 3, w_in: 3, c_out: 1, k: 2, stride: 1, pad: 0 };
+        let m = ConvMeta {
+            c_in: 1,
+            h_in: 3,
+            w_in: 3,
+            c_out: 1,
+            k: 2,
+            stride: 1,
+            pad: 0,
+        };
         let sample: Vec<f32> = (0..9).map(|i| i as f32).collect();
         let cols = im2col(&sample, &m);
         // Scatter all-ones gradient back; each pixel gradient equals the
@@ -210,9 +345,65 @@ mod tests {
 
     #[test]
     fn maxpool_picks_max_and_argmax() {
-        let m = PoolMeta { channels: 1, h_in: 2, w_in: 2 };
+        let m = PoolMeta {
+            channels: 1,
+            h_in: 2,
+            w_in: 2,
+        };
         let (out, arg) = maxpool2(&[1.0, 5.0, 3.0, 2.0], &m);
         assert_eq!(out, vec![5.0]);
         assert_eq!(arg, vec![1]);
+    }
+
+    #[test]
+    fn batch_helpers_match_per_sample_loops() {
+        // Large enough that `n * conv_sample_work` clears MIN_PAR_WORK, so
+        // the with_threads(3) run actually exercises the partitioned path.
+        let m = ConvMeta {
+            c_in: 2,
+            h_in: 16,
+            w_in: 16,
+            c_out: 3,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let n = 8;
+        let x = Matrix::from_vec(
+            n,
+            m.in_len(),
+            (0..n * m.in_len())
+                .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.1)
+                .collect(),
+        );
+        let kernel = Matrix::from_vec(
+            m.c_out,
+            m.kernel_shape().1,
+            (0..m.c_out * m.kernel_shape().1)
+                .map(|i| ((i * 13 % 11) as f32 - 5.0) * 0.2)
+                .collect(),
+        );
+        let reference = {
+            let mut v = Matrix::zeros(n, m.out_len());
+            for i in 0..n {
+                let cols = im2col(x.row(i), &m);
+                v.row_mut(i)
+                    .copy_from_slice(kernel.matmul(&cols).as_slice());
+            }
+            v
+        };
+        let serial = crate::par::serial_scope(|| conv2d_batch(&x, &kernel, &m));
+        let parallel = crate::par::with_threads(3, || conv2d_batch(&x, &kernel, &m));
+        assert_eq!(serial, reference);
+        assert_eq!(parallel, reference, "batch partition must not change bits");
+
+        let pm = PoolMeta {
+            channels: 2,
+            h_in: 16,
+            w_in: 16,
+        };
+        let ps = crate::par::serial_scope(|| maxpool2_batch(&x, &pm));
+        let pp = crate::par::with_threads(3, || maxpool2_batch(&x, &pm));
+        assert_eq!(ps, pp);
     }
 }

@@ -11,11 +11,15 @@
 //! a `gated_matmul` implementing the MS-Gate parameter filter (eq. 21), and
 //! im2col convolution / max pooling for the CNN baselines.
 
-use crate::conv::{col2im_add, im2col, maxpool2, ConvMeta, PoolMeta};
+use crate::conv::{
+    conv2d_backward_batch, conv2d_batch, maxpool2_backward_batch, maxpool2_batch, ConvMeta,
+    PoolMeta,
+};
 use crate::matrix::Matrix;
+use crate::par;
 use crate::param::ParamRef;
 use crate::sparse::{Csr, EdgeIndex};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a node in the tape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -36,9 +40,9 @@ pub struct CsrPair {
 }
 
 impl CsrPair {
-    pub fn new(csr: Csr) -> Rc<Self> {
+    pub fn new(csr: Csr) -> Arc<Self> {
         let bwd = csr.transpose();
-        Rc::new(CsrPair { fwd: csr, bwd })
+        Arc::new(CsrPair { fwd: csr, bwd })
     }
 }
 
@@ -66,13 +70,13 @@ enum Op {
     SumAll(NodeId),
     MeanAll(NodeId),
     RowSum(NodeId),
-    GatherRows(NodeId, Rc<Vec<u32>>),
-    SpMM(Rc<CsrPair>, NodeId),
-    EdgeSoftmax(NodeId, Rc<EdgeIndex>),
-    EdgeAggregate(NodeId, NodeId, Rc<EdgeIndex>),
+    GatherRows(NodeId, Arc<Vec<u32>>),
+    SpMM(Arc<CsrPair>, NodeId),
+    EdgeSoftmax(NodeId, Arc<EdgeIndex>),
+    EdgeAggregate(NodeId, NodeId, Arc<EdgeIndex>),
     GatedMatMul(NodeId, NodeId, NodeId),
     SubOuter(NodeId, NodeId),
-    BceWithLogits(NodeId, Rc<Vec<f32>>, Rc<Vec<f32>>),
+    BceWithLogits(NodeId, Arc<Vec<f32>>, Arc<Vec<f32>>),
     Conv2d(NodeId, NodeId, ConvMeta),
     AddChanBias(NodeId, NodeId, usize, usize),
     MaxPool2(NodeId, PoolMeta),
@@ -304,63 +308,90 @@ impl Graph {
     // ----- graph-learning primitives -------------------------------------
 
     /// Gather rows of `a` by index: `out[i] = a[idx[i]]`.
-    pub fn gather_rows(&mut self, a: NodeId, idx: Rc<Vec<u32>>) -> NodeId {
+    pub fn gather_rows(&mut self, a: NodeId, idx: Arc<Vec<u32>>) -> NodeId {
         let v = self.value(a).gather_rows(&idx);
         self.push(Op::GatherRows(a, idx), v)
     }
 
     /// Constant-sparse × dense product (GCN propagation step).
-    pub fn spmm(&mut self, a: Rc<CsrPair>, x: NodeId) -> NodeId {
+    pub fn spmm(&mut self, a: Arc<CsrPair>, x: NodeId) -> NodeId {
         let v = a.fwd.spmm(self.value(x));
         self.push(Op::SpMM(a, x), v)
     }
 
     /// Softmax of per-edge scores (`E×1`), normalized within each group of
     /// edges sharing a destination node (eq. 3 / eq. 7 of the paper).
-    pub fn edge_softmax(&mut self, scores: NodeId, edges: Rc<EdgeIndex>) -> NodeId {
+    pub fn edge_softmax(&mut self, scores: NodeId, edges: Arc<EdgeIndex>) -> NodeId {
         let s = self.value(scores);
         assert_eq!(s.shape(), (edges.n_edges(), 1), "edge_softmax shape");
         let mut v = Matrix::zeros(edges.n_edges(), 1);
-        for i in 0..edges.n_nodes() {
-            let range = edges.incoming(i);
-            if range.is_empty() {
-                continue;
-            }
-            let mx = range
-                .clone()
-                .map(|e| s.get(e, 0))
-                .fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for e in range.clone() {
-                let x = (s.get(e, 0) - mx).exp();
-                v.set(e, 0, x);
-                sum += x;
-            }
-            for e in range {
-                v.set(e, 0, v.get(e, 0) / sum);
-            }
-        }
+        // Edges are grouped by destination, so chunk boundaries aligned to
+        // `dst_ptr` give every softmax group exactly one writer.
+        let dst_ptr = edges.dst_ptr();
+        par::for_each_disjoint(
+            v.as_mut_slice(),
+            edges.n_nodes(),
+            edges.n_edges() * 8,
+            |i| dst_ptr[i] as usize,
+            |nodes, chunk| {
+                let base = dst_ptr[nodes.start] as usize;
+                for i in nodes {
+                    let range = edges.incoming(i);
+                    if range.is_empty() {
+                        continue;
+                    }
+                    let mx = range
+                        .clone()
+                        .map(|e| s.get(e, 0))
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for e in range.clone() {
+                        let x = (s.get(e, 0) - mx).exp();
+                        chunk[e - base] = x;
+                        sum += x;
+                    }
+                    for e in range {
+                        chunk[e - base] /= sum;
+                    }
+                }
+            },
+        );
         self.push(Op::EdgeSoftmax(scores, edges), v)
     }
 
     /// Attention aggregation (eq. 2 / eq. 6): `out[dst] += alpha_e * h[src]`.
-    pub fn edge_aggregate(&mut self, alpha: NodeId, h: NodeId, edges: Rc<EdgeIndex>) -> NodeId {
+    pub fn edge_aggregate(&mut self, alpha: NodeId, h: NodeId, edges: Arc<EdgeIndex>) -> NodeId {
         let a = self.value(alpha);
-        assert_eq!(a.shape(), (edges.n_edges(), 1), "edge_aggregate alpha shape");
+        assert_eq!(
+            a.shape(),
+            (edges.n_edges(), 1),
+            "edge_aggregate alpha shape"
+        );
         let hm = self.value(h);
         assert_eq!(hm.rows(), edges.n_nodes(), "edge_aggregate h shape");
         let d = hm.cols();
         let mut v = Matrix::zeros(edges.n_nodes(), d);
-        for e in 0..edges.n_edges() {
-            let w = a.get(e, 0);
-            let src = edges.src()[e] as usize;
-            let dst = edges.dst()[e] as usize;
-            let src_row = &hm.as_slice()[src * d..(src + 1) * d];
-            let out_row = &mut v.as_mut_slice()[dst * d..(dst + 1) * d];
-            for (o, &x) in out_row.iter_mut().zip(src_row.iter()) {
-                *o += w * x;
-            }
-        }
+        // Destination rows partition across threads; each row reduces its
+        // incoming edges in edge order (edges are dst-sorted), matching the
+        // serial edge-loop accumulation order exactly.
+        par::for_each_row_block(
+            v.as_mut_slice(),
+            d,
+            edges.n_edges() * d * 2,
+            |nodes, chunk| {
+                for (ni, i) in nodes.enumerate() {
+                    let out_row = &mut chunk[ni * d..(ni + 1) * d];
+                    for e in edges.incoming(i) {
+                        let w = a.get(e, 0);
+                        let src = edges.src()[e] as usize;
+                        let src_row = &hm.as_slice()[src * d..(src + 1) * d];
+                        for (o, &x) in out_row.iter_mut().zip(src_row.iter()) {
+                            *o += w * x;
+                        }
+                    }
+                }
+            },
+        );
         self.push(Op::EdgeAggregate(alpha, h, edges), v)
     }
 
@@ -371,27 +402,35 @@ impl Graph {
         let (n, d) = self.value(x).shape();
         let (dw, h) = self.value(w).shape();
         assert_eq!(d, dw, "gated_matmul inner dims");
-        assert_eq!(self.value(f).shape(), (n, d * h), "gated_matmul filter shape");
+        assert_eq!(
+            self.value(f).shape(),
+            (n, d * h),
+            "gated_matmul filter shape"
+        );
         let mut v = Matrix::zeros(n, h);
         {
             let xm = &self.nodes[x.idx()].value;
             let wm = &self.nodes[w.idx()].value;
             let fm = &self.nodes[f.idx()].value;
-            for i in 0..n {
-                let x_row = xm.row(i);
-                let f_row = fm.row(i);
-                let out_row = v.row_mut(i);
-                for (dd, &xv) in x_row.iter().enumerate() {
-                    if xv == 0.0 {
-                        continue;
-                    }
-                    let w_row = wm.row(dd);
-                    let f_seg = &f_row[dd * h..(dd + 1) * h];
-                    for k in 0..h {
-                        out_row[k] += xv * w_row[k] * f_seg[k];
+            // Sample rows are independent; the zero-skip stays because gated
+            // inputs are often sparse activations, unlike the dense matmuls.
+            par::for_each_row_block(v.as_mut_slice(), h, n * d * h * 3, |rows, chunk| {
+                for (ri, i) in rows.enumerate() {
+                    let x_row = xm.row(i);
+                    let f_row = fm.row(i);
+                    let out_row = &mut chunk[ri * h..(ri + 1) * h];
+                    for (dd, &xv) in x_row.iter().enumerate() {
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        let w_row = wm.row(dd);
+                        let f_seg = &f_row[dd * h..(dd + 1) * h];
+                        for k in 0..h {
+                            out_row[k] += xv * w_row[k] * f_seg[k];
+                        }
                     }
                 }
-            }
+            });
         }
         self.push(Op::GatedMatMul(x, w, f), v)
     }
@@ -418,8 +457,8 @@ impl Graph {
     pub fn bce_with_logits(
         &mut self,
         logits: NodeId,
-        targets: Rc<Vec<f32>>,
-        weights: Rc<Vec<f32>>,
+        targets: Arc<Vec<f32>>,
+        weights: Arc<Vec<f32>>,
     ) -> NodeId {
         let z = self.value(logits);
         assert_eq!(z.cols(), 1, "bce expects a column of logits");
@@ -446,15 +485,12 @@ impl Graph {
     pub fn conv2d(&mut self, x: NodeId, kernel: NodeId, meta: ConvMeta) -> NodeId {
         let xm = self.value(x);
         assert_eq!(xm.cols(), meta.in_len(), "conv2d input length");
-        assert_eq!(self.value(kernel).shape(), meta.kernel_shape(), "conv2d kernel shape");
-        let n = xm.rows();
-        let out_len = meta.out_len();
-        let mut v = Matrix::zeros(n, out_len);
-        for i in 0..n {
-            let cols = im2col(self.nodes[x.idx()].value.row(i), &meta);
-            let out = self.nodes[kernel.idx()].value.matmul(&cols);
-            v.row_mut(i).copy_from_slice(out.as_slice());
-        }
+        assert_eq!(
+            self.value(kernel).shape(),
+            meta.kernel_shape(),
+            "conv2d kernel shape"
+        );
+        let v = conv2d_batch(xm, &self.nodes[kernel.idx()].value, &meta);
         self.push(Op::Conv2d(x, kernel, meta), v)
     }
 
@@ -463,7 +499,11 @@ impl Graph {
     pub fn add_chan_bias(&mut self, a: NodeId, bias: NodeId, channels: usize, hw: usize) -> NodeId {
         let (n, len) = self.value(a).shape();
         assert_eq!(len, channels * hw, "add_chan_bias layout");
-        assert_eq!(self.value(bias).shape(), (1, channels), "add_chan_bias bias shape");
+        assert_eq!(
+            self.value(bias).shape(),
+            (1, channels),
+            "add_chan_bias bias shape"
+        );
         let mut v = self.value(a).clone();
         for i in 0..n {
             let row = v.row_mut(i);
@@ -481,12 +521,7 @@ impl Graph {
     pub fn max_pool2(&mut self, x: NodeId, meta: PoolMeta) -> NodeId {
         let xm = self.value(x);
         assert_eq!(xm.cols(), meta.in_len(), "max_pool2 input length");
-        let n = xm.rows();
-        let mut v = Matrix::zeros(n, meta.out_len());
-        for i in 0..n {
-            let (out, _) = maxpool2(self.nodes[x.idx()].value.row(i), &meta);
-            v.row_mut(i).copy_from_slice(&out);
-        }
+        let v = maxpool2_batch(xm, &meta);
         self.push(Op::MaxPool2(x, meta), v)
     }
 
@@ -504,13 +539,21 @@ impl Graph {
     /// Reverse pass from `root` (must be `1×1`). Gradients are stored on the
     /// graph and can be read with [`Graph::grad`].
     pub fn backward(&mut self, root: NodeId) {
-        assert_eq!(self.value(root).shape(), (1, 1), "backward root must be scalar");
+        assert_eq!(
+            self.value(root).shape(),
+            (1, 1),
+            "backward root must be scalar"
+        );
         self.backward_seeded(root, Matrix::filled(1, 1, 1.0));
     }
 
     /// Reverse pass with an explicit seed gradient for `root`.
     pub fn backward_seeded(&mut self, root: NodeId, seed: Matrix) {
-        assert_eq!(self.value(root).shape(), seed.shape(), "seed shape mismatch");
+        assert_eq!(
+            self.value(root).shape(),
+            seed.shape(),
+            "seed shape mismatch"
+        );
         self.grads = (0..self.nodes.len()).map(|_| None).collect();
         self.grads[root.idx()] = Some(seed);
         for id in (0..=root.idx()).rev() {
@@ -677,6 +720,10 @@ impl Graph {
             }
             Op::GatherRows(a, idx) => {
                 let (m, n) = self.nodes[a.idx()].value.shape();
+                // Scatter-add with possibly duplicate row indices: parallel
+                // partitioning over `idx` would give one row two writers, so
+                // the backward scatter stays serial (the forward gather is
+                // the parallel one).
                 let mut da = Matrix::zeros(m, n);
                 for (i, &r) in idx.iter().enumerate() {
                     let dst = &mut da.as_mut_slice()[r as usize * n..(r as usize + 1) * n];
@@ -693,37 +740,57 @@ impl Graph {
             Op::EdgeSoftmax(scores, edges) => {
                 let alpha = &self.nodes[id].value;
                 let mut ds = Matrix::zeros(edges.n_edges(), 1);
-                for i in 0..edges.n_nodes() {
-                    let range = edges.incoming(i);
-                    if range.is_empty() {
-                        continue;
-                    }
-                    let dot: f32 = range
-                        .clone()
-                        .map(|e| alpha.get(e, 0) * dy.get(e, 0))
-                        .sum();
-                    for e in range {
-                        ds.set(e, 0, alpha.get(e, 0) * (dy.get(e, 0) - dot));
-                    }
-                }
+                let dst_ptr = edges.dst_ptr();
+                par::for_each_disjoint(
+                    ds.as_mut_slice(),
+                    edges.n_nodes(),
+                    edges.n_edges() * 4,
+                    |i| dst_ptr[i] as usize,
+                    |nodes, chunk| {
+                        let base = dst_ptr[nodes.start] as usize;
+                        for i in nodes {
+                            let range = edges.incoming(i);
+                            if range.is_empty() {
+                                continue;
+                            }
+                            let dot: f32 =
+                                range.clone().map(|e| alpha.get(e, 0) * dy.get(e, 0)).sum();
+                            for e in range {
+                                chunk[e - base] = alpha.get(e, 0) * (dy.get(e, 0) - dot);
+                            }
+                        }
+                    },
+                );
                 self.add_grad(*scores, ds);
             }
             Op::EdgeAggregate(alpha, h, edges) => {
-                let am = self.nodes[alpha.idx()].value.clone();
-                let hm = self.nodes[h.idx()].value.clone();
+                let am = &self.nodes[alpha.idx()].value;
+                let hm = &self.nodes[h.idx()].value;
                 let d = hm.cols();
+                // Each edge's alpha-gradient is an independent dot product.
                 let mut dalpha = Matrix::zeros(edges.n_edges(), 1);
+                par::for_each_row_block(
+                    dalpha.as_mut_slice(),
+                    1,
+                    edges.n_edges() * d,
+                    |es, chunk| {
+                        for (k, e) in es.enumerate() {
+                            let src = edges.src()[e] as usize;
+                            let dst = edges.dst()[e] as usize;
+                            let dy_row = &dy.as_slice()[dst * d..(dst + 1) * d];
+                            let h_row = &hm.as_slice()[src * d..(src + 1) * d];
+                            chunk[k] = dy_row.iter().zip(h_row.iter()).map(|(&g, &x)| g * x).sum();
+                        }
+                    },
+                );
+                // The dh scatter indexes by *source* row, and several edges
+                // can share one source, so a row partition over edges would
+                // race; this stays serial.
                 let mut dh = Matrix::zeros(hm.rows(), d);
                 for e in 0..edges.n_edges() {
                     let src = edges.src()[e] as usize;
                     let dst = edges.dst()[e] as usize;
                     let dy_row = &dy.as_slice()[dst * d..(dst + 1) * d];
-                    let h_row = &hm.as_slice()[src * d..(src + 1) * d];
-                    let mut acc = 0.0;
-                    for (&g, &x) in dy_row.iter().zip(h_row.iter()) {
-                        acc += g * x;
-                    }
-                    dalpha.set(e, 0, acc);
                     let w = am.get(e, 0);
                     let dh_row = &mut dh.as_mut_slice()[src * d..(src + 1) * d];
                     for (o, &g) in dh_row.iter_mut().zip(dy_row.iter()) {
@@ -795,18 +862,12 @@ impl Graph {
                 self.add_grad(*logits, dz);
             }
             Op::Conv2d(x, kernel, meta) => {
-                let n = self.nodes[x.idx()].value.rows();
-                let (co, klen) = meta.kernel_shape();
-                let (ho, wo) = (meta.h_out(), meta.w_out());
-                let mut dk = Matrix::zeros(co, klen);
-                let mut dx = Matrix::zeros(n, meta.in_len());
-                for i in 0..n {
-                    let cols = im2col(self.nodes[x.idx()].value.row(i), meta);
-                    let dout = Matrix::from_vec(co, ho * wo, dy.row(i).to_vec());
-                    dk.add_assign(&dout.matmul_nt(&cols));
-                    let dcols = self.nodes[kernel.idx()].value.matmul_tn(&dout);
-                    col2im_add(&dcols, meta, dx.row_mut(i));
-                }
+                let (dx, dk) = conv2d_backward_batch(
+                    &self.nodes[x.idx()].value,
+                    &self.nodes[kernel.idx()].value,
+                    dy,
+                    meta,
+                );
                 self.add_grad(*x, dx);
                 self.add_grad(*kernel, dk);
             }
@@ -824,15 +885,7 @@ impl Graph {
                 self.add_grad(*bias, db);
             }
             Op::MaxPool2(x, meta) => {
-                let n = self.nodes[x.idx()].value.rows();
-                let mut dx = Matrix::zeros(n, meta.in_len());
-                for i in 0..n {
-                    let (_, arg) = maxpool2(self.nodes[x.idx()].value.row(i), meta);
-                    let dxr = dx.row_mut(i);
-                    for (o, &src) in arg.iter().enumerate() {
-                        dxr[src as usize] += dy.row(i)[o];
-                    }
-                }
+                let dx = maxpool2_backward_batch(&self.nodes[x.idx()].value, dy, meta);
                 self.add_grad(*x, dx);
             }
         }
@@ -884,7 +937,7 @@ mod tests {
     fn bce_gradient_is_sigmoid_minus_target() {
         let mut g = Graph::new();
         let z = g.constant(Matrix::col_vec(&[0.0, 2.0]));
-        let loss = g.bce_with_logits(z, Rc::new(vec![1.0, 0.0]), Rc::new(vec![1.0, 1.0]));
+        let loss = g.bce_with_logits(z, Arc::new(vec![1.0, 0.0]), Arc::new(vec![1.0, 1.0]));
         g.backward(loss);
         let dz = g.grad(z).unwrap();
         assert!((dz.get(0, 0) - (0.5 - 1.0) / 2.0).abs() < 1e-5);
@@ -894,7 +947,7 @@ mod tests {
 
     #[test]
     fn edge_softmax_normalizes_incoming() {
-        let edges = Rc::new(EdgeIndex::from_pairs(3, vec![(0, 2), (1, 2), (2, 0)]));
+        let edges = Arc::new(EdgeIndex::from_pairs(3, vec![(0, 2), (1, 2), (2, 0)]));
         let mut g = Graph::new();
         // Edges are sorted by destination: edge 0 is (2,0); edges 1,2 are
         // (0,2) and (1,2). Give node 2's two incoming edges equal scores.

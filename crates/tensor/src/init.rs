@@ -58,7 +58,9 @@ pub fn he_normal(rows: usize, cols: usize, rng: &mut Rng64) -> Matrix {
 
 /// Matrix with i.i.d. N(mean, std) entries.
 pub fn normal_matrix(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut Rng64) -> Matrix {
-    let data = (0..rows * cols).map(|_| normal_ms(rng, mean, std)).collect();
+    let data = (0..rows * cols)
+        .map(|_| normal_ms(rng, mean, std))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 

@@ -14,6 +14,9 @@
 //!   Adam optimizer with exponential learning-rate decay.
 //! * [`Csr`] / [`EdgeIndex`] — the sparse structures shared with the URG.
 //! * [`init`] — deterministic seeded initialization helpers.
+//! * [`par`] — the parallel runtime behind the hot kernels: work-size
+//!   thresholded dispatch, `UVD_THREADS` configuration, and deterministic
+//!   row-partitioned execution.
 //!
 //! ```
 //! use uvd_tensor::{Graph, Matrix, ParamRef, ParamSet, Adam};
@@ -41,6 +44,7 @@ pub mod conv;
 pub mod graph;
 pub mod init;
 pub mod matrix;
+pub mod par;
 pub mod param;
 pub mod persist;
 pub mod sparse;

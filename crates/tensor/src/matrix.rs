@@ -1,7 +1,82 @@
 //! Dense row-major `f32` matrix with the handful of kernels the autodiff
 //! engine needs. Vectors are represented as `n×1` or `1×n` matrices.
+//!
+//! The matmul family is cache-blocked over the reduction dimension and
+//! row-partitioned across threads by the [`crate::par`] runtime. Because the
+//! per-element accumulation order (ascending `k`) is independent of the row
+//! partition, results are bit-identical at any thread count.
 
+use crate::par;
 use std::fmt;
+use std::ops::Range;
+
+/// Reduction-dimension tile for the blocked matmul kernels: 64 rows of a
+/// 64-col f32 panel is 16 KiB, comfortably inside L1 alongside the output.
+const K_TILE: usize = 64;
+
+/// Compute rows `rows` of `out = a * b` where `a` is `m×k`, `b` is `k×n` and
+/// `chunk` is the contiguous output storage for exactly those rows. The `k`
+/// loop is tiled but always ascends, so each output element accumulates its
+/// products in the same order regardless of how rows are partitioned.
+fn matmul_rows(a: &[f32], b: &[f32], chunk: &mut [f32], rows: Range<usize>, k: usize, n: usize) {
+    for kb in (0..k).step_by(K_TILE) {
+        let k_end = (kb + K_TILE).min(k);
+        for (ri, i) in rows.clone().enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut chunk[ri * n..(ri + 1) * n];
+            for p in kb..k_end {
+                let av = a_row[p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Compute rows `rows` of `out = a^T * b` where `a` is `k×m`, `b` is `k×n`:
+/// `out[i][j] = Σ_p a[p][i] * b[p][j]`, `p` tiled but ascending.
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    for pb in (0..k).step_by(K_TILE) {
+        let p_end = (pb + K_TILE).min(k);
+        for (ri, i) in rows.clone().enumerate() {
+            let o_row = &mut chunk[ri * n..(ri + 1) * n];
+            for p in pb..p_end {
+                let av = a[p * m + i];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Compute rows `rows` of `out = a * b^T` where `a` is `m×k`, `b` is `n×k`:
+/// independent dot products, accumulated in ascending `k` order.
+fn matmul_nt_rows(a: &[f32], b: &[f32], chunk: &mut [f32], rows: Range<usize>, k: usize, n: usize) {
+    for (ri, i) in rows.enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut chunk[ri * n..(ri + 1) * n];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
 
 /// Dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -24,12 +99,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with a constant.
     pub fn filled(rows: usize, cols: usize, v: f32) -> Self {
-        Matrix { rows, cols, data: vec![v; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -63,17 +146,29 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Column vector from a slice.
     pub fn col_vec(v: &[f32]) -> Self {
-        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Row vector from a slice.
     pub fn row_vec(v: &[f32]) -> Self {
-        Matrix { rows: 1, cols: v.len(), data: v.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -133,7 +228,9 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self * rhs` using an ikj loop for cache friendliness.
+    /// Matrix product `self * rhs`: k-tiled straight-FMA inner loop (no
+    /// zero-skip branch — `Csr` handles genuinely sparse operands), rows
+    /// partitioned across threads above the work threshold.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
@@ -142,19 +239,9 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        par::for_each_row_block(&mut out.data, n, m * k * n, |rows, chunk| {
+            matmul_rows(&self.data, &rhs.data, chunk, rows, k, n);
+        });
         out
     }
 
@@ -167,20 +254,9 @@ impl Matrix {
         );
         let (m, k, n) = (self.cols, self.rows, rhs.cols);
         let mut out = Matrix::zeros(m, n);
-        // out[i][j] = sum_p self[p][i] * rhs[p][j]
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &rhs.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        par::for_each_row_block(&mut out.data, n, m * k * n, |rows, chunk| {
+            matmul_tn_rows(&self.data, &rhs.data, chunk, rows, k, m, n);
+        });
         out
     }
 
@@ -193,18 +269,9 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        par::for_each_row_block(&mut out.data, n, m * k * n, |rows, chunk| {
+            matmul_nt_rows(&self.data, &rhs.data, chunk, rows, k, n);
+        });
         out
     }
 
@@ -318,12 +385,18 @@ impl Matrix {
         out
     }
 
-    /// Gather rows by index into a new matrix.
+    /// Gather rows by index into a new matrix (output rows partitioned
+    /// across threads; the source is only read, so any duplicate indices are
+    /// safe).
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
-        let mut out = Matrix::zeros(idx.len(), self.cols);
-        for (i, &r) in idx.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.row(r as usize));
-        }
+        let cols = self.cols;
+        let mut out = Matrix::zeros(idx.len(), cols);
+        par::for_each_row_block(&mut out.data, cols, idx.len() * cols, |rows, chunk| {
+            for (ri, i) in rows.enumerate() {
+                let r = idx[i] as usize;
+                chunk[ri * cols..(ri + 1) * cols].copy_from_slice(self.row(r));
+            }
+        });
         out
     }
 

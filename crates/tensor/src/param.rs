@@ -175,7 +175,13 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Steps taken so far.
@@ -197,7 +203,9 @@ impl Adam {
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
         for p in params.iter() {
             let mut inner = p.0.borrow_mut();
-            let ParamInner { value, grad, m, v, .. } = &mut *inner;
+            let ParamInner {
+                value, grad, m, v, ..
+            } = &mut *inner;
             for i in 0..value.len() {
                 let g = grad.as_slice()[i];
                 let mi = &mut m.as_mut_slice()[i];

@@ -67,12 +67,19 @@ impl MatrixStore {
         for p in params.iter() {
             let name = p.name();
             let m = self.get(&name).ok_or_else(|| {
-                io::Error::new(io::ErrorKind::NotFound, format!("missing parameter '{name}'"))
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("missing parameter '{name}'"),
+                )
             })?;
             if m.shape() != p.shape() {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("shape mismatch for '{name}': {:?} vs {:?}", m.shape(), p.shape()),
+                    format!(
+                        "shape mismatch for '{name}': {:?} vs {:?}",
+                        m.shape(),
+                        p.shape()
+                    ),
                 ));
             }
             *p.value_mut() = m.clone();
@@ -118,7 +125,10 @@ impl MatrixStore {
             let rows = read_u32(r)? as usize;
             let cols = read_u32(r)? as usize;
             if rows.checked_mul(cols).is_none_or(|n| n > 1 << 28) {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "matrix too large"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "matrix too large",
+                ));
             }
             let mut data = vec![0.0f32; rows * cols];
             let mut buf = [0u8; 4];

@@ -3,6 +3,7 @@
 //! attention-style aggregation.
 
 use crate::matrix::Matrix;
+use crate::par;
 
 /// Compressed sparse row matrix of `f32`.
 #[derive(Clone, Debug)]
@@ -23,7 +24,10 @@ impl Csr {
         let mut values: Vec<f32> = Vec::with_capacity(coo.len());
         let mut last: Option<(u32, u32)> = None;
         for &(r, c, v) in &coo {
-            assert!((r as usize) < rows && (c as usize) < cols, "coo out of bounds");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "coo out of bounds"
+            );
             if last == Some((r, c)) {
                 *values.last_mut().expect("non-empty after a push") += v;
             } else {
@@ -36,7 +40,13 @@ impl Csr {
         for i in 1..indptr.len() {
             indptr[i] += indptr[i - 1];
         }
-        Csr { rows, cols, indptr, indices, values }
+        Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -62,24 +72,37 @@ impl Csr {
             .zip(self.values[lo..hi].iter().copied())
     }
 
-    /// Sparse × dense product: `self * x`.
+    /// Sparse × dense product: `self * x`. Output rows are partitioned
+    /// across threads; each row reduces its non-zeros in CSR order, so the
+    /// result is bit-identical to the serial loop at any thread count.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
-        assert_eq!(self.cols, x.rows(), "spmm: {}x{} * {}x{}", self.rows, self.cols, x.rows(), x.cols());
+        assert_eq!(
+            self.cols,
+            x.rows(),
+            "spmm: {}x{} * {}x{}",
+            self.rows,
+            self.cols,
+            x.rows(),
+            x.cols()
+        );
         let n = x.cols();
         let mut out = Matrix::zeros(self.rows, n);
-        for r in 0..self.rows {
-            let lo = self.indptr[r] as usize;
-            let hi = self.indptr[r + 1] as usize;
-            let o_row = &mut out.as_mut_slice()[r * n..(r + 1) * n];
-            for k in lo..hi {
-                let c = self.indices[k] as usize;
-                let v = self.values[k];
-                let x_row = &x.as_slice()[c * n..(c + 1) * n];
-                for (o, &xv) in o_row.iter_mut().zip(x_row.iter()) {
-                    *o += v * xv;
+        let work = self.nnz() * n;
+        par::for_each_row_block(out.as_mut_slice(), n, work, |rows, chunk| {
+            for (ri, r) in rows.enumerate() {
+                let lo = self.indptr[r] as usize;
+                let hi = self.indptr[r + 1] as usize;
+                let o_row = &mut chunk[ri * n..(ri + 1) * n];
+                for k in lo..hi {
+                    let c = self.indices[k] as usize;
+                    let v = self.values[k];
+                    let x_row = &x.as_slice()[c * n..(c + 1) * n];
+                    for (o, &xv) in o_row.iter_mut().zip(x_row.iter()) {
+                        *o += v * xv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -96,6 +119,10 @@ impl Csr {
 
     /// Symmetric normalization `D^{-1/2} (A) D^{-1/2}` (GCN, Kipf & Welling).
     /// The caller is expected to have added self-loops already if desired.
+    ///
+    /// The output has exactly this matrix's sparsity structure, so instead
+    /// of rebuilding through COO (sort + dedup) the structure is cloned and
+    /// only the values are rescaled, row-parallel.
     pub fn sym_normalized(&self) -> Csr {
         assert_eq!(self.rows, self.cols, "sym_normalized requires square");
         let mut deg = vec![0.0f32; self.rows];
@@ -108,13 +135,31 @@ impl Csr {
             .iter()
             .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
             .collect();
-        let mut coo = Vec::with_capacity(self.nnz());
-        for r in 0..self.rows {
-            for (c, v) in self.row_iter(r) {
-                coo.push((r as u32, c, v * inv_sqrt[r] * inv_sqrt[c as usize]));
-            }
+        let mut values = self.values.clone();
+        par::for_each_disjoint(
+            &mut values,
+            self.rows,
+            self.nnz() * 3,
+            |r| self.indptr[r] as usize,
+            |rows, chunk| {
+                let base = self.indptr[rows.start] as usize;
+                for r in rows {
+                    let lo = self.indptr[r] as usize;
+                    let hi = self.indptr[r + 1] as usize;
+                    for k in lo..hi {
+                        let c = self.indices[k] as usize;
+                        chunk[k - base] *= inv_sqrt[r] * inv_sqrt[c];
+                    }
+                }
+            },
+        );
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values,
         }
-        Csr::from_coo(self.rows, self.cols, coo)
     }
 }
 
@@ -138,7 +183,10 @@ impl EdgeIndex {
         let mut dst = Vec::with_capacity(pairs.len());
         let mut dst_ptr = vec![0u32; n_nodes + 1];
         for &(s, d) in &pairs {
-            assert!((s as usize) < n_nodes && (d as usize) < n_nodes, "edge out of bounds");
+            assert!(
+                (s as usize) < n_nodes && (d as usize) < n_nodes,
+                "edge out of bounds"
+            );
             src.push(s);
             dst.push(d);
             dst_ptr[d as usize + 1] += 1;
@@ -146,7 +194,12 @@ impl EdgeIndex {
         for i in 1..dst_ptr.len() {
             dst_ptr[i] += dst_ptr[i - 1];
         }
-        EdgeIndex { n_nodes, src, dst, dst_ptr }
+        EdgeIndex {
+            n_nodes,
+            src,
+            dst,
+            dst_ptr,
+        }
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -163,6 +216,13 @@ impl EdgeIndex {
 
     pub fn dst(&self) -> &[u32] {
         &self.dst
+    }
+
+    /// Per-destination CSR offsets: `dst_ptr()[i]..dst_ptr()[i+1]` is the
+    /// edge range whose destination is `i` (length `n_nodes + 1`). Used by
+    /// the parallel edge kernels to align chunk boundaries to destinations.
+    pub fn dst_ptr(&self) -> &[u32] {
+        &self.dst_ptr
     }
 
     /// Edge id range with destination `i`.

@@ -5,7 +5,7 @@
 //! difference. Inputs are kept away from kinks (ReLU at 0, pooling ties) so
 //! the numerical derivative is valid.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use uvd_tensor::conv::{ConvMeta, PoolMeta};
 use uvd_tensor::graph::CsrPair;
 use uvd_tensor::init::{normal_matrix, seeded_rng, uniform_matrix};
@@ -175,7 +175,7 @@ fn grad_row_sum() {
 #[test]
 fn grad_gather_rows() {
     let m = rng_mats(10, &[(5, 3)]);
-    let idx = Rc::new(vec![0u32, 2, 2, 4]);
+    let idx = Arc::new(vec![0u32, 2, 2, 4]);
     gradcheck(&m, move |g, ids| {
         let y = g.gather_rows(ids[0], idx.clone());
         let sq = g.mul(y, y);
@@ -189,7 +189,13 @@ fn grad_spmm() {
     let csr = Csr::from_coo(
         4,
         4,
-        vec![(0, 1, 0.5), (1, 0, 1.5), (2, 2, -1.0), (3, 1, 2.0), (3, 3, 0.3)],
+        vec![
+            (0, 1, 0.5),
+            (1, 0, 1.5),
+            (2, 2, -1.0),
+            (3, 1, 2.0),
+            (3, 3, 0.3),
+        ],
     );
     let pair = CsrPair::new(csr);
     gradcheck(&m, move |g, ids| {
@@ -202,7 +208,7 @@ fn grad_spmm() {
 #[test]
 fn grad_edge_softmax_and_aggregate() {
     // Small graph with varied in-degrees, including an isolated node.
-    let edges = Rc::new(EdgeIndex::from_pairs(
+    let edges = Arc::new(EdgeIndex::from_pairs(
         4,
         vec![(0, 1), (2, 1), (3, 1), (1, 0), (0, 2)],
     ));
@@ -258,8 +264,8 @@ fn grad_sub_outer() {
 #[test]
 fn grad_bce_with_logits() {
     let m = rng_mats(17, &[(6, 1)]);
-    let targets = Rc::new(vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
-    let weights = Rc::new(vec![1.0, 1.0, 0.0, 2.0, 1.0, 0.5]);
+    let targets = Arc::new(vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    let weights = Arc::new(vec![1.0, 1.0, 0.0, 2.0, 1.0, 0.5]);
     gradcheck(&m, move |g, ids| {
         g.bce_with_logits(ids[0], targets.clone(), weights.clone())
     });
@@ -267,7 +273,15 @@ fn grad_bce_with_logits() {
 
 #[test]
 fn grad_conv2d_with_bias() {
-    let meta = ConvMeta { c_in: 2, h_in: 4, w_in: 4, c_out: 3, k: 3, stride: 1, pad: 1 };
+    let meta = ConvMeta {
+        c_in: 2,
+        h_in: 4,
+        w_in: 4,
+        c_out: 3,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
     let mut rng = seeded_rng(18);
     let x = normal_matrix(2, meta.in_len(), 0.0, 1.0, &mut rng);
     let (kr, kc) = meta.kernel_shape();
@@ -283,9 +297,15 @@ fn grad_conv2d_with_bias() {
 
 #[test]
 fn grad_max_pool2_without_ties() {
-    let meta = PoolMeta { channels: 2, h_in: 4, w_in: 4 };
+    let meta = PoolMeta {
+        channels: 2,
+        h_in: 4,
+        w_in: 4,
+    };
     // Distinct values guarantee a unique argmax per window.
-    let data: Vec<f32> = (0..meta.in_len()).map(|i| (i as f32 * 0.618).sin() * 3.0).collect();
+    let data: Vec<f32> = (0..meta.in_len())
+        .map(|i| (i as f32 * 0.618).sin() * 3.0)
+        .collect();
     let x = Matrix::from_vec(1, meta.in_len(), data);
     gradcheck(&[x], move |g, ids| {
         let y = g.max_pool2(ids[0], meta);
@@ -303,12 +323,12 @@ fn grad_mse() {
 #[test]
 fn grad_composite_attention_block() {
     // A miniature MAGA-like block: linear -> edge attention -> nonlinearity.
-    let edges = Rc::new(EdgeIndex::from_pairs(
+    let edges = Arc::new(EdgeIndex::from_pairs(
         3,
         vec![(0, 0), (1, 0), (0, 1), (1, 1), (2, 1), (2, 2), (1, 2)],
     ));
-    let src = Rc::new(edges.src().to_vec());
-    let dst = Rc::new(edges.dst().to_vec());
+    let src = Arc::new(edges.src().to_vec());
+    let dst = Arc::new(edges.dst().to_vec());
     let m = rng_mats(20, &[(3, 4), (4, 3), (3, 1), (3, 1)]);
     gradcheck(&m, move |g, ids| {
         let h = g.matmul(ids[0], ids[1]);

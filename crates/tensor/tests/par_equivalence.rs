@@ -1,0 +1,188 @@
+//! Serial vs parallel kernel equivalence and determinism.
+//!
+//! Two layers of guarantees from the `par` runtime are checked here:
+//!
+//! 1. **Equivalence** (proptest): every parallelized kernel run above its
+//!    work threshold with several threads matches the serial result within
+//!    1e-5 elementwise.
+//! 2. **Determinism** (fixed inputs): for a fixed thread configuration, two
+//!    parallel runs are *bit-identical*; and for the row-partitioned kernels
+//!    (matmul family, spmm, edge softmax) the parallel result is
+//!    bit-identical to the serial one at any thread count, because each
+//!    output element keeps its serial reduction order.
+//!
+//! Matrix sizes are chosen so the estimated work clears
+//! [`par::MIN_PAR_WORK`]; with smaller inputs the dispatcher would quietly
+//! take the serial path and these tests would vacuously pass.
+
+use proptest::prelude::*;
+use rand::RngCore;
+use std::sync::Arc;
+use uvd_tensor::init::{normal_matrix, seeded_rng};
+use uvd_tensor::par;
+use uvd_tensor::{Csr, EdgeIndex, Graph, Matrix};
+
+/// 48×48×48 matmul: 110_592 estimated ops, above `MIN_PAR_WORK` (65_536).
+const N: usize = 48;
+
+fn rand_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!((x - y).abs() <= 1e-5, "{what}[{i}]: {x} vs {y}");
+    }
+}
+
+/// A fixed sparse matrix with ~8 nnz per row so `nnz * n >= MIN_PAR_WORK`.
+fn fixed_csr(rows: usize, cols: usize, seed: u64) -> Csr {
+    let mut rng = seeded_rng(seed);
+    let mut coo = Vec::new();
+    for r in 0..rows {
+        for _ in 0..8 {
+            let c = (rng.next_u64() % cols as u64) as u32;
+            coo.push((r as u32, c, (rng.next_u64() % 7) as f32 * 0.25 - 0.75));
+        }
+    }
+    Csr::from_coo(rows, cols, coo)
+}
+
+/// A fixed edge index with `n_nodes * deg` edges, varied in-degrees.
+fn fixed_edges(n_nodes: usize, deg: usize, seed: u64) -> Arc<EdgeIndex> {
+    let mut rng = seeded_rng(seed);
+    let mut pairs = Vec::new();
+    for d in 0..n_nodes {
+        // Ragged: node d receives between 1 and 2*deg-1 edges.
+        let k = 1 + (rng.next_u64() as usize) % (2 * deg - 1);
+        for _ in 0..k {
+            let s = (rng.next_u64() % n_nodes as u64) as u32;
+            pairs.push((s, d as u32));
+        }
+    }
+    Arc::new(EdgeIndex::from_pairs(n_nodes, pairs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel matmul family matches serial within 1e-5.
+    #[test]
+    fn matmul_family_parallel_matches_serial(a in rand_matrix(N, N), b in rand_matrix(N, N)) {
+        let serial = par::serial_scope(|| (a.matmul(&b), a.matmul_tn(&b), a.matmul_nt(&b)));
+        let par4 = par::with_threads(4, || (a.matmul(&b), a.matmul_tn(&b), a.matmul_nt(&b)));
+        assert_close(&serial.0, &par4.0, "matmul");
+        assert_close(&serial.1, &par4.1, "matmul_tn");
+        assert_close(&serial.2, &par4.2, "matmul_nt");
+    }
+
+    /// Parallel spmm and sym_normalized match serial within 1e-5.
+    #[test]
+    fn sparse_parallel_matches_serial(x in rand_matrix(256, 32), seed in 0u64..1024) {
+        let a = fixed_csr(256, 256, seed);
+        let serial = par::serial_scope(|| a.sym_normalized().spmm(&x));
+        let par4 = par::with_threads(4, || a.sym_normalized().spmm(&x));
+        assert_close(&serial, &par4, "sym_normalized+spmm");
+    }
+
+    /// Parallel edge softmax + aggregation match serial within 1e-5.
+    #[test]
+    fn edge_ops_parallel_match_serial(seed in 0u64..1024) {
+        let edges = fixed_edges(1024, 8, seed);
+        let mut rng = seeded_rng(seed ^ 0xE0E0);
+        let scores = normal_matrix(edges.n_edges(), 1, 0.0, 1.0, &mut rng);
+        let h = normal_matrix(edges.n_nodes(), 16, 0.0, 1.0, &mut rng);
+        let run = || {
+            let mut g = Graph::new();
+            let s = g.constant(scores.clone());
+            let hn = g.constant(h.clone());
+            let alpha = g.edge_softmax(s, edges.clone());
+            let out = g.edge_aggregate(alpha, hn, edges.clone());
+            (g.value(alpha).clone(), g.value(out).clone())
+        };
+        let serial = par::serial_scope(run);
+        let par4 = par::with_threads(4, run);
+        assert_close(&serial.0, &par4.0, "edge_softmax");
+        assert_close(&serial.1, &par4.1, "edge_aggregate");
+    }
+}
+
+#[test]
+fn matmul_parallel_is_bit_deterministic() {
+    let mut rng = seeded_rng(7);
+    let a = normal_matrix(N, N, 0.0, 1.0, &mut rng);
+    let b = normal_matrix(N, N, 0.0, 1.0, &mut rng);
+    let serial = par::serial_scope(|| a.matmul(&b));
+    let run1 = par::with_threads(4, || a.matmul(&b));
+    let run2 = par::with_threads(4, || a.matmul(&b));
+    assert_eq!(run1.as_slice(), run2.as_slice(), "two parallel runs differ");
+    // Row partitioning keeps the per-element k-order: serial == parallel
+    // bitwise, at any thread count.
+    assert_eq!(serial.as_slice(), run1.as_slice(), "serial vs parallel");
+    let run3 = par::with_threads(3, || a.matmul(&b));
+    assert_eq!(serial.as_slice(), run3.as_slice(), "3-thread run differs");
+}
+
+#[test]
+fn spmm_parallel_is_bit_deterministic() {
+    let a = fixed_csr(512, 512, 11);
+    let mut rng = seeded_rng(13);
+    let x = normal_matrix(512, 32, 0.0, 1.0, &mut rng);
+    let serial = par::serial_scope(|| a.spmm(&x));
+    let run1 = par::with_threads(4, || a.spmm(&x));
+    let run2 = par::with_threads(4, || a.spmm(&x));
+    assert_eq!(run1.as_slice(), run2.as_slice(), "two parallel runs differ");
+    assert_eq!(serial.as_slice(), run1.as_slice(), "serial vs parallel");
+}
+
+#[test]
+fn edge_softmax_parallel_is_bit_deterministic() {
+    let edges = fixed_edges(2048, 8, 17);
+    let mut rng = seeded_rng(19);
+    let scores = normal_matrix(edges.n_edges(), 1, 0.0, 2.0, &mut rng);
+    let run = || {
+        let mut g = Graph::new();
+        let s = g.constant(scores.clone());
+        let alpha = g.edge_softmax(s, edges.clone());
+        g.value(alpha).clone()
+    };
+    let serial = par::serial_scope(run);
+    let run1 = par::with_threads(4, run);
+    let run2 = par::with_threads(4, run);
+    assert_eq!(run1.as_slice(), run2.as_slice(), "two parallel runs differ");
+    assert_eq!(serial.as_slice(), run1.as_slice(), "serial vs parallel");
+}
+
+#[test]
+fn conv_backward_deterministic_for_fixed_threads() {
+    use uvd_tensor::ConvMeta;
+    let meta = ConvMeta {
+        c_in: 2,
+        h_in: 16,
+        w_in: 16,
+        c_out: 3,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let mut rng = seeded_rng(23);
+    let x = normal_matrix(8, meta.in_len(), 0.0, 1.0, &mut rng);
+    let (co, klen) = meta.kernel_shape();
+    let kernel = normal_matrix(co, klen, 0.0, 0.5, &mut rng);
+    let run = || {
+        let mut g = Graph::new();
+        let xn = g.constant(x.clone());
+        let kn = g.constant(kernel.clone());
+        let y = g.conv2d(xn, kn, meta);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        g.grad(kn).unwrap().clone()
+    };
+    // The kernel gradient reduces ordered per-chunk partials: bit-stable for
+    // a fixed thread count (the chunk layout is a function of the count).
+    let run1 = par::with_threads(4, run);
+    let run2 = par::with_threads(4, run);
+    assert_eq!(run1.as_slice(), run2.as_slice(), "two parallel runs differ");
+}

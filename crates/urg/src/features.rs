@@ -30,7 +30,11 @@ pub struct PoiFeatureOptions {
 
 impl Default for PoiFeatureOptions {
     fn default() -> Self {
-        PoiFeatureOptions { cate: true, radius: true, facility: true }
+        PoiFeatureOptions {
+            cate: true,
+            radius: true,
+            facility: true,
+        }
     }
 }
 
@@ -103,7 +107,10 @@ impl PoiSpatialIndex {
     fn nearest_in(&self, buckets: &[Vec<(f64, f64)>], region: usize, cap_m: f64) -> Option<f64> {
         let (w, h) = (self.width, self.height);
         let (cx, cy) = (region % w, region / w);
-        let (px, py) = ((cx as f64 + 0.5) * CELL_METERS, (cy as f64 + 0.5) * CELL_METERS);
+        let (px, py) = (
+            (cx as f64 + 0.5) * CELL_METERS,
+            (cy as f64 + 0.5) * CELL_METERS,
+        );
         let max_ring = (cap_m / CELL_METERS).ceil() as i64 + 1;
         let mut best = f64::INFINITY;
         for ring in 0..=max_ring {
@@ -256,8 +263,21 @@ pub fn poi_features_with_index(
 fn radius_type_by_index(i: usize) -> RadiusType {
     use RadiusType::*;
     [
-        Hospital, Clinic, College, School, BusStop, SubwayStation, Airport, TrainStation,
-        CoachStation, ShoppingMall, Supermarket, Market, Shop, PoliceStation, ScenicSpot,
+        Hospital,
+        Clinic,
+        College,
+        School,
+        BusStop,
+        SubwayStation,
+        Airport,
+        TrainStation,
+        CoachStation,
+        ShoppingMall,
+        Supermarket,
+        Market,
+        Shop,
+        PoliceStation,
+        ScenicSpot,
     ][i]
 }
 
@@ -292,11 +312,20 @@ mod tests {
 
     #[test]
     fn ablated_dims() {
-        let no_cate = PoiFeatureOptions { cate: false, ..Default::default() };
+        let no_cate = PoiFeatureOptions {
+            cate: false,
+            ..Default::default()
+        };
         assert_eq!(no_cate.dim(), 16);
-        let no_rad = PoiFeatureOptions { radius: false, ..Default::default() };
+        let no_rad = PoiFeatureOptions {
+            radius: false,
+            ..Default::default()
+        };
         assert_eq!(no_rad.dim(), 49);
-        let no_idx = PoiFeatureOptions { facility: false, ..Default::default() };
+        let no_idx = PoiFeatureOptions {
+            facility: false,
+            ..Default::default()
+        };
         assert_eq!(no_idx.dim(), 63);
     }
 
@@ -306,7 +335,10 @@ mod tests {
         let x = poi_features(&city, PoiFeatureOptions::default());
         for r in 0..city.n_regions() {
             let s: f32 = x.row(r)[..23].iter().sum();
-            assert!(s.abs() < 1e-5 || (s - 1.0).abs() < 1e-4, "region {r} sum {s}");
+            assert!(
+                s.abs() < 1e-5 || (s - 1.0).abs() < 1e-4,
+                "region {r} sum {s}"
+            );
         }
     }
 

@@ -6,7 +6,7 @@ use crate::edges::{merge_pairs, road_edges, spatial_edges};
 use crate::features::{poi_features, PoiFeatureOptions};
 use crate::vgg::{standardize_columns, VggSim};
 use serde_like::UrgStats;
-use std::rc::Rc;
+use std::sync::Arc;
 use uvd_citysim::{City, IMG_LEN};
 use uvd_tensor::graph::CsrPair;
 use uvd_tensor::{Csr, EdgeIndex, Matrix};
@@ -42,7 +42,10 @@ impl Default for UrgOptions {
 impl UrgOptions {
     /// The Figure 5(b) named variants.
     pub fn no_image() -> Self {
-        UrgOptions { image: false, ..Default::default() }
+        UrgOptions {
+            image: false,
+            ..Default::default()
+        }
     }
 
     pub fn no_cate() -> Self {
@@ -64,11 +67,17 @@ impl UrgOptions {
     }
 
     pub fn no_road() -> Self {
-        UrgOptions { road: false, ..Default::default() }
+        UrgOptions {
+            road: false,
+            ..Default::default()
+        }
     }
 
     pub fn no_prox() -> Self {
-        UrgOptions { spatial: false, ..Default::default() }
+        UrgOptions {
+            spatial: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -84,9 +93,9 @@ pub struct Urg {
     pub pairs: Vec<(u32, u32)>,
     /// Directed edge index (both directions plus self-loops), sorted by
     /// destination — the neighbourhood structure attention layers use.
-    pub edges: Rc<EdgeIndex>,
+    pub edges: Arc<EdgeIndex>,
     /// Symmetrically normalized `A + I` for GCN-style propagation.
-    pub adj_norm: Rc<CsrPair>,
+    pub adj_norm: Arc<CsrPair>,
     /// POI feature matrix (`n × d_poi`).
     pub x_poi: Matrix,
     /// Standardized image feature matrix (`n × 256`), or `n × 0` when the
@@ -95,7 +104,7 @@ pub struct Urg {
     /// Raw region images (`n × IMG_LEN`), kept for the CNN baselines that
     /// operate on pixels (UVLens, MUVFCN); `None` when the image modality is
     /// ablated.
-    pub raw_images: Option<Rc<Matrix>>,
+    pub raw_images: Option<Arc<Matrix>>,
     /// Labeled region ids (survey output), sorted.
     pub labeled: Vec<u32>,
     /// Binary labels aligned with `labeled` (1 = urban village).
@@ -125,7 +134,7 @@ impl Urg {
         for i in 0..n as u32 {
             directed.push((i, i));
         }
-        let edges = Rc::new(EdgeIndex::from_pairs(n, directed));
+        let edges = Arc::new(EdgeIndex::from_pairs(n, directed));
 
         // Normalized adjacency (A + I) for GCN baselines.
         let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(pairs.len() * 2 + n);
@@ -142,7 +151,7 @@ impl Urg {
         let (x_img, raw_images) = if opts.image {
             let raw = Matrix::from_vec(n, IMG_LEN, city.images.clone());
             let feats = standardize_columns(&VggSim::new().features(&city.images));
-            (feats, Some(Rc::new(raw)))
+            (feats, Some(Arc::new(raw)))
         } else {
             (Matrix::zeros(n, 0), None)
         };
@@ -241,10 +250,7 @@ impl Urg {
 
     /// Index into `labeled`/`y` for a region id, if labeled.
     pub fn label_of(&self, region: u32) -> Option<f32> {
-        self.labeled
-            .binary_search(&region)
-            .ok()
-            .map(|i| self.y[i])
+        self.labeled.binary_search(&region).ok().map(|i| self.y[i])
     }
 }
 

@@ -5,10 +5,10 @@
 //! like a pretrained backbone — the extractor is identical across cities,
 //! folds and runs.
 
+use uvd_citysim::{IMG_CHANNELS, IMG_LEN, IMG_SIZE};
 use uvd_tensor::conv::{im2col, maxpool2, ConvMeta, PoolMeta};
 use uvd_tensor::init::{he_normal, seeded_rng};
 use uvd_tensor::Matrix;
-use uvd_citysim::{IMG_CHANNELS, IMG_LEN, IMG_SIZE};
 
 /// Output dimensionality of the extractor.
 pub const VGG_SIM_DIM: usize = 256;
@@ -40,10 +40,22 @@ impl VggSim {
         let stages = specs
             .iter()
             .map(|&(c_in, side, c_out)| {
-                let meta = ConvMeta { c_in, h_in: side, w_in: side, c_out, k: 3, stride: 1, pad: 1 };
+                let meta = ConvMeta {
+                    c_in,
+                    h_in: side,
+                    w_in: side,
+                    c_out,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                };
                 let (kr, kc) = meta.kernel_shape();
                 let kernel = he_normal(kr, kc, &mut rng);
-                let pool = PoolMeta { channels: c_out, h_in: side, w_in: side };
+                let pool = PoolMeta {
+                    channels: c_out,
+                    h_in: side,
+                    w_in: side,
+                };
                 (meta, kernel, pool)
             })
             .collect();
@@ -145,7 +157,11 @@ mod tests {
         // different-class images, on average.
         let vgg = VggSim::new();
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
         };
         let mut within = 0.0;
         let mut across = 0.0;

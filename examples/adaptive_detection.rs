@@ -14,7 +14,10 @@ fn main() {
     let city = City::from_config(CityPreset::tiny(), 21);
     let urg = Urg::build(&city, UrgOptions::default());
     let folds = block_folds(&urg, 3, 4, 5);
-    let (train, test) = train_test_pairs(&folds).into_iter().next().expect("3 folds");
+    let (train, test) = train_test_pairs(&folds)
+        .into_iter()
+        .next()
+        .expect("3 folds");
 
     let mut cfg = CmsfConfig::for_city("tiny");
     cfg.master_epochs = 40;
@@ -72,6 +75,12 @@ fn main() {
         }
         s / n.max(1) as f32
     };
-    println!("  mean detection probability in C1 regions: {:.3}", mean_prob(&c1));
-    println!("  mean detection probability in C0 regions: {:.3}", mean_prob(&c0));
+    println!(
+        "  mean detection probability in C1 regions: {:.3}",
+        mean_prob(&c1)
+    );
+    println!(
+        "  mean detection probability in C0 regions: {:.3}",
+        mean_prob(&c0)
+    );
 }

@@ -25,14 +25,23 @@ fn main() {
     let train_idx: Vec<usize> = (0..urg.labeled.len()).collect();
     let mut model = Cmsf::new(&urg, CmsfConfig::for_city(&urg.name));
     let report = model.fit(&urg, &train_idx);
-    println!("trained in {:.1}s ({} epochs)", report.train_secs, report.epochs);
+    println!(
+        "trained in {:.1}s ({} epochs)",
+        report.train_secs, report.epochs
+    );
 
     // Rank all *unlabeled* regions: those are the candidates worth a site
     // visit (labeled ones are already known).
     let probs = model.predict(&urg);
     let labeled: std::collections::HashSet<u32> = urg.labeled.iter().copied().collect();
-    let mut candidates: Vec<usize> = (0..urg.n).filter(|&r| !labeled.contains(&(r as u32))).collect();
-    candidates.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).expect("finite probabilities"));
+    let mut candidates: Vec<usize> = (0..urg.n)
+        .filter(|&r| !labeled.contains(&(r as u32)))
+        .collect();
+    candidates.sort_by(|&a, &b| {
+        probs[b]
+            .partial_cmp(&probs[a])
+            .expect("finite probabilities")
+    });
 
     let k = (candidates.len() as f64 * 0.03).ceil() as usize;
     let short_list = &candidates[..k];

@@ -17,7 +17,11 @@ fn main() {
         urg.labeled.len()
     );
 
-    let spec = RunSpec { folds: 3, seeds: vec![0], ..Default::default() };
+    let spec = RunSpec {
+        folds: 3,
+        seeds: vec![0],
+        ..Default::default()
+    };
     println!(
         "{:8} | {:>6} | {:>8} {:>10} {:>6} | {:>10} {:>8}",
         "method", "AUC", "Recall@3", "Precision@3", "F1@3", "s/epoch", "size MB"

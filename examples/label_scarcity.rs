@@ -14,7 +14,10 @@ fn main() {
     let city = City::from_config(CityPreset::tiny(), 11);
     let urg = Urg::build(&city, UrgOptions::default());
     let folds = block_folds(&urg, 3, 4, 7);
-    let (train_full, test) = train_test_pairs(&folds).into_iter().next().expect("3 folds");
+    let (train_full, test) = train_test_pairs(&folds)
+        .into_iter()
+        .next()
+        .expect("3 folds");
     println!(
         "label-scarcity study on '{}' ({} training labels at 100%)\n",
         city.name,
@@ -33,12 +36,20 @@ fn main() {
         cmsf_model.fit(&urg, &train);
         let (cmsf_auc, _) = eval_scores(&cmsf_model.predict(&urg), &urg, &test, &[3]);
 
-        let bcfg = BaselineConfig { epochs: 20, ..Default::default() };
+        let bcfg = BaselineConfig {
+            epochs: 20,
+            ..Default::default()
+        };
         let mut uvlens = UvlensBaseline::new(&urg, bcfg);
         uvlens.fit(&urg, &train);
         let (uv_auc, _) = eval_scores(&uvlens.predict(&urg), &urg, &test, &[3]);
 
-        println!("{:>5.0}% | {:>10.3} | {:>10.3}", ratio * 100.0, cmsf_auc, uv_auc);
+        println!(
+            "{:>5.0}% | {:>10.3} | {:>10.3}",
+            ratio * 100.0,
+            cmsf_auc,
+            uv_auc
+        );
     }
 
     println!(

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints as errors, full test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

@@ -81,7 +81,10 @@ fn live_assignment_prediction_is_consistent() {
         idx[..v.len() / 10].iter().copied().collect()
     };
     let overlap = top(&frozen).intersection(&top(&live)).count();
-    assert!(overlap * 2 >= frozen.len() / 10, "rank agreement too low: {overlap}");
+    assert!(
+        overlap * 2 >= frozen.len() / 10,
+        "rank agreement too low: {overlap}"
+    );
 }
 
 #[test]

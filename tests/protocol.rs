@@ -48,13 +48,21 @@ fn folds_cover_each_labeled_sample_exactly_once_as_test() {
             seen[i] += 1;
         }
     }
-    assert!(seen.iter().all(|&c| c == 1), "each sample tests exactly once");
+    assert!(
+        seen.iter().all(|&c| c == 1),
+        "each sample tests exactly once"
+    );
 }
 
 #[test]
 fn runner_aggregates_mean_and_std() {
     let urg = urg(4);
-    let spec = RunSpec { folds: 2, seeds: vec![0, 1], quick: true, ..Default::default() };
+    let spec = RunSpec {
+        folds: 2,
+        seeds: vec![0, 1],
+        quick: true,
+        ..Default::default()
+    };
     let s = run_method(MethodKind::Mlp, &urg, &spec);
     assert_eq!(s.runs, 4); // 2 folds × 2 seeds
     assert!(s.auc.mean > 0.0 && s.auc.mean <= 1.0);
@@ -66,7 +74,10 @@ fn runner_aggregates_mean_and_std() {
 
 #[test]
 fn mean_std_display_matches_paper_format() {
-    let ms = MeanStd { mean: 0.76231, std: 0.0095 };
+    let ms = MeanStd {
+        mean: 0.76231,
+        std: 0.0095,
+    };
     assert_eq!(format!("{ms}"), "0.762 (.010)");
 }
 
@@ -75,9 +86,19 @@ fn label_ratio_spec_shrinks_effective_training() {
     // With a tiny label ratio the training set shrinks and quality drops
     // (or at least does not improve) relative to the full set.
     let urg = urg(5);
-    let full = RunSpec { folds: 2, seeds: vec![0], quick: true, ..Default::default() };
-    let starved =
-        RunSpec { folds: 2, seeds: vec![0], quick: true, label_ratio: 0.1, ..Default::default() };
+    let full = RunSpec {
+        folds: 2,
+        seeds: vec![0],
+        quick: true,
+        ..Default::default()
+    };
+    let starved = RunSpec {
+        folds: 2,
+        seeds: vec![0],
+        quick: true,
+        label_ratio: 0.1,
+        ..Default::default()
+    };
     let s_full = run_method(MethodKind::Mlp, &urg, &full);
     let s_starved = run_method(MethodKind::Mlp, &urg, &starved);
     assert!(

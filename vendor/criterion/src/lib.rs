@@ -1,0 +1,289 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate keeps the same API shape
+//! (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`/`bench_with_input`) and measures wall-clock time with
+//! adaptive batching; it reports min/mean per-iteration times on stdout.
+//! No statistics beyond that — the repository's committed perf record is
+//! produced by `bench/src/bin/perfsnap.rs`, which does its own timing.
+//!
+//! CLI behavior: a positional argument filters benchmarks by substring
+//! (like criterion), and `--test` runs every benchmark body exactly once
+//! (what `cargo test --benches` passes).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness configuration and registry; one per bench binary.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Benchmark a closure under `name`.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        if self.selected(name) {
+            let mut b = Bencher {
+                test_mode: self.test_mode,
+                sample_size: self.sample_size,
+                measurement_time: self.measurement_time,
+                report: None,
+            };
+            f(&mut b);
+            b.print(name);
+        }
+        self
+    }
+
+    /// Start a named group; benchmark ids are prefixed with `group/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Display-only benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measurement_time = d;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.0);
+        if self.c.selected(&name) {
+            let mut b = Bencher {
+                test_mode: self.c.test_mode,
+                sample_size: self.c.sample_size,
+                measurement_time: self.c.measurement_time,
+                report: None,
+            };
+            f(&mut b, input);
+            b.print(&name);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing report of one benchmark: (iterations, min, mean).
+struct Report {
+    iters: u64,
+    min: Duration,
+    mean: Duration,
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(f());
+            self.report = Some(Report {
+                iters: 1,
+                min: Duration::ZERO,
+                mean: Duration::ZERO,
+            });
+            return;
+        }
+        // Calibrate a batch size aiming at ~10 batches per sample window,
+        // so per-batch timer overhead is negligible.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / first.as_secs_f64()).min(1e7) as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 1u64;
+        let mut min = first;
+        let mut sampled = 0usize;
+        while sampled < self.sample_size && total < self.measurement_time {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            min = min.min(dt / batch as u32);
+            total += dt;
+            iters += batch;
+            sampled += 1;
+        }
+        self.report = Some(Report {
+            iters,
+            min,
+            mean: Duration::from_secs_f64(total.as_secs_f64() / iters.max(1) as f64),
+        });
+    }
+
+    fn print(&self, name: &str) {
+        match &self.report {
+            Some(r) if self.test_mode => {
+                println!("{name}: ok ({} iter, test mode)", r.iters);
+            }
+            Some(r) => {
+                println!(
+                    "{name:<44} time: [min {} mean {}] ({} iters)",
+                    fmt_duration(r.min),
+                    fmt_duration(r.mean),
+                    r.iters
+                );
+            }
+            None => println!("{name}: no measurement recorded"),
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_report() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        c.test_mode = false;
+        c.filter = None;
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        c.test_mode = true;
+        c.filter = None;
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the real `rayon` cannot be
+//! fetched from a registry. This crate implements the small surface the
+//! workspace's parallel runtime (`uvd_tensor::par`) is built on:
+//!
+//! * [`scope`] — structured fork/join: tasks spawned inside the scope borrow
+//!   from the enclosing stack frame and are guaranteed to finish before
+//!   `scope` returns.
+//! * [`current_num_threads`] — the machine's available parallelism.
+//!
+//! Tasks run on a lazily-grown **persistent worker pool** (workers park on a
+//! condvar between jobs), so per-call dispatch cost is microseconds rather
+//! than the ~100µs of spawning fresh OS threads. While a scope waits for its
+//! tasks it *helps* by draining the shared queue, so the spawning thread is
+//! never idle and nested scopes cannot deadlock the pool.
+//!
+//! Deliberate differences from upstream: [`Scope::spawn`] takes a plain
+//! `FnOnce()` (no re-entrant `&Scope` argument), there is no work stealing
+//! beyond the shared queue, and no `par_iter` adapters — the workspace's
+//! `par` module layers its own partitioning on top.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of hardware threads available to the process.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            workers: 0,
+        }),
+        cv: Condvar::new(),
+    })
+}
+
+impl Pool {
+    /// Make sure at least `want` workers exist (bounded; workers persist for
+    /// the life of the process and park between jobs).
+    fn ensure_workers(&'static self, want: usize) {
+        let want = want.min(64);
+        let mut st = self.state.lock().expect("pool lock");
+        while st.workers < want {
+            st.workers += 1;
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{}", st.workers))
+                .spawn(move || self.worker_loop())
+                .expect("spawn pool worker");
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut st = self.state.lock().expect("pool lock");
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                    st = self.cv.wait(st).expect("pool wait");
+                }
+            };
+            job();
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.state.lock().expect("pool lock").queue.push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.state.lock().expect("pool lock").queue.pop_front()
+    }
+}
+
+/// Completion latch shared between a scope and its spawned jobs.
+struct Latch {
+    state: Mutex<(usize, bool)>, // (pending jobs, any panicked)
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Latch {
+            state: Mutex::new((0, false)),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn add(&self) {
+        self.state.lock().expect("latch lock").0 += 1;
+    }
+
+    fn done(&self, panicked: bool) {
+        let mut st = self.state.lock().expect("latch lock");
+        st.0 -= 1;
+        st.1 |= panicked;
+        if st.0 == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wait for all jobs, helping drain the shared queue meanwhile. Returns
+    /// whether any job panicked.
+    fn wait_helping(&self, pool: &'static Pool) -> bool {
+        loop {
+            {
+                let st = self.state.lock().expect("latch lock");
+                if st.0 == 0 {
+                    return st.1;
+                }
+            }
+            if let Some(job) = pool.try_pop() {
+                job();
+                continue;
+            }
+            let st = self.state.lock().expect("latch lock");
+            if st.0 == 0 {
+                return st.1;
+            }
+            // Short timed wait: a queued job (possibly from another scope)
+            // may arrive that this thread should help with.
+            let _ = self
+                .cv
+                .wait_timeout(st, Duration::from_micros(200))
+                .expect("latch wait");
+        }
+    }
+}
+
+/// Handle for spawning tasks that may borrow from the enclosing frame.
+pub struct Scope<'scope> {
+    latch: Arc<Latch>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task onto the pool. The closure may borrow anything that
+    /// outlives the enclosing [`scope`] call.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.add();
+        let latch = self.latch.clone();
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: `scope` blocks on the latch before returning (even if the
+        // scope body panics), so every borrow captured by `job` outlives its
+        // execution; the latch itself is owned via `Arc`, not borrowed.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        pool().push(Box::new(move || {
+            let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+            latch.done(panicked);
+        }));
+    }
+}
+
+/// Structured fork/join: run `f`, wait for everything it spawned, then return
+/// `f`'s result. Panics if any spawned task panicked.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let latch = Latch::new();
+    let s = Scope {
+        latch: latch.clone(),
+        _marker: std::marker::PhantomData,
+    };
+    pool().ensure_workers(current_num_threads().max(2) - 1);
+    let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    let task_panicked = latch.wait_helping(pool());
+    match result {
+        Err(payload) => std::panic::resume_unwind(payload),
+        Ok(r) => {
+            if task_panicked {
+                panic!("a task spawned in rayon::scope panicked");
+            }
+            r
+        }
+    }
+}
+
+/// Grow the pool so `n` concurrent tasks can actually run in parallel
+/// (used when callers override the thread count above the core count).
+pub fn ensure_pool_size(n: usize) {
+    pool().ensure_workers(n.max(1) - 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_tasks_all_run_and_borrow_stack() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn scope_returns_value_after_tasks() {
+        let mut parts = [0u64; 8];
+        let sum: u64 = scope(|s| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                s.spawn(move || *p = i as u64 + 1);
+            }
+            42
+        });
+        assert_eq!(sum, 42);
+        // All writes are visible after scope returns.
+        assert_eq!(parts.iter().sum::<u64>(), 36);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde`'s value-model [`Serialize`]/[`Deserialize`]
+//! traits. Because the registry is unreachable (no `syn`/`quote`), the item
+//! is parsed directly from the `proc_macro` token stream. Two shapes are
+//! supported — exactly the shapes this workspace serializes:
+//!
+//! * structs with named fields (serialized as a JSON object), and
+//! * enums whose variants are all unit variants (serialized as the variant
+//!   name string).
+//!
+//! Anything else produces a `compile_error!` naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+/// Skip `#[...]` attribute groups (including expanded doc comments).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub` / `pub(crate)` style visibility.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored serde_derive"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "expected braced body for `{name}` (tuple/unit types unsupported), found {other:?}"
+            ));
+        }
+    };
+
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            j = skip_vis(&body, skip_attrs(&body, j));
+            if j >= body.len() {
+                break;
+            }
+            let field = match &body[j] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => return Err(format!("expected field name in `{name}`, found {other:?}")),
+            };
+            j += 1;
+            match body.get(j) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
+                other => {
+                    return Err(format!(
+                        "expected `:` after `{name}.{field}`, found {other:?}"
+                    ))
+                }
+            }
+            // Consume the type: everything to the next comma at angle depth 0.
+            let mut depth = 0i32;
+            while j < body.len() {
+                match &body[j] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            fields.push(field);
+        }
+        Ok(Item::Struct { name, fields })
+    } else {
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            j = skip_attrs(&body, j);
+            if j >= body.len() {
+                break;
+            }
+            let variant = match &body[j] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => return Err(format!("expected variant in `{name}`, found {other:?}")),
+            };
+            j += 1;
+            match body.get(j) {
+                None => {}
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => j += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    // Skip an explicit discriminant.
+                    j += 1;
+                    while j < body.len() {
+                        if let TokenTree::Punct(p) = &body[j] {
+                            if p.as_char() == ',' {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                Some(TokenTree::Group(_)) => {
+                    return Err(format!(
+                        "variant `{name}::{variant}` carries data; only unit variants are supported"
+                    ));
+                }
+                other => {
+                    return Err(format!(
+                        "unexpected token after `{name}::{variant}`: {other:?}"
+                    ))
+                }
+            }
+            variants.push(variant);
+        }
+        Ok(Item::Enum { name, variants })
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{inserts}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let builds: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
+                             ::serde::Error(concat!(\"missing field `\", {f:?}, \"`\").to_string()))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {builds} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error(format!(\n\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             other => Err(::serde::Error(format!(\n\
+                                 \"expected string for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

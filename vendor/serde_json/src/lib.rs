@@ -1,0 +1,181 @@
+//! Offline stand-in for `serde_json` over the vendored `serde` value model.
+//!
+//! Provides `to_string`, `to_string_pretty`, `from_str` and the `json!`
+//! macro — the API surface this workspace uses.
+
+pub use serde::{Error, Value};
+
+mod parse;
+
+pub use parse::from_str_value;
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = from_str_value(s)?;
+    T::from_value(&v)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; null is what serde_json emits for them when
+        // arbitrary precision is off and the caller opted into lossy floats.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_num(*n, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (depth + 1)));
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (depth + 1)));
+                }
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Only the shapes the
+/// workspace uses are supported: object literals with literal keys, and
+/// plain expressions.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), ::serde::to_value(&$val))),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$(::serde::to_value(&$val)),*])
+    };
+    (null) => { $crate::Value::Null };
+    ($val:expr) => { ::serde::to_value(&$val) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_object() {
+        let v = json!({ "name": "uv", "count": 3usize, "score": 0.5f64 });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"name":"uv","count":3,"score":0.5}"#);
+        let back = from_str_value(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = json!({ "a": 1u32 });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn parses_nested() {
+        let v: Value = from_str(r#" {"xs": [1, 2.5, -3e2], "t": true, "n": null} "#).unwrap();
+        assert_eq!(v.get("t"), Some(&Value::Bool(true)));
+        match v.get("xs") {
+            Some(Value::Array(xs)) => {
+                assert_eq!(xs[2], Value::Num(-300.0));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = to_string(&Value::Str("a\"b\\c\nd".into())).unwrap();
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, Value::Str("a\"b\\c\nd".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str_value("{toast").is_err());
+        assert!(from_str_value("[1,]").is_err());
+        assert!(from_str_value("").is_err());
+    }
+}
