@@ -146,11 +146,15 @@ impl Detector for GraphBaseline {
         let (rows, targets, weights) = bce_vectors(urg, train_idx);
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
-        for _ in 0..self.cfg.epochs {
-            let mut g = Graph::new();
-            let z = self.logits(&mut g, urg);
-            let zl = g.gather_rows(z, Arc::new(rows.to_vec()));
-            let loss = g.bce_with_logits(zl, targets.clone(), weights.clone());
+        // Record the tape once, replay across epochs.
+        let mut g = Graph::new();
+        let z = self.logits(&mut g, urg);
+        let zl = g.gather_rows(z, Arc::new(rows.to_vec()));
+        let loss = g.bce_with_logits(zl, targets, weights);
+        for epoch in 0..self.cfg.epochs {
+            if epoch > 0 {
+                g.replay();
+            }
             last = g.scalar(loss);
             g.backward(loss);
             g.write_grads();
@@ -162,11 +166,12 @@ impl Detector for GraphBaseline {
             epochs: self.cfg.epochs,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
+            error: None,
         }
     }
 
     fn predict(&self, urg: &Urg) -> Vec<f32> {
-        let mut g = Graph::new();
+        let mut g = Graph::inference();
         let z = self.logits(&mut g, urg);
         let p = g.sigmoid(z);
         g.value(p).as_slice().to_vec()

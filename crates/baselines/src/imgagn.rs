@@ -141,12 +141,14 @@ impl Detector for ImgagnBaseline {
         let mut opt_g = Adam::new(self.cfg.lr);
         let mut last = 0.0;
         let ones = |n: usize| Arc::new(vec![1.0f32; n]);
+        // Adversarial training draws fresh generator noise every step, so
+        // each tape is recorded fresh; only prediction uses the no-grad path.
         for _ in 0..self.cfg.epochs {
             // ---- discriminator steps ----
             for _ in 0..D_STEPS {
                 // Fakes as constants: recompute generation and detach.
                 let fake_const = {
-                    let mut gg = Graph::new();
+                    let mut gg = Graph::inference();
                     let f = self.generate(&mut gg, &minority, n_fake, &mut rng);
                     gg.value(f).clone()
                 };
@@ -189,12 +191,13 @@ impl Detector for ImgagnBaseline {
             epochs: self.cfg.epochs,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
+            error: None,
         }
     }
 
     fn predict(&self, urg: &Urg) -> Vec<f32> {
         let feats = Self::features(urg);
-        let mut g = Graph::new();
+        let mut g = Graph::inference();
         let x = g.constant(feats);
         let (_, uv) = self.disc_logits(&mut g, x);
         let p = g.sigmoid(uv);

@@ -82,12 +82,16 @@ impl Detector for MlpBaseline {
             .then(|| gather_batch(&urg.x_img, urg, train_idx));
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
-        for _ in 0..self.cfg.epochs {
-            let mut g = Graph::new();
-            let xp_n = g.constant(xp.clone());
-            let xi_n = xi.as_ref().map(|m| g.constant(m.clone()));
-            let z = self.logits(&mut g, xp_n, xi_n);
-            let loss = g.bce_with_logits(z, targets.clone(), weights.clone());
+        // Record the tape once, replay across epochs.
+        let mut g = Graph::new();
+        let xp_n = g.constant(xp);
+        let xi_n = xi.map(|m| g.constant(m));
+        let z = self.logits(&mut g, xp_n, xi_n);
+        let loss = g.bce_with_logits(z, targets, weights);
+        for epoch in 0..self.cfg.epochs {
+            if epoch > 0 {
+                g.replay();
+            }
             last = g.scalar(loss);
             g.backward(loss);
             g.write_grads();
@@ -99,11 +103,12 @@ impl Detector for MlpBaseline {
             epochs: self.cfg.epochs,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
+            error: None,
         }
     }
 
     fn predict(&self, urg: &Urg) -> Vec<f32> {
-        let mut g = Graph::new();
+        let mut g = Graph::inference();
         let xp = g.constant(urg.x_poi.clone());
         let xi = urg.has_image().then(|| g.constant(urg.x_img.clone()));
         let z = self.logits(&mut g, xp, xi);

@@ -171,7 +171,10 @@ impl Detector for MmreBaseline {
     fn fit(&mut self, urg: &Urg, train_idx: &[usize]) -> FitReport {
         let start = Instant::now();
         let mut rng = self.rng.clone();
-        // Stage A: embedding training (reconstruction + SkipGram).
+        // Stage A: embedding training (reconstruction + SkipGram). Each
+        // epoch draws fresh noise and fresh SkipGram samples, so the tape
+        // topology changes every epoch — this stage keeps the per-epoch
+        // rebuild instead of a recorded replay.
         let mut opt = Adam::new(self.cfg.lr);
         for _ in 0..self.cfg.epochs {
             let mut g = Graph::new();
@@ -192,22 +195,26 @@ impl Detector for MmreBaseline {
             opt.step(&self.embed_params);
             opt.decay(self.cfg.lr_decay);
         }
-        // Freeze the embedding.
-        let mut g = Graph::new();
+        // Freeze the embedding (no-grad forward).
+        let mut g = Graph::inference();
         let z = self.embed(&mut g, urg, false, &mut rng);
         let embedding = g.value(z).clone();
         self.embedding = Some(embedding.clone());
 
-        // Stage B: LR classifier on the frozen embedding.
+        // Stage B: LR classifier on the frozen embedding. The batch is
+        // static, so record the tape once and replay.
         let (rows, targets, weights) = bce_vectors(urg, train_idx);
         let batch = embedding.gather_rows(&rows);
         let mut opt2 = Adam::new(self.cfg.lr * 4.0);
         let mut last = 0.0;
-        for _ in 0..(self.cfg.epochs * 6) {
-            let mut g = Graph::new();
-            let x = g.constant(batch.clone());
-            let zl = self.clf.forward(&mut g, x);
-            let loss = g.bce_with_logits(zl, targets.clone(), weights.clone());
+        let mut g = Graph::new();
+        let x = g.constant(batch);
+        let zl = self.clf.forward(&mut g, x);
+        let loss = g.bce_with_logits(zl, targets, weights);
+        for epoch in 0..(self.cfg.epochs * 6) {
+            if epoch > 0 {
+                g.replay();
+            }
             last = g.scalar(loss);
             g.backward(loss);
             g.write_grads();
@@ -218,6 +225,7 @@ impl Detector for MmreBaseline {
             epochs: 2 * self.cfg.epochs,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
+            error: None,
         }
     }
 
@@ -226,13 +234,13 @@ impl Detector for MmreBaseline {
             Some(e) if e.rows() == urg.n => e.clone(),
             // Unseen URG (or untrained): recompute the embedding.
             _ => {
-                let mut g = Graph::new();
+                let mut g = Graph::inference();
                 let mut rng = self.rng.clone();
                 let z = self.embed(&mut g, urg, false, &mut rng);
                 g.value(z).clone()
             }
         };
-        let mut g = Graph::new();
+        let mut g = Graph::inference();
         let x = g.constant(embedding);
         let z = self.clf.forward(&mut g, x);
         let p = g.sigmoid(z);

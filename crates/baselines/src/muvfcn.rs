@@ -54,7 +54,7 @@ impl MuvfcnBaseline {
             let end = (start + PREDICT_BATCH).min(images.rows());
             let rows: Vec<u32> = (start as u32..end as u32).collect();
             let batch = images.gather_rows(&rows);
-            let mut g = Graph::new();
+            let mut g = Graph::inference();
             let x = g.constant(batch);
             let h = self.backbone.forward(&mut g, x);
             let pool = g.constant(self.pool.clone());
@@ -81,14 +81,19 @@ impl Detector for MuvfcnBaseline {
         let (_, targets, weights) = bce_vectors(urg, train_idx);
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
-        for _ in 0..self.cfg.epochs {
-            let mut g = Graph::new();
-            let x = g.constant(batch.clone());
-            let h = self.backbone.forward(&mut g, x);
-            let pool = g.constant(self.pool.clone());
-            let pooled = g.matmul(h, pool);
-            let z = self.clf.forward(&mut g, pooled);
-            let loss = g.bce_with_logits(z, targets.clone(), weights.clone());
+        // Record the tape once, replay across epochs (conv backward still
+        // allocates internally; see DESIGN.md §7).
+        let mut g = Graph::new();
+        let x = g.constant(batch);
+        let h = self.backbone.forward(&mut g, x);
+        let pool = g.constant(self.pool.clone());
+        let pooled = g.matmul(h, pool);
+        let z = self.clf.forward(&mut g, pooled);
+        let loss = g.bce_with_logits(z, targets, weights);
+        for epoch in 0..self.cfg.epochs {
+            if epoch > 0 {
+                g.replay();
+            }
             last = g.scalar(loss);
             g.backward(loss);
             g.write_grads();
@@ -100,6 +105,7 @@ impl Detector for MuvfcnBaseline {
             epochs: self.cfg.epochs,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
+            error: None,
         }
     }
 

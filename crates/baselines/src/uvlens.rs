@@ -53,7 +53,7 @@ impl UvlensBaseline {
             let end = (start + PREDICT_BATCH).min(images.rows());
             let rows: Vec<u32> = (start as u32..end as u32).collect();
             let batch = images.gather_rows(&rows);
-            let mut g = Graph::new();
+            let mut g = Graph::inference();
             let x = g.constant(batch);
             let h = self.backbone.forward(&mut g, x);
             let z = self.head.forward(&mut g, h);
@@ -78,12 +78,17 @@ impl Detector for UvlensBaseline {
         let (_, targets, weights) = bce_vectors(urg, train_idx);
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
-        for _ in 0..self.cfg.epochs {
-            let mut g = Graph::new();
-            let x = g.constant(batch.clone());
-            let h = self.backbone.forward(&mut g, x);
-            let z = self.head.forward(&mut g, h);
-            let loss = g.bce_with_logits(z, targets.clone(), weights.clone());
+        // Record the tape once, replay across epochs (conv backward still
+        // allocates internally; see DESIGN.md §7).
+        let mut g = Graph::new();
+        let x = g.constant(batch);
+        let h = self.backbone.forward(&mut g, x);
+        let z = self.head.forward(&mut g, h);
+        let loss = g.bce_with_logits(z, targets, weights);
+        for epoch in 0..self.cfg.epochs {
+            if epoch > 0 {
+                g.replay();
+            }
             last = g.scalar(loss);
             g.backward(loss);
             g.write_grads();
@@ -95,6 +100,7 @@ impl Detector for UvlensBaseline {
             epochs: self.cfg.epochs,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
+            error: None,
         }
     }
 

@@ -9,24 +9,28 @@
 //! promise: speedups depend on the host's physical core count, and on a
 //! single-core machine the parallel column converges to the serial one.
 
+use cmsf::{Cmsf, CmsfConfig};
 use std::sync::Arc;
 use std::time::Instant;
 use uvd_bench::repo_root_path;
+use uvd_citysim::{City, CityPreset};
 use uvd_tensor::init::{normal_matrix, seeded_rng};
-use uvd_tensor::{par, Csr, EdgeIndex, Graph};
+use uvd_tensor::{legacy, par, Adam, Csr, EdgeIndex, Graph};
+use uvd_urg::{Urg, UrgOptions};
 
-/// Median of `reps` timed runs, in milliseconds.
+/// Fastest of `reps` timed runs, in milliseconds. The minimum is the
+/// noise-robust estimator on shared hosts: scheduler steal time and
+/// frequency dips only ever add to a sample, so the fastest run is the
+/// closest observation of the code's actual cost.
 fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     f(); // warm the pool and the caches
-    let mut samples: Vec<f64> = (0..reps)
+    (0..reps)
         .map(|_| {
             let t0 = Instant::now();
             f();
             t0.elapsed().as_secs_f64() * 1e3
         })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
+        .fold(f64::INFINITY, f64::min)
 }
 
 struct Pair {
@@ -45,6 +49,89 @@ fn pair(name: &'static str, threads: usize, reps: usize, mut f: impl FnMut()) ->
         serial_ms,
         parallel_ms,
     }
+}
+
+/// End-to-end CMSF fold: a full master + slave stage, trained once with the
+/// replayed-plan path (`train_master` / `train_slave` record once, then
+/// replay) and once per epoch through `uvd_tensor::legacy` — the engine
+/// exactly as it stood before the Plan/Workspace split, which re-records the
+/// whole tape (fresh value buffers per op, clone-heavy backward) every epoch.
+/// `legacy::rebuild` replays the recorded plan op-for-op through that old
+/// engine, so both paths run the identical computation on identical epoch
+/// schedules. Reports epochs/sec for both and the peak workspace footprint
+/// of the replayed path.
+fn e2e_cmsf(threads: usize) -> serde_json::Value {
+    let city = City::from_config(CityPreset::FuzhouLike.config(), 5);
+    let urg = Urg::build(&city, UrgOptions::default());
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut cfg = CmsfConfig::fast_test();
+    cfg.master_epochs = 30;
+    cfg.slave_epochs = 15;
+    let epochs = (cfg.master_epochs + cfg.slave_epochs) as f64;
+
+    let mut model = Cmsf::new(&urg, cfg);
+
+    // Replayed-plan path (also freezes the assignment for the slave stage;
+    // the extra freeze forward is charged against replay, not rebuild).
+    let replay_ms = time_ms(5, || {
+        par::with_threads(threads, || {
+            model.train_master(&urg, &train);
+            model.train_slave(&urg, &train);
+        })
+    });
+    let peak_ws = model.peak_workspace_bytes();
+
+    // Per-epoch rebuild baseline: record the master and slave plans once
+    // (untimed — the pre-refactor code had no separate record step), then
+    // rebuild the full tape through the legacy engine every epoch. Parameter
+    // leaves re-read live values, so each rebuild is a faithful re-record of
+    // the epoch exactly as the old define-by-run tape performed it.
+    let (rows, targets, weights) = model.bce_vectors(&urg, &train);
+    let fixed = model.fixed_assignment().expect("after master").clone();
+    let (c1, c0) = fixed.partition();
+    let mut gm = Graph::new();
+    let master_loss = model.record_master_tape(&mut gm, &urg, &rows, &targets, &weights);
+    let mut gs = Graph::new();
+    let slave_loss =
+        model.record_slave_tape(&mut gs, &urg, &fixed, &c1, &c0, &rows, &targets, &weights);
+    let rebuild_ms = time_ms(5, || {
+        par::with_threads(threads, || {
+            let legacy_epoch = |g: &Graph, loss: uvd_tensor::NodeId, opt: &mut Adam| {
+                let mut lg = legacy::rebuild(g.plan(), g.workspace());
+                lg.backward(lg.node(loss.index()));
+                lg.write_grads();
+                if model.cfg.grad_clip > 0.0 {
+                    model.param_set().clip_grad_norm(model.cfg.grad_clip);
+                }
+                opt.step(model.param_set());
+                opt.decay(model.cfg.lr_decay);
+            };
+            let mut opt = Adam::new(model.cfg.lr);
+            for _ in 0..model.cfg.master_epochs {
+                legacy_epoch(&gm, master_loss, &mut opt);
+            }
+            let mut opt = Adam::new(model.cfg.lr * 0.3);
+            for _ in 0..model.cfg.slave_epochs {
+                legacy_epoch(&gs, slave_loss, &mut opt);
+            }
+        })
+    });
+
+    let replay_eps = epochs / (replay_ms / 1e3);
+    let rebuild_eps = epochs / (rebuild_ms / 1e3);
+    println!(
+        "\ncmsf_fold_e2e ({epochs:.0} epochs)     rebuild {rebuild_eps:8.1} ep/s   replay {replay_eps:8.1} ep/s   x{:.2}   peak workspace {:.1} KiB",
+        replay_eps / rebuild_eps,
+        peak_ws as f64 / 1024.0
+    );
+    serde_json::json!({
+        "name": "cmsf_fold_e2e",
+        "epochs": epochs,
+        "rebuild_epochs_per_sec": rebuild_eps,
+        "replay_epochs_per_sec": replay_eps,
+        "replay_speedup": replay_eps / rebuild_eps,
+        "peak_workspace_bytes": peak_ws,
+    })
 }
 
 fn main() {
@@ -139,10 +226,12 @@ fn main() {
             })
         })
         .collect();
+    let e2e = e2e_cmsf(threads);
     let doc = serde_json::json!({
         "threads": threads,
         "host_cores": std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
         "kernels": kernels,
+        "e2e": e2e,
     });
     let path = repo_root_path("BENCH_tensor.json");
     std::fs::write(

@@ -338,7 +338,7 @@ mod tests {
         let mut rng = seeded_rng(5);
         let gscm = Gscm::new("g", 6, 4, 0.5, &mut rng);
         let mut g = Graph::new();
-        let x = g.constant(normal_matrix(10, 6, 0.0, 1.0, &mut rng));
+        let x = g.variable(normal_matrix(10, 6, 0.0, 1.0, &mut rng));
         let out = gscm.forward(&mut g, x, None);
         let sq = g.mul(out.x_global, out.x_global);
         let loss = g.sum_all(sq);

@@ -10,7 +10,7 @@ use std::time::Instant;
 use uvd_nn::{Activation, FusionAgg, Linear, Mlp};
 use uvd_tensor::init::{derive_seed, seeded_rng};
 use uvd_tensor::{Adam, Graph, NodeId, ParamSet};
-use uvd_urg::{Detector, FitReport, Urg};
+use uvd_urg::{Detector, FitError, FitReport, Urg};
 
 /// `(labeled rows, targets, weights)` triple shared by the BCE losses.
 pub type BceVectors = (Arc<Vec<u32>>, Arc<Vec<f32>>, Arc<Vec<f32>>);
@@ -28,6 +28,11 @@ pub struct Cmsf {
     fixed: Option<FixedAssignment>,
     params: ParamSet,
     trained_slave: bool,
+    /// Feature widths the model was built for (input validation in `fit`).
+    d_poi_in: usize,
+    d_img_in: usize,
+    /// Largest training workspace observed (bytes), across both stages.
+    peak_ws_bytes: usize,
 }
 
 /// Intermediate representation of one forward pass.
@@ -123,7 +128,31 @@ impl Cmsf {
             fixed: None,
             params,
             trained_slave: false,
+            d_poi_in: d_poi,
+            d_img_in: if urg.has_image() { urg.x_img.cols() } else { 0 },
+            peak_ws_bytes: 0,
         }
+    }
+
+    /// Check that a URG's feature widths match what this model was built
+    /// for; returns the first mismatch as a typed error instead of letting a
+    /// matmul shape assert panic deep inside a kernel.
+    pub fn validate_input(&self, urg: &Urg) -> Option<FitError> {
+        if urg.x_poi.cols() != self.d_poi_in {
+            return Some(FitError::ShapeMismatch {
+                what: "x_poi",
+                expected_cols: self.d_poi_in,
+                got_cols: urg.x_poi.cols(),
+            });
+        }
+        if self.d_img_in > 0 && urg.has_image() && urg.x_img.cols() != self.d_img_in {
+            return Some(FitError::ShapeMismatch {
+                what: "x_img",
+                expected_cols: self.d_img_in,
+                got_cols: urg.x_img.cols(),
+            });
+        }
+        None
     }
 
     /// Forward through MAGA (+ image reduction). Returns `x̃` (N×d_rep).
@@ -158,7 +187,7 @@ impl Cmsf {
     }
 
     /// Training targets/weights over all labeled rows for a train split.
-    fn bce_vectors(&self, urg: &Urg, train_idx: &[usize]) -> BceVectors {
+    pub fn bce_vectors(&self, urg: &Urg, train_idx: &[usize]) -> BceVectors {
         let rows: Vec<u32> = train_idx.iter().map(|&i| urg.labeled[i]).collect();
         let targets: Vec<f32> = train_idx.iter().map(|&i| urg.y[i]).collect();
         let weights = vec![1.0f32; train_idx.len()];
@@ -171,13 +200,28 @@ impl Cmsf {
         let (rows, targets, weights) = self.bce_vectors(urg, train_idx);
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
-        for _ in 0..self.cfg.master_epochs {
-            last = self.master_epoch(urg, &rows, &targets, &weights, &mut opt);
+        // Record the epoch tape once; every later epoch replays it in place
+        // (refreshed parameter leaves, reused value/grad buffers).
+        let mut g = Graph::new();
+        let loss = self.record_master_tape(&mut g, urg, &rows, &targets, &weights);
+        for epoch in 0..self.cfg.master_epochs {
+            if epoch > 0 {
+                g.replay();
+            }
+            last = self.train_step(&mut g, loss, &mut opt);
             opt.decay(self.cfg.lr_decay);
         }
-        // Freeze the assignment and derive pseudo labels (Alg. 1 line 11).
+        self.peak_ws_bytes = self.peak_ws_bytes.max(g.workspace_bytes());
+        self.freeze_assignment(urg, train_idx);
+        last
+    }
+
+    /// Freeze the cluster assignment from the current representation and
+    /// derive pseudo labels (Algorithm 1 line 11). No-op without hierarchy.
+    /// Runs as a no-grad inference pass.
+    pub fn freeze_assignment(&mut self, urg: &Urg, train_idx: &[usize]) {
         if let Some(gscm) = &self.gscm {
-            let mut g = Graph::new();
+            let mut g = Graph::inference();
             let x_tilde = self.maga_forward(&mut g, urg);
             let b = gscm.assignment(&mut g, x_tilde);
             let b_soft = g.value(b).clone();
@@ -190,11 +234,41 @@ impl Cmsf {
                 cluster_of,
             });
         }
-        last
     }
 
-    /// One master epoch (full-batch). Exposed for the Table III timing
-    /// harness.
+    /// Record the master-stage tape (representation → classifier → BCE) onto
+    /// `g` and return the loss node. Shared by the replay training loop and
+    /// the timing harnesses.
+    pub fn record_master_tape(
+        &self,
+        g: &mut Graph,
+        urg: &Urg,
+        rows: &Arc<Vec<u32>>,
+        targets: &Arc<Vec<f32>>,
+        weights: &Arc<Vec<f32>>,
+    ) -> NodeId {
+        let repr = self.representation(g, urg, None);
+        let logits = self.classifier.forward(g, repr.x_final);
+        let labeled_logits = g.gather_rows(logits, rows.clone());
+        g.bce_with_logits(labeled_logits, targets.clone(), weights.clone())
+    }
+
+    /// Shared epoch tail: evaluate the loss on the (recorded or replayed)
+    /// tape, backprop, and apply one optimizer step.
+    fn train_step(&self, g: &mut Graph, loss: NodeId, opt: &mut Adam) -> f32 {
+        let value = g.scalar(loss);
+        g.backward(loss);
+        g.write_grads();
+        if self.cfg.grad_clip > 0.0 {
+            self.params.clip_grad_norm(self.cfg.grad_clip);
+        }
+        opt.step(&self.params);
+        value
+    }
+
+    /// One master epoch (full-batch), recording a fresh tape. Exposed for the
+    /// Table III timing harness as the per-epoch-rebuild baseline; the
+    /// training loops in [`Cmsf::train_master`] record once and replay.
     pub fn master_epoch(
         &self,
         urg: &Urg,
@@ -231,15 +305,56 @@ impl Cmsf {
         // size keeps the joint fine-tuning from washing out stage one.
         let mut opt = Adam::new(self.cfg.lr * 0.3);
         let mut last = 0.0;
-        for _ in 0..self.cfg.slave_epochs {
-            last = self.slave_epoch(urg, &fixed, &c1, &c0, &rows, &targets, &weights, &mut opt);
+        // Record the slave tape once, replay across epochs (the frozen
+        // assignment and rank-loss index sets are constants of the tape).
+        let mut g = Graph::new();
+        let loss = self.record_slave_tape(&mut g, urg, &fixed, &c1, &c0, &rows, &targets, &weights);
+        for epoch in 0..self.cfg.slave_epochs {
+            if epoch > 0 {
+                g.replay();
+            }
+            last = self.train_step(&mut g, loss, &mut opt);
             opt.decay(self.cfg.lr_decay);
         }
+        self.peak_ws_bytes = self.peak_ws_bytes.max(g.workspace_bytes());
         self.trained_slave = true;
         last
     }
 
-    /// One slave epoch (full-batch); exposed for timing.
+    /// Record the slave-stage tape (Algorithm 2: gated classification loss
+    /// `L_c` plus `λ`-scaled rank loss `L_p`) onto `g` and return the loss
+    /// node. Shared by the replay training loop and the timing harnesses.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_slave_tape(
+        &self,
+        g: &mut Graph,
+        urg: &Urg,
+        fixed: &FixedAssignment,
+        c1: &[u32],
+        c0: &[u32],
+        rows: &Arc<Vec<u32>>,
+        targets: &Arc<Vec<f32>>,
+        weights: &Arc<Vec<f32>>,
+    ) -> NodeId {
+        let gate = self.gate.as_ref().expect("slave stage requires the gate");
+        let repr = self.representation(g, urg, Some(fixed));
+        let h_prime = repr.h_prime.expect("hierarchy present in slave stage");
+        // eq. 17 + eq. 18.
+        let probs = gate.inclusion_probs(g, h_prime);
+        let l_p = gate.rank_loss(g, probs, c1, c0);
+        // eqs. 19–22.
+        let q = gate.context(g, fixed, probs);
+        let f = gate.filter(g, q);
+        let logits = gate.gated_forward(g, &self.classifier, repr.x_final, f);
+        let labeled_logits = g.gather_rows(logits, rows.clone());
+        let l_c = g.bce_with_logits(labeled_logits, targets.clone(), weights.clone());
+        // eq. 24.
+        let l_p_scaled = g.scale(l_p, self.cfg.lambda);
+        g.add(l_c, l_p_scaled)
+    }
+
+    /// One slave epoch (full-batch), recording a fresh tape; exposed for
+    /// timing as the per-epoch-rebuild baseline.
     #[allow(clippy::too_many_arguments)]
     pub fn slave_epoch(
         &self,
@@ -252,22 +367,8 @@ impl Cmsf {
         weights: &Arc<Vec<f32>>,
         opt: &mut Adam,
     ) -> f32 {
-        let gate = self.gate.as_ref().expect("slave stage requires the gate");
         let mut g = Graph::new();
-        let repr = self.representation(&mut g, urg, Some(fixed));
-        let h_prime = repr.h_prime.expect("hierarchy present in slave stage");
-        // eq. 17 + eq. 18.
-        let probs = gate.inclusion_probs(&mut g, h_prime);
-        let l_p = gate.rank_loss(&mut g, probs, c1, c0);
-        // eqs. 19–22.
-        let q = gate.context(&mut g, fixed, probs);
-        let f = gate.filter(&mut g, q);
-        let logits = gate.gated_forward(&mut g, &self.classifier, repr.x_final, f);
-        let labeled_logits = g.gather_rows(logits, rows.clone());
-        let l_c = g.bce_with_logits(labeled_logits, targets.clone(), weights.clone());
-        // eq. 24.
-        let l_p_scaled = g.scale(l_p, self.cfg.lambda);
-        let loss = g.add(l_c, l_p_scaled);
+        let loss = self.record_slave_tape(&mut g, urg, fixed, c1, c0, rows, targets, weights);
         let value = g.scalar(loss);
         g.backward(loss);
         g.write_grads();
@@ -281,7 +382,7 @@ impl Cmsf {
     /// Detection (Section V-C): probability of being an urban village for
     /// every region.
     pub fn predict_proba(&self, urg: &Urg) -> Vec<f32> {
-        let mut g = Graph::new();
+        let mut g = Graph::inference();
         let logits = match (&self.gate, &self.fixed, self.trained_slave) {
             (Some(gate), Some(fixed), true) => {
                 let repr = self.representation(&mut g, urg, Some(fixed));
@@ -306,7 +407,7 @@ impl Cmsf {
     pub fn predict_proba_live(&self, urg: &Urg, train_idx: &[usize]) -> Vec<f32> {
         match &self.gscm {
             Some(gscm) => {
-                let mut g = Graph::new();
+                let mut g = Graph::inference();
                 let x_tilde = self.maga_forward(&mut g, urg);
                 let b = gscm.assignment(&mut g, x_tilde);
                 let b_soft = g.value(b).clone();
@@ -318,7 +419,7 @@ impl Cmsf {
                     pseudo,
                     cluster_of,
                 };
-                let mut g = Graph::new();
+                let mut g = Graph::inference();
                 let logits = match (&self.gate, self.trained_slave) {
                     (Some(gate), true) => {
                         let repr = self.representation(&mut g, urg, Some(&fixed));
@@ -360,6 +461,12 @@ impl Cmsf {
     pub fn param_set(&self) -> &ParamSet {
         &self.params
     }
+
+    /// Largest training workspace (value + gradient arena bytes) seen across
+    /// the master and slave stages. Zero before training.
+    pub fn peak_workspace_bytes(&self) -> usize {
+        self.peak_ws_bytes
+    }
 }
 
 impl Detector for Cmsf {
@@ -376,6 +483,12 @@ impl Detector for Cmsf {
     }
 
     fn fit(&mut self, urg: &Urg, train_idx: &[usize]) -> FitReport {
+        if let Some(err) = self.validate_input(urg) {
+            return FitReport {
+                error: Some(err),
+                ..FitReport::default()
+            };
+        }
         let start = Instant::now();
         let master_loss = self.train_master(urg, train_idx);
         let slave_loss = self.train_slave(urg, train_idx);
@@ -393,6 +506,7 @@ impl Detector for Cmsf {
                 },
             train_secs: start.elapsed().as_secs_f64(),
             final_loss,
+            error: (!final_loss.is_finite()).then_some(FitError::NonFiniteLoss),
         }
     }
 

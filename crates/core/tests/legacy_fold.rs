@@ -1,0 +1,94 @@
+//! Acceptance test for the Plan/Workspace refactor: a quick CMSF fold
+//! trained through the replayed plan is **bit-identical** — parameters and
+//! region scores — to the same fold trained through `uvd_tensor::legacy`,
+//! the define-by-run tape exactly as it stood before the refactor (fresh
+//! buffers per op, per-epoch re-record). Runs under `par::serial_scope`,
+//! the `UVD_THREADS=1` configuration named by the acceptance criterion.
+
+use cmsf::{Cmsf, CmsfConfig};
+use uvd_citysim::{City, CityPreset};
+use uvd_tensor::{legacy, par, Adam, Graph};
+use uvd_urg::{Urg, UrgOptions};
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Replicate `train_master` + `train_slave` epoch-for-epoch, but run every
+/// epoch through the legacy engine instead of replaying the plan.
+fn train_via_legacy(model: &mut Cmsf, urg: &Urg, train: &[usize]) {
+    let (rows, targets, weights) = model.bce_vectors(urg, train);
+
+    let mut g = Graph::new();
+    let loss = model.record_master_tape(&mut g, urg, &rows, &targets, &weights);
+    let mut opt = Adam::new(model.cfg.lr);
+    for _ in 0..model.cfg.master_epochs {
+        let mut lg = legacy::rebuild(g.plan(), g.workspace());
+        lg.backward(lg.node(loss.index()));
+        lg.write_grads();
+        if model.cfg.grad_clip > 0.0 {
+            model.param_set().clip_grad_norm(model.cfg.grad_clip);
+        }
+        opt.step(model.param_set());
+        opt.decay(model.cfg.lr_decay);
+    }
+    model.freeze_assignment(urg, train);
+
+    let fixed = model.fixed_assignment().expect("after master").clone();
+    let (c1, c0) = fixed.partition();
+    let mut g = Graph::new();
+    let loss = model.record_slave_tape(&mut g, urg, &fixed, &c1, &c0, &rows, &targets, &weights);
+    let mut opt = Adam::new(model.cfg.lr * 0.3);
+    for _ in 0..model.cfg.slave_epochs {
+        let mut lg = legacy::rebuild(g.plan(), g.workspace());
+        lg.backward(lg.node(loss.index()));
+        lg.write_grads();
+        if model.cfg.grad_clip > 0.0 {
+            model.param_set().clip_grad_norm(model.cfg.grad_clip);
+        }
+        opt.step(model.param_set());
+        opt.decay(model.cfg.lr_decay);
+    }
+    model.set_trained_state(Some(fixed), true);
+}
+
+#[test]
+fn replayed_fold_is_bit_identical_to_legacy_tape_fold() {
+    par::serial_scope(|| {
+        let city = City::from_config(CityPreset::tiny(), 11);
+        let urg = Urg::build(&city, UrgOptions::default());
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.master_epochs = 4;
+        cfg.slave_epochs = 3;
+
+        let mut replayed = Cmsf::new(&urg, cfg);
+        replayed.train_master(&urg, &train);
+        replayed.train_slave(&urg, &train);
+
+        let mut legacy_trained = Cmsf::new(&urg, cfg);
+        train_via_legacy(&mut legacy_trained, &urg, &train);
+
+        for (p_new, p_old) in replayed
+            .param_set()
+            .iter()
+            .zip(legacy_trained.param_set().iter())
+        {
+            assert_eq!(p_new.name(), p_old.name());
+            assert_eq!(
+                bits(p_new.value().as_slice()),
+                bits(p_old.value().as_slice()),
+                "parameter {} diverged between replayed and legacy training",
+                p_new.name()
+            );
+        }
+
+        let scores_new = replayed.predict_proba(&urg);
+        let scores_old = legacy_trained.predict_proba(&urg);
+        assert_eq!(
+            bits(&scores_new),
+            bits(&scores_old),
+            "region scores diverged between replayed and legacy training"
+        );
+    });
+}

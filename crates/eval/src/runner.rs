@@ -134,6 +134,11 @@ pub fn run_custom(
         let task = &tasks[t];
         let mut det = builder(task.model_seed, urg);
         let report = det.fit(urg, &task.train);
+        if let Some(err) = report.error {
+            // Typed training failure (bad input shapes, degenerate loss):
+            // make it visible rather than silently averaging garbage.
+            eprintln!("[{label}] fold {t}: training error: {err}");
+        }
         let t0 = Instant::now();
         let scores = det.predict(urg);
         let infer_sec = t0.elapsed().as_secs_f64();

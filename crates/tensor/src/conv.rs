@@ -173,18 +173,26 @@ fn conv_sample_work(m: &ConvMeta) -> usize {
 /// one worker per contiguous sample range (each sample's output row has one
 /// writer; per-sample numerics are the serial kernel's).
 pub fn conv2d_batch(x: &Matrix, kernel: &Matrix, m: &ConvMeta) -> Matrix {
+    let mut v = Matrix::zeros(x.rows(), m.out_len());
+    conv2d_batch_to(x, kernel, m, v.as_mut_slice());
+    v
+}
+
+/// Batched conv forward into a caller-owned buffer (fully overwritten).
+/// Per-sample im2col/matmul scratch still allocates internally — conv layers
+/// are outside the zero-allocation replay guarantee (see DESIGN.md §7).
+pub fn conv2d_batch_to(x: &Matrix, kernel: &Matrix, m: &ConvMeta, out: &mut [f32]) {
     let n = x.rows();
     let out_len = m.out_len();
-    let mut v = Matrix::zeros(n, out_len);
+    assert_eq!(out.len(), n * out_len, "conv2d output buffer size");
     let work = n * conv_sample_work(m);
-    par::for_each_row_block(v.as_mut_slice(), out_len, work, |samples, chunk| {
+    par::for_each_row_block(out, out_len, work, |samples, chunk| {
         for (si, i) in samples.enumerate() {
             let cols = im2col(x.row(i), m);
-            let out = kernel.matmul(&cols);
-            chunk[si * out_len..(si + 1) * out_len].copy_from_slice(out.as_slice());
+            let prod = kernel.matmul(&cols);
+            chunk[si * out_len..(si + 1) * out_len].copy_from_slice(prod.as_slice());
         }
     });
-    v
 }
 
 /// Batched conv backward: given upstream `dy` (`n × out_len`), returns
@@ -231,17 +239,23 @@ pub fn conv2d_backward_batch(
 /// Batched 2×2 max pool forward (`n × in_len` → `n × out_len`), batch
 /// partitioned across threads.
 pub fn maxpool2_batch(x: &Matrix, m: &PoolMeta) -> Matrix {
+    let mut v = Matrix::zeros(x.rows(), m.out_len());
+    maxpool2_batch_to(x, m, v.as_mut_slice());
+    v
+}
+
+/// Batched max pool forward into a caller-owned buffer (fully overwritten).
+pub fn maxpool2_batch_to(x: &Matrix, m: &PoolMeta, out: &mut [f32]) {
     let n = x.rows();
     let out_len = m.out_len();
-    let mut v = Matrix::zeros(n, out_len);
+    assert_eq!(out.len(), n * out_len, "maxpool2 output buffer size");
     let work = n * m.in_len();
-    par::for_each_row_block(v.as_mut_slice(), out_len, work, |samples, chunk| {
+    par::for_each_row_block(out, out_len, work, |samples, chunk| {
         for (si, i) in samples.enumerate() {
-            let (out, _) = maxpool2(x.row(i), m);
-            chunk[si * out_len..(si + 1) * out_len].copy_from_slice(&out);
+            let (pooled, _) = maxpool2(x.row(i), m);
+            chunk[si * out_len..(si + 1) * out_len].copy_from_slice(&pooled);
         }
     });
-    v
 }
 
 /// Batched 2×2 max pool backward: routes `dy` to each sample's argmax

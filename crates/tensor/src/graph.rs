@@ -1,9 +1,18 @@
-//! Tape-based reverse-mode automatic differentiation.
+//! Define-by-run recording facade over the replayable [`Plan`] engine.
 //!
 //! A [`Graph`] is a define-by-run Wengert list: every operation computes its
-//! value eagerly and records an [`Op`] node. [`Graph::backward`] walks the
-//! tape in reverse, accumulating gradients. Trainable [`ParamRef`]s bound via
+//! value eagerly and records an op node. [`Graph::backward`] walks the tape
+//! in reverse, accumulating gradients. Trainable [`ParamRef`]s bound via
 //! [`Graph::param`] receive their gradients through [`Graph::write_grads`].
+//!
+//! Since the Plan/Workspace split (DESIGN.md §7) this type is a thin shim:
+//! recording pushes an op into an internal [`Plan`] and executes it into a
+//! preallocated [`Workspace`] buffer via the same `exec_forward` used by
+//! replay. Training loops record a graph **once** and call
+//! [`Graph::replay`] each epoch (parameter leaves are refreshed from their
+//! `ParamRef`s; constants keep their recorded values); steady-state epochs
+//! perform zero heap allocation in forward + backward. Inference paths use
+//! [`Graph::inference`], which never allocates gradient buffers.
 //!
 //! Besides the usual dense ops, the tape has graph-learning primitives needed
 //! by the paper: `gather_rows`, per-destination `edge_softmax`, attention
@@ -11,88 +20,24 @@
 //! a `gated_matmul` implementing the MS-Gate parameter filter (eq. 21), and
 //! im2col convolution / max pooling for the CNN baselines.
 
-use crate::conv::{
-    conv2d_backward_batch, conv2d_batch, maxpool2_backward_batch, maxpool2_batch, ConvMeta,
-    PoolMeta,
-};
+use crate::conv::{ConvMeta, PoolMeta};
 use crate::matrix::Matrix;
-use crate::par;
 use crate::param::ParamRef;
-use crate::sparse::{Csr, EdgeIndex};
+use crate::plan::{exec_forward, Op, Plan, Workspace};
+use crate::sparse::EdgeIndex;
 use std::sync::Arc;
 
-/// Handle to a node in the tape.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct NodeId(u32);
+pub use crate::plan::{CsrPair, NodeId};
 
-impl NodeId {
-    fn idx(self) -> usize {
-        self.0 as usize
-    }
-}
-
-/// A constant sparse matrix together with its precomputed transpose (the
-/// transpose is needed for the backward pass of `spmm`).
-#[derive(Clone, Debug)]
-pub struct CsrPair {
-    pub fwd: Csr,
-    pub bwd: Csr,
-}
-
-impl CsrPair {
-    pub fn new(csr: Csr) -> Arc<Self> {
-        let bwd = csr.transpose();
-        Arc::new(CsrPair { fwd: csr, bwd })
-    }
-}
-
-#[derive(Clone)]
-enum Op {
-    Leaf,
-    MatMul(NodeId, NodeId),
-    Add(NodeId, NodeId),
-    Sub(NodeId, NodeId),
-    Mul(NodeId, NodeId),
-    AddRow(NodeId, NodeId),
-    MulRow(NodeId, NodeId),
-    MulCol(NodeId, NodeId),
-    Scale(NodeId, f32),
-    AddScalar(NodeId),
-    LeakyRelu(NodeId, f32),
-    Sigmoid(NodeId),
-    Tanh(NodeId),
-    Exp(NodeId),
-    LnEps(NodeId, f32),
-    SoftmaxRows(NodeId, f32),
-    ConcatCols(NodeId, NodeId),
-    SliceCols(NodeId, usize, usize),
-    Transpose(NodeId),
-    SumAll(NodeId),
-    MeanAll(NodeId),
-    RowSum(NodeId),
-    GatherRows(NodeId, Arc<Vec<u32>>),
-    SpMM(Arc<CsrPair>, NodeId),
-    EdgeSoftmax(NodeId, Arc<EdgeIndex>),
-    EdgeAggregate(NodeId, NodeId, Arc<EdgeIndex>),
-    GatedMatMul(NodeId, NodeId, NodeId),
-    SubOuter(NodeId, NodeId),
-    BceWithLogits(NodeId, Arc<Vec<f32>>, Arc<Vec<f32>>),
-    Conv2d(NodeId, NodeId, ConvMeta),
-    AddChanBias(NodeId, NodeId, usize, usize),
-    MaxPool2(NodeId, PoolMeta),
-}
-
-struct Node {
-    op: Op,
-    value: Matrix,
-}
-
-/// Define-by-run autodiff tape.
+/// Define-by-run autodiff tape (recording facade over [`Plan`]).
 #[derive(Default)]
 pub struct Graph {
-    nodes: Vec<Node>,
-    grads: Vec<Option<Matrix>>,
-    param_links: Vec<(NodeId, ParamRef)>,
+    plan: Plan,
+    ws: Workspace,
+    inference: bool,
+    /// Cached `1×1` unit seed so repeated [`Graph::backward`] calls stay
+    /// allocation-free in the steady state.
+    unit_seed: Option<Matrix>,
 }
 
 impl Graph {
@@ -100,28 +45,85 @@ impl Graph {
         Self::default()
     }
 
+    /// A graph for forward-only execution: recording works as usual, but
+    /// gradient buffers are never allocated and [`Graph::backward`] panics.
+    /// Used by all `predict`/`predict_proba` paths.
+    pub fn inference() -> Self {
+        Graph {
+            inference: true,
+            ..Self::default()
+        }
+    }
+
     /// Number of nodes recorded so far.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.plan.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.plan.is_empty()
     }
 
-    fn push(&mut self, op: Op, value: Matrix) -> NodeId {
+    /// The recorded op topology.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The buffer arena backing this graph.
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    /// Split into the raw plan + workspace, for callers migrating off the
+    /// shim to drive replay/backward directly.
+    pub fn into_parts(self) -> (Plan, Workspace) {
+        (self.plan, self.ws)
+    }
+
+    /// Total bytes held in this graph's value/gradient buffers.
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.bytes()
+    }
+
+    /// Re-execute the recorded forward pass in place: parameter leaves are
+    /// refreshed from their [`ParamRef`]s, every other node is recomputed
+    /// into its existing buffer. No heap allocation.
+    pub fn replay(&mut self) {
+        self.plan.replay(&mut self.ws);
+    }
+
+    fn push_value(&mut self, op: Op, value: Matrix) -> NodeId {
+        let id = NodeId::from_index(self.plan.len());
+        let needs = crate::plan::op_needs_grad(&op, &self.plan.needs_grad);
+        self.plan.ops.push(op);
+        self.plan.needs_grad.push(needs);
+        self.ws.values.push(value);
+        id
+    }
+
+    /// Handle for the `i`-th recorded node (record order). Useful when
+    /// correlating nodes across engines, e.g. against [`crate::legacy`].
+    pub fn node(&self, i: usize) -> NodeId {
+        assert!(i < self.plan.len(), "node index out of range");
+        NodeId::from_index(i)
+    }
+
+    /// Record an op with a preallocated `rows × cols` output and execute it
+    /// immediately (the same executor replay uses, so record and replay are
+    /// bit-identical by construction).
+    fn record(&mut self, op: Op, rows: usize, cols: usize) -> NodeId {
+        let id = self.push_value(op, Matrix::zeros(rows, cols));
+        exec_forward(&self.plan.ops, &mut self.ws.values, id.idx());
         debug_assert!(
-            !value.has_non_finite() || matches!(op, Op::Leaf),
+            !self.ws.values[id.idx()].has_non_finite(),
             "non-finite value produced by op"
         );
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { op, value });
         id
     }
 
     /// Value of a node.
     pub fn value(&self, id: NodeId) -> &Matrix {
-        &self.nodes[id.idx()].value
+        self.ws.value(id)
     }
 
     /// Scalar value of a 1×1 node.
@@ -131,107 +133,113 @@ impl Graph {
         v.get(0, 0)
     }
 
-    /// Gradient of a node (after `backward`), if it received one.
+    /// Gradient of a node (after `backward`), if it received one. Nodes with
+    /// no parameter or [`Graph::variable`] leaf in their ancestry are pruned
+    /// from the backward pass and always report `None`.
     pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
-        self.grads.get(id.idx()).and_then(|g| g.as_ref())
+        self.ws.grad(id)
     }
 
     // ----- leaves -------------------------------------------------------
 
-    /// Constant leaf (no gradient flows further than this node).
+    /// Constant leaf. Constants do not request a gradient: the backward pass
+    /// prunes every branch that reaches only constants, and [`Graph::grad`]
+    /// reports `None` for them. Use [`Graph::variable`] to track the
+    /// gradient of a non-parameter input.
     pub fn constant(&mut self, m: Matrix) -> NodeId {
-        self.push(Op::Leaf, m)
+        self.push_value(Op::Leaf, m)
+    }
+
+    /// Grad-tracking leaf: like [`Graph::constant`] but its gradient (and
+    /// those of every node on a path to it) is computed by `backward` and
+    /// readable via [`Graph::grad`].
+    pub fn variable(&mut self, m: Matrix) -> NodeId {
+        let id = self.push_value(Op::Leaf, m);
+        self.plan.needs_grad[id.idx()] = true;
+        id
+    }
+
+    /// Overwrite a leaf's value in place (same shape), e.g. to feed new
+    /// inputs into a recorded inference plan before [`Graph::replay`].
+    pub fn set_value(&mut self, id: NodeId, m: &Matrix) {
+        assert!(
+            matches!(self.plan.ops[id.idx()], Op::Leaf),
+            "set_value targets a leaf"
+        );
+        let dst = &mut self.ws.values[id.idx()];
+        assert_eq!(dst.shape(), m.shape(), "set_value shape mismatch");
+        dst.as_mut_slice().copy_from_slice(m.as_slice());
     }
 
     /// Bind a trainable parameter; its gradient is delivered by
     /// [`Graph::write_grads`].
     pub fn param(&mut self, p: &ParamRef) -> NodeId {
-        let id = self.push(Op::Leaf, p.value().clone());
-        self.param_links.push((id, p.clone()));
+        let id = self.push_value(Op::Leaf, p.value().clone());
+        self.plan.needs_grad[id.idx()] = true;
+        self.plan.param_links.push((id, p.clone()));
         id
     }
 
     // ----- dense ops ----------------------------------------------------
 
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(Op::MatMul(a, b), v)
+        let (m, n) = (self.value(a).rows(), self.value(b).cols());
+        self.record(Op::MatMul(a, b), m, n)
     }
 
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), |x, y| x + y);
-        self.push(Op::Add(a, b), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::Add(a, b), m, n)
     }
 
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), |x, y| x - y);
-        self.push(Op::Sub(a, b), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::Sub(a, b), m, n)
     }
 
     /// Hadamard (elementwise) product.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), |x, y| x * y);
-        self.push(Op::Mul(a, b), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::Mul(a, b), m, n)
     }
 
     /// Broadcast add of a `1×n` row to every row of an `m×n` matrix.
     pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
         let (m, n) = self.value(a).shape();
         assert_eq!(self.value(row).shape(), (1, n), "add_row shape");
-        let mut v = self.value(a).clone();
-        for r in 0..m {
-            let rr = self.nodes[row.idx()].value.row(0);
-            for (x, &b) in v.row_mut(r).iter_mut().zip(rr.iter()) {
-                *x += b;
-            }
-        }
-        self.push(Op::AddRow(a, row), v)
+        self.record(Op::AddRow(a, row), m, n)
     }
 
     /// Broadcast multiply of a `1×n` row against every row of an `m×n` matrix.
     pub fn mul_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
         let (m, n) = self.value(a).shape();
         assert_eq!(self.value(row).shape(), (1, n), "mul_row shape");
-        let mut v = self.value(a).clone();
-        for r in 0..m {
-            let rr = self.nodes[row.idx()].value.row(0);
-            for (x, &b) in v.row_mut(r).iter_mut().zip(rr.iter()) {
-                *x *= b;
-            }
-        }
-        self.push(Op::MulRow(a, row), v)
+        self.record(Op::MulRow(a, row), m, n)
     }
 
     /// Broadcast multiply of an `m×1` column against every column of an
     /// `m×n` matrix.
     pub fn mul_col(&mut self, a: NodeId, col: NodeId) -> NodeId {
-        let (m, _n) = self.value(a).shape();
+        let (m, n) = self.value(a).shape();
         assert_eq!(self.value(col).shape(), (m, 1), "mul_col shape");
-        let mut v = self.value(a).clone();
-        for r in 0..m {
-            let c = self.nodes[col.idx()].value.get(r, 0);
-            for x in v.row_mut(r) {
-                *x *= c;
-            }
-        }
-        self.push(Op::MulCol(a, col), v)
+        self.record(Op::MulCol(a, col), m, n)
     }
 
     pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
-        let v = self.value(a).map(|x| x * s);
-        self.push(Op::Scale(a, s), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::Scale(a, s), m, n)
     }
 
     pub fn add_scalar(&mut self, a: NodeId, s: f32) -> NodeId {
-        let v = self.value(a).map(|x| x + s);
-        self.push(Op::AddScalar(a), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::AddScalar(a, s), m, n)
     }
 
     // ----- activations --------------------------------------------------
 
     pub fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
-        self.push(Op::LeakyRelu(a, slope), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::LeakyRelu(a, slope), m, n)
     }
 
     pub fn relu(&mut self, a: NodeId) -> NodeId {
@@ -239,160 +247,110 @@ impl Graph {
     }
 
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(Op::Sigmoid(a), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::Sigmoid(a), m, n)
     }
 
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(f32::tanh);
-        self.push(Op::Tanh(a), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::Tanh(a), m, n)
     }
 
     pub fn exp(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(f32::exp);
-        self.push(Op::Exp(a), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::Exp(a), m, n)
     }
 
     /// Natural log with an epsilon floor for stability: `ln(x + eps)`.
     pub fn ln_eps(&mut self, a: NodeId, eps: f32) -> NodeId {
-        let v = self.value(a).map(|x| (x + eps).ln());
-        self.push(Op::LnEps(a, eps), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::LnEps(a, eps), m, n)
     }
 
     /// Row-wise softmax with temperature: `softmax(x / tau)`.
     pub fn softmax_rows(&mut self, a: NodeId, tau: f32) -> NodeId {
         assert!(tau > 0.0, "softmax temperature must be positive");
-        let v = self.value(a).softmax_rows(tau);
-        self.push(Op::SoftmaxRows(a, tau), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::SoftmaxRows(a, tau), m, n)
     }
 
     // ----- shape ops ----------------------------------------------------
 
     pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).concat_cols(self.value(b));
-        self.push(Op::ConcatCols(a, b), v)
+        let (m, ca) = self.value(a).shape();
+        let (mb, cb) = self.value(b).shape();
+        assert_eq!(m, mb, "concat_cols row mismatch");
+        self.record(Op::ConcatCols(a, b), m, ca + cb)
     }
 
     pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
-        let v = self.value(a).slice_cols(start, end);
-        self.push(Op::SliceCols(a, start, end), v)
+        let (m, n) = self.value(a).shape();
+        assert!(start <= end && end <= n, "slice_cols out of range");
+        self.record(Op::SliceCols(a, start, end), m, end - start)
     }
 
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).transpose();
-        self.push(Op::Transpose(a), v)
+        let (m, n) = self.value(a).shape();
+        self.record(Op::Transpose(a), n, m)
     }
 
     // ----- reductions ---------------------------------------------------
 
     pub fn sum_all(&mut self, a: NodeId) -> NodeId {
-        let v = Matrix::filled(1, 1, self.value(a).sum());
-        self.push(Op::SumAll(a), v)
+        self.record(Op::SumAll(a), 1, 1)
     }
 
     pub fn mean_all(&mut self, a: NodeId) -> NodeId {
-        let v = Matrix::filled(1, 1, self.value(a).mean());
-        self.push(Op::MeanAll(a), v)
+        self.record(Op::MeanAll(a), 1, 1)
     }
 
     /// Sum each row: `m×n -> m×1`.
     pub fn row_sum(&mut self, a: NodeId) -> NodeId {
         let (m, _) = self.value(a).shape();
-        let mut v = Matrix::zeros(m, 1);
-        for r in 0..m {
-            v.set(r, 0, self.nodes[a.idx()].value.row(r).iter().sum());
-        }
-        self.push(Op::RowSum(a), v)
+        self.record(Op::RowSum(a), m, 1)
     }
 
     // ----- graph-learning primitives -------------------------------------
 
     /// Gather rows of `a` by index: `out[i] = a[idx[i]]`.
     pub fn gather_rows(&mut self, a: NodeId, idx: Arc<Vec<u32>>) -> NodeId {
-        let v = self.value(a).gather_rows(&idx);
-        self.push(Op::GatherRows(a, idx), v)
+        let n = self.value(a).cols();
+        let rows = idx.len();
+        self.record(Op::GatherRows(a, idx), rows, n)
     }
 
     /// Constant-sparse × dense product (GCN propagation step).
     pub fn spmm(&mut self, a: Arc<CsrPair>, x: NodeId) -> NodeId {
-        let v = a.fwd.spmm(self.value(x));
-        self.push(Op::SpMM(a, x), v)
+        let (m, n) = (a.fwd.rows(), self.value(x).cols());
+        self.record(Op::SpMM(a, x), m, n)
     }
 
     /// Softmax of per-edge scores (`E×1`), normalized within each group of
     /// edges sharing a destination node (eq. 3 / eq. 7 of the paper).
     pub fn edge_softmax(&mut self, scores: NodeId, edges: Arc<EdgeIndex>) -> NodeId {
-        let s = self.value(scores);
-        assert_eq!(s.shape(), (edges.n_edges(), 1), "edge_softmax shape");
-        let mut v = Matrix::zeros(edges.n_edges(), 1);
-        // Edges are grouped by destination, so chunk boundaries aligned to
-        // `dst_ptr` give every softmax group exactly one writer.
-        let dst_ptr = edges.dst_ptr();
-        par::for_each_disjoint(
-            v.as_mut_slice(),
-            edges.n_nodes(),
-            edges.n_edges() * 8,
-            |i| dst_ptr[i] as usize,
-            |nodes, chunk| {
-                let base = dst_ptr[nodes.start] as usize;
-                for i in nodes {
-                    let range = edges.incoming(i);
-                    if range.is_empty() {
-                        continue;
-                    }
-                    let mx = range
-                        .clone()
-                        .map(|e| s.get(e, 0))
-                        .fold(f32::NEG_INFINITY, f32::max);
-                    let mut sum = 0.0;
-                    for e in range.clone() {
-                        let x = (s.get(e, 0) - mx).exp();
-                        chunk[e - base] = x;
-                        sum += x;
-                    }
-                    for e in range {
-                        chunk[e - base] /= sum;
-                    }
-                }
-            },
+        assert_eq!(
+            self.value(scores).shape(),
+            (edges.n_edges(), 1),
+            "edge_softmax shape"
         );
-        self.push(Op::EdgeSoftmax(scores, edges), v)
+        let e = edges.n_edges();
+        self.record(Op::EdgeSoftmax(scores, edges), e, 1)
     }
 
     /// Attention aggregation (eq. 2 / eq. 6): `out[dst] += alpha_e * h[src]`.
     pub fn edge_aggregate(&mut self, alpha: NodeId, h: NodeId, edges: Arc<EdgeIndex>) -> NodeId {
-        let a = self.value(alpha);
         assert_eq!(
-            a.shape(),
+            self.value(alpha).shape(),
             (edges.n_edges(), 1),
             "edge_aggregate alpha shape"
         );
-        let hm = self.value(h);
-        assert_eq!(hm.rows(), edges.n_nodes(), "edge_aggregate h shape");
-        let d = hm.cols();
-        let mut v = Matrix::zeros(edges.n_nodes(), d);
-        // Destination rows partition across threads; each row reduces its
-        // incoming edges in edge order (edges are dst-sorted), matching the
-        // serial edge-loop accumulation order exactly.
-        par::for_each_row_block(
-            v.as_mut_slice(),
-            d,
-            edges.n_edges() * d * 2,
-            |nodes, chunk| {
-                for (ni, i) in nodes.enumerate() {
-                    let out_row = &mut chunk[ni * d..(ni + 1) * d];
-                    for e in edges.incoming(i) {
-                        let w = a.get(e, 0);
-                        let src = edges.src()[e] as usize;
-                        let src_row = &hm.as_slice()[src * d..(src + 1) * d];
-                        for (o, &x) in out_row.iter_mut().zip(src_row.iter()) {
-                            *o += w * x;
-                        }
-                    }
-                }
-            },
+        assert_eq!(
+            self.value(h).rows(),
+            edges.n_nodes(),
+            "edge_aggregate h shape"
         );
-        self.push(Op::EdgeAggregate(alpha, h, edges), v)
+        let (m, d) = (edges.n_nodes(), self.value(h).cols());
+        self.record(Op::EdgeAggregate(alpha, h, edges), m, d)
     }
 
     /// MS-Gate gated linear map (eqs. 20–22):
@@ -407,32 +365,7 @@ impl Graph {
             (n, d * h),
             "gated_matmul filter shape"
         );
-        let mut v = Matrix::zeros(n, h);
-        {
-            let xm = &self.nodes[x.idx()].value;
-            let wm = &self.nodes[w.idx()].value;
-            let fm = &self.nodes[f.idx()].value;
-            // Sample rows are independent; the zero-skip stays because gated
-            // inputs are often sparse activations, unlike the dense matmuls.
-            par::for_each_row_block(v.as_mut_slice(), h, n * d * h * 3, |rows, chunk| {
-                for (ri, i) in rows.enumerate() {
-                    let x_row = xm.row(i);
-                    let f_row = fm.row(i);
-                    let out_row = &mut chunk[ri * h..(ri + 1) * h];
-                    for (dd, &xv) in x_row.iter().enumerate() {
-                        if xv == 0.0 {
-                            continue;
-                        }
-                        let w_row = wm.row(dd);
-                        let f_seg = &f_row[dd * h..(dd + 1) * h];
-                        for k in 0..h {
-                            out_row[k] += xv * w_row[k] * f_seg[k];
-                        }
-                    }
-                }
-            });
-        }
-        self.push(Op::GatedMatMul(x, w, f), v)
+        self.record(Op::GatedMatMul(x, w, f), n, h)
     }
 
     /// Pairwise differences `out[i,j] = a[i] - b[j]` for column vectors
@@ -441,14 +374,7 @@ impl Graph {
         let (m, ca) = self.value(a).shape();
         let (n, cb) = self.value(b).shape();
         assert_eq!((ca, cb), (1, 1), "sub_outer expects column vectors");
-        let mut v = Matrix::zeros(m, n);
-        for i in 0..m {
-            let ai = self.nodes[a.idx()].value.get(i, 0);
-            for j in 0..n {
-                v.set(i, j, ai - self.nodes[b.idx()].value.get(j, 0));
-            }
-        }
-        self.push(Op::SubOuter(a, b), v)
+        self.record(Op::SubOuter(a, b), m, n)
     }
 
     /// Numerically stable weighted binary cross-entropy with logits
@@ -464,18 +390,7 @@ impl Graph {
         assert_eq!(z.cols(), 1, "bce expects a column of logits");
         assert_eq!(z.rows(), targets.len(), "bce target count");
         assert_eq!(z.rows(), weights.len(), "bce weight count");
-        let wsum: f32 = weights.iter().sum();
-        let mut loss = 0.0f64;
-        if wsum > 0.0 {
-            for i in 0..targets.len() {
-                let zi = z.get(i, 0);
-                let li = zi.max(0.0) - zi * targets[i] + (1.0 + (-zi.abs()).exp()).ln();
-                loss += (weights[i] * li) as f64;
-            }
-            loss /= wsum as f64;
-        }
-        let v = Matrix::filled(1, 1, loss as f32);
-        self.push(Op::BceWithLogits(logits, targets, weights), v)
+        self.record(Op::BceWithLogits(logits, targets, weights), 1, 1)
     }
 
     // ----- convolution ----------------------------------------------------
@@ -490,8 +405,9 @@ impl Graph {
             meta.kernel_shape(),
             "conv2d kernel shape"
         );
-        let v = conv2d_batch(xm, &self.nodes[kernel.idx()].value, &meta);
-        self.push(Op::Conv2d(x, kernel, meta), v)
+        let n = xm.rows();
+        let out_len = meta.out_len();
+        self.record(Op::Conv2d(x, kernel, meta), n, out_len)
     }
 
     /// Add a per-channel bias (`1×channels`) to a conv output laid out as
@@ -504,25 +420,16 @@ impl Graph {
             (1, channels),
             "add_chan_bias bias shape"
         );
-        let mut v = self.value(a).clone();
-        for i in 0..n {
-            let row = v.row_mut(i);
-            for c in 0..channels {
-                let b = self.nodes[bias.idx()].value.get(0, c);
-                for p in 0..hw {
-                    row[c * hw + p] += b;
-                }
-            }
-        }
-        self.push(Op::AddChanBias(a, bias, channels, hw), v)
+        self.record(Op::AddChanBias(a, bias, channels, hw), n, len)
     }
 
     /// Batched 2×2/stride-2 max pooling.
     pub fn max_pool2(&mut self, x: NodeId, meta: PoolMeta) -> NodeId {
         let xm = self.value(x);
         assert_eq!(xm.cols(), meta.in_len(), "max_pool2 input length");
-        let v = maxpool2_batch(xm, &meta);
-        self.push(Op::MaxPool2(x, meta), v)
+        let n = xm.rows();
+        let out_len = meta.out_len();
+        self.record(Op::MaxPool2(x, meta), n, out_len)
     }
 
     // ----- compound helpers ----------------------------------------------
@@ -536,369 +443,33 @@ impl Graph {
 
     // ----- backward -------------------------------------------------------
 
-    /// Reverse pass from `root` (must be `1×1`). Gradients are stored on the
-    /// graph and can be read with [`Graph::grad`].
+    /// Reverse pass from `root` (must be `1×1`). Gradients are stored in the
+    /// workspace and can be read with [`Graph::grad`].
     pub fn backward(&mut self, root: NodeId) {
         assert_eq!(
             self.value(root).shape(),
             (1, 1),
             "backward root must be scalar"
         );
-        self.backward_seeded(root, Matrix::filled(1, 1, 1.0));
+        let seed = self
+            .unit_seed
+            .take()
+            .unwrap_or_else(|| Matrix::filled(1, 1, 1.0));
+        assert!(!self.inference, "backward on an inference graph");
+        self.plan.backward(&mut self.ws, root, &seed);
+        self.unit_seed = Some(seed);
     }
 
     /// Reverse pass with an explicit seed gradient for `root`.
     pub fn backward_seeded(&mut self, root: NodeId, seed: Matrix) {
-        assert_eq!(
-            self.value(root).shape(),
-            seed.shape(),
-            "seed shape mismatch"
-        );
-        self.grads = (0..self.nodes.len()).map(|_| None).collect();
-        self.grads[root.idx()] = Some(seed);
-        for id in (0..=root.idx()).rev() {
-            let Some(dy) = self.grads[id].take() else {
-                continue;
-            };
-            let op = self.nodes[id].op.clone();
-            self.apply_backward(&op, id, &dy);
-            // Keep the gradient available for inspection.
-            self.grads[id] = Some(dy);
-        }
-    }
-
-    fn add_grad(&mut self, id: NodeId, delta: Matrix) {
-        match &mut self.grads[id.idx()] {
-            Some(g) => g.add_assign(&delta),
-            slot @ None => *slot = Some(delta),
-        }
-    }
-
-    fn apply_backward(&mut self, op: &Op, id: usize, dy: &Matrix) {
-        match op {
-            Op::Leaf => {}
-            Op::MatMul(a, b) => {
-                let da = dy.matmul_nt(&self.nodes[b.idx()].value);
-                let db = self.nodes[a.idx()].value.matmul_tn(dy);
-                self.add_grad(*a, da);
-                self.add_grad(*b, db);
-            }
-            Op::Add(a, b) => {
-                self.add_grad(*a, dy.clone());
-                self.add_grad(*b, dy.clone());
-            }
-            Op::Sub(a, b) => {
-                self.add_grad(*a, dy.clone());
-                self.add_grad(*b, dy.map(|x| -x));
-            }
-            Op::Mul(a, b) => {
-                let da = dy.zip(&self.nodes[b.idx()].value, |g, y| g * y);
-                let db = dy.zip(&self.nodes[a.idx()].value, |g, x| g * x);
-                self.add_grad(*a, da);
-                self.add_grad(*b, db);
-            }
-            Op::AddRow(a, row) => {
-                self.add_grad(*a, dy.clone());
-                let (m, n) = dy.shape();
-                let mut dr = Matrix::zeros(1, n);
-                for r in 0..m {
-                    for (o, &g) in dr.row_mut(0).iter_mut().zip(dy.row(r).iter()) {
-                        *o += g;
-                    }
-                }
-                self.add_grad(*row, dr);
-            }
-            Op::MulRow(a, row) => {
-                let (m, n) = dy.shape();
-                let rv = self.nodes[row.idx()].value.clone();
-                let av = &self.nodes[a.idx()].value;
-                let mut da = Matrix::zeros(m, n);
-                let mut dr = Matrix::zeros(1, n);
-                for r in 0..m {
-                    for c in 0..n {
-                        let g = dy.get(r, c);
-                        da.set(r, c, g * rv.get(0, c));
-                        dr.set(0, c, dr.get(0, c) + g * av.get(r, c));
-                    }
-                }
-                self.add_grad(*a, da);
-                self.add_grad(*row, dr);
-            }
-            Op::MulCol(a, col) => {
-                let (m, n) = dy.shape();
-                let cv = self.nodes[col.idx()].value.clone();
-                let av = &self.nodes[a.idx()].value;
-                let mut da = Matrix::zeros(m, n);
-                let mut dc = Matrix::zeros(m, 1);
-                for r in 0..m {
-                    let mut acc = 0.0;
-                    for c in 0..n {
-                        let g = dy.get(r, c);
-                        da.set(r, c, g * cv.get(r, 0));
-                        acc += g * av.get(r, c);
-                    }
-                    dc.set(r, 0, acc);
-                }
-                self.add_grad(*a, da);
-                self.add_grad(*col, dc);
-            }
-            Op::Scale(a, s) => self.add_grad(*a, dy.map(|x| x * s)),
-            Op::AddScalar(a) => self.add_grad(*a, dy.clone()),
-            Op::LeakyRelu(a, slope) => {
-                let da = self.nodes[a.idx()]
-                    .value
-                    .zip(dy, |x, g| if x > 0.0 { g } else { slope * g });
-                self.add_grad(*a, da);
-            }
-            Op::Sigmoid(a) => {
-                let da = self.nodes[id].value.zip(dy, |y, g| g * y * (1.0 - y));
-                self.add_grad(*a, da);
-            }
-            Op::Tanh(a) => {
-                let da = self.nodes[id].value.zip(dy, |y, g| g * (1.0 - y * y));
-                self.add_grad(*a, da);
-            }
-            Op::Exp(a) => {
-                let da = self.nodes[id].value.zip(dy, |y, g| g * y);
-                self.add_grad(*a, da);
-            }
-            Op::LnEps(a, eps) => {
-                let da = self.nodes[a.idx()].value.zip(dy, |x, g| g / (x + eps));
-                self.add_grad(*a, da);
-            }
-            Op::SoftmaxRows(a, tau) => {
-                let y = &self.nodes[id].value;
-                let (m, n) = y.shape();
-                let mut da = Matrix::zeros(m, n);
-                for r in 0..m {
-                    let dot: f32 = y
-                        .row(r)
-                        .iter()
-                        .zip(dy.row(r).iter())
-                        .map(|(&yv, &g)| yv * g)
-                        .sum();
-                    for c in 0..n {
-                        da.set(r, c, y.get(r, c) * (dy.get(r, c) - dot) / tau);
-                    }
-                }
-                self.add_grad(*a, da);
-            }
-            Op::ConcatCols(a, b) => {
-                let ca = self.nodes[a.idx()].value.cols();
-                let total = dy.cols();
-                self.add_grad(*a, dy.slice_cols(0, ca));
-                self.add_grad(*b, dy.slice_cols(ca, total));
-            }
-            Op::SliceCols(a, start, end) => {
-                let (m, n) = self.nodes[a.idx()].value.shape();
-                let mut da = Matrix::zeros(m, n);
-                for r in 0..m {
-                    da.row_mut(r)[*start..*end].copy_from_slice(dy.row(r));
-                }
-                self.add_grad(*a, da);
-            }
-            Op::Transpose(a) => self.add_grad(*a, dy.transpose()),
-            Op::SumAll(a) => {
-                let (m, n) = self.nodes[a.idx()].value.shape();
-                self.add_grad(*a, Matrix::filled(m, n, dy.get(0, 0)));
-            }
-            Op::MeanAll(a) => {
-                let (m, n) = self.nodes[a.idx()].value.shape();
-                let len = (m * n).max(1) as f32;
-                self.add_grad(*a, Matrix::filled(m, n, dy.get(0, 0) / len));
-            }
-            Op::RowSum(a) => {
-                let (m, n) = self.nodes[a.idx()].value.shape();
-                let mut da = Matrix::zeros(m, n);
-                for r in 0..m {
-                    let g = dy.get(r, 0);
-                    for x in da.row_mut(r) {
-                        *x = g;
-                    }
-                }
-                self.add_grad(*a, da);
-            }
-            Op::GatherRows(a, idx) => {
-                let (m, n) = self.nodes[a.idx()].value.shape();
-                // Scatter-add with possibly duplicate row indices: parallel
-                // partitioning over `idx` would give one row two writers, so
-                // the backward scatter stays serial (the forward gather is
-                // the parallel one).
-                let mut da = Matrix::zeros(m, n);
-                for (i, &r) in idx.iter().enumerate() {
-                    let dst = &mut da.as_mut_slice()[r as usize * n..(r as usize + 1) * n];
-                    for (o, &g) in dst.iter_mut().zip(dy.row(i).iter()) {
-                        *o += g;
-                    }
-                }
-                self.add_grad(*a, da);
-            }
-            Op::SpMM(pair, x) => {
-                let dx = pair.bwd.spmm(dy);
-                self.add_grad(*x, dx);
-            }
-            Op::EdgeSoftmax(scores, edges) => {
-                let alpha = &self.nodes[id].value;
-                let mut ds = Matrix::zeros(edges.n_edges(), 1);
-                let dst_ptr = edges.dst_ptr();
-                par::for_each_disjoint(
-                    ds.as_mut_slice(),
-                    edges.n_nodes(),
-                    edges.n_edges() * 4,
-                    |i| dst_ptr[i] as usize,
-                    |nodes, chunk| {
-                        let base = dst_ptr[nodes.start] as usize;
-                        for i in nodes {
-                            let range = edges.incoming(i);
-                            if range.is_empty() {
-                                continue;
-                            }
-                            let dot: f32 =
-                                range.clone().map(|e| alpha.get(e, 0) * dy.get(e, 0)).sum();
-                            for e in range {
-                                chunk[e - base] = alpha.get(e, 0) * (dy.get(e, 0) - dot);
-                            }
-                        }
-                    },
-                );
-                self.add_grad(*scores, ds);
-            }
-            Op::EdgeAggregate(alpha, h, edges) => {
-                let am = &self.nodes[alpha.idx()].value;
-                let hm = &self.nodes[h.idx()].value;
-                let d = hm.cols();
-                // Each edge's alpha-gradient is an independent dot product.
-                let mut dalpha = Matrix::zeros(edges.n_edges(), 1);
-                par::for_each_row_block(
-                    dalpha.as_mut_slice(),
-                    1,
-                    edges.n_edges() * d,
-                    |es, chunk| {
-                        for (k, e) in es.enumerate() {
-                            let src = edges.src()[e] as usize;
-                            let dst = edges.dst()[e] as usize;
-                            let dy_row = &dy.as_slice()[dst * d..(dst + 1) * d];
-                            let h_row = &hm.as_slice()[src * d..(src + 1) * d];
-                            chunk[k] = dy_row.iter().zip(h_row.iter()).map(|(&g, &x)| g * x).sum();
-                        }
-                    },
-                );
-                // The dh scatter indexes by *source* row, and several edges
-                // can share one source, so a row partition over edges would
-                // race; this stays serial.
-                let mut dh = Matrix::zeros(hm.rows(), d);
-                for e in 0..edges.n_edges() {
-                    let src = edges.src()[e] as usize;
-                    let dst = edges.dst()[e] as usize;
-                    let dy_row = &dy.as_slice()[dst * d..(dst + 1) * d];
-                    let w = am.get(e, 0);
-                    let dh_row = &mut dh.as_mut_slice()[src * d..(src + 1) * d];
-                    for (o, &g) in dh_row.iter_mut().zip(dy_row.iter()) {
-                        *o += w * g;
-                    }
-                }
-                self.add_grad(*alpha, dalpha);
-                self.add_grad(*h, dh);
-            }
-            Op::GatedMatMul(x, w, f) => {
-                let xm = self.nodes[x.idx()].value.clone();
-                let wm = self.nodes[w.idx()].value.clone();
-                let fm = self.nodes[f.idx()].value.clone();
-                let (n, d) = xm.shape();
-                let h = wm.cols();
-                let mut dx = Matrix::zeros(n, d);
-                let mut dw = Matrix::zeros(d, h);
-                let mut df = Matrix::zeros(n, d * h);
-                for i in 0..n {
-                    let x_row = xm.row(i);
-                    let f_row = fm.row(i);
-                    let dy_row = dy.row(i);
-                    let df_row = df.row_mut(i);
-                    for dd in 0..d {
-                        let w_row = wm.row(dd);
-                        let f_seg = &f_row[dd * h..(dd + 1) * h];
-                        let df_seg = &mut df_row[dd * h..(dd + 1) * h];
-                        let xv = x_row[dd];
-                        let mut dx_acc = 0.0;
-                        for k in 0..h {
-                            let g = dy_row[k];
-                            dx_acc += g * w_row[k] * f_seg[k];
-                            dw.set(dd, k, dw.get(dd, k) + g * xv * f_seg[k]);
-                            df_seg[k] += g * xv * w_row[k];
-                        }
-                        dx.set(i, dd, dx_acc);
-                    }
-                }
-                self.add_grad(*x, dx);
-                self.add_grad(*w, dw);
-                self.add_grad(*f, df);
-            }
-            Op::SubOuter(a, b) => {
-                let (m, n) = dy.shape();
-                let mut da = Matrix::zeros(m, 1);
-                let mut db = Matrix::zeros(n, 1);
-                for i in 0..m {
-                    for j in 0..n {
-                        let g = dy.get(i, j);
-                        da.set(i, 0, da.get(i, 0) + g);
-                        db.set(j, 0, db.get(j, 0) - g);
-                    }
-                }
-                self.add_grad(*a, da);
-                self.add_grad(*b, db);
-            }
-            Op::BceWithLogits(logits, targets, weights) => {
-                let z = &self.nodes[logits.idx()].value;
-                let wsum: f32 = weights.iter().sum();
-                let mut dz = Matrix::zeros(z.rows(), 1);
-                if wsum > 0.0 {
-                    let g = dy.get(0, 0) / wsum;
-                    for i in 0..targets.len() {
-                        let zi = z.get(i, 0);
-                        let p = 1.0 / (1.0 + (-zi).exp());
-                        dz.set(i, 0, g * weights[i] * (p - targets[i]));
-                    }
-                }
-                self.add_grad(*logits, dz);
-            }
-            Op::Conv2d(x, kernel, meta) => {
-                let (dx, dk) = conv2d_backward_batch(
-                    &self.nodes[x.idx()].value,
-                    &self.nodes[kernel.idx()].value,
-                    dy,
-                    meta,
-                );
-                self.add_grad(*x, dx);
-                self.add_grad(*kernel, dk);
-            }
-            Op::AddChanBias(a, bias, channels, hw) => {
-                self.add_grad(*a, dy.clone());
-                let n = dy.rows();
-                let mut db = Matrix::zeros(1, *channels);
-                for i in 0..n {
-                    let row = dy.row(i);
-                    for c in 0..*channels {
-                        let s: f32 = row[c * hw..(c + 1) * hw].iter().sum();
-                        db.set(0, c, db.get(0, c) + s);
-                    }
-                }
-                self.add_grad(*bias, db);
-            }
-            Op::MaxPool2(x, meta) => {
-                let dx = maxpool2_backward_batch(&self.nodes[x.idx()].value, dy, meta);
-                self.add_grad(*x, dx);
-            }
-        }
+        assert!(!self.inference, "backward on an inference graph");
+        self.plan.backward(&mut self.ws, root, &seed);
     }
 
     /// Copy gradients of bound parameters back into their [`ParamRef`]s
     /// (accumulating). Call after [`Graph::backward`].
     pub fn write_grads(&self) {
-        for (id, p) in &self.param_links {
-            if let Some(g) = self.grad(*id) {
-                p.accumulate_grad(g);
-            }
-        }
+        self.plan.write_grads(&self.ws);
     }
 }
 
@@ -911,8 +482,8 @@ mod tests {
     fn backward_through_matmul_chain() {
         // loss = sum(A * B); dA = 1 * B^T, dB = A^T * 1.
         let mut g = Graph::new();
-        let a = g.constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
-        let b = g.constant(Matrix::from_rows(&[&[5.0], &[6.0]]));
+        let a = g.variable(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.variable(Matrix::from_rows(&[&[5.0], &[6.0]]));
         let y = g.matmul(a, b);
         let loss = g.sum_all(y);
         g.backward(loss);
@@ -926,7 +497,7 @@ mod tests {
     fn grad_accumulates_on_reuse() {
         // loss = sum(x * x) -> dx = 2x.
         let mut g = Graph::new();
-        let x = g.constant(Matrix::from_rows(&[&[3.0]]));
+        let x = g.variable(Matrix::from_rows(&[&[3.0]]));
         let y = g.mul(x, x);
         let loss = g.sum_all(y);
         g.backward(loss);
@@ -936,7 +507,7 @@ mod tests {
     #[test]
     fn bce_gradient_is_sigmoid_minus_target() {
         let mut g = Graph::new();
-        let z = g.constant(Matrix::col_vec(&[0.0, 2.0]));
+        let z = g.variable(Matrix::col_vec(&[0.0, 2.0]));
         let loss = g.bce_with_logits(z, Arc::new(vec![1.0, 0.0]), Arc::new(vec![1.0, 1.0]));
         g.backward(loss);
         let dz = g.grad(z).unwrap();
@@ -973,5 +544,56 @@ mod tests {
         g.backward(loss);
         g.write_grads();
         assert_eq!(p.grad().get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn replay_refreshes_params_and_matches_fresh_tape() {
+        let p = ParamRef::new("w", Matrix::filled(1, 1, 2.0));
+        let mut g = Graph::new();
+        let w = g.param(&p);
+        let c = g.constant(Matrix::filled(1, 1, 3.0));
+        let y = g.mul(w, c);
+        assert_eq!(g.scalar(y), 6.0);
+        // Update the parameter out-of-band, then replay.
+        p.value_mut().set(0, 0, 5.0);
+        g.replay();
+        assert_eq!(g.scalar(y), 15.0);
+        // Backward still works against replayed values.
+        g.backward(y);
+        assert_eq!(g.grad(w).unwrap().get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn constants_prune_gradients_but_params_still_flow() {
+        let p = ParamRef::new("w", Matrix::filled(1, 1, 2.0));
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::filled(1, 1, 3.0));
+        let scaled = g.scale(x, 2.0); // constant-only subtree: pruned
+        let w = g.param(&p);
+        let y = g.mul(scaled, w);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert!(g.grad(x).is_none(), "constant leaf gradient must be pruned");
+        assert!(g.grad(scaled).is_none(), "constant subtree must be pruned");
+        assert_eq!(g.grad(w).unwrap().get(0, 0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward on an inference graph")]
+    fn inference_graph_rejects_backward() {
+        let mut g = Graph::inference();
+        let x = g.constant(Matrix::filled(1, 1, 1.0));
+        let y = g.mul(x, x);
+        g.backward(y);
+    }
+
+    #[test]
+    fn set_value_feeds_new_inputs_through_replay() {
+        let mut g = Graph::inference();
+        let x = g.constant(Matrix::filled(2, 1, 1.0));
+        let y = g.scale(x, 2.0);
+        g.set_value(x, &Matrix::filled(2, 1, 4.0));
+        g.replay();
+        assert_eq!(g.value(y).get(0, 0), 8.0);
     }
 }

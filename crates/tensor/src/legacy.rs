@@ -1,0 +1,1035 @@
+//! Frozen pre-refactor define-by-run tape, kept as a differential baseline.
+//!
+//! This module is a vendored copy of the tape engine as it existed *before*
+//! the Plan/Workspace split (DESIGN.md §7): every op allocates a fresh
+//! [`Matrix`] for its value, and the backward pass allocates (and `clone()`s)
+//! a gradient matrix per contribution. It is deliberately left untouched so
+//! the repo carries an executable definition of the old behaviour, used for:
+//!
+//! * **differential testing** — [`rebuild`] re-executes a recorded
+//!   [`Plan`] op-for-op through this engine; losses, forward values and
+//!   parameter gradients must match the replayed plan bit-for-bit;
+//! * **benchmarking** — `perfsnap`'s per-epoch-rebuild baseline trains
+//!   through this engine, so the replayed-plan speedup in
+//!   `BENCH_tensor.json` is measured against the real pre-refactor cost.
+//!
+//! Do not use this engine in new code; it exists to be measured against.
+
+use crate::conv::{
+    conv2d_backward_batch, conv2d_batch, maxpool2_backward_batch, maxpool2_batch, ConvMeta,
+    PoolMeta,
+};
+use crate::matrix::Matrix;
+use crate::par;
+use crate::param::ParamRef;
+use crate::plan::{self, CsrPair, Plan, Workspace};
+use crate::sparse::EdgeIndex;
+use std::sync::Arc;
+
+/// Handle to a node in the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone)]
+enum Op {
+    Leaf,
+    MatMul(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    AddRow(NodeId, NodeId),
+    MulRow(NodeId, NodeId),
+    MulCol(NodeId, NodeId),
+    Scale(NodeId, f32),
+    AddScalar(NodeId),
+    LeakyRelu(NodeId, f32),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Exp(NodeId),
+    LnEps(NodeId, f32),
+    SoftmaxRows(NodeId, f32),
+    ConcatCols(NodeId, NodeId),
+    SliceCols(NodeId, usize, usize),
+    Transpose(NodeId),
+    SumAll(NodeId),
+    MeanAll(NodeId),
+    RowSum(NodeId),
+    GatherRows(NodeId, Arc<Vec<u32>>),
+    SpMM(Arc<CsrPair>, NodeId),
+    EdgeSoftmax(NodeId, Arc<EdgeIndex>),
+    EdgeAggregate(NodeId, NodeId, Arc<EdgeIndex>),
+    GatedMatMul(NodeId, NodeId, NodeId),
+    SubOuter(NodeId, NodeId),
+    BceWithLogits(NodeId, Arc<Vec<f32>>, Arc<Vec<f32>>),
+    Conv2d(NodeId, NodeId, ConvMeta),
+    AddChanBias(NodeId, NodeId, usize, usize),
+    MaxPool2(NodeId, PoolMeta),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+}
+
+/// Define-by-run autodiff tape (pre-refactor reference engine).
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Matrix>>,
+    param_links: Vec<(NodeId, ParamRef)>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Handle for the `i`-th recorded node; ids coincide with the source
+    /// plan's node indices when the tape was built by [`rebuild`].
+    pub fn node(&self, i: usize) -> NodeId {
+        assert!(i < self.nodes.len(), "node index out of range");
+        NodeId(i as u32)
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> NodeId {
+        debug_assert!(
+            !value.has_non_finite() || matches!(op, Op::Leaf),
+            "non-finite value produced by op"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { op, value });
+        id
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.idx()].value
+    }
+
+    /// Scalar value of a 1×1 node.
+    pub fn scalar(&self, id: NodeId) -> f32 {
+        let v = self.value(id);
+        assert_eq!(v.shape(), (1, 1), "scalar() on non-scalar node");
+        v.get(0, 0)
+    }
+
+    /// Gradient of a node (after `backward`), if it received one.
+    pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        self.grads.get(id.idx()).and_then(|g| g.as_ref())
+    }
+
+    // ----- leaves -------------------------------------------------------
+
+    /// Constant leaf (no gradient flows further than this node).
+    pub fn constant(&mut self, m: Matrix) -> NodeId {
+        self.push(Op::Leaf, m)
+    }
+
+    /// Bind a trainable parameter; its gradient is delivered by
+    /// [`Graph::write_grads`].
+    pub fn param(&mut self, p: &ParamRef) -> NodeId {
+        let id = self.push(Op::Leaf, p.value().clone());
+        self.param_links.push((id, p.clone()));
+        id
+    }
+
+    // ----- dense ops ----------------------------------------------------
+
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Hadamard (elementwise) product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Broadcast add of a `1×n` row to every row of an `m×n` matrix.
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (m, n) = self.value(a).shape();
+        assert_eq!(self.value(row).shape(), (1, n), "add_row shape");
+        let mut v = self.value(a).clone();
+        for r in 0..m {
+            let rr = self.nodes[row.idx()].value.row(0);
+            for (x, &b) in v.row_mut(r).iter_mut().zip(rr.iter()) {
+                *x += b;
+            }
+        }
+        self.push(Op::AddRow(a, row), v)
+    }
+
+    /// Broadcast multiply of a `1×n` row against every row of an `m×n` matrix.
+    pub fn mul_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (m, n) = self.value(a).shape();
+        assert_eq!(self.value(row).shape(), (1, n), "mul_row shape");
+        let mut v = self.value(a).clone();
+        for r in 0..m {
+            let rr = self.nodes[row.idx()].value.row(0);
+            for (x, &b) in v.row_mut(r).iter_mut().zip(rr.iter()) {
+                *x *= b;
+            }
+        }
+        self.push(Op::MulRow(a, row), v)
+    }
+
+    /// Broadcast multiply of an `m×1` column against every column of an
+    /// `m×n` matrix.
+    pub fn mul_col(&mut self, a: NodeId, col: NodeId) -> NodeId {
+        let (m, _n) = self.value(a).shape();
+        assert_eq!(self.value(col).shape(), (m, 1), "mul_col shape");
+        let mut v = self.value(a).clone();
+        for r in 0..m {
+            let c = self.nodes[col.idx()].value.get(r, 0);
+            for x in v.row_mut(r) {
+                *x *= c;
+            }
+        }
+        self.push(Op::MulCol(a, col), v)
+    }
+
+    pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        let v = self.value(a).map(|x| x * s);
+        self.push(Op::Scale(a, s), v)
+    }
+
+    pub fn add_scalar(&mut self, a: NodeId, s: f32) -> NodeId {
+        let v = self.value(a).map(|x| x + s);
+        self.push(Op::AddScalar(a), v)
+    }
+
+    // ----- activations --------------------------------------------------
+
+    pub fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(Op::LeakyRelu(a, slope), v)
+    }
+
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        self.leaky_relu(a, 0.0)
+    }
+
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::exp);
+        self.push(Op::Exp(a), v)
+    }
+
+    /// Natural log with an epsilon floor for stability: `ln(x + eps)`.
+    pub fn ln_eps(&mut self, a: NodeId, eps: f32) -> NodeId {
+        let v = self.value(a).map(|x| (x + eps).ln());
+        self.push(Op::LnEps(a, eps), v)
+    }
+
+    /// Row-wise softmax with temperature: `softmax(x / tau)`.
+    pub fn softmax_rows(&mut self, a: NodeId, tau: f32) -> NodeId {
+        assert!(tau > 0.0, "softmax temperature must be positive");
+        let v = self.value(a).softmax_rows(tau);
+        self.push(Op::SoftmaxRows(a, tau), v)
+    }
+
+    // ----- shape ops ----------------------------------------------------
+
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).concat_cols(self.value(b));
+        self.push(Op::ConcatCols(a, b), v)
+    }
+
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let v = self.value(a).slice_cols(start, end);
+        self.push(Op::SliceCols(a, start, end), v)
+    }
+
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
+    // ----- reductions ---------------------------------------------------
+
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let v = Matrix::filled(1, 1, self.value(a).sum());
+        self.push(Op::SumAll(a), v)
+    }
+
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let v = Matrix::filled(1, 1, self.value(a).mean());
+        self.push(Op::MeanAll(a), v)
+    }
+
+    /// Sum each row: `m×n -> m×1`.
+    pub fn row_sum(&mut self, a: NodeId) -> NodeId {
+        let (m, _) = self.value(a).shape();
+        let mut v = Matrix::zeros(m, 1);
+        for r in 0..m {
+            v.set(r, 0, self.nodes[a.idx()].value.row(r).iter().sum());
+        }
+        self.push(Op::RowSum(a), v)
+    }
+
+    // ----- graph-learning primitives -------------------------------------
+
+    /// Gather rows of `a` by index: `out[i] = a[idx[i]]`.
+    pub fn gather_rows(&mut self, a: NodeId, idx: Arc<Vec<u32>>) -> NodeId {
+        let v = self.value(a).gather_rows(&idx);
+        self.push(Op::GatherRows(a, idx), v)
+    }
+
+    /// Constant-sparse × dense product (GCN propagation step).
+    pub fn spmm(&mut self, a: Arc<CsrPair>, x: NodeId) -> NodeId {
+        let v = a.fwd.spmm(self.value(x));
+        self.push(Op::SpMM(a, x), v)
+    }
+
+    /// Softmax of per-edge scores (`E×1`), normalized within each group of
+    /// edges sharing a destination node (eq. 3 / eq. 7 of the paper).
+    pub fn edge_softmax(&mut self, scores: NodeId, edges: Arc<EdgeIndex>) -> NodeId {
+        let s = self.value(scores);
+        assert_eq!(s.shape(), (edges.n_edges(), 1), "edge_softmax shape");
+        let mut v = Matrix::zeros(edges.n_edges(), 1);
+        // Edges are grouped by destination, so chunk boundaries aligned to
+        // `dst_ptr` give every softmax group exactly one writer.
+        let dst_ptr = edges.dst_ptr();
+        par::for_each_disjoint(
+            v.as_mut_slice(),
+            edges.n_nodes(),
+            edges.n_edges() * 8,
+            |i| dst_ptr[i] as usize,
+            |nodes, chunk| {
+                let base = dst_ptr[nodes.start] as usize;
+                for i in nodes {
+                    let range = edges.incoming(i);
+                    if range.is_empty() {
+                        continue;
+                    }
+                    let mx = range
+                        .clone()
+                        .map(|e| s.get(e, 0))
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for e in range.clone() {
+                        let x = (s.get(e, 0) - mx).exp();
+                        chunk[e - base] = x;
+                        sum += x;
+                    }
+                    for e in range {
+                        chunk[e - base] /= sum;
+                    }
+                }
+            },
+        );
+        self.push(Op::EdgeSoftmax(scores, edges), v)
+    }
+
+    /// Attention aggregation (eq. 2 / eq. 6): `out[dst] += alpha_e * h[src]`.
+    pub fn edge_aggregate(&mut self, alpha: NodeId, h: NodeId, edges: Arc<EdgeIndex>) -> NodeId {
+        let a = self.value(alpha);
+        assert_eq!(
+            a.shape(),
+            (edges.n_edges(), 1),
+            "edge_aggregate alpha shape"
+        );
+        let hm = self.value(h);
+        assert_eq!(hm.rows(), edges.n_nodes(), "edge_aggregate h shape");
+        let d = hm.cols();
+        let mut v = Matrix::zeros(edges.n_nodes(), d);
+        // Destination rows partition across threads; each row reduces its
+        // incoming edges in edge order (edges are dst-sorted), matching the
+        // serial edge-loop accumulation order exactly.
+        par::for_each_row_block(
+            v.as_mut_slice(),
+            d,
+            edges.n_edges() * d * 2,
+            |nodes, chunk| {
+                for (ni, i) in nodes.enumerate() {
+                    let out_row = &mut chunk[ni * d..(ni + 1) * d];
+                    for e in edges.incoming(i) {
+                        let w = a.get(e, 0);
+                        let src = edges.src()[e] as usize;
+                        let src_row = &hm.as_slice()[src * d..(src + 1) * d];
+                        for (o, &x) in out_row.iter_mut().zip(src_row.iter()) {
+                            *o += w * x;
+                        }
+                    }
+                }
+            },
+        );
+        self.push(Op::EdgeAggregate(alpha, h, edges), v)
+    }
+
+    /// MS-Gate gated linear map (eqs. 20–22):
+    /// `z[i,k] = Σ_d x[i,d] · w[d,k] · f[i, d*h + k]`, where `f` is the
+    /// per-sample parameter filter over the flattened weight matrix.
+    pub fn gated_matmul(&mut self, x: NodeId, w: NodeId, f: NodeId) -> NodeId {
+        let (n, d) = self.value(x).shape();
+        let (dw, h) = self.value(w).shape();
+        assert_eq!(d, dw, "gated_matmul inner dims");
+        assert_eq!(
+            self.value(f).shape(),
+            (n, d * h),
+            "gated_matmul filter shape"
+        );
+        let mut v = Matrix::zeros(n, h);
+        {
+            let xm = &self.nodes[x.idx()].value;
+            let wm = &self.nodes[w.idx()].value;
+            let fm = &self.nodes[f.idx()].value;
+            // Sample rows are independent; the zero-skip stays because gated
+            // inputs are often sparse activations, unlike the dense matmuls.
+            par::for_each_row_block(v.as_mut_slice(), h, n * d * h * 3, |rows, chunk| {
+                for (ri, i) in rows.enumerate() {
+                    let x_row = xm.row(i);
+                    let f_row = fm.row(i);
+                    let out_row = &mut chunk[ri * h..(ri + 1) * h];
+                    for (dd, &xv) in x_row.iter().enumerate() {
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        let w_row = wm.row(dd);
+                        let f_seg = &f_row[dd * h..(dd + 1) * h];
+                        for k in 0..h {
+                            out_row[k] += xv * w_row[k] * f_seg[k];
+                        }
+                    }
+                }
+            });
+        }
+        self.push(Op::GatedMatMul(x, w, f), v)
+    }
+
+    /// Pairwise differences `out[i,j] = a[i] - b[j]` for column vectors
+    /// (used by the PU rank loss, eq. 18).
+    pub fn sub_outer(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (m, ca) = self.value(a).shape();
+        let (n, cb) = self.value(b).shape();
+        assert_eq!((ca, cb), (1, 1), "sub_outer expects column vectors");
+        let mut v = Matrix::zeros(m, n);
+        for i in 0..m {
+            let ai = self.nodes[a.idx()].value.get(i, 0);
+            for j in 0..n {
+                v.set(i, j, ai - self.nodes[b.idx()].value.get(j, 0));
+            }
+        }
+        self.push(Op::SubOuter(a, b), v)
+    }
+
+    /// Numerically stable weighted binary cross-entropy with logits
+    /// (eq. 15 / eq. 23). Returns a `1×1` node with the weighted mean loss;
+    /// weights typically mask to the labeled region set.
+    pub fn bce_with_logits(
+        &mut self,
+        logits: NodeId,
+        targets: Arc<Vec<f32>>,
+        weights: Arc<Vec<f32>>,
+    ) -> NodeId {
+        let z = self.value(logits);
+        assert_eq!(z.cols(), 1, "bce expects a column of logits");
+        assert_eq!(z.rows(), targets.len(), "bce target count");
+        assert_eq!(z.rows(), weights.len(), "bce weight count");
+        let wsum: f32 = weights.iter().sum();
+        let mut loss = 0.0f64;
+        if wsum > 0.0 {
+            for i in 0..targets.len() {
+                let zi = z.get(i, 0);
+                let li = zi.max(0.0) - zi * targets[i] + (1.0 + (-zi.abs()).exp()).ln();
+                loss += (weights[i] * li) as f64;
+            }
+            loss /= wsum as f64;
+        }
+        let v = Matrix::filled(1, 1, loss as f32);
+        self.push(Op::BceWithLogits(logits, targets, weights), v)
+    }
+
+    // ----- convolution ----------------------------------------------------
+
+    /// Batched 2-D convolution via im2col. `x` is `n × (c_in*h*w)`, `kernel`
+    /// is `c_out × (c_in*k*k)`; output is `n × (c_out*h_out*w_out)`.
+    pub fn conv2d(&mut self, x: NodeId, kernel: NodeId, meta: ConvMeta) -> NodeId {
+        let xm = self.value(x);
+        assert_eq!(xm.cols(), meta.in_len(), "conv2d input length");
+        assert_eq!(
+            self.value(kernel).shape(),
+            meta.kernel_shape(),
+            "conv2d kernel shape"
+        );
+        let v = conv2d_batch(xm, &self.nodes[kernel.idx()].value, &meta);
+        self.push(Op::Conv2d(x, kernel, meta), v)
+    }
+
+    /// Add a per-channel bias (`1×channels`) to a conv output laid out as
+    /// `n × (channels*hw)`.
+    pub fn add_chan_bias(&mut self, a: NodeId, bias: NodeId, channels: usize, hw: usize) -> NodeId {
+        let (n, len) = self.value(a).shape();
+        assert_eq!(len, channels * hw, "add_chan_bias layout");
+        assert_eq!(
+            self.value(bias).shape(),
+            (1, channels),
+            "add_chan_bias bias shape"
+        );
+        let mut v = self.value(a).clone();
+        for i in 0..n {
+            let row = v.row_mut(i);
+            for c in 0..channels {
+                let b = self.nodes[bias.idx()].value.get(0, c);
+                for p in 0..hw {
+                    row[c * hw + p] += b;
+                }
+            }
+        }
+        self.push(Op::AddChanBias(a, bias, channels, hw), v)
+    }
+
+    /// Batched 2×2/stride-2 max pooling.
+    pub fn max_pool2(&mut self, x: NodeId, meta: PoolMeta) -> NodeId {
+        let xm = self.value(x);
+        assert_eq!(xm.cols(), meta.in_len(), "max_pool2 input length");
+        let v = maxpool2_batch(xm, &meta);
+        self.push(Op::MaxPool2(x, meta), v)
+    }
+
+    // ----- compound helpers ----------------------------------------------
+
+    /// Mean squared error between two same-shape nodes, as a scalar node.
+    pub fn mse(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let d = self.sub(a, b);
+        let sq = self.mul(d, d);
+        self.mean_all(sq)
+    }
+
+    // ----- backward -------------------------------------------------------
+
+    /// Reverse pass from `root` (must be `1×1`). Gradients are stored on the
+    /// graph and can be read with [`Graph::grad`].
+    pub fn backward(&mut self, root: NodeId) {
+        assert_eq!(
+            self.value(root).shape(),
+            (1, 1),
+            "backward root must be scalar"
+        );
+        self.backward_seeded(root, Matrix::filled(1, 1, 1.0));
+    }
+
+    /// Reverse pass with an explicit seed gradient for `root`.
+    pub fn backward_seeded(&mut self, root: NodeId, seed: Matrix) {
+        assert_eq!(
+            self.value(root).shape(),
+            seed.shape(),
+            "seed shape mismatch"
+        );
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        self.grads[root.idx()] = Some(seed);
+        for id in (0..=root.idx()).rev() {
+            let Some(dy) = self.grads[id].take() else {
+                continue;
+            };
+            let op = self.nodes[id].op.clone();
+            self.apply_backward(&op, id, &dy);
+            // Keep the gradient available for inspection.
+            self.grads[id] = Some(dy);
+        }
+    }
+
+    fn add_grad(&mut self, id: NodeId, delta: Matrix) {
+        match &mut self.grads[id.idx()] {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn apply_backward(&mut self, op: &Op, id: usize, dy: &Matrix) {
+        match op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let da = dy.matmul_nt(&self.nodes[b.idx()].value);
+                let db = self.nodes[a.idx()].value.matmul_tn(dy);
+                self.add_grad(*a, da);
+                self.add_grad(*b, db);
+            }
+            Op::Add(a, b) => {
+                self.add_grad(*a, dy.clone());
+                self.add_grad(*b, dy.clone());
+            }
+            Op::Sub(a, b) => {
+                self.add_grad(*a, dy.clone());
+                self.add_grad(*b, dy.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                let da = dy.zip(&self.nodes[b.idx()].value, |g, y| g * y);
+                let db = dy.zip(&self.nodes[a.idx()].value, |g, x| g * x);
+                self.add_grad(*a, da);
+                self.add_grad(*b, db);
+            }
+            Op::AddRow(a, row) => {
+                self.add_grad(*a, dy.clone());
+                let (m, n) = dy.shape();
+                let mut dr = Matrix::zeros(1, n);
+                for r in 0..m {
+                    for (o, &g) in dr.row_mut(0).iter_mut().zip(dy.row(r).iter()) {
+                        *o += g;
+                    }
+                }
+                self.add_grad(*row, dr);
+            }
+            Op::MulRow(a, row) => {
+                let (m, n) = dy.shape();
+                let rv = self.nodes[row.idx()].value.clone();
+                let av = &self.nodes[a.idx()].value;
+                let mut da = Matrix::zeros(m, n);
+                let mut dr = Matrix::zeros(1, n);
+                for r in 0..m {
+                    for c in 0..n {
+                        let g = dy.get(r, c);
+                        da.set(r, c, g * rv.get(0, c));
+                        dr.set(0, c, dr.get(0, c) + g * av.get(r, c));
+                    }
+                }
+                self.add_grad(*a, da);
+                self.add_grad(*row, dr);
+            }
+            Op::MulCol(a, col) => {
+                let (m, n) = dy.shape();
+                let cv = self.nodes[col.idx()].value.clone();
+                let av = &self.nodes[a.idx()].value;
+                let mut da = Matrix::zeros(m, n);
+                let mut dc = Matrix::zeros(m, 1);
+                for r in 0..m {
+                    let mut acc = 0.0;
+                    for c in 0..n {
+                        let g = dy.get(r, c);
+                        da.set(r, c, g * cv.get(r, 0));
+                        acc += g * av.get(r, c);
+                    }
+                    dc.set(r, 0, acc);
+                }
+                self.add_grad(*a, da);
+                self.add_grad(*col, dc);
+            }
+            Op::Scale(a, s) => self.add_grad(*a, dy.map(|x| x * s)),
+            Op::AddScalar(a) => self.add_grad(*a, dy.clone()),
+            Op::LeakyRelu(a, slope) => {
+                let da = self.nodes[a.idx()]
+                    .value
+                    .zip(dy, |x, g| if x > 0.0 { g } else { slope * g });
+                self.add_grad(*a, da);
+            }
+            Op::Sigmoid(a) => {
+                let da = self.nodes[id].value.zip(dy, |y, g| g * y * (1.0 - y));
+                self.add_grad(*a, da);
+            }
+            Op::Tanh(a) => {
+                let da = self.nodes[id].value.zip(dy, |y, g| g * (1.0 - y * y));
+                self.add_grad(*a, da);
+            }
+            Op::Exp(a) => {
+                let da = self.nodes[id].value.zip(dy, |y, g| g * y);
+                self.add_grad(*a, da);
+            }
+            Op::LnEps(a, eps) => {
+                let da = self.nodes[a.idx()].value.zip(dy, |x, g| g / (x + eps));
+                self.add_grad(*a, da);
+            }
+            Op::SoftmaxRows(a, tau) => {
+                let y = &self.nodes[id].value;
+                let (m, n) = y.shape();
+                let mut da = Matrix::zeros(m, n);
+                for r in 0..m {
+                    let dot: f32 = y
+                        .row(r)
+                        .iter()
+                        .zip(dy.row(r).iter())
+                        .map(|(&yv, &g)| yv * g)
+                        .sum();
+                    for c in 0..n {
+                        da.set(r, c, y.get(r, c) * (dy.get(r, c) - dot) / tau);
+                    }
+                }
+                self.add_grad(*a, da);
+            }
+            Op::ConcatCols(a, b) => {
+                let ca = self.nodes[a.idx()].value.cols();
+                let total = dy.cols();
+                self.add_grad(*a, dy.slice_cols(0, ca));
+                self.add_grad(*b, dy.slice_cols(ca, total));
+            }
+            Op::SliceCols(a, start, end) => {
+                let (m, n) = self.nodes[a.idx()].value.shape();
+                let mut da = Matrix::zeros(m, n);
+                for r in 0..m {
+                    da.row_mut(r)[*start..*end].copy_from_slice(dy.row(r));
+                }
+                self.add_grad(*a, da);
+            }
+            Op::Transpose(a) => self.add_grad(*a, dy.transpose()),
+            Op::SumAll(a) => {
+                let (m, n) = self.nodes[a.idx()].value.shape();
+                self.add_grad(*a, Matrix::filled(m, n, dy.get(0, 0)));
+            }
+            Op::MeanAll(a) => {
+                let (m, n) = self.nodes[a.idx()].value.shape();
+                let len = (m * n).max(1) as f32;
+                self.add_grad(*a, Matrix::filled(m, n, dy.get(0, 0) / len));
+            }
+            Op::RowSum(a) => {
+                let (m, n) = self.nodes[a.idx()].value.shape();
+                let mut da = Matrix::zeros(m, n);
+                for r in 0..m {
+                    let g = dy.get(r, 0);
+                    for x in da.row_mut(r) {
+                        *x = g;
+                    }
+                }
+                self.add_grad(*a, da);
+            }
+            Op::GatherRows(a, idx) => {
+                let (m, n) = self.nodes[a.idx()].value.shape();
+                // Scatter-add with possibly duplicate row indices: parallel
+                // partitioning over `idx` would give one row two writers, so
+                // the backward scatter stays serial (the forward gather is
+                // the parallel one).
+                let mut da = Matrix::zeros(m, n);
+                for (i, &r) in idx.iter().enumerate() {
+                    let dst = &mut da.as_mut_slice()[r as usize * n..(r as usize + 1) * n];
+                    for (o, &g) in dst.iter_mut().zip(dy.row(i).iter()) {
+                        *o += g;
+                    }
+                }
+                self.add_grad(*a, da);
+            }
+            Op::SpMM(pair, x) => {
+                let dx = pair.bwd.spmm(dy);
+                self.add_grad(*x, dx);
+            }
+            Op::EdgeSoftmax(scores, edges) => {
+                let alpha = &self.nodes[id].value;
+                let mut ds = Matrix::zeros(edges.n_edges(), 1);
+                let dst_ptr = edges.dst_ptr();
+                par::for_each_disjoint(
+                    ds.as_mut_slice(),
+                    edges.n_nodes(),
+                    edges.n_edges() * 4,
+                    |i| dst_ptr[i] as usize,
+                    |nodes, chunk| {
+                        let base = dst_ptr[nodes.start] as usize;
+                        for i in nodes {
+                            let range = edges.incoming(i);
+                            if range.is_empty() {
+                                continue;
+                            }
+                            let dot: f32 =
+                                range.clone().map(|e| alpha.get(e, 0) * dy.get(e, 0)).sum();
+                            for e in range {
+                                chunk[e - base] = alpha.get(e, 0) * (dy.get(e, 0) - dot);
+                            }
+                        }
+                    },
+                );
+                self.add_grad(*scores, ds);
+            }
+            Op::EdgeAggregate(alpha, h, edges) => {
+                let am = &self.nodes[alpha.idx()].value;
+                let hm = &self.nodes[h.idx()].value;
+                let d = hm.cols();
+                // Each edge's alpha-gradient is an independent dot product.
+                let mut dalpha = Matrix::zeros(edges.n_edges(), 1);
+                par::for_each_row_block(
+                    dalpha.as_mut_slice(),
+                    1,
+                    edges.n_edges() * d,
+                    |es, chunk| {
+                        for (k, e) in es.enumerate() {
+                            let src = edges.src()[e] as usize;
+                            let dst = edges.dst()[e] as usize;
+                            let dy_row = &dy.as_slice()[dst * d..(dst + 1) * d];
+                            let h_row = &hm.as_slice()[src * d..(src + 1) * d];
+                            chunk[k] = dy_row.iter().zip(h_row.iter()).map(|(&g, &x)| g * x).sum();
+                        }
+                    },
+                );
+                // The dh scatter indexes by *source* row, and several edges
+                // can share one source, so a row partition over edges would
+                // race; this stays serial.
+                let mut dh = Matrix::zeros(hm.rows(), d);
+                for e in 0..edges.n_edges() {
+                    let src = edges.src()[e] as usize;
+                    let dst = edges.dst()[e] as usize;
+                    let dy_row = &dy.as_slice()[dst * d..(dst + 1) * d];
+                    let w = am.get(e, 0);
+                    let dh_row = &mut dh.as_mut_slice()[src * d..(src + 1) * d];
+                    for (o, &g) in dh_row.iter_mut().zip(dy_row.iter()) {
+                        *o += w * g;
+                    }
+                }
+                self.add_grad(*alpha, dalpha);
+                self.add_grad(*h, dh);
+            }
+            Op::GatedMatMul(x, w, f) => {
+                let xm = self.nodes[x.idx()].value.clone();
+                let wm = self.nodes[w.idx()].value.clone();
+                let fm = self.nodes[f.idx()].value.clone();
+                let (n, d) = xm.shape();
+                let h = wm.cols();
+                let mut dx = Matrix::zeros(n, d);
+                let mut dw = Matrix::zeros(d, h);
+                let mut df = Matrix::zeros(n, d * h);
+                for i in 0..n {
+                    let x_row = xm.row(i);
+                    let f_row = fm.row(i);
+                    let dy_row = dy.row(i);
+                    let df_row = df.row_mut(i);
+                    for dd in 0..d {
+                        let w_row = wm.row(dd);
+                        let f_seg = &f_row[dd * h..(dd + 1) * h];
+                        let df_seg = &mut df_row[dd * h..(dd + 1) * h];
+                        let xv = x_row[dd];
+                        let mut dx_acc = 0.0;
+                        for k in 0..h {
+                            let g = dy_row[k];
+                            dx_acc += g * w_row[k] * f_seg[k];
+                            dw.set(dd, k, dw.get(dd, k) + g * xv * f_seg[k]);
+                            df_seg[k] += g * xv * w_row[k];
+                        }
+                        dx.set(i, dd, dx_acc);
+                    }
+                }
+                self.add_grad(*x, dx);
+                self.add_grad(*w, dw);
+                self.add_grad(*f, df);
+            }
+            Op::SubOuter(a, b) => {
+                let (m, n) = dy.shape();
+                let mut da = Matrix::zeros(m, 1);
+                let mut db = Matrix::zeros(n, 1);
+                for i in 0..m {
+                    for j in 0..n {
+                        let g = dy.get(i, j);
+                        da.set(i, 0, da.get(i, 0) + g);
+                        db.set(j, 0, db.get(j, 0) - g);
+                    }
+                }
+                self.add_grad(*a, da);
+                self.add_grad(*b, db);
+            }
+            Op::BceWithLogits(logits, targets, weights) => {
+                let z = &self.nodes[logits.idx()].value;
+                let wsum: f32 = weights.iter().sum();
+                let mut dz = Matrix::zeros(z.rows(), 1);
+                if wsum > 0.0 {
+                    let g = dy.get(0, 0) / wsum;
+                    for i in 0..targets.len() {
+                        let zi = z.get(i, 0);
+                        let p = 1.0 / (1.0 + (-zi).exp());
+                        dz.set(i, 0, g * weights[i] * (p - targets[i]));
+                    }
+                }
+                self.add_grad(*logits, dz);
+            }
+            Op::Conv2d(x, kernel, meta) => {
+                let (dx, dk) = conv2d_backward_batch(
+                    &self.nodes[x.idx()].value,
+                    &self.nodes[kernel.idx()].value,
+                    dy,
+                    meta,
+                );
+                self.add_grad(*x, dx);
+                self.add_grad(*kernel, dk);
+            }
+            Op::AddChanBias(a, bias, channels, hw) => {
+                self.add_grad(*a, dy.clone());
+                let n = dy.rows();
+                let mut db = Matrix::zeros(1, *channels);
+                for i in 0..n {
+                    let row = dy.row(i);
+                    for c in 0..*channels {
+                        let s: f32 = row[c * hw..(c + 1) * hw].iter().sum();
+                        db.set(0, c, db.get(0, c) + s);
+                    }
+                }
+                self.add_grad(*bias, db);
+            }
+            Op::MaxPool2(x, meta) => {
+                let dx = maxpool2_backward_batch(&self.nodes[x.idx()].value, dy, meta);
+                self.add_grad(*x, dx);
+            }
+        }
+    }
+
+    /// Copy gradients of bound parameters back into their [`ParamRef`]s
+    /// (accumulating). Call after [`Graph::backward`].
+    pub fn write_grads(&self) {
+        for (id, p) in &self.param_links {
+            if let Some(g) = self.grad(*id) {
+                p.accumulate_grad(g);
+            }
+        }
+    }
+}
+
+/// Re-execute a recorded [`Plan`] op-for-op through the legacy tape.
+///
+/// Leaves bound to parameters are re-bound with [`Graph::param`] (reading
+/// the *current* parameter value, exactly like the pre-refactor per-epoch
+/// recording did), and constant leaves are cloned out of the recording
+/// workspace (the old code cloned its inputs into the tape every epoch).
+/// Node ids coincide by construction: plan node `i` is [`Graph::node`]`(i)`
+/// of the returned tape.
+#[allow(clippy::too_many_lines)]
+pub fn rebuild(plan: &Plan, ws: &Workspace) -> Graph {
+    fn n(id: plan::NodeId) -> NodeId {
+        NodeId(id.idx() as u32)
+    }
+    let mut params: Vec<Option<&ParamRef>> = vec![None; plan.ops.len()];
+    for (id, p) in &plan.param_links {
+        params[id.idx()] = Some(p);
+    }
+    let mut g = Graph::new();
+    for (i, op) in plan.ops.iter().enumerate() {
+        let got = match op {
+            plan::Op::Leaf => match params[i] {
+                Some(p) => g.param(p),
+                None => g.constant(ws.values[i].clone()),
+            },
+            plan::Op::MatMul(a, b) => g.matmul(n(*a), n(*b)),
+            plan::Op::Add(a, b) => g.add(n(*a), n(*b)),
+            plan::Op::Sub(a, b) => g.sub(n(*a), n(*b)),
+            plan::Op::Mul(a, b) => g.mul(n(*a), n(*b)),
+            plan::Op::AddRow(a, r) => g.add_row(n(*a), n(*r)),
+            plan::Op::MulRow(a, r) => g.mul_row(n(*a), n(*r)),
+            plan::Op::MulCol(a, c) => g.mul_col(n(*a), n(*c)),
+            plan::Op::Scale(a, s) => g.scale(n(*a), *s),
+            plan::Op::AddScalar(a, s) => g.add_scalar(n(*a), *s),
+            plan::Op::LeakyRelu(a, s) => g.leaky_relu(n(*a), *s),
+            plan::Op::Sigmoid(a) => g.sigmoid(n(*a)),
+            plan::Op::Tanh(a) => g.tanh(n(*a)),
+            plan::Op::Exp(a) => g.exp(n(*a)),
+            plan::Op::LnEps(a, eps) => g.ln_eps(n(*a), *eps),
+            plan::Op::SoftmaxRows(a, tau) => g.softmax_rows(n(*a), *tau),
+            plan::Op::ConcatCols(a, b) => g.concat_cols(n(*a), n(*b)),
+            plan::Op::SliceCols(a, s, e) => g.slice_cols(n(*a), *s, *e),
+            plan::Op::Transpose(a) => g.transpose(n(*a)),
+            plan::Op::SumAll(a) => g.sum_all(n(*a)),
+            plan::Op::MeanAll(a) => g.mean_all(n(*a)),
+            plan::Op::RowSum(a) => g.row_sum(n(*a)),
+            plan::Op::GatherRows(a, idx) => g.gather_rows(n(*a), idx.clone()),
+            plan::Op::SpMM(pair, x) => g.spmm(pair.clone(), n(*x)),
+            plan::Op::EdgeSoftmax(s, e) => g.edge_softmax(n(*s), e.clone()),
+            plan::Op::EdgeAggregate(a, h, e) => g.edge_aggregate(n(*a), n(*h), e.clone()),
+            plan::Op::GatedMatMul(x, w, f) => g.gated_matmul(n(*x), n(*w), n(*f)),
+            plan::Op::SubOuter(a, b) => g.sub_outer(n(*a), n(*b)),
+            plan::Op::BceWithLogits(l, t, w) => g.bce_with_logits(n(*l), t.clone(), w.clone()),
+            plan::Op::Conv2d(x, k, meta) => g.conv2d(n(*x), n(*k), *meta),
+            plan::Op::AddChanBias(a, b, c, hw) => g.add_chan_bias(n(*a), n(*b), *c, *hw),
+            plan::Op::MaxPool2(x, meta) => g.max_pool2(n(*x), *meta),
+        };
+        debug_assert_eq!(got.idx(), i, "legacy tape diverged from plan ids");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        // loss = sum(A * B); dA = 1 * B^T, dB = A^T * 1.
+        let mut g = Graph::new();
+        let a = g.constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.constant(Matrix::from_rows(&[&[5.0], &[6.0]]));
+        let y = g.matmul(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        let da = g.grad(a).unwrap();
+        assert_eq!(da, &Matrix::from_rows(&[&[5.0, 6.0], &[5.0, 6.0]]));
+        let db = g.grad(b).unwrap();
+        assert_eq!(db, &Matrix::from_rows(&[&[4.0], &[6.0]]));
+    }
+
+    #[test]
+    fn grad_accumulates_on_reuse() {
+        // loss = sum(x * x) -> dx = 2x.
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::from_rows(&[&[3.0]]));
+        let y = g.mul(x, x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn bce_gradient_is_sigmoid_minus_target() {
+        let mut g = Graph::new();
+        let z = g.constant(Matrix::col_vec(&[0.0, 2.0]));
+        let loss = g.bce_with_logits(z, Arc::new(vec![1.0, 0.0]), Arc::new(vec![1.0, 1.0]));
+        g.backward(loss);
+        let dz = g.grad(z).unwrap();
+        assert!((dz.get(0, 0) - (0.5 - 1.0) / 2.0).abs() < 1e-5);
+        let p2 = 1.0 / (1.0 + (-2.0f32).exp());
+        assert!((dz.get(1, 0) - (p2 - 0.0) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn edge_softmax_normalizes_incoming() {
+        let edges = Arc::new(EdgeIndex::from_pairs(3, vec![(0, 2), (1, 2), (2, 0)]));
+        let mut g = Graph::new();
+        // Edges are sorted by destination: edge 0 is (2,0); edges 1,2 are
+        // (0,2) and (1,2). Give node 2's two incoming edges equal scores.
+        let s = g.constant(Matrix::col_vec(&[3.0, 1.0, 1.0]));
+        let a = g.edge_softmax(s, edges.clone());
+        let v = g.value(a);
+        // Node 0 has one incoming edge -> alpha = 1.
+        let e0 = edges.incoming(0).next().unwrap();
+        assert!((v.get(e0, 0) - 1.0).abs() < 1e-6);
+        // Node 2 has two equal-score incoming edges -> 0.5 each.
+        for e in edges.incoming(2) {
+            assert!((v.get(e, 0) - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn write_grads_reaches_params() {
+        let p = ParamRef::new("w", Matrix::filled(1, 1, 2.0));
+        let mut g = Graph::new();
+        let w = g.param(&p);
+        let y = g.mul(w, w);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        g.write_grads();
+        assert_eq!(p.grad().get(0, 0), 4.0);
+    }
+}

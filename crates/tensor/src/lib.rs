@@ -9,7 +9,11 @@
 //!   tape (matmul with free transposition, softmax, gather, ...).
 //! * [`Graph`] — a define-by-run autodiff tape with graph-learning primitives:
 //!   per-destination edge softmax, attention aggregation, constant sparse
-//!   matmul, the MS-Gate `gated_matmul`, and im2col convolution.
+//!   matmul, the MS-Gate `gated_matmul`, and im2col convolution. Since the
+//!   Plan/Workspace split it is a recording facade over [`Plan`] (replayable
+//!   op topology) + [`Workspace`] (reusable buffer arena): record the tape
+//!   once, then [`Graph::replay`] each epoch with zero steady-state heap
+//!   allocation; [`Graph::inference`] gives a no-grad forward-only mode.
 //! * [`ParamRef`] / [`ParamSet`] / [`Adam`] — trainable parameters and the
 //!   Adam optimizer with exponential learning-rate decay.
 //! * [`Csr`] / [`EdgeIndex`] — the sparse structures shared with the URG.
@@ -21,18 +25,21 @@
 //! ```
 //! use uvd_tensor::{Graph, Matrix, ParamRef, ParamSet, Adam};
 //!
-//! // Fit y = 2x with one weight.
+//! // Fit y = 2x with one weight: record the tape once, replay per epoch.
 //! let w = ParamRef::new("w", Matrix::filled(1, 1, 0.0));
 //! let mut set = ParamSet::new();
 //! set.track(w.clone());
 //! let mut opt = Adam::new(0.1);
-//! for _ in 0..300 {
-//!     let mut g = Graph::new();
-//!     let wv = g.param(&w);
-//!     let x = g.constant(Matrix::filled(1, 1, 3.0));
-//!     let y = g.matmul(x, wv);
-//!     let target = g.constant(Matrix::filled(1, 1, 6.0));
-//!     let loss = g.mse(y, target);
+//! let mut g = Graph::new();
+//! let wv = g.param(&w);
+//! let x = g.constant(Matrix::filled(1, 1, 3.0));
+//! let y = g.matmul(x, wv);
+//! let target = g.constant(Matrix::filled(1, 1, 6.0));
+//! let loss = g.mse(y, target);
+//! for epoch in 0..300 {
+//!     if epoch > 0 {
+//!         g.replay(); // refresh params, recompute in place — no allocation
+//!     }
 //!     g.backward(loss);
 //!     g.write_grads();
 //!     opt.step(&set);
@@ -43,10 +50,12 @@
 pub mod conv;
 pub mod graph;
 pub mod init;
+pub mod legacy;
 pub mod matrix;
 pub mod par;
 pub mod param;
 pub mod persist;
+pub mod plan;
 pub mod sparse;
 
 pub use conv::{ConvMeta, PoolMeta};
@@ -55,4 +64,5 @@ pub use init::{seeded_rng, Rng64};
 pub use matrix::Matrix;
 pub use param::{Adam, ParamRef, ParamSet};
 pub use persist::MatrixStore;
+pub use plan::{Plan, Workspace};
 pub use sparse::{Csr, EdgeIndex};

@@ -232,47 +232,68 @@ impl Matrix {
     /// zero-skip branch — `Csr` handles genuinely sparse operands), rows
     /// partitioned across threads above the work threshold.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_acc(rhs, &mut out.data);
+        out
+    }
+
+    /// Accumulate `self * rhs` into a caller-owned buffer (`out += a * b`).
+    /// The replay engine zero-fills `out` first; the accumulation order is
+    /// identical to [`Matrix::matmul`], so the results are bit-equal.
+    pub fn matmul_acc(&self, rhs: &Matrix, out: &mut [f32]) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
-        par::for_each_row_block(&mut out.data, n, m * k * n, |rows, chunk| {
+        assert_eq!(out.len(), m * n, "matmul output buffer size");
+        par::for_each_row_block(out, n, m * k * n, |rows, chunk| {
             matmul_rows(&self.data, &rhs.data, chunk, rows, k, n);
         });
-        out
     }
 
     /// `self^T * rhs` without materializing the transpose.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_tn_acc(rhs, &mut out.data);
+        out
+    }
+
+    /// Accumulate `self^T * rhs` into a caller-owned (pre-zeroed) buffer.
+    pub fn matmul_tn_acc(&self, rhs: &Matrix, out: &mut [f32]) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, k, n) = (self.cols, self.rows, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
-        par::for_each_row_block(&mut out.data, n, m * k * n, |rows, chunk| {
+        assert_eq!(out.len(), m * n, "matmul_tn output buffer size");
+        par::for_each_row_block(out, n, m * k * n, |rows, chunk| {
             matmul_tn_rows(&self.data, &rhs.data, chunk, rows, k, m, n);
         });
-        out
     }
 
     /// `self * rhs^T` without materializing the transpose.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_to(rhs, &mut out.data);
+        out
+    }
+
+    /// Write `self * rhs^T` into a caller-owned buffer (every element is
+    /// overwritten; no pre-zeroing required).
+    pub fn matmul_nt_to(&self, rhs: &Matrix, out: &mut [f32]) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = Matrix::zeros(m, n);
-        par::for_each_row_block(&mut out.data, n, m * k * n, |rows, chunk| {
+        assert_eq!(out.len(), m * n, "matmul_nt output buffer size");
+        par::for_each_row_block(out, n, m * k * n, |rows, chunk| {
             matmul_nt_rows(&self.data, &rhs.data, chunk, rows, k, n);
         });
-        out
     }
 
     /// Transposed copy.
@@ -389,35 +410,36 @@ impl Matrix {
     /// across threads; the source is only read, so any duplicate indices are
     /// safe).
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        self.gather_rows_to(idx, &mut out.data);
+        out
+    }
+
+    /// Gather rows by index into a caller-owned buffer (fully overwritten).
+    pub fn gather_rows_to(&self, idx: &[u32], out: &mut [f32]) {
         let cols = self.cols;
-        let mut out = Matrix::zeros(idx.len(), cols);
-        par::for_each_row_block(&mut out.data, cols, idx.len() * cols, |rows, chunk| {
+        assert_eq!(out.len(), idx.len() * cols, "gather_rows output size");
+        par::for_each_row_block(out, cols, idx.len() * cols, |rows, chunk| {
             for (ri, i) in rows.enumerate() {
                 let r = idx[i] as usize;
                 chunk[ri * cols..(ri + 1) * cols].copy_from_slice(self.row(r));
             }
         });
-        out
     }
 
     /// Row-wise softmax with temperature: `softmax(x / tau)` per row.
     pub fn softmax_rows(&self, tau: f32) -> Matrix {
         let mut out = self.clone();
-        for r in 0..self.rows {
-            let row = out.row_mut(r);
-            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max) / tau;
-            let mut sum = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x / tau - mx).exp();
-                sum += *x;
-            }
-            if sum > 0.0 {
-                for x in row.iter_mut() {
-                    *x /= sum;
-                }
-            }
-        }
+        softmax_rows_inplace(&mut out.data, self.rows, self.cols, tau);
         out
+    }
+
+    /// Row-wise softmax written to a caller-owned buffer (fully overwritten;
+    /// identical per-row transform to [`Matrix::softmax_rows`]).
+    pub fn softmax_rows_to(&self, tau: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.data.len(), "softmax_rows output size");
+        out.copy_from_slice(&self.data);
+        softmax_rows_inplace(out, self.rows, self.cols, tau);
     }
 
     /// Row-wise argmax indices.
@@ -434,6 +456,25 @@ impl Matrix {
                 best as u32
             })
             .collect()
+    }
+}
+
+/// Shared body of `softmax_rows`/`softmax_rows_to`: in-place row softmax with
+/// temperature, same numeric order as the original per-row loop.
+fn softmax_rows_inplace(data: &mut [f32], rows: usize, cols: usize, tau: f32) {
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max) / tau;
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x / tau - mx).exp();
+            sum += *x;
+        }
+        if sum > 0.0 {
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
     }
 }
 

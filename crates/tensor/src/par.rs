@@ -28,6 +28,14 @@
 //! [`with_threads`] (used by benches/tests), the `UVD_THREADS` environment
 //! variable (read once), or the machine's available parallelism.
 //!
+//! On a host with a single effective hardware thread, dispatching through
+//! the pool cannot help — the workers would only time-slice against the
+//! caller, and the scope latch/queue traffic shows up as sub-1.0 "speedups"
+//! on small kernels. The primitives therefore keep the *same* chunk
+//! decomposition (so chunk-count-sensitive reductions stay bit-identical to
+//! a multi-core run with equal `UVD_THREADS`) but execute the chunks inline
+//! on the calling thread instead of going through `rayon::scope`.
+//!
 //! Worker closures always run with the "in worker" flag set, which forces
 //! any kernel they invoke to take the serial path — parallelism never nests,
 //! so the pool is never oversubscribed by recursive fan-out.
@@ -99,6 +107,21 @@ fn enter_worker<R>(f: impl FnOnce() -> R) -> R {
     r
 }
 
+/// True when the machine exposes a single hardware thread. Chunked jobs then
+/// run their chunks inline (same decomposition, no pool dispatch), since
+/// workers could only time-slice against the calling thread.
+fn single_core_host() -> bool {
+    static SINGLE: OnceLock<bool> = OnceLock::new();
+    *SINGLE.get_or_init(|| {
+        // The configured pool size is irrelevant here: even a 4-thread pool
+        // has one *effective* worker when the machine exposes one hardware
+        // thread, and dispatching to it only adds scheduling overhead.
+        std::thread::available_parallelism()
+            .map(|c| c.get() <= 1)
+            .unwrap_or(true)
+    })
+}
+
 /// Number of chunks a job of `work` estimated scalar ops over `items`
 /// partitionable units should split into (1 = stay serial).
 pub fn planned_chunks(items: usize, work: usize) -> usize {
@@ -134,6 +157,22 @@ where
     }
     let base = n_items / chunks;
     let extra = n_items % chunks;
+    if single_core_host() {
+        // Same chunk boundaries, executed inline in ascending order.
+        let mut rest = out;
+        let mut item = 0usize;
+        let mut off = 0usize;
+        for c in 0..chunks {
+            let end_item = item + base + usize::from(c < extra);
+            let end_off = bounds(end_item);
+            let (chunk, tail) = rest.split_at_mut(end_off - off);
+            rest = tail;
+            enter_worker(|| f(item..end_item, chunk));
+            item = end_item;
+            off = end_off;
+        }
+        return;
+    }
     rayon::scope(|s| {
         let mut rest = out;
         let mut item = 0usize;
@@ -184,6 +223,16 @@ where
     }
     let base = n_items / chunks;
     let extra = n_items % chunks;
+    if single_core_host() {
+        let mut parts = Vec::with_capacity(chunks);
+        let mut item = 0usize;
+        for c in 0..chunks {
+            let end_item = item + base + usize::from(c < extra);
+            parts.push(enter_worker(|| f(item..end_item)));
+            item = end_item;
+        }
+        return parts;
+    }
     let mut slots: Vec<Option<R>> = (0..chunks).map(|_| None).collect();
     rayon::scope(|s| {
         let fr = &f;
@@ -221,6 +270,9 @@ where
     let threads = effective_threads().min(n);
     if threads <= 1 {
         return (0..n).map(f).collect();
+    }
+    if single_core_host() {
+        return (0..n).map(|i| enter_worker(|| f(i))).collect();
     }
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     rayon::scope(|s| {

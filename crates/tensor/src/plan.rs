@@ -1,0 +1,1111 @@
+//! Replayable execution plan + reusable workspace for the autodiff tape.
+//!
+//! A [`Plan`] is the *topology* of a recorded tape: the op list, constant
+//! attachments (CSR pairs, edge indices, gather index vectors, BCE
+//! target/weight vectors) and parameter bindings. A [`Workspace`] is the
+//! *storage*: one preallocated value buffer per node plus (lazily) one
+//! gradient buffer per node, a `seen` bitmap and a shared accumulation
+//! scratch. Build the plan once per (model, split), then replay it across
+//! epochs: steady-state forward + backward touches no allocator.
+//!
+//! Invariants the whole module leans on:
+//!
+//! * **Tape order** — every op's inputs have a smaller node id than its
+//!   output, so `values.split_at_mut(i)` yields all inputs (head) and the
+//!   output (first of tail) without aliasing.
+//! * **Single writer per buffer** — each node's value buffer is written only
+//!   by its own op; each gradient buffer only through [`contribute`] /
+//!   [`merge_owned`], which serialize accumulation.
+//! * **Reduction order unchanged** — every in-place kernel reduces in exactly
+//!   the order of the old allocate-per-op code (fresh-compute-into-zeroed
+//!   buffer on first contribution, compute-into-zeroed-scratch-then-add on
+//!   later ones), so a replayed epoch is bit-identical to a freshly recorded
+//!   tape.
+//! * **Needs-grad pruning is invisible to parameters** — a contribution is
+//!   only skipped when its target has no parameter/variable leaf in its
+//!   ancestry, so no pruned gradient could ever have reached a `ParamRef`.
+//!   Parameter gradients and losses are bit-identical with pruning on.
+//!
+//! Exception to zero allocation: the conv ops (`Conv2d`, `MaxPool2`) keep
+//! their per-sample im2col scratch and backward temporaries; they are only
+//! used by the CNN baselines, not by CMSF training.
+
+use crate::conv::{
+    conv2d_backward_batch, conv2d_batch_to, maxpool2_backward_batch, maxpool2_batch_to, ConvMeta,
+    PoolMeta,
+};
+use crate::matrix::Matrix;
+use crate::par;
+use crate::param::ParamRef;
+use crate::sparse::{Csr, EdgeIndex};
+use std::sync::Arc;
+
+/// Handle to a node in the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    pub(crate) fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Position of this node in its tape (nodes are numbered in record
+    /// order, so this doubles as a stable cross-engine identifier).
+    pub fn index(self) -> usize {
+        self.idx()
+    }
+}
+
+/// A constant sparse matrix together with its precomputed transpose (the
+/// transpose is needed for the backward pass of `spmm`).
+#[derive(Clone, Debug)]
+pub struct CsrPair {
+    pub fwd: Csr,
+    pub bwd: Csr,
+}
+
+impl CsrPair {
+    pub fn new(csr: Csr) -> Arc<Self> {
+        let bwd = csr.transpose();
+        Arc::new(CsrPair { fwd: csr, bwd })
+    }
+}
+
+/// One recorded tape operation. Every scalar attribute an op needs to
+/// recompute its value is stored here, so a plan can be replayed without the
+/// recording context.
+#[derive(Clone)]
+pub(crate) enum Op {
+    Leaf,
+    MatMul(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    AddRow(NodeId, NodeId),
+    MulRow(NodeId, NodeId),
+    MulCol(NodeId, NodeId),
+    Scale(NodeId, f32),
+    AddScalar(NodeId, f32),
+    LeakyRelu(NodeId, f32),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Exp(NodeId),
+    LnEps(NodeId, f32),
+    SoftmaxRows(NodeId, f32),
+    ConcatCols(NodeId, NodeId),
+    SliceCols(NodeId, usize, usize),
+    Transpose(NodeId),
+    SumAll(NodeId),
+    MeanAll(NodeId),
+    RowSum(NodeId),
+    GatherRows(NodeId, Arc<Vec<u32>>),
+    SpMM(Arc<CsrPair>, NodeId),
+    EdgeSoftmax(NodeId, Arc<EdgeIndex>),
+    EdgeAggregate(NodeId, NodeId, Arc<EdgeIndex>),
+    GatedMatMul(NodeId, NodeId, NodeId),
+    SubOuter(NodeId, NodeId),
+    BceWithLogits(NodeId, Arc<Vec<f32>>, Arc<Vec<f32>>),
+    Conv2d(NodeId, NodeId, ConvMeta),
+    AddChanBias(NodeId, NodeId, usize, usize),
+    MaxPool2(NodeId, PoolMeta),
+}
+
+/// Recorded op topology + parameter bindings; replayable any number of times
+/// against a [`Workspace`].
+#[derive(Default)]
+pub struct Plan {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) param_links: Vec<(NodeId, ParamRef)>,
+    /// `needs_grad[i]` is true when node `i`'s ancestry contains a parameter
+    /// or grad-tracking variable leaf. The backward pass prunes every
+    /// contribution into a node that doesn't: such a gradient can never reach
+    /// a parameter, so computing it is pure waste (e.g. d loss / d x_features
+    /// for a constant feature matrix).
+    pub(crate) needs_grad: Vec<bool>,
+}
+
+/// Whether an op's output lies on a path from a parameter/variable leaf,
+/// given the flags of all earlier nodes (tape order guarantees inputs have
+/// smaller ids).
+pub(crate) fn op_needs_grad(op: &Op, needs: &[bool]) -> bool {
+    match op {
+        Op::Leaf => false,
+        Op::MatMul(a, b)
+        | Op::Add(a, b)
+        | Op::Sub(a, b)
+        | Op::Mul(a, b)
+        | Op::AddRow(a, b)
+        | Op::MulRow(a, b)
+        | Op::MulCol(a, b)
+        | Op::ConcatCols(a, b)
+        | Op::SubOuter(a, b)
+        | Op::Conv2d(a, b, _)
+        | Op::AddChanBias(a, b, _, _)
+        | Op::EdgeAggregate(a, b, _) => needs[a.idx()] || needs[b.idx()],
+        Op::GatedMatMul(x, w, f) => needs[x.idx()] || needs[w.idx()] || needs[f.idx()],
+        Op::Scale(a, _)
+        | Op::AddScalar(a, _)
+        | Op::LeakyRelu(a, _)
+        | Op::Sigmoid(a)
+        | Op::Tanh(a)
+        | Op::Exp(a)
+        | Op::LnEps(a, _)
+        | Op::SoftmaxRows(a, _)
+        | Op::SliceCols(a, _, _)
+        | Op::Transpose(a)
+        | Op::SumAll(a)
+        | Op::MeanAll(a)
+        | Op::RowSum(a)
+        | Op::GatherRows(a, _)
+        | Op::SpMM(_, a)
+        | Op::EdgeSoftmax(a, _)
+        | Op::BceWithLogits(a, _, _)
+        | Op::MaxPool2(a, _) => needs[a.idx()],
+    }
+}
+
+/// Arena of per-node value/gradient buffers reused across replays.
+#[derive(Default)]
+pub struct Workspace {
+    pub(crate) values: Vec<Matrix>,
+    pub(crate) grads: Vec<Matrix>,
+    pub(crate) seen: Vec<bool>,
+    pub(crate) scratch: Vec<f32>,
+}
+
+impl Workspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Value buffer of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.values[id.idx()]
+    }
+
+    /// Gradient of a node if the last backward pass reached it.
+    pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        if *self.seen.get(id.idx())? {
+            Some(&self.grads[id.idx()])
+        } else {
+            None
+        }
+    }
+
+    /// Total bytes held in value/gradient/scratch buffers.
+    pub fn bytes(&self) -> usize {
+        let vals: usize = self.values.iter().map(|m| m.len() * 4).sum();
+        let grads: usize = self.grads.iter().map(|m| m.len() * 4).sum();
+        vals + grads + self.scratch.len() * 4 + self.seen.len()
+    }
+
+    /// Allocate (or re-fit) gradient buffers for the nodes the backward pass
+    /// can reach: full-size for nodes on a parameter path (plus the root,
+    /// which holds the seed), zero-size for pruned nodes. No-op when already
+    /// sized — the steady-state path.
+    fn ensure_grads(&mut self, needs: &[bool], root: usize) {
+        let want = |i: usize, v: &Matrix| -> (usize, usize) {
+            if needs[i] || i == root {
+                v.shape()
+            } else {
+                (0, 0)
+            }
+        };
+        let fits = self.grads.len() == self.values.len()
+            && self
+                .grads
+                .iter()
+                .zip(self.values.iter())
+                .enumerate()
+                .all(|(i, (g, v))| g.shape() == want(i, v));
+        if !fits {
+            self.grads = self
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let (r, c) = want(i, v);
+                    Matrix::zeros(r, c)
+                })
+                .collect();
+            let max_len = self.values.iter().map(|v| v.len()).max().unwrap_or(0);
+            self.scratch = vec![0.0; max_len];
+        }
+        if self.seen.len() != self.values.len() {
+            self.seen = vec![false; self.values.len()];
+        }
+    }
+}
+
+impl Plan {
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Re-execute the forward pass in place: refresh parameter leaves from
+    /// their (possibly updated) `ParamRef`s, then run every op into its
+    /// preallocated buffer. Constant leaves keep their recorded values.
+    pub fn replay(&self, ws: &mut Workspace) {
+        assert_eq!(ws.values.len(), self.ops.len(), "workspace/plan mismatch");
+        for (id, p) in &self.param_links {
+            let pv = p.value();
+            let dst = &mut ws.values[id.idx()];
+            assert_eq!(dst.shape(), pv.shape(), "param shape changed since record");
+            dst.as_mut_slice().copy_from_slice(pv.as_slice());
+        }
+        for i in 0..self.ops.len() {
+            exec_forward(&self.ops, &mut ws.values, i);
+            debug_assert!(
+                !ws.values[i].has_non_finite() || matches!(self.ops[i], Op::Leaf),
+                "non-finite value produced by op"
+            );
+        }
+    }
+
+    /// Reverse pass from `root` with an explicit seed gradient, entirely into
+    /// the workspace's gradient arena.
+    pub fn backward(&self, ws: &mut Workspace, root: NodeId, seed: &Matrix) {
+        assert_eq!(
+            ws.values[root.idx()].shape(),
+            seed.shape(),
+            "seed shape mismatch"
+        );
+        ws.ensure_grads(&self.needs_grad, root.idx());
+        let Workspace {
+            values,
+            grads,
+            seen,
+            scratch,
+        } = ws;
+        seen.fill(false);
+        grads[root.idx()]
+            .as_mut_slice()
+            .copy_from_slice(seed.as_slice());
+        seen[root.idx()] = true;
+        for id in (0..=root.idx()).rev() {
+            if !seen[id] {
+                continue;
+            }
+            let (gh, gt) = grads.split_at_mut(id);
+            let dy = &gt[0];
+            apply_backward(
+                &self.ops[id],
+                id,
+                values,
+                gh,
+                dy,
+                seen,
+                scratch,
+                &self.needs_grad,
+            );
+        }
+    }
+
+    /// Copy gradients of bound parameters back into their [`ParamRef`]s
+    /// (accumulating). Call after [`Plan::backward`].
+    pub fn write_grads(&self, ws: &Workspace) {
+        for (id, p) in &self.param_links {
+            if let Some(g) = ws.grad(*id) {
+                p.accumulate_grad(g);
+            }
+        }
+    }
+}
+
+// ----- forward execution --------------------------------------------------
+
+fn map_to(a: &Matrix, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+    for (o, &x) in out.as_mut_slice().iter_mut().zip(a.as_slice()) {
+        *o = f(x);
+    }
+}
+
+fn zip_to(a: &Matrix, b: &Matrix, out: &mut Matrix, f: impl Fn(f32, f32) -> f32) {
+    assert_eq!(a.shape(), b.shape(), "zip shape mismatch");
+    for ((o, &x), &y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = f(x, y);
+    }
+}
+
+/// Execute op `i` into its preallocated output buffer. Shared by recording
+/// (which runs it immediately after pushing the op) and replay, so the two
+/// paths are bit-identical by construction.
+pub(crate) fn exec_forward(ops: &[Op], values: &mut [Matrix], i: usize) {
+    // Tape invariant: all inputs of op `i` have node id < `i`.
+    let (head, tail) = values.split_at_mut(i);
+    let out = &mut tail[0];
+    match &ops[i] {
+        Op::Leaf => {}
+        Op::MatMul(a, b) => {
+            out.as_mut_slice().fill(0.0);
+            head[a.idx()].matmul_acc(&head[b.idx()], out.as_mut_slice());
+        }
+        Op::Add(a, b) => zip_to(&head[a.idx()], &head[b.idx()], out, |x, y| x + y),
+        Op::Sub(a, b) => zip_to(&head[a.idx()], &head[b.idx()], out, |x, y| x - y),
+        Op::Mul(a, b) => zip_to(&head[a.idx()], &head[b.idx()], out, |x, y| x * y),
+        Op::AddRow(a, row) => {
+            let (av, rv) = (&head[a.idx()], &head[row.idx()]);
+            for r in 0..av.rows() {
+                let rr = rv.row(0);
+                for ((o, &x), &b) in out.row_mut(r).iter_mut().zip(av.row(r)).zip(rr) {
+                    *o = x + b;
+                }
+            }
+        }
+        Op::MulRow(a, row) => {
+            let (av, rv) = (&head[a.idx()], &head[row.idx()]);
+            for r in 0..av.rows() {
+                let rr = rv.row(0);
+                for ((o, &x), &b) in out.row_mut(r).iter_mut().zip(av.row(r)).zip(rr) {
+                    *o = x * b;
+                }
+            }
+        }
+        Op::MulCol(a, col) => {
+            let (av, cv) = (&head[a.idx()], &head[col.idx()]);
+            for r in 0..av.rows() {
+                let c = cv.get(r, 0);
+                for (o, &x) in out.row_mut(r).iter_mut().zip(av.row(r)) {
+                    *o = x * c;
+                }
+            }
+        }
+        Op::Scale(a, s) => {
+            let s = *s;
+            map_to(&head[a.idx()], out, |x| x * s);
+        }
+        Op::AddScalar(a, s) => {
+            let s = *s;
+            map_to(&head[a.idx()], out, |x| x + s);
+        }
+        Op::LeakyRelu(a, slope) => {
+            let slope = *slope;
+            map_to(&head[a.idx()], out, |x| if x > 0.0 { x } else { slope * x });
+        }
+        Op::Sigmoid(a) => map_to(&head[a.idx()], out, |x| 1.0 / (1.0 + (-x).exp())),
+        Op::Tanh(a) => map_to(&head[a.idx()], out, f32::tanh),
+        Op::Exp(a) => map_to(&head[a.idx()], out, f32::exp),
+        Op::LnEps(a, eps) => {
+            let eps = *eps;
+            map_to(&head[a.idx()], out, |x| (x + eps).ln());
+        }
+        Op::SoftmaxRows(a, tau) => head[a.idx()].softmax_rows_to(*tau, out.as_mut_slice()),
+        Op::ConcatCols(a, b) => {
+            let (av, bv) = (&head[a.idx()], &head[b.idx()]);
+            let (ca, cols) = (av.cols(), av.cols() + bv.cols());
+            for r in 0..av.rows() {
+                let o = out.row_mut(r);
+                o[..ca].copy_from_slice(av.row(r));
+                o[ca..cols].copy_from_slice(bv.row(r));
+            }
+        }
+        Op::SliceCols(a, start, end) => {
+            let av = &head[a.idx()];
+            for r in 0..av.rows() {
+                out.row_mut(r).copy_from_slice(&av.row(r)[*start..*end]);
+            }
+        }
+        Op::Transpose(a) => {
+            let av = &head[a.idx()];
+            let (m, n) = av.shape();
+            let o = out.as_mut_slice();
+            for r in 0..m {
+                for c in 0..n {
+                    o[c * m + r] = av.get(r, c);
+                }
+            }
+        }
+        Op::SumAll(a) => out.set(0, 0, head[a.idx()].sum()),
+        Op::MeanAll(a) => out.set(0, 0, head[a.idx()].mean()),
+        Op::RowSum(a) => {
+            let av = &head[a.idx()];
+            for r in 0..av.rows() {
+                out.set(r, 0, av.row(r).iter().sum());
+            }
+        }
+        Op::GatherRows(a, idx) => head[a.idx()].gather_rows_to(idx, out.as_mut_slice()),
+        Op::SpMM(pair, x) => {
+            out.as_mut_slice().fill(0.0);
+            pair.fwd.spmm_acc(&head[x.idx()], out.as_mut_slice());
+        }
+        Op::EdgeSoftmax(scores, edges) => {
+            edge_softmax_forward(&head[scores.idx()], edges, out.as_mut_slice());
+        }
+        Op::EdgeAggregate(alpha, h, edges) => {
+            out.as_mut_slice().fill(0.0);
+            edge_aggregate_forward(
+                &head[alpha.idx()],
+                &head[h.idx()],
+                edges,
+                out.as_mut_slice(),
+            );
+        }
+        Op::GatedMatMul(x, w, f) => {
+            out.as_mut_slice().fill(0.0);
+            gated_matmul_forward(
+                &head[x.idx()],
+                &head[w.idx()],
+                &head[f.idx()],
+                out.as_mut_slice(),
+            );
+        }
+        Op::SubOuter(a, b) => {
+            let (av, bv) = (&head[a.idx()], &head[b.idx()]);
+            let (m, n) = (av.rows(), bv.rows());
+            let o = out.as_mut_slice();
+            for i in 0..m {
+                let ai = av.get(i, 0);
+                for j in 0..n {
+                    o[i * n + j] = ai - bv.get(j, 0);
+                }
+            }
+        }
+        Op::BceWithLogits(logits, targets, weights) => {
+            let z = &head[logits.idx()];
+            let wsum: f32 = weights.iter().sum();
+            let mut loss = 0.0f64;
+            if wsum > 0.0 {
+                for i in 0..targets.len() {
+                    let zi = z.get(i, 0);
+                    let li = zi.max(0.0) - zi * targets[i] + (1.0 + (-zi.abs()).exp()).ln();
+                    loss += (weights[i] * li) as f64;
+                }
+                loss /= wsum as f64;
+            }
+            out.set(0, 0, loss as f32);
+        }
+        Op::Conv2d(x, kernel, meta) => {
+            conv2d_batch_to(
+                &head[x.idx()],
+                &head[kernel.idx()],
+                meta,
+                out.as_mut_slice(),
+            );
+        }
+        Op::AddChanBias(a, bias, channels, hw) => {
+            let (av, bv) = (&head[a.idx()], &head[bias.idx()]);
+            for i in 0..av.rows() {
+                let (a_row, o_row) = (av.row(i), out.row_mut(i));
+                for c in 0..*channels {
+                    let b = bv.get(0, c);
+                    for p in 0..*hw {
+                        o_row[c * hw + p] = a_row[c * hw + p] + b;
+                    }
+                }
+            }
+        }
+        Op::MaxPool2(x, meta) => maxpool2_batch_to(&head[x.idx()], meta, out.as_mut_slice()),
+    }
+}
+
+/// Per-destination softmax of edge scores (every edge belongs to exactly one
+/// non-empty destination group, so the whole output is overwritten).
+fn edge_softmax_forward(s: &Matrix, edges: &EdgeIndex, out: &mut [f32]) {
+    let dst_ptr = edges.dst_ptr();
+    par::for_each_disjoint(
+        out,
+        edges.n_nodes(),
+        edges.n_edges() * 8,
+        |i| dst_ptr[i] as usize,
+        |nodes, chunk| {
+            let base = dst_ptr[nodes.start] as usize;
+            for i in nodes {
+                let range = edges.incoming(i);
+                if range.is_empty() {
+                    continue;
+                }
+                let mx = range
+                    .clone()
+                    .map(|e| s.get(e, 0))
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for e in range.clone() {
+                    let x = (s.get(e, 0) - mx).exp();
+                    chunk[e - base] = x;
+                    sum += x;
+                }
+                for e in range {
+                    chunk[e - base] /= sum;
+                }
+            }
+        },
+    );
+}
+
+/// Attention aggregation `out[dst] += alpha_e * h[src]` into a pre-zeroed
+/// buffer. Destination rows partition across threads; each row reduces its
+/// incoming edges in edge order (edges are dst-sorted), matching the serial
+/// edge-loop accumulation order exactly.
+fn edge_aggregate_forward(a: &Matrix, hm: &Matrix, edges: &EdgeIndex, out: &mut [f32]) {
+    let d = hm.cols();
+    par::for_each_row_block(out, d, edges.n_edges() * d * 2, |nodes, chunk| {
+        for (ni, i) in nodes.enumerate() {
+            let out_row = &mut chunk[ni * d..(ni + 1) * d];
+            for e in edges.incoming(i) {
+                let w = a.get(e, 0);
+                let src = edges.src()[e] as usize;
+                let src_row = &hm.as_slice()[src * d..(src + 1) * d];
+                for (o, &x) in out_row.iter_mut().zip(src_row.iter()) {
+                    *o += w * x;
+                }
+            }
+        }
+    });
+}
+
+/// MS-Gate gated linear map into a pre-zeroed buffer. Sample rows are
+/// independent; the zero-skip stays because gated inputs are often sparse
+/// activations, unlike the dense matmuls.
+fn gated_matmul_forward(xm: &Matrix, wm: &Matrix, fm: &Matrix, out: &mut [f32]) {
+    let (n, d) = xm.shape();
+    let h = wm.cols();
+    par::for_each_row_block(out, h, n * d * h * 3, |rows, chunk| {
+        for (ri, i) in rows.enumerate() {
+            let x_row = xm.row(i);
+            let f_row = fm.row(i);
+            let out_row = &mut chunk[ri * h..(ri + 1) * h];
+            for (dd, &xv) in x_row.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let w_row = wm.row(dd);
+                let f_seg = &f_row[dd * h..(dd + 1) * h];
+                for k in 0..h {
+                    out_row[k] += xv * w_row[k] * f_seg[k];
+                }
+            }
+        }
+    });
+}
+
+// ----- backward execution -------------------------------------------------
+
+/// Deliver one op's gradient contribution to target node `t` without
+/// allocating. Contributions into pruned nodes (no parameter in their
+/// ancestry, `!needs[t]`) are skipped entirely — the closure never runs.
+/// First contribution: zero the grad buffer and compute into it (bit-equal
+/// to the old fresh-compute-then-move). Later contributions: zero the shared
+/// scratch, compute into it, then add elementwise (bit-equal to the old
+/// fresh-compute-then-`add_assign`).
+fn contribute(
+    gh: &mut [Matrix],
+    seen: &mut [bool],
+    scratch: &mut [f32],
+    needs: &[bool],
+    t: usize,
+    f: impl FnOnce(&mut [f32]),
+) {
+    if !needs[t] {
+        return;
+    }
+    if !seen[t] {
+        let buf = gh[t].as_mut_slice();
+        buf.fill(0.0);
+        f(buf);
+        seen[t] = true;
+    } else {
+        let len = gh[t].len();
+        let s = &mut scratch[..len];
+        s.fill(0.0);
+        f(s);
+        for (g, &dv) in gh[t].as_mut_slice().iter_mut().zip(s.iter()) {
+            *g += dv;
+        }
+    }
+}
+
+/// Merge an op-owned gradient matrix (conv backward still allocates its
+/// temporaries) into the arena: copy on first contribution, add otherwise.
+/// Pruned targets are skipped like in [`contribute`].
+fn merge_owned(gh: &mut [Matrix], seen: &mut [bool], needs: &[bool], t: usize, m: &Matrix) {
+    if !needs[t] {
+        return;
+    }
+    if !seen[t] {
+        gh[t].as_mut_slice().copy_from_slice(m.as_slice());
+        seen[t] = true;
+    } else {
+        for (g, &dv) in gh[t].as_mut_slice().iter_mut().zip(m.as_slice()) {
+            *g += dv;
+        }
+    }
+}
+
+/// Three disjoint `&mut` gradient buffers for strictly increasing indices.
+fn disjoint3(gh: &mut [Matrix], i: usize, j: usize, k: usize) -> [&mut Matrix; 3] {
+    debug_assert!(i < j && j < k && k < gh.len());
+    let (left, rest) = gh.split_at_mut(j);
+    let (mid, right) = rest.split_at_mut(k - j);
+    [&mut left[i], &mut mid[0], &mut right[0]]
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn apply_backward(
+    op: &Op,
+    id: usize,
+    values: &[Matrix],
+    gh: &mut [Matrix],
+    dy: &Matrix,
+    seen: &mut [bool],
+    scratch: &mut [f32],
+    needs: &[bool],
+) {
+    match op {
+        Op::Leaf => {}
+        Op::MatMul(a, b) => {
+            let (av, bv) = (&values[a.idx()], &values[b.idx()]);
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                dy.matmul_nt_to(bv, buf)
+            });
+            contribute(gh, seen, scratch, needs, b.idx(), |buf| {
+                av.matmul_tn_acc(dy, buf)
+            });
+        }
+        Op::Add(a, b) => {
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                buf.copy_from_slice(dy.as_slice());
+            });
+            contribute(gh, seen, scratch, needs, b.idx(), |buf| {
+                buf.copy_from_slice(dy.as_slice());
+            });
+        }
+        Op::Sub(a, b) => {
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                buf.copy_from_slice(dy.as_slice());
+            });
+            contribute(gh, seen, scratch, needs, b.idx(), |buf| {
+                for (o, &g) in buf.iter_mut().zip(dy.as_slice()) {
+                    *o = -g;
+                }
+            });
+        }
+        Op::Mul(a, b) => {
+            let (av, bv) = (&values[a.idx()], &values[b.idx()]);
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for ((o, &g), &y) in buf.iter_mut().zip(dy.as_slice()).zip(bv.as_slice()) {
+                    *o = g * y;
+                }
+            });
+            contribute(gh, seen, scratch, needs, b.idx(), |buf| {
+                for ((o, &g), &x) in buf.iter_mut().zip(dy.as_slice()).zip(av.as_slice()) {
+                    *o = g * x;
+                }
+            });
+        }
+        Op::AddRow(a, row) => {
+            let (m, n) = dy.shape();
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                buf.copy_from_slice(dy.as_slice());
+            });
+            contribute(gh, seen, scratch, needs, row.idx(), |buf| {
+                for r in 0..m {
+                    for (o, &g) in buf[..n].iter_mut().zip(dy.row(r).iter()) {
+                        *o += g;
+                    }
+                }
+            });
+        }
+        Op::MulRow(a, row) => {
+            let (m, n) = dy.shape();
+            let (av, rv) = (&values[a.idx()], &values[row.idx()]);
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for r in 0..m {
+                    for c in 0..n {
+                        buf[r * n + c] = dy.get(r, c) * rv.get(0, c);
+                    }
+                }
+            });
+            contribute(gh, seen, scratch, needs, row.idx(), |buf| {
+                for r in 0..m {
+                    for (c, o) in buf.iter_mut().enumerate() {
+                        *o += dy.get(r, c) * av.get(r, c);
+                    }
+                }
+            });
+        }
+        Op::MulCol(a, col) => {
+            let (m, n) = dy.shape();
+            let (av, cv) = (&values[a.idx()], &values[col.idx()]);
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for r in 0..m {
+                    for c in 0..n {
+                        buf[r * n + c] = dy.get(r, c) * cv.get(r, 0);
+                    }
+                }
+            });
+            contribute(gh, seen, scratch, needs, col.idx(), |buf| {
+                for (r, o) in buf.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for c in 0..n {
+                        acc += dy.get(r, c) * av.get(r, c);
+                    }
+                    *o = acc;
+                }
+            });
+        }
+        Op::Scale(a, s) => {
+            let s = *s;
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for (o, &g) in buf.iter_mut().zip(dy.as_slice()) {
+                    *o = g * s;
+                }
+            });
+        }
+        Op::AddScalar(a, _) => {
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                buf.copy_from_slice(dy.as_slice());
+            });
+        }
+        Op::LeakyRelu(a, slope) => {
+            let slope = *slope;
+            let av = &values[a.idx()];
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for ((o, &x), &g) in buf.iter_mut().zip(av.as_slice()).zip(dy.as_slice()) {
+                    *o = if x > 0.0 { g } else { slope * g };
+                }
+            });
+        }
+        Op::Sigmoid(a) => {
+            let yv = &values[id];
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for ((o, &y), &g) in buf.iter_mut().zip(yv.as_slice()).zip(dy.as_slice()) {
+                    *o = g * y * (1.0 - y);
+                }
+            });
+        }
+        Op::Tanh(a) => {
+            let yv = &values[id];
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for ((o, &y), &g) in buf.iter_mut().zip(yv.as_slice()).zip(dy.as_slice()) {
+                    *o = g * (1.0 - y * y);
+                }
+            });
+        }
+        Op::Exp(a) => {
+            let yv = &values[id];
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for ((o, &y), &g) in buf.iter_mut().zip(yv.as_slice()).zip(dy.as_slice()) {
+                    *o = g * y;
+                }
+            });
+        }
+        Op::LnEps(a, eps) => {
+            let eps = *eps;
+            let av = &values[a.idx()];
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for ((o, &x), &g) in buf.iter_mut().zip(av.as_slice()).zip(dy.as_slice()) {
+                    *o = g / (x + eps);
+                }
+            });
+        }
+        Op::SoftmaxRows(a, tau) => {
+            let tau = *tau;
+            let y = &values[id];
+            let (m, n) = y.shape();
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for r in 0..m {
+                    let dot: f32 = y
+                        .row(r)
+                        .iter()
+                        .zip(dy.row(r).iter())
+                        .map(|(&yv, &g)| yv * g)
+                        .sum();
+                    for c in 0..n {
+                        buf[r * n + c] = y.get(r, c) * (dy.get(r, c) - dot) / tau;
+                    }
+                }
+            });
+        }
+        Op::ConcatCols(a, b) => {
+            let ca = values[a.idx()].cols();
+            let total = dy.cols();
+            let m = dy.rows();
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for r in 0..m {
+                    buf[r * ca..(r + 1) * ca].copy_from_slice(&dy.row(r)[..ca]);
+                }
+            });
+            let cb = total - ca;
+            contribute(gh, seen, scratch, needs, b.idx(), |buf| {
+                for r in 0..m {
+                    buf[r * cb..(r + 1) * cb].copy_from_slice(&dy.row(r)[ca..total]);
+                }
+            });
+        }
+        Op::SliceCols(a, start, end) => {
+            let (m, n) = values[a.idx()].shape();
+            let (start, end) = (*start, *end);
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for r in 0..m {
+                    buf[r * n + start..r * n + end].copy_from_slice(dy.row(r));
+                }
+            });
+        }
+        Op::Transpose(a) => {
+            let (m, n) = dy.shape();
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for r in 0..m {
+                    for c in 0..n {
+                        buf[c * m + r] = dy.get(r, c);
+                    }
+                }
+            });
+        }
+        Op::SumAll(a) => {
+            let g = dy.get(0, 0);
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| buf.fill(g));
+        }
+        Op::MeanAll(a) => {
+            let len = values[a.idx()].len().max(1) as f32;
+            let g = dy.get(0, 0) / len;
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| buf.fill(g));
+        }
+        Op::RowSum(a) => {
+            let (m, n) = values[a.idx()].shape();
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for r in 0..m {
+                    let g = dy.get(r, 0);
+                    buf[r * n..(r + 1) * n].fill(g);
+                }
+            });
+        }
+        Op::GatherRows(a, idx) => {
+            let n = values[a.idx()].cols();
+            // Scatter-add with possibly duplicate row indices: parallel
+            // partitioning over `idx` would give one row two writers, so the
+            // backward scatter stays serial (the forward gather is the
+            // parallel one).
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for (i, &r) in idx.iter().enumerate() {
+                    let dst = &mut buf[r as usize * n..(r as usize + 1) * n];
+                    for (o, &g) in dst.iter_mut().zip(dy.row(i).iter()) {
+                        *o += g;
+                    }
+                }
+            });
+        }
+        Op::SpMM(pair, x) => {
+            contribute(gh, seen, scratch, needs, x.idx(), |buf| {
+                pair.bwd.spmm_acc(dy, buf)
+            });
+        }
+        Op::EdgeSoftmax(scores, edges) => {
+            let alpha = &values[id];
+            let dst_ptr = edges.dst_ptr();
+            contribute(gh, seen, scratch, needs, scores.idx(), |buf| {
+                par::for_each_disjoint(
+                    buf,
+                    edges.n_nodes(),
+                    edges.n_edges() * 4,
+                    |i| dst_ptr[i] as usize,
+                    |nodes, chunk| {
+                        let base = dst_ptr[nodes.start] as usize;
+                        for i in nodes {
+                            let range = edges.incoming(i);
+                            if range.is_empty() {
+                                continue;
+                            }
+                            let dot: f32 =
+                                range.clone().map(|e| alpha.get(e, 0) * dy.get(e, 0)).sum();
+                            for e in range {
+                                chunk[e - base] = alpha.get(e, 0) * (dy.get(e, 0) - dot);
+                            }
+                        }
+                    },
+                );
+            });
+        }
+        Op::EdgeAggregate(alpha, h, edges) => {
+            let am = &values[alpha.idx()];
+            let hm = &values[h.idx()];
+            let d = hm.cols();
+            // Each edge's alpha-gradient is an independent dot product.
+            contribute(gh, seen, scratch, needs, alpha.idx(), |buf| {
+                par::for_each_row_block(buf, 1, edges.n_edges() * d, |es, chunk| {
+                    for (k, e) in es.enumerate() {
+                        let src = edges.src()[e] as usize;
+                        let dst = edges.dst()[e] as usize;
+                        let dy_row = &dy.as_slice()[dst * d..(dst + 1) * d];
+                        let h_row = &hm.as_slice()[src * d..(src + 1) * d];
+                        chunk[k] = dy_row.iter().zip(h_row.iter()).map(|(&g, &x)| g * x).sum();
+                    }
+                });
+            });
+            // The dh scatter indexes by *source* row, and several edges can
+            // share one source, so a row partition over edges would race;
+            // this stays serial.
+            contribute(gh, seen, scratch, needs, h.idx(), |buf| {
+                for e in 0..edges.n_edges() {
+                    let src = edges.src()[e] as usize;
+                    let dst = edges.dst()[e] as usize;
+                    let dy_row = &dy.as_slice()[dst * d..(dst + 1) * d];
+                    let w = am.get(e, 0);
+                    let dh_row = &mut buf[src * d..(src + 1) * d];
+                    for (o, &g) in dh_row.iter_mut().zip(dy_row.iter()) {
+                        *o += w * g;
+                    }
+                }
+            });
+        }
+        Op::GatedMatMul(x, w, f) => {
+            let xm = &values[x.idx()];
+            let wm = &values[w.idx()];
+            let fm = &values[f.idx()];
+            let (n, d) = xm.shape();
+            let h = wm.cols();
+            let (xi, wi, fi) = (x.idx(), w.idx(), f.idx());
+            let distinct = xi != wi && wi != fi && xi != fi;
+            let all_need = needs[xi] && needs[wi] && needs[fi];
+            if distinct && all_need && !seen[xi] && !seen[wi] && !seen[fi] {
+                // Hot path: one fused pass writing all three gradients
+                // directly into their (zeroed) arena buffers — same loop
+                // structure and accumulation order as the allocating
+                // fallback, so bit-identical.
+                let mut order = [xi, wi, fi];
+                order.sort_unstable();
+                let [g0, g1, g2] = disjoint3(gh, order[0], order[1], order[2]);
+                let pick = |t: usize| order.iter().position(|&o| o == t).expect("sorted member");
+                let mut slots = [Some(g0), Some(g1), Some(g2)];
+                let dx = slots[pick(xi)].take().expect("unique slot");
+                let dw = slots[pick(wi)].take().expect("unique slot");
+                let df = slots[pick(fi)].take().expect("unique slot");
+                let (dx, dw, df) = (dx.as_mut_slice(), dw.as_mut_slice(), df.as_mut_slice());
+                dx.fill(0.0);
+                dw.fill(0.0);
+                df.fill(0.0);
+                gated_matmul_backward(xm, wm, fm, dy, n, d, h, dx, dw, df);
+                seen[xi] = true;
+                seen[wi] = true;
+                seen[fi] = true;
+            } else {
+                // Rare aliased/partially-seen case: compute into fresh
+                // temporaries (exactly the pre-plan code path) and merge.
+                let mut dx = Matrix::zeros(n, d);
+                let mut dw = Matrix::zeros(d, h);
+                let mut df = Matrix::zeros(n, d * h);
+                gated_matmul_backward(
+                    xm,
+                    wm,
+                    fm,
+                    dy,
+                    n,
+                    d,
+                    h,
+                    dx.as_mut_slice(),
+                    dw.as_mut_slice(),
+                    df.as_mut_slice(),
+                );
+                merge_owned(gh, seen, needs, xi, &dx);
+                merge_owned(gh, seen, needs, wi, &dw);
+                merge_owned(gh, seen, needs, fi, &df);
+            }
+        }
+        Op::SubOuter(a, b) => {
+            let (m, n) = dy.shape();
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                for (i, o) in buf.iter_mut().enumerate() {
+                    for j in 0..n {
+                        *o += dy.get(i, j);
+                    }
+                }
+            });
+            contribute(gh, seen, scratch, needs, b.idx(), |buf| {
+                for i in 0..m {
+                    for (j, o) in buf.iter_mut().enumerate() {
+                        *o -= dy.get(i, j);
+                    }
+                }
+            });
+        }
+        Op::BceWithLogits(logits, targets, weights) => {
+            let z = &values[logits.idx()];
+            let wsum: f32 = weights.iter().sum();
+            contribute(gh, seen, scratch, needs, logits.idx(), |buf| {
+                if wsum > 0.0 {
+                    let g = dy.get(0, 0) / wsum;
+                    for i in 0..targets.len() {
+                        let zi = z.get(i, 0);
+                        let p = 1.0 / (1.0 + (-zi).exp());
+                        buf[i] = g * weights[i] * (p - targets[i]);
+                    }
+                }
+            });
+        }
+        Op::Conv2d(x, kernel, meta) => {
+            let (dx, dk) = conv2d_backward_batch(&values[x.idx()], &values[kernel.idx()], dy, meta);
+            merge_owned(gh, seen, needs, x.idx(), &dx);
+            merge_owned(gh, seen, needs, kernel.idx(), &dk);
+        }
+        Op::AddChanBias(a, bias, channels, hw) => {
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                buf.copy_from_slice(dy.as_slice());
+            });
+            let n = dy.rows();
+            contribute(gh, seen, scratch, needs, bias.idx(), |buf| {
+                for i in 0..n {
+                    let row = dy.row(i);
+                    for c in 0..*channels {
+                        let s: f32 = row[c * hw..(c + 1) * hw].iter().sum();
+                        buf[c] += s;
+                    }
+                }
+            });
+        }
+        Op::MaxPool2(x, meta) => {
+            let dx = maxpool2_backward_batch(&values[x.idx()], dy, meta);
+            merge_owned(gh, seen, needs, x.idx(), &dx);
+        }
+    }
+}
+
+/// Fused gated-matmul backward into three caller-zeroed buffers; identical
+/// loop structure and per-element accumulation order to the original tape
+/// code (`dx` single-write, `dw`/`df` `+=` in ascending sample order).
+#[allow(clippy::too_many_arguments)]
+fn gated_matmul_backward(
+    xm: &Matrix,
+    wm: &Matrix,
+    fm: &Matrix,
+    dy: &Matrix,
+    n: usize,
+    d: usize,
+    h: usize,
+    dx: &mut [f32],
+    dw: &mut [f32],
+    df: &mut [f32],
+) {
+    for i in 0..n {
+        let x_row = xm.row(i);
+        let f_row = fm.row(i);
+        let dy_row = dy.row(i);
+        let df_row = &mut df[i * d * h..(i + 1) * d * h];
+        for dd in 0..d {
+            let w_row = wm.row(dd);
+            let f_seg = &f_row[dd * h..(dd + 1) * h];
+            let df_seg = &mut df_row[dd * h..(dd + 1) * h];
+            let xv = x_row[dd];
+            let mut dx_acc = 0.0;
+            for k in 0..h {
+                let g = dy_row[k];
+                dx_acc += g * w_row[k] * f_seg[k];
+                dw[dd * h + k] += g * xv * f_seg[k];
+                df_seg[k] += g * xv * w_row[k];
+            }
+            dx[i * d + dd] = dx_acc;
+        }
+    }
+}

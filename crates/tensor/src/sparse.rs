@@ -76,6 +76,14 @@ impl Csr {
     /// across threads; each row reduces its non-zeros in CSR order, so the
     /// result is bit-identical to the serial loop at any thread count.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        self.spmm_acc(x, out.as_mut_slice());
+        out
+    }
+
+    /// Accumulate `self * x` into a caller-owned (pre-zeroed) buffer. Same
+    /// partitioning and reduction order as [`Csr::spmm`], so bit-equal.
+    pub fn spmm_acc(&self, x: &Matrix, out: &mut [f32]) {
         assert_eq!(
             self.cols,
             x.rows(),
@@ -86,9 +94,9 @@ impl Csr {
             x.cols()
         );
         let n = x.cols();
-        let mut out = Matrix::zeros(self.rows, n);
+        assert_eq!(out.len(), self.rows * n, "spmm output buffer size");
         let work = self.nnz() * n;
-        par::for_each_row_block(out.as_mut_slice(), n, work, |rows, chunk| {
+        par::for_each_row_block(out, n, work, |rows, chunk| {
             for (ri, r) in rows.enumerate() {
                 let lo = self.indptr[r] as usize;
                 let hi = self.indptr[r + 1] as usize;
@@ -103,7 +111,6 @@ impl Csr {
                 }
             }
         });
-        out
     }
 
     /// Transposed copy.

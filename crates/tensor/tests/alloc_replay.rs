@@ -1,0 +1,129 @@
+//! Steady-state allocation regression test: once a training tape has been
+//! recorded and its gradient arena materialized (one warm epoch), replayed
+//! epochs must perform **zero heap allocation** in forward + backward.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test runs
+//! under [`uvd_tensor::par::serial_scope`] so no thread-pool machinery (task
+//! boxing, latches) allocates on the side.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use uvd_tensor::{par, Adam, Graph, ParamRef, ParamSet};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn replayed_epoch_performs_zero_heap_allocations() {
+    par::serial_scope(|| {
+        let n = 32;
+        let d = 12;
+        let h = 8;
+        let mut rng = uvd_tensor::seeded_rng(7);
+        let x = uvd_tensor::init::normal_matrix(n, d, 0.0, 1.0, &mut rng);
+        let w1 = ParamRef::new(
+            "w1",
+            uvd_tensor::init::normal_matrix(d, h, 0.0, 0.3, &mut rng),
+        );
+        let w2 = ParamRef::new(
+            "w2",
+            uvd_tensor::init::normal_matrix(h, 1, 0.0, 0.3, &mut rng),
+        );
+        let mut set = ParamSet::new();
+        set.track(w1.clone());
+        set.track(w2.clone());
+        let targets: Arc<Vec<f32>> = Arc::new((0..n).map(|i| (i % 2) as f32).collect());
+        let weights = Arc::new(vec![1.0f32; n]);
+        let rows: Arc<Vec<u32>> = Arc::new((0..n as u32).collect());
+
+        let mut opt = Adam::new(0.01);
+        let mut g = Graph::new();
+        let xc = g.constant(x);
+        let w1n = g.param(&w1);
+        let h1 = g.matmul(xc, w1n);
+        let h1 = g.tanh(h1);
+        let w2n = g.param(&w2);
+        let z = g.matmul(h1, w2n);
+        let zl = g.gather_rows(z, rows);
+        let loss = g.bce_with_logits(zl, targets, weights);
+
+        let epoch = |g: &mut Graph, opt: &mut Adam, replay: bool| -> f32 {
+            if replay {
+                g.replay();
+            }
+            let lv = g.scalar(loss);
+            g.backward(loss);
+            g.write_grads();
+            opt.step(&set);
+            lv
+        };
+
+        // Warm epochs: materialize the gradient arena, the backward scratch
+        // buffer and the Adam moment buffers.
+        epoch(&mut g, &mut opt, false);
+        epoch(&mut g, &mut opt, true);
+
+        // Steady state: forward replay + backward must not allocate. The
+        // optimizer step is included too — Adam updates in place.
+        let before = allocation_count();
+        let lv = epoch(&mut g, &mut opt, true);
+        let after = allocation_count();
+        assert!(lv.is_finite());
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state replayed epoch allocated {} times",
+            after - before
+        );
+    });
+}
+
+#[test]
+fn no_grad_inference_never_allocates_gradient_buffers() {
+    par::serial_scope(|| {
+        let mut rng = uvd_tensor::seeded_rng(11);
+        let x = uvd_tensor::init::normal_matrix(16, 6, 0.0, 1.0, &mut rng);
+        let w = ParamRef::new(
+            "w",
+            uvd_tensor::init::normal_matrix(6, 1, 0.0, 0.3, &mut rng),
+        );
+        let mut g = Graph::inference();
+        let xc = g.constant(x);
+        let wn = g.param(&w);
+        let z = g.matmul(xc, wn);
+        let p = g.sigmoid(z);
+        assert_eq!(g.value(p).rows(), 16);
+        // The value arena holds 4 node buffers; no gradient arena exists, so
+        // the workspace charge is exactly the forward values.
+        let value_bytes: usize = [16 * 6, 6, 16, 16]
+            .iter()
+            .map(|len| len * std::mem::size_of::<f32>())
+            .sum();
+        assert_eq!(g.workspace_bytes(), value_bytes);
+    });
+}

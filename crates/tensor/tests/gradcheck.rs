@@ -18,7 +18,9 @@ const TOL: f32 = 2e-2;
 fn gradcheck(inputs: &[Matrix], build: impl Fn(&mut Graph, &[NodeId]) -> NodeId) {
     // Analytic gradients.
     let mut g = Graph::new();
-    let ids: Vec<NodeId> = inputs.iter().map(|m| g.constant(m.clone())).collect();
+    // Inputs are grad-tracking variables: plain constants are pruned from
+    // the backward pass and would report no gradient.
+    let ids: Vec<NodeId> = inputs.iter().map(|m| g.variable(m.clone())).collect();
     let loss = build(&mut g, &ids);
     assert_eq!(g.value(loss).shape(), (1, 1), "loss must be scalar");
     g.backward(loss);

@@ -174,7 +174,7 @@ fn conv_backward_deterministic_for_fixed_threads() {
     let run = || {
         let mut g = Graph::new();
         let xn = g.constant(x.clone());
-        let kn = g.constant(kernel.clone());
+        let kn = g.variable(kernel.clone());
         let y = g.conv2d(xn, kn, meta);
         let loss = g.mean_all(y);
         g.backward(loss);

@@ -1,0 +1,175 @@
+//! Property tests for the Plan/Workspace record/replay split: a tape
+//! recorded once and replayed across epochs (with optimizer updates in
+//! between) must be **bit-identical** to rebuilding the tape from scratch
+//! every epoch, and the no-grad inference forward must match the training
+//! forward bitwise.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uvd_tensor::{Adam, Graph, Matrix, NodeId, ParamRef, ParamSet};
+
+const MAX_N: usize = 6;
+const MAX_D: usize = 4;
+const MAX_H: usize = 3;
+
+/// Per-epoch observation: every bit pattern the training loop exposes.
+#[derive(Debug, PartialEq, Eq)]
+struct EpochBits {
+    logits: Vec<u32>,
+    loss: u32,
+    grad_w1: Vec<u32>,
+    grad_w2: Vec<u32>,
+    post_step_w1: Vec<u32>,
+    post_step_w2: Vec<u32>,
+}
+
+/// Small two-layer tape with a softmax regularizer branch: covers matmul,
+/// tanh, softmax, mean, scale, add, gather and BCE through the replay path.
+struct TapeInputs {
+    x: Matrix,
+    rows: Arc<Vec<u32>>,
+    targets: Arc<Vec<f32>>,
+    weights: Arc<Vec<f32>>,
+}
+
+fn build_tape(g: &mut Graph, inp: &TapeInputs, w1: &ParamRef, w2: &ParamRef) -> (NodeId, NodeId) {
+    let xc = g.constant(inp.x.clone());
+    let w1n = g.param(w1);
+    let h1 = g.matmul(xc, w1n);
+    let h1 = g.tanh(h1);
+    let w2n = g.param(w2);
+    let z = g.matmul(h1, w2n);
+    let zl = g.gather_rows(z, inp.rows.clone());
+    let bce = g.bce_with_logits(zl, inp.targets.clone(), inp.weights.clone());
+    let s = g.softmax_rows(h1, 1.0);
+    let reg = g.mean_all(s);
+    let reg = g.scale(reg, 0.1);
+    (zl, g.add(bce, reg))
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn epoch_bits(
+    g: &Graph,
+    logits: NodeId,
+    loss_value: f32,
+    w1: &ParamRef,
+    w2: &ParamRef,
+) -> EpochBits {
+    EpochBits {
+        logits: bits(g.value(logits)),
+        loss: loss_value.to_bits(),
+        grad_w1: bits(&w1.grad()),
+        grad_w2: bits(&w2.grad()),
+        post_step_w1: Vec::new(),
+        post_step_w2: Vec::new(),
+    }
+}
+
+fn fresh_params(w1: &Matrix, w2: &Matrix) -> (ParamRef, ParamRef, ParamSet) {
+    let w1p = ParamRef::new("w1", w1.clone());
+    let w2p = ParamRef::new("w2", w2.clone());
+    let mut set = ParamSet::new();
+    set.track(w1p.clone());
+    set.track(w2p.clone());
+    (w1p, w2p, set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replayed plan vs a tape freshly recorded every epoch: forward values,
+    /// loss, parameter gradients and post-step parameters are bitwise equal
+    /// across 4 epochs of Adam updates.
+    #[test]
+    fn replayed_plan_matches_fresh_tape_bitwise(
+        n in 2usize..=MAX_N,
+        d in 1usize..=MAX_D,
+        h in 1usize..=MAX_H,
+        xv in proptest::collection::vec(-2.0f32..2.0, MAX_N * MAX_D),
+        w1v in proptest::collection::vec(-1.0f32..1.0, MAX_D * MAX_H),
+        w2v in proptest::collection::vec(-1.0f32..1.0, MAX_H),
+        ybits in proptest::collection::vec(0u8..2, MAX_N),
+    ) {
+        let epochs = 4;
+        let inp = TapeInputs {
+            x: Matrix::from_vec(n, d, xv[..n * d].to_vec()),
+            rows: Arc::new((0..n as u32).collect()),
+            targets: Arc::new(ybits[..n].iter().map(|&b| b as f32).collect()),
+            weights: Arc::new(vec![1.0f32; n]),
+        };
+        let w1m = Matrix::from_vec(d, h, w1v[..d * h].to_vec());
+        let w2m = Matrix::from_vec(h, 1, w2v[..h].to_vec());
+
+        // Record-once / replay run.
+        let (w1p, w2p, set) = fresh_params(&w1m, &w2m);
+        let mut opt = Adam::new(0.05);
+        let mut g = Graph::new();
+        let (logits, loss) = build_tape(&mut g, &inp, &w1p, &w2p);
+        let mut replayed: Vec<EpochBits> = Vec::new();
+        for e in 0..epochs {
+            if e > 0 {
+                g.replay();
+            }
+            let lv = g.scalar(loss);
+            g.backward(loss);
+            g.write_grads();
+            let mut eb = epoch_bits(&g, logits, lv, &w1p, &w2p);
+            opt.step(&set);
+            eb.post_step_w1 = bits(&w1p.value());
+            eb.post_step_w2 = bits(&w2p.value());
+            replayed.push(eb);
+        }
+
+        // Per-epoch rebuild run from the same initialization.
+        let (w1p, w2p, set) = fresh_params(&w1m, &w2m);
+        let mut opt = Adam::new(0.05);
+        for eb_replay in replayed.iter().take(epochs) {
+            let mut g = Graph::new();
+            let (logits, loss) = build_tape(&mut g, &inp, &w1p, &w2p);
+            let lv = g.scalar(loss);
+            g.backward(loss);
+            g.write_grads();
+            let mut eb = epoch_bits(&g, logits, lv, &w1p, &w2p);
+            opt.step(&set);
+            eb.post_step_w1 = bits(&w1p.value());
+            eb.post_step_w2 = bits(&w2p.value());
+            prop_assert_eq!(eb_replay, &eb);
+        }
+    }
+
+    /// The no-grad inference graph computes the exact same forward bits as a
+    /// training graph over the same tape.
+    #[test]
+    fn inference_forward_matches_training_forward_bitwise(
+        n in 2usize..=MAX_N,
+        d in 1usize..=MAX_D,
+        h in 1usize..=MAX_H,
+        xv in proptest::collection::vec(-2.0f32..2.0, MAX_N * MAX_D),
+        w1v in proptest::collection::vec(-1.0f32..1.0, MAX_D * MAX_H),
+        w2v in proptest::collection::vec(-1.0f32..1.0, MAX_H),
+        ybits in proptest::collection::vec(0u8..2, MAX_N),
+    ) {
+        let inp = TapeInputs {
+            x: Matrix::from_vec(n, d, xv[..n * d].to_vec()),
+            rows: Arc::new((0..n as u32).collect()),
+            targets: Arc::new(ybits[..n].iter().map(|&b| b as f32).collect()),
+            weights: Arc::new(vec![1.0f32; n]),
+        };
+        let w1p = ParamRef::new("w1", Matrix::from_vec(d, h, w1v[..d * h].to_vec()));
+        let w2p = ParamRef::new("w2", Matrix::from_vec(h, 1, w2v[..h].to_vec()));
+
+        let mut train_g = Graph::new();
+        let (t_logits, t_loss) = build_tape(&mut train_g, &inp, &w1p, &w2p);
+        let mut infer_g = Graph::inference();
+        let (i_logits, i_loss) = build_tape(&mut infer_g, &inp, &w1p, &w2p);
+
+        prop_assert_eq!(bits(train_g.value(t_logits)), bits(infer_g.value(i_logits)));
+        prop_assert_eq!(
+            train_g.scalar(t_loss).to_bits(),
+            infer_g.scalar(i_loss).to_bits()
+        );
+    }
+}

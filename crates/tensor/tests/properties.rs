@@ -129,8 +129,8 @@ proptest! {
     #[test]
     fn backward_linear_exact(x in small_matrix(3, 4), w in small_matrix(4, 2)) {
         let mut g = Graph::new();
-        let xi = g.constant(x.clone());
-        let wi = g.constant(w.clone());
+        let xi = g.variable(x.clone());
+        let wi = g.variable(w.clone());
         let y = g.matmul(xi, wi);
         let loss = g.sum_all(y);
         g.backward(loss);

@@ -3,6 +3,41 @@
 //! contract shared by every model.
 
 use crate::Urg;
+use std::fmt;
+
+/// A typed training failure, surfaced through [`FitReport::error`] instead of
+/// panicking deep inside a tensor kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FitError {
+    /// An input feature matrix has the wrong width for this model's
+    /// configuration (e.g. fitting on a URG with a different POI vocabulary).
+    ShapeMismatch {
+        /// Which input was malformed (`"x_poi"`, `"x_img"`, ...).
+        what: &'static str,
+        /// Column count the model was built for.
+        expected_cols: usize,
+        /// Column count actually supplied.
+        got_cols: usize,
+    },
+    /// Training finished but the loss is NaN or infinite.
+    NonFiniteLoss,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::ShapeMismatch {
+                what,
+                expected_cols,
+                got_cols,
+            } => write!(
+                f,
+                "shape mismatch: {what} has {got_cols} columns, model expects {expected_cols}"
+            ),
+            FitError::NonFiniteLoss => write!(f, "training loss is non-finite"),
+        }
+    }
+}
 
 /// Outcome of a training run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -13,6 +48,8 @@ pub struct FitReport {
     pub train_secs: f64,
     /// Final training-loss value.
     pub final_loss: f32,
+    /// Set when training aborted or degenerated; `None` on success.
+    pub error: Option<FitError>,
 }
 
 impl FitReport {

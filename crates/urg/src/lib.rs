@@ -21,7 +21,7 @@ pub mod features;
 pub mod graph;
 pub mod vgg;
 
-pub use detector::{Detector, FitReport};
+pub use detector::{Detector, FitError, FitReport};
 pub use features::{PoiFeatureOptions, PoiSpatialIndex};
 pub use graph::{serde_like::UrgStats, Urg, UrgOptions};
 pub use vgg::{standardize_columns, VggSim, VGG_SIM_DIM};

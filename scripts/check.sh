@@ -6,3 +6,6 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+# Zero-allocation replay regression gate: steady-state epochs must not
+# touch the heap (counting global allocator; release, single-threaded).
+cargo test -p uvd-tensor --release --test alloc_replay -q
