@@ -8,7 +8,7 @@ use std::time::Instant;
 use uvd_nn::{Activation, GcnStack, Linear, MultiHeadAttention};
 use uvd_tensor::init::{derive_seed, seeded_rng};
 use uvd_tensor::{Adam, Graph, NodeId, ParamSet};
-use uvd_urg::{Detector, FitReport, Urg};
+use uvd_urg::{Detector, FitError, FitReport, Urg};
 
 /// Which propagation rule the graph baseline uses.
 enum Encoder {
@@ -146,6 +146,8 @@ impl Detector for GraphBaseline {
         let (rows, targets, weights) = bce_vectors(urg, train_idx);
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
+        let mut epochs_run = 0;
+        let mut error = None;
         // Record the tape once, replay across epochs.
         let mut g = Graph::new();
         let z = self.logits(&mut g, urg);
@@ -156,6 +158,11 @@ impl Detector for GraphBaseline {
                 g.replay();
             }
             last = g.scalar(loss);
+            epochs_run = epoch + 1;
+            if !last.is_finite() {
+                error = Some(FitError::NonFiniteLoss);
+                break;
+            }
             g.backward(loss);
             g.write_grads();
             self.params.clip_grad_norm(self.cfg.grad_clip);
@@ -163,10 +170,10 @@ impl Detector for GraphBaseline {
             opt.decay(self.cfg.lr_decay);
         }
         FitReport {
-            epochs: self.cfg.epochs,
+            epochs: epochs_run,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
-            error: None,
+            error,
         }
     }
 

@@ -17,7 +17,7 @@ use std::time::Instant;
 use uvd_nn::{Activation, Linear, Mlp};
 use uvd_tensor::init::{derive_seed, normal_matrix, seeded_rng};
 use uvd_tensor::{Adam, Graph, Matrix, NodeId, ParamSet, Rng64};
-use uvd_urg::{Detector, FitReport, Urg};
+use uvd_urg::{Detector, FitError, FitReport, Urg};
 
 /// Latent noise dimensionality for the generator.
 const NOISE_DIM: usize = 16;
@@ -140,10 +140,13 @@ impl Detector for ImgagnBaseline {
         let mut opt_d = Adam::new(self.cfg.lr);
         let mut opt_g = Adam::new(self.cfg.lr);
         let mut last = 0.0;
+        let mut epochs_run = 0;
+        let mut error = None;
         let ones = |n: usize| Arc::new(vec![1.0f32; n]);
         // Adversarial training draws fresh generator noise every step, so
         // each tape is recorded fresh; only prediction uses the no-grad path.
-        for _ in 0..self.cfg.epochs {
+        'outer: for _ in 0..self.cfg.epochs {
+            epochs_run += 1;
             // ---- discriminator steps ----
             for _ in 0..D_STEPS {
                 // Fakes as constants: recompute generation and detach.
@@ -167,6 +170,10 @@ impl Detector for ImgagnBaseline {
                 let b = g.add(l_uv_r, l_uv_f);
                 let loss = g.add(a, b);
                 last = g.scalar(loss);
+                if !last.is_finite() {
+                    error = Some(FitError::NonFiniteLoss);
+                    break 'outer;
+                }
                 g.backward(loss);
                 g.write_grads();
                 self.d_params.clip_grad_norm(self.cfg.grad_clip);
@@ -177,6 +184,10 @@ impl Detector for ImgagnBaseline {
             let xf = self.generate(&mut g, &minority, n_fake, &mut rng);
             let (rf_f, _) = self.disc_logits(&mut g, xf);
             let loss = g.bce_with_logits(rf_f, ones(n_fake), ones(n_fake));
+            if !g.scalar(loss).is_finite() {
+                error = Some(FitError::NonFiniteLoss);
+                break;
+            }
             g.backward(loss);
             g.write_grads();
             // Only the generator learns in this step.
@@ -188,10 +199,10 @@ impl Detector for ImgagnBaseline {
         }
         self.rng = rng;
         FitReport {
-            epochs: self.cfg.epochs,
+            epochs: epochs_run,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
-            error: None,
+            error,
         }
     }
 

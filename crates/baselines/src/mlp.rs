@@ -6,7 +6,7 @@ use std::time::Instant;
 use uvd_nn::{Activation, Linear, Mlp};
 use uvd_tensor::init::{derive_seed, seeded_rng};
 use uvd_tensor::{Adam, Graph, NodeId, ParamSet};
-use uvd_urg::{Detector, FitReport, Urg};
+use uvd_urg::{Detector, FitError, FitReport, Urg};
 
 pub struct MlpBaseline {
     cfg: BaselineConfig,
@@ -82,6 +82,8 @@ impl Detector for MlpBaseline {
             .then(|| gather_batch(&urg.x_img, urg, train_idx));
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
+        let mut epochs_run = 0;
+        let mut error = None;
         // Record the tape once, replay across epochs.
         let mut g = Graph::new();
         let xp_n = g.constant(xp);
@@ -93,6 +95,13 @@ impl Detector for MlpBaseline {
                 g.replay();
             }
             last = g.scalar(loss);
+            epochs_run = epoch + 1;
+            if !last.is_finite() {
+                // Abort before stepping on garbage gradients; the runner
+                // degrades this fold instead of panicking.
+                error = Some(FitError::NonFiniteLoss);
+                break;
+            }
             g.backward(loss);
             g.write_grads();
             self.params.clip_grad_norm(self.cfg.grad_clip);
@@ -100,10 +109,10 @@ impl Detector for MlpBaseline {
             opt.decay(self.cfg.lr_decay);
         }
         FitReport {
-            epochs: self.cfg.epochs,
+            epochs: epochs_run,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
-            error: None,
+            error,
         }
     }
 

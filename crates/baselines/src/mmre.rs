@@ -14,7 +14,7 @@ use std::time::Instant;
 use uvd_nn::{Activation, GcnStack, Linear, Mlp};
 use uvd_tensor::init::{derive_seed, normal_matrix, seeded_rng};
 use uvd_tensor::{Adam, Graph, Matrix, NodeId, ParamSet, Rng64};
-use uvd_urg::{Detector, FitReport, Urg};
+use uvd_urg::{Detector, FitError, FitReport, Urg};
 
 const LAMBDA_I: f32 = 0.5;
 const LAMBDA_S: f32 = 0.1;
@@ -176,6 +176,7 @@ impl Detector for MmreBaseline {
         // topology changes every epoch — this stage keeps the per-epoch
         // rebuild instead of a recorded replay.
         let mut opt = Adam::new(self.cfg.lr);
+        let mut epochs_run = 0;
         for _ in 0..self.cfg.epochs {
             let mut g = Graph::new();
             let z = self.embed(&mut g, urg, true, &mut rng);
@@ -189,6 +190,17 @@ impl Detector for MmreBaseline {
             let l_rec_s = g.scale(l_rec, LAMBDA_I);
             let l_sg_s = g.scale(l_sg, LAMBDA_S);
             let loss = g.add(l_rec_s, l_sg_s);
+            let value = g.scalar(loss);
+            epochs_run += 1;
+            if !value.is_finite() {
+                self.rng = rng;
+                return FitReport {
+                    epochs: epochs_run,
+                    train_secs: start.elapsed().as_secs_f64(),
+                    final_loss: value,
+                    error: Some(FitError::NonFiniteLoss),
+                };
+            }
             g.backward(loss);
             g.write_grads();
             self.embed_params.clip_grad_norm(self.cfg.grad_clip);
@@ -199,6 +211,18 @@ impl Detector for MmreBaseline {
         let mut g = Graph::inference();
         let z = self.embed(&mut g, urg, false, &mut rng);
         let embedding = g.value(z).clone();
+        if embedding.has_non_finite() {
+            // Embedding degenerated without the loss diverging (e.g. an
+            // overflow confined to untrained rows): surface it instead of
+            // fitting a classifier on garbage.
+            self.rng = rng;
+            return FitReport {
+                epochs: epochs_run,
+                train_secs: start.elapsed().as_secs_f64(),
+                final_loss: f32::NAN,
+                error: Some(FitError::NonFiniteLoss),
+            };
+        }
         self.embedding = Some(embedding.clone());
 
         // Stage B: LR classifier on the frozen embedding. The batch is
@@ -207,6 +231,7 @@ impl Detector for MmreBaseline {
         let batch = embedding.gather_rows(&rows);
         let mut opt2 = Adam::new(self.cfg.lr * 4.0);
         let mut last = 0.0;
+        let mut error = None;
         let mut g = Graph::new();
         let x = g.constant(batch);
         let zl = self.clf.forward(&mut g, x);
@@ -216,6 +241,10 @@ impl Detector for MmreBaseline {
                 g.replay();
             }
             last = g.scalar(loss);
+            if !last.is_finite() {
+                error = Some(FitError::NonFiniteLoss);
+                break;
+            }
             g.backward(loss);
             g.write_grads();
             opt2.step(&self.clf_params);
@@ -225,7 +254,7 @@ impl Detector for MmreBaseline {
             epochs: 2 * self.cfg.epochs,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
-            error: None,
+            error,
         }
     }
 

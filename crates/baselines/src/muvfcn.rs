@@ -9,7 +9,7 @@ use uvd_citysim::IMG_SIZE;
 use uvd_nn::{ConvBackbone, ConvBlock, Linear};
 use uvd_tensor::init::{derive_seed, seeded_rng};
 use uvd_tensor::{Adam, Graph, Matrix, ParamSet};
-use uvd_urg::{Detector, FitReport, Urg};
+use uvd_urg::{Detector, FitError, FitReport, Urg};
 
 const PREDICT_BATCH: usize = 256;
 /// Channels of the final feature map (the paper pools to a 32-d vector).
@@ -75,12 +75,21 @@ impl Detector for MuvfcnBaseline {
 
     fn fit(&mut self, urg: &Urg, train_idx: &[usize]) -> FitReport {
         let start = Instant::now();
-        let raw = urg.raw_images.as_ref().expect("MUVFCN needs raw images");
+        let Some(raw) = urg.raw_images.as_ref() else {
+            // Image-only detector on a graph built without raw imagery:
+            // a typed failure the runner can attribute, not a panic.
+            return FitReport {
+                error: Some(FitError::MissingInput { what: "raw_images" }),
+                ..FitReport::default()
+            };
+        };
         let rows: Vec<u32> = train_idx.iter().map(|&i| urg.labeled[i]).collect();
         let batch = raw.gather_rows(&rows);
         let (_, targets, weights) = bce_vectors(urg, train_idx);
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
+        let mut epochs_run = 0;
+        let mut error = None;
         // Record the tape once, replay across epochs (conv backward still
         // allocates internally; see DESIGN.md §7).
         let mut g = Graph::new();
@@ -95,6 +104,11 @@ impl Detector for MuvfcnBaseline {
                 g.replay();
             }
             last = g.scalar(loss);
+            epochs_run = epoch + 1;
+            if !last.is_finite() {
+                error = Some(FitError::NonFiniteLoss);
+                break;
+            }
             g.backward(loss);
             g.write_grads();
             self.params.clip_grad_norm(self.cfg.grad_clip);
@@ -102,16 +116,20 @@ impl Detector for MuvfcnBaseline {
             opt.decay(self.cfg.lr_decay);
         }
         FitReport {
-            epochs: self.cfg.epochs,
+            epochs: epochs_run,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
-            error: None,
+            error,
         }
     }
 
     fn predict(&self, urg: &Urg) -> Vec<f32> {
-        let raw = urg.raw_images.as_ref().expect("MUVFCN needs raw images");
-        self.forward_probs(raw)
+        match urg.raw_images.as_ref() {
+            Some(raw) => self.forward_probs(raw),
+            // No imagery to score: NaN is the honest answer, and the eval
+            // runner turns it into a per-fold Predict failure.
+            None => vec![f32::NAN; urg.n],
+        }
     }
 
     fn num_params(&self) -> usize {
@@ -137,6 +155,19 @@ mod tests {
         assert!(r.final_loss.is_finite());
         let p = model.predict(&urg);
         assert_eq!(p.len(), urg.n);
+    }
+
+    #[test]
+    fn missing_raw_images_is_a_typed_error_not_a_panic() {
+        let city = City::from_config(CityPreset::tiny(), 13);
+        let urg = Urg::build(&city, UrgOptions::no_image());
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut model = MuvfcnBaseline::new(&urg, BaselineConfig::fast_test());
+        let r = model.fit(&urg, &train);
+        assert_eq!(r.error, Some(FitError::MissingInput { what: "raw_images" }));
+        let p = model.predict(&urg);
+        assert_eq!(p.len(), urg.n);
+        assert!(p.iter().all(|v| v.is_nan()));
     }
 
     #[test]

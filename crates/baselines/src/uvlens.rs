@@ -10,7 +10,7 @@ use uvd_citysim::IMG_SIZE;
 use uvd_nn::{histogram_equalize, Activation, ConvBackbone, ConvBlock, Mlp};
 use uvd_tensor::init::{derive_seed, seeded_rng};
 use uvd_tensor::{Adam, Graph, Matrix, ParamSet};
-use uvd_urg::{Detector, FitReport, Urg};
+use uvd_urg::{Detector, FitError, FitReport, Urg};
 
 /// Batch size for inference over all regions (keeps im2col memory bounded).
 const PREDICT_BATCH: usize = 256;
@@ -72,12 +72,21 @@ impl Detector for UvlensBaseline {
 
     fn fit(&mut self, urg: &Urg, train_idx: &[usize]) -> FitReport {
         let start = Instant::now();
-        let raw = urg.raw_images.as_ref().expect("UVLens needs raw images");
+        let Some(raw) = urg.raw_images.as_ref() else {
+            // Image-only detector on a graph built without raw imagery:
+            // a typed failure the runner can attribute, not a panic.
+            return FitReport {
+                error: Some(FitError::MissingInput { what: "raw_images" }),
+                ..FitReport::default()
+            };
+        };
         let rows: Vec<u32> = train_idx.iter().map(|&i| urg.labeled[i]).collect();
         let batch = histogram_equalize(&raw.gather_rows(&rows));
         let (_, targets, weights) = bce_vectors(urg, train_idx);
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
+        let mut epochs_run = 0;
+        let mut error = None;
         // Record the tape once, replay across epochs (conv backward still
         // allocates internally; see DESIGN.md §7).
         let mut g = Graph::new();
@@ -90,6 +99,11 @@ impl Detector for UvlensBaseline {
                 g.replay();
             }
             last = g.scalar(loss);
+            epochs_run = epoch + 1;
+            if !last.is_finite() {
+                error = Some(FitError::NonFiniteLoss);
+                break;
+            }
             g.backward(loss);
             g.write_grads();
             self.params.clip_grad_norm(self.cfg.grad_clip);
@@ -97,17 +111,20 @@ impl Detector for UvlensBaseline {
             opt.decay(self.cfg.lr_decay);
         }
         FitReport {
-            epochs: self.cfg.epochs,
+            epochs: epochs_run,
             train_secs: start.elapsed().as_secs_f64(),
             final_loss: last,
-            error: None,
+            error,
         }
     }
 
     fn predict(&self, urg: &Urg) -> Vec<f32> {
-        let raw = urg.raw_images.as_ref().expect("UVLens needs raw images");
-        let equalized = histogram_equalize(raw);
-        self.forward_probs(&equalized)
+        match urg.raw_images.as_ref() {
+            Some(raw) => self.forward_probs(&histogram_equalize(raw)),
+            // No imagery to score: NaN is the honest answer, and the eval
+            // runner turns it into a per-fold Predict failure.
+            None => vec![f32::NAN; urg.n],
+        }
     }
 
     fn num_params(&self) -> usize {
@@ -134,6 +151,19 @@ mod tests {
         let p = model.predict(&urg);
         assert_eq!(p.len(), urg.n);
         assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn missing_raw_images_is_a_typed_error_not_a_panic() {
+        let city = City::from_config(CityPreset::tiny(), 14);
+        let urg = Urg::build(&city, UrgOptions::no_image());
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut model = UvlensBaseline::new(&urg, BaselineConfig::fast_test());
+        let r = model.fit(&urg, &train);
+        assert_eq!(r.error, Some(FitError::MissingInput { what: "raw_images" }));
+        let p = model.predict(&urg);
+        assert_eq!(p.len(), urg.n);
+        assert!(p.iter().all(|v| v.is_nan()));
     }
 
     #[test]

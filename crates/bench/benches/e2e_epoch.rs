@@ -28,7 +28,7 @@ fn bench_epochs(c: &mut Criterion) {
         });
     });
 
-    model.train_master(&urg, &train);
+    model.train_master(&urg, &train).expect("master trains");
     let fixed = model.fixed_assignment().expect("after master").clone();
     let (c1, c0) = fixed.partition();
     c.bench_function("cmsf_slave_epoch_tiny", |b| {
@@ -36,7 +36,8 @@ fn bench_epochs(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 model.slave_epoch(&urg, &fixed, &c1, &c0, &rows, &targets, &weights, &mut opt),
-            );
+            )
+            .expect("slave epoch stays finite");
         });
     });
 }

@@ -43,6 +43,13 @@ fn main() {
                 tweak(&mut cfg);
                 Box::new(cmsf::Cmsf::new(urg, cfg))
             });
+            let s = match s {
+                Ok(s) => s,
+                Err(err) => {
+                    eprintln!("{label:10} | skipped: {err}");
+                    continue;
+                }
+            };
             println!("{}", format_row(&s));
             rows.push(s);
         }

@@ -47,6 +47,13 @@ fn main() {
                 }
                 Box::new(cmsf::Cmsf::new(urg, cfg))
             });
+            let s = match s {
+                Ok(s) => s,
+                Err(err) => {
+                    eprintln!("{:10} | skipped: {err}", kind.label());
+                    continue;
+                }
+            };
             println!("{}", format_row(&s));
             rows.push(s);
         }

@@ -44,6 +44,13 @@ fn main() {
                 cfg.slave_epochs = slave_epochs;
                 Box::new(cmsf::Cmsf::new(urg, cfg))
             });
+            let s = match s {
+                Ok(s) => s,
+                Err(err) => {
+                    eprintln!("{label:10} | skipped: {err}");
+                    continue;
+                }
+            };
             println!("{}", format_row(&s));
             rows.push(s);
         }

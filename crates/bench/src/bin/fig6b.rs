@@ -32,6 +32,14 @@ fn main() {
                 cfg.slave_epochs = se;
                 Box::new(cmsf::Cmsf::new(urg, cfg))
             });
+            let s = match s {
+                Ok(s) => s,
+                Err(err) => {
+                    print!("  l={lambda}: failed");
+                    eprintln!("\n{label} skipped: {err}");
+                    continue;
+                }
+            };
             print!("  l={lambda}: {:.3}", s.auc.mean);
             rows.push(s);
         }

@@ -46,7 +46,14 @@ fn main() {
                         }
                     }
                 };
-                let mut s = run_custom(&urg, &spec, kind.label(), builder);
+                let mut s = match run_custom(&urg, &spec, kind.label(), builder) {
+                    Ok(s) => s,
+                    Err(err) => {
+                        print!("  {:.0}%: failed", ratio * 100.0);
+                        eprintln!("\n{} skipped: {err}", kind.label());
+                        continue;
+                    }
+                };
                 s.method = format!("{}@{:.0}%", kind.label(), ratio * 100.0);
                 print!("  {:.0}%: {:.3}", ratio * 100.0, s.auc.mean);
                 rows.push(s);

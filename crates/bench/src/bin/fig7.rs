@@ -95,14 +95,21 @@ fn main() {
 
         for kind in [MethodKind::Cmsf, MethodKind::Uvlens] {
             let mut det = build_detector(kind, &urg, 0, scale == Scale::Quick);
-            det.fit(&urg, &train);
+            let report = det.fit(&urg, &train);
+            if let Some(err) = report.error {
+                eprintln!("{:8} skipped: fit failed: {err}", kind.label());
+                continue;
+            }
             let scores = det.predict(&urg);
-            // Rank the test labeled regions, take the top 3%.
+            // Rank the test labeled regions, take the top 3% (NaN scores, if
+            // any slip through, sink to the bottom instead of panicking).
             let mut ranked: Vec<usize> = test.clone();
             ranked.sort_by(|&a, &b| {
-                scores[urg.labeled[b] as usize]
-                    .partial_cmp(&scores[urg.labeled[a] as usize])
-                    .expect("finite scores")
+                let (sa, sb) = (
+                    scores[urg.labeled[a] as usize],
+                    scores[urg.labeled[b] as usize],
+                );
+                sa.is_nan().cmp(&sb.is_nan()).then(sb.total_cmp(&sa))
             });
             let k = ((test.len() as f64 * 0.03).ceil() as usize).max(1);
             let detected: Vec<u32> = ranked[..k].iter().map(|&i| urg.labeled[i]).collect();
@@ -112,7 +119,13 @@ fn main() {
                 .map(|&i| scores[urg.labeled[i] as usize])
                 .collect();
             let y: Vec<f32> = test.iter().map(|&i| urg.y[i]).collect();
-            let prf = prf_at_top_percent(&s, &y, 3);
+            let prf = match prf_at_top_percent(&s, &y, 3) {
+                Ok(prf) => prf,
+                Err(err) => {
+                    eprintln!("{:8} skipped: {err}", kind.label());
+                    continue;
+                }
+            };
             let coherence = spatial_coherence(&urg, &detected);
             println!(
                 "{:8} precision@3={:.3} recall@3={:.3} spatial-coherence={:.3}",

@@ -2,7 +2,8 @@
 //!
 //! Times each rayon-backed kernel serially (one thread) and in parallel
 //! (`UVD_THREADS` or the machine's core count, floored at 4 so the snapshot
-//! is comparable across hosts), then writes the serial/parallel pairs and
+//! is comparable across hosts, then clamped to the workers the host can
+//! actually run concurrently), then writes the serial/parallel pairs and
 //! speedups to `BENCH_tensor.json` at the repository root.
 //!
 //! The committed snapshot is a reference point for regressions, not a
@@ -75,8 +76,8 @@ fn e2e_cmsf(threads: usize) -> serde_json::Value {
     // the extra freeze forward is charged against replay, not rebuild).
     let replay_ms = time_ms(5, || {
         par::with_threads(threads, || {
-            model.train_master(&urg, &train);
-            model.train_slave(&urg, &train);
+            model.train_master(&urg, &train).expect("master trains");
+            model.train_slave(&urg, &train).expect("slave trains");
         })
     });
     let peak_ws = model.peak_workspace_bytes();
@@ -92,8 +93,9 @@ fn e2e_cmsf(threads: usize) -> serde_json::Value {
     let mut gm = Graph::new();
     let master_loss = model.record_master_tape(&mut gm, &urg, &rows, &targets, &weights);
     let mut gs = Graph::new();
-    let slave_loss =
-        model.record_slave_tape(&mut gs, &urg, &fixed, &c1, &c0, &rows, &targets, &weights);
+    let slave_loss = model
+        .record_slave_tape(&mut gs, &urg, &fixed, &c1, &c0, &rows, &targets, &weights)
+        .expect("slave tape records");
     let rebuild_ms = time_ms(5, || {
         par::with_threads(threads, || {
             let legacy_epoch = |g: &Graph, loss: uvd_tensor::NodeId, opt: &mut Adam| {
@@ -135,7 +137,14 @@ fn e2e_cmsf(threads: usize) -> serde_json::Value {
 }
 
 fn main() {
-    let threads = par::effective_threads().max(4);
+    // Record the *effective* worker count: on a single-core host a 4-thread
+    // pool still runs one worker at a time, and the snapshot should say so
+    // instead of claiming parallelism the host cannot deliver.
+    let requested = par::effective_threads().max(4);
+    let threads = par::effective_workers(requested);
+    if threads != requested {
+        println!("perfsnap: requested {requested} threads, host supports {threads}");
+    }
     println!("perfsnap: timing kernels with {threads} parallel threads\n");
     let mut rng = seeded_rng(42);
     let mut pairs = Vec::new();

@@ -25,9 +25,15 @@ fn main() {
                 cfg.hidden = hid;
                 cfg.seed = seed;
                 let mut m = Cmsf::new(&urg, cfg);
-                m.fit(&urg, train);
-                let (a, _) = eval_scores(&m.predict(&urg), &urg, test, &[3]);
-                aucs.push(a);
+                let report = m.fit(&urg, train);
+                if let Some(err) = report.error {
+                    eprintln!("K={k} seed={seed}: fit failed, skipping: {err}");
+                    continue;
+                }
+                match eval_scores(&m.predict(&urg), &urg, test, &[3]) {
+                    Ok((a, _)) => aucs.push(a),
+                    Err(err) => eprintln!("K={k} seed={seed}: skipping: {err}"),
+                }
             }
         }
         let mean = aucs.iter().sum::<f64>() / aucs.len() as f64;

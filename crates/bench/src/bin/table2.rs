@@ -23,7 +23,13 @@ fn main() {
         println!("--- {} ---", urg.name);
         println!("{}", header());
         for kind in MethodKind::TABLE2 {
-            let s = run_method(kind, &urg, &spec);
+            let s = match run_method(kind, &urg, &spec) {
+                Ok(s) => s,
+                Err(err) => {
+                    eprintln!("{:10} | skipped: {err}", kind.label());
+                    continue;
+                }
+            };
             println!("{}", format_row(&s));
             rows.push(s);
         }

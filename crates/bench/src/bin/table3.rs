@@ -36,8 +36,15 @@ fn main() {
 
     let mut rows = Vec::new();
     for kind in MethodKind::TABLE2 {
-        let s_sz = run_method(kind, &sz, &spec);
-        let s_fz = run_method(kind, &fz, &spec);
+        let (s_sz, s_fz) = match (run_method(kind, &sz, &spec), run_method(kind, &fz, &spec)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (a, b) => {
+                for err in [a.err(), b.err()].into_iter().flatten() {
+                    eprintln!("{:10} | skipped: {err}", kind.label());
+                }
+                continue;
+            }
+        };
         println!(
             "{:10} | {:>14.4} {:>14.4} | {:>14.4} {:>14.4} | {:>12.3}",
             kind.label(),

@@ -109,10 +109,18 @@ impl Scale {
 pub fn format_row(s: &MethodSummary) -> String {
     let p3 = s.at(3).expect("p=3 metrics");
     let p5 = s.at(5).expect("p=5 metrics");
-    format!(
+    let mut row = format!(
         "{:10} | {} | {} {} {} | {} {} {}",
         s.method, s.auc, p3.recall, p3.precision, p3.f1, p5.recall, p5.precision, p5.f1
-    )
+    );
+    if s.failed > 0 {
+        row.push_str(&format!(
+            "  [{}/{} folds failed]",
+            s.failed,
+            s.runs + s.failed
+        ));
+    }
+    row
 }
 
 /// Table II/ablation header matching [`format_row`].
@@ -168,6 +176,8 @@ mod tests {
             inference_secs: 0.0,
             model_mbytes: 0.0,
             runs: 1,
+            failed: 0,
+            fold_outcomes: vec![],
         };
         let row = format_row(&s);
         assert!(row.contains("0.500"));

@@ -63,7 +63,7 @@ pub fn survey(cfg: &CityConfig, map: &LandUseMap, rng: &mut SmallRng) -> SurveyL
             (key, r)
         })
         .collect();
-    keyed.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+    keyed.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
     let mut non_uv_regions: Vec<u32> = keyed.into_iter().take(target).map(|(_, r)| r).collect();
 
     uv_regions.sort_unstable();

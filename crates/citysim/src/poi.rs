@@ -192,6 +192,10 @@ fn sample_region_by(
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is intended in these tests: they assert
+    // exact constants and bit-reproducible results, not tolerances.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::config::{CityConfig, CityPreset};
     use crate::landuse::{derive_profiles, generate_land_use};

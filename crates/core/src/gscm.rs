@@ -211,6 +211,10 @@ impl Gscm {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is intended in these tests: they assert
+    // exact constants and bit-reproducible results, not tolerances.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use uvd_tensor::init::{normal_matrix, seeded_rng};
 

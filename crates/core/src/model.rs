@@ -195,8 +195,9 @@ impl Cmsf {
     }
 
     /// Algorithm 1: master training stage. Returns the average loss of the
-    /// final epoch.
-    pub fn train_master(&mut self, urg: &Urg, train_idx: &[usize]) -> f32 {
+    /// final epoch, or [`FitError::NonFiniteLoss`] at the first epoch whose
+    /// loss diverges (no point polishing garbage parameters).
+    pub fn train_master(&mut self, urg: &Urg, train_idx: &[usize]) -> Result<f32, FitError> {
         let (rows, targets, weights) = self.bce_vectors(urg, train_idx);
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
@@ -209,11 +210,15 @@ impl Cmsf {
                 g.replay();
             }
             last = self.train_step(&mut g, loss, &mut opt);
+            if !last.is_finite() {
+                self.peak_ws_bytes = self.peak_ws_bytes.max(g.workspace_bytes());
+                return Err(FitError::NonFiniteLoss);
+            }
             opt.decay(self.cfg.lr_decay);
         }
         self.peak_ws_bytes = self.peak_ws_bytes.max(g.workspace_bytes());
         self.freeze_assignment(urg, train_idx);
-        last
+        Ok(last)
     }
 
     /// Freeze the cluster assignment from the current representation and
@@ -293,12 +298,18 @@ impl Cmsf {
     }
 
     /// Algorithm 2: slave adaptive training stage. Requires a prior
-    /// [`Cmsf::train_master`] (which froze the assignment).
-    pub fn train_slave(&mut self, urg: &Urg, train_idx: &[usize]) -> f32 {
+    /// [`Cmsf::train_master`] (which froze the assignment); running it out of
+    /// order is a typed [`FitError::StageOrder`] instead of a panic.
+    pub fn train_slave(&mut self, urg: &Urg, train_idx: &[usize]) -> Result<f32, FitError> {
         let (Some(_), Some(_)) = (&self.gscm, &self.gate) else {
-            return 0.0; // CMSF-G / CMSF-H variants skip this stage.
+            return Ok(0.0); // CMSF-G / CMSF-H variants skip this stage.
         };
-        let fixed = self.fixed.clone().expect("train_master must run first");
+        let Some(fixed) = self.fixed.clone() else {
+            return Err(FitError::StageOrder {
+                required: "train_master",
+                attempted: "train_slave",
+            });
+        };
         let (rows, targets, weights) = self.bce_vectors(urg, train_idx);
         let (c1, c0) = fixed.partition();
         // The slave stage refines an already-trained master; a smaller step
@@ -308,22 +319,29 @@ impl Cmsf {
         // Record the slave tape once, replay across epochs (the frozen
         // assignment and rank-loss index sets are constants of the tape).
         let mut g = Graph::new();
-        let loss = self.record_slave_tape(&mut g, urg, &fixed, &c1, &c0, &rows, &targets, &weights);
+        let loss =
+            self.record_slave_tape(&mut g, urg, &fixed, &c1, &c0, &rows, &targets, &weights)?;
         for epoch in 0..self.cfg.slave_epochs {
             if epoch > 0 {
                 g.replay();
             }
             last = self.train_step(&mut g, loss, &mut opt);
+            if !last.is_finite() {
+                self.peak_ws_bytes = self.peak_ws_bytes.max(g.workspace_bytes());
+                return Err(FitError::NonFiniteLoss);
+            }
             opt.decay(self.cfg.lr_decay);
         }
         self.peak_ws_bytes = self.peak_ws_bytes.max(g.workspace_bytes());
         self.trained_slave = true;
-        last
+        Ok(last)
     }
 
     /// Record the slave-stage tape (Algorithm 2: gated classification loss
     /// `L_c` plus `λ`-scaled rank loss `L_p`) onto `g` and return the loss
     /// node. Shared by the replay training loop and the timing harnesses.
+    /// Requires the MS-Gate and the cluster hierarchy; their absence is a
+    /// typed [`FitError::MissingHierarchy`].
     #[allow(clippy::too_many_arguments)]
     pub fn record_slave_tape(
         &self,
@@ -335,10 +353,15 @@ impl Cmsf {
         rows: &Arc<Vec<u32>>,
         targets: &Arc<Vec<f32>>,
         weights: &Arc<Vec<f32>>,
-    ) -> NodeId {
-        let gate = self.gate.as_ref().expect("slave stage requires the gate");
+    ) -> Result<NodeId, FitError> {
+        let gate = self
+            .gate
+            .as_ref()
+            .ok_or(FitError::MissingHierarchy { what: "gate" })?;
         let repr = self.representation(g, urg, Some(fixed));
-        let h_prime = repr.h_prime.expect("hierarchy present in slave stage");
+        let h_prime = repr
+            .h_prime
+            .ok_or(FitError::MissingHierarchy { what: "h_prime" })?;
         // eq. 17 + eq. 18.
         let probs = gate.inclusion_probs(g, h_prime);
         let l_p = gate.rank_loss(g, probs, c1, c0);
@@ -350,7 +373,7 @@ impl Cmsf {
         let l_c = g.bce_with_logits(labeled_logits, targets.clone(), weights.clone());
         // eq. 24.
         let l_p_scaled = g.scale(l_p, self.cfg.lambda);
-        g.add(l_c, l_p_scaled)
+        Ok(g.add(l_c, l_p_scaled))
     }
 
     /// One slave epoch (full-batch), recording a fresh tape; exposed for
@@ -366,9 +389,9 @@ impl Cmsf {
         targets: &Arc<Vec<f32>>,
         weights: &Arc<Vec<f32>>,
         opt: &mut Adam,
-    ) -> f32 {
+    ) -> Result<f32, FitError> {
         let mut g = Graph::new();
-        let loss = self.record_slave_tape(&mut g, urg, fixed, c1, c0, rows, targets, weights);
+        let loss = self.record_slave_tape(&mut g, urg, fixed, c1, c0, rows, targets, weights)?;
         let value = g.scalar(loss);
         g.backward(loss);
         g.write_grads();
@@ -376,7 +399,7 @@ impl Cmsf {
             self.params.clip_grad_norm(self.cfg.grad_clip);
         }
         opt.step(&self.params);
-        value
+        Ok(value)
     }
 
     /// Detection (Section V-C): probability of being an urban village for
@@ -386,11 +409,19 @@ impl Cmsf {
         let logits = match (&self.gate, &self.fixed, self.trained_slave) {
             (Some(gate), Some(fixed), true) => {
                 let repr = self.representation(&mut g, urg, Some(fixed));
-                let h_prime = repr.h_prime.expect("hierarchy present");
-                let probs = gate.inclusion_probs(&mut g, h_prime);
-                let q = gate.context(&mut g, fixed, probs);
-                let f = gate.filter(&mut g, q);
-                gate.gated_forward(&mut g, &self.classifier, repr.x_final, f)
+                match repr.h_prime {
+                    // Gated detection path (the trained configuration).
+                    Some(h_prime) => {
+                        let probs = gate.inclusion_probs(&mut g, h_prime);
+                        let q = gate.context(&mut g, fixed, probs);
+                        let f = gate.filter(&mut g, q);
+                        gate.gated_forward(&mut g, &self.classifier, repr.x_final, f)
+                    }
+                    // Hierarchy unexpectedly absent (e.g. a checkpoint loaded
+                    // into a gate-less representation): degrade to the plain
+                    // classifier instead of panicking.
+                    None => self.classifier.forward(&mut g, repr.x_final),
+                }
             }
             _ => {
                 let repr = self.representation(&mut g, urg, self.fixed.as_ref());
@@ -423,11 +454,17 @@ impl Cmsf {
                 let logits = match (&self.gate, self.trained_slave) {
                     (Some(gate), true) => {
                         let repr = self.representation(&mut g, urg, Some(&fixed));
-                        let h_prime = repr.h_prime.expect("hierarchy present");
-                        let probs = gate.inclusion_probs(&mut g, h_prime);
-                        let q = gate.context(&mut g, &fixed, probs);
-                        let f = gate.filter(&mut g, q);
-                        gate.gated_forward(&mut g, &self.classifier, repr.x_final, f)
+                        match repr.h_prime {
+                            Some(h_prime) => {
+                                let probs = gate.inclusion_probs(&mut g, h_prime);
+                                let q = gate.context(&mut g, &fixed, probs);
+                                let f = gate.filter(&mut g, q);
+                                gate.gated_forward(&mut g, &self.classifier, repr.x_final, f)
+                            }
+                            // Degrade to the plain classifier when the
+                            // hierarchy is absent (see predict_proba).
+                            None => self.classifier.forward(&mut g, repr.x_final),
+                        }
                     }
                     _ => {
                         let repr = self.representation(&mut g, urg, Some(&fixed));
@@ -490,24 +527,31 @@ impl Detector for Cmsf {
             };
         }
         let start = Instant::now();
-        let master_loss = self.train_master(urg, train_idx);
-        let slave_loss = self.train_slave(urg, train_idx);
-        let final_loss = if self.trained_slave {
-            slave_loss
-        } else {
-            master_loss
-        };
-        FitReport {
-            epochs: self.cfg.master_epochs
-                + if self.trained_slave {
-                    self.cfg.slave_epochs
-                } else {
-                    0
-                },
-            train_secs: start.elapsed().as_secs_f64(),
-            final_loss,
-            error: (!final_loss.is_finite()).then_some(FitError::NonFiniteLoss),
+        let mut report = FitReport::default();
+        match self.train_master(urg, train_idx) {
+            Ok(master_loss) => {
+                report.epochs = self.cfg.master_epochs;
+                match self.train_slave(urg, train_idx) {
+                    Ok(slave_loss) if self.trained_slave => {
+                        report.epochs += self.cfg.slave_epochs;
+                        report.final_loss = slave_loss;
+                    }
+                    Ok(_) => report.final_loss = master_loss,
+                    Err(err) => {
+                        // Master stage succeeded; keep its loss but surface
+                        // the slave failure so the runner can attribute it.
+                        report.final_loss = master_loss;
+                        report.error = Some(err);
+                    }
+                }
+            }
+            Err(err) => {
+                report.final_loss = f32::NAN;
+                report.error = Some(err);
+            }
         }
+        report.train_secs = start.elapsed().as_secs_f64();
+        report
     }
 
     fn predict(&self, urg: &Urg) -> Vec<f32> {
@@ -538,11 +582,11 @@ mod tests {
         let mut cfg = CmsfConfig::fast_test();
         cfg.master_epochs = 1;
         let mut model = Cmsf::new(&urg, cfg);
-        let first = model.train_master(&urg, &train);
+        let first = model.train_master(&urg, &train).expect("master trains");
         let mut cfg2 = CmsfConfig::fast_test();
         cfg2.master_epochs = 25;
         let mut model2 = Cmsf::new(&urg, cfg2);
-        let last = model2.train_master(&urg, &train);
+        let last = model2.train_master(&urg, &train).expect("master trains");
         assert!(last < first, "loss should drop: {first} -> {last}");
     }
 
@@ -613,9 +657,28 @@ mod tests {
         let mut model = Cmsf::new(&urg, cfg);
         // Train with an empty positive set: no cluster can be pseudo-positive.
         let negatives: Vec<usize> = (0..urg.labeled.len()).filter(|&i| urg.y[i] < 0.5).collect();
-        model.train_master(&urg, &negatives);
+        model.train_master(&urg, &negatives).expect("master trains");
         let fixed = model.fixed_assignment().expect("fixed after master");
         assert!(fixed.pseudo.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn slave_before_master_is_a_typed_stage_order_error() {
+        let (urg, train) = tiny_setup(8);
+        let mut model = Cmsf::new(&urg, CmsfConfig::fast_test());
+        let err = model
+            .train_slave(&urg, &train)
+            .expect_err("slave must not run before master");
+        assert_eq!(
+            err,
+            FitError::StageOrder {
+                required: "train_master",
+                attempted: "train_slave",
+            }
+        );
+        // The model stays usable: the master stage still trains afterwards.
+        assert!(model.train_master(&urg, &train).is_ok());
+        assert!(model.train_slave(&urg, &train).is_ok());
     }
 
     #[test]

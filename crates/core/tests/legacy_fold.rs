@@ -37,7 +37,9 @@ fn train_via_legacy(model: &mut Cmsf, urg: &Urg, train: &[usize]) {
     let fixed = model.fixed_assignment().expect("after master").clone();
     let (c1, c0) = fixed.partition();
     let mut g = Graph::new();
-    let loss = model.record_slave_tape(&mut g, urg, &fixed, &c1, &c0, &rows, &targets, &weights);
+    let loss = model
+        .record_slave_tape(&mut g, urg, &fixed, &c1, &c0, &rows, &targets, &weights)
+        .expect("slave tape records");
     let mut opt = Adam::new(model.cfg.lr * 0.3);
     for _ in 0..model.cfg.slave_epochs {
         let mut lg = legacy::rebuild(g.plan(), g.workspace());
@@ -63,8 +65,8 @@ fn replayed_fold_is_bit_identical_to_legacy_tape_fold() {
         cfg.slave_epochs = 3;
 
         let mut replayed = Cmsf::new(&urg, cfg);
-        replayed.train_master(&urg, &train);
-        replayed.train_slave(&urg, &train);
+        replayed.train_master(&urg, &train).expect("master trains");
+        replayed.train_slave(&urg, &train).expect("slave trains");
 
         let mut legacy_trained = Cmsf::new(&urg, cfg);
         train_via_legacy(&mut legacy_trained, &urg, &train);

@@ -1,0 +1,107 @@
+//! Fault injection for the evaluation pipeline: a [`Detector`] wrapper that
+//! corrupts a stage on demand, used to exercise the runner's per-fold
+//! graceful degradation (see `tests/fault_injection.rs`). Lives in the
+//! library (not test-only) so examples and future chaos harnesses can reuse
+//! it.
+
+use uvd_urg::{Detector, FitError, FitReport, Urg};
+
+/// Which corruption a [`FaultyDetector`] injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Pass everything through untouched (control).
+    None,
+    /// `fit` reports a typed [`FitError::NonFiniteLoss`] without training.
+    FitNonFiniteLoss,
+    /// `predict` replaces every score with NaN.
+    NanScores,
+    /// `predict` replaces every score with `+inf`.
+    InfScores,
+}
+
+/// Wraps an inner detector and injects the configured [`Fault`]; all other
+/// behaviour (name, parameter count, untouched stages) delegates to the
+/// inner detector.
+pub struct FaultyDetector {
+    inner: Box<dyn Detector>,
+    fault: Fault,
+}
+
+impl FaultyDetector {
+    pub fn new(inner: Box<dyn Detector>, fault: Fault) -> Self {
+        FaultyDetector { inner, fault }
+    }
+}
+
+impl Detector for FaultyDetector {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn fit(&mut self, urg: &Urg, train_idx: &[usize]) -> FitReport {
+        if self.fault == Fault::FitNonFiniteLoss {
+            return FitReport {
+                final_loss: f32::NAN,
+                error: Some(FitError::NonFiniteLoss),
+                ..FitReport::default()
+            };
+        }
+        self.inner.fit(urg, train_idx)
+    }
+
+    fn predict(&self, urg: &Urg) -> Vec<f32> {
+        match self.fault {
+            Fault::NanScores => vec![f32::NAN; urg.n],
+            Fault::InfScores => vec![f32::INFINITY; urg.n],
+            _ => self.inner.predict(urg),
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.inner.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{build_detector, MethodKind};
+    use uvd_citysim::{City, CityPreset};
+    use uvd_urg::UrgOptions;
+
+    fn tiny_urg() -> Urg {
+        let city = City::from_config(CityPreset::tiny(), 1);
+        Urg::build(&city, UrgOptions::default())
+    }
+
+    #[test]
+    fn nan_fault_corrupts_scores_only() {
+        let urg = tiny_urg();
+        let inner = build_detector(MethodKind::Mlp, &urg, 0, true);
+        let mut det = FaultyDetector::new(inner, Fault::NanScores);
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let report = det.fit(&urg, &train);
+        assert!(report.error.is_none(), "fit stage untouched");
+        assert!(det.predict(&urg).iter().all(|s| s.is_nan()));
+    }
+
+    #[test]
+    fn fit_fault_reports_typed_error() {
+        let urg = tiny_urg();
+        let inner = build_detector(MethodKind::Mlp, &urg, 0, true);
+        let mut det = FaultyDetector::new(inner, Fault::FitNonFiniteLoss);
+        let report = det.fit(&urg, &[0, 1]);
+        assert_eq!(report.error, Some(FitError::NonFiniteLoss));
+    }
+
+    #[test]
+    fn control_fault_passes_through() {
+        let urg = tiny_urg();
+        let inner = build_detector(MethodKind::Mlp, &urg, 0, true);
+        let mut det = FaultyDetector::new(inner, Fault::None);
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        det.fit(&urg, &train);
+        assert!(det.predict(&urg).iter().all(|s| s.is_finite()));
+        assert!(det.num_params() > 0);
+    }
+}

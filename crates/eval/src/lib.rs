@@ -7,6 +7,7 @@
 
 pub mod cities;
 pub mod factory;
+pub mod faults;
 pub mod metrics;
 pub mod records;
 pub mod runner;
@@ -15,8 +16,11 @@ pub mod splits;
 
 pub use cities::{dataset_city, dataset_seed, dataset_urg};
 pub use factory::{build_detector, MethodKind};
-pub use metrics::{auc, prf_at_top_percent, Prf};
-pub use records::{DatasetRow, ExperimentRecord, MeanStd, MethodSummary, PSummary};
-pub use runner::{eval_scores, run_custom, run_method, RunSpec};
+pub use faults::{Fault, FaultyDetector};
+pub use metrics::{auc, prf_at_top_percent, MetricError, Prf};
+pub use records::{
+    DatasetRow, ExperimentRecord, FoldOutcome, FoldStage, MeanStd, MethodSummary, PSummary,
+};
+pub use runner::{eval_scores, run_custom, run_method, RunError, RunSpec};
 pub use screening::{cluster_candidates, rank_regions, short_list, Candidate};
 pub use splits::{block_folds, mask_ratio, train_test_pairs};

@@ -38,8 +38,117 @@ pub struct PSummary {
     pub f1: MeanStd,
 }
 
+/// Pipeline stage at which a (seed, fold) evaluation unit failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FoldStage {
+    /// Training failed (a typed `FitError` from the detector).
+    Fit,
+    /// The detector produced non-finite scores on the test rows.
+    Predict,
+    /// Metric evaluation rejected the scores (a typed `MetricError`).
+    Evaluate,
+}
+
+impl std::fmt::Display for FoldStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FoldStage::Fit => write!(f, "fit"),
+            FoldStage::Predict => write!(f, "predict"),
+            FoldStage::Evaluate => write!(f, "evaluate"),
+        }
+    }
+}
+
+/// Outcome of one (seed, fold) evaluation unit. Failed units are recorded —
+/// with the stage that failed and the typed error's message — instead of
+/// aborting the whole experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FoldOutcome {
+    Ok {
+        seed_index: usize,
+        fold: usize,
+        auc: f64,
+    },
+    Failed {
+        seed_index: usize,
+        fold: usize,
+        stage: FoldStage,
+        /// Display form of the typed error (`FitError` / `MetricError`).
+        error: String,
+    },
+}
+
+impl FoldOutcome {
+    /// True for the `Failed` variant.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, FoldOutcome::Failed { .. })
+    }
+}
+
+// The vendored serde_derive only handles structs and unit enums, so the
+// internally-tagged `{"status": ...}` layout is written by hand.
+impl Serialize for FoldOutcome {
+    fn to_value(&self) -> serde::Value {
+        let field = |k: &str, v: serde::Value| (k.to_string(), v);
+        match self {
+            FoldOutcome::Ok {
+                seed_index,
+                fold,
+                auc,
+            } => serde::Value::Object(vec![
+                field("status", serde::Value::Str("Ok".into())),
+                field("seed_index", serde::Value::Num(*seed_index as f64)),
+                field("fold", serde::Value::Num(*fold as f64)),
+                field("auc", serde::Value::Num(*auc)),
+            ]),
+            FoldOutcome::Failed {
+                seed_index,
+                fold,
+                stage,
+                error,
+            } => serde::Value::Object(vec![
+                field("status", serde::Value::Str("Failed".into())),
+                field("seed_index", serde::Value::Num(*seed_index as f64)),
+                field("fold", serde::Value::Num(*fold as f64)),
+                field("stage", stage.to_value()),
+                field("error", serde::Value::Str(error.clone())),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for FoldOutcome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let get = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| serde::Error(format!("missing field `{k}` in FoldOutcome")))
+        };
+        let status = get("status")?
+            .as_str()
+            .ok_or_else(|| serde::Error("FoldOutcome status must be a string".into()))?;
+        let seed_index = usize::from_value(get("seed_index")?)?;
+        let fold = usize::from_value(get("fold")?)?;
+        match status {
+            "Ok" => Ok(FoldOutcome::Ok {
+                seed_index,
+                fold,
+                auc: f64::from_value(get("auc")?)?,
+            }),
+            "Failed" => Ok(FoldOutcome::Failed {
+                seed_index,
+                fold,
+                stage: FoldStage::from_value(get("stage")?)?,
+                error: String::from_value(get("error")?)?,
+            }),
+            other => Err(serde::Error(format!(
+                "unknown FoldOutcome status `{other}`"
+            ))),
+        }
+    }
+}
+
 /// One Table II / ablation row: a method evaluated on a city.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct MethodSummary {
     pub method: String,
     pub city: String,
@@ -49,14 +158,53 @@ pub struct MethodSummary {
     pub train_secs_per_epoch: f64,
     pub inference_secs: f64,
     pub model_mbytes: f64,
-    /// Number of (seed × fold) runs aggregated.
+    /// Number of (seed × fold) runs that completed and were aggregated.
     pub runs: usize,
+    /// Number of (seed × fold) runs that failed and were excluded.
+    pub failed: usize,
+    /// Per-(seed, fold) outcome trail, in task order.
+    pub fold_outcomes: Vec<FoldOutcome>,
+}
+
+// Manual impl so records written before the degradation fields existed
+// (no `failed` / `fold_outcomes` keys) still deserialize, defaulting to a
+// clean run. The vendored serde_derive has no `#[serde(default)]`.
+impl Deserialize for MethodSummary {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let get = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| serde::Error(format!("missing field `{k}` in MethodSummary")))
+        };
+        Ok(MethodSummary {
+            method: String::from_value(get("method")?)?,
+            city: String::from_value(get("city")?)?,
+            auc: MeanStd::from_value(get("auc")?)?,
+            at_p: Vec::from_value(get("at_p")?)?,
+            train_secs_per_epoch: f64::from_value(get("train_secs_per_epoch")?)?,
+            inference_secs: f64::from_value(get("inference_secs")?)?,
+            model_mbytes: f64::from_value(get("model_mbytes")?)?,
+            runs: usize::from_value(get("runs")?)?,
+            failed: match v.get("failed") {
+                Some(x) => usize::from_value(x)?,
+                None => 0,
+            },
+            fold_outcomes: match v.get("fold_outcomes") {
+                Some(x) => Vec::from_value(x)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl MethodSummary {
     /// Look up the screening summary at a given p.
     pub fn at(&self, p: usize) -> Option<&PSummary> {
         self.at_p.iter().find(|s| s.p == p)
+    }
+
+    /// The failed outcomes only (empty on a fully clean run).
+    pub fn failures(&self) -> impl Iterator<Item = &FoldOutcome> {
+        self.fold_outcomes.iter().filter(|o| o.is_failed())
     }
 }
 
@@ -95,9 +243,10 @@ mod tests {
 
     #[test]
     fn mean_std_from_samples() {
+        // Sample (n−1) standard deviation: [1,3] → sqrt(2).
         let ms = MeanStd::from_samples(&[1.0, 3.0]);
         assert!((ms.mean - 2.0).abs() < 1e-12);
-        assert!((ms.std - 1.0).abs() < 1e-12);
+        assert!((ms.std - 2.0f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]
@@ -125,9 +274,38 @@ mod tests {
             inference_secs: 0.0,
             model_mbytes: 0.0,
             runs: 1,
+            failed: 0,
+            fold_outcomes: vec![],
         };
         assert!(row.at(3).is_some());
         assert!(row.at(5).is_none());
+    }
+
+    #[test]
+    fn fold_outcome_serializes_with_status_tag() {
+        let o = FoldOutcome::Failed {
+            seed_index: 1,
+            fold: 2,
+            stage: FoldStage::Predict,
+            error: "non-finite score at index 0 (3 non-finite total)".into(),
+        };
+        let s = serde_json::to_string(&o).expect("serialize");
+        assert!(s.contains("\"status\":\"Failed\""));
+        assert!(s.contains("\"stage\":\"Predict\""));
+        let back: FoldOutcome = serde_json::from_str(&s).expect("deserialize");
+        assert!(back.is_failed());
+    }
+
+    #[test]
+    fn method_summary_without_outcome_fields_still_deserializes() {
+        // Pre-existing results JSON (written before the degradation fields
+        // existed) must stay readable.
+        let s = r#"{"method":"CMSF","city":"tiny","auc":{"mean":0.9,"std":0.01},
+                    "at_p":[],"train_secs_per_epoch":0.1,"inference_secs":0.1,
+                    "model_mbytes":0.1,"runs":4}"#;
+        let row: MethodSummary = serde_json::from_str(s).expect("deserialize");
+        assert_eq!(row.failed, 0);
+        assert!(row.fold_outcomes.is_empty());
     }
 
     #[test]

@@ -1,15 +1,22 @@
 //! Experiment runner: k-fold block CV × random seeds for any detector,
 //! aggregating the paper's metrics plus the Table III efficiency columns.
+//!
+//! Failures are per-(seed, fold) and recoverable: a unit that fails to fit,
+//! predicts non-finite scores, or is rejected by a metric is recorded as a
+//! [`FoldOutcome::Failed`] with the stage and typed error, and the summary
+//! aggregates over the surviving units. Only when *every* unit fails does a
+//! run return an error.
 
 use crate::factory::{build_detector, MethodKind};
-use crate::metrics::{auc, prf_at_top_percent, Prf};
-use crate::records::{MeanStd, MethodSummary, PSummary};
+use crate::metrics::{auc, prf_at_top_percent, MetricError, Prf};
+use crate::records::{FoldOutcome, FoldStage, MeanStd, MethodSummary, PSummary};
 use crate::splits::{block_folds, mask_ratio, train_test_pairs, DEFAULT_BLOCK};
+use std::fmt;
 use std::time::Instant;
 use uvd_tensor::init::derive_seed;
 use uvd_tensor::par;
 use uvd_tensor::seeded_rng;
-use uvd_urg::{Detector, Urg};
+use uvd_urg::{Detector, FitError, Urg};
 
 /// How an experiment is run.
 #[derive(Clone, Debug)]
@@ -49,28 +56,93 @@ impl RunSpec {
     }
 }
 
+/// A whole-run failure: every (seed, fold) unit of the protocol failed, so
+/// there is nothing to aggregate.
+#[derive(Clone, Debug)]
+pub struct RunError {
+    pub method: String,
+    pub city: String,
+    /// The per-unit failure trail (all `Failed`).
+    pub failures: Vec<FoldOutcome>,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "all {} (seed, fold) units failed for {} on {}",
+            self.failures.len(),
+            self.method,
+            self.city
+        )?;
+        if let Some(FoldOutcome::Failed { stage, error, .. }) = self.failures.first() {
+            write!(f, " (first: {stage} stage, {error})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Typed failure of one (seed, fold) unit, attributed to a pipeline stage.
+/// Stays typed until the serialization boundary ([`FoldOutcome`] stores the
+/// display form).
+#[derive(Clone, Debug)]
+enum UnitError {
+    Fit(FitError),
+    /// Non-finite predictions among the test-row scores.
+    Predict {
+        index: usize,
+        count: usize,
+    },
+    Evaluate(MetricError),
+}
+
+impl UnitError {
+    fn stage(&self) -> FoldStage {
+        match self {
+            UnitError::Fit(_) => FoldStage::Fit,
+            UnitError::Predict { .. } => FoldStage::Predict,
+            UnitError::Evaluate(_) => FoldStage::Evaluate,
+        }
+    }
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::Fit(e) => write!(f, "{e}"),
+            UnitError::Predict { index, count } => write!(
+                f,
+                "non-finite score for test row {index} ({count} non-finite total)"
+            ),
+            UnitError::Evaluate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
 /// Evaluate region scores against the test labeled subset.
 pub fn eval_scores(
     scores: &[f32],
     urg: &Urg,
     test_idx: &[usize],
     ps: &[usize],
-) -> (f64, Vec<(usize, Prf)>) {
+) -> Result<(f64, Vec<(usize, Prf)>), MetricError> {
     let s: Vec<f32> = test_idx
         .iter()
         .map(|&i| scores[urg.labeled[i] as usize])
         .collect();
     let y: Vec<f32> = test_idx.iter().map(|&i| urg.y[i]).collect();
-    let a = auc(&s, &y);
-    let prfs = ps
-        .iter()
-        .map(|&p| (p, prf_at_top_percent(&s, &y, p)))
-        .collect();
-    (a, prfs)
+    let a = auc(&s, &y)?;
+    let mut prfs = Vec::with_capacity(ps.len());
+    for &p in ps {
+        prfs.push((p, prf_at_top_percent(&s, &y, p)?));
+    }
+    Ok((a, prfs))
 }
 
 /// Run one detector kind through the full protocol on a URG.
-pub fn run_method(kind: MethodKind, urg: &Urg, spec: &RunSpec) -> MethodSummary {
+pub fn run_method(kind: MethodKind, urg: &Urg, spec: &RunSpec) -> Result<MethodSummary, RunError> {
     run_custom(urg, spec, kind.label(), |seed, urg| {
         build_detector(kind, urg, seed, spec.quick)
     })
@@ -80,13 +152,14 @@ pub fn run_method(kind: MethodKind, urg: &Urg, spec: &RunSpec) -> MethodSummary 
 /// fan out across threads.
 struct FoldTask {
     si: usize,
+    fi: usize,
     model_seed: u64,
     train: Vec<usize>,
     test: Vec<usize>,
 }
 
 /// Measurements from one completed fold run.
-struct FoldOutcome {
+struct FoldMeasure {
     si: usize,
     auc: f64,
     prfs: Vec<(usize, Prf)>,
@@ -102,12 +175,16 @@ struct FoldOutcome {
 /// [`uvd_tensor::par::run_tasks`]; each task trains with nested kernel
 /// parallelism disabled, so its numerics are identical to a serial run, and
 /// results are aggregated in deterministic task order.
+///
+/// A unit that fails at any stage is recorded in
+/// [`MethodSummary::fold_outcomes`] and excluded from aggregation; the call
+/// errs only when every unit failed.
 pub fn run_custom(
     urg: &Urg,
     spec: &RunSpec,
     label: &str,
     builder: impl Fn(u64, &Urg) -> Box<dyn Detector> + Sync,
-) -> MethodSummary {
+) -> Result<MethodSummary, RunError> {
     // Precompute every (seed, fold) split on the main thread: the fold
     // layout and label masking depend only on seeds, not on training.
     let mut tasks: Vec<FoldTask> = Vec::new();
@@ -123,6 +200,7 @@ pub fn run_custom(
             let model_seed = derive_seed(seed, (si * spec.folds + fi) as u64);
             tasks.push(FoldTask {
                 si,
+                fi,
                 model_seed,
                 train,
                 test,
@@ -130,45 +208,99 @@ pub fn run_custom(
         }
     }
 
-    let outcomes = par::run_tasks(tasks.len(), |t| {
+    let results = par::run_tasks(tasks.len(), |t| {
         let task = &tasks[t];
         let mut det = builder(task.model_seed, urg);
         let report = det.fit(urg, &task.train);
         if let Some(err) = report.error {
-            // Typed training failure (bad input shapes, degenerate loss):
-            // make it visible rather than silently averaging garbage.
-            eprintln!("[{label}] fold {t}: training error: {err}");
+            return Err(UnitError::Fit(err));
         }
         let t0 = Instant::now();
         let scores = det.predict(urg);
         let infer_sec = t0.elapsed().as_secs_f64();
-        let (a, prfs) = eval_scores(&scores, urg, &task.test, &spec.ps);
-        FoldOutcome {
+        // Predict-stage gate: non-finite scores on the rows we are about to
+        // rank are attributed to the detector, not to the metric.
+        let test_scores: Vec<f32> = task
+            .test
+            .iter()
+            .map(|&i| scores[urg.labeled[i] as usize])
+            .collect();
+        let bad = test_scores.iter().filter(|s| !s.is_finite()).count();
+        if bad > 0 {
+            let index = test_scores.iter().position(|s| !s.is_finite()).unwrap_or(0);
+            return Err(UnitError::Predict { index, count: bad });
+        }
+        let (a, prfs) =
+            eval_scores(&scores, urg, &task.test, &spec.ps).map_err(UnitError::Evaluate)?;
+        Ok(FoldMeasure {
             si: task.si,
             auc: a,
             prfs,
             epoch_sec: report.secs_per_epoch(),
             infer_sec,
             model_mb: det.num_params() as f64 * 4.0 / 1.0e6,
-        }
+        })
     });
 
-    // Per-seed averages over folds (the paper reports mean/SD over runs).
+    // Serialization boundary: typed per-unit results become the outcome
+    // trail, and survivors feed the aggregates.
+    let mut fold_outcomes = Vec::with_capacity(results.len());
+    let mut measures: Vec<&FoldMeasure> = Vec::new();
+    for (task, result) in tasks.iter().zip(results.iter()) {
+        match result {
+            Ok(m) => {
+                fold_outcomes.push(FoldOutcome::Ok {
+                    seed_index: task.si,
+                    fold: task.fi,
+                    auc: m.auc,
+                });
+                measures.push(m);
+            }
+            Err(err) => {
+                eprintln!(
+                    "[{label}] seed {} fold {}: {} stage failed: {err}",
+                    task.si,
+                    task.fi,
+                    err.stage()
+                );
+                fold_outcomes.push(FoldOutcome::Failed {
+                    seed_index: task.si,
+                    fold: task.fi,
+                    stage: err.stage(),
+                    error: err.to_string(),
+                });
+            }
+        }
+    }
+    let failed = fold_outcomes.iter().filter(|o| o.is_failed()).count();
+    if measures.is_empty() {
+        return Err(RunError {
+            method: label.to_string(),
+            city: urg.name.clone(),
+            failures: fold_outcomes,
+        });
+    }
+
+    // Per-seed averages over surviving folds (the paper reports mean/SD over
+    // runs). A seed whose folds all failed contributes no run sample.
     let mut auc_runs = Vec::new();
     let mut prf_runs: Vec<Vec<(usize, Prf)>> = Vec::new();
     let mut epoch_secs = Vec::new();
     let mut infer_secs = Vec::new();
     let mut model_mb = 0.0f64;
-    let runs = outcomes.len();
+    let runs = measures.len();
 
     for (si, _) in spec.seeds.iter().enumerate() {
-        let fold_outs: Vec<&FoldOutcome> = outcomes.iter().filter(|o| o.si == si).collect();
+        let fold_outs: Vec<&&FoldMeasure> = measures.iter().filter(|o| o.si == si).collect();
+        if fold_outs.is_empty() {
+            continue;
+        }
         for o in &fold_outs {
             epoch_secs.push(o.epoch_sec);
             infer_secs.push(o.infer_sec);
             model_mb = o.model_mb;
         }
-        // Average folds into one run value.
+        // Average surviving folds into one run value.
         auc_runs.push(fold_outs.iter().map(|o| o.auc).sum::<f64>() / fold_outs.len() as f64);
         let mut per_p = Vec::new();
         for (pi, &p) in spec.ps.iter().enumerate() {
@@ -206,7 +338,7 @@ pub fn run_custom(
         })
         .collect();
 
-    MethodSummary {
+    Ok(MethodSummary {
         method: label.to_string(),
         city: urg.name.clone(),
         auc: MeanStd::from_samples(&auc_runs),
@@ -215,7 +347,9 @@ pub fn run_custom(
         inference_secs: infer_secs.iter().sum::<f64>() / infer_secs.len().max(1) as f64,
         model_mbytes: model_mb,
         runs,
-    }
+        failed,
+        fold_outcomes,
+    })
 }
 
 #[cfg(test)]
@@ -238,9 +372,17 @@ mod tests {
             scores[r as usize] = urg.y[i];
         }
         let test: Vec<usize> = (0..urg.labeled.len()).step_by(2).collect();
-        let (a, prfs) = eval_scores(&scores, &urg, &test, &[5]);
+        let (a, prfs) = eval_scores(&scores, &urg, &test, &[5]).expect("finite oracle scores");
         assert!((a - 1.0).abs() < 1e-9);
         assert!(prfs[0].1.precision > 0.99);
+    }
+
+    #[test]
+    fn eval_scores_rejects_non_finite_test_scores() {
+        let urg = tiny_urg();
+        let scores = vec![f32::NAN; urg.n];
+        let test: Vec<usize> = (0..urg.labeled.len()).collect();
+        assert!(eval_scores(&scores, &urg, &test, &[5]).is_err());
     }
 
     #[test]
@@ -252,9 +394,12 @@ mod tests {
             quick: true,
             ..Default::default()
         };
-        let s = run_method(MethodKind::Mlp, &urg, &spec);
+        let s = run_method(MethodKind::Mlp, &urg, &spec).expect("clean run");
         assert_eq!(s.method, "MLP");
         assert_eq!(s.runs, 2);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.fold_outcomes.len(), 2);
+        assert!(s.fold_outcomes.iter().all(|o| !o.is_failed()));
         assert!(s.auc.mean > 0.0 && s.auc.mean <= 1.0);
         assert_eq!(s.at_p.len(), 2);
         assert!(s.model_mbytes > 0.0);
@@ -270,7 +415,7 @@ mod tests {
             label_ratio: 0.3,
             ..Default::default()
         };
-        let s = run_method(MethodKind::Mlp, &urg, &spec);
+        let s = run_method(MethodKind::Mlp, &urg, &spec).expect("clean run");
         assert!(s.auc.mean.is_finite());
     }
 }

@@ -17,7 +17,8 @@ pub struct Candidate {
 }
 
 /// Rank all regions by detection probability (descending, ties broken by
-/// region id for determinism).
+/// region id for determinism). NaN-safe: corrupted (NaN) probabilities sink
+/// to the bottom of the list instead of panicking the sort.
 pub fn rank_regions(urg: &Urg, probs: &[f32]) -> Vec<Candidate> {
     assert_eq!(probs.len(), urg.n, "one probability per region");
     let labeled: std::collections::HashSet<u32> = urg.labeled.iter().copied().collect();
@@ -31,9 +32,10 @@ pub fn rank_regions(urg: &Urg, probs: &[f32]) -> Vec<Candidate> {
         })
         .collect();
     out.sort_by(|a, b| {
-        b.probability
-            .partial_cmp(&a.probability)
-            .expect("finite probabilities")
+        a.probability
+            .is_nan()
+            .cmp(&b.probability.is_nan())
+            .then(b.probability.total_cmp(&a.probability))
             .then(a.region.cmp(&b.region))
     });
     out
@@ -113,6 +115,21 @@ mod tests {
             assert!(w[0].probability >= w[1].probability);
         }
         assert_eq!(ranked, rank_regions(&u, &probs));
+    }
+
+    #[test]
+    fn rank_regions_sinks_nan_probabilities() {
+        let u = urg();
+        let mut probs: Vec<f32> = (0..u.n).map(|r| r as f32 / u.n as f32).collect();
+        probs[0] = f32::NAN;
+        probs[3] = f32::NAN;
+        let ranked = rank_regions(&u, &probs);
+        assert_eq!(ranked.len(), u.n);
+        // The two NaN regions are last, in region order.
+        assert!(ranked[u.n - 2].probability.is_nan());
+        assert!(ranked[u.n - 1].probability.is_nan());
+        assert_eq!(ranked[u.n - 2].region, 0);
+        assert_eq!(ranked[u.n - 1].region, 3);
     }
 
     #[test]

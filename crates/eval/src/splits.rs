@@ -13,9 +13,17 @@ pub const DEFAULT_BLOCK: usize = 8;
 
 /// Assign each labeled sample (index into `urg.labeled`) to one of `k` folds
 /// at block granularity. Returns `folds[f]` = labeled-sample indices of fold
-/// `f`. Every fold is non-empty and (when possible) contains positives.
+/// `f`. Every returned fold is non-empty and (when possible) contains
+/// positives: when the labeled blocks are fewer than `k` (e.g. one oversized
+/// block swallows the whole city), `k` is clamped to the labeled-sample
+/// count and any fold left empty by block-atomic assignment is filled by
+/// splitting the largest fold — block atomicity is sacrificed only in that
+/// degenerate case, never when enough blocks exist.
 pub fn block_folds(urg: &Urg, k: usize, block: usize, seed: u64) -> Vec<Vec<usize>> {
     assert!(k >= 2, "need at least 2 folds");
+    // Never ask for more folds than there are labeled samples.
+    let n_labeled = urg.labeled.len();
+    let k = k.min(n_labeled).max(2);
     let blocks_w = urg.width.div_ceil(block);
     let block_of = |region: u32| -> usize {
         let x = region as usize % urg.width;
@@ -46,6 +54,30 @@ pub fn block_folds(urg: &Urg, k: usize, block: usize, seed: u64) -> Vec<Vec<usiz
         fold_pos[f] += pos_count(&members);
         folds[f].extend(members);
     }
+
+    // Degenerate rebalance: with fewer labeled blocks than folds, some folds
+    // come out empty (and would produce empty test splits downstream). Move
+    // half of the largest fold into each empty one.
+    while folds.iter().any(Vec::is_empty) {
+        let (largest, _) = folds
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, f)| f.len())
+            .expect("k >= 2");
+        if folds[largest].len() < 2 {
+            // Cannot split further (fewer labeled samples than folds even
+            // after clamping — unreachable, but avoid looping forever).
+            break;
+        }
+        let empty = folds
+            .iter()
+            .position(Vec::is_empty)
+            .expect("an empty fold exists");
+        let len = folds[largest].len();
+        let moved = folds[largest].split_off(len - len / 2);
+        folds[empty] = moved;
+    }
+
     for fold in &mut folds {
         fold.sort_unstable();
     }
@@ -149,6 +181,39 @@ mod tests {
         // a fold with no positives when there are plenty.
         assert!(min > 0, "every fold should hold positives: {pos:?}");
         assert!(max - min <= u.y.iter().filter(|&&v| v > 0.5).count() / 2);
+    }
+
+    #[test]
+    fn oversized_block_still_yields_nonempty_folds() {
+        // Regression: a block size covering the whole city collapses every
+        // labeled sample into one block; the greedy assigner used to leave
+        // k-1 folds empty (and downstream test splits empty with them).
+        let u = urg(6);
+        let huge = u.width.max(u.n / u.width) * 2;
+        for k in [2, 3, 5] {
+            let folds = block_folds(&u, k, huge, 7);
+            assert_eq!(folds.len(), k);
+            assert!(
+                folds.iter().all(|f| !f.is_empty()),
+                "k={k}: every fold must be non-empty, got sizes {:?}",
+                folds.iter().map(Vec::len).collect::<Vec<_>>()
+            );
+            // Still a partition of the labeled set.
+            let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let expect: Vec<usize> = (0..u.labeled.len()).collect();
+            assert_eq!(all, expect);
+        }
+    }
+
+    #[test]
+    fn more_folds_than_labeled_samples_clamps() {
+        let u = urg(7);
+        // Ask for far more folds than labeled samples; the clamp keeps the
+        // split well-defined instead of producing empty test folds.
+        let folds = block_folds(&u, u.labeled.len() + 10, 4, 3);
+        assert_eq!(folds.len(), u.labeled.len());
+        assert!(folds.iter().all(|f| !f.is_empty()));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Acceptance tests for per-fold graceful degradation: inject faults into
+//! individual (seed, fold) units and check the runner records them as typed
+//! [`FoldOutcome::Failed`] entries, aggregates the survivors, and only errors
+//! when every unit fails.
+
+use uvd_citysim::{City, CityPreset};
+use uvd_eval::{
+    build_detector, run_custom, Fault, FaultyDetector, FoldOutcome, FoldStage, MethodKind, RunSpec,
+};
+use uvd_tensor::init::derive_seed;
+use uvd_urg::{Urg, UrgOptions};
+
+fn tiny_urg() -> Urg {
+    let city = City::from_config(CityPreset::tiny(), 1);
+    Urg::build(&city, UrgOptions::default())
+}
+
+fn spec() -> RunSpec {
+    RunSpec {
+        folds: 2,
+        seeds: vec![0, 1],
+        quick: true,
+        ..Default::default()
+    }
+}
+
+/// The model seed `run_custom` derives for (seed index 0, fold 0) with the
+/// spec above — seed 0, unit index 0.
+fn first_unit_seed() -> u64 {
+    derive_seed(0, 0)
+}
+
+#[test]
+fn nan_scores_in_one_unit_degrade_gracefully() {
+    let urg = tiny_urg();
+    let spec = spec();
+    let target = first_unit_seed();
+    let summary = run_custom(&urg, &spec, "MLP+fault", |seed, urg| {
+        let inner = build_detector(MethodKind::Mlp, urg, seed, true);
+        let fault = if seed == target {
+            Fault::NanScores
+        } else {
+            Fault::None
+        };
+        Box::new(FaultyDetector::new(inner, fault))
+    })
+    .expect("one bad unit must not abort the run");
+
+    let total = spec.seeds.len() * spec.folds;
+    assert_eq!(summary.fold_outcomes.len(), total);
+    assert_eq!(summary.failed, 1);
+    assert_eq!(summary.runs, total - 1, "survivors aggregate");
+
+    // Exactly the targeted unit failed, at the predict stage.
+    let failures: Vec<&FoldOutcome> = summary.failures().collect();
+    assert_eq!(failures.len(), 1);
+    match failures[0] {
+        FoldOutcome::Failed {
+            seed_index,
+            fold,
+            stage,
+            error,
+        } => {
+            assert_eq!(*seed_index, 0);
+            assert_eq!(*fold, 0);
+            assert_eq!(*stage, FoldStage::Predict);
+            assert!(
+                error.contains("non-finite"),
+                "error message should name the problem: {error}"
+            );
+        }
+        other => panic!("expected a Failed outcome, got {other:?}"),
+    }
+
+    // The survivors still produce finite aggregates.
+    assert!(summary.auc.mean.is_finite());
+    assert!(summary.auc.mean > 0.0 && summary.auc.mean <= 1.0);
+}
+
+#[test]
+fn inf_scores_are_caught_like_nan() {
+    let urg = tiny_urg();
+    let spec = spec();
+    let target = first_unit_seed();
+    let summary = run_custom(&urg, &spec, "MLP+inf", |seed, urg| {
+        let inner = build_detector(MethodKind::Mlp, urg, seed, true);
+        let fault = if seed == target {
+            Fault::InfScores
+        } else {
+            Fault::None
+        };
+        Box::new(FaultyDetector::new(inner, fault))
+    })
+    .expect("one bad unit must not abort the run");
+    assert_eq!(summary.failed, 1);
+    assert!(matches!(
+        summary.failures().next(),
+        Some(FoldOutcome::Failed {
+            stage: FoldStage::Predict,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn fit_failure_is_attributed_to_the_fit_stage() {
+    let urg = tiny_urg();
+    let spec = spec();
+    let target = first_unit_seed();
+    let summary = run_custom(&urg, &spec, "MLP+fitfault", |seed, urg| {
+        let inner = build_detector(MethodKind::Mlp, urg, seed, true);
+        let fault = if seed == target {
+            Fault::FitNonFiniteLoss
+        } else {
+            Fault::None
+        };
+        Box::new(FaultyDetector::new(inner, fault))
+    })
+    .expect("one bad unit must not abort the run");
+    assert_eq!(summary.failed, 1);
+    match summary.failures().next() {
+        Some(FoldOutcome::Failed { stage, error, .. }) => {
+            assert_eq!(*stage, FoldStage::Fit);
+            assert!(error.contains("non-finite"), "fit error message: {error}");
+        }
+        other => panic!("expected a fit-stage failure, got {other:?}"),
+    };
+}
+
+#[test]
+fn all_units_failing_is_a_run_error() {
+    let urg = tiny_urg();
+    let spec = spec();
+    let err = run_custom(&urg, &spec, "MLP+allfail", |seed, urg| {
+        let inner = build_detector(MethodKind::Mlp, urg, seed, true);
+        Box::new(FaultyDetector::new(inner, Fault::NanScores))
+    })
+    .expect_err("nothing to aggregate");
+    assert_eq!(err.failures.len(), spec.seeds.len() * spec.folds);
+    assert!(err.failures.iter().all(|o| o.is_failed()));
+    let msg = err.to_string();
+    assert!(msg.contains("all 4"), "display names the unit count: {msg}");
+    assert!(msg.contains("predict"), "display names the stage: {msg}");
+}
+
+#[test]
+fn clean_run_has_empty_failure_trail() {
+    let urg = tiny_urg();
+    let spec = spec();
+    let summary = run_custom(&urg, &spec, "MLP+control", |seed, urg| {
+        let inner = build_detector(MethodKind::Mlp, urg, seed, true);
+        Box::new(FaultyDetector::new(inner, Fault::None))
+    })
+    .expect("control run is clean");
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.runs, spec.seeds.len() * spec.folds);
+    assert!(summary.failures().next().is_none());
+}

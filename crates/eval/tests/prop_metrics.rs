@@ -1,10 +1,24 @@
 //! Property-based tests of the evaluation metrics.
 
+// The f1 == 0.0 check below is exact by design: the metric assigns the
+// literal 0.0 when precision + recall is zero.
+#![allow(clippy::float_cmp)]
+
 use proptest::prelude::*;
-use uvd_eval::{auc, prf_at_top_percent};
+use uvd_eval::{auc, prf_at_top_percent, MetricError};
 
 fn scores_and_labels() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
     proptest::collection::vec((0.0f32..1.0, prop::bool::ANY), 2..60).prop_map(|v| {
+        let scores: Vec<f32> = v.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<f32> = v.iter().map(|(_, y)| if *y { 1.0 } else { 0.0 }).collect();
+        (scores, labels)
+    })
+}
+
+/// Scores drawn from the full f32 bit space — including NaN, ±inf, subnormals
+/// — paired with clean labels. The metrics must never panic on these.
+fn arbitrary_scores_and_labels() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    proptest::collection::vec((prop::num::f32::ANY, prop::bool::ANY), 2..60).prop_map(|v| {
         let scores: Vec<f32> = v.iter().map(|(s, _)| *s).collect();
         let labels: Vec<f32> = v.iter().map(|(_, y)| if *y { 1.0 } else { 0.0 }).collect();
         (scores, labels)
@@ -17,34 +31,34 @@ proptest! {
     /// AUC is always in [0, 1].
     #[test]
     fn auc_bounded((scores, labels) in scores_and_labels()) {
-        let a = auc(&scores, &labels);
+        let a = auc(&scores, &labels).expect("finite inputs");
         prop_assert!((0.0..=1.0).contains(&a));
     }
 
     /// AUC is invariant to strictly monotone transformations of the scores.
     #[test]
     fn auc_rank_invariant((scores, labels) in scores_and_labels()) {
-        let a = auc(&scores, &labels);
+        let a = auc(&scores, &labels).expect("finite inputs");
         let transformed: Vec<f32> = scores.iter().map(|&s| (3.0 * s + 1.0).exp()).collect();
-        let b = auc(&transformed, &labels);
+        let b = auc(&transformed, &labels).expect("monotone transform stays finite");
         prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
     }
 
     /// Flipping the labels mirrors the AUC around 0.5.
     #[test]
     fn auc_label_flip_symmetry((scores, labels) in scores_and_labels()) {
-        let a = auc(&scores, &labels);
+        let a = auc(&scores, &labels).expect("finite inputs");
         let flipped: Vec<f32> = labels.iter().map(|&y| 1.0 - y).collect();
-        let b = auc(&scores, &flipped);
+        let b = auc(&scores, &flipped).expect("finite inputs");
         prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
     }
 
     /// Negating the scores mirrors the AUC around 0.5.
     #[test]
     fn auc_score_flip_symmetry((scores, labels) in scores_and_labels()) {
-        let a = auc(&scores, &labels);
+        let a = auc(&scores, &labels).expect("finite inputs");
         let negated: Vec<f32> = scores.iter().map(|&s| -s).collect();
-        let b = auc(&negated, &labels);
+        let b = auc(&negated, &labels).expect("finite inputs");
         prop_assert!((a + b - 1.0).abs() < 1e-9);
     }
 
@@ -53,7 +67,7 @@ proptest! {
     fn prf_bounded_and_recall_monotone((scores, labels) in scores_and_labels()) {
         let mut last_recall = 0.0f64;
         for p in [1usize, 5, 10, 25, 50, 100] {
-            let prf = prf_at_top_percent(&scores, &labels, p);
+            let prf = prf_at_top_percent(&scores, &labels, p).expect("finite inputs");
             prop_assert!((0.0..=1.0).contains(&prf.precision));
             prop_assert!((0.0..=1.0).contains(&prf.recall));
             prop_assert!((0.0..=1.0).contains(&prf.f1));
@@ -65,7 +79,7 @@ proptest! {
     /// F1 is the harmonic mean of precision and recall whenever both exist.
     #[test]
     fn f1_is_harmonic_mean((scores, labels) in scores_and_labels(), p in 1usize..100) {
-        let prf = prf_at_top_percent(&scores, &labels, p);
+        let prf = prf_at_top_percent(&scores, &labels, p).expect("finite inputs");
         if prf.precision + prf.recall > 0.0 {
             let expect = 2.0 * prf.precision * prf.recall / (prf.precision + prf.recall);
             prop_assert!((prf.f1 - expect).abs() < 1e-9);
@@ -79,11 +93,62 @@ proptest! {
     #[test]
     fn prf_at_100_percent((scores, labels) in scores_and_labels()) {
         let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
-        let prf = prf_at_top_percent(&scores, &labels, 100);
+        let prf = prf_at_top_percent(&scores, &labels, 100).expect("finite inputs");
         if n_pos > 0 {
             prop_assert!((prf.recall - 1.0).abs() < 1e-9);
             let base = n_pos as f64 / labels.len() as f64;
             prop_assert!((prf.precision - base).abs() < 1e-9);
+        }
+    }
+
+    /// On arbitrary f32 bit patterns (NaN, ±inf included) the metrics never
+    /// panic: they either succeed (all-finite input) or return a typed error
+    /// pointing at the first offending index.
+    #[test]
+    fn auc_never_panics_on_arbitrary_scores((scores, labels) in arbitrary_scores_and_labels()) {
+        let n_bad = scores.iter().filter(|s| !s.is_finite()).count();
+        match auc(&scores, &labels) {
+            Ok(a) => {
+                prop_assert_eq!(n_bad, 0, "non-finite input must not pass");
+                prop_assert!((0.0..=1.0).contains(&a));
+            }
+            Err(MetricError::NonFiniteScore { index, count }) => {
+                prop_assert_eq!(count, n_bad);
+                prop_assert!(!scores[index].is_finite());
+                prop_assert!(scores[..index].iter().all(|s| s.is_finite()),
+                    "index must point at the first offender");
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+    }
+
+    /// Same contract for the screening metrics.
+    #[test]
+    fn prf_never_panics_on_arbitrary_scores(
+        (scores, labels) in arbitrary_scores_and_labels(),
+        p in 1usize..100,
+    ) {
+        let n_bad = scores.iter().filter(|s| !s.is_finite()).count();
+        match prf_at_top_percent(&scores, &labels, p) {
+            Ok(prf) => {
+                prop_assert_eq!(n_bad, 0, "non-finite input must not pass");
+                prop_assert!((0.0..=1.0).contains(&prf.f1));
+            }
+            Err(MetricError::NonFiniteScore { count, .. }) => {
+                prop_assert_eq!(count, n_bad);
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+    }
+
+    /// Non-finite labels are rejected too, after the score check.
+    #[test]
+    fn auc_rejects_non_finite_labels((scores, mut labels) in scores_and_labels(), at in 0usize..60) {
+        let at = at % labels.len();
+        labels[at] = f32::NAN;
+        match auc(&scores, &labels) {
+            Err(MetricError::NonFiniteLabel { index }) => prop_assert_eq!(index, at),
+            other => prop_assert!(false, "expected NonFiniteLabel, got {other:?}"),
         }
     }
 }

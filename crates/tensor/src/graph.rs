@@ -114,10 +114,9 @@ impl Graph {
     fn record(&mut self, op: Op, rows: usize, cols: usize) -> NodeId {
         let id = self.push_value(op, Matrix::zeros(rows, cols));
         exec_forward(&self.plan.ops, &mut self.ws.values, id.idx());
-        debug_assert!(
-            !self.ws.values[id.idx()].has_non_finite(),
-            "non-finite value produced by op"
-        );
+        // Non-finite outputs are deliberately tolerated here — divergence is
+        // reported as a typed error at the loss, not a panic inside an op
+        // (see Plan::first_non_finite for localization).
         id
     }
 
@@ -138,6 +137,18 @@ impl Graph {
     /// from the backward pass and always report `None`.
     pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
         self.ws.grad(id)
+    }
+
+    /// True when the value of `id` holds only finite elements. Cheap guard
+    /// for loss nodes before an optimizer step.
+    pub fn all_finite(&self, id: NodeId) -> bool {
+        self.ws.all_finite(id)
+    }
+
+    /// First non-leaf node holding a non-finite value, with its non-finite
+    /// element count (see [`Plan::first_non_finite`]).
+    pub fn first_non_finite(&self) -> Option<(NodeId, usize)> {
+        self.plan.first_non_finite(&self.ws)
     }
 
     // ----- leaves -------------------------------------------------------
@@ -475,6 +486,10 @@ impl Graph {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is intended in these tests: they assert
+    // exact constants and bit-reproducible results, not tolerances.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::matrix::Matrix;
 

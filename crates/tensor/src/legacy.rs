@@ -962,6 +962,10 @@ pub fn rebuild(plan: &Plan, ws: &Workspace) -> Graph {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is intended in these tests: they assert
+    // exact constants and bit-reproducible results, not tolerances.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::matrix::Matrix;
 

@@ -383,6 +383,11 @@ impl Matrix {
         self.data.iter().any(|x| !x.is_finite())
     }
 
+    /// Number of NaN / infinite elements.
+    pub fn count_non_finite(&self) -> usize {
+        self.data.iter().filter(|x| !x.is_finite()).count()
+    }
+
     /// Horizontal concatenation `[self | other]`.
     pub fn concat_cols(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "concat_cols row mismatch");

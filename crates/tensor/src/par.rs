@@ -95,6 +95,21 @@ pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
     with_threads(1, f)
 }
 
+/// Worker threads a parallel region configured for `requested` threads
+/// actually runs on. On a host with a single hardware thread the chunked
+/// primitives keep the requested chunk decomposition but execute every chunk
+/// inline on the calling thread, so the effective worker count is 1 no
+/// matter how large the pool is. Benchmarks should report this number, not
+/// the requested one, so speedup rows aren't attributed to parallelism that
+/// never dispatched.
+pub fn effective_workers(requested: usize) -> usize {
+    if single_core_host() {
+        1
+    } else {
+        requested.max(1)
+    }
+}
+
 /// True when called from inside a parallel worker closure.
 pub fn in_worker() -> bool {
     IN_WORKER.with(|w| w.get())
@@ -364,6 +379,21 @@ mod tests {
             })
         });
         assert_eq!(out, (0..9).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn effective_workers_bounded_and_single_core_collapses() {
+        assert_eq!(effective_workers(0), 1);
+        let w = effective_workers(4);
+        assert!((1..=4).contains(&w));
+        let single = std::thread::available_parallelism()
+            .map(|c| c.get() <= 1)
+            .unwrap_or(true);
+        if single {
+            assert_eq!(w, 1, "inline dispatch must report one worker");
+        } else {
+            assert_eq!(w, 4);
+        }
     }
 
     #[test]

@@ -163,6 +163,10 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is intended in these tests: they assert
+    // exact constants and bit-reproducible results, not tolerances.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::init::{normal_matrix, seeded_rng};
     use crate::param::ParamRef;

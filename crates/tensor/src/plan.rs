@@ -203,6 +203,16 @@ impl Workspace {
         vals + grads + self.scratch.len() * 4 + self.seen.len()
     }
 
+    /// True when the value buffer of `id` holds only finite elements.
+    pub fn all_finite(&self, id: NodeId) -> bool {
+        !self.values[id.idx()].has_non_finite()
+    }
+
+    /// Number of NaN / infinite elements in the value buffer of `id`.
+    pub fn count_non_finite(&self, id: NodeId) -> usize {
+        self.values[id.idx()].count_non_finite()
+    }
+
     /// Allocate (or re-fit) gradient buffers for the nodes the backward pass
     /// can reach: full-size for nodes on a parameter path (plus the root,
     /// which holds the seed), zero-size for pruned nodes. No-op when already
@@ -264,11 +274,28 @@ impl Plan {
         }
         for i in 0..self.ops.len() {
             exec_forward(&self.ops, &mut ws.values, i);
-            debug_assert!(
-                !ws.values[i].has_non_finite() || matches!(self.ops[i], Op::Leaf),
-                "non-finite value produced by op"
-            );
         }
+        // Non-finite values are NOT asserted away here: a diverging model
+        // must surface as a typed, recoverable error at the loss (see
+        // `FitError::NonFiniteLoss` in uvd-urg), never as a panic inside the
+        // replay loop. Use [`Plan::first_non_finite`] to localize the op
+        // that introduced a NaN/inf after detecting one downstream.
+    }
+
+    /// First non-leaf node whose value buffer holds a non-finite element,
+    /// with its non-finite count — the op that introduced the divergence on
+    /// the last forward pass. Diagnostic companion to a non-finite loss:
+    /// callers that detect `NaN`/`inf` at the loss can localize the source
+    /// without re-running under a debugger. Leaves are skipped because a
+    /// caller-supplied constant is the caller's own input, not a kernel
+    /// failure.
+    pub fn first_non_finite(&self, ws: &Workspace) -> Option<(NodeId, usize)> {
+        ws.values
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !matches!(self.ops.get(i), Some(Op::Leaf)))
+            .find(|(_, v)| v.has_non_finite())
+            .map(|(i, v)| (NodeId::from_index(i), v.count_non_finite()))
     }
 
     /// Reverse pass from `root` with an explicit seed gradient, entirely into

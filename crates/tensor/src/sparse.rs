@@ -245,6 +245,10 @@ impl EdgeIndex {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is intended in these tests: they assert
+    // exact constants and bit-reproducible results, not tolerances.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -19,8 +19,31 @@ pub enum FitError {
         /// Column count actually supplied.
         got_cols: usize,
     },
-    /// Training finished but the loss is NaN or infinite.
+    /// Training produced a NaN or infinite loss (detected per epoch; the
+    /// run aborts at the first non-finite epoch instead of polishing
+    /// garbage parameters).
     NonFiniteLoss,
+    /// A training stage ran before the stage it depends on (e.g. the slave
+    /// adaptive stage without a prior master stage to freeze the cluster
+    /// assignment).
+    StageOrder {
+        /// Stage that must complete first.
+        required: &'static str,
+        /// Stage that was attempted out of order.
+        attempted: &'static str,
+    },
+    /// The model configuration requires the cluster hierarchy (GSCM /
+    /// MS-Gate) but the named component is absent.
+    MissingHierarchy {
+        /// Which hierarchy component was missing (`"gate"`, `"h_prime"`, ...).
+        what: &'static str,
+    },
+    /// A required input modality is absent from the URG (e.g. an image-only
+    /// detector fitted on a graph built without raw imagery).
+    MissingInput {
+        /// Which input was absent (`"raw_images"`, ...).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for FitError {
@@ -35,6 +58,19 @@ impl fmt::Display for FitError {
                 "shape mismatch: {what} has {got_cols} columns, model expects {expected_cols}"
             ),
             FitError::NonFiniteLoss => write!(f, "training loss is non-finite"),
+            FitError::StageOrder {
+                required,
+                attempted,
+            } => write!(
+                f,
+                "stage order violation: {attempted} requires {required} to run first"
+            ),
+            FitError::MissingHierarchy { what } => {
+                write!(f, "cluster hierarchy component missing: {what}")
+            }
+            FitError::MissingInput { what } => {
+                write!(f, "required input missing from URG: {what}")
+            }
         }
     }
 }

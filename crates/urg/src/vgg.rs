@@ -125,6 +125,10 @@ pub fn standardize_columns(x: &Matrix) -> Matrix {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is intended in these tests: they assert
+    // exact constants and bit-reproducible results, not tolerances.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use rand::SeedableRng;
     use uvd_citysim::imagery::render_region;

@@ -46,11 +46,11 @@ fn main() {
 
     // Frozen-assignment detection (training-time membership)...
     let frozen = model.predict(&urg);
-    let (auc_frozen, _) = eval_scores(&frozen, &urg, &test, &[3]);
+    let (auc_frozen, _) = eval_scores(&frozen, &urg, &test, &[3]).expect("finite frozen scores");
     // ...vs live-assignment detection: membership recomputed from the
     // current representation, as Section V-C describes for unseen regions.
     let live = model.predict_proba_live(&urg, &train);
-    let (auc_live, _) = eval_scores(&live, &urg, &test, &[3]);
+    let (auc_live, _) = eval_scores(&live, &urg, &test, &[3]).expect("finite live scores");
     println!("\ntest AUC with frozen membership: {auc_frozen:.3}");
     println!("test AUC with live membership:   {auc_live:.3}");
 

@@ -37,11 +37,7 @@ fn main() {
     let mut candidates: Vec<usize> = (0..urg.n)
         .filter(|&r| !labeled.contains(&(r as u32)))
         .collect();
-    candidates.sort_by(|&a, &b| {
-        probs[b]
-            .partial_cmp(&probs[a])
-            .expect("finite probabilities")
-    });
+    candidates.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
 
     let k = (candidates.len() as f64 * 0.03).ceil() as usize;
     let short_list = &candidates[..k];

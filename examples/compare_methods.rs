@@ -33,7 +33,13 @@ fn main() {
         MethodKind::Uvlens,
         MethodKind::Cmsf,
     ] {
-        let s = run_method(kind, &urg, &spec);
+        let s = match run_method(kind, &urg, &spec) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("{:8} | skipped: {err}", kind.label());
+                continue;
+            }
+        };
         let p3 = s.at(3).expect("p=3 metrics");
         println!(
             "{:8} | {:>6.3} | {:>8.3} {:>10.3} {:>6.3} | {:>10.4} {:>8.3}",

@@ -34,7 +34,8 @@ fn main() {
         cfg.slave_epochs = 10;
         let mut cmsf_model = Cmsf::new(&urg, cfg);
         cmsf_model.fit(&urg, &train);
-        let (cmsf_auc, _) = eval_scores(&cmsf_model.predict(&urg), &urg, &test, &[3]);
+        let (cmsf_auc, _) =
+            eval_scores(&cmsf_model.predict(&urg), &urg, &test, &[3]).expect("finite CMSF scores");
 
         let bcfg = BaselineConfig {
             epochs: 20,
@@ -42,7 +43,8 @@ fn main() {
         };
         let mut uvlens = UvlensBaseline::new(&urg, bcfg);
         uvlens.fit(&urg, &train);
-        let (uv_auc, _) = eval_scores(&uvlens.predict(&urg), &urg, &test, &[3]);
+        let (uv_auc, _) =
+            eval_scores(&uvlens.predict(&urg), &urg, &test, &[3]).expect("finite UVLens scores");
 
         println!(
             "{:>5.0}% | {:>10.3} | {:>10.3}",

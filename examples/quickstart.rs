@@ -52,11 +52,7 @@ fn main() {
     //    screen the top 3% as candidates for field verification.
     let probs = model.predict(&urg);
     let mut ranked: Vec<usize> = (0..urg.n).collect();
-    ranked.sort_by(|&a, &b| {
-        probs[b]
-            .partial_cmp(&probs[a])
-            .expect("finite probabilities")
-    });
+    ranked.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
     let k = (urg.n as f64 * 0.03).ceil() as usize;
     let hits = ranked[..k].iter().filter(|&&r| city.is_uv(r)).count();
     println!("top-3% screening: {k} candidate regions, {hits} are true urban villages");

@@ -4,8 +4,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
-cargo clippy --workspace --all-targets -- -D warnings
+# float_cmp is denied on top of warnings: exact == on floats is how the
+# non-finite bugs this repo guards against slip back in.
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::float_cmp
 cargo test --workspace -q
 # Zero-allocation replay regression gate: steady-state epochs must not
 # touch the heap (counting global allocator; release, single-threaded).
 cargo test -p uvd-tensor --release --test alloc_replay -q
+# Graceful-degradation gate in release mode: debug_assert-free builds must
+# also record faulted (seed, fold) units instead of panicking.
+cargo test -p uvd-eval --release --test fault_injection -q

@@ -22,7 +22,7 @@ fn full_pipeline_detects_better_than_chance() {
     let report = model.fit(&urg, &train);
     assert!(report.final_loss.is_finite());
     let scores = model.predict(&urg);
-    let (auc, prfs) = eval_scores(&scores, &urg, &test, &[3, 5]);
+    let (auc, prfs) = eval_scores(&scores, &urg, &test, &[3, 5]).expect("finite trained scores");
     assert!(auc > 0.6, "test AUC {auc} should beat chance comfortably");
     // Screening metrics are well-formed.
     for (_, prf) in prfs {
@@ -52,10 +52,12 @@ fn cmsf_outperforms_untrained_model() {
     cfg.master_epochs = 30;
     cfg.slave_epochs = 5;
     let untrained = Cmsf::new(&urg, cfg);
-    let (auc_untrained, _) = eval_scores(&untrained.predict(&urg), &urg, &test, &[3]);
+    let (auc_untrained, _) =
+        eval_scores(&untrained.predict(&urg), &urg, &test, &[3]).expect("finite scores");
     let mut trained = Cmsf::new(&urg, cfg);
     trained.fit(&urg, &train);
-    let (auc_trained, _) = eval_scores(&trained.predict(&urg), &urg, &test, &[3]);
+    let (auc_trained, _) =
+        eval_scores(&trained.predict(&urg), &urg, &test, &[3]).expect("finite scores");
     assert!(
         auc_trained > auc_untrained + 0.05,
         "training must help: {auc_untrained} -> {auc_trained}"
@@ -77,7 +79,7 @@ fn live_assignment_prediction_is_consistent() {
     // frozen-score decile should overlap the top live decile.
     let top = |v: &[f32]| -> std::collections::HashSet<usize> {
         let mut idx: Vec<usize> = (0..v.len()).collect();
-        idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).expect("finite"));
+        idx.sort_by(|&a, &b| v[b].total_cmp(&v[a]));
         idx[..v.len() / 10].iter().copied().collect()
     };
     let overlap = top(&frozen).intersection(&top(&live)).count();

@@ -19,7 +19,7 @@ fn oracle_scores_achieve_perfect_metrics() {
     }
     let folds = block_folds(&urg, 3, 4, 3);
     for (_, test) in train_test_pairs(&folds) {
-        let (a, prfs) = eval_scores(&scores, &urg, &test, &[5]);
+        let (a, prfs) = eval_scores(&scores, &urg, &test, &[5]).expect("finite oracle scores");
         assert!((a - 1.0).abs() < 1e-9, "oracle AUC must be 1");
         // Every top-p prediction is a true UV (as long as p% <= base rate).
         assert!(prfs[0].1.precision > 0.99);
@@ -34,7 +34,7 @@ fn anti_oracle_scores_achieve_zero_auc() {
         scores[r as usize] = 1.0 - urg.y[i];
     }
     let test: Vec<usize> = (0..urg.labeled.len()).collect();
-    let (a, _) = eval_scores(&scores, &urg, &test, &[3]);
+    let (a, _) = eval_scores(&scores, &urg, &test, &[3]).expect("finite anti-oracle scores");
     assert!(a < 1e-9);
 }
 
@@ -63,8 +63,9 @@ fn runner_aggregates_mean_and_std() {
         quick: true,
         ..Default::default()
     };
-    let s = run_method(MethodKind::Mlp, &urg, &spec);
+    let s = run_method(MethodKind::Mlp, &urg, &spec).expect("clean run");
     assert_eq!(s.runs, 4); // 2 folds × 2 seeds
+    assert_eq!(s.failed, 0);
     assert!(s.auc.mean > 0.0 && s.auc.mean <= 1.0);
     // Standard deviation across two seeds is finite and not absurd.
     assert!(s.auc.std >= 0.0 && s.auc.std < 0.5);
@@ -99,8 +100,8 @@ fn label_ratio_spec_shrinks_effective_training() {
         label_ratio: 0.1,
         ..Default::default()
     };
-    let s_full = run_method(MethodKind::Mlp, &urg, &full);
-    let s_starved = run_method(MethodKind::Mlp, &urg, &starved);
+    let s_full = run_method(MethodKind::Mlp, &urg, &full).expect("clean run");
+    let s_starved = run_method(MethodKind::Mlp, &urg, &starved).expect("clean run");
     assert!(
         s_starved.auc.mean <= s_full.auc.mean + 0.1,
         "starved {} vs full {}",

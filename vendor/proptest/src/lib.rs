@@ -231,10 +231,54 @@ pub mod bool {
     }
 }
 
+pub mod num {
+    //! Full bit-space numeric strategies (`prop::num::f32::ANY`): every bit
+    //! pattern is reachable, so NaN, ±inf and subnormals are generated too.
+
+    pub mod f32 {
+        use crate::{Strategy, TestRng};
+
+        /// Any `f32` bit pattern, non-finite values included.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// `prop::num::f32::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = core::primitive::f32;
+
+            fn generate(&self, rng: &mut TestRng) -> core::primitive::f32 {
+                core::primitive::f32::from_bits(rng.next_u64() as u32)
+            }
+        }
+    }
+
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        /// Any `f64` bit pattern, non-finite values included.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// `prop::num::f64::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = core::primitive::f64;
+
+            fn generate(&self, rng: &mut TestRng) -> core::primitive::f64 {
+                core::primitive::f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+}
+
 /// The `prop::` namespace used inside tests (`prop::bool::ANY`, ...).
 pub mod prop {
     pub use crate::bool;
     pub use crate::collection;
+    pub use crate::num;
 }
 
 /// Runner configuration; only `cases` is honored.

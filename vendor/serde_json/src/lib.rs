@@ -45,6 +45,9 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+// Exact comparison is deliberate: it asks "does this f64 hold an integer
+// value", not "are two computed results close".
+#[allow(clippy::float_cmp)]
 fn write_num(n: f64, out: &mut String) {
     if !n.is_finite() {
         // JSON has no Inf/NaN; null is what serde_json emits for them when
