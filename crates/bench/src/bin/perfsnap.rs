@@ -38,17 +38,37 @@ struct Pair {
     name: &'static str,
     serial_ms: f64,
     parallel_ms: f64,
+    /// Scalar flops of one run, when the kernel has a closed-form count
+    /// (reported as GFLOP/s alongside the wall time).
+    flops: Option<f64>,
 }
 
-fn pair(name: &'static str, threads: usize, reps: usize, mut f: impl FnMut()) -> Pair {
+fn gflops(flops: Option<f64>, ms: f64) -> Option<f64> {
+    flops.map(|fl| fl / (ms.max(1e-9) * 1e6))
+}
+
+fn pair(
+    name: &'static str,
+    threads: usize,
+    reps: usize,
+    flops: Option<f64>,
+    mut f: impl FnMut(),
+) -> Pair {
     let serial_ms = time_ms(reps, || par::serial_scope(&mut f));
     let parallel_ms = time_ms(reps, || par::with_threads(threads, &mut f));
     let speedup = serial_ms / parallel_ms.max(1e-9);
-    println!("{name:32} serial {serial_ms:8.3} ms   par {parallel_ms:8.3} ms   x{speedup:.2}");
+    let rate = match gflops(flops, serial_ms) {
+        Some(g) => format!("   {g:6.1} GF/s"),
+        None => String::new(),
+    };
+    println!(
+        "{name:32} serial {serial_ms:8.3} ms   par {parallel_ms:8.3} ms   x{speedup:.2}{rate}"
+    );
     Pair {
         name,
         serial_ms,
         parallel_ms,
+        flops,
     }
 }
 
@@ -61,20 +81,22 @@ fn pair(name: &'static str, threads: usize, reps: usize, mut f: impl FnMut()) ->
 /// engine, so both paths run the identical computation on identical epoch
 /// schedules. Reports epochs/sec for both and the peak workspace footprint
 /// of the replayed path.
-fn e2e_cmsf(threads: usize) -> serde_json::Value {
+fn e2e_cmsf(threads: usize, smoke: bool) -> serde_json::Value {
     let city = City::from_config(CityPreset::FuzhouLike.config(), 5);
     let urg = Urg::build(&city, UrgOptions::default());
     let train: Vec<usize> = (0..urg.labeled.len()).collect();
     let mut cfg = CmsfConfig::fast_test();
-    cfg.master_epochs = 30;
-    cfg.slave_epochs = 15;
+    cfg.master_epochs = if smoke { 6 } else { 30 };
+    cfg.slave_epochs = if smoke { 3 } else { 15 };
     let epochs = (cfg.master_epochs + cfg.slave_epochs) as f64;
 
     let mut model = Cmsf::new(&urg, cfg);
 
+    let e2e_reps = if smoke { 1 } else { 5 };
+
     // Replayed-plan path (also freezes the assignment for the slave stage;
     // the extra freeze forward is charged against replay, not rebuild).
-    let replay_ms = time_ms(5, || {
+    let replay_ms = time_ms(e2e_reps, || {
         par::with_threads(threads, || {
             model.train_master(&urg, &train).expect("master trains");
             model.train_slave(&urg, &train).expect("slave trains");
@@ -96,7 +118,7 @@ fn e2e_cmsf(threads: usize) -> serde_json::Value {
     let slave_loss = model
         .record_slave_tape(&mut gs, &urg, &fixed, &c1, &c0, &rows, &targets, &weights)
         .expect("slave tape records");
-    let rebuild_ms = time_ms(5, || {
+    let rebuild_ms = time_ms(e2e_reps, || {
         par::with_threads(threads, || {
             let legacy_epoch = |g: &Graph, loss: uvd_tensor::NodeId, opt: &mut Adam| {
                 let mut lg = legacy::rebuild(g.plan(), g.workspace());
@@ -137,6 +159,9 @@ fn e2e_cmsf(threads: usize) -> serde_json::Value {
 }
 
 fn main() {
+    // `--smoke`: a fast sanity pass for CI — few reps, short e2e schedule,
+    // and no snapshot rewrite (the committed numbers stay authoritative).
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
     // Record the *effective* worker count: on a single-core host a 4-thread
     // pool still runs one worker at a time, and the snapshot should say so
     // instead of claiming parallelism the host cannot deliver.
@@ -145,16 +170,21 @@ fn main() {
     if threads != requested {
         println!("perfsnap: requested {requested} threads, host supports {threads}");
     }
-    println!("perfsnap: timing kernels with {threads} parallel threads\n");
+    let reps = if smoke { 2 } else { 9 };
+    println!(
+        "perfsnap: timing kernels with {threads} parallel threads{}\n",
+        if smoke { " (smoke run)" } else { "" }
+    );
     let mut rng = seeded_rng(42);
     let mut pairs = Vec::new();
 
     let a = normal_matrix(256, 256, 0.0, 1.0, &mut rng);
     let b = normal_matrix(256, 256, 0.0, 1.0, &mut rng);
-    pairs.push(pair("matmul_256", threads, 9, || {
+    let mm_flops = Some(2.0 * 256.0 * 256.0 * 256.0);
+    pairs.push(pair("matmul_256", threads, reps, mm_flops, || {
         std::hint::black_box(a.matmul(&b));
     }));
-    pairs.push(pair("matmul_tn_256", threads, 9, || {
+    pairs.push(pair("matmul_tn_256", threads, reps, mm_flops, || {
         std::hint::black_box(a.matmul_tn(&b));
     }));
 
@@ -170,7 +200,8 @@ fn main() {
     }
     let sp = Csr::from_coo(2000, 2000, coo);
     let xd = normal_matrix(2000, 64, 0.0, 1.0, &mut rng);
-    pairs.push(pair("spmm_16k_nnz", threads, 9, || {
+    let spmm_flops = Some(2.0 * sp.nnz() as f64 * 64.0);
+    pairs.push(pair("spmm_16k_nnz", threads, reps, spmm_flops, || {
         std::hint::black_box(sp.spmm(&xd));
     }));
 
@@ -187,7 +218,7 @@ fn main() {
     let edges = Arc::new(EdgeIndex::from_pairs(n, ep));
     let scores = normal_matrix(edges.n_edges(), 1, 0.0, 1.0, &mut rng);
     let h = normal_matrix(n, 32, 0.0, 1.0, &mut rng);
-    pairs.push(pair("edge_softmax_aggregate", threads, 9, || {
+    pairs.push(pair("edge_softmax_aggregate", threads, reps, None, || {
         let mut g = Graph::new();
         let s = g.constant(scores.clone());
         let hn = g.constant(h.clone());
@@ -208,34 +239,63 @@ fn main() {
     let xc = normal_matrix(16, meta.in_len(), 0.0, 1.0, &mut rng);
     let (co, klen) = meta.kernel_shape();
     let kern = normal_matrix(co, klen, 0.0, 0.3, &mut rng);
-    pairs.push(pair("conv2d_batch16_2x32x32", threads, 9, || {
-        std::hint::black_box(uvd_tensor::conv::conv2d_batch(&xc, &kern, &meta));
-    }));
+    let hw = (meta.h_out() * meta.w_out()) as f64;
+    let conv_flops = Some(16.0 * 2.0 * co as f64 * klen as f64 * hw);
+    pairs.push(pair(
+        "conv2d_batch16_2x32x32",
+        threads,
+        reps,
+        conv_flops,
+        || {
+            std::hint::black_box(uvd_tensor::conv::conv2d_batch(&xc, &kern, &meta));
+        },
+    ));
 
     let xg = normal_matrix(1000, 64, 0.0, 1.0, &mut rng);
     let wg = normal_matrix(64, 16, 0.0, 1.0, &mut rng);
     let fg = normal_matrix(1000, 64 * 16, 0.5, 0.1, &mut rng);
-    pairs.push(pair("gated_matmul_1000x64x16", threads, 9, || {
-        let mut g = Graph::new();
-        let xn = g.constant(xg.clone());
-        let wn = g.constant(wg.clone());
-        let fn_ = g.constant(fg.clone());
-        let z = g.gated_matmul(xn, wn, fn_);
-        std::hint::black_box(g.value(z).sum());
-    }));
+    // Three scalar ops per (i, k, j) lane: x*w, (x*w)*f, and the add.
+    let gated_flops = Some(3.0 * 1000.0 * 64.0 * 16.0);
+    pairs.push(pair(
+        "gated_matmul_1000x64x16",
+        threads,
+        reps,
+        gated_flops,
+        || {
+            let mut g = Graph::new();
+            let xn = g.constant(xg.clone());
+            let wn = g.constant(wg.clone());
+            let fn_ = g.constant(fg.clone());
+            let z = g.gated_matmul(xn, wn, fn_);
+            std::hint::black_box(g.value(z).sum());
+        },
+    ));
 
     let kernels: Vec<serde_json::Value> = pairs
         .iter()
         .map(|p| {
-            serde_json::json!({
+            let mut k = serde_json::json!({
                 "name": p.name,
                 "serial_ms": p.serial_ms,
                 "parallel_ms": p.parallel_ms,
                 "speedup": p.serial_ms / p.parallel_ms.max(1e-9),
-            })
+            });
+            if let (Some(gs), Some(gp), serde_json::Value::Object(fields)) = (
+                gflops(p.flops, p.serial_ms),
+                gflops(p.flops, p.parallel_ms),
+                &mut k,
+            ) {
+                fields.push(("serial_gflops".into(), serde::to_value(&gs)));
+                fields.push(("parallel_gflops".into(), serde::to_value(&gp)));
+            }
+            k
         })
         .collect();
-    let e2e = e2e_cmsf(threads);
+    let e2e = e2e_cmsf(threads, smoke);
+    if smoke {
+        println!("\nsmoke run: leaving BENCH_tensor.json untouched");
+        return;
+    }
     let doc = serde_json::json!({
         "threads": threads,
         "host_cores": std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),

@@ -1,7 +1,7 @@
 //! Basic trainable layers: linear maps, MLPs, and activation plumbing.
 
 use uvd_tensor::init::glorot_uniform;
-use uvd_tensor::{Graph, Matrix, NodeId, ParamRef, ParamSet, Rng64};
+use uvd_tensor::{FusedAct, Graph, Matrix, NodeId, ParamRef, ParamSet, Rng64};
 
 /// Activation functions used across the workspace.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -22,6 +22,20 @@ impl Activation {
             Activation::LeakyRelu(s) => g.leaky_relu(x, s),
             Activation::Tanh => g.tanh(x),
             Activation::Sigmoid => g.sigmoid(x),
+        }
+    }
+
+    /// The [`FusedAct`] equivalent, if this activation can ride inside a
+    /// fused `matmul_bias_act` node. `LeakyRelu` fuses only for non-negative
+    /// slopes: the fused backward recovers the mask from the output sign.
+    pub fn as_fused(self) -> Option<FusedAct> {
+        match self {
+            Activation::Identity => Some(FusedAct::Identity),
+            Activation::Relu => Some(FusedAct::LeakyRelu(0.0)),
+            Activation::LeakyRelu(s) if s >= 0.0 => Some(FusedAct::LeakyRelu(s)),
+            Activation::LeakyRelu(_) => None,
+            Activation::Tanh => Some(FusedAct::Tanh),
+            Activation::Sigmoid => Some(FusedAct::Sigmoid),
         }
     }
 }
@@ -61,15 +75,27 @@ impl Linear {
     }
 
     pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        self.forward_act(g, x, Activation::Identity)
+    }
+
+    /// `act(x W + b)` — records a single fused node when the layer has a
+    /// bias and the activation fuses; otherwise falls back to the unfused
+    /// op sequence (bit-identical either way).
+    pub fn forward_act(&self, g: &mut Graph, x: NodeId, act: Activation) -> NodeId {
         let w = g.param(&self.w);
+        if let (Some(b), Some(fused)) = (&self.b, act.as_fused()) {
+            let bn = g.param(b);
+            return g.matmul_bias_act(x, w, bn, fused);
+        }
         let y = g.matmul(x, w);
-        match &self.b {
+        let y = match &self.b {
             Some(b) => {
                 let bn = g.param(b);
                 g.add_row(y, bn)
             }
             None => y,
-        }
+        };
+        act.apply(g, y)
     }
 
     pub fn collect_params(&self, set: &mut ParamSet) {
@@ -104,10 +130,12 @@ impl Mlp {
     pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(g, h);
-            if i + 1 < self.layers.len() {
-                h = self.hidden_activation.apply(g, h);
-            }
+            let act = if i + 1 < self.layers.len() {
+                self.hidden_activation
+            } else {
+                Activation::Identity
+            };
+            h = layer.forward_act(g, h, act);
         }
         h
     }

@@ -5,6 +5,17 @@
 
 use crate::matrix::Matrix;
 use crate::par;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Caller-side packed kernel panels, held across a whole forward batch.
+    /// A separate cell from [`COLS_SCRATCH`]: the pack stays borrowed while
+    /// workers — or the inline serial path — borrow the column scratch, and
+    /// gemm's own pack scratch is busy inside each per-sample call.
+    static KERNEL_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-worker im2col column scratch (capacity reused across samples).
+    static COLS_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Shape metadata for a 2-D convolution with a square kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,34 +84,43 @@ impl PoolMeta {
 /// Unfold one sample (slice of length `c_in*h_in*w_in`) into a column matrix
 /// of shape `(c_in*k*k) × (h_out*w_out)`.
 pub fn im2col(sample: &[f32], m: &ConvMeta) -> Matrix {
+    let rows = m.c_in * m.k * m.k;
+    let cols = m.h_out() * m.w_out();
+    let mut buf = Vec::new();
+    im2col_into(sample, m, &mut buf);
+    Matrix::from_vec(rows, cols, buf)
+}
+
+/// [`im2col`] into a reusable buffer: cleared and zero-filled to
+/// `(c_in*k*k) * (h_out*w_out)`, so steady-state calls reuse capacity.
+pub fn im2col_into(sample: &[f32], m: &ConvMeta, buf: &mut Vec<f32>) {
     let (ho, wo) = (m.h_out(), m.w_out());
     let rows = m.c_in * m.k * m.k;
     let cols = ho * wo;
-    let mut out = Matrix::zeros(rows, cols);
+    buf.clear();
+    buf.resize(rows * cols, 0.0);
     for c in 0..m.c_in {
         for ky in 0..m.k {
             for kx in 0..m.k {
                 let row = (c * m.k + ky) * m.k + kx;
+                let out_row = &mut buf[row * cols..(row + 1) * cols];
                 for oy in 0..ho {
                     let iy = (oy * m.stride + ky) as isize - m.pad as isize;
+                    if iy < 0 || iy as usize >= m.h_in {
+                        continue; // padded taps stay at the zero fill
+                    }
+                    let src = &sample[(c * m.h_in + iy as usize) * m.w_in..];
                     for ox in 0..wo {
                         let ix = (ox * m.stride + kx) as isize - m.pad as isize;
-                        let v = if iy >= 0
-                            && (iy as usize) < m.h_in
-                            && ix >= 0
-                            && (ix as usize) < m.w_in
-                        {
-                            sample[(c * m.h_in + iy as usize) * m.w_in + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        out.set(row, oy * wo + ox, v);
+                        if ix < 0 || ix as usize >= m.w_in {
+                            continue;
+                        }
+                        out_row[oy * wo + ox] = src[ix as usize];
                     }
                 }
             }
         }
     }
-    out
 }
 
 /// Fold a column-gradient matrix back into a sample gradient (adds into
@@ -185,13 +205,35 @@ pub fn conv2d_batch_to(x: &Matrix, kernel: &Matrix, m: &ConvMeta, out: &mut [f32
     let n = x.rows();
     let out_len = m.out_len();
     assert_eq!(out.len(), n * out_len, "conv2d output buffer size");
+    let (co, klen) = m.kernel_shape();
+    assert_eq!(kernel.shape(), (co, klen), "conv2d kernel shape");
+    let hw = m.h_out() * m.w_out();
     let work = n * conv_sample_work(m);
-    par::for_each_row_block(out, out_len, work, |samples, chunk| {
-        for (si, i) in samples.enumerate() {
-            let cols = im2col(x.row(i), m);
-            let prod = kernel.matmul(&cols);
-            chunk[si * out_len..(si + 1) * out_len].copy_from_slice(prod.as_slice());
-        }
+    // The kernel is the LHS of every per-sample product: pack it into
+    // microkernel panels once for the whole batch; per sample only the
+    // columns are unfolded (into reused scratch) and packed.
+    KERNEL_PACK.with(|cell| {
+        let mut pack = cell.borrow_mut();
+        crate::gemm::pack_a_into(kernel.as_slice(), co, klen, false, &mut pack);
+        let pack: &[f32] = &pack;
+        par::for_each_row_block(out, out_len, work, |samples, chunk| {
+            COLS_SCRATCH.with(|cc| {
+                let mut cols = cc.borrow_mut();
+                for (si, i) in samples.enumerate() {
+                    im2col_into(x.row(i), m, &mut cols);
+                    crate::gemm::matmul_prepacked_a(
+                        pack,
+                        &cols,
+                        false,
+                        &mut chunk[si * out_len..(si + 1) * out_len],
+                        co,
+                        klen,
+                        hw,
+                        false,
+                    );
+                }
+            });
+        });
     });
 }
 

@@ -23,7 +23,7 @@
 use crate::conv::{ConvMeta, PoolMeta};
 use crate::matrix::Matrix;
 use crate::param::ParamRef;
-use crate::plan::{exec_forward, Op, Plan, Workspace};
+use crate::plan::{exec_forward, FusedAct, Op, Plan, Workspace};
 use crate::sparse::EdgeIndex;
 use std::sync::Arc;
 
@@ -85,6 +85,12 @@ impl Graph {
         self.ws.bytes()
     }
 
+    /// Bytes held by cached RHS panel packs (a subset of
+    /// [`Graph::workspace_bytes`]).
+    pub fn pack_bytes(&self) -> usize {
+        self.ws.pack_bytes()
+    }
+
     /// Re-execute the recorded forward pass in place: parameter leaves are
     /// refreshed from their [`ParamRef`]s, every other node is recomputed
     /// into its existing buffer. No heap allocation.
@@ -95,9 +101,13 @@ impl Graph {
     fn push_value(&mut self, op: Op, value: Matrix) -> NodeId {
         let id = NodeId::from_index(self.plan.len());
         let needs = crate::plan::op_needs_grad(&op, &self.plan.needs_grad);
+        // Leaves start as pack-cacheable constants; `param` (refreshed every
+        // replay) demotes itself, `set_value` invalidates the cached pack.
+        self.plan.const_leaf.push(matches!(op, Op::Leaf));
         self.plan.ops.push(op);
         self.plan.needs_grad.push(needs);
         self.ws.values.push(value);
+        self.ws.packs.push(Default::default());
         id
     }
 
@@ -113,7 +123,7 @@ impl Graph {
     /// bit-identical by construction).
     fn record(&mut self, op: Op, rows: usize, cols: usize) -> NodeId {
         let id = self.push_value(op, Matrix::zeros(rows, cols));
-        exec_forward(&self.plan.ops, &mut self.ws.values, id.idx());
+        exec_forward(&self.plan, &mut self.ws, id.idx());
         // Non-finite outputs are deliberately tolerated here — divergence is
         // reported as a typed error at the loss, not a panic inside an op
         // (see Plan::first_non_finite for localization).
@@ -180,6 +190,8 @@ impl Graph {
         let dst = &mut self.ws.values[id.idx()];
         assert_eq!(dst.shape(), m.shape(), "set_value shape mismatch");
         dst.as_mut_slice().copy_from_slice(m.as_slice());
+        // A cached RHS pack of this leaf no longer matches its value.
+        self.ws.packs[id.idx()].stamp = crate::gemm::NEVER;
     }
 
     /// Bind a trainable parameter; its gradient is delivered by
@@ -187,6 +199,8 @@ impl Graph {
     pub fn param(&mut self, p: &ParamRef) -> NodeId {
         let id = self.push_value(Op::Leaf, p.value().clone());
         self.plan.needs_grad[id.idx()] = true;
+        // Parameter values change every replay; their packs are per-epoch.
+        self.plan.const_leaf[id.idx()] = false;
         self.plan.param_links.push((id, p.clone()));
         id
     }
@@ -196,6 +210,21 @@ impl Graph {
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (m, n) = (self.value(a).rows(), self.value(b).cols());
         self.record(Op::MatMul(a, b), m, n)
+    }
+
+    /// `act(a * b + bias)` as one fused node: bit-identical to the unfused
+    /// `matmul` → `add_row` → activation sequence, without materializing the
+    /// two intermediates. `FusedAct::LeakyRelu` requires a non-negative
+    /// slope (the fused backward recovers the mask from the output sign).
+    pub fn matmul_bias_act(&mut self, a: NodeId, b: NodeId, bias: NodeId, act: FusedAct) -> NodeId {
+        let (m, k) = self.value(a).shape();
+        let (kb, n) = self.value(b).shape();
+        assert_eq!(k, kb, "matmul_bias_act: {m}x{k} * {kb}x{n}");
+        assert_eq!(self.value(bias).shape(), (1, n), "matmul_bias_act bias");
+        if let FusedAct::LeakyRelu(slope) = act {
+            assert!(slope >= 0.0, "matmul_bias_act: negative LeakyRelu slope");
+        }
+        self.record(Op::MatMulBiasAct(a, b, bias, act), m, n)
     }
 
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {

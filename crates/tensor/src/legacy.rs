@@ -22,9 +22,82 @@ use crate::conv::{
 use crate::matrix::Matrix;
 use crate::par;
 use crate::param::ParamRef;
-use crate::plan::{self, CsrPair, Plan, Workspace};
+use crate::plan::{self, fused_act_apply, CsrPair, FusedAct, Plan, Workspace};
 use crate::sparse::EdgeIndex;
 use std::sync::Arc;
+
+/// Reduction tile of the frozen naive matmul kernels, at its pre-packing
+/// value. Tiling only groups ascending-`k` steps; it never reorders them.
+const K_TILE: usize = 64;
+
+/// Frozen naive `a * b` (serial, k-tiled triple loop): the pre-packing
+/// reference kernel. The packed [`Matrix::matmul`] family must stay
+/// bit-identical to these — `par_equivalence` proptests enforce it.
+pub fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "naive_matmul shape");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let (av, bv, ov) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for kb in (0..k).step_by(K_TILE) {
+        let k_end = (kb + K_TILE).min(k);
+        for i in 0..m {
+            let a_row = &av[i * k..(i + 1) * k];
+            let o_row = &mut ov[i * n..(i + 1) * n];
+            for p in kb..k_end {
+                let x = a_row[p];
+                let b_row = &bv[p * n..(p + 1) * n];
+                for (o, &y) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += x * y;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Frozen naive `a^T * b` (`a` is `k×m`): pre-packing reference kernel.
+pub fn naive_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "naive_matmul_tn shape");
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let (av, bv, ov) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for pb in (0..k).step_by(K_TILE) {
+        let p_end = (pb + K_TILE).min(k);
+        for i in 0..m {
+            let o_row = &mut ov[i * n..(i + 1) * n];
+            for p in pb..p_end {
+                let x = av[p * m + i];
+                let b_row = &bv[p * n..(p + 1) * n];
+                for (o, &y) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += x * y;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Frozen naive `a * b^T` (`b` is `n×k`): independent ascending-`k` dot
+/// products, the pre-packing reference kernel.
+pub fn naive_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "naive_matmul_nt shape");
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    let (av, bv, ov) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for i in 0..m {
+        let a_row = &av[i * k..(i + 1) * k];
+        let o_row = &mut ov[i * n..(i + 1) * n];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_row = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
 
 /// Handle to a node in the tape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -40,6 +113,7 @@ impl NodeId {
 enum Op {
     Leaf,
     MatMul(NodeId, NodeId),
+    MatMulBiasAct(NodeId, NodeId, NodeId, FusedAct),
     Add(NodeId, NodeId),
     Sub(NodeId, NodeId),
     Mul(NodeId, NodeId),
@@ -153,6 +227,21 @@ impl Graph {
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let v = self.value(a).matmul(self.value(b));
         self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Fused `act(a * b + bias)` — mirrors the plan's fused node one-to-one
+    /// so [`rebuild`] keeps plan and legacy node ids aligned.
+    pub fn matmul_bias_act(&mut self, a: NodeId, b: NodeId, bias: NodeId, act: FusedAct) -> NodeId {
+        let mut v = self.value(a).matmul(self.value(b));
+        let (m, n) = v.shape();
+        assert_eq!(self.value(bias).shape(), (1, n), "matmul_bias_act bias");
+        for r in 0..m {
+            let rr = self.nodes[bias.idx()].value.row(0);
+            for (x, &bx) in v.row_mut(r).iter_mut().zip(rr.iter()) {
+                *x = fused_act_apply(act, *x + bx);
+            }
+        }
+        self.push(Op::MatMulBiasAct(a, b, bias, act), v)
     }
 
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
@@ -580,6 +669,36 @@ impl Graph {
                 self.add_grad(*a, da);
                 self.add_grad(*b, db);
             }
+            Op::MatMulBiasAct(a, b, bias, act) => {
+                let act = *act;
+                // dz = dy ⊙ act'(·) from the output, like the plan's fused
+                // backward (LeakyRelu slopes are >= 0 by construction).
+                let dz = self.nodes[id].value.zip(dy, |yv, g| match act {
+                    FusedAct::Identity => g,
+                    FusedAct::LeakyRelu(slope) => {
+                        if yv > 0.0 {
+                            g
+                        } else {
+                            slope * g
+                        }
+                    }
+                    FusedAct::Tanh => g * (1.0 - yv * yv),
+                    FusedAct::Sigmoid => g * yv * (1.0 - yv),
+                });
+                let (m, n) = dz.shape();
+                let mut db = Matrix::zeros(1, n);
+                for r in 0..m {
+                    for (o, &g) in db.row_mut(0).iter_mut().zip(dz.row(r).iter()) {
+                        *o += g;
+                    }
+                }
+                let da = dz.matmul_nt(&self.nodes[b.idx()].value);
+                let dbm = self.nodes[a.idx()].value.matmul_tn(&dz);
+                // Delivery order matches the plan arm: bias, then a, then b.
+                self.add_grad(*bias, db);
+                self.add_grad(*a, da);
+                self.add_grad(*b, dbm);
+            }
             Op::Add(a, b) => {
                 self.add_grad(*a, dy.clone());
                 self.add_grad(*b, dy.clone());
@@ -731,7 +850,7 @@ impl Graph {
                 self.add_grad(*a, da);
             }
             Op::SpMM(pair, x) => {
-                let dx = pair.bwd.spmm(dy);
+                let dx = pair.bwd().spmm(dy);
                 self.add_grad(*x, dx);
             }
             Op::EdgeSoftmax(scores, edges) => {
@@ -924,6 +1043,9 @@ pub fn rebuild(plan: &Plan, ws: &Workspace) -> Graph {
                 None => g.constant(ws.values[i].clone()),
             },
             plan::Op::MatMul(a, b) => g.matmul(n(*a), n(*b)),
+            plan::Op::MatMulBiasAct(a, b, bias, act) => {
+                g.matmul_bias_act(n(*a), n(*b), n(*bias), *act)
+            }
             plan::Op::Add(a, b) => g.add(n(*a), n(*b)),
             plan::Op::Sub(a, b) => g.sub(n(*a), n(*b)),
             plan::Op::Mul(a, b) => g.mul(n(*a), n(*b)),

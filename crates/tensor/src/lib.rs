@@ -48,6 +48,7 @@
 //! ```
 
 pub mod conv;
+mod gemm;
 pub mod graph;
 pub mod init;
 pub mod legacy;
@@ -64,5 +65,5 @@ pub use init::{seeded_rng, Rng64};
 pub use matrix::Matrix;
 pub use param::{Adam, ParamRef, ParamSet};
 pub use persist::MatrixStore;
-pub use plan::{Plan, Workspace};
+pub use plan::{FusedAct, Plan, Workspace};
 pub use sparse::{Csr, EdgeIndex};

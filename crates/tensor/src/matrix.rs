@@ -1,82 +1,16 @@
 //! Dense row-major `f32` matrix with the handful of kernels the autodiff
 //! engine needs. Vectors are represented as `n×1` or `1×n` matrices.
 //!
-//! The matmul family is cache-blocked over the reduction dimension and
-//! row-partitioned across threads by the [`crate::par`] runtime. Because the
-//! per-element accumulation order (ascending `k`) is independent of the row
-//! partition, results are bit-identical at any thread count.
+//! The matmul family runs on the packed register-tiled microkernels in
+//! [`crate::gemm`], row-partitioned across threads by the [`crate::par`]
+//! runtime. Because the per-element accumulation order (ascending `k`) is
+//! independent of the row partition and of the tile shape, results are
+//! bit-identical at any thread count and on every ISA tier — and bit-equal
+//! to the frozen naive kernels kept in [`crate::legacy`] as the reference.
 
+use crate::gemm;
 use crate::par;
 use std::fmt;
-use std::ops::Range;
-
-/// Reduction-dimension tile for the blocked matmul kernels: 64 rows of a
-/// 64-col f32 panel is 16 KiB, comfortably inside L1 alongside the output.
-const K_TILE: usize = 64;
-
-/// Compute rows `rows` of `out = a * b` where `a` is `m×k`, `b` is `k×n` and
-/// `chunk` is the contiguous output storage for exactly those rows. The `k`
-/// loop is tiled but always ascends, so each output element accumulates its
-/// products in the same order regardless of how rows are partitioned.
-fn matmul_rows(a: &[f32], b: &[f32], chunk: &mut [f32], rows: Range<usize>, k: usize, n: usize) {
-    for kb in (0..k).step_by(K_TILE) {
-        let k_end = (kb + K_TILE).min(k);
-        for (ri, i) in rows.clone().enumerate() {
-            let a_row = &a[i * k..(i + 1) * k];
-            let o_row = &mut chunk[ri * n..(ri + 1) * n];
-            for p in kb..k_end {
-                let av = a_row[p];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += av * bv;
-                }
-            }
-        }
-    }
-}
-
-/// Compute rows `rows` of `out = a^T * b` where `a` is `k×m`, `b` is `k×n`:
-/// `out[i][j] = Σ_p a[p][i] * b[p][j]`, `p` tiled but ascending.
-fn matmul_tn_rows(
-    a: &[f32],
-    b: &[f32],
-    chunk: &mut [f32],
-    rows: Range<usize>,
-    k: usize,
-    m: usize,
-    n: usize,
-) {
-    for pb in (0..k).step_by(K_TILE) {
-        let p_end = (pb + K_TILE).min(k);
-        for (ri, i) in rows.clone().enumerate() {
-            let o_row = &mut chunk[ri * n..(ri + 1) * n];
-            for p in pb..p_end {
-                let av = a[p * m + i];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += av * bv;
-                }
-            }
-        }
-    }
-}
-
-/// Compute rows `rows` of `out = a * b^T` where `a` is `m×k`, `b` is `n×k`:
-/// independent dot products, accumulated in ascending `k` order.
-fn matmul_nt_rows(a: &[f32], b: &[f32], chunk: &mut [f32], rows: Range<usize>, k: usize, n: usize) {
-    for (ri, i) in rows.enumerate() {
-        let a_row = &a[i * k..(i + 1) * k];
-        let o_row = &mut chunk[ri * n..(ri + 1) * n];
-        for (j, o) in o_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
-            }
-            *o = acc;
-        }
-    }
-}
 
 /// Dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -228,9 +162,9 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self * rhs`: k-tiled straight-FMA inner loop (no
-    /// zero-skip branch — `Csr` handles genuinely sparse operands), rows
-    /// partitioned across threads above the work threshold.
+    /// Matrix product `self * rhs` on the packed register-tiled kernel
+    /// (no zero-skip branch — `Csr` handles genuinely sparse operands),
+    /// rows partitioned across threads above the work threshold.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         self.matmul_acc(rhs, &mut out.data);
@@ -248,9 +182,20 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         assert_eq!(out.len(), m * n, "matmul output buffer size");
-        par::for_each_row_block(out, n, m * k * n, |rows, chunk| {
-            matmul_rows(&self.data, &rhs.data, chunk, rows, k, n);
-        });
+        gemm::matmul_into(&self.data, &rhs.data, out, m, k, n, false, false, true);
+    }
+
+    /// Like [`Matrix::matmul_acc`] but with the RHS already packed into a
+    /// panel buffer (a `Workspace` pack cache slot) by [`crate::gemm`].
+    pub(crate) fn matmul_acc_cached(&self, rhs: &Matrix, b_pack: &[f32], out: &mut [f32]) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        assert_eq!(out.len(), m * n, "matmul output buffer size");
+        gemm::matmul_prepacked_b(&self.data, false, b_pack, out, m, k, n, true);
     }
 
     /// `self^T * rhs` without materializing the transpose.
@@ -269,9 +214,7 @@ impl Matrix {
         );
         let (m, k, n) = (self.cols, self.rows, rhs.cols);
         assert_eq!(out.len(), m * n, "matmul_tn output buffer size");
-        par::for_each_row_block(out, n, m * k * n, |rows, chunk| {
-            matmul_tn_rows(&self.data, &rhs.data, chunk, rows, k, m, n);
-        });
+        gemm::matmul_into(&self.data, &rhs.data, out, m, k, n, true, false, true);
     }
 
     /// `self * rhs^T` without materializing the transpose.
@@ -291,9 +234,7 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
         assert_eq!(out.len(), m * n, "matmul_nt output buffer size");
-        par::for_each_row_block(out, n, m * k * n, |rows, chunk| {
-            matmul_nt_rows(&self.data, &rhs.data, chunk, rows, k, n);
-        });
+        gemm::matmul_into(&self.data, &rhs.data, out, m, k, n, false, true, false);
     }
 
     /// Transposed copy.
@@ -485,6 +426,10 @@ fn softmax_rows_inplace(data: &mut [f32], rows: usize, cols: usize, tau: f32) {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is intended: the kernels are bit-reproducible
+    // and these tests assert exact constants.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]
@@ -547,5 +492,53 @@ mod tests {
     fn argmax_rows_ties_pick_first() {
         let a = Matrix::from_rows(&[&[1.0, 1.0, 0.5], &[0.0, 2.0, 2.0]]);
         assert_eq!(a.argmax_rows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn matmul_k_zero_is_all_zeros() {
+        // Empty reduction: every output element is the empty sum.
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        assert_eq!(a.matmul(&b), Matrix::zeros(3, 4));
+        let at = Matrix::zeros(0, 3);
+        assert_eq!(at.matmul_tn(&b), Matrix::zeros(3, 4));
+        let bt = Matrix::zeros(4, 0);
+        assert_eq!(a.matmul_nt(&bt), Matrix::zeros(3, 4));
+    }
+
+    #[test]
+    fn matmul_k_zero_accumulate_preserves_output() {
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut out = [1.0, 2.0, 3.0, 4.0];
+        a.matmul_acc(&b, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_vector_shapes() {
+        // 1×k row vector times k×n, and m×k times k×1 column vector.
+        let r = Matrix::row_vec(&[1.0, 2.0, 3.0]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        assert_eq!(r.matmul(&b), Matrix::row_vec(&[4.0, 5.0]));
+        let c = Matrix::col_vec(&[1.0, -1.0]);
+        assert_eq!(b.matmul(&c), Matrix::col_vec(&[1.0, -1.0, 0.0]));
+        // Inner product and outer product degenerate cases.
+        let rc = r.matmul(&Matrix::col_vec(&[1.0, 1.0, 1.0]));
+        assert_eq!(rc, Matrix::from_rows(&[&[6.0]]));
+        let outer = Matrix::col_vec(&[2.0, 3.0]).matmul(&Matrix::row_vec(&[1.0, 10.0]));
+        assert_eq!(outer, Matrix::from_rows(&[&[2.0, 20.0], &[3.0, 30.0]]));
+    }
+
+    #[test]
+    fn matmul_empty_matrices_are_noops() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        assert_eq!(a.matmul(&b).shape(), (0, 3));
+        let b0 = Matrix::zeros(5, 0);
+        let c = Matrix::filled(2, 5, 1.0);
+        assert_eq!(c.matmul(&b0).shape(), (2, 0));
+        assert_eq!(b0.matmul_tn(&b).shape(), (0, 3));
+        assert_eq!(a.matmul_nt(&Matrix::zeros(0, 5)).shape(), (0, 0));
     }
 }

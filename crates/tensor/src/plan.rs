@@ -34,11 +34,12 @@ use crate::conv::{
     conv2d_backward_batch, conv2d_batch_to, maxpool2_backward_batch, maxpool2_batch_to, ConvMeta,
     PoolMeta,
 };
+use crate::gemm::{self, PackedB};
 use crate::matrix::Matrix;
 use crate::par;
 use crate::param::ParamRef;
 use crate::sparse::{Csr, EdgeIndex};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Handle to a node in the tape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -60,18 +61,61 @@ impl NodeId {
     }
 }
 
-/// A constant sparse matrix together with its precomputed transpose (the
-/// transpose is needed for the backward pass of `spmm`).
+/// A constant sparse matrix together with its lazily-built transpose (the
+/// transpose is only needed by the backward pass of `spmm`, so it is built on
+/// first backward use and cached in the plan — inference/no-grad plans never
+/// pay for it, and a plan replayed over many epochs pays it exactly once).
 #[derive(Clone, Debug)]
 pub struct CsrPair {
     pub fwd: Csr,
-    pub bwd: Csr,
+    bwd: OnceLock<Csr>,
 }
 
 impl CsrPair {
     pub fn new(csr: Csr) -> Arc<Self> {
-        let bwd = csr.transpose();
-        Arc::new(CsrPair { fwd: csr, bwd })
+        Arc::new(CsrPair {
+            fwd: csr,
+            bwd: OnceLock::new(),
+        })
+    }
+
+    /// Transpose of `fwd`, built on first call and cached for the lifetime
+    /// of the pair (i.e. of every plan holding it).
+    pub fn bwd(&self) -> &Csr {
+        self.bwd.get_or_init(|| self.fwd.transpose())
+    }
+}
+
+/// Activation fused into a [`Op::MatMulBiasAct`] node. Each variant applies
+/// exactly the elementwise expression of the corresponding standalone op, so
+/// fusing is bitwise invisible to the numerics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FusedAct {
+    Identity,
+    /// `x > 0 ? x : slope * x`. The fused backward re-derives the mask from
+    /// the *output* sign, which matches the input-sign mask iff
+    /// `slope >= 0` — callers must not fuse negative slopes.
+    LeakyRelu(f32),
+    Tanh,
+    Sigmoid,
+}
+
+/// The elementwise activation of a [`FusedAct`] — shared by the replay
+/// engine and the legacy differential engine so both apply the exact same
+/// expression.
+#[inline]
+pub(crate) fn fused_act_apply(act: FusedAct, x: f32) -> f32 {
+    match act {
+        FusedAct::Identity => x,
+        FusedAct::LeakyRelu(slope) => {
+            if x > 0.0 {
+                x
+            } else {
+                slope * x
+            }
+        }
+        FusedAct::Tanh => x.tanh(),
+        FusedAct::Sigmoid => 1.0 / (1.0 + (-x).exp()),
     }
 }
 
@@ -82,6 +126,12 @@ impl CsrPair {
 pub(crate) enum Op {
     Leaf,
     MatMul(NodeId, NodeId),
+    /// `act(a * b + bias)` as one node: one matmul into the output buffer,
+    /// then bias-add and activation applied in place. Element chains are
+    /// exactly those of the unfused `MatMul → AddRow → activation` sequence,
+    /// so fusion is bitwise invisible; it saves two intermediate buffers and
+    /// two full passes over them per replay.
+    MatMulBiasAct(NodeId, NodeId, NodeId, FusedAct),
     Add(NodeId, NodeId),
     Sub(NodeId, NodeId),
     Mul(NodeId, NodeId),
@@ -126,6 +176,12 @@ pub struct Plan {
     /// a parameter, so computing it is pure waste (e.g. d loss / d x_features
     /// for a constant feature matrix).
     pub(crate) needs_grad: Vec<bool>,
+    /// `const_leaf[i]` is true when node `i` is a leaf whose value can only
+    /// change through an explicit `set_value` (not a parameter refresh).
+    /// Matmul RHS packs of such leaves are packed once and kept for the
+    /// lifetime of the plan; non-constant operands repack once per replay
+    /// epoch.
+    pub(crate) const_leaf: Vec<bool>,
 }
 
 /// Whether an op's output lies on a path from a parameter/variable leaf,
@@ -146,6 +202,7 @@ pub(crate) fn op_needs_grad(op: &Op, needs: &[bool]) -> bool {
         | Op::Conv2d(a, b, _)
         | Op::AddChanBias(a, b, _, _)
         | Op::EdgeAggregate(a, b, _) => needs[a.idx()] || needs[b.idx()],
+        Op::MatMulBiasAct(a, b, bias, _) => needs[a.idx()] || needs[b.idx()] || needs[bias.idx()],
         Op::GatedMatMul(x, w, f) => needs[x.idx()] || needs[w.idx()] || needs[f.idx()],
         Op::Scale(a, _)
         | Op::AddScalar(a, _)
@@ -175,6 +232,17 @@ pub struct Workspace {
     pub(crate) grads: Vec<Matrix>,
     pub(crate) seen: Vec<bool>,
     pub(crate) scratch: Vec<f32>,
+    /// One RHS panel-pack slot per node, keyed by the node id of a matmul's
+    /// RHS operand (so several matmuls sharing one weight share one pack).
+    /// Stamps encode validity: constant leaves keep their pack for the
+    /// plan's lifetime, anything else repacks once per replay epoch.
+    pub(crate) packs: Vec<PackedB>,
+    /// Replay counter backing the pack stamps; bumped at each replay start.
+    pub(crate) epoch: u64,
+    /// Scratch for the fused-op backward's `dz = dy ⊙ act'(y)` product.
+    /// Distinct from `scratch`, which [`contribute`] zeroes for second
+    /// contributions while `dz` must stay live across all three of them.
+    pub(crate) fused_scratch: Vec<f32>,
 }
 
 impl Workspace {
@@ -196,11 +264,19 @@ impl Workspace {
         }
     }
 
-    /// Total bytes held in value/gradient/scratch buffers.
+    /// Total bytes held in value/gradient/scratch/pack buffers.
     pub fn bytes(&self) -> usize {
         let vals: usize = self.values.iter().map(|m| m.len() * 4).sum();
         let grads: usize = self.grads.iter().map(|m| m.len() * 4).sum();
-        vals + grads + self.scratch.len() * 4 + self.seen.len()
+        let scratch = (self.scratch.len() + self.fused_scratch.len()) * 4;
+        vals + grads + scratch + self.pack_bytes() + self.seen.len()
+    }
+
+    /// Bytes held by the cached matmul RHS panel packs (part of
+    /// [`Workspace::bytes`], broken out so tests can account for the value
+    /// arena and the pack cache separately).
+    pub fn pack_bytes(&self) -> usize {
+        self.packs.iter().map(|p| p.buf.len() * 4).sum()
     }
 
     /// True when the value buffer of `id` holds only finite elements.
@@ -217,7 +293,7 @@ impl Workspace {
     /// can reach: full-size for nodes on a parameter path (plus the root,
     /// which holds the seed), zero-size for pruned nodes. No-op when already
     /// sized — the steady-state path.
-    fn ensure_grads(&mut self, needs: &[bool], root: usize) {
+    fn ensure_grads(&mut self, needs: &[bool], root: usize, has_fused: bool) {
         let want = |i: usize, v: &Matrix| -> (usize, usize) {
             if needs[i] || i == root {
                 v.shape()
@@ -225,7 +301,10 @@ impl Workspace {
                 (0, 0)
             }
         };
+        let max_len = self.values.iter().map(|v| v.len()).max().unwrap_or(0);
+        let fused_len = if has_fused { max_len } else { 0 };
         let fits = self.grads.len() == self.values.len()
+            && self.fused_scratch.len() == fused_len
             && self
                 .grads
                 .iter()
@@ -242,8 +321,8 @@ impl Workspace {
                     Matrix::zeros(r, c)
                 })
                 .collect();
-            let max_len = self.values.iter().map(|v| v.len()).max().unwrap_or(0);
             self.scratch = vec![0.0; max_len];
+            self.fused_scratch = vec![0.0; fused_len];
         }
         if self.seen.len() != self.values.len() {
             self.seen = vec![false; self.values.len()];
@@ -266,6 +345,14 @@ impl Plan {
     /// preallocated buffer. Constant leaves keep their recorded values.
     pub fn replay(&self, ws: &mut Workspace) {
         assert_eq!(ws.values.len(), self.ops.len(), "workspace/plan mismatch");
+        if ws.packs.len() != ws.values.len() {
+            // Externally assembled workspaces may lack pack slots; recording
+            // through `Graph` pushes them alongside each value.
+            ws.packs.resize_with(ws.values.len(), PackedB::default);
+        }
+        // Entering a new epoch invalidates every per-epoch pack stamp, so
+        // refreshed parameters are repacked exactly once below.
+        ws.epoch += 1;
         for (id, p) in &self.param_links {
             let pv = p.value();
             let dst = &mut ws.values[id.idx()];
@@ -273,7 +360,7 @@ impl Plan {
             dst.as_mut_slice().copy_from_slice(pv.as_slice());
         }
         for i in 0..self.ops.len() {
-            exec_forward(&self.ops, &mut ws.values, i);
+            exec_forward(self, ws, i);
         }
         // Non-finite values are NOT asserted away here: a diverging model
         // must surface as a typed, recoverable error at the loss (see
@@ -306,12 +393,18 @@ impl Plan {
             seed.shape(),
             "seed shape mismatch"
         );
-        ws.ensure_grads(&self.needs_grad, root.idx());
+        let has_fused = self
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::MatMulBiasAct(..)));
+        ws.ensure_grads(&self.needs_grad, root.idx(), has_fused);
         let Workspace {
             values,
             grads,
             seen,
             scratch,
+            fused_scratch,
+            ..
         } = ws;
         seen.fill(false);
         grads[root.idx()]
@@ -332,6 +425,7 @@ impl Plan {
                 dy,
                 seen,
                 scratch,
+                fused_scratch,
                 &self.needs_grad,
             );
         }
@@ -368,18 +462,56 @@ fn zip_to(a: &Matrix, b: &Matrix, out: &mut Matrix, f: impl Fn(f32, f32) -> f32)
     }
 }
 
+/// Validate (or rebuild) the cached RHS pack for node `b`'s value. Constant
+/// leaves get a persistent stamp; everything else stamps with the current
+/// epoch so the next replay repacks exactly once, however many matmuls share
+/// the operand. `Graph::set_value` resets the stamp to force a repack.
+fn ensure_pack<'p>(slot: &'p mut PackedB, b: &Matrix, constant: bool, epoch: u64) -> &'p [f32] {
+    let want = if constant {
+        gemm::PERSISTENT
+    } else {
+        epoch + 1
+    };
+    if slot.stamp != want {
+        gemm::pack_b_into(b.as_slice(), b.rows(), b.cols(), false, &mut slot.buf);
+        slot.stamp = want;
+    }
+    &slot.buf
+}
+
 /// Execute op `i` into its preallocated output buffer. Shared by recording
 /// (which runs it immediately after pushing the op) and replay, so the two
 /// paths are bit-identical by construction.
-pub(crate) fn exec_forward(ops: &[Op], values: &mut [Matrix], i: usize) {
+pub(crate) fn exec_forward(plan: &Plan, ws: &mut Workspace, i: usize) {
+    let epoch = ws.epoch;
+    let Workspace { values, packs, .. } = ws;
+    let is_const = |id: NodeId| plan.const_leaf.get(id.idx()).copied().unwrap_or(false);
     // Tape invariant: all inputs of op `i` have node id < `i`.
     let (head, tail) = values.split_at_mut(i);
     let out = &mut tail[0];
-    match &ops[i] {
+    match &plan.ops[i] {
         Op::Leaf => {}
         Op::MatMul(a, b) => {
             out.as_mut_slice().fill(0.0);
-            head[a.idx()].matmul_acc(&head[b.idx()], out.as_mut_slice());
+            let bv = &head[b.idx()];
+            let pack = ensure_pack(&mut packs[b.idx()], bv, is_const(*b), epoch);
+            head[a.idx()].matmul_acc_cached(bv, pack, out.as_mut_slice());
+        }
+        Op::MatMulBiasAct(a, b, bias, act) => {
+            out.as_mut_slice().fill(0.0);
+            let bv = &head[b.idx()];
+            let pack = ensure_pack(&mut packs[b.idx()], bv, is_const(*b), epoch);
+            head[a.idx()].matmul_acc_cached(bv, pack, out.as_mut_slice());
+            // In-place bias + activation: `act(x + bias)` element for
+            // element, exactly the unfused AddRow → activation chain.
+            let (act, biasv) = (*act, &head[bias.idx()]);
+            let m = out.rows();
+            for r in 0..m {
+                let bias_row = biasv.row(0);
+                for (o, &bx) in out.row_mut(r).iter_mut().zip(bias_row.iter()) {
+                    *o = fused_act_apply(act, *o + bx);
+                }
+            }
         }
         Op::Add(a, b) => zip_to(&head[a.idx()], &head[b.idx()], out, |x, y| x + y),
         Op::Sub(a, b) => zip_to(&head[a.idx()], &head[b.idx()], out, |x, y| x - y),
@@ -596,7 +728,8 @@ fn edge_aggregate_forward(a: &Matrix, hm: &Matrix, edges: &EdgeIndex, out: &mut 
 
 /// MS-Gate gated linear map into a pre-zeroed buffer. Sample rows are
 /// independent; the zero-skip stays because gated inputs are often sparse
-/// activations, unlike the dense matmuls.
+/// activations, unlike the dense matmuls — removing it would also change
+/// results whenever a skipped `w`/`f` entry is non-finite.
 fn gated_matmul_forward(xm: &Matrix, wm: &Matrix, fm: &Matrix, out: &mut [f32]) {
     let (n, d) = xm.shape();
     let h = wm.cols();
@@ -605,18 +738,68 @@ fn gated_matmul_forward(xm: &Matrix, wm: &Matrix, fm: &Matrix, out: &mut [f32]) 
             let x_row = xm.row(i);
             let f_row = fm.row(i);
             let out_row = &mut chunk[ri * h..(ri + 1) * h];
-            for (dd, &xv) in x_row.iter().enumerate() {
-                if xv == 0.0 {
-                    continue;
-                }
-                let w_row = wm.row(dd);
-                let f_seg = &f_row[dd * h..(dd + 1) * h];
-                for k in 0..h {
-                    out_row[k] += xv * w_row[k] * f_seg[k];
-                }
-            }
+            gated_row_dispatch(x_row, wm, f_row, out_row, h);
         }
     });
+}
+
+/// Output-lane block width of the gated-matmul row kernel: one stack tile of
+/// accumulators per block keeps the `h`-lane sums in registers across the
+/// whole `d` sweep (CMSF uses `h = 16`, exactly one block).
+const GM_LANES: usize = 16;
+
+#[inline]
+fn gated_row_dispatch(x_row: &[f32], wm: &Matrix, f_row: &[f32], out_row: &mut [f32], h: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if matches!(gemm::isa(), gemm::Isa::Avx2 | gemm::Isa::Avx512) {
+        // SAFETY: tier implies the CPU supports AVX2.
+        unsafe { gated_row_avx2(x_row, wm, f_row, out_row, h) };
+        return;
+    }
+    gated_row(x_row, wm, f_row, out_row, h);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn gated_row_avx2(x_row: &[f32], wm: &Matrix, f_row: &[f32], out_row: &mut [f32], h: usize) {
+    gated_row(x_row, wm, f_row, out_row, h);
+}
+
+/// One sample row of the gated matmul: `out[k] += Σ_d x[d] * w[d][k] *
+/// f[d*h+k]`, ascending `d` per lane with the zero-skip preserved — the
+/// blocked accumulator tile only hoists each lane's chain out of memory, it
+/// never reorders or drops a term.
+#[inline(always)]
+fn gated_row(x_row: &[f32], wm: &Matrix, f_row: &[f32], out_row: &mut [f32], h: usize) {
+    let mut k0 = 0;
+    while k0 + GM_LANES <= h {
+        let mut acc = [0.0f32; GM_LANES];
+        acc.copy_from_slice(&out_row[k0..k0 + GM_LANES]);
+        for (dd, &xv) in x_row.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let w_seg = &wm.row(dd)[k0..k0 + GM_LANES];
+            let f_seg = &f_row[dd * h + k0..dd * h + k0 + GM_LANES];
+            for (a, (&w, &f)) in acc.iter_mut().zip(w_seg.iter().zip(f_seg.iter())) {
+                *a += xv * w * f;
+            }
+        }
+        out_row[k0..k0 + GM_LANES].copy_from_slice(&acc);
+        k0 += GM_LANES;
+    }
+    if k0 < h {
+        for (dd, &xv) in x_row.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let w_row = wm.row(dd);
+            let f_seg = &f_row[dd * h..(dd + 1) * h];
+            for k in k0..h {
+                out_row[k] += xv * w_row[k] * f_seg[k];
+            }
+        }
+    }
 }
 
 // ----- backward execution -------------------------------------------------
@@ -689,6 +872,7 @@ fn apply_backward(
     dy: &Matrix,
     seen: &mut [bool],
     scratch: &mut [f32],
+    fused_scratch: &mut [f32],
     needs: &[bool],
 ) {
     match op {
@@ -700,6 +884,53 @@ fn apply_backward(
             });
             contribute(gh, seen, scratch, needs, b.idx(), |buf| {
                 av.matmul_tn_acc(dy, buf)
+            });
+        }
+        Op::MatMulBiasAct(a, b, bias, act) => {
+            let y = &values[id];
+            let (m, n) = y.shape();
+            let (av, bv) = (&values[a.idx()], &values[b.idx()]);
+            let k = av.cols();
+            // dz = dy ⊙ act'(·) — the gradient at the pre-bias product.
+            // Sigmoid/Tanh derivatives come from the output exactly as the
+            // standalone ops' backward; LeakyRelu re-derives the input-sign
+            // mask from the output, valid because fused slopes are >= 0.
+            let dz = &mut fused_scratch[..m * n];
+            match act {
+                FusedAct::Identity => dz.copy_from_slice(dy.as_slice()),
+                FusedAct::LeakyRelu(slope) => {
+                    for ((o, &yv), &g) in dz.iter_mut().zip(y.as_slice()).zip(dy.as_slice()) {
+                        *o = if yv > 0.0 { g } else { slope * g };
+                    }
+                }
+                FusedAct::Tanh => {
+                    for ((o, &yv), &g) in dz.iter_mut().zip(y.as_slice()).zip(dy.as_slice()) {
+                        *o = g * (1.0 - yv * yv);
+                    }
+                }
+                FusedAct::Sigmoid => {
+                    for ((o, &yv), &g) in dz.iter_mut().zip(y.as_slice()).zip(dy.as_slice()) {
+                        *o = g * yv * (1.0 - yv);
+                    }
+                }
+            }
+            let dz = &*dz;
+            // Contribution order matches the unfused op sequence (the AddRow
+            // arm delivers before the MatMul arm): bias, then a, then b.
+            contribute(gh, seen, scratch, needs, bias.idx(), |buf| {
+                for r in 0..m {
+                    for (o, &g) in buf[..n].iter_mut().zip(dz[r * n..(r + 1) * n].iter()) {
+                        *o += g;
+                    }
+                }
+            });
+            contribute(gh, seen, scratch, needs, a.idx(), |buf| {
+                // da = dz · b^T, overwrite semantics like `matmul_nt_to`.
+                gemm::matmul_into(dz, bv.as_slice(), buf, m, n, k, false, true, false);
+            });
+            contribute(gh, seen, scratch, needs, b.idx(), |buf| {
+                // db = a^T · dz, accumulate-into-zeroed like `matmul_tn_acc`.
+                gemm::matmul_into(av.as_slice(), dz, buf, k, m, n, true, false, true);
             });
         }
         Op::Add(a, b) => {
@@ -927,7 +1158,7 @@ fn apply_backward(
         }
         Op::SpMM(pair, x) => {
             contribute(gh, seen, scratch, needs, x.idx(), |buf| {
-                pair.bwd.spmm_acc(dy, buf)
+                pair.bwd().spmm_acc(dy, buf)
             });
         }
         Op::EdgeSoftmax(scores, edges) => {

@@ -113,15 +113,40 @@ impl Csr {
         });
     }
 
-    /// Transposed copy.
+    /// Transposed copy: direct `O(nnz)` counting-sort construction (count
+    /// entries per column, prefix-sum into the new `indptr`, then scatter).
+    /// CSR rows are already deduplicated and column-sorted, so a stable
+    /// row-order scatter yields sorted output rows — identical to the old
+    /// COO rebuild without its sort.
     pub fn transpose(&self) -> Csr {
-        let mut coo = Vec::with_capacity(self.nnz());
+        let nnz = self.nnz();
+        let mut indptr = vec![0u32; self.cols + 1];
+        for &c in &self.indices {
+            indptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            indptr[i + 1] += indptr[i];
+        }
+        let mut next: Vec<u32> = indptr[..self.cols].to_vec();
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0.0f32; nnz];
         for r in 0..self.rows {
-            for (c, v) in self.row_iter(r) {
-                coo.push((c, r as u32, v));
+            let (lo, hi) = (self.indptr[r] as usize, self.indptr[r + 1] as usize);
+            for k in lo..hi {
+                let c = self.indices[k] as usize;
+                let pos = next[c] as usize;
+                next[c] += 1;
+                indices[pos] = r as u32;
+                values[pos] = self.values[k];
             }
         }
-        Csr::from_coo(self.cols, self.rows, coo)
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Symmetric normalization `D^{-1/2} (A) D^{-1/2}` (GCN, Kipf & Welling).

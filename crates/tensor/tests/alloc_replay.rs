@@ -9,7 +9,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use uvd_tensor::{par, Adam, Graph, ParamRef, ParamSet};
+use uvd_tensor::{par, Adam, FusedAct, Graph, ParamRef, ParamSet};
 
 struct CountingAlloc;
 
@@ -50,12 +50,17 @@ fn replayed_epoch_performs_zero_heap_allocations() {
             "w1",
             uvd_tensor::init::normal_matrix(d, h, 0.0, 0.3, &mut rng),
         );
+        let b1 = ParamRef::new(
+            "b1",
+            uvd_tensor::init::normal_matrix(1, h, 0.0, 0.3, &mut rng),
+        );
         let w2 = ParamRef::new(
             "w2",
             uvd_tensor::init::normal_matrix(h, 1, 0.0, 0.3, &mut rng),
         );
         let mut set = ParamSet::new();
         set.track(w1.clone());
+        set.track(b1.clone());
         set.track(w2.clone());
         let targets: Arc<Vec<f32>> = Arc::new((0..n).map(|i| (i % 2) as f32).collect());
         let weights = Arc::new(vec![1.0f32; n]);
@@ -65,8 +70,10 @@ fn replayed_epoch_performs_zero_heap_allocations() {
         let mut g = Graph::new();
         let xc = g.constant(x);
         let w1n = g.param(&w1);
-        let h1 = g.matmul(xc, w1n);
-        let h1 = g.tanh(h1);
+        let b1n = g.param(&b1);
+        // Fused node: exercises per-epoch repacking of a parameter RHS and
+        // the fused dz scratch inside the zero-allocation guarantee.
+        let h1 = g.matmul_bias_act(xc, w1n, b1n, FusedAct::Tanh);
         let w2n = g.param(&w2);
         let z = g.matmul(h1, w2n);
         let zl = g.gather_rows(z, rows);
@@ -119,11 +126,12 @@ fn no_grad_inference_never_allocates_gradient_buffers() {
         let p = g.sigmoid(z);
         assert_eq!(g.value(p).rows(), 16);
         // The value arena holds 4 node buffers; no gradient arena exists, so
-        // the workspace charge is exactly the forward values.
+        // the workspace charge is exactly the forward values plus the cached
+        // RHS panel pack of the matmul weight.
         let value_bytes: usize = [16 * 6, 6, 16, 16]
             .iter()
             .map(|len| len * std::mem::size_of::<f32>())
             .sum();
-        assert_eq!(g.workspace_bytes(), value_bytes);
+        assert_eq!(g.workspace_bytes() - g.pack_bytes(), value_bytes);
     });
 }

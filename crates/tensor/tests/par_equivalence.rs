@@ -19,8 +19,8 @@ use proptest::prelude::*;
 use rand::RngCore;
 use std::sync::Arc;
 use uvd_tensor::init::{normal_matrix, seeded_rng};
-use uvd_tensor::par;
-use uvd_tensor::{Csr, EdgeIndex, Graph, Matrix};
+use uvd_tensor::{legacy, par};
+use uvd_tensor::{Csr, EdgeIndex, FusedAct, Graph, Matrix};
 
 /// 48×48×48 matmul: 110_592 estimated ops, above `MIN_PAR_WORK` (65_536).
 const N: usize = 48;
@@ -76,6 +76,37 @@ proptest! {
         assert_close(&serial.0, &par4.0, "matmul");
         assert_close(&serial.1, &par4.1, "matmul_tn");
         assert_close(&serial.2, &par4.2, "matmul_nt");
+    }
+
+    /// Packed register-tiled kernels are **bit-identical** to the frozen
+    /// naive reference kernels, across shapes that are not multiples of the
+    /// microkernel tiles and reductions crossing both the naive `K_TILE`
+    /// (64) and the packed `KC` (256) blocking — serial and multi-threaded.
+    #[test]
+    fn packed_matmul_family_bitwise_matches_naive(
+        m in 1usize..40,
+        k in 1usize..300,
+        n in 1usize..40,
+        seed in 0u64..1024,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let a = normal_matrix(m, k, 0.0, 1.0, &mut rng);
+        let b = normal_matrix(k, n, 0.0, 1.0, &mut rng);
+        let at = normal_matrix(k, m, 0.0, 1.0, &mut rng);
+        let bt = normal_matrix(n, k, 0.0, 1.0, &mut rng);
+        let naive = (
+            legacy::naive_matmul(&a, &b),
+            legacy::naive_matmul_tn(&at, &b),
+            legacy::naive_matmul_nt(&a, &bt),
+        );
+        let serial = par::serial_scope(|| (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt)));
+        let par3 = par::with_threads(3, || (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt)));
+        prop_assert_eq!(naive.0.as_slice(), serial.0.as_slice(), "matmul serial");
+        prop_assert_eq!(naive.1.as_slice(), serial.1.as_slice(), "matmul_tn serial");
+        prop_assert_eq!(naive.2.as_slice(), serial.2.as_slice(), "matmul_nt serial");
+        prop_assert_eq!(naive.0.as_slice(), par3.0.as_slice(), "matmul 3-thread");
+        prop_assert_eq!(naive.1.as_slice(), par3.1.as_slice(), "matmul_tn 3-thread");
+        prop_assert_eq!(naive.2.as_slice(), par3.2.as_slice(), "matmul_nt 3-thread");
     }
 
     /// Parallel spmm and sym_normalized match serial within 1e-5.
@@ -153,6 +184,56 @@ fn edge_softmax_parallel_is_bit_deterministic() {
     let run2 = par::with_threads(4, run);
     assert_eq!(run1.as_slice(), run2.as_slice(), "two parallel runs differ");
     assert_eq!(serial.as_slice(), run1.as_slice(), "serial vs parallel");
+}
+
+#[test]
+fn fused_matmul_bias_act_bitwise_matches_unfused() {
+    use uvd_tensor::ParamRef;
+    let cases = [
+        FusedAct::Identity,
+        FusedAct::LeakyRelu(0.0),
+        FusedAct::LeakyRelu(0.2),
+        FusedAct::Tanh,
+        FusedAct::Sigmoid,
+    ];
+    let mut rng = seeded_rng(29);
+    let x = normal_matrix(17, 9, 0.0, 1.0, &mut rng);
+    let wv = normal_matrix(9, 5, 0.0, 0.5, &mut rng);
+    let bv = normal_matrix(1, 5, 0.0, 0.5, &mut rng);
+    for act in cases {
+        let run = |fused: bool| {
+            let w = ParamRef::new("w", wv.clone());
+            let b = ParamRef::new("b", bv.clone());
+            let mut g = Graph::new();
+            let xn = g.constant(x.clone());
+            let wn = g.param(&w);
+            let bn = g.param(&b);
+            let y = if fused {
+                g.matmul_bias_act(xn, wn, bn, act)
+            } else {
+                let z = g.matmul(xn, wn);
+                let z = g.add_row(z, bn);
+                match act {
+                    FusedAct::Identity => z,
+                    FusedAct::LeakyRelu(s) => g.leaky_relu(z, s),
+                    FusedAct::Tanh => g.tanh(z),
+                    FusedAct::Sigmoid => g.sigmoid(z),
+                }
+            };
+            let loss = g.mean_all(y);
+            g.backward(loss);
+            (
+                g.value(y).clone(),
+                g.grad(wn).unwrap().clone(),
+                g.grad(bn).unwrap().clone(),
+            )
+        };
+        let (yf, dwf, dbf) = run(true);
+        let (yu, dwu, dbu) = run(false);
+        assert_eq!(yf.as_slice(), yu.as_slice(), "{act:?}: forward");
+        assert_eq!(dwf.as_slice(), dwu.as_slice(), "{act:?}: dW");
+        assert_eq!(dbf.as_slice(), dbu.as_slice(), "{act:?}: db");
+    }
 }
 
 #[test]

@@ -14,3 +14,9 @@ cargo test -p uvd-tensor --release --test alloc_replay -q
 # Graceful-degradation gate in release mode: debug_assert-free builds must
 # also record faulted (seed, fold) units instead of panicking.
 cargo test -p uvd-eval --release --test fault_injection -q
+# Bench harness must keep compiling even when nobody runs it.
+cargo bench --workspace --no-run -q
+# Release perfsnap smoke pass: exercises the packed GEMM tiers, the fused
+# replay path, and the e2e fold end to end without rewriting the committed
+# BENCH_tensor.json numbers.
+cargo run --release -p uvd-bench --bin perfsnap -q -- --smoke
