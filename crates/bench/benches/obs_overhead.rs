@@ -1,0 +1,47 @@
+//! Overhead of the telemetry layer itself: the disabled path must stay at
+//! "one relaxed atomic load" cost, and the enabled in-memory path must stay
+//! cheap enough for stage-level (not per-op) instrumentation.
+//!
+//! The `disabled_*` benches run with the recorder off (the default — the
+//! bench harness never sets `UVD_TRACE`); the `memory_*` pair flips it on
+//! around the measurement. Pairs to compare:
+//!
+//! * `span_disabled`  vs `span_memory`  — RAII guard create + drop
+//! * `counter_disabled` vs `counter_memory` — one `Counter::add(1)`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+static BENCH_COUNTER: uvd_obs::Counter = uvd_obs::Counter::new("bench.obs_overhead");
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    uvd_obs::disable();
+    c.bench_function("span_disabled", |bch| {
+        bch.iter(|| {
+            let s = uvd_obs::span("bench.span").field("k", 1.0);
+            black_box(&s);
+        });
+    });
+    c.bench_function("counter_disabled", |bch| {
+        bch.iter(|| BENCH_COUNTER.add(black_box(1)));
+    });
+
+    uvd_obs::set_memory();
+    c.bench_function("span_memory", |bch| {
+        bch.iter(|| {
+            let s = uvd_obs::span("bench.span").field("k", 1.0);
+            black_box(&s);
+        });
+    });
+    c.bench_function("counter_memory", |bch| {
+        bch.iter(|| BENCH_COUNTER.add(black_box(1)));
+    });
+    uvd_obs::disable();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

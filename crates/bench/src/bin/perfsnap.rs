@@ -1,10 +1,16 @@
 //! Performance snapshot of the parallel tensor runtime.
 //!
 //! Times each rayon-backed kernel serially (one thread) and in parallel
-//! (`UVD_THREADS` or the machine's core count, floored at 4 so the snapshot
-//! is comparable across hosts, then clamped to the workers the host can
-//! actually run concurrently), then writes the serial/parallel pairs and
-//! speedups to `BENCH_tensor.json` at the repository root.
+//! (`UVD_THREADS` or the machine's core count, clamped to the workers the
+//! host can actually run concurrently — oversubscribing a smaller host only
+//! distorts the speedup columns), then writes the serial/parallel pairs and
+//! speedups to `BENCH_tensor.json` at the repository root. Both the
+//! requested and the effective worker counts are recorded in the snapshot.
+//!
+//! After the timed sections, one *untimed* pass re-runs a short CMSF fold
+//! with the `uvd_obs` recorder on and prints the per-stage span breakdown
+//! and counters next to the GFLOP/s columns (tracing stays off during every
+//! timed section so it cannot perturb the committed numbers).
 //!
 //! The committed snapshot is a reference point for regressions, not a
 //! promise: speedups depend on the host's physical core count, and on a
@@ -158,14 +164,66 @@ fn e2e_cmsf(threads: usize, smoke: bool) -> serde_json::Value {
     })
 }
 
+/// Untimed traced pass: re-run a short CMSF fold with the in-memory recorder
+/// on and report where the wall time went, stage by stage. Runs strictly
+/// after every timed section, so tracing cannot perturb the committed
+/// numbers; the recorder is switched back off before returning.
+fn span_breakdown() -> serde_json::Value {
+    uvd_obs::set_memory();
+    let city = City::from_config(CityPreset::FuzhouLike.config(), 5);
+    let urg = Urg::build(&city, UrgOptions::default());
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut cfg = CmsfConfig::fast_test();
+    cfg.master_epochs = 6;
+    cfg.slave_epochs = 3;
+    let mut model = Cmsf::new(&urg, cfg);
+    model.train_master(&urg, &train).expect("master trains");
+    model.train_slave(&urg, &train).expect("slave trains");
+    std::hint::black_box(model.predict_proba(&urg));
+
+    let spans = uvd_obs::span_summary();
+    let counters = uvd_obs::counter_summary();
+    println!("\nspan breakdown (untimed traced fold):");
+    for s in &spans {
+        println!(
+            "{:32} x{:<5}  {:9.3} ms",
+            s.name,
+            s.count,
+            s.total_ns as f64 / 1e6
+        );
+    }
+    println!("counters:");
+    for c in &counters {
+        println!("{:32} {}", c.name, c.value);
+    }
+    uvd_obs::disable();
+
+    let span_rows: Vec<serde_json::Value> = spans
+        .iter()
+        .map(|s| {
+            serde_json::json!({
+                "name": s.name,
+                "count": s.count,
+                "total_ms": s.total_ns as f64 / 1e6,
+            })
+        })
+        .collect();
+    let counter_rows: Vec<serde_json::Value> = counters
+        .iter()
+        .map(|c| serde_json::json!({ "name": c.name, "value": c.value }))
+        .collect();
+    serde_json::json!({ "spans": span_rows, "counters": counter_rows })
+}
+
 fn main() {
     // `--smoke`: a fast sanity pass for CI — few reps, short e2e schedule,
     // and no snapshot rewrite (the committed numbers stay authoritative).
     let smoke = std::env::args().any(|arg| arg == "--smoke");
-    // Record the *effective* worker count: on a single-core host a 4-thread
-    // pool still runs one worker at a time, and the snapshot should say so
-    // instead of claiming parallelism the host cannot deliver.
-    let requested = par::effective_threads().max(4);
+    // Time with the *effective* worker count: a request above the host's
+    // available parallelism (e.g. the old floor of 4) only oversubscribes
+    // the pool, and the snapshot should report the workers that actually
+    // ran, not the ones requested.
+    let requested = par::effective_threads();
     let threads = par::effective_workers(requested);
     if threads != requested {
         println!("perfsnap: requested {requested} threads, host supports {threads}");
@@ -292,15 +350,18 @@ fn main() {
         })
         .collect();
     let e2e = e2e_cmsf(threads, smoke);
+    let trace = span_breakdown();
     if smoke {
         println!("\nsmoke run: leaving BENCH_tensor.json untouched");
         return;
     }
     let doc = serde_json::json!({
+        "requested_threads": requested,
         "threads": threads,
         "host_cores": std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
         "kernels": kernels,
         "e2e": e2e,
+        "trace": trace,
     });
     let path = repo_root_path("BENCH_tensor.json");
     std::fs::write(

@@ -120,6 +120,14 @@ pub fn format_row(s: &MethodSummary) -> String {
             s.runs + s.failed
         ));
     }
+    // Stage timings from the instrumented runner (absent — all zero — when
+    // re-rendering records written before the telemetry fields existed).
+    if s.fit_secs > 0.0 {
+        row.push_str(&format!(
+            "  [fit {:.2}s | infer {:.3}s | eval {:.3}s]",
+            s.fit_secs, s.inference_secs, s.evaluate_secs
+        ));
+    }
     row
 }
 
@@ -173,7 +181,9 @@ mod tests {
             auc: ms,
             at_p: vec![p(3), p(5)],
             train_secs_per_epoch: 0.0,
+            fit_secs: 0.0,
             inference_secs: 0.0,
+            evaluate_secs: 0.0,
             model_mbytes: 0.0,
             runs: 1,
             failed: 0,
@@ -182,5 +192,18 @@ mod tests {
         let row = format_row(&s);
         assert!(row.contains("0.500"));
         assert_eq!(row.matches("0.500").count(), 7);
+        assert!(
+            !row.contains("[fit"),
+            "timings hidden when the record has none"
+        );
+
+        let timed = MethodSummary {
+            fit_secs: 0.25,
+            inference_secs: 0.011,
+            evaluate_secs: 0.002,
+            ..s
+        };
+        let row = format_row(&timed);
+        assert!(row.contains("[fit 0.25s | infer 0.011s | eval 0.002s]"));
     }
 }

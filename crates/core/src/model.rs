@@ -198,6 +198,7 @@ impl Cmsf {
     /// final epoch, or [`FitError::NonFiniteLoss`] at the first epoch whose
     /// loss diverges (no point polishing garbage parameters).
     pub fn train_master(&mut self, urg: &Urg, train_idx: &[usize]) -> Result<f32, FitError> {
+        let _stage = uvd_obs::span("cmsf.master").field("epochs", self.cfg.master_epochs as f64);
         let (rows, targets, weights) = self.bce_vectors(urg, train_idx);
         let mut opt = Adam::new(self.cfg.lr);
         let mut last = 0.0;
@@ -206,10 +207,12 @@ impl Cmsf {
         let mut g = Graph::new();
         let loss = self.record_master_tape(&mut g, urg, &rows, &targets, &weights);
         for epoch in 0..self.cfg.master_epochs {
+            let mut ep = uvd_obs::span("cmsf.master.epoch").field("epoch", epoch as f64);
             if epoch > 0 {
                 g.replay();
             }
             last = self.train_step(&mut g, loss, &mut opt);
+            ep.add_field("loss", f64::from(last));
             if !last.is_finite() {
                 self.peak_ws_bytes = self.peak_ws_bytes.max(g.workspace_bytes());
                 return Err(FitError::NonFiniteLoss);
@@ -225,6 +228,7 @@ impl Cmsf {
     /// derive pseudo labels (Algorithm 1 line 11). No-op without hierarchy.
     /// Runs as a no-grad inference pass.
     pub fn freeze_assignment(&mut self, urg: &Urg, train_idx: &[usize]) {
+        let _s = uvd_obs::span("cmsf.freeze");
         if let Some(gscm) = &self.gscm {
             let mut g = Graph::inference();
             let x_tilde = self.maga_forward(&mut g, urg);
@@ -310,6 +314,7 @@ impl Cmsf {
                 attempted: "train_slave",
             });
         };
+        let _stage = uvd_obs::span("cmsf.slave").field("epochs", self.cfg.slave_epochs as f64);
         let (rows, targets, weights) = self.bce_vectors(urg, train_idx);
         let (c1, c0) = fixed.partition();
         // The slave stage refines an already-trained master; a smaller step
@@ -322,10 +327,12 @@ impl Cmsf {
         let loss =
             self.record_slave_tape(&mut g, urg, &fixed, &c1, &c0, &rows, &targets, &weights)?;
         for epoch in 0..self.cfg.slave_epochs {
+            let mut ep = uvd_obs::span("cmsf.slave.epoch").field("epoch", epoch as f64);
             if epoch > 0 {
                 g.replay();
             }
             last = self.train_step(&mut g, loss, &mut opt);
+            ep.add_field("loss", f64::from(last));
             if !last.is_finite() {
                 self.peak_ws_bytes = self.peak_ws_bytes.max(g.workspace_bytes());
                 return Err(FitError::NonFiniteLoss);
@@ -405,6 +412,7 @@ impl Cmsf {
     /// Detection (Section V-C): probability of being an urban village for
     /// every region.
     pub fn predict_proba(&self, urg: &Urg) -> Vec<f32> {
+        let _s = uvd_obs::span("cmsf.predict");
         let mut g = Graph::inference();
         let logits = match (&self.gate, &self.fixed, self.trained_slave) {
             (Some(gate), Some(fixed), true) => {
@@ -412,6 +420,7 @@ impl Cmsf {
                 match repr.h_prime {
                     // Gated detection path (the trained configuration).
                     Some(h_prime) => {
+                        let _gs = uvd_obs::span("cmsf.gate");
                         let probs = gate.inclusion_probs(&mut g, h_prime);
                         let q = gate.context(&mut g, fixed, probs);
                         let f = gate.filter(&mut g, q);

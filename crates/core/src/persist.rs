@@ -41,40 +41,68 @@ impl Cmsf {
     /// Restore trained state from a [`MatrixStore`] captured by
     /// [`Cmsf::to_store`]. The receiver must have been constructed with the
     /// same configuration (parameter names/shapes must match).
+    ///
+    /// The restore is transactional: every required key is validated (names,
+    /// shapes, and the internal consistency of the fixed-assignment block)
+    /// *before* any model state is touched, so a failed restore leaves the
+    /// receiver exactly as it was.
     pub fn restore_from_store(&mut self, store: &MatrixStore) -> io::Result<()> {
-        store.restore_params(self.param_set())?;
+        let bad = |msg: String| -> io::Error { io::Error::new(io::ErrorKind::InvalidData, msg) };
+        // Phase 1: validate everything without mutating.
+        store.validate_params(self.param_set())?;
         let flags = store
             .get(KEY_FLAGS)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "missing cmsf.flags"))?;
+        if flags.shape() != (1, 2) {
+            return Err(bad(format!(
+                "cmsf.flags must be 1x2, got {:?}",
+                flags.shape()
+            )));
+        }
         let slave_trained = flags.get(0, 0) > 0.5;
         let has_fixed = flags.get(0, 1) > 0.5;
-        if has_fixed {
+        let fixed = if has_fixed {
             let get = |k: &str| {
                 store
                     .get(k)
-                    .cloned()
                     .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("missing {k}")))
             };
             let b_soft = get(KEY_B_SOFT)?;
             let b_hard_t = get(KEY_B_HARD_T)?;
-            let pseudo = get(KEY_PSEUDO)?.as_slice().to_vec();
-            let cluster_of: Vec<u32> = get(KEY_CLUSTER_OF)?
-                .as_slice()
-                .iter()
-                .map(|&v| v as u32)
-                .collect();
-            self.set_trained_state(
-                Some(FixedAssignment {
-                    b_soft,
-                    b_hard_t,
-                    pseudo,
-                    cluster_of,
-                }),
-                slave_trained,
-            );
+            let pseudo = get(KEY_PSEUDO)?;
+            let cluster_of = get(KEY_CLUSTER_OF)?;
+            // b_soft is regions × clusters; the rest must agree with it.
+            let (n, k) = b_soft.shape();
+            if b_hard_t.shape() != (k, n) {
+                return Err(bad(format!(
+                    "{KEY_B_HARD_T} must be {k}x{n} (transpose of {KEY_B_SOFT}), got {:?}",
+                    b_hard_t.shape()
+                )));
+            }
+            if pseudo.as_slice().len() != k {
+                return Err(bad(format!(
+                    "{KEY_PSEUDO} must hold {k} cluster labels, got {}",
+                    pseudo.as_slice().len()
+                )));
+            }
+            if cluster_of.as_slice().len() != n {
+                return Err(bad(format!(
+                    "{KEY_CLUSTER_OF} must hold {n} region assignments, got {}",
+                    cluster_of.as_slice().len()
+                )));
+            }
+            Some(FixedAssignment {
+                b_soft: b_soft.clone(),
+                b_hard_t: b_hard_t.clone(),
+                pseudo: pseudo.as_slice().to_vec(),
+                cluster_of: cluster_of.as_slice().iter().map(|&v| v as u32).collect(),
+            })
         } else {
-            self.set_trained_state(None, slave_trained);
-        }
+            None
+        };
+        // Phase 2: everything checked out — mutate.
+        store.restore_params(self.param_set())?;
+        self.set_trained_state(fixed, slave_trained);
         Ok(())
     }
 
@@ -159,6 +187,58 @@ mod tests {
         other_cfg.hidden = cfg.hidden * 2;
         let mut wrong = Cmsf::new(&urg, other_cfg);
         assert!(wrong.restore_from_store(&store).is_err());
+    }
+
+    #[test]
+    fn failed_restore_is_a_no_op() {
+        // Regression: restore used to copy all parameters *before* checking
+        // the fixed-assignment keys, so a checkpoint missing `cmsf.fixed.*`
+        // left the model half-restored (trained weights, no clustering).
+        let (urg, train) = setup();
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.master_epochs = 10;
+        cfg.slave_epochs = 3;
+        let mut trained = Cmsf::new(&urg, cfg);
+        trained.fit(&urg, &train);
+        let mut store = trained.to_store();
+        assert!(
+            store.remove("cmsf.fixed.pseudo").is_some(),
+            "trained checkpoint carries the fixed-assignment block"
+        );
+
+        let mut fresh = Cmsf::new(&urg, cfg);
+        let before = fresh.predict(&urg);
+        assert!(
+            fresh.restore_from_store(&store).is_err(),
+            "truncated checkpoint must be rejected"
+        );
+        assert_eq!(
+            fresh.predict(&urg),
+            before,
+            "failed restore must leave the model untouched"
+        );
+        assert!(
+            fresh.fixed_assignment().is_none(),
+            "failed restore must not install clustering state"
+        );
+        assert!(!fresh.slave_trained());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_fixed_shapes() {
+        let (urg, train) = setup();
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.master_epochs = 5;
+        cfg.slave_epochs = 2;
+        let mut trained = Cmsf::new(&urg, cfg);
+        trained.fit(&urg, &train);
+        let mut store = trained.to_store();
+        // Truncate the pseudo-label row so it disagrees with b_soft's k.
+        store.insert("cmsf.fixed.pseudo", uvd_tensor::Matrix::row_vec(&[0.5]));
+        let mut fresh = Cmsf::new(&urg, cfg);
+        let before = fresh.predict(&urg);
+        assert!(fresh.restore_from_store(&store).is_err());
+        assert_eq!(fresh.predict(&urg), before);
     }
 
     #[test]

@@ -156,7 +156,11 @@ pub struct MethodSummary {
     pub at_p: Vec<PSummary>,
     /// Table III columns.
     pub train_secs_per_epoch: f64,
+    /// Mean wall seconds of the whole fit stage per (seed, fold) unit.
+    pub fit_secs: f64,
     pub inference_secs: f64,
+    /// Mean wall seconds of the metric-evaluation stage per unit.
+    pub evaluate_secs: f64,
     pub model_mbytes: f64,
     /// Number of (seed × fold) runs that completed and were aggregated.
     pub runs: usize,
@@ -166,14 +170,21 @@ pub struct MethodSummary {
     pub fold_outcomes: Vec<FoldOutcome>,
 }
 
-// Manual impl so records written before the degradation fields existed
-// (no `failed` / `fold_outcomes` keys) still deserialize, defaulting to a
-// clean run. The vendored serde_derive has no `#[serde(default)]`.
+// Manual impl so records written before the degradation fields (`failed` /
+// `fold_outcomes`) or the stage-timing fields (`fit_secs` / `evaluate_secs`)
+// existed still deserialize, defaulting to a clean run with unknown (zero)
+// stage timings. The vendored serde_derive has no `#[serde(default)]`.
 impl Deserialize for MethodSummary {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let get = |k: &str| {
             v.get(k)
                 .ok_or_else(|| serde::Error(format!("missing field `{k}` in MethodSummary")))
+        };
+        let opt_f64 = |k: &str| -> Result<f64, serde::Error> {
+            match v.get(k) {
+                Some(x) => f64::from_value(x),
+                None => Ok(0.0),
+            }
         };
         Ok(MethodSummary {
             method: String::from_value(get("method")?)?,
@@ -181,7 +192,9 @@ impl Deserialize for MethodSummary {
             auc: MeanStd::from_value(get("auc")?)?,
             at_p: Vec::from_value(get("at_p")?)?,
             train_secs_per_epoch: f64::from_value(get("train_secs_per_epoch")?)?,
+            fit_secs: opt_f64("fit_secs")?,
             inference_secs: f64::from_value(get("inference_secs")?)?,
+            evaluate_secs: opt_f64("evaluate_secs")?,
             model_mbytes: f64::from_value(get("model_mbytes")?)?,
             runs: usize::from_value(get("runs")?)?,
             failed: match v.get("failed") {
@@ -271,7 +284,9 @@ mod tests {
                 f1: MeanStd::default(),
             }],
             train_secs_per_epoch: 0.0,
+            fit_secs: 0.0,
             inference_secs: 0.0,
+            evaluate_secs: 0.0,
             model_mbytes: 0.0,
             runs: 1,
             failed: 0,
@@ -306,6 +321,9 @@ mod tests {
         let row: MethodSummary = serde_json::from_str(s).expect("deserialize");
         assert_eq!(row.failed, 0);
         assert!(row.fold_outcomes.is_empty());
+        // Stage-timing fields introduced later default to zero likewise.
+        assert!(row.fit_secs.abs() < f64::EPSILON);
+        assert!(row.evaluate_secs.abs() < f64::EPSILON);
     }
 
     #[test]

@@ -164,7 +164,9 @@ struct FoldMeasure {
     auc: f64,
     prfs: Vec<(usize, Prf)>,
     epoch_sec: f64,
+    fit_sec: f64,
     infer_sec: f64,
+    eval_sec: f64,
     model_mb: f64,
 }
 
@@ -210,14 +212,32 @@ pub fn run_custom(
 
     let results = par::run_tasks(tasks.len(), |t| {
         let task = &tasks[t];
+        let seed_f = task.si as f64;
+        let fold_f = task.fi as f64;
         let mut det = builder(task.model_seed, urg);
-        let report = det.fit(urg, &task.train);
+        let tf = Instant::now();
+        let report = {
+            let _s = uvd_obs::span("eval.fit")
+                .field("seed", seed_f)
+                .field("fold", fold_f);
+            det.fit(urg, &task.train)
+        };
+        let fit_sec = tf.elapsed().as_secs_f64();
         if let Some(err) = report.error {
             return Err(UnitError::Fit(err));
         }
         let t0 = Instant::now();
-        let scores = det.predict(urg);
+        let scores = {
+            let _s = uvd_obs::span("eval.predict")
+                .field("seed", seed_f)
+                .field("fold", fold_f);
+            det.predict(urg)
+        };
         let infer_sec = t0.elapsed().as_secs_f64();
+        let te = Instant::now();
+        let _es = uvd_obs::span("eval.evaluate")
+            .field("seed", seed_f)
+            .field("fold", fold_f);
         // Predict-stage gate: non-finite scores on the rows we are about to
         // rank are attributed to the detector, not to the metric.
         let test_scores: Vec<f32> = task
@@ -237,7 +257,9 @@ pub fn run_custom(
             auc: a,
             prfs,
             epoch_sec: report.secs_per_epoch(),
+            fit_sec,
             infer_sec,
+            eval_sec: te.elapsed().as_secs_f64(),
             model_mb: det.num_params() as f64 * 4.0 / 1.0e6,
         })
     });
@@ -286,7 +308,9 @@ pub fn run_custom(
     let mut auc_runs = Vec::new();
     let mut prf_runs: Vec<Vec<(usize, Prf)>> = Vec::new();
     let mut epoch_secs = Vec::new();
+    let mut fit_secs = Vec::new();
     let mut infer_secs = Vec::new();
+    let mut eval_secs = Vec::new();
     let mut model_mb = 0.0f64;
     let runs = measures.len();
 
@@ -297,7 +321,9 @@ pub fn run_custom(
         }
         for o in &fold_outs {
             epoch_secs.push(o.epoch_sec);
+            fit_secs.push(o.fit_sec);
             infer_secs.push(o.infer_sec);
+            eval_secs.push(o.eval_sec);
             model_mb = o.model_mb;
         }
         // Average surviving folds into one run value.
@@ -338,18 +364,25 @@ pub fn run_custom(
         })
         .collect();
 
-    Ok(MethodSummary {
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let summary = MethodSummary {
         method: label.to_string(),
         city: urg.name.clone(),
         auc: MeanStd::from_samples(&auc_runs),
         at_p,
-        train_secs_per_epoch: epoch_secs.iter().sum::<f64>() / epoch_secs.len().max(1) as f64,
-        inference_secs: infer_secs.iter().sum::<f64>() / infer_secs.len().max(1) as f64,
+        train_secs_per_epoch: mean(&epoch_secs),
+        fit_secs: mean(&fit_secs),
+        inference_secs: mean(&infer_secs),
+        evaluate_secs: mean(&eval_secs),
         model_mbytes: model_mb,
         runs,
         failed,
         fold_outcomes,
-    })
+    };
+    // Push buffered trace output (span records land as they close; counter
+    // snapshots only at flush). No-op when tracing is off.
+    uvd_obs::flush();
+    Ok(summary)
 }
 
 #[cfg(test)]

@@ -1,0 +1,44 @@
+//! Reusable counting allocator for zero-allocation regression gates.
+//!
+//! A binary opts in by installing it as its global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: uvd_obs::alloc::CountingAlloc = uvd_obs::alloc::CountingAlloc;
+//! ```
+//!
+//! [`allocations`] then reports the number of `alloc`/`realloc` calls made by
+//! the whole process so far; gates diff it around a steady-state section and
+//! assert the delta is zero. `dealloc` is deliberately not counted — freeing
+//! warm-up buffers during a measured section is harmless.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pass-through wrapper over the system allocator that counts allocation
+/// events (`alloc` and `realloc`) in a relaxed atomic.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocation events since process start (0 unless [`CountingAlloc`]
+/// is installed as the global allocator).
+pub fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

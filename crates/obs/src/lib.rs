@@ -1,0 +1,602 @@
+//! Lightweight observability layer for the UVD stack: RAII span timers and
+//! monotonic counters behind a single global recorder.
+//!
+//! ## Gating
+//!
+//! The recorder is off by default and is switched on either by the
+//! `UVD_TRACE` environment variable (read lazily, once) or programmatically:
+//!
+//! | `UVD_TRACE`    | effect                                               |
+//! |----------------|------------------------------------------------------|
+//! | unset / `0`    | disabled                                             |
+//! | `1`            | in-memory aggregation (query via [`span_summary`])   |
+//! | `jsonl:<path>` | aggregation **plus** one JSON record per span/counter |
+//! | anything else  | disabled, with a one-shot warning on stderr          |
+//!
+//! The hot path is built so that instrumenting a kernel costs a single
+//! relaxed atomic load when tracing is disabled: [`span`] returns a guard
+//! whose timestamp is `None` and whose `Drop` is a branch on that `None`;
+//! [`Counter::add`] early-returns before touching its cell. Neither path
+//! allocates, so instrumented code keeps the steady-state zero-allocation
+//! replay guarantee (gated by `crates/tensor/tests/alloc_replay.rs`).
+//!
+//! ## JSONL schema
+//!
+//! One object per line. Spans:
+//! `{"type":"span","name":..,"start_us":..,"dur_us":..,"thread":..,"fields":{..}}`
+//! — `start_us` is microseconds since the recorder was enabled. Span records
+//! are flushed to the file as they are written, so a traced process that
+//! exits (or dies) without calling [`flush`] still leaves a complete span
+//! trail. Counters are emitted as a snapshot on [`flush`] / [`disable`]:
+//! `{"type":"counter","name":..,"value":..}`.
+//!
+//! Tests and tools that need tracing regardless of the environment call
+//! [`set_memory`] / [`set_jsonl`] and [`disable`] directly; those override
+//! whatever `UVD_TRACE` said (last call wins, process-wide).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+pub mod alloc;
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// Tri-state recorder flag: 0 = not yet initialised from the environment,
+/// 1 = off, 2 = on. Everything hot loads this once with relaxed ordering.
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Is the recorder currently on? One relaxed load in the steady state; the
+/// first call per process may parse `UVD_TRACE`.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_UNINIT => init_from_env() == STATE_ON,
+        s => s == STATE_ON,
+    }
+}
+
+#[cold]
+fn init_from_env() -> u8 {
+    let mut rec = recorder().lock().expect("obs recorder poisoned");
+    // Another thread may have initialised while we waited on the lock.
+    let cur = STATE.load(Ordering::Relaxed);
+    if cur != STATE_UNINIT {
+        return cur;
+    }
+    let state = match std::env::var("UVD_TRACE") {
+        Err(_) => STATE_OFF,
+        Ok(v) => match v.trim() {
+            "" | "0" => STATE_OFF,
+            "1" => {
+                *rec = Some(Recorder::new(None));
+                STATE_ON
+            }
+            s => {
+                if let Some(path) = s.strip_prefix("jsonl:") {
+                    match File::create(path) {
+                        Ok(f) => {
+                            *rec = Some(Recorder::new(Some(BufWriter::new(f))));
+                            STATE_ON
+                        }
+                        Err(e) => {
+                            warn_once(
+                                "UVD_TRACE",
+                                &format!("UVD_TRACE: cannot create '{path}': {e}; tracing off"),
+                            );
+                            STATE_OFF
+                        }
+                    }
+                } else {
+                    warn_once(
+                        "UVD_TRACE",
+                        &format!(
+                            "UVD_TRACE: unrecognized value '{s}' \
+                             (accepted: 0, 1, jsonl:<path>); tracing off"
+                        ),
+                    );
+                    STATE_OFF
+                }
+            }
+        },
+    };
+    STATE.store(state, Ordering::Relaxed);
+    state
+}
+
+struct Recorder {
+    /// Zero point for `start_us` timestamps.
+    epoch: Instant,
+    sink: Option<BufWriter<File>>,
+    /// Per-name aggregation: (name, count, total duration ns). Span names are
+    /// a small static taxonomy, so linear search beats a hash map here.
+    spans: Vec<(&'static str, u64, u64)>,
+}
+
+impl Recorder {
+    fn new(sink: Option<BufWriter<File>>) -> Self {
+        Recorder {
+            epoch: Instant::now(),
+            sink,
+            spans: Vec::new(),
+        }
+    }
+}
+
+fn recorder() -> &'static Mutex<Option<Recorder>> {
+    static REC: OnceLock<Mutex<Option<Recorder>>> = OnceLock::new();
+    REC.get_or_init(|| Mutex::new(None))
+}
+
+/// Enable tracing with in-memory aggregation only (no file output),
+/// overriding `UVD_TRACE`. Resets previously aggregated spans.
+pub fn set_memory() {
+    let mut rec = recorder().lock().expect("obs recorder poisoned");
+    *rec = Some(Recorder::new(None));
+    STATE.store(STATE_ON, Ordering::Relaxed);
+}
+
+/// Enable tracing with a JSONL sink at `path` (truncates an existing file),
+/// overriding `UVD_TRACE`. Resets previously aggregated spans.
+pub fn set_jsonl(path: impl AsRef<Path>) -> io::Result<()> {
+    let f = File::create(path)?;
+    let mut rec = recorder().lock().expect("obs recorder poisoned");
+    *rec = Some(Recorder::new(Some(BufWriter::new(f))));
+    STATE.store(STATE_ON, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Turn the recorder off (flushing a JSONL sink first), overriding
+/// `UVD_TRACE`. Subsequent spans/counter bumps cost one relaxed load.
+pub fn disable() {
+    flush();
+    let mut rec = recorder().lock().expect("obs recorder poisoned");
+    *rec = None;
+    STATE.store(STATE_OFF, Ordering::Relaxed);
+}
+
+/// Write counter snapshot records and flush the JSONL sink, if any. No-op
+/// when the recorder is off.
+pub fn flush() {
+    if !enabled() {
+        return;
+    }
+    let mut rec = recorder().lock().expect("obs recorder poisoned");
+    let Some(r) = rec.as_mut() else { return };
+    if let Some(sink) = r.sink.as_mut() {
+        for c in counter_registry().lock().expect("counter registry").iter() {
+            let _ = writeln!(
+                sink,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+                escape(c.name),
+                c.get()
+            );
+        }
+        let _ = sink.flush();
+    }
+}
+
+/// Clear aggregated span statistics and zero every registered counter. The
+/// recorder mode (off / memory / jsonl) is left as-is.
+pub fn reset() {
+    let mut rec = recorder().lock().expect("obs recorder poisoned");
+    if let Some(r) = rec.as_mut() {
+        r.spans.clear();
+        r.epoch = Instant::now();
+    }
+    for c in counter_registry().lock().expect("counter registry").iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// Maximum number of key/value fields a span can carry; extra fields are
+/// dropped. Fields live inline in the guard so attaching them never allocates.
+pub const MAX_FIELDS: usize = 6;
+
+/// RAII span timer: created by [`span`], records its duration on drop. When
+/// the recorder is off the guard holds no timestamp and its drop is a branch
+/// on `None` — no clock read, no lock, no allocation.
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: [(&'static str, f64); MAX_FIELDS],
+    n_fields: u8,
+}
+
+/// Start a span named `name`. Names form a small static taxonomy
+/// (`"cmsf.master"`, `"eval.fit"`, …) documented in DESIGN.md §10.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+        fields: [("", 0.0); MAX_FIELDS],
+        n_fields: 0,
+    }
+}
+
+impl Span {
+    /// Attach a key/value field (builder form). Silently dropped beyond
+    /// [`MAX_FIELDS`] or when the recorder is off.
+    #[inline]
+    pub fn field(mut self, key: &'static str, value: f64) -> Self {
+        self.add_field(key, value);
+        self
+    }
+
+    /// Attach a key/value field in place.
+    #[inline]
+    pub fn add_field(&mut self, key: &'static str, value: f64) {
+        if self.start.is_none() {
+            return;
+        }
+        let i = self.n_fields as usize;
+        if i < MAX_FIELDS {
+            self.fields[i] = (key, value);
+            self.n_fields += 1;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur = start.elapsed();
+        let mut rec = recorder().lock().expect("obs recorder poisoned");
+        let Some(r) = rec.as_mut() else { return };
+        let dur_ns = dur.as_nanos() as u64;
+        match r.spans.iter_mut().find(|(n, _, _)| *n == self.name) {
+            Some(slot) => {
+                slot.1 += 1;
+                slot.2 += dur_ns;
+            }
+            None => r.spans.push((self.name, 1, dur_ns)),
+        }
+        if let Some(sink) = r.sink.as_mut() {
+            let start_us = start.duration_since(r.epoch).as_micros() as u64;
+            let mut line = format!(
+                "{{\"type\":\"span\",\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"thread\":{}",
+                escape(self.name),
+                start_us,
+                dur_ns / 1_000,
+                thread_ord(),
+            );
+            line.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields[..self.n_fields as usize].iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push('"');
+                line.push_str(&escape(k));
+                line.push_str("\":");
+                push_json_number(&mut line, *v);
+            }
+            line.push_str("}}");
+            let _ = writeln!(sink, "{line}");
+            // One write syscall per record: span records must survive a
+            // process that exits without calling `flush()` (an example or a
+            // panicking run). Tracing-on is never the timed path, and the
+            // record was already assembled into a single buffer above.
+            let _ = sink.flush();
+        }
+    }
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Clone, Debug)]
+pub struct SpanStat {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+/// Snapshot of per-name span aggregates, in first-seen order. Empty when the
+/// recorder is off.
+pub fn span_summary() -> Vec<SpanStat> {
+    let rec = recorder().lock().expect("obs recorder poisoned");
+    rec.as_ref()
+        .map(|r| {
+            r.spans
+                .iter()
+                .map(|&(name, count, total_ns)| SpanStat {
+                    name,
+                    count,
+                    total_ns,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// A named monotonic counter, meant to live in a `static`:
+///
+/// ```
+/// static PACK_HIT: uvd_obs::Counter = uvd_obs::Counter::new("gemm.pack_hit");
+/// PACK_HIT.add(1);
+/// ```
+///
+/// `add` is a no-op (one relaxed load) while the recorder is off; the first
+/// enabled bump registers the counter in the global registry so it shows up
+/// in [`counter_summary`] and flush snapshots.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicU8,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicU8::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current value (live even when the recorder is off, though bumps only
+    /// accumulate while it is on).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        if self.registered.swap(1, Ordering::Relaxed) == 0 {
+            counter_registry()
+                .lock()
+                .expect("counter registry")
+                .push(self);
+        }
+    }
+}
+
+fn counter_registry() -> &'static Mutex<Vec<&'static Counter>> {
+    static REG: OnceLock<Mutex<Vec<&'static Counter>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Snapshot of one counter.
+#[derive(Clone, Debug)]
+pub struct CounterStat {
+    pub name: &'static str,
+    pub value: u64,
+}
+
+/// Values of every counter that has ever been bumped while the recorder was
+/// on, in registration order.
+pub fn counter_summary() -> Vec<CounterStat> {
+    counter_registry()
+        .lock()
+        .expect("counter registry")
+        .iter()
+        .map(|c| CounterStat {
+            name: c.name,
+            value: c.get(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// One-shot warnings
+// ---------------------------------------------------------------------------
+
+/// Print `msg` to stderr at most once per `key` for the process lifetime.
+/// Active regardless of the trace mode — this is how misconfigured `UVD_*`
+/// environment variables surface instead of being silently ignored.
+pub fn warn_once(key: &'static str, msg: &str) {
+    static WARNED: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let reg = WARNED.get_or_init(|| Mutex::new(Vec::new()));
+    let mut w = reg.lock().expect("warn registry");
+    if w.contains(&key) {
+        return;
+    }
+    w.push(key);
+    eprintln!("uvd: warning: {msg}");
+    WARNED_KEYS_LEN.store(w.len(), Ordering::Relaxed);
+}
+
+static WARNED_KEYS_LEN: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of distinct warning keys emitted so far (test hook).
+pub fn warnings_emitted() -> usize {
+    WARNED_KEYS_LEN.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Small dense process-local thread ordinal (std's `ThreadId` has no stable
+/// numeric accessor).
+fn thread_ord() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORD: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORD.with(|o| *o)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON has no NaN/Infinity literals; map non-finite field values to null.
+fn push_json_number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Integers (epoch numbers, counts) print without a fraction; that is
+        // still a valid JSON number.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; tests that flip its mode serialize on
+    // this lock so `cargo test`'s threaded runner cannot interleave them.
+    fn mode_lock() -> std::sync::MutexGuard<'static, ()> {
+        static L: OnceLock<Mutex<()>> = OnceLock::new();
+        match L.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn memory_mode_aggregates_spans() {
+        let _g = mode_lock();
+        set_memory();
+        {
+            let _s = span("test.outer").field("k", 2.0);
+            let _inner = span("test.inner");
+        }
+        {
+            let _s = span("test.outer");
+        }
+        let summary = span_summary();
+        let outer = summary
+            .iter()
+            .find(|s| s.name == "test.outer")
+            .expect("outer aggregated");
+        assert_eq!(outer.count, 2);
+        assert!(summary.iter().any(|s| s.name == "test.inner"));
+        disable();
+    }
+
+    #[test]
+    fn disabled_spans_and_counters_record_nothing() {
+        let _g = mode_lock();
+        set_memory();
+        reset();
+        disable();
+        static C: Counter = Counter::new("test.disabled_counter");
+        C.add(5);
+        {
+            let _s = span("test.disabled_span").field("x", 1.0);
+        }
+        assert_eq!(C.get(), 0);
+        assert!(span_summary().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_when_enabled() {
+        let _g = mode_lock();
+        set_memory();
+        static C: Counter = Counter::new("test.enabled_counter");
+        let before = C.get();
+        C.add(3);
+        C.add(4);
+        assert_eq!(C.get(), before + 7);
+        assert!(counter_summary()
+            .iter()
+            .any(|c| c.name == "test.enabled_counter"));
+        disable();
+    }
+
+    #[test]
+    fn jsonl_sink_writes_span_and_counter_records() {
+        let _g = mode_lock();
+        let dir = std::env::temp_dir().join("uvd_obs_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("trace.jsonl");
+        set_jsonl(&path).expect("sink");
+        {
+            let _s = span("test.jsonl").field("epoch", 3.0).field("loss", 0.5);
+        }
+        static C: Counter = Counter::new("test.jsonl_counter");
+        C.add(9);
+        disable(); // flushes
+        let text = std::fs::read_to_string(&path).expect("trace file");
+        assert!(text
+            .lines()
+            .any(|l| l.contains("\"type\":\"span\"") && l.contains("\"name\":\"test.jsonl\"")));
+        assert!(text.lines().any(|l| l.contains("\"epoch\":3")));
+        assert!(text
+            .lines()
+            .any(|l| l.contains("\"type\":\"counter\"")
+                && l.contains("\"name\":\"test.jsonl_counter\"")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn field_capacity_is_bounded() {
+        let _g = mode_lock();
+        set_memory();
+        let mut s = span("test.capacity");
+        for i in 0..(MAX_FIELDS + 3) {
+            s.add_field("k", i as f64);
+        }
+        assert_eq!(s.n_fields as usize, MAX_FIELDS);
+        drop(s);
+        disable();
+    }
+
+    #[test]
+    fn warn_once_dedups_by_key() {
+        let before = warnings_emitted();
+        warn_once("test.warn_key", "first");
+        warn_once("test.warn_key", "second");
+        assert_eq!(warnings_emitted(), before + 1);
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_fields_serialize_as_null() {
+        let mut s = String::new();
+        push_json_number(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        let mut s = String::new();
+        push_json_number(&mut s, 2.5);
+        assert_eq!(s, "2.5");
+    }
+}

@@ -1,0 +1,50 @@
+//! Disabled-path allocation gate: with the recorder off, span guards and
+//! counter bumps must never touch the heap. This is the contract that lets
+//! the instrumentation live inside hot kernels (`Plan::replay`, GEMM packing)
+//! without a feature flag.
+//!
+//! The test installs [`uvd_obs::alloc::CountingAlloc`] as the process global
+//! allocator and diffs the allocation count around a burst of span/counter
+//! activity. It is the only test in this binary, so no concurrent test can
+//! allocate inside the measured window.
+
+use uvd_obs::alloc::allocations;
+
+#[global_allocator]
+static GLOBAL: uvd_obs::alloc::CountingAlloc = uvd_obs::alloc::CountingAlloc;
+
+static HITS: uvd_obs::Counter = uvd_obs::Counter::new("test.alloc_disabled.hits");
+
+#[test]
+fn disabled_recorder_spans_and_counters_never_allocate() {
+    // Programmatic off: deterministic regardless of the ambient UVD_TRACE.
+    uvd_obs::disable();
+    assert!(!uvd_obs::enabled());
+
+    // Warm-up round so any lazy one-time setup outside the measured
+    // contract (e.g. lock init) happens before the window.
+    {
+        let mut s = uvd_obs::span("warmup").field("k", 1.0);
+        s.add_field("k2", 2.0);
+        HITS.add(1);
+    }
+
+    let before = allocations();
+    for i in 0..1000u64 {
+        let mut s = uvd_obs::span("hot.section").field("i", i as f64);
+        s.add_field("extra", 0.5);
+        HITS.add(1);
+        drop(s);
+        let _plain = uvd_obs::span("hot.unfielded");
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-path span/counter activity allocated {} times",
+        after - before
+    );
+    // Bumps must not have accumulated either — the counter was off.
+    assert_eq!(HITS.get(), 0, "disabled counter must stay at zero");
+}

@@ -62,21 +62,57 @@ pub(crate) enum Isa {
     Avx512,
 }
 
+/// A tier request parsed from `UVD_GEMM_ISA`, before capability clamping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum IsaReq {
+    Scalar,
+    Avx2,
+    Avx512,
+}
+
+/// Parse a `UVD_GEMM_ISA` value. Accepted: `scalar`, `avx2`, `avx512`
+/// (lowercase, surrounding whitespace ignored). Anything else is rejected.
+pub(crate) fn parse_isa(s: &str) -> Option<IsaReq> {
+    match s.trim() {
+        "scalar" => Some(IsaReq::Scalar),
+        "avx2" => Some(IsaReq::Avx2),
+        "avx512" => Some(IsaReq::Avx512),
+        _ => None,
+    }
+}
+
 pub(crate) fn isa() -> Isa {
     static ISA: OnceLock<Isa> = OnceLock::new();
     *ISA.get_or_init(|| {
         // Diagnostic override (`UVD_GEMM_ISA=scalar|avx2|avx512`): lets tests
         // and benches pin a tier below the detected one. Requests the CPU
-        // cannot honor fall through to detection.
-        let forced = std::env::var("UVD_GEMM_ISA").ok();
+        // cannot honor fall through to detection; unrecognized values warn
+        // once and fall back to detection instead of being silently ignored.
+        let forced = match std::env::var("UVD_GEMM_ISA") {
+            Err(_) => None,
+            Ok(v) => {
+                let req = parse_isa(&v);
+                if req.is_none() {
+                    uvd_obs::warn_once(
+                        "UVD_GEMM_ISA",
+                        &format!(
+                            "UVD_GEMM_ISA: unrecognized value '{}' (accepted: \
+                             scalar, avx2, avx512); using detected ISA",
+                            v.trim()
+                        ),
+                    );
+                }
+                req
+            }
+        };
         #[cfg(target_arch = "x86_64")]
         {
-            if forced.as_deref() == Some("scalar") {
+            if forced == Some(IsaReq::Scalar) {
                 return Isa::Scalar;
             }
             let avx512 = std::arch::is_x86_feature_detected!("avx512f");
             let avx2 = std::arch::is_x86_feature_detected!("avx2");
-            if avx512 && forced.as_deref() != Some("avx2") {
+            if avx512 && forced != Some(IsaReq::Avx2) {
                 return Isa::Avx512;
             }
             if avx2 {
@@ -490,6 +526,17 @@ mod tests {
         let mut out = vec![7.0f32; m * n];
         matmul_into(&[], &[], &mut out, m, 0, n, false, false, true);
         assert!(out.iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn isa_env_parser_accepts_known_tiers_only() {
+        assert_eq!(parse_isa("scalar"), Some(IsaReq::Scalar));
+        assert_eq!(parse_isa("avx2"), Some(IsaReq::Avx2));
+        assert_eq!(parse_isa(" avx512 "), Some(IsaReq::Avx512));
+        assert_eq!(parse_isa("AVX2"), None, "values are lowercase");
+        assert_eq!(parse_isa("sse2"), None);
+        assert_eq!(parse_isa("avx-512"), None);
+        assert_eq!(parse_isa(""), None);
     }
 
     #[test]

@@ -29,6 +29,10 @@ use std::sync::Arc;
 
 pub use crate::plan::{CsrPair, NodeId};
 
+/// Tape-growth telemetry: nodes pushed during recording (uvd_obs counter;
+/// a single relaxed load when tracing is off).
+static RECORD_NODES: uvd_obs::Counter = uvd_obs::Counter::new("tensor.plan.record_nodes");
+
 /// Define-by-run autodiff tape (recording facade over [`Plan`]).
 #[derive(Default)]
 pub struct Graph {
@@ -99,6 +103,7 @@ impl Graph {
     }
 
     fn push_value(&mut self, op: Op, value: Matrix) -> NodeId {
+        RECORD_NODES.add(1);
         let id = NodeId::from_index(self.plan.len());
         let needs = crate::plan::op_needs_grad(&op, &self.plan.needs_grad);
         // Leaves start as pack-cacheable constants; `param` (refreshed every

@@ -48,14 +48,28 @@ use std::sync::OnceLock;
 /// Below this, pool dispatch overhead (~µs) rivals the compute itself.
 pub const MIN_PAR_WORK: usize = 1 << 16;
 
+/// Parse a `UVD_THREADS` value. Accepted: a positive integer thread count.
+/// Anything else (zero, negatives, non-numeric, empty) is rejected.
+fn parse_threads(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
 fn env_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
-    *N.get_or_init(|| {
-        std::env::var("UVD_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(rayon::current_num_threads)
+    *N.get_or_init(|| match std::env::var("UVD_THREADS") {
+        Err(_) => rayon::current_num_threads(),
+        Ok(v) => parse_threads(&v).unwrap_or_else(|| {
+            let fallback = rayon::current_num_threads();
+            uvd_obs::warn_once(
+                "UVD_THREADS",
+                &format!(
+                    "UVD_THREADS: unrecognized value '{}' (accepted: a \
+                     positive integer); using {fallback} threads",
+                    v.trim()
+                ),
+            );
+            fallback
+        }),
     })
 }
 
@@ -96,18 +110,19 @@ pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
 }
 
 /// Worker threads a parallel region configured for `requested` threads
-/// actually runs on. On a host with a single hardware thread the chunked
+/// actually runs on: `requested` clamped to the machine's available
+/// parallelism. On a host with a single hardware thread the chunked
 /// primitives keep the requested chunk decomposition but execute every chunk
 /// inline on the calling thread, so the effective worker count is 1 no
-/// matter how large the pool is. Benchmarks should report this number, not
-/// the requested one, so speedup rows aren't attributed to parallelism that
-/// never dispatched.
+/// matter how large the pool is; on any host, asking for more workers than
+/// cores only time-slices them against each other. Benchmarks should report
+/// this number alongside the requested one, so speedup rows aren't
+/// attributed to parallelism that never dispatched.
 pub fn effective_workers(requested: usize) -> usize {
-    if single_core_host() {
-        1
-    } else {
-        requested.max(1)
-    }
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    requested.clamp(1, cores)
 }
 
 /// True when called from inside a parallel worker closure.
@@ -137,13 +152,26 @@ fn single_core_host() -> bool {
     })
 }
 
+/// Dispatch-decision telemetry: how many kernel invocations went parallel
+/// (multi-chunk) vs. stayed serial. Only accumulates while the `uvd_obs`
+/// recorder is on.
+static DISPATCH_PARALLEL: uvd_obs::Counter = uvd_obs::Counter::new("par.dispatch.parallel");
+static DISPATCH_SERIAL: uvd_obs::Counter = uvd_obs::Counter::new("par.dispatch.serial");
+
 /// Number of chunks a job of `work` estimated scalar ops over `items`
 /// partitionable units should split into (1 = stay serial).
 pub fn planned_chunks(items: usize, work: usize) -> usize {
-    if work < MIN_PAR_WORK {
-        return 1;
+    let chunks = if work < MIN_PAR_WORK {
+        1
+    } else {
+        effective_threads().min(items).max(1)
+    };
+    if chunks > 1 {
+        DISPATCH_PARALLEL.add(1);
+    } else {
+        DISPATCH_SERIAL.add(1);
     }
-    effective_threads().min(items).max(1)
+    chunks
 }
 
 /// Partition `out` into `n_items` logical items whose slice boundaries are
@@ -382,18 +410,33 @@ mod tests {
     }
 
     #[test]
-    fn effective_workers_bounded_and_single_core_collapses() {
+    fn effective_workers_clamps_to_available_parallelism() {
         assert_eq!(effective_workers(0), 1);
-        let w = effective_workers(4);
-        assert!((1..=4).contains(&w));
-        let single = std::thread::available_parallelism()
-            .map(|c| c.get() <= 1)
-            .unwrap_or(true);
-        if single {
-            assert_eq!(w, 1, "inline dispatch must report one worker");
-        } else {
-            assert_eq!(w, 4);
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        assert_eq!(effective_workers(4), 4.min(cores));
+        // Oversubscription requests collapse to the core count rather than
+        // reporting workers that can only time-slice.
+        assert_eq!(effective_workers(cores + 100), cores);
+        if cores <= 1 {
+            assert_eq!(
+                effective_workers(4),
+                1,
+                "inline dispatch must report one worker"
+            );
         }
+    }
+
+    #[test]
+    fn thread_env_parser_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 2 "), Some(2));
+        assert_eq!(parse_threads("0"), None, "zero threads is meaningless");
+        assert_eq!(parse_threads("-1"), None);
+        assert_eq!(parse_threads("four"), None);
+        assert_eq!(parse_threads("2.5"), None);
+        assert_eq!(parse_threads(""), None);
     }
 
     #[test]

@@ -61,9 +61,16 @@ impl MatrixStore {
         }
     }
 
-    /// Restore parameters of a set from the store by name. Every parameter
-    /// must be present with a matching shape.
-    pub fn restore_params(&self, params: &ParamSet) -> io::Result<()> {
+    /// Remove a named matrix, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Matrix> {
+        let i = self.entries.iter().position(|(n, _)| n == name)?;
+        Some(self.entries.remove(i).1)
+    }
+
+    /// Check that every parameter of a set is present in the store with a
+    /// matching shape, without mutating anything. Callers restoring several
+    /// pieces of state run this first so a failed restore is a no-op.
+    pub fn validate_params(&self, params: &ParamSet) -> io::Result<()> {
         for p in params.iter() {
             let name = p.name();
             let m = self.get(&name).ok_or_else(|| {
@@ -82,6 +89,17 @@ impl MatrixStore {
                     ),
                 ));
             }
+        }
+        Ok(())
+    }
+
+    /// Restore parameters of a set from the store by name. Every parameter
+    /// must be present with a matching shape; validation runs up front so a
+    /// failure leaves every parameter untouched.
+    pub fn restore_params(&self, params: &ParamSet) -> io::Result<()> {
+        self.validate_params(params)?;
+        for p in params.iter() {
+            let m = self.get(&p.name()).expect("validated above");
             *p.value_mut() = m.clone();
         }
         Ok(())
@@ -207,6 +225,32 @@ mod tests {
         p1.value_mut().set(0, 0, 99.0);
         store.restore_params(&set).expect("restore");
         assert_ne!(p1.value().get(0, 0), 99.0);
+    }
+
+    #[test]
+    fn failed_restore_mutates_nothing() {
+        // Two params; the store has a valid entry for the first but a bad
+        // shape for the second. The first must stay untouched.
+        let p1 = ParamRef::new("w", Matrix::filled(2, 2, 1.0));
+        let p2 = ParamRef::new("b", Matrix::filled(1, 2, 1.0));
+        let mut set = ParamSet::new();
+        set.track(p1.clone());
+        set.track(p2.clone());
+        let mut store = MatrixStore::new();
+        store.insert("w", Matrix::filled(2, 2, 9.0));
+        store.insert("b", Matrix::filled(3, 3, 9.0)); // wrong shape
+        assert!(store.restore_params(&set).is_err());
+        assert_eq!(p1.value().get(0, 0), 1.0, "failed restore must be a no-op");
+        assert_eq!(p2.value().get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn remove_drops_named_entry() {
+        let mut store = MatrixStore::new();
+        store.insert("x", Matrix::filled(1, 1, 5.0));
+        assert_eq!(store.remove("x").expect("present").get(0, 0), 5.0);
+        assert!(store.remove("x").is_none());
+        assert!(store.is_empty());
     }
 
     #[test]

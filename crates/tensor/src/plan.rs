@@ -344,6 +344,7 @@ impl Plan {
     /// their (possibly updated) `ParamRef`s, then run every op into its
     /// preallocated buffer. Constant leaves keep their recorded values.
     pub fn replay(&self, ws: &mut Workspace) {
+        REPLAY_COUNT.add(1);
         assert_eq!(ws.values.len(), self.ops.len(), "workspace/plan mismatch");
         if ws.packs.len() != ws.values.len() {
             // Externally assembled workspaces may lack pack slots; recording
@@ -462,6 +463,12 @@ fn zip_to(a: &Matrix, b: &Matrix, out: &mut Matrix, f: impl Fn(f32, f32) -> f32)
     }
 }
 
+/// Telemetry for the pack cache and the replay loop (uvd_obs counters; one
+/// relaxed load each when tracing is off).
+static REPLAY_COUNT: uvd_obs::Counter = uvd_obs::Counter::new("tensor.replay.count");
+static PACK_HIT: uvd_obs::Counter = uvd_obs::Counter::new("gemm.pack_hit");
+static PACK_REPACK: uvd_obs::Counter = uvd_obs::Counter::new("gemm.pack_repack");
+
 /// Validate (or rebuild) the cached RHS pack for node `b`'s value. Constant
 /// leaves get a persistent stamp; everything else stamps with the current
 /// epoch so the next replay repacks exactly once, however many matmuls share
@@ -473,8 +480,11 @@ fn ensure_pack<'p>(slot: &'p mut PackedB, b: &Matrix, constant: bool, epoch: u64
         epoch + 1
     };
     if slot.stamp != want {
+        PACK_REPACK.add(1);
         gemm::pack_b_into(b.as_slice(), b.rows(), b.cols(), false, &mut slot.buf);
         slot.stamp = want;
+    } else {
+        PACK_HIT.add(1);
     }
     &slot.buf
 }

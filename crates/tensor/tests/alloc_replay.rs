@@ -2,44 +2,26 @@
 //! recorded and its gradient arena materialized (one warm epoch), replayed
 //! epochs must perform **zero heap allocation** in forward + backward.
 //!
-//! A counting `#[global_allocator]` wraps the system allocator; the test runs
-//! under [`uvd_tensor::par::serial_scope`] so no thread-pool machinery (task
-//! boxing, latches) allocates on the side.
+//! The counting `#[global_allocator]` comes from [`uvd_obs::alloc`]; the test
+//! runs under [`uvd_tensor::par::serial_scope`] so no thread-pool machinery
+//! (task boxing, latches) allocates on the side.
+//!
+//! The replay path is instrumented with `uvd_obs` counters (`tensor.replay.*`,
+//! `gemm.pack_*`), so the steady-state assertion here also pins the disabled
+//! telemetry path to zero heap allocations.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use uvd_obs::alloc::allocations as allocation_count;
 use uvd_tensor::{par, Adam, FusedAct, Graph, ParamRef, ParamSet};
 
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn allocation_count() -> usize {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
+static GLOBAL: uvd_obs::alloc::CountingAlloc = uvd_obs::alloc::CountingAlloc;
 
 #[test]
 fn replayed_epoch_performs_zero_heap_allocations() {
+    // Force the telemetry recorder off regardless of the ambient UVD_TRACE:
+    // the gate pins the *disabled* instrumentation path at zero allocations.
+    uvd_obs::disable();
     par::serial_scope(|| {
         let n = 32;
         let d = 12;

@@ -114,7 +114,9 @@ pub struct Urg {
 impl Urg {
     /// Build the URG from a city with the given options.
     pub fn build(city: &City, opts: UrgOptions) -> Urg {
+        let mut _s = uvd_obs::span("urg.build");
         let n = city.n_regions();
+        _s.add_field("n_regions", n as f64);
 
         let mut lists = Vec::new();
         if opts.spatial {
@@ -135,6 +137,7 @@ impl Urg {
             directed.push((i, i));
         }
         let edges = Arc::new(EdgeIndex::from_pairs(n, directed));
+        _s.add_field("n_edges", edges.n_edges() as f64);
 
         // Normalized adjacency (A + I) for GCN baselines.
         let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(pairs.len() * 2 + n);

@@ -20,3 +20,7 @@ cargo bench --workspace --no-run -q
 # replay path, and the e2e fold end to end without rewriting the committed
 # BENCH_tensor.json numbers.
 cargo run --release -p uvd-bench --bin perfsnap -q -- --smoke
+# Tracing smoke: one eval fold with UVD_TRACE=jsonl:<tmp>, validating the
+# emitted records against the expected span/counter set and reconciling
+# stage durations against wall time (within 10%).
+cargo run --release -p uvd-bench --bin trace_smoke -q
