@@ -7,6 +7,17 @@
 //! speedups to `BENCH_tensor.json` at the repository root. Both the
 //! requested and the effective worker counts are recorded in the snapshot.
 //!
+//! Dense kernels are additionally timed on the fast-math tier
+//! (`UVD_FAST_MATH`, scoped here via `fastmath::with_fast_math` so the
+//! snapshot is self-contained either way): the `fast` column next to each
+//! deterministic serial time shows what the FMA microkernels buy on this
+//! host. The snapshot header records the process's `UVD_FAST_MATH` state so
+//! a committed file says which tier produced its *default* columns.
+//!
+//! `--threads 1,2,4` sweeps the parallel column over the listed worker
+//! counts instead of the single effective count (each entry still clamps to
+//! the host); the speedup column then compares against the largest count.
+//!
 //! After the timed sections, one *untimed* pass re-runs a short CMSF fold
 //! with the `uvd_obs` recorder on and prints the per-stage span breakdown
 //! and counters next to the GFLOP/s columns (tracing stays off during every
@@ -22,7 +33,7 @@ use std::time::Instant;
 use uvd_bench::repo_root_path;
 use uvd_citysim::{City, CityPreset};
 use uvd_tensor::init::{normal_matrix, seeded_rng};
-use uvd_tensor::{legacy, par, Adam, Csr, EdgeIndex, Graph};
+use uvd_tensor::{fastmath, legacy, par, Adam, Csr, EdgeIndex, Graph};
 use uvd_urg::{Urg, UrgOptions};
 
 /// Fastest of `reps` timed runs, in milliseconds. The minimum is the
@@ -43,9 +54,15 @@ fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
 struct Pair {
     name: &'static str,
     serial_ms: f64,
-    parallel_ms: f64,
+    /// Serial time on the fast-math (FMA) tier; `None` for kernels with no
+    /// dense inner product to fuse (their two tiers are the same code).
+    fast_serial_ms: Option<f64>,
+    /// Parallel time at each swept worker count, ascending.
+    sweep: Vec<(usize, f64)>,
     /// Scalar flops of one run, when the kernel has a closed-form count
-    /// (reported as GFLOP/s alongside the wall time).
+    /// (reported as GFLOP/s alongside the wall time). Counts marked
+    /// estimates in the constructor comments stay proportional to the true
+    /// work (e.g. nnz-scaled) without modeling every transcendental.
     flops: Option<f64>,
 }
 
@@ -55,25 +72,51 @@ fn gflops(flops: Option<f64>, ms: f64) -> Option<f64> {
 
 fn pair(
     name: &'static str,
-    threads: usize,
+    sweep_threads: &[usize],
     reps: usize,
     flops: Option<f64>,
+    fast_tier: bool,
     mut f: impl FnMut(),
 ) -> Pair {
     let serial_ms = time_ms(reps, || par::serial_scope(&mut f));
-    let parallel_ms = time_ms(reps, || par::with_threads(threads, &mut f));
+    // The fast-math override is installed on this (calling) thread; every
+    // tier-dispatching kernel resolves it before handing work to the pool,
+    // so scoping the timing closure is enough even for the parallel path.
+    let fast_serial_ms = fast_tier
+        .then(|| fastmath::with_fast_math(true, || time_ms(reps, || par::serial_scope(&mut f))));
+    let sweep: Vec<(usize, f64)> = sweep_threads
+        .iter()
+        .map(|&t| (t, time_ms(reps, || par::with_threads(t, &mut f))))
+        .collect();
+    let parallel_ms = sweep.last().expect("non-empty sweep").1;
     let speedup = serial_ms / parallel_ms.max(1e-9);
-    let rate = match gflops(flops, serial_ms) {
-        Some(g) => format!("   {g:6.1} GF/s"),
-        None => String::new(),
+    let fast_col = match fast_serial_ms {
+        Some(ms) => format!("   fast {ms:8.3} ms"),
+        None => format!("   {:16}", ""),
+    };
+    let rate = match (
+        gflops(flops, serial_ms),
+        fast_serial_ms.and_then(|ms| gflops(flops, ms)),
+    ) {
+        (Some(det), Some(fast)) => format!("   {det:6.1} GF/s det / {fast:.1} fast"),
+        (Some(det), None) => format!("   {det:6.1} GF/s"),
+        _ => String::new(),
     };
     println!(
-        "{name:32} serial {serial_ms:8.3} ms   par {parallel_ms:8.3} ms   x{speedup:.2}{rate}"
+        "{name:32} serial {serial_ms:8.3} ms{fast_col}   par {parallel_ms:8.3} ms   x{speedup:.2}{rate}"
     );
+    if sweep.len() > 1 {
+        let cols: Vec<String> = sweep
+            .iter()
+            .map(|(t, ms)| format!("{t}T {ms:.3} ms"))
+            .collect();
+        println!("{:32}   sweep: {}", "", cols.join("   "));
+    }
     Pair {
         name,
         serial_ms,
-        parallel_ms,
+        fast_serial_ms,
+        sweep,
         flops,
     }
 }
@@ -218,7 +261,8 @@ fn span_breakdown() -> serde_json::Value {
 fn main() {
     // `--smoke`: a fast sanity pass for CI — few reps, short e2e schedule,
     // and no snapshot rewrite (the committed numbers stay authoritative).
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|arg| arg == "--smoke");
     // Time with the *effective* worker count: a request above the host's
     // available parallelism (e.g. the old floor of 4) only oversubscribes
     // the pool, and the snapshot should report the workers that actually
@@ -228,9 +272,37 @@ fn main() {
     if threads != requested {
         println!("perfsnap: requested {requested} threads, host supports {threads}");
     }
+    // `--threads 1,2,4`: sweep the parallel column over these worker counts
+    // (each clamped to the host) instead of the single effective count.
+    let sweep: Vec<usize> = match args.iter().position(|a| a == "--threads") {
+        Some(i) => {
+            let list = args
+                .get(i + 1)
+                .expect("--threads takes a comma-separated list, e.g. --threads 1,2,4");
+            let mut counts: Vec<usize> = list
+                .split(',')
+                .map(|s| {
+                    let t: usize = s
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad --threads entry {s:?}"));
+                    par::effective_workers(t.max(1))
+                })
+                .collect();
+            counts.sort_unstable();
+            counts.dedup();
+            counts
+        }
+        None => vec![threads],
+    };
     let reps = if smoke { 2 } else { 9 };
     println!(
-        "perfsnap: timing kernels with {threads} parallel threads{}\n",
+        "perfsnap: timing kernels with {threads} parallel threads{}{}\n",
+        if sweep.len() > 1 {
+            format!(" (sweep: {sweep:?})")
+        } else {
+            String::new()
+        },
         if smoke { " (smoke run)" } else { "" }
     );
     let mut rng = seeded_rng(42);
@@ -239,10 +311,10 @@ fn main() {
     let a = normal_matrix(256, 256, 0.0, 1.0, &mut rng);
     let b = normal_matrix(256, 256, 0.0, 1.0, &mut rng);
     let mm_flops = Some(2.0 * 256.0 * 256.0 * 256.0);
-    pairs.push(pair("matmul_256", threads, reps, mm_flops, || {
+    pairs.push(pair("matmul_256", &sweep, reps, mm_flops, true, || {
         std::hint::black_box(a.matmul(&b));
     }));
-    pairs.push(pair("matmul_tn_256", threads, reps, mm_flops, || {
+    pairs.push(pair("matmul_tn_256", &sweep, reps, mm_flops, true, || {
         std::hint::black_box(a.matmul_tn(&b));
     }));
 
@@ -259,8 +331,12 @@ fn main() {
     let sp = Csr::from_coo(2000, 2000, coo);
     let xd = normal_matrix(2000, 64, 0.0, 1.0, &mut rng);
     let spmm_flops = Some(2.0 * sp.nnz() as f64 * 64.0);
-    pairs.push(pair("spmm_16k_nnz", threads, reps, spmm_flops, || {
-        std::hint::black_box(sp.spmm(&xd));
+    // Overwrite into a reused buffer — the replay-path shape of the kernel;
+    // timing `spmm()` would charge a 500 KiB allocation per rep to it.
+    let mut spmm_out = vec![0.0f32; 2000 * 64];
+    pairs.push(pair("spmm_16k_nnz", &sweep, reps, spmm_flops, true, || {
+        sp.spmm_to(&xd, &mut spmm_out);
+        std::hint::black_box(&spmm_out);
     }));
 
     let n = 2000usize;
@@ -276,14 +352,28 @@ fn main() {
     let edges = Arc::new(EdgeIndex::from_pairs(n, ep));
     let scores = normal_matrix(edges.n_edges(), 1, 0.0, 1.0, &mut rng);
     let h = normal_matrix(n, 32, 0.0, 1.0, &mut rng);
-    pairs.push(pair("edge_softmax_aggregate", threads, reps, None, || {
-        let mut g = Graph::new();
-        let s = g.constant(scores.clone());
-        let hn = g.constant(h.clone());
-        let alpha = g.edge_softmax(s, edges.clone());
-        let out = g.edge_aggregate(alpha, hn, edges.clone());
-        std::hint::black_box(g.value(out).sum());
-    }));
+    // nnz-proportional estimate: the softmax touches every edge a handful of
+    // times (max-subtract, exp, sum, divide ≈ 4 ops/edge, counting exp as
+    // one) and the aggregate does a multiply-add per edge per feature
+    // (2·d ops/edge). Proportional to edge count, so a denser graph moves
+    // the GF/s denominator with the work; no attempt to cost exp precisely.
+    let agg_d = 32usize;
+    let edge_flops = Some(edges.n_edges() as f64 * (4.0 + 2.0 * agg_d as f64));
+    pairs.push(pair(
+        "edge_softmax_aggregate",
+        &sweep,
+        reps,
+        edge_flops,
+        false,
+        || {
+            let mut g = Graph::new();
+            let s = g.constant(scores.clone());
+            let hn = g.constant(h.clone());
+            let alpha = g.edge_softmax(s, edges.clone());
+            let out = g.edge_aggregate(alpha, hn, edges.clone());
+            std::hint::black_box(g.value(out).sum());
+        },
+    ));
 
     let meta = uvd_tensor::ConvMeta {
         c_in: 2,
@@ -301,9 +391,10 @@ fn main() {
     let conv_flops = Some(16.0 * 2.0 * co as f64 * klen as f64 * hw);
     pairs.push(pair(
         "conv2d_batch16_2x32x32",
-        threads,
+        &sweep,
         reps,
         conv_flops,
+        true,
         || {
             std::hint::black_box(uvd_tensor::conv::conv2d_batch(&xc, &kern, &meta));
         },
@@ -312,39 +403,50 @@ fn main() {
     let xg = normal_matrix(1000, 64, 0.0, 1.0, &mut rng);
     let wg = normal_matrix(64, 16, 0.0, 1.0, &mut rng);
     let fg = normal_matrix(1000, 64 * 16, 0.5, 0.1, &mut rng);
-    // Three scalar ops per (i, k, j) lane: x*w, (x*w)*f, and the add.
+    // Three scalar ops per (i, k, j) lane: x*w, (x*w)*f, and the add. Timed
+    // through the standalone kernel entry like the other kernel rows — the
+    // graph-recording path would charge ~4 MiB of constant clones per rep
+    // to the kernel.
     let gated_flops = Some(3.0 * 1000.0 * 64.0 * 16.0);
+    let mut gated_out = vec![0.0f32; 1000 * 16];
     pairs.push(pair(
         "gated_matmul_1000x64x16",
-        threads,
+        &sweep,
         reps,
         gated_flops,
+        true,
         || {
-            let mut g = Graph::new();
-            let xn = g.constant(xg.clone());
-            let wn = g.constant(wg.clone());
-            let fn_ = g.constant(fg.clone());
-            let z = g.gated_matmul(xn, wn, fn_);
-            std::hint::black_box(g.value(z).sum());
+            uvd_tensor::plan::gated_matmul_into(&xg, &wg, &fg, &mut gated_out);
+            std::hint::black_box(&gated_out);
         },
     ));
 
     let kernels: Vec<serde_json::Value> = pairs
         .iter()
         .map(|p| {
+            let parallel_ms = p.sweep.last().expect("non-empty sweep").1;
             let mut k = serde_json::json!({
                 "name": p.name,
                 "serial_ms": p.serial_ms,
-                "parallel_ms": p.parallel_ms,
-                "speedup": p.serial_ms / p.parallel_ms.max(1e-9),
+                "parallel_ms": parallel_ms,
+                "speedup": p.serial_ms / parallel_ms.max(1e-9),
+                "thread_sweep": p.sweep.iter().map(|&(t, ms)| {
+                    serde_json::json!({ "threads": t, "parallel_ms": ms })
+                }).collect::<Vec<_>>(),
             });
-            if let (Some(gs), Some(gp), serde_json::Value::Object(fields)) = (
-                gflops(p.flops, p.serial_ms),
-                gflops(p.flops, p.parallel_ms),
-                &mut k,
-            ) {
-                fields.push(("serial_gflops".into(), serde::to_value(&gs)));
-                fields.push(("parallel_gflops".into(), serde::to_value(&gp)));
+            if let serde_json::Value::Object(fields) = &mut k {
+                if let Some(fast_ms) = p.fast_serial_ms {
+                    fields.push(("fast_math_serial_ms".into(), serde::to_value(&fast_ms)));
+                    if let Some(g) = gflops(p.flops, fast_ms) {
+                        fields.push(("fast_math_serial_gflops".into(), serde::to_value(&g)));
+                    }
+                }
+                if let (Some(gs), Some(gp)) =
+                    (gflops(p.flops, p.serial_ms), gflops(p.flops, parallel_ms))
+                {
+                    fields.push(("serial_gflops".into(), serde::to_value(&gs)));
+                    fields.push(("parallel_gflops".into(), serde::to_value(&gp)));
+                }
             }
             k
         })
@@ -358,7 +460,13 @@ fn main() {
     let doc = serde_json::json!({
         "requested_threads": requested,
         "threads": threads,
+        "thread_sweep": sweep,
         "host_cores": std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+        // Tier of the *default* columns: false means serial/parallel numbers
+        // are the deterministic (bitwise) tier and only the fast_math_*
+        // fields used the FMA microkernels, via a scoped override.
+        "fast_math": fastmath::enabled(),
+        "fast_math_env": std::env::var("UVD_FAST_MATH").ok(),
         "kernels": kernels,
         "e2e": e2e,
         "trace": trace,

@@ -91,12 +91,25 @@ pub fn im2col(sample: &[f32], m: &ConvMeta) -> Matrix {
     Matrix::from_vec(rows, cols, buf)
 }
 
-/// [`im2col`] into a reusable buffer: cleared and zero-filled to
-/// `(c_in*k*k) * (h_out*w_out)`, so steady-state calls reuse capacity.
+/// [`im2col`] into a reusable buffer sized `(c_in*k*k) * (h_out*w_out)`, so
+/// steady-state calls reuse capacity. Stride-1 convolutions (the CMSF CNN)
+/// take a run-copy fast path: within one unfolded row each output scanline
+/// is a contiguous window of the input scanline, so the body is
+/// `copy_from_slice` plus explicit zero runs for the padded borders instead
+/// of a bounds-checked per-pixel scatter — and the buffer needs no blanket
+/// zero fill because every element is written.
 pub fn im2col_into(sample: &[f32], m: &ConvMeta, buf: &mut Vec<f32>) {
     let (ho, wo) = (m.h_out(), m.w_out());
     let rows = m.c_in * m.k * m.k;
     let cols = ho * wo;
+    if m.stride == 1 {
+        if buf.len() != rows * cols {
+            buf.clear();
+            buf.resize(rows * cols, 0.0);
+        }
+        im2col_stride1(sample, m, ho, wo, cols, buf);
+        return;
+    }
     buf.clear();
     buf.resize(rows * cols, 0.0);
     for c in 0..m.c_in {
@@ -123,14 +136,62 @@ pub fn im2col_into(sample: &[f32], m: &ConvMeta, buf: &mut Vec<f32>) {
     }
 }
 
-/// Fold a column-gradient matrix back into a sample gradient (adds into
-/// `dsample`, inverse scatter of [`im2col`]).
-pub fn col2im_add(dcols: &Matrix, m: &ConvMeta, dsample: &mut [f32]) {
-    let (ho, wo) = (m.h_out(), m.w_out());
+/// Stride-1 unfold body: per `(c, ky, kx)` row the valid `ox` window is the
+/// fixed interval `[max(pad-kx, 0), min(w_in+pad-kx, wo))`, so each output
+/// scanline is zero-run · contiguous-copy · zero-run. Writes every element.
+fn im2col_stride1(
+    sample: &[f32],
+    m: &ConvMeta,
+    ho: usize,
+    wo: usize,
+    cols: usize,
+    buf: &mut [f32],
+) {
+    let pad = m.pad as isize;
     for c in 0..m.c_in {
         for ky in 0..m.k {
             for kx in 0..m.k {
                 let row = (c * m.k + ky) * m.k + kx;
+                let out_row = &mut buf[row * cols..(row + 1) * cols];
+                let ox_lo = (pad - kx as isize).max(0) as usize;
+                let ox_hi = ((m.w_in as isize + pad - kx as isize).min(wo as isize))
+                    .max(ox_lo as isize) as usize;
+                for oy in 0..ho {
+                    let iy = oy as isize + ky as isize - pad;
+                    let dst = &mut out_row[oy * wo..(oy + 1) * wo];
+                    if iy < 0 || iy as usize >= m.h_in {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src_base = (c * m.h_in + iy as usize) * m.w_in;
+                    let ix0 = (ox_lo as isize + kx as isize - pad) as usize;
+                    dst[..ox_lo].fill(0.0);
+                    dst[ox_lo..ox_hi]
+                        .copy_from_slice(&sample[src_base + ix0..src_base + ix0 + (ox_hi - ox_lo)]);
+                    dst[ox_hi..].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Fold a column-gradient matrix back into a sample gradient (adds into
+/// `dsample`, inverse scatter of [`im2col`]).
+pub fn col2im_add(dcols: &Matrix, m: &ConvMeta, dsample: &mut [f32]) {
+    col2im_add_cols(dcols.as_slice(), m, dsample);
+}
+
+/// [`col2im_add`] from a raw column-gradient slice (`(c_in*k*k) ×
+/// (h_out*w_out)` row-major): the backward path folds straight out of its
+/// reusable GEMM scratch without wrapping a `Matrix`.
+pub fn col2im_add_cols(dcols: &[f32], m: &ConvMeta, dsample: &mut [f32]) {
+    let (ho, wo) = (m.h_out(), m.w_out());
+    let cols = ho * wo;
+    for c in 0..m.c_in {
+        for ky in 0..m.k {
+            for kx in 0..m.k {
+                let row = (c * m.k + ky) * m.k + kx;
+                let drow = &dcols[row * cols..(row + 1) * cols];
                 for oy in 0..ho {
                     let iy = (oy * m.stride + ky) as isize - m.pad as isize;
                     if iy < 0 || iy as usize >= m.h_in {
@@ -142,7 +203,7 @@ pub fn col2im_add(dcols: &Matrix, m: &ConvMeta, dsample: &mut [f32]) {
                             continue;
                         }
                         dsample[(c * m.h_in + iy as usize) * m.w_in + ix as usize] +=
-                            dcols.get(row, oy * wo + ox);
+                            drow[oy * wo + ox];
                     }
                 }
             }
@@ -199,83 +260,157 @@ pub fn conv2d_batch(x: &Matrix, kernel: &Matrix, m: &ConvMeta) -> Matrix {
 }
 
 /// Batched conv forward into a caller-owned buffer (fully overwritten).
-/// Per-sample im2col/matmul scratch still allocates internally — conv layers
-/// are outside the zero-allocation replay guarantee (see DESIGN.md §7).
+/// Packs the kernel into microkernel panels once for the batch (thread-local
+/// scratch); the plan replay path caches that pack in the `Workspace`
+/// instead and calls [`conv2d_batch_prepacked_to`] directly.
 pub fn conv2d_batch_to(x: &Matrix, kernel: &Matrix, m: &ConvMeta, out: &mut [f32]) {
+    let (co, klen) = m.kernel_shape();
+    assert_eq!(kernel.shape(), (co, klen), "conv2d kernel shape");
+    KERNEL_PACK.with(|cell| {
+        let mut pack = cell.borrow_mut();
+        crate::gemm::pack_a_into(kernel.as_slice(), co, klen, false, &mut pack);
+        conv2d_batch_prepacked_to(x, &pack, m, out);
+    });
+}
+
+/// Batched conv forward with a caller-cached kernel pack (LHS panels from
+/// [`crate::gemm::pack_a_into`] over the `(c_out, c_in*k*k)` kernel). The
+/// kernel is the LHS of every per-sample product, so one pack serves the
+/// whole batch; per sample only the columns are unfolded (into per-worker
+/// reused scratch) and packed. Runs allocation-free in steady state.
+pub(crate) fn conv2d_batch_prepacked_to(
+    x: &Matrix,
+    kernel_pack: &[f32],
+    m: &ConvMeta,
+    out: &mut [f32],
+) {
     let n = x.rows();
     let out_len = m.out_len();
     assert_eq!(out.len(), n * out_len, "conv2d output buffer size");
     let (co, klen) = m.kernel_shape();
-    assert_eq!(kernel.shape(), (co, klen), "conv2d kernel shape");
     let hw = m.h_out() * m.w_out();
     let work = n * conv_sample_work(m);
-    // The kernel is the LHS of every per-sample product: pack it into
-    // microkernel panels once for the whole batch; per sample only the
-    // columns are unfolded (into reused scratch) and packed.
-    KERNEL_PACK.with(|cell| {
-        let mut pack = cell.borrow_mut();
-        crate::gemm::pack_a_into(kernel.as_slice(), co, klen, false, &mut pack);
-        let pack: &[f32] = &pack;
-        par::for_each_row_block(out, out_len, work, |samples, chunk| {
-            COLS_SCRATCH.with(|cc| {
-                let mut cols = cc.borrow_mut();
-                for (si, i) in samples.enumerate() {
-                    im2col_into(x.row(i), m, &mut cols);
-                    crate::gemm::matmul_prepacked_a(
-                        pack,
-                        &cols,
-                        false,
-                        &mut chunk[si * out_len..(si + 1) * out_len],
-                        co,
-                        klen,
-                        hw,
-                        false,
-                    );
-                }
-            });
+    par::for_each_row_block(out, out_len, work, |samples, chunk| {
+        COLS_SCRATCH.with(|cc| {
+            let mut cols = cc.borrow_mut();
+            for (si, i) in samples.enumerate() {
+                im2col_into(x.row(i), m, &mut cols);
+                crate::gemm::matmul_prepacked_a(
+                    kernel_pack,
+                    &cols,
+                    false,
+                    &mut chunk[si * out_len..(si + 1) * out_len],
+                    co,
+                    klen,
+                    hw,
+                    false,
+                );
+            }
         });
     });
 }
 
 /// Batched conv backward: given upstream `dy` (`n × out_len`), returns
-/// `(dx, dk)`. `dx` rows are per-sample (one writer each); `dk` is a
-/// reduction over samples, computed as per-chunk partials summed in
-/// ascending chunk order — deterministic for a fixed thread configuration.
+/// `(dx, dk)`. Allocates the two outputs, then delegates to the `_to`
+/// kernels the plan replay uses — one implementation, one set of chains.
 pub fn conv2d_backward_batch(
     x: &Matrix,
     kernel: &Matrix,
     dy: &Matrix,
     m: &ConvMeta,
 ) -> (Matrix, Matrix) {
+    let (co, klen) = m.kernel_shape();
+    let mut dx = Matrix::zeros(x.rows(), m.in_len());
+    let mut dk = Matrix::zeros(co, klen);
+    conv2d_backward_dx_to(kernel, dy, m, dx.as_mut_slice());
+    conv2d_backward_dk_to(x, dy, m, dk.as_mut_slice());
+    (dx, dk)
+}
+
+/// Input-gradient half of the conv backward: adds `col2im(kernelᵀ · dy_i)`
+/// into each sample row of `dx` (caller zeroes on first contribution).
+/// The transposed kernel is packed once per batch; each sample's
+/// `dcols = kernelᵀ · dy_i` runs through the packed GEMM driver into
+/// per-worker reused scratch — no per-sample allocation. Sample rows have
+/// one writer each, so the partition is bit-stable at any thread count.
+pub fn conv2d_backward_dx_to(kernel: &Matrix, dy: &Matrix, m: &ConvMeta, dx: &mut [f32]) {
+    let n = dy.rows();
+    let (co, klen) = m.kernel_shape();
+    assert_eq!(kernel.shape(), (co, klen), "conv2d kernel shape");
+    let hw = m.h_out() * m.w_out();
+    let in_len = m.in_len();
+    assert_eq!(dx.len(), n * in_len, "conv2d dx buffer size");
+    let work = n * conv_sample_work(m);
+    KERNEL_PACK.with(|cell| {
+        let mut pack = cell.borrow_mut();
+        // Pack the kernel transposed: `dcols = kernelᵀ (klen×co) · dy_i`.
+        crate::gemm::pack_a_into(kernel.as_slice(), klen, co, true, &mut pack);
+        let pack: &[f32] = &pack;
+        par::for_each_row_block(dx, in_len, work, |samples, chunk| {
+            COLS_SCRATCH.with(|cc| {
+                let mut dcols = cc.borrow_mut();
+                if dcols.len() != klen * hw {
+                    dcols.clear();
+                    dcols.resize(klen * hw, 0.0);
+                }
+                for (si, i) in samples.enumerate() {
+                    crate::gemm::matmul_prepacked_a(
+                        pack,
+                        dy.row(i),
+                        false,
+                        &mut dcols,
+                        klen,
+                        co,
+                        hw,
+                        false,
+                    );
+                    col2im_add_cols(&dcols, m, &mut chunk[si * in_len..(si + 1) * in_len]);
+                }
+            });
+        });
+    });
+}
+
+/// Kernel-gradient half of the conv backward: adds `Σ_i dy_i · cols_iᵀ`
+/// into `dk` (caller zeroes on first contribution). Serial dispatch extends
+/// `dk`'s accumulator chains sample by sample through the packed GEMM driver
+/// — allocation-free. Parallel dispatch reduces per-chunk partials in
+/// ascending chunk order (deterministic for a fixed thread configuration,
+/// matching the pre-GEMM behaviour; the partial matrices are the one conv
+/// path that still allocates, and only off the serial replay path).
+pub fn conv2d_backward_dk_to(x: &Matrix, dy: &Matrix, m: &ConvMeta, dk: &mut [f32]) {
     let n = x.rows();
     let (co, klen) = m.kernel_shape();
-    let (ho, wo) = (m.h_out(), m.w_out());
-    let in_len = m.in_len();
+    assert_eq!(dk.len(), co * klen, "conv2d dk buffer size");
+    let hw = m.h_out() * m.w_out();
     let work = n * conv_sample_work(m) * 2;
-
-    let mut dx = Matrix::zeros(n, in_len);
-    par::for_each_row_block(dx.as_mut_slice(), in_len, work, |samples, chunk| {
-        for (si, i) in samples.enumerate() {
-            let dout = Matrix::from_vec(co, ho * wo, dy.row(i).to_vec());
-            let dcols = kernel.matmul_tn(&dout);
-            col2im_add(&dcols, m, &mut chunk[si * in_len..(si + 1) * in_len]);
-        }
-    });
-
-    let partials = par::map_chunks(n, work, |samples| {
-        let mut dk = Matrix::zeros(co, klen);
-        for i in samples {
-            let cols = im2col(x.row(i), m);
-            let dout = Matrix::from_vec(co, ho * wo, dy.row(i).to_vec());
-            dk.add_assign(&dout.matmul_nt(&cols));
-        }
-        dk
-    });
-    let mut dk = Matrix::zeros(co, klen);
-    for p in partials {
-        dk.add_assign(&p);
+    let accumulate_into = |samples: std::ops::Range<usize>, dk: &mut [f32]| {
+        COLS_SCRATCH.with(|cc| {
+            let mut cols = cc.borrow_mut();
+            for i in samples {
+                im2col_into(x.row(i), m, &mut cols);
+                // dk (co×klen) += dy_i (co×hw) · cols_iᵀ (hw×klen)
+                crate::gemm::matmul_into(dy.row(i), &cols, dk, co, hw, klen, false, true, true);
+            }
+        });
+    };
+    // Mirror `par::planned_chunks` without charging its dispatch telemetry
+    // twice: the serial decision must match the one `map_chunks` would make.
+    let serial = work < par::MIN_PAR_WORK || par::effective_threads().min(n) <= 1;
+    if serial {
+        accumulate_into(0..n, dk);
+        return;
     }
-    (dx, dk)
+    let partials = par::map_chunks(n, work, |samples| {
+        let mut part = vec![0.0f32; co * klen];
+        accumulate_into(samples, &mut part);
+        part
+    });
+    for p in partials {
+        for (g, &v) in dk.iter_mut().zip(p.iter()) {
+            *g += v;
+        }
+    }
 }
 
 /// Batched 2×2 max pool forward (`n × in_len` → `n × out_len`), batch
@@ -413,6 +548,73 @@ mod tests {
         let (out, arg) = maxpool2(&[1.0, 5.0, 3.0, 2.0], &m);
         assert_eq!(out, vec![5.0]);
         assert_eq!(arg, vec![1]);
+    }
+
+    #[test]
+    #[ignore = "manual perf probe: cargo test -p uvd-tensor --release -- --ignored probe_conv --nocapture"]
+    fn probe_conv_breakdown() {
+        let m = ConvMeta {
+            c_in: 2,
+            h_in: 32,
+            w_in: 32,
+            c_out: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let n = 16;
+        let mut rng = crate::init::seeded_rng(3);
+        let x = crate::init::normal_matrix(n, m.in_len(), 0.0, 1.0, &mut rng);
+        let kernel = {
+            let (co, klen) = m.kernel_shape();
+            crate::init::normal_matrix(co, klen, 0.0, 0.3, &mut rng)
+        };
+        let (co, klen) = m.kernel_shape();
+        let hw = m.h_out() * m.w_out();
+        let mut out = vec![0.0f32; n * m.out_len()];
+        let time = |reps: usize, f: &mut dyn FnMut()| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t = std::time::Instant::now();
+                f();
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            best * 1e3
+        };
+        let full = time(30, &mut || conv2d_batch_to(&x, &kernel, &m, &mut out));
+        let mut cols = Vec::new();
+        let im2col_t = time(30, &mut || {
+            for i in 0..n {
+                im2col_into(x.row(i), &m, &mut cols);
+            }
+        });
+        im2col_into(x.row(0), &m, &mut cols);
+        let mut pack = Vec::new();
+        let pack_b_t = time(30, &mut || {
+            for _ in 0..n {
+                crate::gemm::pack_b_into(&cols, klen, hw, false, &mut pack);
+            }
+        });
+        let mut apack = Vec::new();
+        crate::gemm::pack_a_into(kernel.as_slice(), co, klen, false, &mut apack);
+        let gemm_t = time(30, &mut || {
+            for i in 0..n {
+                crate::gemm::matmul_prepacked_a(
+                    &apack,
+                    &cols,
+                    false,
+                    &mut out[i * m.out_len()..(i + 1) * m.out_len()],
+                    co,
+                    klen,
+                    hw,
+                    false,
+                );
+            }
+        });
+        let gf = (2 * n * co * klen * hw) as f64 / (full / 1e3) / 1e9;
+        println!(
+            "conv full {full:.3} ms ({gf:.2} GF/s) | im2col {im2col_t:.3} pack_b {pack_b_t:.3} gemm(incl pack_b) {gemm_t:.3}"
+        );
     }
 
     #[test]

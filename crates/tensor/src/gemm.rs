@@ -21,6 +21,15 @@
 //! (`avx2` / `avx512f`), never `fma`: a fused multiply-add would skip the
 //! intermediate rounding and break the chain equality.
 //!
+//! **Fast-math tier** (`UVD_FAST_MATH=1`, see [`crate::fastmath`]): the same
+//! driver dispatches FMA variants of the microkernels instead. Each
+//! accumulation step fuses mul + add into one rounding, so results differ
+//! from the deterministic tier at rounding level only — the ascending-`k`
+//! chain per element is unchanged, which keeps the fast tier itself
+//! thread-count deterministic. Tile shapes (and therefore pack layouts) are
+//! shared between tiers, so cached `PackedB` buffers stay valid when the
+//! tier is toggled mid-process.
+//!
 //! Padding rows/columns of a partial tile are packed as `0.0` and the
 //! microkernel never stores lanes `>= m_valid`/`n_valid`, so padded lanes
 //! cannot leak (they may compute `0 * inf = NaN` internally, which is why
@@ -124,6 +133,31 @@ pub(crate) fn isa() -> Isa {
     })
 }
 
+/// True when the CPU can execute fused multiply-add. The fast-math tier
+/// falls back to the deterministic kernels without it (`f32::mul_add`
+/// lowers to a libm call on non-FMA hardware — slower, not faster).
+pub(crate) fn fma_available() -> bool {
+    static FMA: OnceLock<bool> = OnceLock::new();
+    *FMA.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+/// The fast-math flag a kernel entry should thread into its workers: the
+/// tier is requested (env or scope override) *and* the hardware can honor
+/// it. Resolved on the calling thread so `with_fast_math` scopes cover the
+/// parallel portion of a kernel.
+pub(crate) fn fast_math_active() -> bool {
+    crate::fastmath::enabled() && fma_available()
+}
+
 /// Microkernel tile shape `(MR, NR)` for the active ISA tier. Wide tiles need
 /// the 16/32-register vector files; the scalar tier stays small to avoid
 /// spills.
@@ -152,8 +186,16 @@ pub(crate) fn packed_b_len(k: usize, n: usize) -> usize {
 pub(crate) fn pack_b_into(b: &[f32], k: usize, n: usize, b_trans: bool, buf: &mut Vec<f32>) {
     let (_, nr) = tiles();
     let panels = n.div_ceil(nr);
-    buf.clear();
-    buf.resize(panels * nr * k, 0.0);
+    let needed = panels * nr * k;
+    if buf.len() != needed {
+        buf.clear();
+        buf.resize(needed, 0.0);
+    } else if !n.is_multiple_of(nr) {
+        // Same-size repack: full panels are overwritten completely, only the
+        // last (partial) panel has padding lanes that must be re-zeroed so
+        // stale values never leak into them.
+        buf[(panels - 1) * nr * k..].fill(0.0);
+    }
     for t in 0..panels {
         let j0 = t * nr;
         let jw = (n - j0).min(nr);
@@ -180,8 +222,14 @@ pub(crate) fn pack_b_into(b: &[f32], k: usize, n: usize, b_trans: bool, buf: &mu
 pub(crate) fn pack_a_into(a: &[f32], m: usize, k: usize, a_trans: bool, buf: &mut Vec<f32>) {
     let (mr, _) = tiles();
     let panels = m.div_ceil(mr);
-    buf.clear();
-    buf.resize(panels * mr * k, 0.0);
+    let needed = panels * mr * k;
+    if buf.len() != needed {
+        buf.clear();
+        buf.resize(needed, 0.0);
+    } else if !m.is_multiple_of(mr) {
+        // See `pack_b_into`: only the partial tail panel needs re-zeroing.
+        buf[(panels - 1) * mr * k..].fill(0.0);
+    }
     for t in 0..panels {
         let i0 = t * mr;
         let iw = (m - i0).min(mr);
@@ -245,6 +293,44 @@ fn kern_body<const MR: usize, const NR: usize>(
     }
 }
 
+/// Fast-math twin of [`kern_body`]: each accumulation step is a fused
+/// multiply-add (`mul_add`), one rounding instead of two. Same tile walk,
+/// same ascending-`k` chain — only the per-step rounding differs.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn kern_body_fma<const MR: usize, const NR: usize>(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    out: &mut [f32],
+    ldc: usize,
+    mv: usize,
+    nv: usize,
+    accumulate: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if accumulate {
+        for (i, acc_row) in acc.iter_mut().enumerate().take(mv) {
+            let row = &out[i * ldc..i * ldc + nv];
+            acc_row[..nv].copy_from_slice(row);
+        }
+    }
+    for p in 0..kc {
+        let a: &[f32; MR] = a_panel[p * MR..p * MR + MR].try_into().expect("panel tile");
+        let b: &[f32; NR] = b_panel[p * NR..p * NR + NR].try_into().expect("panel tile");
+        for (i, acc_row) in acc.iter_mut().enumerate() {
+            let av = a[i];
+            for (j, acc_el) in acc_row.iter_mut().enumerate() {
+                *acc_el = av.mul_add(b[j], *acc_el);
+            }
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate().take(mv) {
+        let row = &mut out[i * ldc..i * ldc + nv];
+        row.copy_from_slice(&acc_row[..nv]);
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
@@ -259,6 +345,25 @@ unsafe fn kern_avx2(
     accumulate: bool,
 ) {
     kern_body::<6, 16>(a_panel, b_panel, kc, out, ldc, mv, nv, accumulate);
+}
+
+/// Fast-math AVX2 microkernel: with `fma` enabled the `mul_add` in the
+/// generic body lowers to `vfmadd` and the auto-vectorizer keeps the 6×16
+/// tile in ymm registers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn kern_avx2_fma(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    out: &mut [f32],
+    ldc: usize,
+    mv: usize,
+    nv: usize,
+    accumulate: bool,
+) {
+    kern_body_fma::<6, 16>(a_panel, b_panel, kc, out, ldc, mv, nv, accumulate);
 }
 
 /// AVX-512 microkernel, written with explicit 512-bit intrinsics: the
@@ -313,10 +418,58 @@ unsafe fn kern_avx512(
     }
 }
 
+/// Fast-math AVX-512 microkernel: identical register walk to [`kern_avx512`]
+/// with the mul/add pair fused into `_mm512_fmadd_ps`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn kern_avx512_fma(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    out: &mut [f32],
+    ldc: usize,
+    mv: usize,
+    nv: usize,
+    accumulate: bool,
+) {
+    use std::arch::x86_64::*;
+    const MR: usize = 12;
+    debug_assert!((1..=16).contains(&nv) && (1..=MR).contains(&mv));
+    debug_assert!(a_panel.len() >= kc * MR && b_panel.len() >= kc * 16);
+    debug_assert!(out.len() >= (mv - 1) * ldc + nv);
+    // SAFETY: same bounds argument as `kern_avx512` — masks are `nv` wide,
+    // row offsets stay below `(mv-1)*ldc + nv`, panel reads are full tiles.
+    unsafe {
+        let mask: __mmask16 = ((1u32 << nv) - 1) as __mmask16;
+        let mut acc = [_mm512_setzero_ps(); MR];
+        if accumulate {
+            for (i, a) in acc.iter_mut().enumerate().take(mv) {
+                *a = _mm512_maskz_loadu_ps(mask, out.as_ptr().add(i * ldc));
+            }
+        }
+        let mut ap = a_panel.as_ptr();
+        let mut bp = b_panel.as_ptr();
+        for _ in 0..kc {
+            let b = _mm512_loadu_ps(bp);
+            for (i, a) in acc.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*ap.add(i));
+                *a = _mm512_fmadd_ps(av, b, *a);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(16);
+        }
+        for (i, a) in acc.iter().enumerate().take(mv) {
+            _mm512_mask_storeu_ps(out.as_mut_ptr().add(i * ldc), mask, *a);
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn run_kern(
     is: Isa,
+    fm: bool,
     a_panel: &[f32],
     b_panel: &[f32],
     kc: usize,
@@ -327,13 +480,28 @@ fn run_kern(
     accumulate: bool,
 ) {
     match is {
+        // The scalar tier has no FMA hardware guarantee; fast-math requests
+        // fall back to the deterministic chain (see `fma_available`).
         Isa::Scalar => kern_body::<4, 8>(a_panel, b_panel, kc, out, ldc, mv, nv, accumulate),
         // SAFETY: `isa()` only returns these tiers after runtime detection of
-        // the matching CPU feature.
+        // the matching CPU feature, and `fm` is only true when `fma` was
+        // detected (`fast_math_active`).
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx2 => unsafe { kern_avx2(a_panel, b_panel, kc, out, ldc, mv, nv, accumulate) },
+        Isa::Avx2 => unsafe {
+            if fm {
+                kern_avx2_fma(a_panel, b_panel, kc, out, ldc, mv, nv, accumulate)
+            } else {
+                kern_avx2(a_panel, b_panel, kc, out, ldc, mv, nv, accumulate)
+            }
+        },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { kern_avx512(a_panel, b_panel, kc, out, ldc, mv, nv, accumulate) },
+        Isa::Avx512 => unsafe {
+            if fm {
+                kern_avx512_fma(a_panel, b_panel, kc, out, ldc, mv, nv, accumulate)
+            } else {
+                kern_avx512(a_panel, b_panel, kc, out, ldc, mv, nv, accumulate)
+            }
+        },
     }
 }
 
@@ -362,6 +530,9 @@ fn gemm_driver(
         return;
     }
     let is = isa();
+    // Resolved here, on the calling thread, so a `with_fast_math` scope
+    // reaches the workers (thread-locals don't cross the pool boundary).
+    let fm = fast_math_active();
     let (mr, nr) = tiles();
     let n_blocks = n.div_ceil(nr);
     let row_blocks = m.div_ceil(mr);
@@ -386,7 +557,18 @@ fn gemm_driver(
                         let j0 = jb * nr;
                         let nv = (n - j0).min(nr);
                         let b_sl = &b_pack[jb * nr * k + kb * nr..jb * nr * k + (kb + kc) * nr];
-                        run_kern(is, a_sl, b_sl, kc, &mut out_block[j0..], n, mv, nv, cont);
+                        run_kern(
+                            is,
+                            fm,
+                            a_sl,
+                            b_sl,
+                            kc,
+                            &mut out_block[j0..],
+                            n,
+                            mv,
+                            nv,
+                            cont,
+                        );
                     }
                     kb += kc;
                 }
@@ -537,6 +719,23 @@ mod tests {
         assert_eq!(parse_isa("sse2"), None);
         assert_eq!(parse_isa("avx-512"), None);
         assert_eq!(parse_isa(""), None);
+    }
+
+    #[test]
+    fn fast_math_stays_within_rounding_of_deterministic() {
+        let (m, k, n) = (13, 300, 17);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        let mut det = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut det, m, k, n, false, false, true);
+        let mut fm = vec![0.0f32; m * n];
+        crate::fastmath::with_fast_math(true, || {
+            matmul_into(&a, &b, &mut fm, m, k, n, false, false, true);
+        });
+        for (d, f) in det.iter().zip(fm.iter()) {
+            let err = (d - f).abs() / d.abs().max(1.0);
+            assert!(err < 1e-5, "det {d} vs fast {f}");
+        }
     }
 
     #[test]

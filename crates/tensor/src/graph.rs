@@ -113,6 +113,7 @@ impl Graph {
         self.plan.needs_grad.push(needs);
         self.ws.values.push(value);
         self.ws.packs.push(Default::default());
+        self.ws.packs_a.push(Default::default());
         id
     }
 
@@ -195,8 +196,10 @@ impl Graph {
         let dst = &mut self.ws.values[id.idx()];
         assert_eq!(dst.shape(), m.shape(), "set_value shape mismatch");
         dst.as_mut_slice().copy_from_slice(m.as_slice());
-        // A cached RHS pack of this leaf no longer matches its value.
+        // Cached packs of this leaf (RHS panels, conv-kernel LHS panels) no
+        // longer match its value.
         self.ws.packs[id.idx()].stamp = crate::gemm::NEVER;
+        self.ws.packs_a[id.idx()].stamp = crate::gemm::NEVER;
     }
 
     /// Bind a trainable parameter; its gradient is delivered by

@@ -99,6 +99,28 @@ pub fn naive_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
+/// Frozen naive spmm (serial per-row non-zero sweep across the full output
+/// row): the pre-tiling reference kernel for [`crate::Csr::spmm_acc`]. Per
+/// output element the reduction is one accumulator chain in ascending CSR
+/// order; the register-tiled kernel must stay bit-identical to this in
+/// deterministic mode — the spmm differential proptests enforce it.
+pub fn naive_spmm(a: &crate::sparse::Csr, x: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), x.rows(), "naive_spmm shape");
+    let n = x.cols();
+    let mut out = Matrix::zeros(a.rows(), n);
+    let ov = out.as_mut_slice();
+    for r in 0..a.rows() {
+        let o_row = &mut ov[r * n..(r + 1) * n];
+        for (c, v) in a.row_iter(r) {
+            let x_row = &x.as_slice()[c as usize * n..(c as usize + 1) * n];
+            for (o, &xv) in o_row.iter_mut().zip(x_row.iter()) {
+                *o += v * xv;
+            }
+        }
+    }
+    out
+}
+
 /// Handle to a node in the tape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NodeId(u32);

@@ -31,8 +31,8 @@
 //! used by the CNN baselines, not by CMSF training.
 
 use crate::conv::{
-    conv2d_backward_batch, conv2d_batch_to, maxpool2_backward_batch, maxpool2_batch_to, ConvMeta,
-    PoolMeta,
+    conv2d_backward_dk_to, conv2d_backward_dx_to, maxpool2_backward_batch, maxpool2_batch_to,
+    ConvMeta, PoolMeta,
 };
 use crate::gemm::{self, PackedB};
 use crate::matrix::Matrix;
@@ -237,6 +237,11 @@ pub struct Workspace {
     /// Stamps encode validity: constant leaves keep their pack for the
     /// plan's lifetime, anything else repacks once per replay epoch.
     pub(crate) packs: Vec<PackedB>,
+    /// LHS panel-pack slots, keyed by the node id of a conv kernel operand
+    /// (the kernel is the LHS of every per-sample im2col product). Kept
+    /// separate from [`Workspace::packs`] because a node could serve as both
+    /// a matmul RHS and a conv kernel, and the two pack layouts differ.
+    pub(crate) packs_a: Vec<PackedB>,
     /// Replay counter backing the pack stamps; bumped at each replay start.
     pub(crate) epoch: u64,
     /// Scratch for the fused-op backward's `dz = dy ⊙ act'(y)` product.
@@ -276,7 +281,9 @@ impl Workspace {
     /// [`Workspace::bytes`], broken out so tests can account for the value
     /// arena and the pack cache separately).
     pub fn pack_bytes(&self) -> usize {
-        self.packs.iter().map(|p| p.buf.len() * 4).sum()
+        let rhs: usize = self.packs.iter().map(|p| p.buf.len() * 4).sum();
+        let lhs: usize = self.packs_a.iter().map(|p| p.buf.len() * 4).sum();
+        rhs + lhs
     }
 
     /// True when the value buffer of `id` holds only finite elements.
@@ -350,6 +357,9 @@ impl Plan {
             // Externally assembled workspaces may lack pack slots; recording
             // through `Graph` pushes them alongside each value.
             ws.packs.resize_with(ws.values.len(), PackedB::default);
+        }
+        if ws.packs_a.len() != ws.values.len() {
+            ws.packs_a.resize_with(ws.values.len(), PackedB::default);
         }
         // Entering a new epoch invalidates every per-epoch pack stamp, so
         // refreshed parameters are repacked exactly once below.
@@ -489,12 +499,35 @@ fn ensure_pack<'p>(slot: &'p mut PackedB, b: &Matrix, constant: bool, epoch: u64
     &slot.buf
 }
 
+/// LHS twin of [`ensure_pack`] for conv kernel operands: same stamp
+/// protocol, row-panel layout ([`gemm::pack_a_into`]).
+fn ensure_pack_a<'p>(slot: &'p mut PackedB, a: &Matrix, constant: bool, epoch: u64) -> &'p [f32] {
+    let want = if constant {
+        gemm::PERSISTENT
+    } else {
+        epoch + 1
+    };
+    if slot.stamp != want {
+        PACK_REPACK.add(1);
+        gemm::pack_a_into(a.as_slice(), a.rows(), a.cols(), false, &mut slot.buf);
+        slot.stamp = want;
+    } else {
+        PACK_HIT.add(1);
+    }
+    &slot.buf
+}
+
 /// Execute op `i` into its preallocated output buffer. Shared by recording
 /// (which runs it immediately after pushing the op) and replay, so the two
 /// paths are bit-identical by construction.
 pub(crate) fn exec_forward(plan: &Plan, ws: &mut Workspace, i: usize) {
     let epoch = ws.epoch;
-    let Workspace { values, packs, .. } = ws;
+    let Workspace {
+        values,
+        packs,
+        packs_a,
+        ..
+    } = ws;
     let is_const = |id: NodeId| plan.const_leaf.get(id.idx()).copied().unwrap_or(false);
     // Tape invariant: all inputs of op `i` have node id < `i`.
     let (head, tail) = values.split_at_mut(i);
@@ -608,8 +641,9 @@ pub(crate) fn exec_forward(plan: &Plan, ws: &mut Workspace, i: usize) {
         }
         Op::GatherRows(a, idx) => head[a.idx()].gather_rows_to(idx, out.as_mut_slice()),
         Op::SpMM(pair, x) => {
-            out.as_mut_slice().fill(0.0);
-            pair.fwd.spmm_acc(&head[x.idx()], out.as_mut_slice());
+            // Overwrite entry: zero-seeded chains, bit-equal to the old
+            // fill-then-accumulate pair without re-reading the output.
+            pair.fwd.spmm_to(&head[x.idx()], out.as_mut_slice());
         }
         Op::EdgeSoftmax(scores, edges) => {
             edge_softmax_forward(&head[scores.idx()], edges, out.as_mut_slice());
@@ -658,12 +692,14 @@ pub(crate) fn exec_forward(plan: &Plan, ws: &mut Workspace, i: usize) {
             out.set(0, 0, loss as f32);
         }
         Op::Conv2d(x, kernel, meta) => {
-            conv2d_batch_to(
-                &head[x.idx()],
-                &head[kernel.idx()],
-                meta,
-                out.as_mut_slice(),
-            );
+            let kv = &head[kernel.idx()];
+            assert_eq!(kv.shape(), meta.kernel_shape(), "conv2d kernel shape");
+            // The kernel pack is cached in the workspace like matmul RHS
+            // packs: constant kernels pack once for the plan's lifetime,
+            // parameters repack once per epoch however many conv ops (or
+            // replays of this op) share them.
+            let pack = ensure_pack_a(&mut packs_a[kernel.idx()], kv, is_const(*kernel), epoch);
+            crate::conv::conv2d_batch_prepacked_to(&head[x.idx()], pack, meta, out.as_mut_slice());
         }
         Op::AddChanBias(a, bias, channels, hw) => {
             let (av, bv) = (&head[a.idx()], &head[bias.idx()]);
@@ -740,60 +776,132 @@ fn edge_aggregate_forward(a: &Matrix, hm: &Matrix, edges: &EdgeIndex, out: &mut 
 /// independent; the zero-skip stays because gated inputs are often sparse
 /// activations, unlike the dense matmuls — removing it would also change
 /// results whenever a skipped `w`/`f` entry is non-finite.
+/// Standalone gated-matmul forward (`out[i][k] = Σ_d x[i][d]·w[d][k]·f[i][d·h+k]`)
+/// into a caller-owned, fully overwritten buffer — the same kernel the
+/// `Op::GatedMatMul` replay arm runs, exposed for benches and differential
+/// tests that want to time or check it without recording a graph.
+pub fn gated_matmul_into(xm: &Matrix, wm: &Matrix, fm: &Matrix, out: &mut [f32]) {
+    let (n, _) = xm.shape();
+    let h = wm.cols();
+    assert_eq!(out.len(), n * h, "gated_matmul output buffer size");
+    out.fill(0.0);
+    gated_matmul_forward(xm, wm, fm, out);
+}
+
 fn gated_matmul_forward(xm: &Matrix, wm: &Matrix, fm: &Matrix, out: &mut [f32]) {
     let (n, d) = xm.shape();
     let h = wm.cols();
+    // Resolve both tiers on the calling thread: the fast-math override is a
+    // thread-local and would read as unset inside pool workers.
+    let is = gemm::isa();
+    let fmath = gemm::fast_math_active();
     par::for_each_row_block(out, h, n * d * h * 3, |rows, chunk| {
         for (ri, i) in rows.enumerate() {
             let x_row = xm.row(i);
             let f_row = fm.row(i);
             let out_row = &mut chunk[ri * h..(ri + 1) * h];
-            gated_row_dispatch(x_row, wm, f_row, out_row, h);
+            gated_row_dispatch(is, fmath, x_row, wm, f_row, out_row, h);
         }
     });
 }
 
 /// Output-lane block width of the gated-matmul row kernel: one stack tile of
 /// accumulators per block keeps the `h`-lane sums in registers across the
-/// whole `d` sweep (CMSF uses `h = 16`, exactly one block).
+/// whole `d` sweep (CMSF uses `h = 16`, exactly one zmm on the AVX-512 tier
+/// and two ymm on AVX2).
 const GM_LANES: usize = 16;
 
 #[inline]
-fn gated_row_dispatch(x_row: &[f32], wm: &Matrix, f_row: &[f32], out_row: &mut [f32], h: usize) {
+fn gated_row_dispatch(
+    is: gemm::Isa,
+    fmath: bool,
+    x_row: &[f32],
+    wm: &Matrix,
+    f_row: &[f32],
+    out_row: &mut [f32],
+    h: usize,
+) {
     #[cfg(target_arch = "x86_64")]
-    if matches!(gemm::isa(), gemm::Isa::Avx2 | gemm::Isa::Avx512) {
-        // SAFETY: tier implies the CPU supports AVX2.
-        unsafe { gated_row_avx2(x_row, wm, f_row, out_row, h) };
-        return;
+    // SAFETY: each tier implies the matching CPU features; `fmath` is only
+    // true when FMA was detected (`gemm::fast_math_active`).
+    match is {
+        gemm::Isa::Avx512 if fmath => {
+            return unsafe { gated_row_avx512_fma(x_row, wm, f_row, out_row, h) }
+        }
+        gemm::Isa::Avx512 => return unsafe { gated_row_avx512(x_row, wm, f_row, out_row, h) },
+        gemm::Isa::Avx2 if fmath => {
+            return unsafe { gated_row_avx2_fma(x_row, wm, f_row, out_row, h) }
+        }
+        gemm::Isa::Avx2 => return unsafe { gated_row_avx2(x_row, wm, f_row, out_row, h) },
+        gemm::Isa::Scalar => {}
     }
-    gated_row(x_row, wm, f_row, out_row, h);
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (is, fmath);
+    // Scalar tier ignores fast-math: `mul_add` without hardware FMA takes a
+    // libm detour that is slower, not faster (same policy as the GEMM tiers).
+    gated_row_body::<false>(x_row, wm, f_row, out_row, h);
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 fn gated_row_avx2(x_row: &[f32], wm: &Matrix, f_row: &[f32], out_row: &mut [f32], h: usize) {
-    gated_row(x_row, wm, f_row, out_row, h);
+    gated_row_body::<false>(x_row, wm, f_row, out_row, h);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn gated_row_avx2_fma(x_row: &[f32], wm: &Matrix, f_row: &[f32], out_row: &mut [f32], h: usize) {
+    gated_row_body::<true>(x_row, wm, f_row, out_row, h);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn gated_row_avx512(x_row: &[f32], wm: &Matrix, f_row: &[f32], out_row: &mut [f32], h: usize) {
+    gated_row_body::<false>(x_row, wm, f_row, out_row, h);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,fma")]
+fn gated_row_avx512_fma(x_row: &[f32], wm: &Matrix, f_row: &[f32], out_row: &mut [f32], h: usize) {
+    gated_row_body::<true>(x_row, wm, f_row, out_row, h);
 }
 
 /// One sample row of the gated matmul: `out[k] += Σ_d x[d] * w[d][k] *
 /// f[d*h+k]`, ascending `d` per lane with the zero-skip preserved — the
 /// blocked accumulator tile only hoists each lane's chain out of memory, it
-/// never reorders or drops a term.
+/// never reorders or drops a term. `FMA = true` (fast-math tier) fuses the
+/// gate multiply into the accumulate, `(x·w)·f + acc` in one rounding; the
+/// term order and the zero-skip are identical in both tiers.
 #[inline(always)]
-fn gated_row(x_row: &[f32], wm: &Matrix, f_row: &[f32], out_row: &mut [f32], h: usize) {
+fn gated_row_body<const FMA: bool>(
+    x_row: &[f32],
+    wm: &Matrix,
+    f_row: &[f32],
+    out_row: &mut [f32],
+    h: usize,
+) {
+    // `w[dd][k]` and `f[dd*h + k]` share the flat offset `dd*h + k`, so one
+    // running base indexes both; the `&[f32; GM_LANES]` reborrows give the
+    // vectorizer exact trip counts with no per-lane bounds checks.
+    let w_all = wm.as_slice();
     let mut k0 = 0;
     while k0 + GM_LANES <= h {
         let mut acc = [0.0f32; GM_LANES];
         acc.copy_from_slice(&out_row[k0..k0 + GM_LANES]);
-        for (dd, &xv) in x_row.iter().enumerate() {
-            if xv == 0.0 {
-                continue;
+        let mut base = k0;
+        for &xv in x_row {
+            if xv != 0.0 {
+                let w_seg: &[f32; GM_LANES] = w_all[base..base + GM_LANES].try_into().unwrap();
+                let f_seg: &[f32; GM_LANES] = f_row[base..base + GM_LANES].try_into().unwrap();
+                for j in 0..GM_LANES {
+                    if FMA {
+                        acc[j] = (xv * w_seg[j]).mul_add(f_seg[j], acc[j]);
+                    } else {
+                        acc[j] += xv * w_seg[j] * f_seg[j];
+                    }
+                }
             }
-            let w_seg = &wm.row(dd)[k0..k0 + GM_LANES];
-            let f_seg = &f_row[dd * h + k0..dd * h + k0 + GM_LANES];
-            for (a, (&w, &f)) in acc.iter_mut().zip(w_seg.iter().zip(f_seg.iter())) {
-                *a += xv * w * f;
-            }
+            base += h;
         }
         out_row[k0..k0 + GM_LANES].copy_from_slice(&acc);
         k0 += GM_LANES;
@@ -806,7 +914,11 @@ fn gated_row(x_row: &[f32], wm: &Matrix, f_row: &[f32], out_row: &mut [f32], h: 
             let w_row = wm.row(dd);
             let f_seg = &f_row[dd * h..(dd + 1) * h];
             for k in k0..h {
-                out_row[k] += xv * w_row[k] * f_seg[k];
+                if FMA {
+                    out_row[k] = (xv * w_row[k]).mul_add(f_seg[k], out_row[k]);
+                } else {
+                    out_row[k] += xv * w_row[k] * f_seg[k];
+                }
             }
         }
     }
@@ -1314,9 +1426,14 @@ fn apply_backward(
             });
         }
         Op::Conv2d(x, kernel, meta) => {
-            let (dx, dk) = conv2d_backward_batch(&values[x.idx()], &values[kernel.idx()], dy, meta);
-            merge_owned(gh, seen, needs, x.idx(), &dx);
-            merge_owned(gh, seen, needs, kernel.idx(), &dk);
+            let kv = &values[kernel.idx()];
+            contribute(gh, seen, scratch, needs, x.idx(), |buf| {
+                conv2d_backward_dx_to(kv, dy, meta, buf);
+            });
+            let xv = &values[x.idx()];
+            contribute(gh, seen, scratch, needs, kernel.idx(), |buf| {
+                conv2d_backward_dk_to(xv, dy, meta, buf);
+            });
         }
         Op::AddChanBias(a, bias, channels, hw) => {
             contribute(gh, seen, scratch, needs, a.idx(), |buf| {
@@ -1374,6 +1491,82 @@ fn gated_matmul_backward(
                 df_seg[k] += g * xv * w_row[k];
             }
             dx[i * d + dd] = dx_acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod gated_tests {
+    use super::*;
+
+    fn gated_fixture(n: usize, d: usize, h: usize) -> (Matrix, Matrix, Matrix) {
+        let mut rng = crate::init::seeded_rng(17);
+        let mut xm = crate::init::normal_matrix(n, d, 0.0, 1.0, &mut rng);
+        // Exercise the zero-skip: it is part of the bitwise contract.
+        for (i, v) in xm.as_mut_slice().iter_mut().enumerate() {
+            if i % 7 == 3 {
+                *v = 0.0;
+            }
+        }
+        let wm = crate::init::normal_matrix(d, h, 0.0, 1.0, &mut rng);
+        let fm = crate::init::normal_matrix(n, d * h, 0.0, 1.0, &mut rng);
+        (xm, wm, fm)
+    }
+
+    /// Every SIMD tier of the gated row kernel must be bitwise identical to
+    /// the scalar body in deterministic mode (same chains, same zero-skip),
+    /// and within FMA rounding of it on the fast-math tier.
+    #[test]
+    fn gated_row_tiers_match_scalar_body() {
+        for &(n, d, h) in &[(5usize, 19usize, 16usize), (4, 8, 21), (3, 6, 7)] {
+            let (xm, wm, fm) = gated_fixture(n, d, h);
+            let mut oracle = vec![0.0f32; n * h];
+            for i in 0..n {
+                gated_row_body::<false>(
+                    xm.row(i),
+                    &wm,
+                    fm.row(i),
+                    &mut oracle[i * h..(i + 1) * h],
+                    h,
+                );
+            }
+            let mut tiered = vec![0.0f32; n * h];
+            crate::fastmath::with_fast_math(false, || {
+                gated_matmul_forward(&xm, &wm, &fm, &mut tiered);
+            });
+            assert_eq!(tiered, oracle, "deterministic tier diverged at {n}x{d}x{h}");
+            let mut fast = vec![0.0f32; n * h];
+            crate::fastmath::with_fast_math(true, || {
+                gated_matmul_forward(&xm, &wm, &fm, &mut fast);
+            });
+            for (a, b) in fast.iter().zip(oracle.iter()) {
+                let tol = 1e-5 * b.abs().max(1.0);
+                assert!(
+                    (a - b).abs() <= tol,
+                    "fast-math tier out of tolerance: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "perf probe, run with --ignored --nocapture"]
+    fn probe_gated_gflops() {
+        let (n, d, h) = (1000, 64, 16);
+        let (xm, wm, fm) = gated_fixture(n, d, h);
+        for (label, fast) in [("det", false), ("fast", true)] {
+            crate::fastmath::with_fast_math(fast, || {
+                let mut out = vec![0.0f32; n * h];
+                let mut best = f64::INFINITY;
+                for _ in 0..30 {
+                    out.fill(0.0);
+                    let t = std::time::Instant::now();
+                    gated_matmul_forward(&xm, &wm, &fm, &mut out);
+                    best = best.min(t.elapsed().as_secs_f64());
+                }
+                let gflops = (3 * n * d * h) as f64 / best / 1e9;
+                println!("gated {label}: {:.3} ms  {gflops:.2} GFLOP/s", best * 1e3);
+            });
         }
     }
 }

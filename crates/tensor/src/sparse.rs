@@ -2,6 +2,7 @@
 //! GCN-style propagation and an edge index (sorted by destination) for
 //! attention-style aggregation.
 
+use crate::gemm::{self, Isa};
 use crate::matrix::Matrix;
 use crate::par;
 
@@ -77,13 +78,38 @@ impl Csr {
     /// result is bit-identical to the serial loop at any thread count.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, x.cols());
-        self.spmm_acc(x, out.as_mut_slice());
+        self.spmm_to(x, out.as_mut_slice());
         out
+    }
+
+    /// Overwrite a caller-owned buffer with `self * x`. Seeds every
+    /// accumulator chain at literal `0.0` instead of loading the buffer —
+    /// bit-identical to zero-filling and then calling [`Csr::spmm_acc`]
+    /// (the chains are the same; only the redundant zero pass and the
+    /// output-row read are gone), and what the plan replay runs per epoch.
+    pub fn spmm_to(&self, x: &Matrix, out: &mut [f32]) {
+        self.spmm_dispatch(x, out, false);
     }
 
     /// Accumulate `self * x` into a caller-owned (pre-zeroed) buffer. Same
     /// partitioning and reduction order as [`Csr::spmm`], so bit-equal.
+    ///
+    /// Register-tiled like the dense GEMM (DESIGN.md §9): each output row is
+    /// processed in `NR`-wide column panels of `x`, holding the panel's
+    /// partial sums in register accumulators across the whole non-zero sweep
+    /// instead of read-modify-writing the output row once per non-zero.
+    /// Per output element the reduction is still one accumulator chain in
+    /// ascending CSR (`k`) order seeded from the existing output value —
+    /// panel width and ISA tier change only *which* elements an iteration
+    /// touches, so every tier stays bit-identical to the legacy row loop
+    /// (frozen as [`crate::legacy`]'s `naive_spmm`). Under `UVD_FAST_MATH=1`
+    /// the panel step becomes a fused multiply-add (rounding-level
+    /// difference only; see [`crate::fastmath`]).
     pub fn spmm_acc(&self, x: &Matrix, out: &mut [f32]) {
+        self.spmm_dispatch(x, out, true);
+    }
+
+    fn spmm_dispatch(&self, x: &Matrix, out: &mut [f32], acc: bool) {
         assert_eq!(
             self.cols,
             x.rows(),
@@ -96,20 +122,23 @@ impl Csr {
         let n = x.cols();
         assert_eq!(out.len(), self.rows * n, "spmm output buffer size");
         let work = self.nnz() * n;
+        let is = gemm::isa();
+        // Resolved on the calling thread so `with_fast_math` scopes reach
+        // the pool workers.
+        let fm = gemm::fast_math_active();
         par::for_each_row_block(out, n, work, |rows, chunk| {
-            for (ri, r) in rows.enumerate() {
-                let lo = self.indptr[r] as usize;
-                let hi = self.indptr[r + 1] as usize;
-                let o_row = &mut chunk[ri * n..(ri + 1) * n];
-                for k in lo..hi {
-                    let c = self.indices[k] as usize;
-                    let v = self.values[k];
-                    let x_row = &x.as_slice()[c * n..(c + 1) * n];
-                    for (o, &xv) in o_row.iter_mut().zip(x_row.iter()) {
-                        *o += v * xv;
-                    }
-                }
-            }
+            spmm_rows(
+                is,
+                fm,
+                acc,
+                &self.indptr,
+                &self.indices,
+                &self.values,
+                x.as_slice(),
+                n,
+                rows,
+                chunk,
+            );
         });
     }
 
@@ -193,6 +222,186 @@ impl Csr {
             values,
         }
     }
+}
+
+/// Dispatch one worker chunk of spmm output rows to the ISA-tier kernel.
+/// Tier selection affects panel width only, never results (deterministic
+/// mode) — see [`Csr::spmm_acc`].
+#[allow(clippy::too_many_arguments)]
+fn spmm_rows(
+    is: Isa,
+    fm: bool,
+    acc: bool,
+    indptr: &[u32],
+    indices: &[u32],
+    values: &[f32],
+    xs: &[f32],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    chunk: &mut [f32],
+) {
+    match is {
+        // Scalar tier: no FMA hardware guarantee, fast-math requests fall
+        // back to the deterministic chain (same policy as the GEMM driver).
+        Isa::Scalar => spmm_rows_body::<8, false>(acc, indptr, indices, values, xs, n, rows, chunk),
+        // SAFETY: `gemm::isa()` only returns these tiers after runtime
+        // feature detection, and `fm` is only true when `fma` was detected.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            if fm {
+                spmm_rows_avx2_fma(acc, indptr, indices, values, xs, n, rows, chunk)
+            } else {
+                spmm_rows_avx2(acc, indptr, indices, values, xs, n, rows, chunk)
+            }
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe {
+            if fm {
+                spmm_rows_avx512_fma(acc, indptr, indices, values, xs, n, rows, chunk)
+            } else {
+                spmm_rows_avx512(acc, indptr, indices, values, xs, n, rows, chunk)
+            }
+        },
+    }
+}
+
+/// Generic register-tiled spmm row kernel. For each output row, sweep the
+/// row's non-zeros once per `NR`-wide column panel, keeping the panel's
+/// partial sums in a register accumulator array. `FMA=true` fuses the
+/// multiply-add (fast-math tier); `false` keeps separate mul + add
+/// (bit-identical to the legacy row loop). The column tail (`n % NR`) runs
+/// the same ascending-`k` chains at the leftover width.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn spmm_rows_body<const NR: usize, const FMA: bool>(
+    acc_seed: bool,
+    indptr: &[u32],
+    indices: &[u32],
+    values: &[f32],
+    xs: &[f32],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    chunk: &mut [f32],
+) {
+    let panels = n / NR;
+    for (ri, r) in rows.enumerate() {
+        let lo = indptr[r] as usize;
+        let hi = indptr[r + 1] as usize;
+        let o_row = &mut chunk[ri * n..(ri + 1) * n];
+        for t in 0..panels {
+            let j0 = t * NR;
+            let mut acc = [0.0f32; NR];
+            if acc_seed {
+                acc.copy_from_slice(&o_row[j0..j0 + NR]);
+            }
+            for k in lo..hi {
+                let c = indices[k] as usize;
+                let v = values[k];
+                let xp: &[f32; NR] = xs[c * n + j0..c * n + j0 + NR]
+                    .try_into()
+                    .expect("panel slice");
+                for (a, &xv) in acc.iter_mut().zip(xp.iter()) {
+                    if FMA {
+                        *a = v.mul_add(xv, *a);
+                    } else {
+                        // Separate mul + add, never fused: keeps the chain
+                        // bit-identical to the naive kernel.
+                        *a += v * xv;
+                    }
+                }
+            }
+            o_row[j0..j0 + NR].copy_from_slice(&acc);
+        }
+        let j0 = panels * NR;
+        if j0 < n {
+            let w = n - j0;
+            let mut acc = [0.0f32; NR];
+            if acc_seed {
+                acc[..w].copy_from_slice(&o_row[j0..]);
+            }
+            for k in lo..hi {
+                let c = indices[k] as usize;
+                let v = values[k];
+                let xp = &xs[c * n + j0..c * n + j0 + w];
+                for (a, &xv) in acc[..w].iter_mut().zip(xp.iter()) {
+                    if FMA {
+                        *a = v.mul_add(xv, *a);
+                    } else {
+                        *a += v * xv;
+                    }
+                }
+            }
+            o_row[j0..].copy_from_slice(&acc[..w]);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn spmm_rows_avx2(
+    acc: bool,
+    indptr: &[u32],
+    indices: &[u32],
+    values: &[f32],
+    xs: &[f32],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    chunk: &mut [f32],
+) {
+    spmm_rows_body::<16, false>(acc, indptr, indices, values, xs, n, rows, chunk);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn spmm_rows_avx2_fma(
+    acc: bool,
+    indptr: &[u32],
+    indices: &[u32],
+    values: &[f32],
+    xs: &[f32],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    chunk: &mut [f32],
+) {
+    spmm_rows_body::<16, true>(acc, indptr, indices, values, xs, n, rows, chunk);
+}
+
+/// AVX-512 tier: 64-wide panels (four zmm accumulator chains per panel,
+/// amortizing each non-zero's index/value load over four vector FLOPs).
+/// Panel width cannot change results — it only picks which elements a sweep
+/// touches — so the width is shared by the deterministic and fast variants.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn spmm_rows_avx512(
+    acc: bool,
+    indptr: &[u32],
+    indices: &[u32],
+    values: &[f32],
+    xs: &[f32],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    chunk: &mut [f32],
+) {
+    spmm_rows_body::<64, false>(acc, indptr, indices, values, xs, n, rows, chunk);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn spmm_rows_avx512_fma(
+    acc: bool,
+    indptr: &[u32],
+    indices: &[u32],
+    values: &[f32],
+    xs: &[f32],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    chunk: &mut [f32],
+) {
+    spmm_rows_body::<64, true>(acc, indptr, indices, values, xs, n, rows, chunk);
 }
 
 /// Directed edge list sorted by destination node, with CSR-style offsets per
@@ -322,6 +531,62 @@ mod tests {
         let y = a.spmm(&x);
         assert!((y.get(0, 0) - 0.5).abs() < 1e-6);
         assert!((y.get(0, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spmm_tiled_matches_naive_oracle_and_fast_math_is_close() {
+        let mut rng = crate::init::seeded_rng(42);
+        let (rows, cols, n) = (37, 29, 23); // tile-irregular everywhere
+        let mut coo = Vec::new();
+        for r in 0..rows as u32 {
+            if r % 5 == 3 {
+                continue; // leave some rows empty
+            }
+            for _ in 0..(r % 7) {
+                let c = (crate::init::normal(&mut rng).abs() * 7.0) as u32 % cols as u32;
+                coo.push((r, c, crate::init::normal(&mut rng)));
+            }
+        }
+        let a = Csr::from_coo(rows, cols, coo);
+        let x = crate::init::normal_matrix(cols, n, 0.0, 1.0, &mut rng);
+        let tiled = a.spmm(&x);
+        let oracle = crate::legacy::naive_spmm(&a, &x);
+        assert_eq!(tiled.as_slice(), oracle.as_slice());
+        let fast = crate::fastmath::with_fast_math(true, || a.spmm(&x));
+        for (d, f) in oracle.as_slice().iter().zip(fast.as_slice()) {
+            assert!((d - f).abs() <= 1e-5 * d.abs().max(1.0), "det {d} fast {f}");
+        }
+    }
+
+    #[test]
+    #[ignore = "manual perf probe: cargo test -p uvd-tensor --release -- --ignored probe_spmm --nocapture"]
+    fn probe_spmm_gflops() {
+        let nodes = 2000;
+        let n = 64;
+        let per_row = 8;
+        let mut rng = crate::init::seeded_rng(5);
+        let mut coo = Vec::new();
+        for r in 0..nodes as u32 {
+            for j in 0..per_row {
+                coo.push((r, (r + j * 131) % nodes as u32, 1.0 / per_row as f32));
+            }
+        }
+        let a = Csr::from_coo(nodes, nodes, coo);
+        let x = crate::init::normal_matrix(nodes, n, 0.0, 1.0, &mut rng);
+        for (label, fm) in [("det", false), ("fast", true)] {
+            crate::fastmath::with_fast_math(fm, || {
+                let mut best = f64::INFINITY;
+                let mut out = vec![0.0f32; nodes * n];
+                for _ in 0..20 {
+                    out.fill(0.0);
+                    let t = std::time::Instant::now();
+                    a.spmm_acc(&x, &mut out);
+                    best = best.min(t.elapsed().as_secs_f64());
+                }
+                let gflops = (2 * a.nnz() * n) as f64 / best / 1e9;
+                println!("spmm {label}: {:.3} ms  {gflops:.2} GFLOP/s", best * 1e3);
+            });
+        }
     }
 
     #[test]

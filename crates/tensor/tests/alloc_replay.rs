@@ -92,6 +92,90 @@ fn replayed_epoch_performs_zero_heap_allocations() {
     });
 }
 
+/// Same steady-state gate over a conv-bearing plan: the conv forward runs
+/// from the workspace-cached kernel pack, and both backward halves (the
+/// col2im `dx` pass and the `dk` GEMM accumulation) thread their im2col /
+/// matmul temporaries through reused thread-local scratch — on the serial
+/// replay path none of it may touch the heap. (Max-pool stays out of this
+/// tape: its backward still allocates per sample, documented in conv.rs.)
+#[test]
+fn replayed_conv_epoch_performs_zero_heap_allocations() {
+    uvd_obs::disable();
+    par::serial_scope(|| {
+        let meta = uvd_tensor::ConvMeta {
+            c_in: 2,
+            h_in: 8,
+            w_in: 8,
+            c_out: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let n = 6;
+        let mut rng = uvd_tensor::seeded_rng(13);
+        let x = uvd_tensor::init::normal_matrix(n, meta.in_len(), 0.0, 1.0, &mut rng);
+        let (co, klen) = meta.kernel_shape();
+        let kern = ParamRef::new(
+            "kern",
+            uvd_tensor::init::normal_matrix(co, klen, 0.0, 0.3, &mut rng),
+        );
+        let cb = ParamRef::new(
+            "cb",
+            uvd_tensor::init::normal_matrix(1, co, 0.0, 0.3, &mut rng),
+        );
+        let w = ParamRef::new(
+            "w",
+            uvd_tensor::init::normal_matrix(meta.out_len(), 1, 0.0, 0.3, &mut rng),
+        );
+        let mut set = ParamSet::new();
+        set.track(kern.clone());
+        set.track(cb.clone());
+        set.track(w.clone());
+        let targets: Arc<Vec<f32>> = Arc::new((0..n).map(|i| (i % 2) as f32).collect());
+        let weights = Arc::new(vec![1.0f32; n]);
+        let rows: Arc<Vec<u32>> = Arc::new((0..n as u32).collect());
+
+        let mut opt = Adam::new(0.01);
+        let mut g = Graph::new();
+        let xc = g.constant(x);
+        let kn = g.param(&kern);
+        let conv = g.conv2d(xc, kn, meta);
+        let cbn = g.param(&cb);
+        let hw = meta.h_out() * meta.w_out();
+        let biased = g.add_chan_bias(conv, cbn, co, hw);
+        let act = g.leaky_relu(biased, 0.1);
+        let wn = g.param(&w);
+        let z = g.matmul(act, wn);
+        let zl = g.gather_rows(z, rows);
+        let loss = g.bce_with_logits(zl, targets, weights);
+
+        let epoch = |g: &mut Graph, opt: &mut Adam, replay: bool| -> f32 {
+            if replay {
+                g.replay();
+            }
+            let lv = g.scalar(loss);
+            g.backward(loss);
+            g.write_grads();
+            opt.step(&set);
+            lv
+        };
+
+        epoch(&mut g, &mut opt, false);
+        epoch(&mut g, &mut opt, true);
+
+        let before = allocation_count();
+        let lv = epoch(&mut g, &mut opt, true);
+        let after = allocation_count();
+        assert!(lv.is_finite());
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state replayed conv epoch allocated {} times",
+            after - before
+        );
+    });
+}
+
 #[test]
 fn no_grad_inference_never_allocates_gradient_buffers() {
     par::serial_scope(|| {

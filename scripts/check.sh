@@ -14,12 +14,18 @@ cargo test -p uvd-tensor --release --test alloc_replay -q
 # Graceful-degradation gate in release mode: debug_assert-free builds must
 # also record faulted (seed, fold) units instead of panicking.
 cargo test -p uvd-eval --release --test fault_injection -q
+# Fast-math gate in release mode: the FMA tier must stay within rounding
+# tolerance of the deterministic oracle (and bit-stable across threads)
+# when the env var — not just the test-local override — selects it.
+UVD_FAST_MATH=1 cargo test -p uvd-tensor --release --test fastmath_tiers -q
 # Bench harness must keep compiling even when nobody runs it.
 cargo bench --workspace --no-run -q
-# Release perfsnap smoke pass: exercises the packed GEMM tiers, the fused
-# replay path, and the e2e fold end to end without rewriting the committed
+# Release perfsnap smoke passes, one per determinism tier: exercise the
+# packed GEMM tiers (deterministic and FMA), the fused replay path, and
+# the e2e fold end to end without rewriting the committed
 # BENCH_tensor.json numbers.
 cargo run --release -p uvd-bench --bin perfsnap -q -- --smoke
+UVD_FAST_MATH=1 cargo run --release -p uvd-bench --bin perfsnap -q -- --smoke
 # Tracing smoke: one eval fold with UVD_TRACE=jsonl:<tmp>, validating the
 # emitted records against the expected span/counter set and reconciling
 # stage durations against wall time (within 10%).
