@@ -32,9 +32,15 @@ use std::sync::Arc;
 use std::time::Instant;
 use uvd_bench::repo_root_path;
 use uvd_citysim::{City, CityPreset};
+use uvd_obs::alloc::CountingAlloc;
 use uvd_tensor::init::{normal_matrix, seeded_rng};
 use uvd_tensor::{fastmath, legacy, par, Adam, Csr, EdgeIndex, Graph};
 use uvd_urg::{Urg, UrgOptions};
+
+/// Counting allocator so the snapshot header can report the process's peak
+/// heap (two relaxed atomics per alloc — noise next to the timed kernels).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Fastest of `reps` timed runs, in milliseconds. The minimum is the
 /// noise-robust estimator on shared hosts: scheduler steal time and
@@ -457,7 +463,7 @@ fn main() {
         println!("\nsmoke run: leaving BENCH_tensor.json untouched");
         return;
     }
-    let doc = serde_json::json!({
+    let mut doc = serde_json::json!({
         "requested_threads": requested,
         "threads": threads,
         "thread_sweep": sweep,
@@ -467,11 +473,23 @@ fn main() {
         // fields used the FMA microkernels, via a scoped override.
         "fast_math": fastmath::enabled(),
         "fast_math_env": std::env::var("UVD_FAST_MATH").ok(),
+        // Process-wide peak heap over everything this snapshot ran (city
+        // build, kernel reps, both e2e folds), from the counting allocator.
+        "peak_bytes": uvd_obs::alloc::peak_bytes(),
         "kernels": kernels,
         "e2e": e2e,
         "trace": trace,
     });
     let path = repo_root_path("BENCH_tensor.json");
+    // The scaling curve is owned by the `scaling` binary; carry it across
+    // rewrites so the two tools can update the snapshot independently.
+    if let Some(prev) = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| serde_json::from_str_value(&t).ok())
+        .and_then(|v| v.get("scaling").cloned())
+    {
+        doc.set("scaling", prev);
+    }
     std::fs::write(
         &path,
         serde_json::to_string_pretty(&doc).expect("serialize snapshot") + "\n",

@@ -1,0 +1,238 @@
+//! Synthetic-city scaling harness: stream-build the URG and train CMSF in
+//! neighbor-sampled mini-batch mode at 10k / 50k / 350k regions, recording
+//! wall time per training epoch and the process's peak heap bytes into the
+//! `scaling` key of `BENCH_tensor.json`.
+//!
+//! The cities are generated through the tile path ([`CityStream`] →
+//! [`ShardedUrg`]), so the 350k-region run never materializes the ~4.3 GB
+//! of imagery a monolithic `City::from_config` would hold — only one tile
+//! band at a time plus the extracted 320-dim feature rows. Peak memory is
+//! measured by the `uvd_obs` counting allocator (installed as the global
+//! allocator of this binary), i.e. it covers *everything*: city skeleton,
+//! shard blocks, the training tapes, and the optimizer state.
+//!
+//! `--smoke` is the release-mode gate wired into `scripts/check.sh`: the
+//! 50k city only, streamed build + two sampled master epochs + one slave
+//! epoch, asserting (1) peak heap stays under a budget that a monolithic
+//! imagery buffer alone would blow, and (2) the emitted JSONL trace
+//! contains the new `urg.shard.build` and `cmsf.sample` spans. Smoke mode
+//! leaves `BENCH_tensor.json` untouched.
+//!
+//! `--sizes 100,224` restricts the full run to the listed grid sides
+//! (default `100,224,592` ≈ 10k / 50k / 350k regions).
+
+use cmsf::{Cmsf, CmsfConfig};
+use std::time::Instant;
+use uvd_bench::repo_root_path;
+use uvd_citysim::CityConfig;
+use uvd_citysim::CityStream;
+use uvd_obs::alloc::{self, CountingAlloc};
+use uvd_urg::{ShardedUrg, UrgOptions};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Rows of grid cells per streamed tile. Small enough that a tile of the
+/// 592-wide city holds ~9.3k imagery rows (~115 MB) — the bounded working
+/// set of the build phase.
+const TILE_ROWS: usize = 16;
+
+/// Labeled seed regions per mini-batch and the per-hop neighbor cap used
+/// for every scaling row (the point is the memory/throughput curve, so all
+/// sizes train with the same sampling policy).
+const BATCH: usize = 256;
+const FANOUT: usize = 6;
+
+/// Peak-heap budget for the 50k smoke gate. The monolithic imagery buffer
+/// alone for this city is 50_176 × 3072 × 4 B ≈ 616 MiB; the streamed
+/// pipeline — build, feature matrices, every batch tape, and the
+/// full-graph freeze pass — must fit in less than that single buffer.
+const SMOKE_PEAK_BUDGET: usize = 560 << 20;
+
+/// A scaling-family city: same structural densities at every size, so the
+/// curve isolates region count. Patch/center/nature counts scale with area.
+fn scale_city(side: usize) -> CityConfig {
+    let area = side * side;
+    CityConfig {
+        name: format!("scale-{side}x{side}"),
+        height: side,
+        width: side,
+        n_centers: (area / 40_000 + 1).min(6),
+        n_uv_patches: (area / 400).max(8),
+        uv_patch_size: (4, 10),
+        uv_discovery_rate: 0.85,
+        non_uv_label_ratio: 4.0,
+        road_spacing: 2,
+        road_keep_prob: 0.85,
+        poi_density: 0.3,
+        n_nature_patches: (area / 10_000).max(2),
+    }
+}
+
+struct SizeResult {
+    row: serde_json::Value,
+    peak_bytes: usize,
+}
+
+/// Stream-build one city size and train `master_epochs + slave_epochs`
+/// sampled epochs. Returns the JSON row and the observed peak heap.
+fn run_size(side: usize, master_epochs: usize, slave_epochs: usize) -> SizeResult {
+    alloc::reset_peak();
+    let cfg = scale_city(side);
+    let name = cfg.name.clone();
+    let t_build = Instant::now();
+    let stream = CityStream::new(cfg, 11, TILE_ROWS);
+    let sharded = ShardedUrg::from_stream(stream, UrgOptions::default());
+    let stats = sharded.stats();
+    let urg = sharded.into_urg();
+    let build_secs = t_build.elapsed().as_secs_f64();
+    let build_peak = alloc::peak_bytes();
+
+    let mut mcfg = CmsfConfig::fast_test();
+    mcfg.master_epochs = master_epochs;
+    mcfg.slave_epochs = slave_epochs;
+    mcfg.batch_size = BATCH;
+    mcfg.sample_fanout = FANOUT;
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut model = Cmsf::new(&urg, mcfg);
+    let t_master = Instant::now();
+    let master_loss = model.train_master(&urg, &train).expect("master trains");
+    let master_secs = t_master.elapsed().as_secs_f64();
+    let t_slave = Instant::now();
+    let slave_loss = model.train_slave(&urg, &train).expect("slave trains");
+    let slave_secs = t_slave.elapsed().as_secs_f64();
+    let peak = alloc::peak_bytes();
+
+    let epoch_secs = master_secs / master_epochs as f64;
+    println!(
+        "{name:16} {:>8} regions  {:>9} edges  {:>3} shards  build {build_secs:7.2}s  \
+         epoch {epoch_secs:7.2}s  slave/ep {:7.2}s  peak {:7.1} MiB (build {:7.1} MiB)  \
+         loss {master_loss:.4}/{slave_loss:.4}",
+        stats.n_regions,
+        stats.n_edges,
+        stats.shards.len(),
+        slave_secs / slave_epochs as f64,
+        peak as f64 / (1 << 20) as f64,
+        build_peak as f64 / (1 << 20) as f64,
+    );
+    SizeResult {
+        row: serde_json::json!({
+            "name": name,
+            "n_regions": stats.n_regions,
+            "n_edges": stats.n_edges,
+            "n_shards": stats.shards.len(),
+            "n_labeled": urg.labeled.len(),
+            "batch": BATCH,
+            "fanout": FANOUT,
+            "build_secs": build_secs,
+            "build_peak_bytes": build_peak,
+            "master_epochs": master_epochs,
+            "master_epoch_secs": epoch_secs,
+            "slave_epochs": slave_epochs,
+            "slave_epoch_secs": slave_secs / slave_epochs as f64,
+            "peak_bytes": peak,
+            "master_loss": master_loss,
+            "slave_loss": slave_loss,
+        }),
+        peak_bytes: peak,
+    }
+}
+
+/// The `--smoke` gate: 50k city, two sampled master epochs, trace + budget
+/// asserts. See the module docs.
+fn smoke() {
+    let trace_path = std::env::temp_dir().join("uvd_scaling_smoke.jsonl");
+    uvd_obs::set_jsonl(&trace_path).expect("jsonl trace sink");
+    let r = run_size(224, 2, 1);
+    uvd_obs::disable(); // flush so the trace file is complete
+
+    assert!(
+        r.peak_bytes < SMOKE_PEAK_BUDGET,
+        "peak heap {:.1} MiB exceeds the {:.0} MiB streaming budget",
+        r.peak_bytes as f64 / (1 << 20) as f64,
+        SMOKE_PEAK_BUDGET as f64 / (1 << 20) as f64,
+    );
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace file readable");
+    let mut saw_shard_build = false;
+    let mut sampled_batches = 0usize;
+    let field = |v: &serde_json::Value, name: &str| -> f64 {
+        v.get("fields")
+            .and_then(|f| f.get(name))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0)
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let v: serde_json::Value = serde_json::from_str_value(line)
+            .unwrap_or_else(|e| panic!("trace line {} is not valid JSON: {e}", lineno + 1));
+        if v.get("type").and_then(|t| t.as_str()) != Some("span") {
+            continue;
+        }
+        match v.get("name").and_then(|n| n.as_str()) {
+            Some("urg.shard.build") => {
+                saw_shard_build = true;
+                let n = field(&v, "n_regions");
+                assert!(
+                    (n - 50176.0).abs() < 0.5,
+                    "urg.shard.build span must record the 224x224 region count, got {n}"
+                );
+            }
+            Some("cmsf.sample") => {
+                sampled_batches += 1;
+                let nodes = field(&v, "nodes");
+                let seeds = field(&v, "seeds");
+                assert!(
+                    seeds > 0.0 && nodes >= seeds && nodes < 50176.0,
+                    "cmsf.sample span must cover seeds without exploding to the full graph \
+                     (seeds {seeds}, nodes {nodes})"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        saw_shard_build,
+        "trace must contain the urg.shard.build span"
+    );
+    assert!(
+        sampled_batches > 0,
+        "trace must contain cmsf.sample spans (mini-batch mode did not engage)"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+    println!(
+        "scaling --smoke: ok (peak {:.1} MiB < {:.0} MiB budget, {sampled_batches} sampled batches)",
+        r.peak_bytes as f64 / (1 << 20) as f64,
+        SMOKE_PEAK_BUDGET as f64 / (1 << 20) as f64,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let sides: Vec<usize> = match args.iter().position(|a| a == "--sizes") {
+        Some(i) => args[i + 1]
+            .split(',')
+            .map(|s| s.trim().parse().expect("bad --sizes entry"))
+            .collect(),
+        None => vec![100, 224, 592],
+    };
+    let rows: Vec<serde_json::Value> = sides.iter().map(|&side| run_size(side, 3, 1).row).collect();
+
+    // Read-modify-write: the scaling curve lives alongside perfsnap's
+    // kernel numbers in BENCH_tensor.json without clobbering them.
+    let path = repo_root_path("BENCH_tensor.json");
+    let mut doc: serde_json::Value = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| serde_json::from_str_value(&t).ok())
+        .unwrap_or_else(|| serde_json::json!({}));
+    doc.set("scaling", serde_json::Value::Array(rows));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serialize snapshot") + "\n",
+    )
+    .expect("write BENCH_tensor.json");
+    println!("wrote scaling rows to {}", path.display());
+}

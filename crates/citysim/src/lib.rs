@@ -33,9 +33,11 @@ pub mod landuse;
 pub mod noise;
 pub mod poi;
 pub mod roads;
+pub mod stream;
 pub mod types;
 
 pub use config::{CityConfig, CityPreset};
+pub use stream::{CityStream, CityTile};
 pub use types::{
     City, FacilityClass, LandUse, Poi, PoiCategory, PoiKind, RadiusType, RegionProfile,
     RoadNetwork, SurveyLabels, CELL_METERS, IMG_CHANNELS, IMG_LEN, IMG_SIZE,

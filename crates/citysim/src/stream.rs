@@ -1,0 +1,257 @@
+//! Tile-streaming city emitter: produce a city in region blocks instead of
+//! one giant [`City`], so Beijing-scale grids (~350k regions) never hold
+//! all imagery in memory at once (354k regions × 3072 floats ≈ 4.3 GB —
+//! the tile path holds one band of rows at a time).
+//!
+//! The stream runs the exact generation pipeline of [`City::from_config`]
+//! against a single sequentially-consumed RNG: the cheap "skeleton" stages
+//! (land use → profiles → POIs → roads) run up front in `new`, then each
+//! [`CityStream::next_tile`] renders the imagery for the next band of grid
+//! rows with the *same continuing* RNG, and [`CityStream::finish`] runs the
+//! label survey last. Because [`imagery::render_city`] renders regions
+//! strictly in order with one shared RNG, splitting the loop at arbitrary
+//! row boundaries consumes identical RNG draws — a fully streamed city is
+//! **bitwise equal** to the monolithic one ([`tests::streamed_equals_monolithic`]).
+//!
+//! The skeleton (land use, profiles, POIs, roads) stays resident for the
+//! whole stream — it is O(n) small fields, not O(n × IMG_LEN) — so graph
+//! construction (edges, POI features) can start before any tile is pulled.
+
+use crate::config::CityConfig;
+use crate::imagery;
+use crate::landuse::{self, LandUseMap};
+use crate::types::{City, Poi, RegionProfile, RoadNetwork, SurveyLabels, IMG_LEN};
+use crate::{labels, poi, roads};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One band of rendered regions: grid rows `row_start..row_start + n_rows`,
+/// i.e. regions `region_start..region_start + n_rows * width`.
+pub struct CityTile {
+    /// First grid row covered by this tile.
+    pub row_start: usize,
+    /// Number of grid rows in this tile (last tile may be short).
+    pub n_rows: usize,
+    /// First region id in this tile (`row_start * width`).
+    pub region_start: usize,
+    /// Number of regions in this tile.
+    pub n_regions: usize,
+    /// Channel-major imagery, `n_regions × IMG_LEN`.
+    pub images: Vec<f32>,
+}
+
+/// Streaming counterpart of [`City::from_config`]. The skeleton is
+/// generated eagerly; imagery arrives per tile; labels arrive at
+/// [`CityStream::finish`].
+pub struct CityStream {
+    cfg: CityConfig,
+    seed: u64,
+    tile_rows: usize,
+    rng: SmallRng,
+    next_row: usize,
+    map: LandUseMap,
+    profiles: Vec<RegionProfile>,
+    pois: Vec<Poi>,
+    roads: RoadNetwork,
+}
+
+impl CityStream {
+    /// Run the skeleton stages (land use → profiles → POIs → roads) and
+    /// position the RNG at the start of imagery rendering. `tile_rows` is
+    /// the number of grid rows per emitted tile (clamped to ≥ 1).
+    pub fn new(cfg: CityConfig, seed: u64, tile_rows: usize) -> CityStream {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let map = landuse::generate_land_use(&cfg, &mut rng);
+        let profiles = landuse::derive_profiles(&cfg, &map, &mut rng);
+        let pois = poi::generate_pois(&cfg, &map, &profiles, &mut rng);
+        let roads = roads::generate_roads(&cfg, &map, &mut rng);
+        CityStream {
+            cfg,
+            seed,
+            tile_rows: tile_rows.max(1),
+            rng,
+            next_row: 0,
+            map,
+            profiles,
+            pois,
+            roads,
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.cfg.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.cfg.height
+    }
+
+    pub fn n_regions(&self) -> usize {
+        self.cfg.width * self.cfg.height
+    }
+
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of tiles the stream will emit in total.
+    pub fn n_tiles(&self) -> usize {
+        self.cfg.height.div_ceil(self.tile_rows)
+    }
+
+    /// Per-region observable profiles (full city, available up front).
+    pub fn profiles(&self) -> &[RegionProfile] {
+        &self.profiles
+    }
+
+    /// POIs (full city, available up front).
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// Road network (full city, available up front).
+    pub fn roads(&self) -> &RoadNetwork {
+        &self.roads
+    }
+
+    /// Render the next band of rows. Returns `None` once every row has been
+    /// emitted; after that, call [`CityStream::finish`] for the labels.
+    pub fn next_tile(&mut self) -> Option<CityTile> {
+        if self.next_row >= self.cfg.height {
+            return None;
+        }
+        let row_start = self.next_row;
+        let n_rows = self.tile_rows.min(self.cfg.height - row_start);
+        self.next_row += n_rows;
+        let region_start = row_start * self.cfg.width;
+        let n_regions = n_rows * self.cfg.width;
+        let mut images = vec![0.0f32; n_regions * IMG_LEN];
+        for i in 0..n_regions {
+            imagery::render_region(
+                self.profiles[region_start + i],
+                &mut self.rng,
+                &mut images[i * IMG_LEN..(i + 1) * IMG_LEN],
+            );
+        }
+        Some(CityTile {
+            row_start,
+            n_rows,
+            region_start,
+            n_regions,
+            images,
+        })
+    }
+
+    /// Run the label survey. Must be called after the last tile has been
+    /// pulled — the survey draws from the RNG *after* all imagery, exactly
+    /// as in [`City::from_config`].
+    pub fn finish(mut self) -> SurveyLabels {
+        assert!(
+            self.next_row >= self.cfg.height,
+            "finish() before all tiles were pulled would misalign the RNG \
+             ({}/{} rows emitted)",
+            self.next_row,
+            self.cfg.height
+        );
+        labels::survey(&self.cfg, &self.map, &mut self.rng)
+    }
+
+    /// Drain the remaining tiles and assemble a monolithic [`City`] —
+    /// bitwise equal to `City::from_config(cfg, seed)`. Intended for small
+    /// cities and for equivalence tests; defeats the purpose at scale.
+    pub fn collect_city(mut self) -> City {
+        let n = self.n_regions();
+        let mut images = vec![0.0f32; n * IMG_LEN];
+        while let Some(tile) = self.next_tile() {
+            let lo = tile.region_start * IMG_LEN;
+            images[lo..lo + tile.images.len()].copy_from_slice(&tile.images);
+        }
+        let height = self.cfg.height;
+        let width = self.cfg.width;
+        let seed = self.seed;
+        let name = self.cfg.name.clone();
+        let land_use = self.map.cells.clone();
+        let profiles = std::mem::take(&mut self.profiles);
+        let pois = std::mem::take(&mut self.pois);
+        let roads = std::mem::take(&mut self.roads);
+        let labels = self.finish();
+        City {
+            height,
+            width,
+            land_use,
+            profiles,
+            pois,
+            roads,
+            images,
+            labels,
+            seed,
+            name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CityPreset;
+
+    #[test]
+    fn streamed_equals_monolithic() {
+        let cfg = CityPreset::tiny();
+        let mono = City::from_config(cfg.clone(), 42);
+        // A tile height that does not divide the grid exercises the short
+        // final tile.
+        let streamed = CityStream::new(cfg, 42, 5).collect_city();
+        assert_eq!(mono.land_use, streamed.land_use);
+        assert_eq!(mono.profiles, streamed.profiles);
+        assert_eq!(mono.pois.len(), streamed.pois.len());
+        assert_eq!(mono.roads.edges, streamed.roads.edges);
+        assert_eq!(
+            mono.images, streamed.images,
+            "imagery must be bitwise equal"
+        );
+        assert_eq!(mono.labels.uv_regions, streamed.labels.uv_regions);
+        assert_eq!(mono.labels.non_uv_regions, streamed.labels.non_uv_regions);
+    }
+
+    #[test]
+    fn tile_geometry_covers_city_once() {
+        let cfg = CityPreset::tiny(); // 18×18
+        let mut stream = CityStream::new(cfg, 7, 4);
+        assert_eq!(stream.n_tiles(), 5); // ceil(18/4)
+        let mut next_expected = 0usize;
+        let mut tiles = 0usize;
+        while let Some(t) = stream.next_tile() {
+            assert_eq!(t.region_start, next_expected);
+            assert_eq!(t.n_regions, t.n_rows * 18);
+            assert_eq!(t.images.len(), t.n_regions * IMG_LEN);
+            next_expected += t.n_regions;
+            tiles += 1;
+        }
+        assert_eq!(tiles, 5);
+        assert_eq!(next_expected, stream.n_regions());
+        let labels = stream.finish();
+        assert!(!labels.uv_regions.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finish() before all tiles")]
+    fn finish_early_panics() {
+        let mut stream = CityStream::new(CityPreset::tiny(), 1, 4);
+        let _ = stream.next_tile();
+        let _ = stream.finish();
+    }
+
+    #[test]
+    fn tile_height_does_not_change_output() {
+        let cfg = CityPreset::tiny();
+        let a = CityStream::new(cfg.clone(), 9, 1).collect_city();
+        let b = CityStream::new(cfg, 9, 100).collect_city();
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.labels.uv_regions, b.labels.uv_regions);
+    }
+}

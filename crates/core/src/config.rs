@@ -47,6 +47,15 @@ pub struct CmsfConfig {
     /// Design-choice ablation: soft regions→clusters collection instead of
     /// the paper's binarized assignment (eq. 10).
     pub soft_collection: bool,
+    /// Labeled seed regions per mini-batch for neighbor-sampled training.
+    /// 0 (default) trains full-batch — the bitwise-deterministic reference
+    /// path. Overridable via the `UVD_BATCH` environment variable.
+    pub batch_size: usize,
+    /// Incoming-neighbor cap per node per hop when sampling a mini-batch
+    /// subgraph. 0 (default) takes every neighbor: the exact k-hop closure,
+    /// whose forward is bitwise-equal to slicing the full-graph forward.
+    /// Overridable via `UVD_SAMPLE_FANOUT`.
+    pub sample_fanout: usize,
 }
 
 impl Default for CmsfConfig {
@@ -71,6 +80,8 @@ impl Default for CmsfConfig {
             use_hierarchy: true,
             use_gate: true,
             soft_collection: false,
+            batch_size: 0,
+            sample_fanout: 0,
         }
     }
 }

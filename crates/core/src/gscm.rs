@@ -43,6 +43,34 @@ impl FixedAssignment {
         self.b_hard_t.rows()
     }
 
+    /// Restrict the frozen assignment to an induced node subset (ascending
+    /// global region ids), for mini-batch slave training. `b_soft` rows and
+    /// `cluster_of` are gathered verbatim; `b_hard_t` is rebuilt over the
+    /// subset with per-batch mean weights `1/|cluster ∩ batch|`, mirroring
+    /// [`Gscm::binarize_t`]'s construction (clusters with no member in the
+    /// batch get an all-zero row). `pseudo` is per-cluster global state and
+    /// is carried unchanged.
+    pub fn induced(&self, nodes: &[u32]) -> FixedAssignment {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must ascend");
+        let k = self.k();
+        let b_soft = self.b_soft.gather_rows(nodes);
+        let cluster_of: Vec<u32> = nodes.iter().map(|&i| self.cluster_of[i as usize]).collect();
+        let mut counts = vec![0usize; k];
+        for &j in &cluster_of {
+            counts[j as usize] += 1;
+        }
+        let mut b_hard_t = Matrix::zeros(k, nodes.len());
+        for (i, &j) in cluster_of.iter().enumerate() {
+            b_hard_t.set(j as usize, i, 1.0 / counts[j as usize] as f32);
+        }
+        FixedAssignment {
+            b_soft,
+            b_hard_t,
+            pseudo: self.pseudo.clone(),
+            cluster_of,
+        }
+    }
+
     /// Clusters containing at least one known UV (`C₁`) and the rest (`C₀`).
     pub fn partition(&self) -> (Vec<u32>, Vec<u32>) {
         let mut c1 = Vec::new();
@@ -309,6 +337,35 @@ mod tests {
         let (c1, c0) = fixed.partition();
         assert_eq!(c1, vec![0, 2]);
         assert_eq!(c0, vec![1]);
+    }
+
+    #[test]
+    fn induced_assignment_rebalances_hard_weights() {
+        // 5 regions: clusters [0, 1, 1, 0, 2]; restrict to nodes {0, 1, 2}.
+        let b_soft = Matrix::from_rows(&[
+            &[0.8, 0.1, 0.1],
+            &[0.1, 0.8, 0.1],
+            &[0.2, 0.7, 0.1],
+            &[0.6, 0.3, 0.1],
+            &[0.1, 0.2, 0.7],
+        ]);
+        let fixed = FixedAssignment {
+            b_soft: b_soft.clone(),
+            b_hard_t: Matrix::zeros(3, 5), // unused by induced()
+            pseudo: vec![1.0, 0.0, 1.0],
+            cluster_of: vec![0, 1, 1, 0, 2],
+        };
+        let sub = fixed.induced(&[0, 1, 2]);
+        assert_eq!(sub.cluster_of, vec![0, 1, 1]);
+        assert_eq!(sub.pseudo, fixed.pseudo, "pseudo labels are global");
+        assert_eq!(sub.b_soft.shape(), (3, 3));
+        assert_eq!(sub.b_soft.row(2), b_soft.row(2), "rows gathered verbatim");
+        // Cluster 0 has one member in the batch -> weight 1; cluster 1 has
+        // two -> 1/2 each; cluster 2 none -> all-zero row.
+        assert_eq!(sub.b_hard_t.get(0, 0), 1.0);
+        assert_eq!(sub.b_hard_t.get(1, 1), 0.5);
+        assert_eq!(sub.b_hard_t.get(1, 2), 0.5);
+        assert!((0..3).all(|i| sub.b_hard_t.get(2, i) == 0.0));
     }
 
     #[test]

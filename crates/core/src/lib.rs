@@ -31,6 +31,7 @@
 //! ```
 
 pub mod config;
+pub mod env;
 pub mod gate;
 pub mod gscm;
 pub mod maga;

@@ -5,11 +5,12 @@ use crate::config::CmsfConfig;
 use crate::gate::MsGate;
 use crate::gscm::{FixedAssignment, Gscm};
 use crate::maga::MagaStack;
+use rand::seq::SliceRandom;
 use std::sync::Arc;
 use std::time::Instant;
 use uvd_nn::{Activation, FusionAgg, Linear, Mlp};
 use uvd_tensor::init::{derive_seed, seeded_rng};
-use uvd_tensor::{Adam, Graph, NodeId, ParamSet};
+use uvd_tensor::{Adam, Graph, NeighborSampler, NodeId, ParamSet};
 use uvd_urg::{Detector, FitError, FitReport, Urg};
 
 /// `(labeled rows, targets, weights)` triple shared by the BCE losses.
@@ -43,9 +44,28 @@ struct Repr {
     h_prime: Option<NodeId>,
 }
 
+/// One sampled mini-batch: the induced subgraph, its (ascending) global
+/// node ids, and the BCE vectors remapped to subgraph-local rows.
+struct SampledBatch {
+    sub: Urg,
+    nodes: Vec<u32>,
+    rows: Arc<Vec<u32>>,
+    targets: Arc<Vec<f32>>,
+    weights: Arc<Vec<f32>>,
+}
+
 impl Cmsf {
-    /// Construct CMSF for a URG's feature dimensions.
+    /// Construct CMSF for a URG's feature dimensions. The mini-batch knobs
+    /// honor `UVD_BATCH` / `UVD_SAMPLE_FANOUT` over the programmatic config
+    /// (same env-wins precedence as `UVD_THREADS`).
     pub fn new(urg: &Urg, cfg: CmsfConfig) -> Self {
+        let mut cfg = cfg;
+        if let Some(b) = crate::env::env_batch() {
+            cfg.batch_size = b;
+        }
+        if let Some(f) = crate::env::env_fanout() {
+            cfg.sample_fanout = f;
+        }
         let mut rng = seeded_rng(derive_seed(cfg.seed, 0xC35F));
         let d_poi = urg.x_poi.cols();
         let (img_reduce, d_img) = if urg.has_image() {
@@ -194,10 +214,93 @@ impl Cmsf {
         (Arc::new(rows), Arc::new(targets), Arc::new(weights))
     }
 
+    /// Seed streams for the deterministic mini-batch machinery (arbitrary
+    /// constants, distinct from the 0xC35F parameter-init stream).
+    const SEED_BATCH_SHUFFLE: u64 = 0xB47C_0001;
+    const SEED_SAMPLER: u64 = 0xB47C_0002;
+
+    /// Deterministic mini-batch partition of the train split: one seeded
+    /// Fisher-Yates shuffle, then contiguous chunks of `cfg.batch_size`.
+    /// The partition is a pure function of `(cfg.seed, train_idx)` — fixed
+    /// across epochs and across both training stages, so each batch's tape
+    /// is recorded once and replayed. `None` when mini-batching is off
+    /// (batch 0) or pointless (batch ≥ train set), in which case the
+    /// caller takes the full-batch path — the bitwise-deterministic oracle.
+    fn minibatches(&self, train_idx: &[usize]) -> Option<Vec<Vec<usize>>> {
+        let b = self.cfg.batch_size;
+        if b == 0 || b >= train_idx.len() {
+            return None;
+        }
+        let mut idx = train_idx.to_vec();
+        let mut rng = seeded_rng(derive_seed(self.cfg.seed, Self::SEED_BATCH_SHUFFLE));
+        idx.shuffle(&mut rng);
+        Some(idx.chunks(b).map(|c| c.to_vec()).collect())
+    }
+
+    /// Sample one batch's subgraph: the k-hop incoming neighborhood of the
+    /// batch's labeled seed regions (k = MAGA depth, per-hop fanout cap from
+    /// the config), materialized as an induced [`Urg`] with the BCE vectors
+    /// remapped to subgraph-local rows. The sampler seed depends only on
+    /// `(cfg.seed, batch_no)`, so master and slave stages see identical
+    /// subgraphs and reruns are reproducible at any thread count.
+    fn sample_batch(&self, urg: &Urg, batch_idx: &[usize], batch_no: usize) -> SampledBatch {
+        let mut sp = uvd_obs::span("cmsf.sample").field("batch", batch_no as f64);
+        let mut seeds: Vec<u32> = batch_idx.iter().map(|&i| urg.labeled[i]).collect();
+        seeds.sort_unstable();
+        let sampler = NeighborSampler::new(
+            derive_seed(
+                derive_seed(self.cfg.seed, Self::SEED_SAMPLER),
+                batch_no as u64,
+            ),
+            self.cfg.sample_fanout,
+            self.cfg.maga_layers,
+        );
+        let nodes = sampler.sample(&urg.edges, &seeds);
+        sp.add_field("seeds", seeds.len() as f64);
+        sp.add_field("nodes", nodes.len() as f64);
+        sp.add_field("fanout", self.cfg.sample_fanout as f64);
+        let sub = urg.induced(&nodes);
+        // The loss runs over the batch's seeds only — other labeled regions
+        // pulled in as neighbors contribute context, not supervision.
+        let mut rows = Vec::with_capacity(batch_idx.len());
+        let mut targets = Vec::with_capacity(batch_idx.len());
+        for &i in batch_idx {
+            let local = nodes
+                .binary_search(&urg.labeled[i])
+                .expect("seed row must be in its own sampled subgraph");
+            rows.push(local as u32);
+            targets.push(urg.y[i]);
+        }
+        let weights = vec![1.0f32; rows.len()];
+        SampledBatch {
+            sub,
+            nodes,
+            rows: Arc::new(rows),
+            targets: Arc::new(targets),
+            weights: Arc::new(weights),
+        }
+    }
+
+    /// Fold the resident workspace of a set of simultaneously-live tapes
+    /// into the peak-workspace statistic (all batch tapes are held for
+    /// replay, so their *sum* is what is resident at once).
+    fn note_peak_ws(&mut self, tapes: &[(Graph, NodeId)]) {
+        let total: usize = tapes.iter().map(|(g, _)| g.workspace_bytes()).sum();
+        self.peak_ws_bytes = self.peak_ws_bytes.max(total);
+    }
+
     /// Algorithm 1: master training stage. Returns the average loss of the
     /// final epoch, or [`FitError::NonFiniteLoss`] at the first epoch whose
     /// loss diverges (no point polishing garbage parameters).
+    ///
+    /// With `cfg.batch_size > 0` the stage trains on neighbor-sampled
+    /// mini-batches instead of the whole graph (see
+    /// [`Cmsf::train_master_minibatch`]); full-batch remains the default
+    /// and the bitwise-deterministic reference.
     pub fn train_master(&mut self, urg: &Urg, train_idx: &[usize]) -> Result<f32, FitError> {
+        if let Some(batches) = self.minibatches(train_idx) {
+            return self.train_master_minibatch(urg, train_idx, &batches);
+        }
         let _stage = uvd_obs::span("cmsf.master").field("epochs", self.cfg.master_epochs as f64);
         let (rows, targets, weights) = self.bce_vectors(urg, train_idx);
         let mut opt = Adam::new(self.cfg.lr);
@@ -220,6 +323,64 @@ impl Cmsf {
             opt.decay(self.cfg.lr_decay);
         }
         self.peak_ws_bytes = self.peak_ws_bytes.max(g.workspace_bytes());
+        self.freeze_assignment(urg, train_idx);
+        Ok(last)
+    }
+
+    /// Mini-batch master stage (GraphSAGE-style): per batch, sample a
+    /// subgraph and record one tape against the current parameters (first
+    /// epoch); later epochs replay every batch tape in the same fixed
+    /// order — zero steady-state allocation, exactly the full-batch
+    /// record-replay contract applied per batch. SGD over neighbor-sampled
+    /// subgraphs approximates the full-batch objective and is validated by
+    /// the convergence contract, not bitwise equality. Returns the mean
+    /// batch loss of the final epoch.
+    fn train_master_minibatch(
+        &mut self,
+        urg: &Urg,
+        train_idx: &[usize],
+        batches: &[Vec<usize>],
+    ) -> Result<f32, FitError> {
+        let _stage = uvd_obs::span("cmsf.master")
+            .field("epochs", self.cfg.master_epochs as f64)
+            .field("batches", batches.len() as f64);
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut tapes: Vec<(Graph, NodeId)> = Vec::with_capacity(batches.len());
+        let mut last = 0.0;
+        for epoch in 0..self.cfg.master_epochs {
+            let mut ep = uvd_obs::span("cmsf.master.epoch").field("epoch", epoch as f64);
+            let mut sum = 0.0;
+            for (b_no, b_idx) in batches.iter().enumerate() {
+                if epoch == 0 {
+                    let batch = self.sample_batch(urg, b_idx, b_no);
+                    let mut g = Graph::new();
+                    let loss = self.record_master_tape(
+                        &mut g,
+                        &batch.sub,
+                        &batch.rows,
+                        &batch.targets,
+                        &batch.weights,
+                    );
+                    tapes.push((g, loss));
+                } else {
+                    tapes[b_no].0.replay();
+                }
+                let (g, loss) = &mut tapes[b_no];
+                let l = self.train_step(g, *loss, &mut opt);
+                sum += l;
+                if !l.is_finite() {
+                    self.note_peak_ws(&tapes);
+                    return Err(FitError::NonFiniteLoss);
+                }
+            }
+            last = sum / batches.len() as f32;
+            ep.add_field("loss", f64::from(last));
+            opt.decay(self.cfg.lr_decay);
+        }
+        self.note_peak_ws(&tapes);
+        // The assignment freeze stays a full-graph no-grad inference pass in
+        // both modes: activations-only memory is modest even at 350k
+        // regions, and it keeps the frozen clustering exact.
         self.freeze_assignment(urg, train_idx);
         Ok(last)
     }
@@ -314,6 +475,9 @@ impl Cmsf {
                 attempted: "train_slave",
             });
         };
+        if let Some(batches) = self.minibatches(train_idx) {
+            return self.train_slave_minibatch(urg, &fixed, &batches);
+        }
         let _stage = uvd_obs::span("cmsf.slave").field("epochs", self.cfg.slave_epochs as f64);
         let (rows, targets, weights) = self.bce_vectors(urg, train_idx);
         let (c1, c0) = fixed.partition();
@@ -340,6 +504,64 @@ impl Cmsf {
             opt.decay(self.cfg.lr_decay);
         }
         self.peak_ws_bytes = self.peak_ws_bytes.max(g.workspace_bytes());
+        self.trained_slave = true;
+        Ok(last)
+    }
+
+    /// Mini-batch slave stage: the same sampled subgraphs as the master
+    /// stage (the sampler seed depends only on the batch index), with the
+    /// frozen assignment restricted to each subgraph via
+    /// [`FixedAssignment::induced`]. The rank loss keeps the *global*
+    /// cluster partition (C₁/C₀) and pseudo labels; cluster representations
+    /// are estimated from each batch's members.
+    fn train_slave_minibatch(
+        &mut self,
+        urg: &Urg,
+        fixed: &FixedAssignment,
+        batches: &[Vec<usize>],
+    ) -> Result<f32, FitError> {
+        let _stage = uvd_obs::span("cmsf.slave")
+            .field("epochs", self.cfg.slave_epochs as f64)
+            .field("batches", batches.len() as f64);
+        let (c1, c0) = fixed.partition();
+        let mut opt = Adam::new(self.cfg.lr * 0.3);
+        let mut tapes: Vec<(Graph, NodeId)> = Vec::with_capacity(batches.len());
+        let mut last = 0.0;
+        for epoch in 0..self.cfg.slave_epochs {
+            let mut ep = uvd_obs::span("cmsf.slave.epoch").field("epoch", epoch as f64);
+            let mut sum = 0.0;
+            for (b_no, b_idx) in batches.iter().enumerate() {
+                if epoch == 0 {
+                    let batch = self.sample_batch(urg, b_idx, b_no);
+                    let fixed_b = fixed.induced(&batch.nodes);
+                    let mut g = Graph::new();
+                    let loss = self.record_slave_tape(
+                        &mut g,
+                        &batch.sub,
+                        &fixed_b,
+                        &c1,
+                        &c0,
+                        &batch.rows,
+                        &batch.targets,
+                        &batch.weights,
+                    )?;
+                    tapes.push((g, loss));
+                } else {
+                    tapes[b_no].0.replay();
+                }
+                let (g, loss) = &mut tapes[b_no];
+                let l = self.train_step(g, *loss, &mut opt);
+                sum += l;
+                if !l.is_finite() {
+                    self.note_peak_ws(&tapes);
+                    return Err(FitError::NonFiniteLoss);
+                }
+            }
+            last = sum / batches.len() as f32;
+            ep.add_field("loss", f64::from(last));
+            opt.decay(self.cfg.lr_decay);
+        }
+        self.note_peak_ws(&tapes);
         self.trained_slave = true;
         Ok(last)
     }
@@ -702,6 +924,60 @@ mod tests {
         assert!(r.final_loss.is_finite());
         let probs = model.predict(&urg);
         assert!(probs.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn minibatch_master_reduces_loss() {
+        let (urg, train) = tiny_setup(1);
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.batch_size = 8;
+        cfg.sample_fanout = 0; // exact k-hop closure per batch
+        cfg.master_epochs = 1;
+        let mut one = Cmsf::new(&urg, cfg);
+        let first = one.train_master(&urg, &train).expect("master trains");
+        cfg.master_epochs = 25;
+        let mut many = Cmsf::new(&urg, cfg);
+        let last = many.train_master(&urg, &train).expect("master trains");
+        assert!(
+            last < first,
+            "minibatch loss should drop: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn minibatch_two_stage_fit_is_deterministic() {
+        let (urg, train) = tiny_setup(9);
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.batch_size = 8;
+        cfg.sample_fanout = 4;
+        cfg.master_epochs = 10;
+        cfg.slave_epochs = 3;
+        let mut m1 = Cmsf::new(&urg, cfg);
+        let r1 = m1.fit(&urg, &train);
+        assert!(r1.error.is_none(), "{:?}", r1.error);
+        assert!(r1.final_loss.is_finite());
+        assert!(m1.slave_trained(), "slave stage must run in minibatch mode");
+        assert!(m1.peak_workspace_bytes() > 0);
+        let mut m2 = Cmsf::new(&urg, cfg);
+        m2.fit(&urg, &train);
+        assert_eq!(m1.predict(&urg), m2.predict(&urg), "same seed, same model");
+    }
+
+    #[test]
+    fn oversized_batch_falls_back_to_full_batch_bitwise() {
+        let (urg, train) = tiny_setup(2);
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.master_epochs = 5;
+        cfg.slave_epochs = 2;
+        let mut full = Cmsf::new(&urg, cfg);
+        full.fit(&urg, &train);
+        // batch >= train set is pointless; the model must take the exact
+        // full-batch path, not a one-batch approximation of it.
+        cfg.batch_size = train.len() + 100;
+        cfg.sample_fanout = 2;
+        let mut capped = Cmsf::new(&urg, cfg);
+        capped.fit(&urg, &train);
+        assert_eq!(full.predict(&urg), capped.predict(&urg));
     }
 
     #[test]

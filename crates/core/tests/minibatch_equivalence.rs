@@ -1,0 +1,120 @@
+//! Contracts of neighbor-sampled mini-batch training.
+//!
+//! 1. **Exactness at fanout 0**: the forward of a sampled induced subgraph
+//!    is *bitwise equal*, at the seed rows, to slicing the full-graph
+//!    forward at those rows — for the hierarchy-free CMSF-H variant, whose
+//!    representation is purely local (receptive field = `maga_layers`
+//!    hops). The full k-hop closure plus the monotone relabel of
+//!    `Urg::induced` preserves every per-destination reduction order, so
+//!    this holds to the bit, not to a tolerance.
+//! 2. **Thread invariance**: the sampler is a pure function of
+//!    `(seed, graph, seeds)` — identical under any kernel thread count.
+//!
+//! (GSCM pools over *all* regions, so with the hierarchy on, mini-batch
+//! training is an approximation — validated by the convergence tests in
+//! `model.rs`, not by bitwise equality.)
+
+use cmsf::{Cmsf, CmsfConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use uvd_citysim::{City, CityPreset};
+use uvd_tensor::{par, NeighborSampler};
+use uvd_urg::{Urg, UrgOptions};
+
+/// One tiny URG shared across cases (the build dominates case cost).
+fn shared_urg() -> &'static Urg {
+    static URG: OnceLock<Urg> = OnceLock::new();
+    URG.get_or_init(|| {
+        let city = City::from_config(CityPreset::tiny(), 13);
+        Urg::build(&city, UrgOptions::default())
+    })
+}
+
+/// Pick a non-empty subset of the labeled rows from a selection mask.
+fn pick_seeds(urg: &Urg, mask: u64) -> Vec<u32> {
+    let mut seeds: Vec<u32> = urg
+        .labeled
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| (mask >> (i % 64)) & 1 == 1)
+        .map(|(_, r)| r)
+        .collect();
+    if seeds.is_empty() {
+        seeds.push(urg.labeled[0]);
+    }
+    seeds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Theorem 1: uncapped k-hop sampling + induced subgraph + CMSF-H
+    /// forward == gather of the full forward at the seed rows, bitwise.
+    #[test]
+    fn khop_subgraph_forward_is_bitwise_exact(
+        mask in 1u64..u64::MAX,
+        layers in 1usize..=2,
+        model_seed in 0u64..100,
+    ) {
+        let urg = shared_urg();
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.use_hierarchy = false; // CMSF-H: purely local representation
+        cfg.use_gate = false;
+        cfg.maga_layers = layers;
+        cfg.seed = model_seed;
+        let model = Cmsf::new(urg, cfg);
+
+        let seeds = pick_seeds(urg, mask);
+        // fanout 0 = the exact k-hop closure, k = MAGA depth.
+        let sampler = NeighborSampler::new(7, 0, layers);
+        let nodes = sampler.sample(&urg.edges, &seeds);
+        let sub = urg.induced(&nodes);
+
+        let full = model.predict_proba(urg);
+        let local = model.predict_proba(&sub);
+        for &s in &seeds {
+            let l = nodes.binary_search(&s).expect("seed in closure");
+            prop_assert_eq!(
+                local[l].to_bits(),
+                full[s as usize].to_bits(),
+                "region {} differs: sub {} vs full {}",
+                s, local[l], full[s as usize]
+            );
+        }
+    }
+
+    /// Theorem 2: the sampler never consults the kernel thread pool — the
+    /// sampled node set is identical at any configured thread count.
+    #[test]
+    fn sampler_is_thread_count_invariant(
+        sample_seed in 0u64..u64::MAX,
+        fanout in 0usize..=6,
+        mask in 1u64..u64::MAX,
+    ) {
+        let urg = shared_urg();
+        let seeds = pick_seeds(urg, mask);
+        let sampler = NeighborSampler::new(sample_seed, fanout, 2);
+        let serial = par::with_threads(1, || sampler.sample(&urg.edges, &seeds));
+        let parallel = par::with_threads(4, || sampler.sample(&urg.edges, &seeds));
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+/// The fanout-capped subgraph of every batch is a subset of the uncapped
+/// closure and always contains its seeds — the structural invariant the
+/// training loop's row remapping relies on.
+#[test]
+fn capped_sample_is_seeded_subset_of_closure() {
+    let urg = shared_urg();
+    let seeds = pick_seeds(urg, 0b1011);
+    let closure = NeighborSampler::new(3, 0, 2).sample(&urg.edges, &seeds);
+    let capped = NeighborSampler::new(3, 3, 2).sample(&urg.edges, &seeds);
+    assert!(capped.len() <= closure.len());
+    for s in &seeds {
+        assert!(capped.binary_search(s).is_ok(), "seed {s} missing");
+    }
+    for n in &capped {
+        assert!(closure.binary_search(n).is_ok(), "{n} not in closure");
+    }
+}

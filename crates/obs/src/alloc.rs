@@ -1,4 +1,5 @@
-//! Reusable counting allocator for zero-allocation regression gates.
+//! Reusable counting allocator for zero-allocation regression gates and
+//! peak-memory accounting.
 //!
 //! A binary opts in by installing it as its global allocator:
 //!
@@ -11,29 +12,64 @@
 //! the whole process so far; gates diff it around a steady-state section and
 //! assert the delta is zero. `dealloc` is deliberately not counted — freeing
 //! warm-up buffers during a measured section is harmless.
+//!
+//! The allocator additionally tracks the number of *live* heap bytes and
+//! their high-water mark: [`live_bytes`] is the current outstanding total,
+//! [`peak_bytes`] the largest value it has ever reached (since process start
+//! or the last [`reset_peak`]). The scaling harness and the streaming smoke
+//! gate use the peak to assert that tile-streamed construction and sampled
+//! mini-batch training stay within a fixed memory budget. All counters are
+//! relaxed atomics — the peak is maintained with a `fetch_max`, so
+//! concurrent allocations can only ever under-report transiently, never
+//! over-report.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+#[inline]
+fn track_grow(bytes: usize) {
+    let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn track_shrink(bytes: usize) {
+    LIVE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+}
 
 /// Pass-through wrapper over the system allocator that counts allocation
-/// events (`alloc` and `realloc`) in a relaxed atomic.
+/// events (`alloc` and `realloc`) and tracks live/peak heap bytes in
+/// relaxed atomics.
 pub struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            track_grow(layout.size());
+        }
+        p
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
+        track_shrink(layout.size());
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            // Old block released, new block live (System.realloc freed it).
+            track_shrink(layout.size());
+            track_grow(new_size);
+        }
+        p
     }
 }
 
@@ -41,4 +77,22 @@ unsafe impl GlobalAlloc for CountingAlloc {
 /// is installed as the global allocator).
 pub fn allocations() -> usize {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Currently outstanding heap bytes (0 unless [`CountingAlloc`] is
+/// installed as the global allocator).
+pub fn live_bytes() -> usize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since process start or the last
+/// [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Reset the peak to the current live total, so a measured section reports
+/// its own high-water mark instead of inheriting start-up allocations.
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
 }

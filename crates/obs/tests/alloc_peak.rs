@@ -1,0 +1,58 @@
+//! Peak high-water-mark gate for the counting allocator: `live_bytes` must
+//! fall when buffers are dropped while `peak_bytes` keeps the high-water
+//! mark, and `reset_peak` must rebase the peak onto the current live total.
+//!
+//! Installs [`uvd_obs::alloc::CountingAlloc`] as this binary's global
+//! allocator; it is the only test in the binary so no concurrent test can
+//! allocate inside the measured windows.
+
+use uvd_obs::alloc::{live_bytes, peak_bytes, reset_peak};
+
+#[global_allocator]
+static GLOBAL: uvd_obs::alloc::CountingAlloc = uvd_obs::alloc::CountingAlloc;
+
+#[test]
+fn peak_tracks_high_water_and_resets() {
+    reset_peak();
+    let base_live = live_bytes();
+    let base_peak = peak_bytes();
+    assert!(base_peak >= base_live);
+
+    const BIG: usize = 8 << 20; // 8 MiB, far above incidental test-harness noise
+    {
+        let buf = vec![0u8; BIG];
+        assert!(
+            live_bytes() >= base_live + BIG,
+            "live bytes must include the 8 MiB buffer"
+        );
+        // Touch the buffer so the allocation cannot be optimized out.
+        assert_eq!(buf[BIG - 1], 0);
+    }
+    // Buffer dropped: live falls back, peak remembers it.
+    assert!(
+        live_bytes() < base_live + BIG,
+        "live bytes must drop after the buffer is freed"
+    );
+    assert!(
+        peak_bytes() >= base_peak + BIG,
+        "peak must retain the 8 MiB high-water mark"
+    );
+
+    // Rebasing drops the old peak; a smaller burst then sets a smaller one.
+    reset_peak();
+    assert!(peak_bytes() < base_peak + BIG);
+    let small = vec![0u8; 1 << 20];
+    assert!(peak_bytes() >= live_bytes());
+    drop(small);
+
+    // Realloc growth is tracked through the same live/peak counters.
+    reset_peak();
+    let before_grow = peak_bytes();
+    let mut v: Vec<u8> = Vec::with_capacity(1 << 10);
+    v.resize(4 << 20, 1);
+    assert!(
+        peak_bytes() >= before_grow + (4 << 20) - (1 << 10),
+        "realloc growth must raise the peak"
+    );
+    drop(v);
+}

@@ -61,6 +61,7 @@ pub mod par;
 pub mod param;
 pub mod persist;
 pub mod plan;
+pub mod sample;
 pub mod sparse;
 
 pub use conv::{ConvMeta, PoolMeta};
@@ -70,4 +71,5 @@ pub use matrix::Matrix;
 pub use param::{Adam, ParamRef, ParamSet};
 pub use persist::MatrixStore;
 pub use plan::{FusedAct, Plan, Workspace};
+pub use sample::NeighborSampler;
 pub use sparse::{Csr, EdgeIndex};

@@ -1,0 +1,184 @@
+//! Deterministic seeded neighbor sampling for mini-batch graph training
+//! (GraphSAGE-style, Hamilton et al. 2017).
+//!
+//! [`NeighborSampler::sample`] expands a seed set of destination nodes by
+//! `hops` rounds of in-neighbor selection over an [`EdgeIndex`], capping
+//! each node's expansion at `fanout` in-neighbors (0 = take all, i.e. the
+//! exact k-hop closure). The returned node set is strictly ascending, which
+//! is exactly the monotone-relabel precondition of
+//! [`Csr::induced_subgraph`](crate::Csr::induced_subgraph) and
+//! [`EdgeIndex::induced_subgraph`] — the combination keeps sampled forward
+//! passes bit-comparable to full-graph slices (see the k-hop closure
+//! property below).
+//!
+//! Determinism: the walk is a pure serial function of `(seed, graph,
+//! seeds)`. Per-node selections draw from a sub-RNG seeded by
+//! `derive_seed(derive_seed(seed, hop), node)`, so the result is
+//! independent of thread count, iteration timing, and of which other
+//! batches ran before — a requirement for record-once/replay-every-epoch
+//! training and for reproducible runs.
+//!
+//! k-hop closure property: with `fanout == 0` the result is the full
+//! `hops`-hop in-neighborhood closure of the seeds. Relabeled monotonically,
+//! a `hops`-layer message-passing network evaluated on the induced subgraph
+//! produces *bitwise* the same activations at the seed rows as the full
+//! graph (every node at distance `d` from a seed has its complete
+//! in-neighborhood present for the first `hops - d` layers, by induction).
+//! With `fanout > 0` the forward pass is an approximation, validated by a
+//! convergence contract rather than bit-equality — the same policy as the
+//! `UVD_FAST_MATH` tier.
+
+use crate::init::{derive_seed, seeded_rng};
+use crate::sparse::EdgeIndex;
+use rand::Rng;
+
+/// Seeded, thread-count-invariant neighbor sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct NeighborSampler {
+    seed: u64,
+    /// Max in-neighbors kept per node per hop; `0` means no cap (exact
+    /// k-hop closure).
+    fanout: usize,
+    /// Number of expansion rounds — match the model's message-passing depth.
+    hops: usize,
+}
+
+impl NeighborSampler {
+    pub fn new(seed: u64, fanout: usize, hops: usize) -> Self {
+        NeighborSampler { seed, fanout, hops }
+    }
+
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    pub fn hops(&self) -> usize {
+        self.hops
+    }
+
+    /// Expand `seeds` by `hops` rounds of (possibly capped) in-neighbor
+    /// selection. Returns the union of the seeds and every selected node,
+    /// strictly ascending. Seeds may be unsorted and may repeat.
+    pub fn sample(&self, edges: &EdgeIndex, seeds: &[u32]) -> Vec<u32> {
+        let n = edges.n_nodes();
+        let mut visited = vec![false; n];
+        let mut frontier: Vec<u32> = Vec::new();
+        for &s in seeds {
+            let si = s as usize;
+            assert!(si < n, "seed {s} out of bounds for {n} nodes");
+            if !visited[si] {
+                visited[si] = true;
+                frontier.push(s);
+            }
+        }
+        // Ascending frontier keeps the walk a pure function of the seed
+        // *set* (not its order) and makes the expansion order reproducible.
+        frontier.sort_unstable();
+        let src = edges.src();
+        for hop in 0..self.hops {
+            let hop_seed = derive_seed(self.seed, hop as u64);
+            let mut next: Vec<u32> = Vec::new();
+            for &d in &frontier {
+                let range = edges.incoming(d as usize);
+                let deg = range.len();
+                if self.fanout == 0 || deg <= self.fanout {
+                    for eid in range {
+                        let s = src[eid] as usize;
+                        if !visited[s] {
+                            visited[s] = true;
+                            next.push(s as u32);
+                        }
+                    }
+                } else {
+                    // Partial Fisher–Yates over the edge-id range: the
+                    // first `fanout` draws of a full shuffle, giving a
+                    // uniform without-replacement selection in O(fanout).
+                    let mut rng = seeded_rng(derive_seed(hop_seed, d as u64));
+                    let mut ids: Vec<u32> = (range.start as u32..range.end as u32).collect();
+                    for i in 0..self.fanout {
+                        let j = rng.gen_range(i..deg);
+                        ids.swap(i, j);
+                        let s = src[ids[i] as usize] as usize;
+                        if !visited[s] {
+                            visited[s] = true;
+                            next.push(s as u32);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            next.sort_unstable();
+            frontier = next;
+        }
+        let mut nodes: Vec<u32> = (0..n as u32).filter(|&i| visited[i as usize]).collect();
+        nodes.shrink_to_fit();
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ring of `n` nodes with forward+backward+self edges.
+    fn ring(n: u32) -> EdgeIndex {
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            pairs.push((i, i));
+            pairs.push((i, (i + 1) % n));
+            pairs.push(((i + 1) % n, i));
+        }
+        EdgeIndex::from_pairs(n as usize, pairs)
+    }
+
+    #[test]
+    fn uncapped_sample_is_khop_closure() {
+        let e = ring(10);
+        let s = NeighborSampler::new(1, 0, 2);
+        // 2-hop closure of node 0 on a ring: {8, 9, 0, 1, 2}.
+        assert_eq!(s.sample(&e, &[0]), vec![0, 1, 2, 8, 9]);
+    }
+
+    #[test]
+    fn sample_is_sorted_dedup_and_seed_stable() {
+        let e = ring(50);
+        let s = NeighborSampler::new(7, 2, 3);
+        let a = s.sample(&e, &[3, 40, 3]);
+        let b = s.sample(&e, &[40, 3]);
+        assert_eq!(a, b, "pure function of the seed set");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        let c = NeighborSampler::new(8, 2, 3).sample(&e, &[3, 40]);
+        // Different sampler seed explores a (generally) different set on a
+        // star-free graph with fanout caps; at minimum it stays valid.
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fanout_caps_expansion() {
+        // Star: node 0 has 40 in-neighbors.
+        let mut pairs: Vec<(u32, u32)> = (1..41).map(|i| (i, 0)).collect();
+        pairs.push((0, 0));
+        let e = EdgeIndex::from_pairs(41, pairs);
+        let s = NeighborSampler::new(3, 5, 1);
+        let got = s.sample(&e, &[0]);
+        assert_eq!(got.len(), 6, "seed + fanout selections, got {got:?}");
+        assert!(got.contains(&0));
+    }
+
+    #[test]
+    fn fanout_selection_is_uniformish_across_seeds() {
+        let mut pairs: Vec<(u32, u32)> = (1..21).map(|i| (i, 0)).collect();
+        pairs.push((0, 0));
+        let e = EdgeIndex::from_pairs(21, pairs);
+        let mut counts = [0u32; 21];
+        for seed in 0..200 {
+            for node in NeighborSampler::new(seed, 4, 1).sample(&e, &[0]) {
+                counts[node as usize] += 1;
+            }
+        }
+        // Every neighbor should be picked by at least one of 200 seeds.
+        assert!(counts[1..].iter().all(|&c| c > 0), "{counts:?}");
+    }
+}

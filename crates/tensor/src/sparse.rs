@@ -178,6 +178,79 @@ impl Csr {
         }
     }
 
+    /// Extract the induced square submatrix at `nodes` (strictly ascending
+    /// old ids). Entry `(i, j)` of the result is the entry at
+    /// `(nodes[i], nodes[j])` of `self`, with its stored value **gathered
+    /// verbatim** — never renormalized — so a sampled block of a
+    /// `sym_normalized` adjacency reproduces the full graph's edge weights
+    /// exactly. Because `nodes` is ascending and rows are column-sorted,
+    /// the relabeling is monotone and the output rows stay sorted without a
+    /// re-sort, keeping per-row accumulation order in `spmm` identical to
+    /// the corresponding rows of the full product.
+    pub fn induced_subgraph(&self, nodes: &[u32]) -> Csr {
+        assert_eq!(self.rows, self.cols, "induced_subgraph requires square");
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must ascend");
+        let mut map = vec![u32::MAX; self.cols];
+        for (new, &old) in nodes.iter().enumerate() {
+            map[old as usize] = new as u32;
+        }
+        let m = nodes.len();
+        let mut indptr = vec![0u32; m + 1];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (new_r, &old_r) in nodes.iter().enumerate() {
+            for (c, v) in self.row_iter(old_r as usize) {
+                let new_c = map[c as usize];
+                if new_c != u32::MAX {
+                    indices.push(new_c);
+                    values.push(v);
+                    indptr[new_r + 1] += 1;
+                }
+            }
+        }
+        for i in 1..indptr.len() {
+            indptr[i] += indptr[i - 1];
+        }
+        Csr {
+            rows: m,
+            cols: m,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Gather a subset of rows (in the given order) keeping the full column
+    /// space: row `i` of the result is row `rows[i]` of `self`, values
+    /// copied verbatim.
+    pub fn gather_rows(&self, rows: &[u32]) -> Csr {
+        let mut indptr = vec![0u32; rows.len() + 1];
+        let mut nnz = 0usize;
+        for (i, &r) in rows.iter().enumerate() {
+            let r = r as usize;
+            assert!(r < self.rows, "gather_rows out of bounds");
+            nnz += (self.indptr[r + 1] - self.indptr[r]) as usize;
+            indptr[i + 1] = nnz as u32;
+        }
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for &r in rows {
+            let (lo, hi) = (
+                self.indptr[r as usize] as usize,
+                self.indptr[r as usize + 1] as usize,
+            );
+            indices.extend_from_slice(&self.indices[lo..hi]);
+            values.extend_from_slice(&self.values[lo..hi]);
+        }
+        Csr {
+            rows: rows.len(),
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
     /// Symmetric normalization `D^{-1/2} (A) D^{-1/2}` (GCN, Kipf & Welling).
     /// The caller is expected to have added self-loops already if desired.
     ///
@@ -475,6 +548,30 @@ impl EdgeIndex {
     pub fn in_degree(&self, i: usize) -> usize {
         (self.dst_ptr[i + 1] - self.dst_ptr[i]) as usize
     }
+
+    /// Extract the induced edge set at `nodes` (strictly ascending old
+    /// ids), relabeled to `0..nodes.len()`. An edge survives iff both its
+    /// endpoints are in `nodes`. The relabeling is monotone, so the
+    /// `(dst, src)` grouping order — and therefore the per-destination
+    /// accumulation order of every attention kernel — matches the
+    /// corresponding destinations of the full graph exactly.
+    pub fn induced_subgraph(&self, nodes: &[u32]) -> EdgeIndex {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must ascend");
+        let mut map = vec![u32::MAX; self.n_nodes];
+        for (new, &old) in nodes.iter().enumerate() {
+            map[old as usize] = new as u32;
+        }
+        let mut pairs = Vec::new();
+        for (new_d, &old_d) in nodes.iter().enumerate() {
+            for eid in self.incoming(old_d as usize) {
+                let new_s = map[self.src[eid] as usize];
+                if new_s != u32::MAX {
+                    pairs.push((new_s, new_d as u32));
+                }
+            }
+        }
+        EdgeIndex::from_pairs(nodes.len(), pairs)
+    }
 }
 
 #[cfg(test)]
@@ -587,6 +684,72 @@ mod tests {
                 println!("spmm {label}: {:.3} ms  {gflops:.2} GFLOP/s", best * 1e3);
             });
         }
+    }
+
+    #[test]
+    fn induced_subgraph_gathers_values_verbatim() {
+        // Path 0-1-2-3 with self loops, normalized: induced block at
+        // {0,1,2} must carry the *full-graph* normalized weights, not a
+        // renormalization of the 3-node path.
+        let mut coo = Vec::new();
+        for i in 0..4u32 {
+            coo.push((i, i, 1.0));
+        }
+        for i in 0..3u32 {
+            coo.push((i, i + 1, 1.0));
+            coo.push((i + 1, i, 1.0));
+        }
+        let a = Csr::from_coo(4, 4, coo).sym_normalized();
+        let sub = a.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(sub.rows(), 3);
+        assert_eq!(sub.cols(), 3);
+        for (new_r, &old_r) in [0u32, 1, 2].iter().enumerate() {
+            let full: Vec<(u32, f32)> =
+                a.row_iter(old_r as usize).filter(|&(c, _)| c < 3).collect();
+            let got: Vec<(u32, f32)> = sub.row_iter(new_r).collect();
+            assert_eq!(got, full, "row {old_r}");
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_relabels_monotonically() {
+        let coo = vec![(0, 5, 1.0), (5, 0, 2.0), (5, 9, 3.0), (9, 5, 4.0)];
+        let a = Csr::from_coo(10, 10, coo);
+        let sub = a.induced_subgraph(&[0, 5, 9]);
+        assert_eq!(sub.row_iter(0).collect::<Vec<_>>(), vec![(1, 1.0)]);
+        assert_eq!(
+            sub.row_iter(1).collect::<Vec<_>>(),
+            vec![(0, 2.0), (2, 3.0)]
+        );
+        assert_eq!(sub.row_iter(2).collect::<Vec<_>>(), vec![(1, 4.0)]);
+    }
+
+    #[test]
+    fn gather_rows_copies_rows_in_order() {
+        let a = Csr::from_coo(3, 4, vec![(0, 1, 1.0), (1, 3, 2.0), (2, 0, 3.0)]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.row_iter(0).collect::<Vec<_>>(), vec![(0, 3.0)]);
+        assert_eq!(g.row_iter(1).collect::<Vec<_>>(), vec![(1, 1.0)]);
+        assert_eq!(g.row_iter(2).collect::<Vec<_>>(), vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn edge_index_induced_subgraph_keeps_dst_grouping() {
+        let e = EdgeIndex::from_pairs(
+            6,
+            vec![(0, 2), (1, 2), (4, 2), (2, 4), (5, 4), (3, 0), (0, 3)],
+        );
+        let sub = e.induced_subgraph(&[0, 2, 4]);
+        assert_eq!(sub.n_nodes(), 3);
+        // Surviving edges: 0->2, 4->2, 2->4 relabeled to 0->1, 2->1, 1->2.
+        assert_eq!(sub.n_edges(), 3);
+        assert_eq!(sub.incoming(1), 0..2);
+        assert_eq!(sub.src()[0], 0);
+        assert_eq!(sub.src()[1], 2);
+        assert_eq!(sub.incoming(2), 2..3);
+        assert_eq!(sub.src()[2], 1);
     }
 
     #[test]

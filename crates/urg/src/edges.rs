@@ -4,13 +4,18 @@
 //! road segments of each other (5 hops in the paper).
 
 use std::collections::VecDeque;
-use uvd_citysim::City;
+use uvd_citysim::{City, RoadNetwork};
 
 /// Spatial proximity: connect each region with its 8 neighbours in the
 /// 3×3 window (Figure 1(a)). Returns undirected unique pairs `(a, b)` with
 /// `a < b`.
 pub fn spatial_edges(city: &City) -> Vec<(u32, u32)> {
-    let (w, h) = (city.width, city.height);
+    spatial_edges_dims(city.width, city.height)
+}
+
+/// As [`spatial_edges`] but from grid dimensions alone — usable before any
+/// imagery tile has been rendered on the streaming path.
+pub fn spatial_edges_dims(w: usize, h: usize) -> Vec<(u32, u32)> {
     let mut pairs = Vec::with_capacity(w * h * 4);
     for y in 0..h {
         for x in 0..w {
@@ -34,13 +39,19 @@ pub fn spatial_edges(city: &City) -> Vec<(u32, u32)> {
 /// some intersection in `v_i` reaches some intersection in `v_j` within
 /// `max_hops` road segments. Returns undirected unique pairs with `a < b`.
 pub fn road_edges(city: &City, max_hops: usize) -> Vec<(u32, u32)> {
-    let n_nodes = city.roads.nodes.len();
+    road_edges_from(&city.roads, city.width, max_hops)
+}
+
+/// As [`road_edges`] but from the road network and grid width alone —
+/// usable before any imagery tile has been rendered on the streaming path.
+pub fn road_edges_from(roads: &RoadNetwork, width: usize, max_hops: usize) -> Vec<(u32, u32)> {
+    let n_nodes = roads.nodes.len();
     if n_nodes == 0 {
         return Vec::new();
     }
-    let adj = city.roads.adjacency();
+    let adj = roads.adjacency();
     let node_region: Vec<u32> = (0..n_nodes)
-        .map(|i| city.roads.node_region(i, city.width) as u32)
+        .map(|i| roads.node_region(i, width) as u32)
         .collect();
 
     let mut pairs = Vec::new();

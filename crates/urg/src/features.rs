@@ -62,12 +62,19 @@ pub struct PoiSpatialIndex {
 
 impl PoiSpatialIndex {
     pub fn build(city: &City) -> Self {
-        let n = city.n_regions();
+        Self::from_parts(city.width, city.height, &city.pois)
+    }
+
+    /// As [`PoiSpatialIndex::build`] but from the POI list and grid
+    /// dimensions alone — usable on the streaming path where no monolithic
+    /// [`City`] ever exists.
+    pub fn from_parts(width: usize, height: usize, pois: &[uvd_citysim::Poi]) -> Self {
+        let n = width * height;
         let mut radius_buckets = vec![vec![Vec::new(); n]; RadiusType::COUNT];
         let mut facility_buckets = vec![vec![Vec::new(); n]; FacilityClass::COUNT];
         let mut category_counts = vec![[0.0f32; PoiCategory::COUNT]; n];
-        for p in &city.pois {
-            let r = p.region(city.width);
+        for p in pois {
+            let r = p.region(width);
             category_counts[r][p.kind.category().index()] += 1.0;
             if let Some(rt) = p.kind.radius_type() {
                 radius_buckets[rt.index()][r].push((p.x, p.y));
@@ -77,8 +84,8 @@ impl PoiSpatialIndex {
             }
         }
         PoiSpatialIndex {
-            width: city.width,
-            height: city.height,
+            width,
+            height,
             radius_buckets,
             facility_buckets,
             category_counts,
@@ -189,8 +196,20 @@ pub fn poi_features_with_index(
     index: &PoiSpatialIndex,
     opts: PoiFeatureOptions,
 ) -> Matrix {
-    let n = city.n_regions();
-    let (w, h) = (city.width, city.height);
+    poi_features_rows(index, opts, 0..city.n_regions())
+}
+
+/// Compute the POI feature rows for a contiguous region range against a
+/// prebuilt (full-city) spatial index. Each region's features depend only
+/// on the index and the global `max_count` normalizers, so a row block is
+/// bitwise identical to the same rows of the full matrix — the streaming
+/// shard builder relies on this.
+pub fn poi_features_rows(
+    index: &PoiSpatialIndex,
+    opts: PoiFeatureOptions,
+    regions: std::ops::Range<usize>,
+) -> Matrix {
+    let (w, h) = (index.width, index.height);
     let counts = index.category_counts();
 
     // Global normalizers for the count features.
@@ -201,9 +220,9 @@ pub fn poi_features_with_index(
         .max(1.0);
     let max_count_9 = max_count * 9.0;
 
-    let mut out = Matrix::zeros(n, opts.dim());
-    for r in 0..n {
-        let row = out.row_mut(r);
+    let mut out = Matrix::zeros(regions.len(), opts.dim());
+    for r in regions.clone() {
+        let row = out.row_mut(r - regions.start);
         let mut col = 0usize;
         if opts.cate {
             // Region-level distribution + count.

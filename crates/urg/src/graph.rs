@@ -238,6 +238,58 @@ impl Urg {
             n_edges: self.pairs.len() * 2,
             n_uvs: self.y.iter().filter(|&&v| v > 0.5).count(),
             n_non_uvs: self.y.iter().filter(|&&v| v <= 0.5).count(),
+            shards: Vec::new(),
+        }
+    }
+
+    /// Extract the induced sub-URG at `nodes` (strictly ascending region
+    /// ids), relabeled to `0..nodes.len()`. Topology keeps only edges with
+    /// both endpoints sampled; `adj_norm` values are **gathered** from the
+    /// full normalized matrix (not renormalized), so message weights match
+    /// the full graph exactly — together with the monotone relabel this is
+    /// what makes uncapped k-hop mini-batch forwards bitwise-comparable to
+    /// full-graph slices. Labels are intersected with `nodes` and re-indexed.
+    pub fn induced(&self, nodes: &[u32]) -> Urg {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must ascend");
+        let edges = Arc::new(self.edges.induced_subgraph(nodes));
+        let adj_norm = CsrPair::new(self.adj_norm.fwd.induced_subgraph(nodes));
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        {
+            let mut map = vec![u32::MAX; self.n];
+            for (new, &old) in nodes.iter().enumerate() {
+                map[old as usize] = new as u32;
+            }
+            for &(a, b) in &self.pairs {
+                let (na, nb) = (map[a as usize], map[b as usize]);
+                if na != u32::MAX && nb != u32::MAX {
+                    pairs.push((na.min(nb), na.max(nb)));
+                }
+            }
+            pairs.sort_unstable();
+        }
+        let x_poi = self.x_poi.gather_rows(nodes);
+        let x_img = self.x_img.gather_rows(nodes);
+        let mut labeled: Vec<u32> = Vec::new();
+        let mut y: Vec<f32> = Vec::new();
+        for (new, &old) in nodes.iter().enumerate() {
+            if let Ok(i) = self.labeled.binary_search(&old) {
+                labeled.push(new as u32);
+                y.push(self.y[i]);
+            }
+        }
+        Urg {
+            name: self.name.clone(),
+            n: nodes.len(),
+            width: self.width,
+            height: self.height,
+            pairs,
+            edges,
+            adj_norm,
+            x_poi,
+            x_img,
+            raw_images: None,
+            labeled,
+            y,
         }
     }
 
@@ -260,7 +312,8 @@ impl Urg {
 /// Serializable record types (kept in a tiny module so `urg` itself does not
 /// depend on serde).
 pub mod serde_like {
-    /// Table I row.
+    /// Table I row, plus the per-shard breakdown when the URG was built
+    /// through the streaming shard path (empty for a dense build).
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct UrgStats {
         pub name: String,
@@ -268,6 +321,23 @@ pub mod serde_like {
         pub n_edges: usize,
         pub n_uvs: usize,
         pub n_non_uvs: usize,
+        /// Per-shard region/edge counts, computed from the shard blocks
+        /// without materializing a monolithic URG. Empty when the stats
+        /// come from a dense single-block build.
+        pub shards: Vec<ShardStats>,
+    }
+
+    /// One shard's row in [`UrgStats::shards`].
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct ShardStats {
+        pub region_start: usize,
+        pub n_regions: usize,
+        /// Directed edges (excluding self-loops) internal to the shard.
+        pub n_local_edges: usize,
+        /// Directed edges (excluding self-loops) crossing the boundary.
+        pub n_halo_edges: usize,
+        /// Distinct external regions referenced by the shard's CSR block.
+        pub n_halo_regions: usize,
     }
 }
 

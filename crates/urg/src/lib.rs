@@ -19,9 +19,14 @@ pub mod detector;
 pub mod edges;
 pub mod features;
 pub mod graph;
+pub mod shard;
 pub mod vgg;
 
 pub use detector::{Detector, FitError, FitReport};
 pub use features::{PoiFeatureOptions, PoiSpatialIndex};
-pub use graph::{serde_like::UrgStats, Urg, UrgOptions};
-pub use vgg::{standardize_columns, VggSim, VGG_SIM_DIM};
+pub use graph::{
+    serde_like::{ShardStats, UrgStats},
+    Urg, UrgOptions,
+};
+pub use shard::{ShardedUrg, ShardedUrgBuilder, UrgShard};
+pub use vgg::{standardize_blocks, standardize_columns, VggSim, VGG_SIM_DIM};

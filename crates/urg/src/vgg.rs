@@ -123,6 +123,49 @@ pub fn standardize_columns(x: &Matrix) -> Matrix {
     out
 }
 
+/// In-place, block-sharded variant of [`standardize_columns`]: the row sets
+/// of `blocks`, concatenated in order, form the full matrix. Per column the
+/// mean/variance accumulate over blocks in order with the same `f64`
+/// accumulator chain as the monolithic function, so the result is **bitwise
+/// equal** to standardizing the concatenation — the property that lets the
+/// streaming URG builder standardize per-shard image features without ever
+/// materializing one `n × 256` matrix copy.
+pub fn standardize_blocks(blocks: &mut [Matrix]) {
+    let d = blocks.first().map(|b| b.cols()).unwrap_or(0);
+    let n: usize = blocks.iter().map(|b| b.rows()).sum();
+    for b in blocks.iter() {
+        assert_eq!(b.cols(), d, "ragged block widths");
+    }
+    for c in 0..d {
+        let mut mean = 0.0f64;
+        for b in blocks.iter() {
+            for r in 0..b.rows() {
+                mean += b.get(r, c) as f64;
+            }
+        }
+        mean /= n.max(1) as f64;
+        let mut var = 0.0f64;
+        for b in blocks.iter() {
+            for r in 0..b.rows() {
+                let v = b.get(r, c) as f64 - mean;
+                var += v * v;
+            }
+        }
+        var /= n.max(1) as f64;
+        let std = var.sqrt();
+        for b in blocks.iter_mut() {
+            for r in 0..b.rows() {
+                let v = if std > 1e-9 {
+                    ((b.get(r, c) as f64 - mean) / std) as f32
+                } else {
+                    0.0
+                };
+                b.set(r, c, v);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     // Exact float equality is intended in these tests: they assert

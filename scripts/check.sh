@@ -30,3 +30,9 @@ UVD_FAST_MATH=1 cargo run --release -p uvd-bench --bin perfsnap -q -- --smoke
 # emitted records against the expected span/counter set and reconciling
 # stage durations against wall time (within 10%).
 cargo run --release -p uvd-bench --bin trace_smoke -q
+# Streaming smoke: the 50k-region scaling city through the tile path
+# (CityStream -> ShardedUrg) plus two neighbor-sampled master epochs,
+# asserting peak heap stays under the streaming budget (less than the
+# monolithic imagery buffer alone) and that the JSONL trace carries the
+# urg.shard.build and cmsf.sample spans.
+cargo run --release -p uvd-bench --bin scaling -q -- --smoke

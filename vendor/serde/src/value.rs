@@ -34,4 +34,26 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Mutable lookup of a key in an object value.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(fields) => fields.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace a key in an object value, preserving insertion
+    /// order for existing keys (replaced in place, appended otherwise).
+    /// Panics on non-object values — a read-modify-write against the wrong
+    /// shape is a caller bug, not data.
+    pub fn set(&mut self, key: &str, value: Value) {
+        let Value::Object(fields) = self else {
+            panic!("Value::set on non-object value");
+        };
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = value,
+            None => fields.push((key.to_string(), value)),
+        }
+    }
 }
