@@ -1,0 +1,169 @@
+//! Throughput/latency snapshot of the resident `uvd-serve` scoring
+//! service: train the tiny fixture, restore it into an in-process server,
+//! hammer it from concurrent client connections and record QPS plus p50/p99
+//! request latency into the `serve` key of `BENCH_tensor.json`.
+//!
+//! `--smoke` runs a scaled-down pass and leaves `BENCH_tensor.json`
+//! untouched (the serve gate itself lives in `serve_smoke`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cmsf::{Cmsf, CmsfConfig};
+use rand::Rng;
+use uvd_bench::repo_root_path;
+use uvd_citysim::{City, CityPreset};
+use uvd_serve::{ServeOptions, Server};
+use uvd_urg::{Detector, Urg, UrgOptions};
+
+fn trained_fixture() -> (Urg, CmsfConfig, uvd_tensor::MatrixStore) {
+    let city = City::from_config(CityPreset::tiny(), 51);
+    let urg = Urg::build(&city, UrgOptions::default());
+    let mut cfg = CmsfConfig::fast_test();
+    cfg.master_epochs = 10;
+    cfg.slave_epochs = 3;
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut model = Cmsf::new(&urg, cfg);
+    model.fit(&urg, &train);
+    (urg, cfg, model.to_store())
+}
+
+/// One client thread: its own connection, `reqs` score requests of
+/// `ids_per_req` ids each, returning per-request latencies in µs.
+fn client_thread(
+    addr: std::net::SocketAddr,
+    n_regions: usize,
+    reqs: usize,
+    ids_per_req: usize,
+    seed: u64,
+) -> Vec<u64> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut rng = uvd_tensor::seeded_rng(seed);
+    let mut lat = Vec::with_capacity(reqs);
+    let mut reply = String::new();
+    for _ in 0..reqs {
+        let ids: Vec<String> = (0..ids_per_req)
+            .map(|_| rng.gen_range(0..n_regions).to_string())
+            .collect();
+        let line = format!("{{\"op\":\"score\",\"ids\":[{}]}}\n", ids.join(","));
+        let t0 = Instant::now();
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).expect("reply");
+        lat.push(t0.elapsed().as_micros() as u64);
+        assert!(
+            reply.contains("\"ok\":true"),
+            "score request failed: {reply}"
+        );
+    }
+    lat
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (clients, reqs_per_client, ids_per_req) = if smoke { (4, 50, 4) } else { (8, 250, 8) };
+
+    println!("training the tiny fixture checkpoint ...");
+    let (urg, cfg, store) = trained_fixture();
+    let n_regions = urg.n;
+    let opts = ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    };
+    let batch = opts.batch;
+    let workers = opts.workers;
+    let server = Server::start(urg, cfg, store, opts).expect("server starts");
+    let addr = server.addr();
+
+    // Warmup: first replays page the tapes in.
+    client_thread(addr, n_regions, 20, ids_per_req, 999);
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                client_thread(addr, n_regions, reqs_per_client, ids_per_req, c as u64)
+            })
+        })
+        .collect();
+    let mut lat: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let elapsed = t0.elapsed();
+    lat.sort_unstable();
+
+    let total = lat.len();
+    let qps = total as f64 / elapsed.as_secs_f64();
+    let p50 = percentile(&lat, 0.50);
+    let p99 = percentile(&lat, 0.99);
+
+    // Micro-batch fill from the server's own stats endpoint.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let stats = serde_json::from_str_value(reply.trim()).expect("stats reply");
+    let batches = stats.get("batches").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let rows = stats
+        .get("rows_scored")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let avg_rows = if batches > 0.0 { rows / batches } else { 0.0 };
+    server.shutdown();
+
+    println!(
+        "serve_bench: {total} requests x {ids_per_req} ids from {clients} clients in {:.2}s",
+        elapsed.as_secs_f64()
+    );
+    println!("  qps           {qps:10.0}");
+    println!("  p50 latency   {p50:7} us");
+    println!("  p99 latency   {p99:7} us");
+    println!("  avg batch     {avg_rows:8.1} rows ({batches:.0} replays)");
+
+    if smoke {
+        println!("\nsmoke run: leaving BENCH_tensor.json untouched");
+        return;
+    }
+
+    let row = serde_json::json!({
+        "city": "tiny",
+        "regions": n_regions,
+        "clients": clients,
+        "requests": total,
+        "ids_per_request": ids_per_req,
+        "workers": workers,
+        "batch": batch,
+        "qps": qps,
+        "p50_us": p50,
+        "p99_us": p99,
+        "avg_batch_rows": avg_rows,
+    });
+    let path = repo_root_path("BENCH_tensor.json");
+    let mut doc: serde_json::Value = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| serde_json::from_str_value(&t).ok())
+        .unwrap_or_else(|| serde_json::json!({}));
+    doc.set("serve", row);
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serialize snapshot") + "\n",
+    )
+    .expect("write BENCH_tensor.json");
+    println!("wrote serve row to {}", path.display());
+}

@@ -42,4 +42,4 @@ pub use config::CmsfConfig;
 pub use gate::MsGate;
 pub use gscm::{CollectionMode, FixedAssignment, Gscm};
 pub use maga::{MagaLayer, MagaStack};
-pub use model::Cmsf;
+pub use model::{Cmsf, ServeBatch, ServeHead};

@@ -44,6 +44,40 @@ struct Repr {
     h_prime: Option<NodeId>,
 }
 
+/// Node handles of a recorded detection head (see
+/// [`Cmsf::record_serve_head`]).
+struct ScoreNodes {
+    x_final: NodeId,
+    /// Gate filter `f` rows; `None` when the gated path is inactive.
+    filter: Option<NodeId>,
+    /// Sigmoid scores, one row per region.
+    p: NodeId,
+}
+
+/// Handles of the serving *head* plan: `x̃` is a `set_value`-able leaf,
+/// replays recompute the full-city classifier inputs and scores.
+pub struct ServeHead {
+    /// The `x̃` constant leaf (N×d_rep) — patch + `set_value` + `replay`.
+    pub x_tilde: NodeId,
+    /// Classifier input rows `x̃'` (N×d_final) to gather per request.
+    pub x_final: NodeId,
+    /// Gate filter rows (N×filter_len); `None` on gate-less variants.
+    pub filter: Option<NodeId>,
+    /// Full-city sigmoid scores (N×1).
+    pub p: NodeId,
+}
+
+/// Handles of a per-worker batch scoring plan (see
+/// [`Cmsf::record_serve_batch`]).
+pub struct ServeBatch {
+    /// Gathered `x_final` rows leaf (capacity×d_final).
+    pub x: NodeId,
+    /// Gathered gate-filter rows leaf; `None` on gate-less variants.
+    pub filter: Option<NodeId>,
+    /// Sigmoid scores for the gathered rows (capacity×1).
+    pub p: NodeId,
+}
+
 /// One sampled mini-batch: the induced subgraph, its (ascending) global
 /// node ids, and the BCE vectors remapped to subgraph-local rows.
 struct SampledBatch {
@@ -190,6 +224,18 @@ impl Cmsf {
     /// stage / inference after slave training).
     fn representation(&self, g: &mut Graph, urg: &Urg, fixed: Option<&FixedAssignment>) -> Repr {
         let x_tilde = self.maga_forward(g, urg);
+        self.representation_from(g, x_tilde, fixed)
+    }
+
+    /// Representation pass from an already-materialized `x̃` node — shared
+    /// by the normal full pass and the serving head plan, which holds `x̃`
+    /// as a `set_value`-able leaf instead of re-running MAGA.
+    fn representation_from(
+        &self,
+        g: &mut Graph,
+        x_tilde: NodeId,
+        fixed: Option<&FixedAssignment>,
+    ) -> Repr {
         match &self.gscm {
             Some(gscm) => {
                 let out = gscm.forward(g, x_tilde, fixed);
@@ -243,7 +289,12 @@ impl Cmsf {
     /// remapped to subgraph-local rows. The sampler seed depends only on
     /// `(cfg.seed, batch_no)`, so master and slave stages see identical
     /// subgraphs and reruns are reproducible at any thread count.
-    fn sample_batch(&self, urg: &Urg, batch_idx: &[usize], batch_no: usize) -> SampledBatch {
+    fn sample_batch(
+        &self,
+        urg: &Urg,
+        batch_idx: &[usize],
+        batch_no: usize,
+    ) -> Result<SampledBatch, FitError> {
         let mut sp = uvd_obs::span("cmsf.sample").field("batch", batch_no as f64);
         let mut seeds: Vec<u32> = batch_idx.iter().map(|&i| urg.labeled[i]).collect();
         seeds.sort_unstable();
@@ -255,7 +306,7 @@ impl Cmsf {
             self.cfg.sample_fanout,
             self.cfg.maga_layers,
         );
-        let nodes = sampler.sample(&urg.edges, &seeds);
+        let nodes = sampler.sample(&urg.edges, &seeds)?;
         sp.add_field("seeds", seeds.len() as f64);
         sp.add_field("nodes", nodes.len() as f64);
         sp.add_field("fanout", self.cfg.sample_fanout as f64);
@@ -272,13 +323,13 @@ impl Cmsf {
             targets.push(urg.y[i]);
         }
         let weights = vec![1.0f32; rows.len()];
-        SampledBatch {
+        Ok(SampledBatch {
             sub,
             nodes,
             rows: Arc::new(rows),
             targets: Arc::new(targets),
             weights: Arc::new(weights),
-        }
+        })
     }
 
     /// Fold the resident workspace of a set of simultaneously-live tapes
@@ -352,7 +403,7 @@ impl Cmsf {
             let mut sum = 0.0;
             for (b_no, b_idx) in batches.iter().enumerate() {
                 if epoch == 0 {
-                    let batch = self.sample_batch(urg, b_idx, b_no);
+                    let batch = self.sample_batch(urg, b_idx, b_no)?;
                     let mut g = Graph::new();
                     let loss = self.record_master_tape(
                         &mut g,
@@ -532,7 +583,7 @@ impl Cmsf {
             let mut sum = 0.0;
             for (b_no, b_idx) in batches.iter().enumerate() {
                 if epoch == 0 {
-                    let batch = self.sample_batch(urg, b_idx, b_no);
+                    let batch = self.sample_batch(urg, b_idx, b_no)?;
                     let fixed_b = fixed.induced(&batch.nodes);
                     let mut g = Graph::new();
                     let loss = self.record_slave_tape(
@@ -631,36 +682,112 @@ impl Cmsf {
         Ok(value)
     }
 
+    /// Record the detection head from an `x̃` node: GSCM (frozen) + fusion +
+    /// MS-Gate + classifier + sigmoid, returning the node handles the
+    /// serving layer caches. This *is* the op sequence of
+    /// [`Cmsf::predict_proba`] after MAGA — both paths run through here, so
+    /// served scores are bitwise the scores `predict` would produce.
+    fn score_from_x_tilde(&self, g: &mut Graph, x_tilde: NodeId) -> ScoreNodes {
+        let (x_final, filter, logits) = match (&self.gate, &self.fixed, self.trained_slave) {
+            (Some(gate), Some(fixed), true) => {
+                let repr = self.representation_from(g, x_tilde, Some(fixed));
+                match repr.h_prime {
+                    // Gated detection path (the trained configuration).
+                    Some(h_prime) => {
+                        let _gs = uvd_obs::span("cmsf.gate");
+                        let probs = gate.inclusion_probs(g, h_prime);
+                        let q = gate.context(g, fixed, probs);
+                        let f = gate.filter(g, q);
+                        let logits = gate.gated_forward(g, &self.classifier, repr.x_final, f);
+                        (repr.x_final, Some(f), logits)
+                    }
+                    // Hierarchy unexpectedly absent (e.g. a checkpoint loaded
+                    // into a gate-less representation): degrade to the plain
+                    // classifier instead of panicking.
+                    None => {
+                        let logits = self.classifier.forward(g, repr.x_final);
+                        (repr.x_final, None, logits)
+                    }
+                }
+            }
+            _ => {
+                let repr = self.representation_from(g, x_tilde, self.fixed.as_ref());
+                let logits = self.classifier.forward(g, repr.x_final);
+                (repr.x_final, None, logits)
+            }
+        };
+        let p = g.sigmoid(logits);
+        ScoreNodes { x_final, filter, p }
+    }
+
     /// Detection (Section V-C): probability of being an urban village for
     /// every region.
     pub fn predict_proba(&self, urg: &Urg) -> Vec<f32> {
         let _s = uvd_obs::span("cmsf.predict");
         let mut g = Graph::inference();
-        let logits = match (&self.gate, &self.fixed, self.trained_slave) {
-            (Some(gate), Some(fixed), true) => {
-                let repr = self.representation(&mut g, urg, Some(fixed));
-                match repr.h_prime {
-                    // Gated detection path (the trained configuration).
-                    Some(h_prime) => {
-                        let _gs = uvd_obs::span("cmsf.gate");
-                        let probs = gate.inclusion_probs(&mut g, h_prime);
-                        let q = gate.context(&mut g, fixed, probs);
-                        let f = gate.filter(&mut g, q);
-                        gate.gated_forward(&mut g, &self.classifier, repr.x_final, f)
-                    }
-                    // Hierarchy unexpectedly absent (e.g. a checkpoint loaded
-                    // into a gate-less representation): degrade to the plain
-                    // classifier instead of panicking.
-                    None => self.classifier.forward(&mut g, repr.x_final),
+        let x_tilde = self.maga_forward(&mut g, urg);
+        let nodes = self.score_from_x_tilde(&mut g, x_tilde);
+        g.value(nodes.p).as_slice().to_vec()
+    }
+
+    /// The MAGA output `x̃` for a whole URG as a plain matrix — the cache
+    /// the serving layer patches row-wise on incremental POI updates.
+    pub fn x_tilde_matrix(&self, urg: &Urg) -> uvd_tensor::Matrix {
+        let mut g = Graph::inference();
+        let xt = self.maga_forward(&mut g, urg);
+        g.value(xt).clone()
+    }
+
+    /// Record the serving *head* plan into `g`: `x̃` becomes a
+    /// `set_value`-able constant leaf feeding the exact detection-head op
+    /// sequence of [`Cmsf::predict_proba`]. Replaying after patching the
+    /// leaf recomputes `x_final`, the gate filter and every region score
+    /// without re-running MAGA.
+    pub fn record_serve_head(&self, g: &mut Graph, x_tilde: &uvd_tensor::Matrix) -> ServeHead {
+        let leaf = g.constant(x_tilde.clone());
+        let nodes = self.score_from_x_tilde(g, leaf);
+        ServeHead {
+            x_tilde: leaf,
+            x_final: nodes.x_final,
+            filter: nodes.filter,
+            p: nodes.p,
+        }
+    }
+
+    /// Record a per-worker batch scoring plan: `capacity` gathered
+    /// `x_final` rows (and gate-filter rows when `gated`) as constant
+    /// leaves, through the gated classifier to sigmoid scores. Per tick the
+    /// worker `set_value`s the leaves and replays — one gated-matmul replay
+    /// per micro-batch. Scores are row-independent in every kernel on this
+    /// path, so a gathered row scores bitwise as it would in the full pass.
+    ///
+    /// `gated` must mirror the head plan's filter presence
+    /// (`ServeHead::filter.is_some()`).
+    pub fn record_serve_batch(
+        &self,
+        g: &mut Graph,
+        capacity: usize,
+        d_final: usize,
+        gated: bool,
+    ) -> ServeBatch {
+        let x = g.constant(uvd_tensor::Matrix::zeros(capacity, d_final));
+        match (gated, &self.gate) {
+            (true, Some(gate)) => {
+                let f = g.constant(uvd_tensor::Matrix::zeros(capacity, gate.filter_len()));
+                let logits = gate.gated_forward(g, &self.classifier, x, f);
+                let p = g.sigmoid(logits);
+                ServeBatch {
+                    x,
+                    filter: Some(f),
+                    p,
                 }
             }
             _ => {
-                let repr = self.representation(&mut g, urg, self.fixed.as_ref());
-                self.classifier.forward(&mut g, repr.x_final)
+                let logits = self.classifier.forward(g, x);
+                let p = g.sigmoid(logits);
+                ServeBatch { x, filter: None, p }
             }
-        };
-        let p = g.sigmoid(logits);
-        g.value(p).as_slice().to_vec()
+        }
     }
 
     /// Predict with a *live* assignment recomputed from the current

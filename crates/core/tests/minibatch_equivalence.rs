@@ -68,7 +68,7 @@ proptest! {
         let seeds = pick_seeds(urg, mask);
         // fanout 0 = the exact k-hop closure, k = MAGA depth.
         let sampler = NeighborSampler::new(7, 0, layers);
-        let nodes = sampler.sample(&urg.edges, &seeds);
+        let nodes = sampler.sample(&urg.edges, &seeds).expect("in-bounds seeds");
         let sub = urg.induced(&nodes);
 
         let full = model.predict_proba(urg);
@@ -108,8 +108,12 @@ proptest! {
 fn capped_sample_is_seeded_subset_of_closure() {
     let urg = shared_urg();
     let seeds = pick_seeds(urg, 0b1011);
-    let closure = NeighborSampler::new(3, 0, 2).sample(&urg.edges, &seeds);
-    let capped = NeighborSampler::new(3, 3, 2).sample(&urg.edges, &seeds);
+    let closure = NeighborSampler::new(3, 0, 2)
+        .sample(&urg.edges, &seeds)
+        .expect("in-bounds seeds");
+    let capped = NeighborSampler::new(3, 3, 2)
+        .sample(&urg.edges, &seeds)
+        .expect("in-bounds seeds");
     assert!(capped.len() <= closure.len());
     for s in &seeds {
         assert!(capped.binary_search(s).is_ok(), "seed {s} missing");

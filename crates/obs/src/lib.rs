@@ -169,14 +169,17 @@ pub fn flush() {
     let mut rec = recorder().lock().expect("obs recorder poisoned");
     let Some(r) = rec.as_mut() else { return };
     if let Some(sink) = r.sink.as_mut() {
+        // Assemble the whole snapshot into one buffer and write it with a
+        // single `write_all` — same atomic-record discipline as span drops.
+        let mut lines = String::new();
         for c in counter_registry().lock().expect("counter registry").iter() {
-            let _ = writeln!(
-                sink,
-                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            lines.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
                 escape(c.name),
                 c.get()
-            );
+            ));
         }
+        let _ = sink.write_all(lines.as_bytes());
         let _ = sink.flush();
     }
 }
@@ -284,12 +287,14 @@ impl Drop for Span {
                 line.push_str("\":");
                 push_json_number(&mut line, *v);
             }
-            line.push_str("}}");
-            let _ = writeln!(sink, "{line}");
-            // One write syscall per record: span records must survive a
-            // process that exits without calling `flush()` (an example or a
-            // panicking run). Tracing-on is never the timed path, and the
-            // record was already assembled into a single buffer above.
+            line.push_str("}}\n");
+            // The record — newline included — goes down in a single
+            // `write_all` while the recorder mutex is held, so concurrent
+            // span drops can never interleave partial lines, and the flush
+            // keeps span records on disk even for a process that exits (or
+            // panics) without calling `flush()`. Tracing-on is never the
+            // timed path.
+            let _ = sink.write_all(line.as_bytes());
             let _ = sink.flush();
         }
     }

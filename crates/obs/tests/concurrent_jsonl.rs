@@ -1,0 +1,67 @@
+//! Multi-threaded JSONL sink integrity: every record lands as one atomic
+//! write, so a trace produced by many concurrent span writers (the
+//! `uvd-serve` worker pool) must contain only complete, parseable lines.
+//!
+//! Lives in its own integration-test process because the recorder is
+//! process-global.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_span_writers_emit_only_valid_json_lines() {
+    let dir = std::env::temp_dir().join("uvd_obs_concurrent");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("trace_{}.jsonl", std::process::id()));
+    uvd_obs::set_jsonl(&path).expect("jsonl sink");
+
+    const THREADS: usize = 8;
+    const SPANS_PER_THREAD: usize = 200;
+    static BUMPS: uvd_obs::Counter = uvd_obs::Counter::new("test.concurrent.bumps");
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let emitted = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let barrier = Arc::clone(&barrier);
+            let emitted = Arc::clone(&emitted);
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..SPANS_PER_THREAD {
+                    {
+                        let _s = uvd_obs::span("test.concurrent")
+                            .field("thread", t as f64)
+                            .field("i", i as f64);
+                    }
+                    BUMPS.add(1);
+                    emitted.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    uvd_obs::disable(); // flushes counters and the sink
+    let text = std::fs::read_to_string(&path).expect("trace file");
+    let mut span_lines = 0usize;
+    for (no, line) in text.lines().enumerate() {
+        assert!(!line.is_empty(), "blank line {no} in trace");
+        let v = serde_json::from_str_value(line)
+            .unwrap_or_else(|e| panic!("line {no} is not valid JSON ({e:?}): {line:?}"));
+        match v.get("type").and_then(|t| t.as_str()) {
+            Some("span") => span_lines += 1,
+            Some("counter") => {}
+            other => panic!("line {no} has unexpected type {other:?}"),
+        }
+    }
+    assert_eq!(
+        span_lines,
+        emitted.load(Ordering::Relaxed),
+        "every span drop must produce exactly one complete line"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"name\":\"test.concurrent.bumps\"")),
+        "counter snapshot missing"
+    );
+    let _ = std::fs::remove_file(&path);
+}

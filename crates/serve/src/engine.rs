@@ -1,0 +1,253 @@
+//! Scoring engine: recorded inference tapes + published caches.
+//!
+//! The model's parameters live in `Rc<RefCell<..>>` cells, so a [`Cmsf`] is
+//! deliberately not `Send`. Sharing therefore happens at the *data* level:
+//!
+//! * The [`Updater`] (one per process) owns the authoritative model, a
+//!   mutable [`Urg`], the full `x̃` matrix and the recorded *head* tape
+//!   (`x̃` leaf → GSCM fusion → gate filter → scores). After every
+//!   `update_poi` it replays the head and publishes a fresh immutable
+//!   [`Caches`] snapshot (`x_final`, gate filter, full-city scores) behind
+//!   an `RwLock<Arc<..>>`.
+//! * Each worker thread builds its own [`BatchScorer`] — a private `Cmsf`
+//!   restored from the same [`MatrixStore`] (identical parameters, hence
+//!   identical tapes) plus a recorded *batch* tape over `capacity` zeroed
+//!   leaf rows. Per tick it gathers the requested rows out of the current
+//!   `Caches` snapshot, `set_value`s the leaves and replays — one gated
+//!   matmul per micro-batch, no allocation of a new graph.
+//!
+//! Every kernel on the batch tape (gated matmul, matmul, sigmoid) computes
+//! row `i` of its output from row `i` of its inputs alone, so a gathered
+//! row scores bitwise as it does in the full-city head replay — which is
+//! itself the exact op sequence of [`Cmsf::predict_proba`]. That chain is
+//! what lets the round-trip test demand bitwise equality with
+//! `Cmsf::predict`.
+
+use cmsf::{Cmsf, CmsfConfig, ServeBatch, ServeHead};
+use uvd_tensor::{Graph, Matrix, MatrixStore, NeighborSampler, SampleError};
+use uvd_urg::Urg;
+
+/// Immutable scoring state published by the updater and snapshotted by
+/// workers at the start of every micro-batch tick.
+pub struct Caches {
+    /// Monotone generation counter; bumped by every successful
+    /// `update_poi` and echoed in score replies.
+    pub version: u64,
+    /// Classifier input `x̃'` for every region (N × d_final).
+    pub x_final: Matrix,
+    /// MS-Gate parameter filter rows (N × d·h) when the gated head is
+    /// active; `None` for checkpoints without a trained slave stage.
+    pub filter: Option<Matrix>,
+    /// Full-city scores from the head replay — kept so `stats`/debugging
+    /// can compare against micro-batch output cheaply.
+    pub scores: Vec<f32>,
+}
+
+/// Outcome of one incremental POI update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// New cache generation.
+    pub version: u64,
+    /// Rows of `x̃` that were recomputed (the k-hop closure of the
+    /// updated region).
+    pub reembedded: usize,
+    /// Size of the induced subgraph the re-embed ran on (the 2k-hop
+    /// closure: receptive fields of every re-embedded row).
+    pub subgraph: usize,
+}
+
+/// The updater: authoritative model + mutable graph + recorded head tape.
+pub struct Updater {
+    model: Cmsf,
+    urg: Urg,
+    g: Graph,
+    head: ServeHead,
+    x_tilde: Matrix,
+    /// Message-passing depth `k` — the MAGA layer count; a feature edit at
+    /// region `r` can only move `x̃` rows within `k` hops of `r`.
+    hops: usize,
+    version: u64,
+}
+
+impl Updater {
+    /// Restore the checkpoint into a fresh model, run MAGA once for the
+    /// full `x̃`, and record the head tape. Fails (an `Err`, not a panic)
+    /// when the store does not match the configured architecture.
+    pub fn new(urg: Urg, cfg: CmsfConfig, store: &MatrixStore) -> std::io::Result<Updater> {
+        let mut model = Cmsf::new(&urg, cfg);
+        model.restore_from_store(store)?;
+        let x_tilde = model.x_tilde_matrix(&urg);
+        let mut g = Graph::inference();
+        let head = model.record_serve_head(&mut g, &x_tilde);
+        Ok(Updater {
+            hops: cfg.maga_layers,
+            model,
+            urg,
+            g,
+            head,
+            x_tilde,
+            version: 0,
+        })
+    }
+
+    pub fn n_regions(&self) -> usize {
+        self.urg.n
+    }
+
+    pub fn poi_width(&self) -> usize {
+        self.urg.x_poi.cols()
+    }
+
+    /// Snapshot the current head outputs as an immutable cache generation.
+    pub fn caches(&self) -> Caches {
+        Caches {
+            version: self.version,
+            x_final: self.g.value(self.head.x_final).clone(),
+            filter: self.head.filter.map(|f| self.g.value(f).clone()),
+            scores: self.g.value(self.head.p).as_slice().to_vec(),
+        }
+    }
+
+    /// Apply one POI feature edit and re-embed only the affected k-hop
+    /// neighborhood.
+    ///
+    /// Flow (validation strictly before mutation):
+    /// 1. `affected` = exact k-hop closure of `region` (fanout 0) — on the
+    ///    URG's symmetric edges this is both "who region influences" and
+    ///    "whose receptive field contains region". An out-of-range region
+    ///    id surfaces here as the typed [`SampleError`], answered as an
+    ///    error reply.
+    /// 2. `Urg::update_poi` swaps the feature row (width-checked).
+    /// 3. `ext` = k-hop closure of `affected` — the union of their
+    ///    receptive fields — and MAGA reruns on `induced(ext)` only.
+    /// 4. The `affected` rows of the cached `x̃` are patched and the head
+    ///    tape replays from the patched leaf.
+    ///
+    /// Rows outside `affected` are untouched: POI features are row-local
+    /// and their receptive fields exclude `region`. Rows inside `affected`
+    /// are bitwise what a full-city MAGA pass would produce, by the k-hop
+    /// closure property `induced` guarantees (same neighbor order, same
+    /// normalized weights).
+    pub fn update_poi(&mut self, region: u64, poi: &[f32]) -> Result<UpdateOutcome, String> {
+        if region > u32::MAX as u64 {
+            return Err(SampleError::SeedOutOfBounds {
+                seed: u32::MAX,
+                n_nodes: self.urg.n,
+            }
+            .to_string());
+        }
+        let sampler = NeighborSampler::new(0, 0, self.hops);
+        let affected = sampler
+            .sample(&self.urg.edges, &[region as u32])
+            .map_err(|e| e.to_string())?;
+        self.urg
+            .update_poi(region as usize, poi)
+            .map_err(|e| e.to_string())?;
+        let ext = sampler
+            .sample(&self.urg.edges, &affected)
+            .map_err(|e| e.to_string())?;
+        let sub = self.urg.induced(&ext);
+        let xt_sub = self.model.x_tilde_matrix(&sub);
+        for &a in &affected {
+            let local = ext
+                .binary_search(&a)
+                .expect("affected is a subset of its own closure");
+            self.x_tilde
+                .row_mut(a as usize)
+                .copy_from_slice(xt_sub.row(local));
+        }
+        self.g.set_value(self.head.x_tilde, &self.x_tilde);
+        self.g.replay();
+        self.version += 1;
+        Ok(UpdateOutcome {
+            version: self.version,
+            reembedded: affected.len(),
+            subgraph: ext.len(),
+        })
+    }
+}
+
+/// Per-worker micro-batch scorer: a private restored model plus a recorded
+/// batch tape over `capacity` leaf rows and reusable gather scratch.
+pub struct BatchScorer {
+    g: Graph,
+    plan: ServeBatch,
+    x_scratch: Matrix,
+    f_scratch: Option<Matrix>,
+    capacity: usize,
+}
+
+impl BatchScorer {
+    /// `gated` and the widths must describe the cache snapshots this
+    /// scorer will gather from (i.e. come from the same checkpoint).
+    pub fn new(
+        urg: &Urg,
+        cfg: CmsfConfig,
+        store: &MatrixStore,
+        capacity: usize,
+        d_final: usize,
+        gated: bool,
+    ) -> std::io::Result<BatchScorer> {
+        let mut model = Cmsf::new(urg, cfg);
+        model.restore_from_store(store)?;
+        let mut g = Graph::inference();
+        let plan = model.record_serve_batch(&mut g, capacity, d_final, gated);
+        let f_scratch = plan.filter.map(|f| {
+            let v = g.value(f);
+            Matrix::zeros(v.rows(), v.cols())
+        });
+        // The tape holds the recorded ops; the model itself is only needed
+        // at record time (its parameters are captured as graph params).
+        Ok(BatchScorer {
+            g,
+            plan,
+            x_scratch: Matrix::zeros(capacity, d_final),
+            f_scratch,
+            capacity,
+        })
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Score `ids` (all in-bounds) against a cache snapshot with one tape
+    /// replay. `ids.len()` must be ≤ `capacity`; callers chunk above that.
+    /// Rows past `ids.len()` keep whatever the previous tick gathered —
+    /// row independence makes them inert.
+    pub fn score_chunk(&mut self, caches: &Caches, ids: &[u32], out: &mut Vec<f32>) {
+        assert!(ids.len() <= self.capacity, "chunking is the caller's job");
+        for (row, &id) in ids.iter().enumerate() {
+            self.x_scratch
+                .row_mut(row)
+                .copy_from_slice(caches.x_final.row(id as usize));
+        }
+        self.g.set_value(self.plan.x, &self.x_scratch);
+        if let (Some(f_scratch), Some(f_node), Some(filter)) = (
+            self.f_scratch.as_mut(),
+            self.plan.filter,
+            caches.filter.as_ref(),
+        ) {
+            for (row, &id) in ids.iter().enumerate() {
+                f_scratch
+                    .row_mut(row)
+                    .copy_from_slice(filter.row(id as usize));
+            }
+            self.g.set_value(f_node, f_scratch);
+        }
+        self.g.replay();
+        let p = self.g.value(self.plan.p).as_slice();
+        out.extend_from_slice(&p[..ids.len()]);
+    }
+}
+
+/// The error reply body for an out-of-bounds region id, phrased through
+/// the same typed error the sampler raises (satellite: typed OOB errors
+/// everywhere a region id enters the system).
+pub fn oob_error(id: u32, n_regions: usize) -> String {
+    SampleError::SeedOutOfBounds {
+        seed: id,
+        n_nodes: n_regions,
+    }
+    .to_string()
+}

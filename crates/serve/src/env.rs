@@ -1,0 +1,84 @@
+//! Serving knobs read from the environment, mirroring the warn-once
+//! discipline of `cmsf::env`: parse failures fall back to the default and
+//! emit a single `uvd_obs::warn_once` instead of guessing or panicking.
+//!
+//! | variable                 | meaning                                   | default |
+//! |--------------------------|-------------------------------------------|---------|
+//! | `UVD_SERVE_BATCH`        | max rows per micro-batch replay           | 64      |
+//! | `UVD_SERVE_MAX_DELAY_MS` | max wait to fill a micro-batch, in ms     | 2       |
+
+use std::sync::OnceLock;
+
+/// Default micro-batch capacity (rows per replay).
+pub const DEFAULT_BATCH: usize = 64;
+/// Default micro-batch fill deadline in milliseconds.
+pub const DEFAULT_MAX_DELAY_MS: u64 = 2;
+
+/// Parse a `UVD_SERVE_BATCH` value: a positive integer.
+pub fn parse_serve_batch(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// Parse a `UVD_SERVE_MAX_DELAY_MS` value: a non-negative integer (zero
+/// means "never wait — replay whatever is queued immediately").
+pub fn parse_max_delay_ms(raw: &str) -> Option<u64> {
+    raw.trim().parse::<u64>().ok()
+}
+
+fn read_knob<T>(var: &'static str, default: T, parse: impl Fn(&str) -> Option<T>) -> T {
+    match std::env::var(var) {
+        Ok(raw) => match parse(&raw) {
+            Some(v) => v,
+            None => {
+                uvd_obs::warn_once(
+                    var,
+                    &format!("{var}={raw:?} is not a valid value; using the default"),
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// `UVD_SERVE_BATCH`, read once per process.
+pub fn env_serve_batch() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| read_knob("UVD_SERVE_BATCH", DEFAULT_BATCH, parse_serve_batch))
+}
+
+/// `UVD_SERVE_MAX_DELAY_MS`, read once per process.
+pub fn env_max_delay_ms() -> u64 {
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        read_knob(
+            "UVD_SERVE_MAX_DELAY_MS",
+            DEFAULT_MAX_DELAY_MS,
+            parse_max_delay_ms,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_parses_positive_integers_only() {
+        assert_eq!(parse_serve_batch("64"), Some(64));
+        assert_eq!(parse_serve_batch(" 8 "), Some(8));
+        assert_eq!(parse_serve_batch("0"), None);
+        assert_eq!(parse_serve_batch("-3"), None);
+        assert_eq!(parse_serve_batch("lots"), None);
+    }
+
+    #[test]
+    fn delay_allows_zero() {
+        assert_eq!(parse_max_delay_ms("0"), Some(0));
+        assert_eq!(parse_max_delay_ms("25"), Some(25));
+        assert_eq!(parse_max_delay_ms("fast"), None);
+    }
+}

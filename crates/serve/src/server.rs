@@ -1,0 +1,567 @@
+//! The resident TCP service: listener, bounded request queue, worker
+//! threads, updater thread.
+//!
+//! Thread layout (see DESIGN.md §12):
+//!
+//! * one **listener** thread accepting connections (non-blocking accept
+//!   polled against the shutdown flag);
+//! * one detached **connection** thread per client, reading NDJSON lines.
+//!   `health`/`stats` answer inline; `score` enqueues a job carrying a
+//!   reply channel and blocks on it (replies stay in request order per
+//!   connection while batching happens *across* connections);
+//!   `update_poi` forwards to the updater channel;
+//! * `workers` **worker** threads, each owning a private restored model and
+//!   recorded batch tape. A tick pops the first job (blocking), then
+//!   drains more jobs until the tape capacity is filled or
+//!   `UVD_SERVE_MAX_DELAY_MS` expires, snapshots the current cache
+//!   generation once, and replays per chunk;
+//! * one **updater** thread owning the authoritative model, the mutable
+//!   URG and the head tape; it publishes a fresh `Arc<Caches>` per
+//!   successful `update_poi`.
+//!
+//! Backpressure: the queue is bounded at `queue_cap`; a full queue answers
+//! `{"ok":false,"error":"overloaded: ..."}` instead of buffering without
+//! limit. Every crash path a long-lived process meets — malformed JSON,
+//! out-of-bounds ids, width mismatches, checkpoint/architecture drift —
+//! is an error *reply*, never a panic.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cmsf::CmsfConfig;
+use serde_json::Value;
+use uvd_tensor::MatrixStore;
+use uvd_urg::Urg;
+
+use crate::engine::{oob_error, BatchScorer, Caches, Updater};
+use crate::proto::{self, Request};
+use crate::{env, proto::error_reply};
+
+static REQUESTS: uvd_obs::Counter = uvd_obs::Counter::new("serve.requests");
+static BATCHES: uvd_obs::Counter = uvd_obs::Counter::new("serve.batches");
+static QUEUE_ENQ: uvd_obs::Counter = uvd_obs::Counter::new("serve.queue.enq");
+static QUEUE_DEQ: uvd_obs::Counter = uvd_obs::Counter::new("serve.queue.deq");
+
+/// A queued score request: ids plus the channel the worker answers on.
+struct ScoreJob {
+    ids: Vec<u32>,
+    tag: Option<Value>,
+    reply: mpsc::Sender<String>,
+}
+
+/// An update request forwarded to the updater thread.
+struct UpdateJob {
+    region: u64,
+    poi: Vec<f32>,
+    tag: Option<Value>,
+    reply: mpsc::Sender<String>,
+}
+
+/// Plain-`u64` service stats, separate from `uvd_obs` counters because
+/// those only accumulate while tracing is on; `stats` must work always.
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    score_requests: AtomicU64,
+    batches: AtomicU64,
+    rows_scored: AtomicU64,
+    updates: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+}
+
+struct SharedState {
+    caches: RwLock<Arc<Caches>>,
+    queue: Mutex<VecDeque<ScoreJob>>,
+    not_empty: Condvar,
+    queue_cap: usize,
+    batch_cap: usize,
+    max_delay: Duration,
+    shutdown: AtomicBool,
+    stats: Stats,
+    n_regions: usize,
+    workers: usize,
+}
+
+/// Server construction options. `Default` reads the `UVD_SERVE_*` knobs.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks a free port (read it back via
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker (micro-batch scorer) thread count.
+    pub workers: usize,
+    /// Rows per micro-batch replay.
+    pub batch: usize,
+    /// Max wait to fill a micro-batch.
+    pub max_delay: Duration,
+    /// Bounded queue capacity (jobs, not rows).
+    pub queue_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let batch = env::env_serve_batch();
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            batch,
+            max_delay: Duration::from_millis(env::env_max_delay_ms()),
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// A running service. Dropping it shuts the service down.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<SharedState>,
+    threads: Vec<JoinHandle<()>>,
+    update_tx: Option<mpsc::Sender<UpdateJob>>,
+}
+
+impl Server {
+    /// Restore the checkpoint, record the tapes, bind the listener and
+    /// spawn the thread fleet. Returns once the service is accepting
+    /// connections.
+    pub fn start(
+        urg: Urg,
+        cfg: CmsfConfig,
+        store: MatrixStore,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
+        // Build the updater first: it validates the checkpoint against the
+        // architecture (transactional restore) and produces generation 0.
+        let updater = Updater::new(urg.clone(), cfg, &store)?;
+        let caches0 = updater.caches();
+        let d_final = caches0.x_final.cols();
+        let gated = caches0.filter.is_some();
+
+        let shared = Arc::new(SharedState {
+            caches: RwLock::new(Arc::new(caches0)),
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            queue_cap: opts.queue_cap,
+            batch_cap: opts.batch.max(1),
+            max_delay: opts.max_delay,
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+            n_regions: updater.n_regions(),
+            workers: opts.workers.max(1),
+        });
+
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let mut threads = Vec::new();
+
+        // Updater thread: owns the authoritative model. `Updater` is not
+        // Send (Rc params), so it is *constructed* on this thread and a
+        // second instance is moved piece-wise: we rebuild from the same
+        // store, which restores bitwise-identical parameters.
+        let (update_tx, update_rx) = mpsc::channel::<UpdateJob>();
+        {
+            let shared = Arc::clone(&shared);
+            let urg = urg.clone();
+            let store = store.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("uvd-serve-updater".to_string())
+                    .spawn(move || {
+                        let updater =
+                            Updater::new(urg, cfg, &store).expect("store validated at startup");
+                        updater_loop(updater, update_rx, shared);
+                    })?,
+            );
+        }
+
+        // Worker threads: each restores its own model from the shared
+        // store and records a private batch tape.
+        for w in 0..shared.workers {
+            let shared = Arc::clone(&shared);
+            let urg = urg.clone();
+            let store = store.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("uvd-serve-worker-{w}"))
+                    .spawn(move || {
+                        let scorer =
+                            BatchScorer::new(&urg, cfg, &store, shared.batch_cap, d_final, gated)
+                                .expect("store validated at startup");
+                        worker_loop(scorer, shared);
+                    })?,
+            );
+        }
+
+        // Listener thread.
+        {
+            let shared = Arc::clone(&shared);
+            let update_tx = update_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("uvd-serve-listener".to_string())
+                    .spawn(move || listener_loop(listener, shared, update_tx))?,
+            );
+        }
+
+        Ok(Server {
+            addr,
+            shared,
+            threads,
+            update_tx: Some(update_tx),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current cache generation.
+    pub fn version(&self) -> u64 {
+        self.shared.caches.read().expect("caches lock").version
+    }
+
+    /// Stop accepting, drain nothing further, join the fleet. Queued jobs
+    /// that never ran answer with a shutdown error through their dropped
+    /// reply channels.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.not_empty.notify_all();
+        // Dropping the server's updater handle lets the updater thread see
+        // channel disconnect promptly.
+        self.update_tx.take();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn listener_loop(
+    listener: TcpListener,
+    shared: Arc<SharedState>,
+    update_tx: mpsc::Sender<UpdateJob>,
+) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                let update_tx = update_tx.clone();
+                // Detached: the thread exits when the client disconnects
+                // or the shutdown flag flips (read timeout poll).
+                let _ = std::thread::Builder::new()
+                    .name("uvd-serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, shared, update_tx));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    shared: Arc<SharedState>,
+    update_tx: mpsc::Sender<UpdateJob>,
+) {
+    // One-line request/reply traffic stalls ~40ms per turn under Nagle +
+    // delayed ACK; replies must leave the moment they are written.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let reply = handle_line(trimmed, &shared, &update_tx);
+                if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+                    return;
+                }
+                let _ = writer.flush();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handle one request line and produce one reply line (no newline).
+fn handle_line(line: &str, shared: &SharedState, update_tx: &mpsc::Sender<UpdateJob>) -> String {
+    let mut span = uvd_obs::span("serve.request");
+    REQUESTS.add(1);
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let req = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            span.add_field("ok", 0.0);
+            return error_reply(&msg, None);
+        }
+    };
+    let reply = match req {
+        Request::Health { tag } => {
+            let version = shared.caches.read().expect("caches lock").version;
+            proto::health_reply(shared.n_regions, version, shared.workers, tag.as_ref())
+        }
+        Request::Stats { tag } => {
+            let version = shared.caches.read().expect("caches lock").version;
+            let depth = shared.queue.lock().expect("queue lock").len() as u64;
+            let s = &shared.stats;
+            proto::stats_reply(
+                &[
+                    ("requests", s.requests.load(Ordering::Relaxed)),
+                    ("score_requests", s.score_requests.load(Ordering::Relaxed)),
+                    ("batches", s.batches.load(Ordering::Relaxed)),
+                    ("rows_scored", s.rows_scored.load(Ordering::Relaxed)),
+                    ("updates", s.updates.load(Ordering::Relaxed)),
+                    ("errors", s.errors.load(Ordering::Relaxed)),
+                    ("rejected", s.rejected.load(Ordering::Relaxed)),
+                    ("queue_depth", depth),
+                    ("regions", shared.n_regions as u64),
+                    ("version", version),
+                ],
+                tag.as_ref(),
+            )
+        }
+        Request::Score { ids, tag } => {
+            shared.stats.score_requests.fetch_add(1, Ordering::Relaxed);
+            span.add_field("ids", ids.len() as f64);
+            score_via_queue(ids, tag, shared)
+        }
+        Request::UpdatePoi { region, poi, tag } => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job = UpdateJob {
+                region,
+                poi,
+                tag: tag.clone(),
+                reply: reply_tx,
+            };
+            if update_tx.send(job).is_err() {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                error_reply("shutting down", tag.as_ref())
+            } else {
+                match reply_rx.recv() {
+                    Ok(r) => r,
+                    Err(_) => {
+                        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        error_reply("shutting down", tag.as_ref())
+                    }
+                }
+            }
+        }
+    };
+    span.add_field("ok", 1.0);
+    reply
+}
+
+/// Enqueue a score job (bounded) and block on the worker's reply.
+fn score_via_queue(ids: Vec<u32>, tag: Option<Value>, shared: &SharedState) -> String {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    {
+        let mut q = shared.queue.lock().expect("queue lock");
+        if q.len() >= shared.queue_cap {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return error_reply(
+                &format!("overloaded: queue at capacity {}", shared.queue_cap),
+                tag.as_ref(),
+            );
+        }
+        q.push_back(ScoreJob {
+            ids,
+            tag: tag.clone(),
+            reply: reply_tx,
+        });
+        QUEUE_ENQ.add(1);
+    }
+    shared.not_empty.notify_one();
+    match reply_rx.recv() {
+        Ok(r) => r,
+        Err(_) => error_reply("shutting down", tag.as_ref()),
+    }
+}
+
+/// One worker: blocking-pop a first job, drain up to the tape capacity or
+/// the fill deadline, snapshot the cache generation once, replay per
+/// chunk, answer every job.
+fn worker_loop(mut scorer: BatchScorer, shared: Arc<SharedState>) {
+    loop {
+        let mut q = shared.queue.lock().expect("queue lock");
+        let first = loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(j) = q.pop_front() {
+                break j;
+            }
+            let (guard, _) = shared
+                .not_empty
+                .wait_timeout(q, Duration::from_millis(50))
+                .expect("queue lock");
+            q = guard;
+        };
+        let mut rows = first.ids.len();
+        let mut jobs = vec![first];
+        let deadline = Instant::now() + shared.max_delay;
+        while rows < scorer.capacity() {
+            if let Some(j) = q.pop_front() {
+                rows += j.ids.len();
+                jobs.push(j);
+                continue;
+            }
+            let now = Instant::now();
+            if now >= deadline || shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let (guard, timeout) = shared
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .expect("queue lock");
+            q = guard;
+            if timeout.timed_out() && q.is_empty() {
+                break;
+            }
+        }
+        let depth_after = q.len();
+        drop(q);
+
+        QUEUE_DEQ.add(jobs.len() as u64);
+        let span = uvd_obs::span("serve.batch")
+            .field("jobs", jobs.len() as f64)
+            .field("rows", rows as f64)
+            .field("queue", depth_after as f64);
+        BATCHES.add(1);
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+
+        // One snapshot per tick: every job in the batch scores against the
+        // same cache generation.
+        let caches = Arc::clone(&shared.caches.read().expect("caches lock"));
+
+        // Validate ids up front; an out-of-bounds id fails *its* request
+        // with the typed sampler error text, the rest of the batch runs.
+        let mut runnable: Vec<ScoreJob> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match job.ids.iter().find(|&&id| id as usize >= shared.n_regions) {
+                Some(&bad) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(error_reply(
+                        &oob_error(bad, shared.n_regions),
+                        job.tag.as_ref(),
+                    ));
+                }
+                None => runnable.push(job),
+            }
+        }
+
+        // Flatten, chunk by tape capacity, replay.
+        let flat: Vec<u32> = runnable
+            .iter()
+            .flat_map(|j| j.ids.iter().copied())
+            .collect();
+        let mut scores: Vec<f32> = Vec::with_capacity(flat.len());
+        for chunk in flat.chunks(scorer.capacity().max(1)) {
+            scorer.score_chunk(&caches, chunk, &mut scores);
+        }
+        shared
+            .stats
+            .rows_scored
+            .fetch_add(flat.len() as u64, Ordering::Relaxed);
+
+        let mut off = 0;
+        for job in runnable {
+            let n = job.ids.len();
+            let _ = job.reply.send(proto::score_reply(
+                &scores[off..off + n],
+                caches.version,
+                job.tag.as_ref(),
+            ));
+            off += n;
+        }
+        drop(span);
+    }
+}
+
+/// The updater thread: applies POI edits, re-embeds the k-hop
+/// neighborhood, publishes fresh cache generations.
+fn updater_loop(mut updater: Updater, rx: mpsc::Receiver<UpdateJob>, shared: Arc<SharedState>) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => {
+                let expected = updater.poi_width();
+                if job.poi.len() != expected {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(error_reply(
+                        &format!(
+                            "poi width mismatch: expected {expected}, got {}",
+                            job.poi.len()
+                        ),
+                        job.tag.as_ref(),
+                    ));
+                    continue;
+                }
+                let span = uvd_obs::span("serve.update");
+                match updater.update_poi(job.region, &job.poi) {
+                    Ok(out) => {
+                        *shared.caches.write().expect("caches lock") = Arc::new(updater.caches());
+                        shared.stats.updates.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.reply.send(proto::update_reply(
+                            out.version,
+                            out.reembedded,
+                            out.subgraph,
+                            job.tag.as_ref(),
+                        ));
+                    }
+                    Err(msg) => {
+                        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.reply.send(error_reply(&msg, job.tag.as_ref()));
+                    }
+                }
+                drop(span);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

@@ -71,5 +71,5 @@ pub use matrix::Matrix;
 pub use param::{Adam, ParamRef, ParamSet};
 pub use persist::MatrixStore;
 pub use plan::{FusedAct, Plan, Workspace};
-pub use sample::NeighborSampler;
+pub use sample::{NeighborSampler, SampleError};
 pub use sparse::{Csr, EdgeIndex};

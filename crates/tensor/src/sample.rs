@@ -31,6 +31,29 @@
 use crate::init::{derive_seed, seeded_rng};
 use crate::sparse::EdgeIndex;
 use rand::Rng;
+use std::fmt;
+
+/// Typed failure from [`NeighborSampler::sample`]. A long-lived process
+/// (the `uvd-serve` scoring service) feeds request-supplied region ids into
+/// the sampler; a bad id must surface as a recoverable error reply, not a
+/// process-killing panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleError {
+    /// A seed node id is `>= n_nodes` for the graph being sampled.
+    SeedOutOfBounds { seed: u32, n_nodes: usize },
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::SeedOutOfBounds { seed, n_nodes } => {
+                write!(f, "seed {seed} out of bounds for {n_nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
 
 /// Seeded, thread-count-invariant neighbor sampler.
 #[derive(Clone, Copy, Debug)]
@@ -58,14 +81,22 @@ impl NeighborSampler {
 
     /// Expand `seeds` by `hops` rounds of (possibly capped) in-neighbor
     /// selection. Returns the union of the seeds and every selected node,
-    /// strictly ascending. Seeds may be unsorted and may repeat.
-    pub fn sample(&self, edges: &EdgeIndex, seeds: &[u32]) -> Vec<u32> {
+    /// strictly ascending. Seeds may be unsorted and may repeat. An
+    /// out-of-bounds seed yields [`SampleError::SeedOutOfBounds`] before any
+    /// expansion work (the check runs over the whole seed slice first, so a
+    /// failed call does no partial sampling).
+    pub fn sample(&self, edges: &EdgeIndex, seeds: &[u32]) -> Result<Vec<u32>, SampleError> {
         let n = edges.n_nodes();
+        if let Some(&s) = seeds.iter().find(|&&s| s as usize >= n) {
+            return Err(SampleError::SeedOutOfBounds {
+                seed: s,
+                n_nodes: n,
+            });
+        }
         let mut visited = vec![false; n];
         let mut frontier: Vec<u32> = Vec::new();
         for &s in seeds {
             let si = s as usize;
-            assert!(si < n, "seed {s} out of bounds for {n} nodes");
             if !visited[si] {
                 visited[si] = true;
                 frontier.push(s);
@@ -114,7 +145,7 @@ impl NeighborSampler {
         }
         let mut nodes: Vec<u32> = (0..n as u32).filter(|&i| visited[i as usize]).collect();
         nodes.shrink_to_fit();
-        nodes
+        Ok(nodes)
     }
 }
 
@@ -138,18 +169,39 @@ mod tests {
         let e = ring(10);
         let s = NeighborSampler::new(1, 0, 2);
         // 2-hop closure of node 0 on a ring: {8, 9, 0, 1, 2}.
-        assert_eq!(s.sample(&e, &[0]), vec![0, 1, 2, 8, 9]);
+        assert_eq!(s.sample(&e, &[0]).unwrap(), vec![0, 1, 2, 8, 9]);
+    }
+
+    #[test]
+    fn out_of_bounds_seed_is_a_typed_error() {
+        let e = ring(10);
+        let s = NeighborSampler::new(1, 0, 2);
+        assert_eq!(
+            s.sample(&e, &[3, 10]),
+            Err(SampleError::SeedOutOfBounds {
+                seed: 10,
+                n_nodes: 10
+            })
+        );
+        // The error formats with both the id and the bound, and a good seed
+        // set still samples after a failed call (no poisoned state).
+        let err = s.sample(&e, &[u32::MAX]).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            format!("seed {} out of bounds for 10 nodes", u32::MAX)
+        );
+        assert_eq!(s.sample(&e, &[0]).unwrap(), vec![0, 1, 2, 8, 9]);
     }
 
     #[test]
     fn sample_is_sorted_dedup_and_seed_stable() {
         let e = ring(50);
         let s = NeighborSampler::new(7, 2, 3);
-        let a = s.sample(&e, &[3, 40, 3]);
-        let b = s.sample(&e, &[40, 3]);
+        let a = s.sample(&e, &[3, 40, 3]).unwrap();
+        let b = s.sample(&e, &[40, 3]).unwrap();
         assert_eq!(a, b, "pure function of the seed set");
         assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
-        let c = NeighborSampler::new(8, 2, 3).sample(&e, &[3, 40]);
+        let c = NeighborSampler::new(8, 2, 3).sample(&e, &[3, 40]).unwrap();
         // Different sampler seed explores a (generally) different set on a
         // star-free graph with fanout caps; at minimum it stays valid.
         assert!(c.windows(2).all(|w| w[0] < w[1]));
@@ -162,7 +214,7 @@ mod tests {
         pairs.push((0, 0));
         let e = EdgeIndex::from_pairs(41, pairs);
         let s = NeighborSampler::new(3, 5, 1);
-        let got = s.sample(&e, &[0]);
+        let got = s.sample(&e, &[0]).unwrap();
         assert_eq!(got.len(), 6, "seed + fanout selections, got {got:?}");
         assert!(got.contains(&0));
     }
@@ -174,7 +226,7 @@ mod tests {
         let e = EdgeIndex::from_pairs(21, pairs);
         let mut counts = [0u32; 21];
         for seed in 0..200 {
-            for node in NeighborSampler::new(seed, 4, 1).sample(&e, &[0]) {
+            for node in NeighborSampler::new(seed, 4, 1).sample(&e, &[0]).unwrap() {
                 counts[node as usize] += 1;
             }
         }

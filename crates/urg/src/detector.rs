@@ -44,6 +44,26 @@ pub enum FitError {
         /// Which input was absent (`"raw_images"`, ...).
         what: &'static str,
     },
+    /// Neighbor sampling was asked to expand a node id that does not exist
+    /// in the graph (see [`uvd_tensor::SampleError`]). Reachable from
+    /// request-supplied region ids in the serving path, so it must be a
+    /// recoverable error, not a panic.
+    SeedOutOfBounds {
+        /// The offending node id.
+        seed: u32,
+        /// Node count of the graph being sampled.
+        n_nodes: usize,
+    },
+}
+
+impl From<uvd_tensor::SampleError> for FitError {
+    fn from(e: uvd_tensor::SampleError) -> Self {
+        match e {
+            uvd_tensor::SampleError::SeedOutOfBounds { seed, n_nodes } => {
+                FitError::SeedOutOfBounds { seed, n_nodes }
+            }
+        }
+    }
 }
 
 impl fmt::Display for FitError {
@@ -70,6 +90,9 @@ impl fmt::Display for FitError {
             }
             FitError::MissingInput { what } => {
                 write!(f, "required input missing from URG: {what}")
+            }
+            FitError::SeedOutOfBounds { seed, n_nodes } => {
+                write!(f, "sampling seed {seed} out of bounds for {n_nodes} nodes")
             }
         }
     }

@@ -11,6 +11,30 @@ use uvd_citysim::{City, IMG_LEN};
 use uvd_tensor::graph::CsrPair;
 use uvd_tensor::{Csr, EdgeIndex, Matrix};
 
+/// Typed failure from [`Urg::update_poi`]: the incremental-update request
+/// path of the serving layer, where a bad region id or a wrong-width feature
+/// row must become an error reply rather than a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    RegionOutOfBounds { region: usize, n_regions: usize },
+    WidthMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::RegionOutOfBounds { region, n_regions } => {
+                write!(f, "region {region} out of bounds for {n_regions} regions")
+            }
+            UpdateError::WidthMismatch { expected, got } => {
+                write!(f, "POI row has {got} features, graph expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
 /// Options controlling URG construction; the Figure 5(b) data-ablation
 /// variants are expressed by toggling these flags.
 #[derive(Clone, Copy, Debug)]
@@ -83,7 +107,10 @@ impl UrgOptions {
 
 /// The Urban Region Graph: nodes are region grids, edges come from spatial
 /// proximity and road connectivity, features from POIs and imagery
-/// (paper Section IV).
+/// (paper Section IV). `Clone` is cheap-ish: the sparse structures are
+/// shared `Arc`s; only the feature matrices and label vectors copy (the
+/// serving layer clones one mutable instance for incremental updates).
+#[derive(Clone)]
 pub struct Urg {
     pub name: String,
     pub n: usize,
@@ -291,6 +318,30 @@ impl Urg {
             labeled,
             y,
         }
+    }
+
+    /// Overwrite one region's POI feature row in place — the serving-path
+    /// incremental update (`update_poi` in the `uvd-serve` protocol). The
+    /// graph topology and every other region's features are untouched, so a
+    /// `maga_layers`-hop re-embed of the region's neighborhood is enough to
+    /// bring cached representations back in sync (see DESIGN.md §12).
+    /// Validates instead of panicking: a request-supplied region id must
+    /// never kill a resident process.
+    pub fn update_poi(&mut self, region: usize, row: &[f32]) -> Result<(), UpdateError> {
+        if region >= self.n {
+            return Err(UpdateError::RegionOutOfBounds {
+                region,
+                n_regions: self.n,
+            });
+        }
+        if row.len() != self.x_poi.cols() {
+            return Err(UpdateError::WidthMismatch {
+                expected: self.x_poi.cols(),
+                got: row.len(),
+            });
+        }
+        self.x_poi.row_mut(region).copy_from_slice(row);
+        Ok(())
     }
 
     /// Combined feature dimensionality (POI + image).

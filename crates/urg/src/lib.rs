@@ -26,7 +26,7 @@ pub use detector::{Detector, FitError, FitReport};
 pub use features::{PoiFeatureOptions, PoiSpatialIndex};
 pub use graph::{
     serde_like::{ShardStats, UrgStats},
-    Urg, UrgOptions,
+    UpdateError, Urg, UrgOptions,
 };
 pub use shard::{ShardedUrg, ShardedUrgBuilder, UrgShard};
 pub use vgg::{standardize_blocks, standardize_columns, VggSim, VGG_SIM_DIM};

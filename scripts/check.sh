@@ -36,3 +36,9 @@ cargo run --release -p uvd-bench --bin trace_smoke -q
 # monolithic imagery buffer alone) and that the JSONL trace carries the
 # urg.shard.build and cmsf.sample spans.
 cargo run --release -p uvd-bench --bin scaling -q -- --smoke
+# Resident-service smoke: 100 concurrent score requests plus poisoned
+# inputs (one malformed line, one out-of-bounds region id) against an
+# in-process uvd-serve. Zero panics, every reply valid JSON, the OOB id
+# answered with the typed sampler error, and the serve.request /
+# serve.batch span taxonomy present in the JSONL trace.
+cargo run --release -p uvd-bench --bin serve_smoke -q
