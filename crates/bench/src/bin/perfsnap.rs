@@ -30,12 +30,12 @@
 use cmsf::{Cmsf, CmsfConfig};
 use std::sync::Arc;
 use std::time::Instant;
-use uvd_bench::repo_root_path;
-use uvd_citysim::{City, CityPreset};
+use uvd_bench::{repo_root_path, scale_city};
+use uvd_citysim::{City, CityPreset, CityStream};
 use uvd_obs::alloc::CountingAlloc;
 use uvd_tensor::init::{normal_matrix, seeded_rng};
 use uvd_tensor::{fastmath, legacy, par, Adam, Csr, EdgeIndex, Graph};
-use uvd_urg::{Urg, UrgOptions};
+use uvd_urg::{ShardedUrg, Urg, UrgOptions};
 
 /// Counting allocator so the snapshot header can report the process's peak
 /// heap (two relaxed atomics per alloc — noise next to the timed kernels).
@@ -264,6 +264,67 @@ fn span_breakdown() -> serde_json::Value {
     serde_json::json!({ "spans": span_rows, "counters": counter_rows })
 }
 
+/// Build-path section: time the streamed URG build (`CityStream` →
+/// `ShardedUrg` → `into_urg`) at each worker count of `sweep`, then re-run
+/// it once with the in-memory recorder on for the `urg.features` /
+/// `urg.edges` / `urg.csr` sub-span breakdown. One timed run per count —
+/// the full-size build runs for seconds, so single-shot noise is small
+/// against the serial/parallel gap being recorded. The committed numbers
+/// stream the 50k-region scaling city (224×224, the same city the
+/// `scaling` harness measures); smoke shrinks it to 64×64 so the check.sh
+/// gate stays fast. The result is bitwise-identical at every count
+/// (DESIGN.md §13), so only the wall time varies across the sweep.
+fn build_path(sweep: &[usize], smoke: bool) -> serde_json::Value {
+    const TILE_ROWS: usize = 16;
+    let cfg = scale_city(if smoke { 64 } else { 224 });
+    let build = || {
+        ShardedUrg::from_stream(
+            CityStream::new(cfg.clone(), 11, TILE_ROWS),
+            UrgOptions::default(),
+        )
+    };
+
+    println!("\nstreamed build ({}):", cfg.name);
+    let mut rows = Vec::new();
+    let mut n_regions = 0usize;
+    let mut n_edges = 0usize;
+    for &t in sweep {
+        let t0 = Instant::now();
+        let urg = par::with_threads(t, || build().into_urg());
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        n_regions = urg.n;
+        n_edges = urg.edges.n_edges();
+        println!("  {t}T {ms:10.3} ms");
+        rows.push(serde_json::json!({ "threads": t, "build_ms": ms }));
+    }
+    println!("  ({n_regions} regions, {n_edges} edges, {TILE_ROWS} rows/tile)");
+
+    // Untimed traced pass at the largest count: where inside the build the
+    // time goes (feature extraction vs. edge generation vs. CSR assembly).
+    uvd_obs::set_memory();
+    let top = *sweep.last().expect("non-empty sweep");
+    par::with_threads(top, || std::hint::black_box(build()));
+    let spans: Vec<serde_json::Value> = uvd_obs::span_summary()
+        .iter()
+        .filter(|s| s.name.starts_with("urg."))
+        .map(|s| {
+            let total_ms = s.total_ns as f64 / 1e6;
+            println!("  {:24} x{:<4} {total_ms:10.3} ms", s.name, s.count);
+            serde_json::json!({ "name": s.name, "count": s.count, "total_ms": total_ms })
+        })
+        .collect();
+    uvd_obs::disable();
+
+    serde_json::json!({
+        "name": cfg.name,
+        "tile_rows": TILE_ROWS,
+        "n_regions": n_regions,
+        "n_edges": n_edges,
+        "thread_sweep": rows,
+        "spans": spans,
+    })
+}
+
 fn main() {
     // `--smoke`: a fast sanity pass for CI — few reps, short e2e schedule,
     // and no snapshot rewrite (the committed numbers stay authoritative).
@@ -459,6 +520,21 @@ fn main() {
         .collect();
     let e2e = e2e_cmsf(threads, smoke);
     let trace = span_breakdown();
+    // Build-path sweep: honor an explicit `--threads` list; the default
+    // single-count run still sweeps {1, 2, max} so the committed snapshot
+    // always carries a real serial/parallel build curve.
+    let build_sweep: Vec<usize> = if sweep.len() > 1 {
+        sweep.clone()
+    } else {
+        let mut counts: Vec<usize> = [1, 2, threads]
+            .into_iter()
+            .map(par::effective_workers)
+            .collect();
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    };
+    let build = build_path(&build_sweep, smoke);
     if smoke {
         println!("\nsmoke run: leaving BENCH_tensor.json untouched");
         return;
@@ -479,16 +555,22 @@ fn main() {
         "kernels": kernels,
         "e2e": e2e,
         "trace": trace,
+        "build": build,
     });
     let path = repo_root_path("BENCH_tensor.json");
-    // The scaling curve is owned by the `scaling` binary; carry it across
-    // rewrites so the two tools can update the snapshot independently.
-    if let Some(prev) = std::fs::read_to_string(&path)
+    // Keys owned by other tools (`scaling`'s curve, `serve_bench`'s latency
+    // row, anything future) ride along across rewrites so each tool can
+    // update the snapshot independently. The old carry copied `scaling`
+    // alone, silently dropping `serve` on every perfsnap rewrite.
+    if let Some(serde_json::Value::Object(prev)) = std::fs::read_to_string(&path)
         .ok()
         .and_then(|t| serde_json::from_str_value(&t).ok())
-        .and_then(|v| v.get("scaling").cloned())
     {
-        doc.set("scaling", prev);
+        for (key, value) in prev {
+            if doc.get(&key).is_none() {
+                doc.set(&key, value);
+            }
+        }
     }
     std::fs::write(
         &path,

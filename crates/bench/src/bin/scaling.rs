@@ -23,8 +23,7 @@
 
 use cmsf::{Cmsf, CmsfConfig};
 use std::time::Instant;
-use uvd_bench::repo_root_path;
-use uvd_citysim::CityConfig;
+use uvd_bench::{repo_root_path, scale_city};
 use uvd_citysim::CityStream;
 use uvd_obs::alloc::{self, CountingAlloc};
 use uvd_urg::{ShardedUrg, UrgOptions};
@@ -48,26 +47,6 @@ const FANOUT: usize = 6;
 /// pipeline — build, feature matrices, every batch tape, and the
 /// full-graph freeze pass — must fit in less than that single buffer.
 const SMOKE_PEAK_BUDGET: usize = 560 << 20;
-
-/// A scaling-family city: same structural densities at every size, so the
-/// curve isolates region count. Patch/center/nature counts scale with area.
-fn scale_city(side: usize) -> CityConfig {
-    let area = side * side;
-    CityConfig {
-        name: format!("scale-{side}x{side}"),
-        height: side,
-        width: side,
-        n_centers: (area / 40_000 + 1).min(6),
-        n_uv_patches: (area / 400).max(8),
-        uv_patch_size: (4, 10),
-        uv_discovery_rate: 0.85,
-        non_uv_label_ratio: 4.0,
-        road_spacing: 2,
-        road_keep_prob: 0.85,
-        poi_density: 0.3,
-        n_nature_patches: (area / 10_000).max(2),
-    }
-}
 
 struct SizeResult {
     row: serde_json::Value,
@@ -156,6 +135,9 @@ fn smoke() {
     let text = std::fs::read_to_string(&trace_path).expect("trace file readable");
     let mut saw_shard_build = false;
     let mut sampled_batches = 0usize;
+    let mut feature_spans = 0usize;
+    let mut prefetch_hits = 0u64;
+    let mut prefetch_misses = 0u64;
     let field = |v: &serde_json::Value, name: &str| -> f64 {
         v.get("fields")
             .and_then(|f| f.get(name))
@@ -165,6 +147,15 @@ fn smoke() {
     for (lineno, line) in text.lines().enumerate() {
         let v: serde_json::Value = serde_json::from_str_value(line)
             .unwrap_or_else(|e| panic!("trace line {} is not valid JSON: {e}", lineno + 1));
+        if v.get("type").and_then(|t| t.as_str()) == Some("counter") {
+            let value = v.get("value").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+            match v.get("name").and_then(|n| n.as_str()) {
+                Some("batch.prefetch.hit") => prefetch_hits = value,
+                Some("batch.prefetch.miss") => prefetch_misses = value,
+                _ => {}
+            }
+            continue;
+        }
         if v.get("type").and_then(|t| t.as_str()) != Some("span") {
             continue;
         }
@@ -177,6 +168,7 @@ fn smoke() {
                     "urg.shard.build span must record the 224x224 region count, got {n}"
                 );
             }
+            Some("urg.features") => feature_spans += 1,
             Some("cmsf.sample") => {
                 sampled_batches += 1;
                 let nodes = field(&v, "nodes");
@@ -198,9 +190,22 @@ fn smoke() {
         sampled_batches > 0,
         "trace must contain cmsf.sample spans (mini-batch mode did not engage)"
     );
+    // PR 9 taxonomy: every streamed tile emits a per-tile urg.features span,
+    // and the prefetch pipeline accounts for every recording-epoch batch as
+    // either a hit (prepared ahead) or a miss (the trainer waited).
+    assert!(
+        feature_spans > 1,
+        "trace must contain per-tile urg.features spans (got {feature_spans})"
+    );
+    assert_eq!(
+        (prefetch_hits + prefetch_misses) as usize,
+        sampled_batches,
+        "batch.prefetch.hit + batch.prefetch.miss must cover every sampled batch"
+    );
     let _ = std::fs::remove_file(&trace_path);
     println!(
-        "scaling --smoke: ok (peak {:.1} MiB < {:.0} MiB budget, {sampled_batches} sampled batches)",
+        "scaling --smoke: ok (peak {:.1} MiB < {:.0} MiB budget, {sampled_batches} sampled \
+         batches, {prefetch_hits} prefetch hits / {prefetch_misses} misses)",
         r.peak_bytes as f64 / (1 << 20) as f64,
         SMOKE_PEAK_BUDGET as f64 / (1 << 20) as f64,
     );

@@ -21,6 +21,9 @@ use uvd_urg::{Urg, UrgOptions};
 /// Span names every traced fold must produce.
 const EXPECTED_SPANS: &[&str] = &[
     "urg.build",
+    "urg.features",
+    "urg.edges",
+    "urg.csr",
     "cmsf.master",
     "cmsf.master.epoch",
     "cmsf.freeze",

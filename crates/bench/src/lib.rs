@@ -17,10 +17,33 @@
 //! | `table3` | efficiency            |
 //! | `fig7`   | case-study maps       |
 
+use uvd_citysim::CityConfig;
 use uvd_eval::{MethodSummary, RunSpec};
 
 /// Where experiment records are written.
 pub const RESULTS_DIR: &str = "results";
+
+/// A scaling-family city: same structural densities at every grid side, so
+/// curves over `side` isolate region count. Patch/center/nature counts scale
+/// with area. Shared by the `scaling` harness (memory/throughput curve) and
+/// `perfsnap` (build-path thread sweep) so both tools measure the same city.
+pub fn scale_city(side: usize) -> CityConfig {
+    let area = side * side;
+    CityConfig {
+        name: format!("scale-{side}x{side}"),
+        height: side,
+        width: side,
+        n_centers: (area / 40_000 + 1).min(6),
+        n_uv_patches: (area / 400).max(8),
+        uv_patch_size: (4, 10),
+        uv_discovery_rate: 0.85,
+        non_uv_label_ratio: 4.0,
+        road_spacing: 2,
+        road_keep_prob: 0.85,
+        poi_density: 0.3,
+        n_nature_patches: (area / 10_000).max(2),
+    }
+}
 
 /// Resolve `name` against the repository root (two levels above this
 /// crate's manifest), so binaries write there regardless of the invocation

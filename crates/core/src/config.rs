@@ -56,6 +56,13 @@ pub struct CmsfConfig {
     /// whose forward is bitwise-equal to slicing the full-graph forward.
     /// Overridable via `UVD_SAMPLE_FANOUT`.
     pub sample_fanout: usize,
+    /// Mini-batch prefetch depth: while batch `k`'s tape records/steps, a
+    /// background thread samples and induces batch `k+1` (up to `prefetch`
+    /// batches ahead). Batches are consumed strictly in shuffle order and
+    /// every batch's sampler seed depends only on its index, so training is
+    /// bitwise identical at any depth. 0 prepares batches inline (the serial
+    /// reference). Overridable via `UVD_PREFETCH`.
+    pub prefetch: usize,
 }
 
 impl Default for CmsfConfig {
@@ -82,6 +89,7 @@ impl Default for CmsfConfig {
             soft_collection: false,
             batch_size: 0,
             sample_fanout: 0,
+            prefetch: 2,
         }
     }
 }

@@ -5,6 +5,9 @@
 //! * `UVD_SAMPLE_FANOUT` — incoming-neighbor cap per node per hop when
 //!   sampling the batch subgraph. `0` takes every neighbor (the exact
 //!   k-hop closure).
+//! * `UVD_PREFETCH` — mini-batch prefetch depth: how many batches ahead
+//!   the background preparation thread may run during the tape-recording
+//!   epoch. `0` prepares batches inline (serial reference path).
 //!
 //! Both follow the `UVD_THREADS` pattern from `uvd_tensor::par`: a pure
 //! parser (unit-testable without touching the process environment), a
@@ -24,6 +27,12 @@ pub fn parse_batch(s: &str) -> Option<usize> {
 /// Parse a `UVD_SAMPLE_FANOUT` value. Accepted: a non-negative integer
 /// (0 = uncapped, i.e. the full k-hop closure).
 pub fn parse_fanout(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok()
+}
+
+/// Parse a `UVD_PREFETCH` value. Accepted: a non-negative integer
+/// (0 = no background preparation thread).
+pub fn parse_prefetch(s: &str) -> Option<usize> {
     s.trim().parse::<usize>().ok()
 }
 
@@ -59,6 +68,12 @@ pub fn env_fanout() -> Option<usize> {
     *V.get_or_init(|| read_knob("UVD_SAMPLE_FANOUT", parse_fanout))
 }
 
+/// `UVD_PREFETCH` if set and valid (read once per process).
+pub fn env_prefetch() -> Option<usize> {
+    static V: OnceLock<Option<usize>> = OnceLock::new();
+    *V.get_or_init(|| read_knob("UVD_PREFETCH", parse_prefetch))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +103,20 @@ mod tests {
     fn rejects_bad_fanout_values() {
         for bad in ["-3", "full", "", "3,000", "2.0"] {
             assert_eq!(parse_fanout(bad), None, "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parses_valid_prefetch_values() {
+        assert_eq!(parse_prefetch("2"), Some(2));
+        assert_eq!(parse_prefetch("0"), Some(0));
+        assert_eq!(parse_prefetch(" 4 "), Some(4));
+    }
+
+    #[test]
+    fn rejects_bad_prefetch_values() {
+        for bad in ["-1", "on", "", "1.5", "two"] {
+            assert_eq!(parse_prefetch(bad), None, "{bad:?} must be rejected");
         }
     }
 }

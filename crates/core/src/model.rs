@@ -10,8 +10,15 @@ use std::sync::Arc;
 use std::time::Instant;
 use uvd_nn::{Activation, FusionAgg, Linear, Mlp};
 use uvd_tensor::init::{derive_seed, seeded_rng};
-use uvd_tensor::{Adam, Graph, NeighborSampler, NodeId, ParamSet};
+use uvd_tensor::{par, Adam, Graph, NeighborSampler, NodeId, ParamSet};
 use uvd_urg::{Detector, FitError, FitReport, Urg};
+
+/// Prefetched batch consumed without blocking (it was ready in the queue).
+static PREFETCH_HIT: uvd_obs::Counter = uvd_obs::Counter::new("batch.prefetch.hit");
+/// Consumer reached the queue before the producer finished the batch.
+static PREFETCH_MISS: uvd_obs::Counter = uvd_obs::Counter::new("batch.prefetch.miss");
+/// Total milliseconds the training loop blocked waiting on batch preparation.
+static PREFETCH_WAIT_MS: uvd_obs::Counter = uvd_obs::Counter::new("batch.prefetch.wait_ms");
 
 /// `(labeled rows, targets, weights)` triple shared by the BCE losses.
 pub type BceVectors = (Arc<Vec<u32>>, Arc<Vec<f32>>, Arc<Vec<f32>>);
@@ -88,6 +95,70 @@ struct SampledBatch {
     weights: Arc<Vec<f32>>,
 }
 
+/// The config fields batch sampling depends on — `Copy`, so the prefetch
+/// producer thread can own them without borrowing the (non-`Send`) model.
+#[derive(Clone, Copy)]
+struct SampleSpec {
+    seed: u64,
+    fanout: usize,
+    hops: usize,
+}
+
+/// Epoch-0 work item for one mini-batch: the sampled subgraph plus, on the
+/// slave stage, the frozen assignment restricted to it.
+struct PreparedBatch {
+    batch: SampledBatch,
+    fixed_sub: Option<FixedAssignment>,
+}
+
+/// Sample one batch's subgraph: the k-hop incoming neighborhood of the
+/// batch's labeled seed regions, materialized as an induced [`Urg`] with the
+/// BCE vectors remapped to subgraph-local rows. A free function of `Send`
+/// state only (the model holds `Rc` parameters and cannot cross threads), so
+/// the prefetch producer can run it off-thread. The sampler seed depends
+/// only on `(spec.seed, batch_no)` — master and slave stages see identical
+/// subgraphs, reruns are reproducible at any thread count, and preparation
+/// order cannot leak into the result.
+fn sample_batch_impl(
+    urg: &Urg,
+    spec: SampleSpec,
+    batch_idx: &[usize],
+    batch_no: usize,
+) -> Result<SampledBatch, FitError> {
+    let mut sp = uvd_obs::span("cmsf.sample").field("batch", batch_no as f64);
+    let mut seeds: Vec<u32> = batch_idx.iter().map(|&i| urg.labeled[i]).collect();
+    seeds.sort_unstable();
+    let sampler = NeighborSampler::new(
+        derive_seed(derive_seed(spec.seed, Cmsf::SEED_SAMPLER), batch_no as u64),
+        spec.fanout,
+        spec.hops,
+    );
+    let nodes = sampler.sample(&urg.edges, &seeds)?;
+    sp.add_field("seeds", seeds.len() as f64);
+    sp.add_field("nodes", nodes.len() as f64);
+    sp.add_field("fanout", spec.fanout as f64);
+    let sub = urg.induced(&nodes);
+    // The loss runs over the batch's seeds only — other labeled regions
+    // pulled in as neighbors contribute context, not supervision.
+    let mut rows = Vec::with_capacity(batch_idx.len());
+    let mut targets = Vec::with_capacity(batch_idx.len());
+    for &i in batch_idx {
+        let local = nodes
+            .binary_search(&urg.labeled[i])
+            .expect("seed row must be in its own sampled subgraph");
+        rows.push(local as u32);
+        targets.push(urg.y[i]);
+    }
+    let weights = vec![1.0f32; rows.len()];
+    Ok(SampledBatch {
+        sub,
+        nodes,
+        rows: Arc::new(rows),
+        targets: Arc::new(targets),
+        weights: Arc::new(weights),
+    })
+}
+
 impl Cmsf {
     /// Construct CMSF for a URG's feature dimensions. The mini-batch knobs
     /// honor `UVD_BATCH` / `UVD_SAMPLE_FANOUT` over the programmatic config
@@ -99,6 +170,9 @@ impl Cmsf {
         }
         if let Some(f) = crate::env::env_fanout() {
             cfg.sample_fanout = f;
+        }
+        if let Some(p) = crate::env::env_prefetch() {
+            cfg.prefetch = p;
         }
         let mut rng = seeded_rng(derive_seed(cfg.seed, 0xC35F));
         let d_poi = urg.x_poi.cols();
@@ -283,52 +357,86 @@ impl Cmsf {
         Some(idx.chunks(b).map(|c| c.to_vec()).collect())
     }
 
-    /// Sample one batch's subgraph: the k-hop incoming neighborhood of the
-    /// batch's labeled seed regions (k = MAGA depth, per-hop fanout cap from
-    /// the config), materialized as an induced [`Urg`] with the BCE vectors
-    /// remapped to subgraph-local rows. The sampler seed depends only on
-    /// `(cfg.seed, batch_no)`, so master and slave stages see identical
-    /// subgraphs and reruns are reproducible at any thread count.
-    fn sample_batch(
+    /// The [`SampleSpec`] for this model's configuration.
+    fn sample_spec(&self) -> SampleSpec {
+        SampleSpec {
+            seed: self.cfg.seed,
+            fanout: self.cfg.sample_fanout,
+            hops: self.cfg.maga_layers,
+        }
+    }
+
+    /// Drive `consume` over every batch's [`PreparedBatch`], in batch order.
+    ///
+    /// With `cfg.prefetch == 0` preparation runs inline (the serial
+    /// reference). Otherwise a scoped producer thread samples/induces up to
+    /// `prefetch` batches ahead while the consumer records and steps the
+    /// current one; a bounded channel hands items over strictly in order, so
+    /// the consumer observes the exact serial sequence — prefetch changes
+    /// *when* a batch is prepared, never *what* is prepared. The
+    /// `batch.prefetch.{hit,miss,wait_ms}` counters report how often the
+    /// pipeline kept up and how long the trainer stalled when it did not.
+    fn for_each_prepared(
         &self,
         urg: &Urg,
-        batch_idx: &[usize],
-        batch_no: usize,
-    ) -> Result<SampledBatch, FitError> {
-        let mut sp = uvd_obs::span("cmsf.sample").field("batch", batch_no as f64);
-        let mut seeds: Vec<u32> = batch_idx.iter().map(|&i| urg.labeled[i]).collect();
-        seeds.sort_unstable();
-        let sampler = NeighborSampler::new(
-            derive_seed(
-                derive_seed(self.cfg.seed, Self::SEED_SAMPLER),
-                batch_no as u64,
-            ),
-            self.cfg.sample_fanout,
-            self.cfg.maga_layers,
-        );
-        let nodes = sampler.sample(&urg.edges, &seeds)?;
-        sp.add_field("seeds", seeds.len() as f64);
-        sp.add_field("nodes", nodes.len() as f64);
-        sp.add_field("fanout", self.cfg.sample_fanout as f64);
-        let sub = urg.induced(&nodes);
-        // The loss runs over the batch's seeds only — other labeled regions
-        // pulled in as neighbors contribute context, not supervision.
-        let mut rows = Vec::with_capacity(batch_idx.len());
-        let mut targets = Vec::with_capacity(batch_idx.len());
-        for &i in batch_idx {
-            let local = nodes
-                .binary_search(&urg.labeled[i])
-                .expect("seed row must be in its own sampled subgraph");
-            rows.push(local as u32);
-            targets.push(urg.y[i]);
+        batches: &[Vec<usize>],
+        fixed: Option<&FixedAssignment>,
+        mut consume: impl FnMut(usize, PreparedBatch) -> Result<(), FitError>,
+    ) -> Result<(), FitError> {
+        let spec = self.sample_spec();
+        let prepare = |b_no: usize, b_idx: &[usize]| -> Result<PreparedBatch, FitError> {
+            let batch = sample_batch_impl(urg, spec, b_idx, b_no)?;
+            let fixed_sub = fixed.map(|f| f.induced(&batch.nodes));
+            Ok(PreparedBatch { batch, fixed_sub })
+        };
+        if self.cfg.prefetch == 0 || batches.len() < 2 {
+            for (b_no, b_idx) in batches.iter().enumerate() {
+                consume(b_no, prepare(b_no, b_idx)?)?;
+            }
+            return Ok(());
         }
-        let weights = vec![1.0f32; rows.len()];
-        Ok(SampledBatch {
-            sub,
-            nodes,
-            rows: Arc::new(rows),
-            targets: Arc::new(targets),
-            weights: Arc::new(weights),
+        // Thread-pool overrides are thread-local: capture the caller's
+        // effective width and re-install it on the producer so batch
+        // preparation parallelizes (and chunks) exactly as it would inline.
+        let threads = par::effective_threads();
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::sync_channel(self.cfg.prefetch);
+            scope.spawn(move || {
+                par::with_threads(threads, || {
+                    for (b_no, b_idx) in batches.iter().enumerate() {
+                        let item = prepare(b_no, b_idx);
+                        let failed = item.is_err();
+                        // A send error means the consumer bailed (train-step
+                        // error path); a preparation error is forwarded and
+                        // ends the stream.
+                        if tx.send(item).is_err() || failed {
+                            break;
+                        }
+                    }
+                });
+            });
+            for b_no in 0..batches.len() {
+                let item = match rx.try_recv() {
+                    Ok(item) => {
+                        PREFETCH_HIT.add(1);
+                        item
+                    }
+                    Err(std::sync::mpsc::TryRecvError::Empty) => {
+                        PREFETCH_MISS.add(1);
+                        let t = Instant::now();
+                        let item = rx
+                            .recv()
+                            .expect("prefetch producer exited without a final item");
+                        PREFETCH_WAIT_MS.add(t.elapsed().as_millis() as u64);
+                        item
+                    }
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                        unreachable!("prefetch producer exited without a final item")
+                    }
+                };
+                consume(b_no, item?)?;
+            }
+            Ok(())
         })
     }
 
@@ -401,9 +509,11 @@ impl Cmsf {
         for epoch in 0..self.cfg.master_epochs {
             let mut ep = uvd_obs::span("cmsf.master.epoch").field("epoch", epoch as f64);
             let mut sum = 0.0;
-            for (b_no, b_idx) in batches.iter().enumerate() {
-                if epoch == 0 {
-                    let batch = self.sample_batch(urg, b_idx, b_no)?;
+            if epoch == 0 {
+                // Recording epoch: batch k+1 is sampled/induced by the
+                // prefetch pipeline while batch k records and steps.
+                let result = self.for_each_prepared(urg, batches, None, |_, prep| {
+                    let batch = prep.batch;
                     let mut g = Graph::new();
                     let loss = self.record_master_tape(
                         &mut g,
@@ -413,15 +523,28 @@ impl Cmsf {
                         &batch.weights,
                     );
                     tapes.push((g, loss));
-                } else {
-                    tapes[b_no].0.replay();
-                }
-                let (g, loss) = &mut tapes[b_no];
-                let l = self.train_step(g, *loss, &mut opt);
-                sum += l;
-                if !l.is_finite() {
+                    let (g, loss) = tapes.last_mut().expect("tape just pushed");
+                    let l = self.train_step(g, *loss, &mut opt);
+                    sum += l;
+                    if !l.is_finite() {
+                        return Err(FitError::NonFiniteLoss);
+                    }
+                    Ok(())
+                });
+                if let Err(err) = result {
                     self.note_peak_ws(&tapes);
-                    return Err(FitError::NonFiniteLoss);
+                    return Err(err);
+                }
+            } else {
+                for b_no in 0..batches.len() {
+                    tapes[b_no].0.replay();
+                    let (g, loss) = &mut tapes[b_no];
+                    let l = self.train_step(g, *loss, &mut opt);
+                    sum += l;
+                    if !l.is_finite() {
+                        self.note_peak_ws(&tapes);
+                        return Err(FitError::NonFiniteLoss);
+                    }
                 }
             }
             last = sum / batches.len() as f32;
@@ -581,10 +704,12 @@ impl Cmsf {
         for epoch in 0..self.cfg.slave_epochs {
             let mut ep = uvd_obs::span("cmsf.slave.epoch").field("epoch", epoch as f64);
             let mut sum = 0.0;
-            for (b_no, b_idx) in batches.iter().enumerate() {
-                if epoch == 0 {
-                    let batch = self.sample_batch(urg, b_idx, b_no)?;
-                    let fixed_b = fixed.induced(&batch.nodes);
+            if epoch == 0 {
+                // Recording epoch: the producer also restricts the frozen
+                // assignment to each sampled subgraph ahead of time.
+                let result = self.for_each_prepared(urg, batches, Some(fixed), |_, prep| {
+                    let batch = prep.batch;
+                    let fixed_b = prep.fixed_sub.expect("slave prepare induces assignment");
                     let mut g = Graph::new();
                     let loss = self.record_slave_tape(
                         &mut g,
@@ -597,15 +722,28 @@ impl Cmsf {
                         &batch.weights,
                     )?;
                     tapes.push((g, loss));
-                } else {
-                    tapes[b_no].0.replay();
-                }
-                let (g, loss) = &mut tapes[b_no];
-                let l = self.train_step(g, *loss, &mut opt);
-                sum += l;
-                if !l.is_finite() {
+                    let (g, loss) = tapes.last_mut().expect("tape just pushed");
+                    let l = self.train_step(g, *loss, &mut opt);
+                    sum += l;
+                    if !l.is_finite() {
+                        return Err(FitError::NonFiniteLoss);
+                    }
+                    Ok(())
+                });
+                if let Err(err) = result {
                     self.note_peak_ws(&tapes);
-                    return Err(FitError::NonFiniteLoss);
+                    return Err(err);
+                }
+            } else {
+                for b_no in 0..batches.len() {
+                    tapes[b_no].0.replay();
+                    let (g, loss) = &mut tapes[b_no];
+                    let l = self.train_step(g, *loss, &mut opt);
+                    sum += l;
+                    if !l.is_finite() {
+                        self.note_peak_ws(&tapes);
+                        return Err(FitError::NonFiniteLoss);
+                    }
                 }
             }
             last = sum / batches.len() as f32;

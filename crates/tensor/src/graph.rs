@@ -207,8 +207,11 @@ impl Graph {
     pub fn param(&mut self, p: &ParamRef) -> NodeId {
         let id = self.push_value(Op::Leaf, p.value().clone());
         self.plan.needs_grad[id.idx()] = true;
-        // Parameter values change every replay; their packs are per-epoch.
-        self.plan.const_leaf[id.idx()] = false;
+        // Parameter leaves stay pack-cacheable constants: replay compares
+        // the parameter's value version against the workspace's last-seen
+        // stamp and invalidates the cached pack only on change. Training
+        // still repacks once per optimizer step; frozen-weight inference
+        // tapes keep their packs for the plan's lifetime.
         self.plan.param_links.push((id, p.clone()));
         id
     }

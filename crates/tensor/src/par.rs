@@ -240,6 +240,76 @@ where
     });
 }
 
+/// Two-buffer variant of [`for_each_disjoint`] for structure-of-arrays
+/// outputs (a CSR's `indices`/`values`, an edge list's `src`/`dst`): both
+/// slices share one `bounds` map and are partitioned at the same item
+/// boundaries, so each worker owns the same contiguous item range in both.
+/// Chunk decomposition, dispatch policy and execution order are exactly
+/// [`for_each_disjoint`]'s.
+pub fn for_each_disjoint2<T, U, B, F>(
+    out_a: &mut [T],
+    out_b: &mut [U],
+    n_items: usize,
+    work: usize,
+    bounds: B,
+    f: F,
+) where
+    T: Send,
+    U: Send,
+    B: Fn(usize) -> usize,
+    F: Fn(Range<usize>, &mut [T], &mut [U]) + Sync,
+{
+    debug_assert_eq!(bounds(0), 0, "bounds must start at 0");
+    debug_assert_eq!(bounds(n_items), out_a.len(), "bounds must cover out_a");
+    debug_assert_eq!(out_a.len(), out_b.len(), "outputs must share a layout");
+    let chunks = planned_chunks(n_items, work);
+    if chunks <= 1 {
+        f(0..n_items, out_a, out_b);
+        return;
+    }
+    let base = n_items / chunks;
+    let extra = n_items % chunks;
+    if single_core_host() {
+        let (mut rest_a, mut rest_b) = (out_a, out_b);
+        let mut item = 0usize;
+        let mut off = 0usize;
+        for c in 0..chunks {
+            let end_item = item + base + usize::from(c < extra);
+            let end_off = bounds(end_item);
+            let (chunk_a, tail_a) = rest_a.split_at_mut(end_off - off);
+            let (chunk_b, tail_b) = rest_b.split_at_mut(end_off - off);
+            rest_a = tail_a;
+            rest_b = tail_b;
+            enter_worker(|| f(item..end_item, chunk_a, chunk_b));
+            item = end_item;
+            off = end_off;
+        }
+        return;
+    }
+    rayon::scope(|s| {
+        let (mut rest_a, mut rest_b) = (out_a, out_b);
+        let mut item = 0usize;
+        let mut off = 0usize;
+        let fr = &f;
+        for c in 0..chunks {
+            let end_item = item + base + usize::from(c < extra);
+            let end_off = bounds(end_item);
+            let (chunk_a, tail_a) = rest_a.split_at_mut(end_off - off);
+            let (chunk_b, tail_b) = rest_b.split_at_mut(end_off - off);
+            rest_a = tail_a;
+            rest_b = tail_b;
+            let range = item..end_item;
+            if c + 1 == chunks {
+                enter_worker(|| fr(range, chunk_a, chunk_b));
+            } else {
+                s.spawn(move || enter_worker(|| fr(range, chunk_a, chunk_b)));
+            }
+            item = end_item;
+            off = end_off;
+        }
+    });
+}
+
 /// Row-uniform specialization of [`for_each_disjoint`]: `out` is a row-major
 /// buffer of rows of length `row_len`; `f(row_range, chunk)` gets the rows
 /// in `row_range` as one contiguous mutable slice.
@@ -384,6 +454,31 @@ mod tests {
             );
         });
         assert!(out.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn disjoint2_covers_both_buffers_once() {
+        // Ragged items 0,3,1,0,4,2; both outputs partitioned identically.
+        let ptr = [0usize, 0, 3, 4, 4, 8, 10];
+        let mut a = vec![0u8; 10];
+        let mut b = vec![0u16; 10];
+        with_threads(3, || {
+            for_each_disjoint2(
+                &mut a,
+                &mut b,
+                6,
+                MIN_PAR_WORK,
+                |i| ptr[i],
+                |items, ca, cb| {
+                    assert_eq!(ca.len(), ptr[items.end] - ptr[items.start]);
+                    assert_eq!(ca.len(), cb.len());
+                    ca.iter_mut().for_each(|v| *v += 1);
+                    cb.iter_mut().for_each(|v| *v += 2);
+                },
+            );
+        });
+        assert!(a.iter().all(|&v| v == 1));
+        assert!(b.iter().all(|&v| v == 2));
     }
 
     #[test]

@@ -16,6 +16,12 @@ pub(crate) struct ParamInner {
     pub grad: Matrix,
     m: Matrix,
     v: Matrix,
+    /// Monotone value-version counter: bumped by every mutable borrow of the
+    /// value ([`ParamRef::value_mut`]) and every [`Adam::step`]. Replay uses
+    /// it to skip both the leaf refresh memcpy and the GEMM repack for
+    /// parameters whose value did not change since the last replay (the
+    /// steady state of every inference tape).
+    pub version: u64,
 }
 
 /// Shared handle to a trainable parameter.
@@ -32,6 +38,9 @@ impl ParamRef {
             m: Matrix::zeros(r, c),
             v: Matrix::zeros(r, c),
             value,
+            // Workspaces start their last-seen stamps at 0, so a fresh
+            // parameter (version 1) is always refreshed on first replay.
+            version: 1,
         })))
     }
 
@@ -44,9 +53,18 @@ impl ParamRef {
         Ref::map(self.0.borrow(), |p| &p.value)
     }
 
-    /// Mutably borrow the current value (e.g. to load weights).
+    /// Mutably borrow the current value (e.g. to load weights). Counts as a
+    /// value change: the version is bumped even if the caller ends up
+    /// writing nothing, which costs at most one spurious repack.
     pub fn value_mut(&self) -> RefMut<'_, Matrix> {
-        RefMut::map(self.0.borrow_mut(), |p| &mut p.value)
+        let mut p = self.0.borrow_mut();
+        p.version += 1;
+        RefMut::map(p, |p| &mut p.value)
+    }
+
+    /// Current value version (see [`ParamInner::version`]).
+    pub fn version(&self) -> u64 {
+        self.0.borrow().version
     }
 
     /// Borrow the accumulated gradient.
@@ -203,6 +221,7 @@ impl Adam {
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
         for p in params.iter() {
             let mut inner = p.0.borrow_mut();
+            inner.version += 1;
             let ParamInner {
                 value, grad, m, v, ..
             } = &mut *inner;

@@ -244,6 +244,12 @@ pub struct Workspace {
     pub(crate) packs_a: Vec<PackedB>,
     /// Replay counter backing the pack stamps; bumped at each replay start.
     pub(crate) epoch: u64,
+    /// Last-seen [`crate::ParamRef`] value versions, aligned with
+    /// `Plan::param_links`. A replay refreshes a parameter leaf (memcpy +
+    /// pack invalidation) only when its version moved — inference tapes
+    /// whose parameters never change skip both entirely and their packs
+    /// stay persistent.
+    pub(crate) param_versions: Vec<u64>,
     /// Scratch for the fused-op backward's `dz = dy ⊙ act'(y)` product.
     /// Distinct from `scratch`, which [`contribute`] zeroes for second
     /// contributions while `dz` must stay live across all three of them.
@@ -361,14 +367,27 @@ impl Plan {
         if ws.packs_a.len() != ws.values.len() {
             ws.packs_a.resize_with(ws.values.len(), PackedB::default);
         }
-        // Entering a new epoch invalidates every per-epoch pack stamp, so
-        // refreshed parameters are repacked exactly once below.
+        // Entering a new epoch invalidates the per-epoch pack stamps of
+        // non-constant *computed* operands. Parameter leaves are version-
+        // stamped instead: the refresh below copies a value and invalidates
+        // its packs only when the parameter actually changed since the last
+        // replay, so an inference tape with frozen weights repacks nothing.
         ws.epoch += 1;
-        for (id, p) in &self.param_links {
+        if ws.param_versions.len() != self.param_links.len() {
+            ws.param_versions.resize(self.param_links.len(), 0);
+        }
+        for (i, (id, p)) in self.param_links.iter().enumerate() {
+            let version = p.version();
+            if ws.param_versions[i] == version {
+                continue;
+            }
+            ws.param_versions[i] = version;
             let pv = p.value();
             let dst = &mut ws.values[id.idx()];
             assert_eq!(dst.shape(), pv.shape(), "param shape changed since record");
             dst.as_mut_slice().copy_from_slice(pv.as_slice());
+            ws.packs[id.idx()].stamp = gemm::NEVER;
+            ws.packs_a[id.idx()].stamp = gemm::NEVER;
         }
         for i in 0..self.ops.len() {
             exec_forward(self, ws, i);

@@ -16,19 +16,83 @@ pub struct Csr {
     values: Vec<f32>,
 }
 
+/// Exclusive prefix sums of `counts` into a CSR-style offset array of length
+/// `counts.len() + 1` (`out[0] = 0`, `out[n] = total`).
+fn prefix_offsets(counts: &[u32]) -> Vec<u32> {
+    let mut ptr = vec![0u32; counts.len() + 1];
+    for (i, &c) in counts.iter().enumerate() {
+        ptr[i + 1] = ptr[i] + c;
+    }
+    ptr
+}
+
 impl Csr {
     /// Build from COO triplets; duplicate entries are summed.
-    pub fn from_coo(rows: usize, cols: usize, mut coo: Vec<(u32, u32, f32)>) -> Self {
-        coo.sort_unstable_by_key(|&(r, c, _)| (r, c));
-        let mut indptr = vec![0u32; rows + 1];
-        let mut indices: Vec<u32> = Vec::with_capacity(coo.len());
-        let mut values: Vec<f32> = Vec::with_capacity(coo.len());
-        let mut last: Option<(u32, u32)> = None;
+    ///
+    /// Ordering by `(row, col)` runs as a two-pass stable counting sort —
+    /// O(nnz + rows + cols) instead of the comparison sort's
+    /// O(nnz · log nnz) — with both key histograms computed in one parallel
+    /// sweep. Equal keys are identical `(r, c)` cells whose values are
+    /// summed anyway, so the result is elementwise equal to the old
+    /// `sort_unstable_by_key` construction.
+    pub fn from_coo(rows: usize, cols: usize, coo: Vec<(u32, u32, f32)>) -> Self {
+        let nnz = coo.len();
+        if nnz == 0 {
+            return Csr {
+                rows,
+                cols,
+                indptr: vec![0u32; rows + 1],
+                indices: Vec::new(),
+                values: Vec::new(),
+            };
+        }
+        // One parallel sweep for both pass histograms (and the bounds
+        // check, so a bad triplet panics before any scatter).
+        let mut parts = par::map_chunks(nnz, nnz, |range| {
+            let mut hr = vec![0u32; rows];
+            let mut hc = vec![0u32; cols];
+            for &(r, c, _) in &coo[range] {
+                assert!(
+                    (r as usize) < rows && (c as usize) < cols,
+                    "coo out of bounds"
+                );
+                hr[r as usize] += 1;
+                hc[c as usize] += 1;
+            }
+            (hr, hc)
+        })
+        .into_iter();
+        let (mut h_row, mut h_col) = parts.next().expect("at least one chunk");
+        for (pr, pc) in parts {
+            for (t, p) in h_row.iter_mut().zip(pr) {
+                *t += p;
+            }
+            for (t, p) in h_col.iter_mut().zip(pc) {
+                *t += p;
+            }
+        }
+        // Pass 1: stable scatter by column.
+        let mut next = prefix_offsets(&h_col);
+        let mut by_col: Vec<(u32, u32, f32)> = vec![(0, 0, 0.0); nnz];
         for &(r, c, v) in &coo {
-            assert!(
-                (r as usize) < rows && (c as usize) < cols,
-                "coo out of bounds"
-            );
+            let pos = next[c as usize] as usize;
+            next[c as usize] += 1;
+            by_col[pos] = (r, c, v);
+        }
+        // Pass 2: stable scatter by row — equal-row runs stay col-sorted.
+        let mut next = prefix_offsets(&h_row);
+        let mut sorted: Vec<(u32, u32, f32)> = vec![(0, 0, 0.0); nnz];
+        for &(r, c, v) in &by_col {
+            let pos = next[r as usize] as usize;
+            next[r as usize] += 1;
+            sorted[pos] = (r, c, v);
+        }
+        // Dedup-sum over the sorted triplets, exactly as before.
+        let mut indptr = vec![0u32; rows + 1];
+        let mut indices: Vec<u32> = Vec::with_capacity(nnz);
+        let mut values: Vec<f32> = Vec::with_capacity(nnz);
+        let mut last: Option<(u32, u32)> = None;
+        for &(r, c, v) in &sorted {
             if last == Some((r, c)) {
                 *values.last_mut().expect("non-empty after a push") += v;
             } else {
@@ -195,22 +259,52 @@ impl Csr {
             map[old as usize] = new as u32;
         }
         let m = nodes.len();
-        let mut indptr = vec![0u32; m + 1];
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
-        for (new_r, &old_r) in nodes.iter().enumerate() {
-            for (c, v) in self.row_iter(old_r as usize) {
-                let new_c = map[c as usize];
-                if new_c != u32::MAX {
-                    indices.push(new_c);
-                    values.push(v);
-                    indptr[new_r + 1] += 1;
-                }
+        // Two-pass parallel build: count survivors per output row, prefix
+        // into `indptr`, then fill each row's exact slice. Values are
+        // gathered verbatim in per-row CSR order, so chunking cannot change
+        // a single bit; the fill partitions both output arrays at row
+        // boundaries (each element has one writer).
+        let scan_work: usize = nodes
+            .iter()
+            .map(|&r| (self.indptr[r as usize + 1] - self.indptr[r as usize]) as usize)
+            .sum();
+        let count_parts = par::map_chunks(m, scan_work, |r_range| {
+            let mut part = Vec::with_capacity(r_range.len());
+            for &old_r in &nodes[r_range] {
+                let survivors = self
+                    .row_iter(old_r as usize)
+                    .filter(|&(c, _)| map[c as usize] != u32::MAX)
+                    .count();
+                part.push(survivors as u32);
             }
-        }
-        for i in 1..indptr.len() {
-            indptr[i] += indptr[i - 1];
-        }
+            part
+        });
+        let counts: Vec<u32> = count_parts.into_iter().flatten().collect();
+        let indptr = prefix_offsets(&counts);
+        let nnz = indptr[m] as usize;
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0.0f32; nnz];
+        par::for_each_disjoint2(
+            &mut indices,
+            &mut values,
+            m,
+            scan_work,
+            |i| indptr[i] as usize,
+            |rows, idx_chunk, val_chunk| {
+                let mut pos = 0usize;
+                for new_r in rows {
+                    for (c, v) in self.row_iter(nodes[new_r] as usize) {
+                        let new_c = map[c as usize];
+                        if new_c != u32::MAX {
+                            idx_chunk[pos] = new_c;
+                            val_chunk[pos] = v;
+                            pos += 1;
+                        }
+                    }
+                }
+                debug_assert_eq!(pos, idx_chunk.len(), "count/fill mismatch");
+            },
+        );
         Csr {
             rows: m,
             cols: m,
@@ -491,22 +585,64 @@ pub struct EdgeIndex {
 
 impl EdgeIndex {
     /// Build from `(src, dst)` pairs. Pairs are sorted by destination.
-    pub fn from_pairs(n_nodes: usize, mut pairs: Vec<(u32, u32)>) -> Self {
-        pairs.sort_unstable_by_key(|&(s, d)| (d, s));
-        let mut src = Vec::with_capacity(pairs.len());
-        let mut dst = Vec::with_capacity(pairs.len());
-        let mut dst_ptr = vec![0u32; n_nodes + 1];
-        for &(s, d) in &pairs {
-            assert!(
-                (s as usize) < n_nodes && (d as usize) < n_nodes,
-                "edge out of bounds"
-            );
-            src.push(s);
-            dst.push(d);
-            dst_ptr[d as usize + 1] += 1;
+    ///
+    /// The `(dst, src)` ordering runs as a two-pass stable counting sort —
+    /// O(E + n) instead of O(E · log E) — with both key histograms computed
+    /// in one parallel sweep. Equal `(dst, src)` duplicates are identical
+    /// pairs, so the edge arrays are elementwise equal to the old
+    /// `sort_unstable_by_key` construction.
+    pub fn from_pairs(n_nodes: usize, pairs: Vec<(u32, u32)>) -> Self {
+        let ne = pairs.len();
+        if ne == 0 {
+            return EdgeIndex {
+                n_nodes,
+                src: Vec::new(),
+                dst: Vec::new(),
+                dst_ptr: vec![0u32; n_nodes + 1],
+            };
         }
-        for i in 1..dst_ptr.len() {
-            dst_ptr[i] += dst_ptr[i - 1];
+        let mut parts = par::map_chunks(ne, ne, |range| {
+            let mut hs = vec![0u32; n_nodes];
+            let mut hd = vec![0u32; n_nodes];
+            for &(s, d) in &pairs[range] {
+                assert!(
+                    (s as usize) < n_nodes && (d as usize) < n_nodes,
+                    "edge out of bounds"
+                );
+                hs[s as usize] += 1;
+                hd[d as usize] += 1;
+            }
+            (hs, hd)
+        })
+        .into_iter();
+        let (mut h_src, mut h_dst) = parts.next().expect("at least one chunk");
+        for (ps, pd) in parts {
+            for (t, p) in h_src.iter_mut().zip(ps) {
+                *t += p;
+            }
+            for (t, p) in h_dst.iter_mut().zip(pd) {
+                *t += p;
+            }
+        }
+        // Pass 1: stable scatter by source.
+        let mut next = prefix_offsets(&h_src);
+        let mut by_src: Vec<(u32, u32)> = vec![(0, 0); ne];
+        for &(s, d) in &pairs {
+            let pos = next[s as usize] as usize;
+            next[s as usize] += 1;
+            by_src[pos] = (s, d);
+        }
+        // Pass 2: stable scatter by destination — equal-dst runs stay
+        // src-sorted, which is the `(dst, src)` order the kernels require.
+        let dst_ptr = prefix_offsets(&h_dst);
+        let mut next = dst_ptr.clone();
+        let mut src = vec![0u32; ne];
+        let mut dst = vec![0u32; ne];
+        for &(s, d) in &by_src {
+            let pos = next[d as usize] as usize;
+            next[d as usize] += 1;
+            src[pos] = s;
+            dst[pos] = d;
         }
         EdgeIndex {
             n_nodes,
@@ -561,16 +697,60 @@ impl EdgeIndex {
         for (new, &old) in nodes.iter().enumerate() {
             map[old as usize] = new as u32;
         }
-        let mut pairs = Vec::new();
-        for (new_d, &old_d) in nodes.iter().enumerate() {
-            for eid in self.incoming(old_d as usize) {
-                let new_s = map[self.src[eid] as usize];
-                if new_s != u32::MAX {
-                    pairs.push((new_s, new_d as u32));
-                }
+        let m = nodes.len();
+        // Direct two-pass build, no re-sort: edges are already grouped by
+        // destination with ascending sources inside each group, and the
+        // relabeling is monotone — walking the surviving destinations in
+        // order therefore *is* the `(dst, src)` order `from_pairs` would
+        // sort into. Count survivors per new destination, prefix into
+        // `dst_ptr`, then fill each destination's exact edge slice (row-
+        // partitioned, one writer per element, verbatim copies — bitwise
+        // equal to the old build-pairs-and-re-sort path at any thread
+        // count).
+        let scan_work: usize = nodes.iter().map(|&d| self.in_degree(d as usize)).sum();
+        let count_parts = par::map_chunks(m, scan_work, |d_range| {
+            let mut part = Vec::with_capacity(d_range.len());
+            for &old_d in &nodes[d_range] {
+                let survivors = self
+                    .incoming(old_d as usize)
+                    .filter(|&eid| map[self.src[eid] as usize] != u32::MAX)
+                    .count();
+                part.push(survivors as u32);
             }
+            part
+        });
+        let counts: Vec<u32> = count_parts.into_iter().flatten().collect();
+        let dst_ptr = prefix_offsets(&counts);
+        let ne = dst_ptr[m] as usize;
+        let mut src = vec![0u32; ne];
+        let mut dst = vec![0u32; ne];
+        par::for_each_disjoint2(
+            &mut src,
+            &mut dst,
+            m,
+            scan_work,
+            |i| dst_ptr[i] as usize,
+            |dsts, src_chunk, dst_chunk| {
+                let mut pos = 0usize;
+                for new_d in dsts {
+                    for eid in self.incoming(nodes[new_d] as usize) {
+                        let new_s = map[self.src[eid] as usize];
+                        if new_s != u32::MAX {
+                            src_chunk[pos] = new_s;
+                            dst_chunk[pos] = new_d as u32;
+                            pos += 1;
+                        }
+                    }
+                }
+                debug_assert_eq!(pos, src_chunk.len(), "count/fill mismatch");
+            },
+        );
+        EdgeIndex {
+            n_nodes: m,
+            src,
+            dst,
+            dst_ptr,
         }
-        EdgeIndex::from_pairs(nodes.len(), pairs)
     }
 }
 

@@ -5,6 +5,7 @@
 
 use std::collections::VecDeque;
 use uvd_citysim::{City, RoadNetwork};
+use uvd_tensor::par;
 
 /// Spatial proximity: connect each region with its 8 neighbours in the
 /// 3×3 window (Figure 1(a)). Returns undirected unique pairs `(a, b)` with
@@ -44,6 +45,12 @@ pub fn road_edges(city: &City, max_hops: usize) -> Vec<(u32, u32)> {
 
 /// As [`road_edges`] but from the road network and grid width alone —
 /// usable before any imagery tile has been rendered on the streaming path.
+///
+/// The per-intersection bounded BFS walks are independent, so start nodes
+/// are partitioned across threads (each chunk owns its own `dist`/`touched`
+/// scratch) and the per-chunk pair lists are concatenated in ascending chunk
+/// order. The final sort + dedup canonicalizes the list, so the result is
+/// bitwise identical to the serial sweep at any thread count.
 pub fn road_edges_from(roads: &RoadNetwork, width: usize, max_hops: usize) -> Vec<(u32, u32)> {
     let n_nodes = roads.nodes.len();
     if n_nodes == 0 {
@@ -54,38 +61,47 @@ pub fn road_edges_from(roads: &RoadNetwork, width: usize, max_hops: usize) -> Ve
         .map(|i| roads.node_region(i, width) as u32)
         .collect();
 
-    let mut pairs = Vec::new();
-    let mut dist = vec![u32::MAX; n_nodes];
-    let mut touched: Vec<u32> = Vec::new();
-    for start in 0..n_nodes {
-        // BFS bounded by max_hops from each intersection.
-        let mut queue = VecDeque::new();
-        dist[start] = 0;
-        touched.push(start as u32);
-        queue.push_back(start as u32);
-        let start_region = node_region[start];
-        while let Some(v) = queue.pop_front() {
-            let d = dist[v as usize];
-            if d as usize >= max_hops {
-                continue;
-            }
-            for &u in &adj[v as usize] {
-                if dist[u as usize] == u32::MAX {
-                    dist[u as usize] = d + 1;
-                    touched.push(u);
-                    queue.push_back(u);
-                    let r = node_region[u as usize];
-                    if r != start_region {
-                        pairs.push((start_region.min(r), start_region.max(r)));
+    // Rough per-start work estimate: a bounded BFS touches O(degree^hops)
+    // nodes; the average road degree is small, so edges-visited per start is
+    // on the order of the network's edge count capped by the hop bound.
+    let per_start_work = (max_hops * 32).max(1);
+    let chunked: Vec<Vec<(u32, u32)>> =
+        par::map_chunks(n_nodes, n_nodes * per_start_work, |starts| {
+            let mut pairs = Vec::new();
+            let mut dist = vec![u32::MAX; n_nodes];
+            let mut touched: Vec<u32> = Vec::new();
+            let mut queue = VecDeque::new();
+            for start in starts {
+                // BFS bounded by max_hops from each intersection.
+                dist[start] = 0;
+                touched.push(start as u32);
+                queue.push_back(start as u32);
+                let start_region = node_region[start];
+                while let Some(v) = queue.pop_front() {
+                    let d = dist[v as usize];
+                    if d as usize >= max_hops {
+                        continue;
+                    }
+                    for &u in &adj[v as usize] {
+                        if dist[u as usize] == u32::MAX {
+                            dist[u as usize] = d + 1;
+                            touched.push(u);
+                            queue.push_back(u);
+                            let r = node_region[u as usize];
+                            if r != start_region {
+                                pairs.push((start_region.min(r), start_region.max(r)));
+                            }
+                        }
                     }
                 }
+                for &t in &touched {
+                    dist[t as usize] = u32::MAX;
+                }
+                touched.clear();
             }
-        }
-        for &t in &touched {
-            dist[t as usize] = u32::MAX;
-        }
-        touched.clear();
-    }
+            pairs
+        });
+    let mut pairs: Vec<(u32, u32)> = chunked.into_iter().flatten().collect();
     pairs.sort_unstable();
     pairs.dedup();
     pairs

@@ -15,7 +15,13 @@
 //! `noCate`, `noRad`, `noIndex`).
 
 use uvd_citysim::{City, FacilityClass, PoiCategory, RadiusType, CELL_METERS};
-use uvd_tensor::Matrix;
+use uvd_tensor::{par, Matrix};
+
+/// Estimated scalar ops of one region's POI feature row (dominated by the
+/// 15 + 9 expanding-ring nearest-POI searches, each scanning on the order of
+/// a few thousand grid cells) — the per-row work estimate fed to the
+/// parallel dispatch threshold.
+const POI_ROW_WORK: usize = 100_000;
 
 /// Which POI feature groups to include.
 #[derive(Clone, Copy, Debug)]
@@ -203,7 +209,9 @@ pub fn poi_features_with_index(
 /// prebuilt (full-city) spatial index. Each region's features depend only
 /// on the index and the global `max_count` normalizers, so a row block is
 /// bitwise identical to the same rows of the full matrix — the streaming
-/// shard builder relies on this.
+/// shard builder relies on this, and it is also what makes the row loop
+/// safe to partition across threads (each worker writes disjoint rows from
+/// shared read-only state; no accumulation order exists to perturb).
 pub fn poi_features_rows(
     index: &PoiSpatialIndex,
     opts: PoiFeatureOptions,
@@ -211,6 +219,7 @@ pub fn poi_features_rows(
 ) -> Matrix {
     let (w, h) = (index.width, index.height);
     let counts = index.category_counts();
+    let d = opts.dim();
 
     // Global normalizers for the count features.
     let max_count = counts
@@ -220,9 +229,41 @@ pub fn poi_features_rows(
         .max(1.0);
     let max_count_9 = max_count * 9.0;
 
-    let mut out = Matrix::zeros(regions.len(), opts.dim());
-    for r in regions.clone() {
-        let row = out.row_mut(r - regions.start);
+    let mut out = Matrix::zeros(regions.len(), d);
+    if d == 0 || regions.is_empty() {
+        return out;
+    }
+    let n_rows = regions.len();
+    let start = regions.start;
+    par::for_each_row_block(
+        out.as_mut_slice(),
+        d,
+        n_rows * POI_ROW_WORK,
+        |rows, chunk| {
+            for (ri, local) in rows.enumerate() {
+                let r = start + local;
+                let row = &mut chunk[ri * d..(ri + 1) * d];
+                poi_feature_row(index, opts, w, h, counts, max_count, max_count_9, r, row);
+            }
+        },
+    );
+    out
+}
+
+/// One region's feature row, written into `row` (length `opts.dim()`).
+#[allow(clippy::too_many_arguments)]
+fn poi_feature_row(
+    index: &PoiSpatialIndex,
+    opts: PoiFeatureOptions,
+    w: usize,
+    h: usize,
+    counts: &[[f32; PoiCategory::COUNT]],
+    max_count: f32,
+    max_count_9: f32,
+    r: usize,
+    row: &mut [f32],
+) {
+    {
         let mut col = 0usize;
         if opts.cate {
             // Region-level distribution + count.
@@ -276,7 +317,6 @@ pub fn poi_features_rows(
             row[col] = if all_within { 1.0 } else { 0.0 };
         }
     }
-    out
 }
 
 fn radius_type_by_index(i: usize) -> RadiusType {

@@ -145,45 +145,56 @@ impl Urg {
         let n = city.n_regions();
         _s.add_field("n_regions", n as f64);
 
-        let mut lists = Vec::new();
-        if opts.spatial {
-            lists.push(spatial_edges(city));
-        }
-        if opts.road {
-            lists.push(road_edges(city, opts.road_hops));
-        }
-        let pairs = merge_pairs(lists);
+        let pairs = {
+            let _e = uvd_obs::span("urg.edges");
+            let mut lists = Vec::new();
+            if opts.spatial {
+                lists.push(spatial_edges(city));
+            }
+            if opts.road {
+                lists.push(road_edges(city, opts.road_hops));
+            }
+            merge_pairs(lists)
+        };
 
-        // Directed edges + self-loops for attention neighbourhoods.
-        let mut directed: Vec<(u32, u32)> = Vec::with_capacity(pairs.len() * 2 + n);
-        for &(a, b) in &pairs {
-            directed.push((a, b));
-            directed.push((b, a));
-        }
-        for i in 0..n as u32 {
-            directed.push((i, i));
-        }
-        let edges = Arc::new(EdgeIndex::from_pairs(n, directed));
+        let (edges, adj_norm) = {
+            let _c = uvd_obs::span("urg.csr");
+            // Directed edges + self-loops for attention neighbourhoods.
+            let mut directed: Vec<(u32, u32)> = Vec::with_capacity(pairs.len() * 2 + n);
+            for &(a, b) in &pairs {
+                directed.push((a, b));
+                directed.push((b, a));
+            }
+            for i in 0..n as u32 {
+                directed.push((i, i));
+            }
+            let edges = Arc::new(EdgeIndex::from_pairs(n, directed));
+
+            // Normalized adjacency (A + I) for GCN baselines.
+            let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(pairs.len() * 2 + n);
+            for &(a, b) in &pairs {
+                coo.push((a, b, 1.0));
+                coo.push((b, a, 1.0));
+            }
+            for i in 0..n as u32 {
+                coo.push((i, i, 1.0));
+            }
+            let adj_norm = CsrPair::new(Csr::from_coo(n, n, coo).sym_normalized());
+            (edges, adj_norm)
+        };
         _s.add_field("n_edges", edges.n_edges() as f64);
 
-        // Normalized adjacency (A + I) for GCN baselines.
-        let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(pairs.len() * 2 + n);
-        for &(a, b) in &pairs {
-            coo.push((a, b, 1.0));
-            coo.push((b, a, 1.0));
-        }
-        for i in 0..n as u32 {
-            coo.push((i, i, 1.0));
-        }
-        let adj_norm = CsrPair::new(Csr::from_coo(n, n, coo).sym_normalized());
-
-        let x_poi = poi_features(city, opts.poi);
-        let (x_img, raw_images) = if opts.image {
-            let raw = Matrix::from_vec(n, IMG_LEN, city.images.clone());
-            let feats = standardize_columns(&VggSim::new().features(&city.images));
-            (feats, Some(Arc::new(raw)))
-        } else {
-            (Matrix::zeros(n, 0), None)
+        let (x_poi, x_img, raw_images) = {
+            let _f = uvd_obs::span("urg.features");
+            let x_poi = poi_features(city, opts.poi);
+            let (x_img, raw_images) = if opts.image {
+                let raw = Matrix::from_vec(n, IMG_LEN, city.images.clone());
+                let feats = standardize_columns(&VggSim::new().features(&city.images));
+                (feats, Some(Arc::new(raw)))
+            } else {
+                (Matrix::zeros(n, 0), None)
+            };
+            (x_poi, x_img, raw_images)
         };
 
         // Labeled set: positives then negatives, sorted by region id.

@@ -30,9 +30,9 @@ use crate::edges::{merge_pairs, road_edges_from, spatial_edges_dims};
 use crate::features::{poi_features_rows, PoiSpatialIndex};
 use crate::graph::serde_like::{ShardStats, UrgStats};
 use crate::graph::{Urg, UrgOptions};
-use crate::vgg::{standardize_blocks, VggSim, VGG_SIM_DIM};
+use crate::vgg::{standardize_blocks, VggSim};
 use std::sync::Arc;
-use uvd_citysim::{CityStream, CityTile, SurveyLabels, IMG_LEN};
+use uvd_citysim::{CityStream, CityTile, SurveyLabels};
 use uvd_tensor::graph::CsrPair;
 use uvd_tensor::{par, Csr, EdgeIndex, Matrix};
 
@@ -101,29 +101,36 @@ impl ShardedUrgBuilder {
     pub fn from_skeleton(stream: &CityStream, opts: UrgOptions) -> ShardedUrgBuilder {
         let (w, h) = (stream.width(), stream.height());
         let n = w * h;
-        let mut lists = Vec::new();
-        if opts.spatial {
-            lists.push(spatial_edges_dims(w, h));
-        }
-        if opts.road {
-            lists.push(road_edges_from(stream.roads(), w, opts.road_hops));
-        }
-        let pairs = merge_pairs(lists);
+        let pairs = {
+            let _e = uvd_obs::span("urg.edges");
+            let mut lists = Vec::new();
+            if opts.spatial {
+                lists.push(spatial_edges_dims(w, h));
+            }
+            if opts.road {
+                lists.push(road_edges_from(stream.roads(), w, opts.road_hops));
+            }
+            merge_pairs(lists)
+        };
 
-        let mut directed: Vec<(u32, u32)> = Vec::with_capacity(pairs.len() * 2 + n);
-        let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(pairs.len() * 2 + n);
-        for &(a, b) in &pairs {
-            directed.push((a, b));
-            directed.push((b, a));
-            coo.push((a, b, 1.0));
-            coo.push((b, a, 1.0));
-        }
-        for i in 0..n as u32 {
-            directed.push((i, i));
-            coo.push((i, i, 1.0));
-        }
-        let edges = Arc::new(EdgeIndex::from_pairs(n, directed));
-        let adj_norm = CsrPair::new(Csr::from_coo(n, n, coo).sym_normalized());
+        let (edges, adj_norm) = {
+            let _c = uvd_obs::span("urg.csr");
+            let mut directed: Vec<(u32, u32)> = Vec::with_capacity(pairs.len() * 2 + n);
+            let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(pairs.len() * 2 + n);
+            for &(a, b) in &pairs {
+                directed.push((a, b));
+                directed.push((b, a));
+                coo.push((a, b, 1.0));
+                coo.push((b, a, 1.0));
+            }
+            for i in 0..n as u32 {
+                directed.push((i, i));
+                coo.push((i, i, 1.0));
+            }
+            let edges = Arc::new(EdgeIndex::from_pairs(n, directed));
+            let adj_norm = CsrPair::new(Csr::from_coo(n, n, coo).sym_normalized());
+            (edges, adj_norm)
+        };
         let poi_index = PoiSpatialIndex::from_parts(w, h, stream.pois());
 
         ShardedUrgBuilder {
@@ -160,23 +167,13 @@ impl ShardedUrgBuilder {
         let lo = tile.region_start;
         let hi = lo + tile.n_regions;
 
+        let _f = uvd_obs::span("urg.features");
         let x_poi = poi_features_rows(&self.poi_index, self.opts.poi, lo..hi);
         let x_img = match &self.vgg {
-            Some(vgg) => {
-                let mut out = Matrix::zeros(tile.n_regions, VGG_SIM_DIM);
-                // features_one is ~1e6 FLOPs per region; always worth
-                // parallelizing when a pool is available.
-                let work = tile.n_regions * 1_000_000;
-                par::for_each_row_block(out.as_mut_slice(), VGG_SIM_DIM, work, |rows, chunk| {
-                    for (ri, r) in rows.enumerate() {
-                        let f = vgg.features_one(&tile.images[r * IMG_LEN..(r + 1) * IMG_LEN]);
-                        chunk[ri * VGG_SIM_DIM..(ri + 1) * VGG_SIM_DIM].copy_from_slice(&f);
-                    }
-                });
-                out
-            }
+            Some(vgg) => vgg.features(&tile.images),
             None => Matrix::zeros(tile.n_regions, 0),
         };
+        drop(_f);
 
         let rows: Vec<u32> = (lo as u32..hi as u32).collect();
         let adj_rows = self.adj_norm.fwd.gather_rows(&rows);
@@ -257,11 +254,45 @@ impl ShardedUrgBuilder {
 impl ShardedUrg {
     /// Drive a [`CityStream`] end to end: skeleton → tiles → labels.
     /// Emits a `urg.shard.build` span with region/edge/shard counts.
+    ///
+    /// Tile rendering and tile folding are pipelined: the caller thread
+    /// renders tile `k+1` (the stream's RNG is inherently sequential) while
+    /// a scoped worker folds tile `k` through [`ShardedUrgBuilder::add_tile`].
+    /// A rendezvous channel hands tiles over strictly in index order, so the
+    /// builder performs the exact serial fold — the pipeline changes *when*
+    /// each tile is folded, never *what* is folded or in which order, and the
+    /// result stays bitwise identical to the unpipelined loop. Peak imagery
+    /// residency is two tiles (one rendering, one folding) instead of one.
     pub fn from_stream(mut stream: CityStream, opts: UrgOptions) -> ShardedUrg {
         let mut _s = uvd_obs::span("urg.shard.build");
         let mut builder = ShardedUrgBuilder::from_skeleton(&stream, opts);
-        while let Some(tile) = stream.next_tile() {
-            builder.add_tile(&tile);
+        let threads = par::effective_threads();
+        if threads > 1 && stream.n_tiles() > 1 {
+            std::thread::scope(|scope| {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<CityTile>(0);
+                let builder = &mut builder;
+                let folder = scope.spawn(move || {
+                    // Thread-pool overrides are thread-local: re-install the
+                    // caller's effective width so the fold parallelizes (and
+                    // chunks) exactly as it would on the caller thread.
+                    par::with_threads(threads, || {
+                        while let Ok(tile) = rx.recv() {
+                            builder.add_tile(&tile);
+                        }
+                    });
+                });
+                while let Some(tile) = stream.next_tile() {
+                    if tx.send(tile).is_err() {
+                        break; // folder panicked; scope join surfaces it
+                    }
+                }
+                drop(tx);
+                folder.join().expect("tile folder thread panicked");
+            });
+        } else {
+            while let Some(tile) = stream.next_tile() {
+                builder.add_tile(&tile);
+            }
         }
         let labels = stream.finish();
         let sharded = builder.finish(&labels);

@@ -8,7 +8,12 @@
 use uvd_citysim::{IMG_CHANNELS, IMG_LEN, IMG_SIZE};
 use uvd_tensor::conv::{im2col, maxpool2, ConvMeta, PoolMeta};
 use uvd_tensor::init::{he_normal, seeded_rng};
-use uvd_tensor::Matrix;
+use uvd_tensor::{par, Matrix};
+
+/// Estimated scalar ops of one [`VggSim::features_one`] call (~1e6 FLOPs of
+/// conv + pool work per 3×32×32 image) — the per-row work estimate the
+/// parallel dispatch threshold compares against [`par::MIN_PAR_WORK`].
+pub(crate) const FEATURES_ONE_WORK: usize = 1_000_000;
 
 /// Output dimensionality of the extractor.
 pub const VGG_SIM_DIM: usize = 256;
@@ -80,47 +85,82 @@ impl VggSim {
     }
 
     /// Extract features for every region image in a flat buffer
-    /// (`n * IMG_LEN` values) into an `n × 256` matrix.
+    /// (`n * IMG_LEN` values) into an `n × 256` matrix. Output rows are
+    /// partitioned across threads; each row is an independent
+    /// [`VggSim::features_one`] call against the frozen weights, so the
+    /// matrix is bitwise identical at any thread count.
     pub fn features(&self, images: &[f32]) -> Matrix {
         assert_eq!(images.len() % IMG_LEN, 0);
         let n = images.len() / IMG_LEN;
         let mut out = Matrix::zeros(n, VGG_SIM_DIM);
-        for i in 0..n {
-            let f = self.features_one(&images[i * IMG_LEN..(i + 1) * IMG_LEN]);
-            out.row_mut(i).copy_from_slice(&f);
-        }
+        par::for_each_row_block(
+            out.as_mut_slice(),
+            VGG_SIM_DIM,
+            n * FEATURES_ONE_WORK,
+            |rows, chunk| {
+                for (ri, i) in rows.enumerate() {
+                    let f = self.features_one(&images[i * IMG_LEN..(i + 1) * IMG_LEN]);
+                    chunk[ri * VGG_SIM_DIM..(ri + 1) * VGG_SIM_DIM].copy_from_slice(&f);
+                }
+            },
+        );
         out
     }
 }
 
 /// Standardize each column to zero mean / unit variance (columns with zero
 /// variance are left at zero). Returns the standardized matrix.
+///
+/// Parallel in two phases, both bitwise-invariant under chunking: the
+/// per-column mean/variance chains are independent `f64` accumulations over
+/// rows in ascending order (columns are partitioned across threads, each
+/// column's chain runs whole on one worker), and the apply phase is
+/// element-independent (rows partitioned across threads).
 pub fn standardize_columns(x: &Matrix) -> Matrix {
     let (n, d) = x.shape();
+    let stats = column_stats(d, n, |r, c| x.get(r, c));
     let mut out = x.clone();
-    for c in 0..d {
-        let mut mean = 0.0f64;
-        for r in 0..n {
-            mean += x.get(r, c) as f64;
+    par::for_each_row_block(out.as_mut_slice(), d.max(1), 2 * n * d, |rows, chunk| {
+        for (ri, _r) in rows.enumerate() {
+            let row = &mut chunk[ri * d..(ri + 1) * d];
+            for (v, &(mean, std)) in row.iter_mut().zip(&stats) {
+                *v = if std > 1e-9 {
+                    ((*v as f64 - mean) / std) as f32
+                } else {
+                    0.0
+                };
+            }
         }
-        mean /= n.max(1) as f64;
-        let mut var = 0.0f64;
-        for r in 0..n {
-            let v = x.get(r, c) as f64 - mean;
-            var += v * v;
-        }
-        var /= n.max(1) as f64;
-        let std = var.sqrt();
-        for r in 0..n {
-            let v = if std > 1e-9 {
-                ((x.get(r, c) as f64 - mean) / std) as f32
-            } else {
-                0.0
-            };
-            out.set(r, c, v);
-        }
-    }
+    });
     out
+}
+
+/// Per-column `(mean, std)` over a logical `n × d` matrix addressed by
+/// `get(r, c)`, columns partitioned across threads. Each column runs the
+/// exact serial accumulator chain (`f64` mean pass, then variance pass, rows
+/// ascending), so the stats are bitwise those of the serial loop.
+fn column_stats(d: usize, n: usize, get: impl Fn(usize, usize) -> f32 + Sync) -> Vec<(f64, f64)> {
+    par::map_chunks(d, 2 * n * d, |c_range| {
+        c_range
+            .map(|c| {
+                let mut mean = 0.0f64;
+                for r in 0..n {
+                    mean += get(r, c) as f64;
+                }
+                mean /= n.max(1) as f64;
+                let mut var = 0.0f64;
+                for r in 0..n {
+                    let v = get(r, c) as f64 - mean;
+                    var += v * v;
+                }
+                var /= n.max(1) as f64;
+                (mean, var.sqrt())
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// In-place, block-sharded variant of [`standardize_columns`]: the row sets
@@ -136,33 +176,52 @@ pub fn standardize_blocks(blocks: &mut [Matrix]) {
     for b in blocks.iter() {
         assert_eq!(b.cols(), d, "ragged block widths");
     }
-    for c in 0..d {
-        let mut mean = 0.0f64;
-        for b in blocks.iter() {
-            for r in 0..b.rows() {
-                mean += b.get(r, c) as f64;
+    // Same two parallel phases as [`standardize_columns`]; the per-column
+    // chains walk blocks in order, i.e. rows of the concatenation in
+    // ascending order — the bitwise-equality contract with the monolithic
+    // function is preserved at any thread count.
+    let stats = {
+        let blocks = &*blocks;
+        par::map_chunks(d, 2 * n * d.max(1), |c_range| {
+            c_range
+                .map(|c| {
+                    let mut mean = 0.0f64;
+                    for b in blocks.iter() {
+                        for r in 0..b.rows() {
+                            mean += b.get(r, c) as f64;
+                        }
+                    }
+                    mean /= n.max(1) as f64;
+                    let mut var = 0.0f64;
+                    for b in blocks.iter() {
+                        for r in 0..b.rows() {
+                            let v = b.get(r, c) as f64 - mean;
+                            var += v * v;
+                        }
+                    }
+                    var /= n.max(1) as f64;
+                    (mean, var.sqrt())
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect::<Vec<_>>()
+    };
+    for b in blocks.iter_mut() {
+        let rows = b.rows();
+        par::for_each_row_block(b.as_mut_slice(), d.max(1), 2 * rows * d, |rows, chunk| {
+            for (ri, _r) in rows.enumerate() {
+                let row = &mut chunk[ri * d..(ri + 1) * d];
+                for (v, &(mean, std)) in row.iter_mut().zip(&stats) {
+                    *v = if std > 1e-9 {
+                        ((*v as f64 - mean) / std) as f32
+                    } else {
+                        0.0
+                    };
+                }
             }
-        }
-        mean /= n.max(1) as f64;
-        let mut var = 0.0f64;
-        for b in blocks.iter() {
-            for r in 0..b.rows() {
-                let v = b.get(r, c) as f64 - mean;
-                var += v * v;
-            }
-        }
-        var /= n.max(1) as f64;
-        let std = var.sqrt();
-        for b in blocks.iter_mut() {
-            for r in 0..b.rows() {
-                let v = if std > 1e-9 {
-                    ((b.get(r, c) as f64 - mean) / std) as f32
-                } else {
-                    0.0
-                };
-                b.set(r, c, v);
-            }
-        }
+        });
     }
 }
 

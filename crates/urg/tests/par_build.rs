@@ -1,0 +1,89 @@
+//! Thread-count invariance of the URG build path (dense and streamed).
+//!
+//! Every parallel stage of `Urg::build` — VGG-sim rows, POI feature rows,
+//! per-start road BFS, column standardization, counting-sort CSR assembly —
+//! is designed to produce bitwise-identical output at any `UVD_THREADS`
+//! (chunk-invariant decompositions, index-ordered reductions; DESIGN.md §13).
+//! These properties pin that contract over irregular city sizes and thread
+//! counts, and re-pin the streamed `ShardedUrg` equivalence now that the
+//! tile render/fold loop is pipelined across threads.
+
+use proptest::prelude::*;
+use uvd_citysim::{City, CityConfig, CityPreset, CityStream};
+use uvd_tensor::par;
+use uvd_urg::{ShardedUrg, Urg, UrgOptions};
+
+/// Small irregular city: non-square grids, a few UV patches.
+fn city_cfg(w: usize, h: usize) -> CityConfig {
+    let mut c = CityPreset::tiny();
+    c.name = "par-build".into();
+    c.width = w;
+    c.height = h;
+    c.n_uv_patches = 3;
+    c.uv_patch_size = (2, 4);
+    c.n_nature_patches = 1;
+    c
+}
+
+/// Bitwise equality over every URG field the model consumes.
+fn assert_urg_bitwise(a: &Urg, b: &Urg, what: &str) {
+    assert_eq!(a.n, b.n, "{what}: n");
+    assert_eq!(a.pairs, b.pairs, "{what}: pairs");
+    assert_eq!(a.edges.src(), b.edges.src(), "{what}: edge src");
+    assert_eq!(a.edges.dst(), b.edges.dst(), "{what}: edge dst");
+    assert_eq!(a.x_poi, b.x_poi, "{what}: x_poi");
+    assert_eq!(a.x_img, b.x_img, "{what}: x_img");
+    assert_eq!(a.labeled, b.labeled, "{what}: labeled");
+    assert_eq!(a.y, b.y, "{what}: y");
+    for r in 0..a.n {
+        let ra: Vec<(u32, f32)> = a.adj_norm.fwd.row_iter(r).collect();
+        let rb: Vec<(u32, f32)> = b.adj_norm.fwd.row_iter(r).collect();
+        assert_eq!(ra, rb, "{what}: adj_norm row {r}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Dense build: parallel ≡ serial, bitwise, at every swept thread count.
+    #[test]
+    fn dense_build_is_thread_count_invariant(
+        seed in 0u64..200,
+        w in 5usize..12,
+        h in 5usize..12,
+    ) {
+        let city = City::from_config(city_cfg(w, h), seed);
+        let opts = UrgOptions::default();
+        let reference = par::serial_scope(|| Urg::build(&city, opts));
+        for threads in [2usize, 7] {
+            let parallel = par::with_threads(threads, || Urg::build(&city, opts));
+            assert_urg_bitwise(&parallel, &reference, &format!("threads={threads}"));
+        }
+    }
+
+    /// Streamed build (pipelined render/fold + parallel folds) ≡ serial
+    /// dense build, bitwise, over irregular tile heights and thread counts.
+    #[test]
+    fn streamed_build_matches_dense_at_any_thread_count(
+        seed in 0u64..200,
+        w in 5usize..12,
+        h in 5usize..12,
+        tile_rows in 1usize..6,
+    ) {
+        let cfg = city_cfg(w, h);
+        let city = City::from_config(cfg.clone(), seed);
+        let opts = UrgOptions::default();
+        let reference = par::serial_scope(|| Urg::build(&city, opts));
+        for threads in [1usize, 2, 7] {
+            let streamed = par::with_threads(threads, || {
+                ShardedUrg::from_stream(CityStream::new(cfg.clone(), seed, tile_rows), opts)
+                    .into_urg()
+            });
+            assert_urg_bitwise(
+                &streamed,
+                &reference,
+                &format!("streamed threads={threads} tile_rows={tile_rows}"),
+            );
+        }
+    }
+}

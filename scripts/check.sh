@@ -18,6 +18,12 @@ cargo test -p uvd-eval --release --test fault_injection -q
 # tolerance of the deterministic oracle (and bit-stable across threads)
 # when the env var — not just the test-local override — selects it.
 UVD_FAST_MATH=1 cargo test -p uvd-tensor --release --test fastmath_tiers -q
+# Build-path determinism gate in release mode: the parallel URG build
+# (dense, and streamed through the pipelined render/fold path) must be
+# bitwise identical to the serial build at every swept thread count.
+# Release matters here: debug builds never hit the vectorized kernels the
+# parallel feature extraction dispatches to.
+cargo test -p uvd-urg --release --test par_build -q
 # Bench harness must keep compiling even when nobody runs it.
 cargo bench --workspace --no-run -q
 # Release perfsnap smoke passes, one per determinism tier: exercise the
