@@ -1,0 +1,59 @@
+//! Downstream-task label plumbing.
+//!
+//! The generator already knows every region's latent land use
+//! ([`crate::landuse`]); this module exposes it in the form the
+//! downstream-task heads consume: dense per-region class indices over
+//! [`LandUse::ALL`]. Ground truth here is *latent* generator state — the
+//! detection pipeline never sees it at training time, but the frozen-
+//! embedding tasks may, exactly like the paper's auxiliary land-use data.
+
+use crate::types::{City, LandUse};
+
+/// Number of land-use classes (the full [`LandUse::ALL`] palette).
+pub const LAND_USE_CLASSES: usize = LandUse::ALL.len();
+
+/// Per-region land-use class indices (row-major, `height*width`), the
+/// label vector of the land-use classification task.
+pub fn land_use_classes(city: &City) -> Vec<u8> {
+    city.land_use.iter().map(|&l| l.index() as u8).collect()
+}
+
+/// Per-class region counts — handy for majority-baseline accuracy and for
+/// verifying a split covers every class.
+pub fn land_use_histogram(city: &City) -> [usize; LAND_USE_CLASSES] {
+    let mut h = [0usize; LAND_USE_CLASSES];
+    for &l in &city.land_use {
+        h[l.index()] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CityPreset;
+
+    #[test]
+    fn land_use_index_roundtrips() {
+        for (i, &l) in LandUse::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+            assert_eq!(LandUse::from_index(i), Some(l));
+        }
+        assert_eq!(LandUse::from_index(LAND_USE_CLASSES), None);
+    }
+
+    #[test]
+    fn labels_cover_every_region_and_match_ground_truth() {
+        let city = City::from_config(CityPreset::tiny(), 9);
+        let labels = land_use_classes(&city);
+        assert_eq!(labels.len(), city.n_regions());
+        let uv = LandUse::UrbanVillage.index() as u8;
+        for (r, &c) in labels.iter().enumerate() {
+            assert!((c as usize) < LAND_USE_CLASSES);
+            assert_eq!(c == uv, city.is_uv(r));
+        }
+        let hist = land_use_histogram(&city);
+        assert_eq!(hist.iter().sum::<usize>(), city.n_regions());
+        assert_eq!(hist[uv as usize], city.n_true_uvs());
+    }
+}

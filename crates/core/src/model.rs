@@ -876,6 +876,12 @@ impl Cmsf {
         g.value(xt).clone()
     }
 
+    /// Width of the master-stage region representation `x̃` (d_rep) — the
+    /// dimensionality of exported embeddings.
+    pub fn embedding_dim(&self) -> usize {
+        self.maga.out_dim()
+    }
+
     /// Record the serving *head* plan into `g`: `x̃` becomes a
     /// `set_value`-able constant leaf feeding the exact detection-head op
     /// sequence of [`Cmsf::predict_proba`]. Replaying after patching the

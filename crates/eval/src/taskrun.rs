@@ -1,0 +1,155 @@
+//! Downstream-task evaluation over a frozen embedding store: the
+//! "pretrain once, serve many tasks" measurement half. One exported
+//! embedding matrix feeds the land-use classifier, the accessibility
+//! regressor, and the mixture-based best-region search; the runner returns
+//! one metrics row per task suitable for JSON result files.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{multiclass_accuracy, rmse, MetricError};
+use uvd_citysim::{land_use_classes, City};
+use uvd_tasks::{
+    accessibility_targets, best_region_search, AccessibilityHead, LandUseHead, SearchOptions,
+    TaskHeadConfig,
+};
+use uvd_tensor::Matrix;
+use uvd_urg::Urg;
+
+/// One downstream-task result row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskRow {
+    /// Task name: `landuse`, `access`, or `search`.
+    pub task: String,
+    /// Metric name: `accuracy`, `rmse`, or `entropy`.
+    pub metric: String,
+    /// Held-out metric value (`search` reports the mixture entropy of the
+    /// winning region set; it has no train/test split).
+    pub value: f64,
+    /// Training rows used (0 for `search`).
+    pub train_n: usize,
+    /// Held-out rows scored (member count for `search`).
+    pub test_n: usize,
+}
+
+/// Deterministic striped split over `n` regions: every `k`-th region is
+/// held out. Stratification falls out of the generator's spatial layout —
+/// stripes cut across districts, so both sides see every land-use class.
+fn striped_split(n: usize, k: usize) -> (Vec<usize>, Vec<usize>) {
+    let k = k.max(2);
+    let (mut train, mut test) = (Vec::new(), Vec::new());
+    for r in 0..n {
+        if r % k == 0 {
+            test.push(r);
+        } else {
+            train.push(r);
+        }
+    }
+    (train, test)
+}
+
+/// Train and score all three downstream heads against one frozen embedding
+/// matrix. `seed` perturbs only head initialization (the embeddings stay
+/// frozen), so repeated calls measure head-training variance, not pretrain
+/// variance.
+pub fn run_task_suite(
+    city: &City,
+    urg: &Urg,
+    emb: &Matrix,
+    seed: u64,
+) -> Result<Vec<TaskRow>, MetricError> {
+    assert_eq!(emb.rows(), urg.n, "one embedding row per region");
+    let cfg = TaskHeadConfig {
+        seed,
+        ..TaskHeadConfig::default()
+    };
+    let (train, test) = striped_split(urg.n, 4);
+    let mut rows = Vec::with_capacity(3);
+
+    let labels = land_use_classes(city);
+    let mut lu = LandUseHead::new(emb.cols(), &cfg);
+    lu.fit(emb, &labels, &train, &cfg);
+    let pred = lu.predict(emb);
+    let pred_test: Vec<u8> = test.iter().map(|&r| pred[r]).collect();
+    let truth_test: Vec<u8> = test.iter().map(|&r| labels[r]).collect();
+    rows.push(TaskRow {
+        task: "landuse".into(),
+        metric: "accuracy".into(),
+        value: multiclass_accuracy(&pred_test, &truth_test)?,
+        train_n: train.len(),
+        test_n: test.len(),
+    });
+
+    let targets = accessibility_targets(city);
+    let mut ac = AccessibilityHead::new(emb.cols(), &cfg);
+    ac.fit(emb, &targets, &train, &cfg);
+    let pred = ac.predict(emb);
+    let pred_test: Vec<f32> = test.iter().map(|&r| pred[r]).collect();
+    let truth_test: Vec<f32> = test.iter().map(|&r| targets[r]).collect();
+    rows.push(TaskRow {
+        task: "access".into(),
+        metric: "rmse".into(),
+        value: rmse(&pred_test, &truth_test)?,
+        train_n: train.len(),
+        test_n: test.len(),
+    });
+
+    let region = best_region_search(emb, city, urg, &SearchOptions::default());
+    rows.push(TaskRow {
+        task: "search".into(),
+        metric: "entropy".into(),
+        value: region.entropy,
+        train_n: 0,
+        test_n: region.members.len(),
+    });
+
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmsf::{embedding_key, Cmsf, CmsfConfig};
+    use uvd_citysim::CityPreset;
+    use uvd_tasks::EmbeddingStore;
+    use uvd_urg::{Detector, UrgOptions};
+
+    #[test]
+    fn striped_split_partitions_all_regions() {
+        let (train, test) = striped_split(10, 4);
+        assert_eq!(test, vec![0, 4, 8]);
+        assert_eq!(train.len() + test.len(), 10);
+        assert!(train.iter().all(|r| !test.contains(r)));
+    }
+
+    #[test]
+    fn suite_produces_one_row_per_task() {
+        let city = City::from_config(CityPreset::tiny(), 29);
+        let urg = Urg::build(&city, UrgOptions::default());
+        let train: Vec<usize> = (0..urg.labeled.len()).collect();
+        let mut cfg = CmsfConfig::fast_test();
+        cfg.master_epochs = 4;
+        cfg.slave_epochs = 1;
+        let mut model = Cmsf::new(&urg, cfg);
+        model.fit(&urg, &train);
+        let mut store = EmbeddingStore::new();
+        model.export_embeddings(&urg, "tiny", &mut store);
+        let emb = store.get(&embedding_key("tiny")).unwrap();
+
+        let rows = run_task_suite(&city, &urg, emb, 5).expect("suite");
+        let names: Vec<&str> = rows.iter().map(|r| r.task.as_str()).collect();
+        assert_eq!(names, ["landuse", "access", "search"]);
+        for row in &rows {
+            assert!(row.value.is_finite(), "{} metric must be finite", row.task);
+            assert!(row.value >= 0.0);
+        }
+        assert!(rows[0].value <= 1.0, "accuracy is a fraction");
+        assert!(rows[2].test_n >= 1, "search returns at least the seed");
+
+        // Same store, same seed → identical rows (everything downstream of
+        // the frozen embeddings is deterministic).
+        let again = run_task_suite(&city, &urg, emb, 5).expect("suite rerun");
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+}

@@ -27,6 +27,8 @@ pub mod engine;
 pub mod env;
 pub mod proto;
 pub mod server;
+pub mod tasks;
 
 pub use engine::{BatchScorer, Caches, UpdateOutcome, Updater};
 pub use server::{ServeOptions, Server};
+pub use tasks::TaskScorer;

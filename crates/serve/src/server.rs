@@ -36,11 +36,12 @@ use std::time::{Duration, Instant};
 
 use cmsf::CmsfConfig;
 use serde_json::Value;
-use uvd_tensor::MatrixStore;
+use uvd_tensor::{EmbeddingStore, MatrixStore};
 use uvd_urg::Urg;
 
 use crate::engine::{oob_error, BatchScorer, Caches, Updater};
 use crate::proto::{self, Request};
+use crate::tasks::TaskScorer;
 use crate::{env, proto::error_reply};
 
 static REQUESTS: uvd_obs::Counter = uvd_obs::Counter::new("serve.requests");
@@ -48,8 +49,18 @@ static BATCHES: uvd_obs::Counter = uvd_obs::Counter::new("serve.batches");
 static QUEUE_ENQ: uvd_obs::Counter = uvd_obs::Counter::new("serve.queue.enq");
 static QUEUE_DEQ: uvd_obs::Counter = uvd_obs::Counter::new("serve.queue.deq");
 
+/// What a queued job asks the worker to compute.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    /// Urban-village scores through the batch tape.
+    Score,
+    /// Downstream-task outputs from the frozen embedding store.
+    Tasks,
+}
+
 /// A queued score request: ids plus the channel the worker answers on.
 struct ScoreJob {
+    kind: JobKind,
     ids: Vec<u32>,
     tag: Option<Value>,
     reply: mpsc::Sender<String>,
@@ -69,6 +80,7 @@ struct UpdateJob {
 struct Stats {
     requests: AtomicU64,
     score_requests: AtomicU64,
+    task_requests: AtomicU64,
     batches: AtomicU64,
     rows_scored: AtomicU64,
     updates: AtomicU64,
@@ -87,6 +99,8 @@ struct SharedState {
     stats: Stats,
     n_regions: usize,
     workers: usize,
+    /// Whether workers carry a restored [`TaskScorer`].
+    tasks_enabled: bool,
 }
 
 /// Server construction options. `Default` reads the `UVD_SERVE_*` knobs.
@@ -103,6 +117,9 @@ pub struct ServeOptions {
     pub max_delay: Duration,
     /// Bounded queue capacity (jobs, not rows).
     pub queue_cap: usize,
+    /// Optional embedding store; when set, every worker restores the
+    /// downstream-task heads from it and the `tasks` op becomes available.
+    pub embeddings: Option<EmbeddingStore>,
 }
 
 impl Default for ServeOptions {
@@ -114,6 +131,7 @@ impl Default for ServeOptions {
             batch,
             max_delay: Duration::from_millis(env::env_max_delay_ms()),
             queue_cap: 1024,
+            embeddings: None,
         }
     }
 }
@@ -143,6 +161,13 @@ impl Server {
         let d_final = caches0.x_final.cols();
         let gated = caches0.filter.is_some();
 
+        // Fail fast on a bad embedding store: validate once on this thread
+        // before any worker tries to restore from it.
+        let embeddings = opts.embeddings.clone();
+        if let Some(emb) = &embeddings {
+            TaskScorer::new(emb)?;
+        }
+
         let shared = Arc::new(SharedState {
             caches: RwLock::new(Arc::new(caches0)),
             queue: Mutex::new(VecDeque::new()),
@@ -154,6 +179,7 @@ impl Server {
             stats: Stats::default(),
             n_regions: updater.n_regions(),
             workers: opts.workers.max(1),
+            tasks_enabled: embeddings.is_some(),
         });
 
         let listener = TcpListener::bind(&opts.addr)?;
@@ -188,6 +214,7 @@ impl Server {
             let shared = Arc::clone(&shared);
             let urg = urg.clone();
             let store = store.clone();
+            let embeddings = embeddings.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("uvd-serve-worker-{w}"))
@@ -195,7 +222,12 @@ impl Server {
                         let scorer =
                             BatchScorer::new(&urg, cfg, &store, shared.batch_cap, d_final, gated)
                                 .expect("store validated at startup");
-                        worker_loop(scorer, shared);
+                        // Like the model, head params are Rc-backed (not
+                        // Send), so each worker restores its own scorer
+                        // from the shared store on-thread.
+                        let tasks = embeddings
+                            .map(|e| TaskScorer::new(&e).expect("store validated at startup"));
+                        worker_loop(scorer, tasks, shared);
                     })?,
             );
         }
@@ -349,6 +381,7 @@ fn handle_line(line: &str, shared: &SharedState, update_tx: &mpsc::Sender<Update
                 &[
                     ("requests", s.requests.load(Ordering::Relaxed)),
                     ("score_requests", s.score_requests.load(Ordering::Relaxed)),
+                    ("task_requests", s.task_requests.load(Ordering::Relaxed)),
                     ("batches", s.batches.load(Ordering::Relaxed)),
                     ("rows_scored", s.rows_scored.load(Ordering::Relaxed)),
                     ("updates", s.updates.load(Ordering::Relaxed)),
@@ -364,7 +397,20 @@ fn handle_line(line: &str, shared: &SharedState, update_tx: &mpsc::Sender<Update
         Request::Score { ids, tag } => {
             shared.stats.score_requests.fetch_add(1, Ordering::Relaxed);
             span.add_field("ids", ids.len() as f64);
-            score_via_queue(ids, tag, shared)
+            score_via_queue(JobKind::Score, ids, tag, shared)
+        }
+        Request::Tasks { ids, tag } => {
+            if !shared.tasks_enabled {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                span.add_field("ok", 0.0);
+                return error_reply(
+                    "no embedding store loaded (start with --embeddings)",
+                    tag.as_ref(),
+                );
+            }
+            shared.stats.task_requests.fetch_add(1, Ordering::Relaxed);
+            span.add_field("ids", ids.len() as f64);
+            score_via_queue(JobKind::Tasks, ids, tag, shared)
         }
         Request::UpdatePoi { region, poi, tag } => {
             let (reply_tx, reply_rx) = mpsc::channel();
@@ -392,8 +438,13 @@ fn handle_line(line: &str, shared: &SharedState, update_tx: &mpsc::Sender<Update
     reply
 }
 
-/// Enqueue a score job (bounded) and block on the worker's reply.
-fn score_via_queue(ids: Vec<u32>, tag: Option<Value>, shared: &SharedState) -> String {
+/// Enqueue a score/tasks job (bounded) and block on the worker's reply.
+fn score_via_queue(
+    kind: JobKind,
+    ids: Vec<u32>,
+    tag: Option<Value>,
+    shared: &SharedState,
+) -> String {
     let (reply_tx, reply_rx) = mpsc::channel();
     {
         let mut q = shared.queue.lock().expect("queue lock");
@@ -406,6 +457,7 @@ fn score_via_queue(ids: Vec<u32>, tag: Option<Value>, shared: &SharedState) -> S
             );
         }
         q.push_back(ScoreJob {
+            kind,
             ids,
             tag: tag.clone(),
             reply: reply_tx,
@@ -421,8 +473,9 @@ fn score_via_queue(ids: Vec<u32>, tag: Option<Value>, shared: &SharedState) -> S
 
 /// One worker: blocking-pop a first job, drain up to the tape capacity or
 /// the fill deadline, snapshot the cache generation once, replay per
-/// chunk, answer every job.
-fn worker_loop(mut scorer: BatchScorer, shared: Arc<SharedState>) {
+/// chunk, answer every job. Task jobs ride the same queue but answer from
+/// the worker's frozen-embedding scorer instead of the batch tape.
+fn worker_loop(mut scorer: BatchScorer, tasks: Option<TaskScorer>, shared: Arc<SharedState>) {
     loop {
         let mut q = shared.queue.lock().expect("queue lock");
         let first = loop {
@@ -477,15 +530,30 @@ fn worker_loop(mut scorer: BatchScorer, shared: Arc<SharedState>) {
 
         // Validate ids up front; an out-of-bounds id fails *its* request
         // with the typed sampler error text, the rest of the batch runs.
+        // Task jobs peel off to the frozen-embedding scorer here.
         let mut runnable: Vec<ScoreJob> = Vec::with_capacity(jobs.len());
         for job in jobs {
-            match job.ids.iter().find(|&&id| id as usize >= shared.n_regions) {
+            let bound = match job.kind {
+                JobKind::Score => shared.n_regions,
+                JobKind::Tasks => tasks.as_ref().map_or(0, |t| t.n_regions()),
+            };
+            match job.ids.iter().find(|&&id| id as usize >= bound) {
                 Some(&bad) => {
                     shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = job.reply.send(error_reply(
-                        &oob_error(bad, shared.n_regions),
-                        job.tag.as_ref(),
-                    ));
+                    let _ = job
+                        .reply
+                        .send(error_reply(&oob_error(bad, bound), job.tag.as_ref()));
+                }
+                None if job.kind == JobKind::Tasks => {
+                    let t = tasks.as_ref().expect("tasks job implies a scorer");
+                    let (classes, access) = t.score(&job.ids);
+                    shared
+                        .stats
+                        .rows_scored
+                        .fetch_add(job.ids.len() as u64, Ordering::Relaxed);
+                    let _ = job
+                        .reply
+                        .send(proto::tasks_reply(&classes, &access, job.tag.as_ref()));
                 }
                 None => runnable.push(job),
             }

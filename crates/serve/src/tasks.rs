@@ -1,0 +1,174 @@
+//! Downstream-task scoring from a shared [`EmbeddingStore`].
+//!
+//! Each worker thread owns a private [`TaskScorer`] restored on-thread
+//! from the server's store (head parameters are `Rc`-backed and not
+//! `Send`, exactly like the main `BatchScorer` model). The scorer holds
+//! the frozen embedding matrix plus both trained heads; a `tasks` request
+//! gathers the asked-for embedding rows and answers with the land-use
+//! class and accessibility index per id. Scores are bitwise identical
+//! across workers and across restarts: everything derives from the same
+//! file bits through deterministic inference kernels.
+
+use std::io;
+
+use uvd_tasks::heads::{ACCESS_PREFIX, LAND_USE_PREFIX};
+use uvd_tasks::{AccessibilityHead, EmbeddingStore, LandUseHead, TaskHeadConfig};
+use uvd_tensor::Matrix;
+
+/// A worker-private task scorer: frozen embeddings + restored heads.
+pub struct TaskScorer {
+    emb: Matrix,
+    landuse: LandUseHead,
+    access: AccessibilityHead,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl TaskScorer {
+    /// Restore from a store that holds exactly one embedding entry
+    /// (`emb.<city>`) plus both head weight sets. Architecture is inferred
+    /// from the stored layer shapes; any mismatch or absence is a typed
+    /// error, never a panic — the server fails fast at startup.
+    pub fn new(store: &EmbeddingStore) -> io::Result<TaskScorer> {
+        let emb_names: Vec<&str> = store
+            .names()
+            .filter(|n| n.starts_with(cmsf::EMBED_PREFIX))
+            .collect();
+        let name = match emb_names.as_slice() {
+            [one] => one.to_string(),
+            [] => return Err(invalid("store holds no embedding entry".to_string())),
+            many => {
+                return Err(invalid(format!(
+                    "store holds {} embedding entries; task serving needs exactly one",
+                    many.len()
+                )))
+            }
+        };
+        let emb = store.get(&name).expect("name came from the store").clone();
+
+        // Hidden widths come from the persisted first-layer shapes, so the
+        // reconstructed architecture always matches the file and the
+        // transactional restore below validates every remaining shape.
+        let lu_cfg = TaskHeadConfig {
+            hidden: Self::stored_hidden(store, LAND_USE_PREFIX, emb.cols())?,
+            ..TaskHeadConfig::default()
+        };
+        let ac_cfg = TaskHeadConfig {
+            hidden: Self::stored_hidden(store, ACCESS_PREFIX, emb.cols())?,
+            ..TaskHeadConfig::default()
+        };
+        let mut landuse = LandUseHead::new(emb.cols(), &lu_cfg);
+        let mut access = AccessibilityHead::new(emb.cols(), &ac_cfg);
+        landuse.restore(store)?;
+        access.restore(store)?;
+        Ok(TaskScorer {
+            emb,
+            landuse,
+            access,
+        })
+    }
+
+    /// Hidden width of the stored head under `prefix`, validated against
+    /// the embedding dimension.
+    fn stored_hidden(store: &EmbeddingStore, prefix: &str, d_in: usize) -> io::Result<usize> {
+        let w0 = store
+            .get(&format!("{prefix}.l0.w"))
+            .ok_or_else(|| invalid(format!("store holds no \"{prefix}\" head weights")))?;
+        if w0.rows() != d_in {
+            return Err(invalid(format!(
+                "head \"{prefix}\" expects {} embedding dims, store has {d_in}",
+                w0.rows()
+            )));
+        }
+        Ok(w0.cols())
+    }
+
+    /// Regions covered by the frozen embedding matrix.
+    pub fn n_regions(&self) -> usize {
+        self.emb.rows()
+    }
+
+    /// Land-use class and accessibility index for each id. Ids must be
+    /// validated against [`Self::n_regions`] by the caller.
+    pub fn score(&self, ids: &[u32]) -> (Vec<u8>, Vec<f32>) {
+        let cols = self.emb.cols();
+        let mut data = Vec::with_capacity(ids.len() * cols);
+        for &id in ids {
+            data.extend_from_slice(self.emb.row(id as usize));
+        }
+        let rows = Matrix::from_vec(ids.len(), cols, data);
+        (self.landuse.predict(&rows), self.access.predict(&rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_tensor::{seeded_rng, EmbeddingMeta};
+
+    fn tiny_store(n: usize, d: usize) -> EmbeddingStore {
+        let mut rng = seeded_rng(17);
+        let emb = uvd_tensor::init::normal_matrix(n, d, 0.0, 1.0, &mut rng);
+        let cfg = TaskHeadConfig {
+            epochs: 3,
+            ..TaskHeadConfig::default()
+        };
+        let labels: Vec<u8> = (0..n).map(|i| (i % 8) as u8).collect();
+        let targets: Vec<f32> = (0..n).map(|i| i as f32 / n as f32).collect();
+        let idx: Vec<usize> = (0..n).collect();
+        let mut lu = LandUseHead::new(d, &cfg);
+        lu.fit(&emb, &labels, &idx, &cfg);
+        let mut ac = AccessibilityHead::new(d, &cfg);
+        ac.fit(&emb, &targets, &idx, &cfg);
+
+        let meta = EmbeddingMeta::new("t", d, 1);
+        let mut store = EmbeddingStore::new();
+        store.insert(cmsf::embedding_key("t"), emb, meta.clone());
+        lu.capture(&mut store, &meta);
+        ac.capture(&mut store, &meta);
+        store
+    }
+
+    #[test]
+    fn scorer_restores_and_scores_deterministically() {
+        let store = tiny_store(12, 6);
+        let a = TaskScorer::new(&store).expect("restore");
+        let b = TaskScorer::new(&store).expect("restore again");
+        assert_eq!(a.n_regions(), 12);
+        let ids = [0u32, 5, 11];
+        let (ca, aa) = a.score(&ids);
+        let (cb, ab) = b.score(&ids);
+        assert_eq!(ca, cb, "classes must be bitwise stable across restores");
+        assert_eq!(aa, ab, "access must be bitwise stable across restores");
+        assert_eq!(ca.len(), ids.len());
+        assert!(aa.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn missing_pieces_are_typed_errors() {
+        let empty = EmbeddingStore::new();
+        assert!(TaskScorer::new(&empty).is_err());
+
+        let mut no_heads = EmbeddingStore::new();
+        no_heads.insert(
+            cmsf::embedding_key("t"),
+            Matrix::zeros(3, 2),
+            EmbeddingMeta::new("t", 2, 0),
+        );
+        let err = match TaskScorer::new(&no_heads) {
+            Err(e) => e,
+            Ok(_) => panic!("head-less store must not restore"),
+        };
+        assert!(err.to_string().contains("head"), "got: {err}");
+
+        let mut two = tiny_store(8, 4);
+        two.insert(
+            cmsf::embedding_key("other"),
+            Matrix::zeros(8, 4),
+            EmbeddingMeta::new("other", 4, 0),
+        );
+        assert!(TaskScorer::new(&two).is_err());
+    }
+}

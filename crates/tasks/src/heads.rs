@@ -1,0 +1,359 @@
+//! The two trained downstream heads. Both consume frozen embedding rows
+//! through the record-once/replay tape: the training graph is recorded for
+//! epoch 0 and replayed (parameter refresh + in-place recompute, no
+//! steady-state allocation) for every following epoch, exactly like the
+//! main CMSF stages.
+
+use std::io;
+
+use uvd_citysim::LAND_USE_CLASSES;
+use uvd_nn::{Activation, Mlp};
+use uvd_tensor::{seeded_rng, Adam, EmbeddingMeta, EmbeddingStore, Graph, Matrix, ParamSet};
+
+/// Parameter-name prefix of the land-use head inside a shared store.
+pub const LAND_USE_PREFIX: &str = "task.landuse";
+/// Parameter-name prefix of the accessibility head inside a shared store.
+pub const ACCESS_PREFIX: &str = "task.access";
+
+/// Shared knobs for both heads. The defaults are sized for "cheap": a few
+/// thousand Adam steps over a one-hidden-layer MLP, orders of magnitude
+/// below one CMSF pretrain.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskHeadConfig {
+    /// Hidden width of the single hidden layer.
+    pub hidden: usize,
+    /// Training epochs (full-batch replays over the gathered train rows).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Init seed (heads are deterministic in this and the input bits).
+    pub seed: u64,
+}
+
+impl Default for TaskHeadConfig {
+    fn default() -> Self {
+        TaskHeadConfig {
+            hidden: 16,
+            epochs: 120,
+            lr: 0.05,
+            seed: 7,
+        }
+    }
+}
+
+/// Copy the selected rows of `m` into a dense train-input matrix.
+fn gather(m: &Matrix, idx: &[usize]) -> Matrix {
+    let cols = m.cols();
+    let mut data = Vec::with_capacity(idx.len() * cols);
+    for &r in idx {
+        data.extend_from_slice(m.row(r));
+    }
+    Matrix::from_vec(idx.len(), cols, data)
+}
+
+/// Row-wise argmax with lowest-index tie-break (strict `>` keeps the first
+/// maximum, so predictions are deterministic bit-for-bit).
+fn argmax_rows(m: &Matrix) -> Vec<u8> {
+    (0..m.rows())
+        .map(|r| {
+            let row = m.row(r);
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate().skip(1) {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            best as u8
+        })
+        .collect()
+}
+
+/// 8-way land-use classifier over frozen embedding rows: one hidden layer,
+/// softmax cross-entropy, full-batch Adam.
+pub struct LandUseHead {
+    mlp: Mlp,
+    params: ParamSet,
+}
+
+impl LandUseHead {
+    pub fn new(d_in: usize, cfg: &TaskHeadConfig) -> Self {
+        let mut rng = seeded_rng(cfg.seed);
+        let mlp = Mlp::new(
+            LAND_USE_PREFIX,
+            &[d_in, cfg.hidden, LAND_USE_CLASSES],
+            Activation::Tanh,
+            &mut rng,
+        );
+        let mut params = ParamSet::new();
+        mlp.collect_params(&mut params);
+        LandUseHead { mlp, params }
+    }
+
+    pub fn d_in(&self) -> usize {
+        self.mlp.layers[0].in_dim()
+    }
+
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Train on the gathered `train_idx` rows of `emb` against per-region
+    /// class labels. Records the tape once, replays per epoch. Returns the
+    /// final cross-entropy loss.
+    pub fn fit(
+        &mut self,
+        emb: &Matrix,
+        labels: &[u8],
+        train_idx: &[usize],
+        cfg: &TaskHeadConfig,
+    ) -> f32 {
+        assert_eq!(emb.rows(), labels.len(), "one label per region");
+        assert!(!train_idx.is_empty(), "empty train split");
+        let t = train_idx.len();
+        let x = gather(emb, train_idx);
+        let mut onehot = Matrix::zeros(t, LAND_USE_CLASSES);
+        for (i, &r) in train_idx.iter().enumerate() {
+            let c = labels[r] as usize;
+            assert!(c < LAND_USE_CLASSES, "label {c} out of range");
+            onehot.set(i, c, 1.0);
+        }
+
+        let mut opt = Adam::new(cfg.lr);
+        let mut g = Graph::new();
+        let xn = g.constant(x);
+        let logits = self.mlp.forward(&mut g, xn);
+        let probs = g.softmax_rows(logits, 1.0);
+        let lp = g.ln_eps(probs, 1e-7);
+        let oh = g.constant(onehot);
+        let picked = g.mul(lp, oh);
+        let total = g.sum_all(picked);
+        let loss = g.scale(total, -1.0 / t as f32);
+        let mut last = f32::INFINITY;
+        for epoch in 0..cfg.epochs.max(1) {
+            if epoch > 0 {
+                g.replay();
+            }
+            last = g.scalar(loss);
+            g.backward(loss);
+            g.write_grads();
+            opt.step(&self.params);
+        }
+        last
+    }
+
+    /// Class probabilities for every embedding row (N×classes, no-grad).
+    pub fn probs(&self, emb: &Matrix) -> Matrix {
+        let mut g = Graph::inference();
+        let x = g.constant(emb.clone());
+        let logits = self.mlp.forward(&mut g, x);
+        let p = g.softmax_rows(logits, 1.0);
+        g.value(p).clone()
+    }
+
+    /// Predicted class index per region.
+    pub fn predict(&self, emb: &Matrix) -> Vec<u8> {
+        argmax_rows(&self.probs(emb))
+    }
+
+    /// Capture the head weights into a shared store (next to the
+    /// embeddings), stamped with the same provenance metadata.
+    pub fn capture(&self, store: &mut EmbeddingStore, meta: &EmbeddingMeta) {
+        store.capture_params(&self.params, meta);
+    }
+
+    /// Restore the head weights from a shared store (transactional).
+    pub fn restore(&mut self, store: &EmbeddingStore) -> io::Result<()> {
+        store.restore_params(&self.params)
+    }
+}
+
+/// Accessibility regressor over frozen embedding rows: one hidden layer,
+/// MSE loss, full-batch Adam.
+pub struct AccessibilityHead {
+    mlp: Mlp,
+    params: ParamSet,
+}
+
+impl AccessibilityHead {
+    pub fn new(d_in: usize, cfg: &TaskHeadConfig) -> Self {
+        // Offset seed so the two heads never share init streams.
+        let mut rng = seeded_rng(cfg.seed ^ 0xACC0_55ED);
+        let mlp = Mlp::new(
+            ACCESS_PREFIX,
+            &[d_in, cfg.hidden, 1],
+            Activation::Tanh,
+            &mut rng,
+        );
+        let mut params = ParamSet::new();
+        mlp.collect_params(&mut params);
+        AccessibilityHead { mlp, params }
+    }
+
+    pub fn d_in(&self) -> usize {
+        self.mlp.layers[0].in_dim()
+    }
+
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Train on the gathered `train_idx` rows of `emb` against the
+    /// per-region targets. Returns the final MSE.
+    pub fn fit(
+        &mut self,
+        emb: &Matrix,
+        targets: &[f32],
+        train_idx: &[usize],
+        cfg: &TaskHeadConfig,
+    ) -> f32 {
+        assert_eq!(emb.rows(), targets.len(), "one target per region");
+        assert!(!train_idx.is_empty(), "empty train split");
+        let t = train_idx.len();
+        let x = gather(emb, train_idx);
+        let y: Vec<f32> = train_idx.iter().map(|&r| targets[r]).collect();
+
+        let mut opt = Adam::new(cfg.lr);
+        let mut g = Graph::new();
+        let xn = g.constant(x);
+        let pred = self.mlp.forward(&mut g, xn);
+        let yn = g.constant(Matrix::from_vec(t, 1, y));
+        let loss = g.mse(pred, yn);
+        let mut last = f32::INFINITY;
+        for epoch in 0..cfg.epochs.max(1) {
+            if epoch > 0 {
+                g.replay();
+            }
+            last = g.scalar(loss);
+            g.backward(loss);
+            g.write_grads();
+            opt.step(&self.params);
+        }
+        last
+    }
+
+    /// Predicted accessibility per region (no-grad forward).
+    pub fn predict(&self, emb: &Matrix) -> Vec<f32> {
+        let mut g = Graph::inference();
+        let x = g.constant(emb.clone());
+        let pred = self.mlp.forward(&mut g, x);
+        g.value(pred).as_slice().to_vec()
+    }
+
+    /// Capture the head weights into a shared store.
+    pub fn capture(&self, store: &mut EmbeddingStore, meta: &EmbeddingMeta) {
+        store.capture_params(&self.params, meta);
+    }
+
+    /// Restore the head weights from a shared store (transactional).
+    pub fn restore(&mut self, store: &EmbeddingStore) -> io::Result<()> {
+        store.restore_params(&self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic embeddings with class-separable structure: class c lives
+    /// around a distinct corner of the hypercube.
+    fn separable_fixture(n: usize, d: usize) -> (Matrix, Vec<u8>, Vec<f32>) {
+        let mut rng = seeded_rng(3);
+        let noise = uvd_tensor::init::normal_matrix(n, d, 0.0, 0.05, &mut rng);
+        let mut data = Vec::with_capacity(n * d);
+        let mut labels = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % LAND_USE_CLASSES;
+            labels.push(c as u8);
+            targets.push(c as f32 / (LAND_USE_CLASSES - 1) as f32);
+            for j in 0..d {
+                let base = if j % LAND_USE_CLASSES == c { 1.0 } else { 0.0 };
+                data.push(base + noise.get(i, j));
+            }
+        }
+        (Matrix::from_vec(n, d, data), labels, targets)
+    }
+
+    #[test]
+    fn landuse_head_learns_separable_classes() {
+        let (emb, labels, _) = separable_fixture(96, 16);
+        let cfg = TaskHeadConfig::default();
+        let mut head = LandUseHead::new(emb.cols(), &cfg);
+        // Labels cycle through the classes, so a half/half split keeps
+        // every class visible on both sides.
+        let idx: Vec<usize> = (0..emb.rows() / 2).collect();
+        let loss = head.fit(&emb, &labels, &idx, &cfg);
+        assert!(loss.is_finite());
+        let pred = head.predict(&emb);
+        let test: Vec<usize> = (emb.rows() / 2..emb.rows()).collect();
+        let correct = test.iter().filter(|&&r| pred[r] == labels[r]).count();
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.8, "held-out accuracy {acc} too low");
+    }
+
+    #[test]
+    fn access_head_regresses_separable_signal() {
+        let (emb, _, targets) = separable_fixture(96, 16);
+        let cfg = TaskHeadConfig::default();
+        let mut head = AccessibilityHead::new(emb.cols(), &cfg);
+        let idx: Vec<usize> = (0..emb.rows() / 2).collect();
+        head.fit(&emb, &targets, &idx, &cfg);
+        let pred = head.predict(&emb);
+        let test: Vec<usize> = (emb.rows() / 2..emb.rows()).collect();
+        let mse: f64 = test
+            .iter()
+            .map(|&r| ((pred[r] - targets[r]) as f64).powi(2))
+            .sum::<f64>()
+            / test.len() as f64;
+        assert!(mse < 0.05, "held-out mse {mse} too high");
+    }
+
+    #[test]
+    fn heads_are_deterministic_in_seed_and_inputs() {
+        let (emb, labels, _) = separable_fixture(32, 8);
+        let cfg = TaskHeadConfig {
+            epochs: 20,
+            ..TaskHeadConfig::default()
+        };
+        let idx: Vec<usize> = (0..emb.rows()).collect();
+        let mut a = LandUseHead::new(emb.cols(), &cfg);
+        let mut b = LandUseHead::new(emb.cols(), &cfg);
+        a.fit(&emb, &labels, &idx, &cfg);
+        b.fit(&emb, &labels, &idx, &cfg);
+        assert_eq!(
+            a.probs(&emb).as_slice(),
+            b.probs(&emb).as_slice(),
+            "identical runs must be bitwise identical"
+        );
+    }
+
+    #[test]
+    fn capture_restore_roundtrips_bitwise() {
+        let (emb, labels, targets) = separable_fixture(32, 8);
+        let cfg = TaskHeadConfig {
+            epochs: 25,
+            ..TaskHeadConfig::default()
+        };
+        let idx: Vec<usize> = (0..emb.rows()).collect();
+        let mut lu = LandUseHead::new(emb.cols(), &cfg);
+        lu.fit(&emb, &labels, &idx, &cfg);
+        let mut ac = AccessibilityHead::new(emb.cols(), &cfg);
+        ac.fit(&emb, &targets, &idx, &cfg);
+
+        let meta = EmbeddingMeta::new("fixture", emb.cols(), 1);
+        let mut store = EmbeddingStore::new();
+        lu.capture(&mut store, &meta);
+        ac.capture(&mut store, &meta);
+
+        let mut lu2 = LandUseHead::new(emb.cols(), &cfg);
+        let mut ac2 = AccessibilityHead::new(emb.cols(), &cfg);
+        lu2.restore(&store).expect("restore landuse");
+        ac2.restore(&store).expect("restore access");
+        assert_eq!(lu.probs(&emb).as_slice(), lu2.probs(&emb).as_slice());
+        assert_eq!(ac.predict(&emb), ac2.predict(&emb));
+
+        // Wrong-width store must fail without touching the receiver.
+        let mut wrong = LandUseHead::new(emb.cols() + 1, &cfg);
+        assert!(wrong.restore(&store).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! # uvd-tasks
+//!
+//! Downstream tasks over **frozen** region embeddings — the consumer half
+//! of the "pretrain once, serve many tasks" story (ROADMAP; cf. the
+//! pretrain-and-prompt direction of GURPP in PAPERS.md). One expensive
+//! CMSF pretrain exports the no-grad master-stage representation `x̃` into
+//! a persistable [`EmbeddingStore`]; the heads here then train and score
+//! *without ever touching the graph encoder again*:
+//!
+//! * [`LandUseHead`] — 8-way land-use classification against the
+//!   generator's latent land-use map ([`uvd_citysim::tasks`]).
+//! * [`AccessibilityHead`] — regression of a POI-distance accessibility
+//!   index ([`signals::accessibility_targets`]).
+//! * [`search::best_region_search`] — mixture-based best-region search:
+//!   entropy-scored greedy expansion over the URG adjacency, seeded from
+//!   the embedding space (after the MBRS line of work; SNIPPETS.md
+//!   `mbrs.py`).
+//!
+//! Both trained heads follow the repo's record-once/replay-per-epoch tape
+//! contract, and both persist their weights *into the same
+//! [`EmbeddingStore`] file* as the embeddings they were trained on, so a
+//! serving process restores everything from one artifact. Scores computed
+//! from a reloaded store are bitwise identical to scores computed from the
+//! in-memory embeddings (the format round-trips `f32` exactly and every
+//! kernel on the inference path is deterministic); `tests/roundtrip.rs`
+//! pins that invariant.
+//!
+//! ```
+//! use uvd_citysim::{City, CityPreset};
+//! use uvd_urg::{Detector, Urg, UrgOptions};
+//! use cmsf::{Cmsf, CmsfConfig};
+//! use uvd_tasks::{LandUseHead, TaskHeadConfig};
+//!
+//! let city = City::from_config(CityPreset::tiny(), 7);
+//! let urg = Urg::build(&city, UrgOptions::default());
+//! let train: Vec<usize> = (0..urg.labeled.len()).collect();
+//! let mut cfg = CmsfConfig::fast_test();
+//! cfg.master_epochs = 4;
+//! cfg.slave_epochs = 1;
+//! let mut model = Cmsf::new(&urg, cfg);
+//! model.fit(&urg, &train);
+//!
+//! // Pretrain once: export x̃, then train a cheap head on the frozen rows.
+//! let mut store = uvd_tensor::EmbeddingStore::new();
+//! model.export_embeddings(&urg, "tiny", &mut store);
+//! let emb = store.get(&cmsf::embedding_key("tiny")).unwrap().clone();
+//! let labels = uvd_citysim::land_use_classes(&city);
+//! let head_cfg = TaskHeadConfig { epochs: 5, ..TaskHeadConfig::default() };
+//! let mut head = LandUseHead::new(emb.cols(), &head_cfg);
+//! let idx: Vec<usize> = (0..emb.rows()).collect();
+//! head.fit(&emb, &labels, &idx, &head_cfg);
+//! assert_eq!(head.predict(&emb).len(), emb.rows());
+//! ```
+
+pub mod heads;
+pub mod search;
+pub mod signals;
+
+pub use heads::{AccessibilityHead, LandUseHead, TaskHeadConfig};
+pub use search::{best_region_search, BestRegion, SearchOptions};
+pub use signals::{accessibility_targets, ACCESS_CAP_M, ACCESS_TYPES};
+
+// Re-exported so downstream users of the heads name the store types from
+// one place.
+pub use uvd_tensor::{EmbeddingMeta, EmbeddingStore};

@@ -1,0 +1,306 @@
+//! Mixture-based best-region search (MBRS-style; SNIPPETS.md `mbrs.py`).
+//!
+//! The reference algorithm grows candidate regions outward from seed
+//! points and scores each candidate set by the *mixture* of its keyword
+//! distribution — entropy-scored expansion favours areas blending many
+//! functions (the classic signature of vibrant mixed-use districts).
+//! Here the keyword distribution is the per-region POI category
+//! distribution, adjacency is the URG's region graph, and — the twist the
+//! frozen store enables — seeds come from the **embedding space** instead
+//! of random draws: the similarity of every region to the embedding
+//! centroid is computed through one recorded tape replay, the most central
+//! region anchors the first seed, and farthest-point sampling over the
+//! embedding rows spreads the remaining seeds across distinct
+//! neighbourhood types.
+
+use uvd_citysim::{City, PoiCategory};
+use uvd_tensor::{Graph, Matrix};
+use uvd_urg::features::PoiSpatialIndex;
+use uvd_urg::Urg;
+
+/// Knobs for [`best_region_search`].
+#[derive(Clone, Copy, Debug)]
+pub struct SearchOptions {
+    /// Number of embedding-space seeds to expand from.
+    pub seeds: usize,
+    /// Maximum regions in a candidate set.
+    pub max_size: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            seeds: 4,
+            max_size: 24,
+        }
+    }
+}
+
+/// The winning candidate set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BestRegion {
+    /// The seed region the set grew from.
+    pub seed: u32,
+    /// Member region ids in the order they were added (seed first).
+    pub members: Vec<u32>,
+    /// Shannon entropy (nats) of the set's aggregate POI category counts.
+    pub entropy: f64,
+}
+
+/// Shannon entropy (nats) of a count vector; all-zero counts score 0.
+fn entropy(counts: &[f64; PoiCategory::COUNT]) -> f64 {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    -counts
+        .iter()
+        .filter(|&&c| c > 0.0)
+        .map(|&c| {
+            let p = c / total;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// Undirected neighbour lists from the URG's edge pairs.
+fn adjacency(n: usize, pairs: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in pairs {
+        if a != b {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+        l.dedup();
+    }
+    adj
+}
+
+/// Squared L2 distance between two embedding rows.
+fn dist2(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Seed selection from the embedding space: similarity of every region to
+/// the embedding centroid through one recorded inference tape (the frozen
+/// embeddings enter the same replay machinery as every other consumer),
+/// then farthest-point sampling for diversity. Fully deterministic.
+fn embedding_seeds(emb: &Matrix, k: usize) -> Vec<u32> {
+    let (n, d) = emb.shape();
+    let mut centroid = vec![0.0f32; d];
+    for r in 0..n {
+        for (j, &v) in emb.row(r).iter().enumerate() {
+            centroid[j] += v;
+        }
+    }
+    for v in &mut centroid {
+        *v /= n as f32;
+    }
+    let mut g = Graph::inference();
+    let e = g.constant(emb.clone());
+    let c = g.constant(Matrix::from_vec(d, 1, centroid));
+    let sim = g.matmul(e, c);
+    let sim = g.value(sim).as_slice().to_vec();
+
+    // Anchor: the region most aligned with the centroid (lowest id wins
+    // ties via strict `>`).
+    let mut anchor = 0usize;
+    for (i, &s) in sim.iter().enumerate().skip(1) {
+        if s > sim[anchor] {
+            anchor = i;
+        }
+    }
+    let mut seeds = vec![anchor as u32];
+    // Farthest-point sampling in embedding space for the rest.
+    while seeds.len() < k.min(n) {
+        let mut best = usize::MAX;
+        let mut best_d = -1.0f64;
+        for r in 0..n {
+            if seeds.iter().any(|&s| s as usize == r) {
+                continue;
+            }
+            let min_d = seeds
+                .iter()
+                .map(|&s| dist2(emb.row(r), emb.row(s as usize)))
+                .fold(f64::INFINITY, f64::min);
+            if min_d > best_d {
+                best_d = min_d;
+                best = r;
+            }
+        }
+        if best == usize::MAX {
+            break;
+        }
+        seeds.push(best as u32);
+    }
+    seeds
+}
+
+/// Grow one candidate set from `seed`: repeatedly annex the frontier
+/// region whose POI categories raise the aggregate mixture entropy the
+/// most, stopping at `max_size` or when no neighbour improves the score.
+fn expand(
+    seed: u32,
+    adj: &[Vec<u32>],
+    counts: &[[f32; PoiCategory::COUNT]],
+    max_size: usize,
+) -> BestRegion {
+    let n = adj.len();
+    let mut members = vec![seed];
+    let mut in_set = vec![false; n];
+    in_set[seed as usize] = true;
+    let mut agg = [0.0f64; PoiCategory::COUNT];
+    for (j, &c) in counts[seed as usize].iter().enumerate() {
+        agg[j] += c as f64;
+    }
+    let mut score = entropy(&agg);
+    while members.len() < max_size.max(1) {
+        // Frontier = union of member neighbourhoods not yet in the set.
+        let mut best: Option<(u32, f64)> = None;
+        for &m in &members {
+            for &c in &adj[m as usize] {
+                if in_set[c as usize] {
+                    continue;
+                }
+                let mut trial = agg;
+                for (j, &v) in counts[c as usize].iter().enumerate() {
+                    trial[j] += v as f64;
+                }
+                let h = entropy(&trial);
+                let better = match best {
+                    None => true,
+                    // Strictly-greater with lowest-id tie-break keeps the
+                    // expansion deterministic (total order, exact ties).
+                    Some((bc, bh)) => match h.total_cmp(&bh) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Equal => c < bc,
+                        std::cmp::Ordering::Less => false,
+                    },
+                };
+                if better {
+                    best = Some((c, h));
+                }
+            }
+        }
+        match best {
+            Some((c, h)) if h > score => {
+                in_set[c as usize] = true;
+                members.push(c);
+                for (j, &v) in counts[c as usize].iter().enumerate() {
+                    agg[j] += v as f64;
+                }
+                score = h;
+            }
+            _ => break,
+        }
+    }
+    BestRegion {
+        seed,
+        members,
+        entropy: score,
+    }
+}
+
+/// Find the connected region set with the richest POI mixture: seeds from
+/// the embedding space, entropy-scored greedy expansion over the URG
+/// adjacency, best seed wins (ties go to the earlier seed).
+///
+/// `emb` must hold one row per region of `urg`/`city`.
+pub fn best_region_search(
+    emb: &Matrix,
+    city: &City,
+    urg: &Urg,
+    opts: &SearchOptions,
+) -> BestRegion {
+    assert_eq!(emb.rows(), urg.n, "one embedding row per region");
+    assert_eq!(city.n_regions(), urg.n, "city and URG must agree");
+    let counts = PoiSpatialIndex::build(city).category_counts().to_vec();
+    let adj = adjacency(urg.n, &urg.pairs);
+    let mut best: Option<BestRegion> = None;
+    for seed in embedding_seeds(emb, opts.seeds.max(1)) {
+        let cand = expand(seed, &adj, &counts, opts.max_size);
+        let take = match &best {
+            None => true,
+            Some(b) => cand.entropy > b.entropy,
+        };
+        if take {
+            best = Some(cand);
+        }
+    }
+    best.expect("at least one seed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::CityPreset;
+    use uvd_urg::UrgOptions;
+
+    fn fixture() -> (City, Urg, Matrix) {
+        let city = City::from_config(CityPreset::tiny(), 13);
+        let urg = Urg::build(&city, UrgOptions::default());
+        // A deterministic stand-in embedding (the search only assumes one
+        // row per region): POI features work fine.
+        let emb = urg.x_poi.clone();
+        (city, urg, emb)
+    }
+
+    #[test]
+    fn search_is_deterministic_and_connected() {
+        let (city, urg, emb) = fixture();
+        let opts = SearchOptions::default();
+        let a = best_region_search(&emb, &city, &urg, &opts);
+        let b = best_region_search(&emb, &city, &urg, &opts);
+        assert_eq!(a, b, "same inputs must give the same region");
+        assert!(!a.members.is_empty());
+        assert!(a.members.len() <= opts.max_size);
+        assert!(a.entropy >= 0.0);
+
+        // Connectivity: every member after the seed must neighbour an
+        // earlier member.
+        let adj = adjacency(urg.n, &urg.pairs);
+        for (i, &m) in a.members.iter().enumerate().skip(1) {
+            let earlier = &a.members[..i];
+            assert!(
+                adj[m as usize].iter().any(|c| earlier.contains(c)),
+                "member {m} not connected to the growing set"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_beats_single_seed_entropy() {
+        let (city, urg, emb) = fixture();
+        let opts = SearchOptions::default();
+        let found = best_region_search(&emb, &city, &urg, &opts);
+        let counts = PoiSpatialIndex::build(&city).category_counts().to_vec();
+        let mut agg = [0.0f64; PoiCategory::COUNT];
+        for (j, &c) in counts[found.seed as usize].iter().enumerate() {
+            agg[j] += c as f64;
+        }
+        assert!(
+            found.entropy >= entropy(&agg),
+            "expansion must never lower the mixture entropy"
+        );
+    }
+
+    #[test]
+    fn seeds_are_diverse() {
+        let (_, _, emb) = fixture();
+        let seeds = embedding_seeds(&emb, 4);
+        assert_eq!(seeds.len(), 4);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "seeds must be distinct");
+    }
+}

@@ -1,0 +1,68 @@
+//! Regression targets derived from POI distance structure.
+//!
+//! The paper's Table-IV radius features bucketize shortest distances from a
+//! region to key facility types; the accessibility task regresses a
+//! continuous version of the same signal from the frozen embeddings: the
+//! mean capped-and-normalized proximity to a basket of everyday
+//! destinations. Regions deep inside well-served fabric score near 1,
+//! periphery and water score near 0.
+
+use uvd_citysim::{City, RadiusType};
+use uvd_urg::features::PoiSpatialIndex;
+
+/// Facility basket the accessibility index averages over.
+pub const ACCESS_TYPES: [RadiusType; 5] = [
+    RadiusType::Hospital,
+    RadiusType::School,
+    RadiusType::BusStop,
+    RadiusType::ShoppingMall,
+    RadiusType::Supermarket,
+];
+
+/// Distance cap in meters; anything farther counts as "not accessible".
+pub const ACCESS_CAP_M: f64 = 3000.0;
+
+/// Per-region accessibility index in `[0, 1]`: the mean over
+/// [`ACCESS_TYPES`] of `1 - min(d, cap)/cap` where `d` is the exact
+/// nearest-POI distance. Deterministic in the city seed.
+pub fn accessibility_targets(city: &City) -> Vec<f32> {
+    let index = PoiSpatialIndex::build(city);
+    (0..city.n_regions())
+        .map(|r| {
+            let sum: f64 = ACCESS_TYPES
+                .iter()
+                .map(|&rt| {
+                    let d = index
+                        .nearest_radius_poi(r, rt, ACCESS_CAP_M)
+                        .unwrap_or(ACCESS_CAP_M);
+                    1.0 - d / ACCESS_CAP_M
+                })
+                .sum();
+            (sum / ACCESS_TYPES.len() as f64) as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvd_citysim::CityPreset;
+
+    #[test]
+    fn targets_are_bounded_and_deterministic() {
+        let city = City::from_config(CityPreset::tiny(), 11);
+        let a = accessibility_targets(&city);
+        let b = accessibility_targets(&city);
+        assert_eq!(a.len(), city.n_regions());
+        assert_eq!(a, b, "same city must give bit-identical targets");
+        assert!(a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // A generated city always has some served and some under-served
+        // regions; a constant target would make the regression vacuous.
+        let (min, max) = a
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        assert!(max > min, "targets must vary across regions");
+    }
+}

@@ -1,0 +1,84 @@
+//! The acceptance invariant for the embedding store: task scores computed
+//! from a **reloaded** store file are bitwise identical to scores computed
+//! from the in-memory embeddings. One real (tiny) CMSF pretrain feeds all
+//! three downstream tasks through a save → load cycle.
+
+use cmsf::{embedding_key, Cmsf, CmsfConfig};
+use uvd_citysim::{land_use_classes, City, CityPreset};
+use uvd_tasks::{
+    accessibility_targets, best_region_search, AccessibilityHead, EmbeddingStore, LandUseHead,
+    SearchOptions, TaskHeadConfig,
+};
+use uvd_urg::{Detector, Urg, UrgOptions};
+
+#[test]
+fn reloaded_store_scores_are_bitwise_identical() {
+    let city = City::from_config(CityPreset::tiny(), 23);
+    let urg = Urg::build(&city, UrgOptions::default());
+    let train: Vec<usize> = (0..urg.labeled.len()).collect();
+    let mut cfg = CmsfConfig::fast_test();
+    cfg.master_epochs = 6;
+    cfg.slave_epochs = 2;
+    let mut model = Cmsf::new(&urg, cfg);
+    model.fit(&urg, &train);
+
+    // Pretrain once: frozen embeddings + both trained heads go into ONE
+    // store artifact.
+    let mut store = EmbeddingStore::new();
+    model.export_embeddings(&urg, "tiny", &mut store);
+    let emb = store.get(&embedding_key("tiny")).unwrap().clone();
+    let emb_meta = store.meta(&embedding_key("tiny")).unwrap().clone();
+
+    let head_cfg = TaskHeadConfig {
+        epochs: 40,
+        ..TaskHeadConfig::default()
+    };
+    let labels = land_use_classes(&city);
+    let targets = accessibility_targets(&city);
+    let idx: Vec<usize> = (0..urg.n).collect();
+    let mut lu = LandUseHead::new(emb.cols(), &head_cfg);
+    lu.fit(&emb, &labels, &idx, &head_cfg);
+    let mut ac = AccessibilityHead::new(emb.cols(), &head_cfg);
+    ac.fit(&emb, &targets, &idx, &head_cfg);
+    lu.capture(&mut store, &emb_meta);
+    ac.capture(&mut store, &emb_meta);
+
+    // In-memory scores, before any file touches anything.
+    let lu_probs = lu.probs(&emb);
+    let lu_pred = lu.predict(&emb);
+    let ac_pred = ac.predict(&emb);
+    let opts = SearchOptions::default();
+    let region = best_region_search(&emb, &city, &urg, &opts);
+
+    // Save → load → restore fresh heads from the reloaded artifact.
+    let dir = std::env::temp_dir().join("uvd_tasks_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("store_{}.uvdt2", std::process::id()));
+    store.save(&path).expect("save store");
+    let reloaded = EmbeddingStore::load(&path).expect("load store");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(reloaded, store, "store must round-trip exactly");
+    let emb2 = reloaded.get(&embedding_key("tiny")).unwrap().clone();
+    assert_eq!(
+        emb.as_slice(),
+        emb2.as_slice(),
+        "embedding bits must survive the file"
+    );
+    let meta2 = reloaded.meta(&embedding_key("tiny")).unwrap();
+    assert_eq!(meta2.city, "tiny");
+    assert_eq!(meta2.dim as usize, emb.cols());
+
+    let mut lu2 = LandUseHead::new(emb2.cols(), &head_cfg);
+    let mut ac2 = AccessibilityHead::new(emb2.cols(), &head_cfg);
+    lu2.restore(&reloaded).expect("restore landuse head");
+    ac2.restore(&reloaded).expect("restore access head");
+
+    // The acceptance criterion: reloaded-store scores == in-memory scores,
+    // bit for bit.
+    assert_eq!(lu_probs.as_slice(), lu2.probs(&emb2).as_slice());
+    assert_eq!(lu_pred, lu2.predict(&emb2));
+    assert_eq!(ac_pred, ac2.predict(&emb2));
+    let region2 = best_region_search(&emb2, &city, &urg, &opts);
+    assert_eq!(region, region2, "search must be stable across save/load");
+}

@@ -1,0 +1,292 @@
+//! Versioned, persistable region-embedding store — the `UVDT0002` format.
+//!
+//! [`EmbeddingStore`] extends [`MatrixStore`] with per-entry metadata so a
+//! frozen embedding matrix can be traced back to the city and checkpoint
+//! that produced it, and so downstream-task head weights can live in the
+//! same file as the embeddings they were trained on ("pretrain once, serve
+//! many tasks" — ROADMAP).
+//!
+//! Format (version 2):
+//! ```text
+//! magic   : b"UVDT0002"
+//! schema  : u32 (currently 2; readers reject other versions)
+//! count   : u32
+//! entry*  : name_len u32 | name bytes (utf-8)
+//!         | city_len u32 | city bytes (utf-8)
+//!         | dim u32 | checkpoint_hash u64
+//!         | rows u32 | cols u32 | f32* (little-endian)
+//! ```
+//!
+//! [`EmbeddingStore::read_from`] also accepts version-1 (`UVDT0001`) files:
+//! every entry loads with empty metadata (`city = ""`, `dim = cols`,
+//! `checkpoint_hash = 0`), so existing checkpoints keep working as
+//! embedding sources. Writing always produces version 2.
+
+use crate::matrix::Matrix;
+use crate::param::ParamSet;
+use crate::persist::{
+    self, read_matrix_payload, read_name, read_u32, read_u64, u32_field, MatrixStore,
+};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic header of the version-2 embedding-store format.
+pub const EMBED_MAGIC: &[u8; 8] = b"UVDT0002";
+
+/// Schema version written by this build; reads reject anything else so a
+/// future layout change cannot be silently misparsed.
+pub const EMBED_SCHEMA: u32 = 2;
+
+/// Per-entry provenance metadata.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EmbeddingMeta {
+    /// City identifier the entry belongs to (empty for legacy v1 entries).
+    pub city: String,
+    /// Embedding dimensionality the entry was produced for / trained on.
+    pub dim: u32,
+    /// [`MatrixStore::content_hash`] of the checkpoint that produced the
+    /// entry (0 for legacy v1 entries).
+    pub checkpoint_hash: u64,
+}
+
+impl EmbeddingMeta {
+    pub fn new(city: impl Into<String>, dim: usize, checkpoint_hash: u64) -> Self {
+        EmbeddingMeta {
+            city: city.into(),
+            dim: dim as u32,
+            checkpoint_hash,
+        }
+    }
+}
+
+/// A [`MatrixStore`] whose entries carry [`EmbeddingMeta`], persisted as
+/// `UVDT0002`. Matrices and metadata stay in lockstep: `meta[i]` describes
+/// the store's i-th entry in insertion order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EmbeddingStore {
+    mats: MatrixStore,
+    meta: Vec<EmbeddingMeta>,
+}
+
+impl EmbeddingStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a named matrix with its metadata.
+    pub fn insert(&mut self, name: impl Into<String>, m: Matrix, meta: EmbeddingMeta) {
+        let name = name.into();
+        match self.mats.position(&name) {
+            Some(i) => {
+                self.mats.insert(name, m);
+                self.meta[i] = meta;
+            }
+            None => {
+                self.mats.insert(name, m);
+                self.meta.push(meta);
+            }
+        }
+    }
+
+    /// Look up a matrix by name.
+    pub fn get(&self, name: &str) -> Option<&Matrix> {
+        self.mats.get(name)
+    }
+
+    /// Look up an entry's metadata by name.
+    pub fn meta(&self, name: &str) -> Option<&EmbeddingMeta> {
+        self.mats.position(name).map(|i| &self.meta[i])
+    }
+
+    /// Remove a named entry, returning its matrix if present.
+    pub fn remove(&mut self, name: &str) -> Option<Matrix> {
+        let i = self.mats.position(name)?;
+        let m = self.mats.remove(name);
+        self.meta.remove(i);
+        m
+    }
+
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.mats.names()
+    }
+
+    /// Iterate `(name, matrix, meta)` triples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix, &EmbeddingMeta)> {
+        self.mats
+            .iter()
+            .zip(self.meta.iter())
+            .map(|((n, m), meta)| (n, m, meta))
+    }
+
+    /// Read-only view of the underlying matrices.
+    pub fn matrices(&self) -> &MatrixStore {
+        &self.mats
+    }
+
+    /// Capture every parameter of a set, stamping each with `meta` — how
+    /// downstream-task head weights join the store next to the embeddings
+    /// they were trained on.
+    pub fn capture_params(&mut self, params: &ParamSet, meta: &EmbeddingMeta) {
+        for p in params.iter() {
+            self.insert(p.name(), p.value().clone(), meta.clone());
+        }
+    }
+
+    /// Validate a parameter set against the store without mutating.
+    pub fn validate_params(&self, params: &ParamSet) -> io::Result<()> {
+        self.mats.validate_params(params)
+    }
+
+    /// Restore a parameter set from the store (transactional: validation
+    /// runs first, a failure mutates nothing).
+    pub fn restore_params(&self, params: &ParamSet) -> io::Result<()> {
+        self.mats.restore_params(params)
+    }
+
+    /// Serialize as `UVDT0002`. Fails with `InvalidInput` if any count or
+    /// dimension overflows the format's u32 fields.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(EMBED_MAGIC)?;
+        w.write_all(&EMBED_SCHEMA.to_le_bytes())?;
+        w.write_all(&u32_field(self.len(), "entry count")?.to_le_bytes())?;
+        for (name, m, meta) in self.iter() {
+            let name_bytes = name.as_bytes();
+            w.write_all(&u32_field(name_bytes.len(), "name length")?.to_le_bytes())?;
+            w.write_all(name_bytes)?;
+            let city_bytes = meta.city.as_bytes();
+            w.write_all(&u32_field(city_bytes.len(), "city length")?.to_le_bytes())?;
+            w.write_all(city_bytes)?;
+            w.write_all(&meta.dim.to_le_bytes())?;
+            w.write_all(&meta.checkpoint_hash.to_le_bytes())?;
+            w.write_all(&u32_field(m.rows(), "row count")?.to_le_bytes())?;
+            w.write_all(&u32_field(m.cols(), "column count")?.to_le_bytes())?;
+            for &v in m.as_slice() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize a `UVDT0002` file, or — backward compatibly — a
+    /// `UVDT0001` file whose entries load with empty metadata. Duplicate
+    /// entry names and oversized headers are `InvalidData` errors.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic == persist::MAGIC {
+            // Legacy matrix store: wrap with default metadata.
+            let mats = MatrixStore::read_v1_body(r)?;
+            let meta = mats
+                .iter()
+                .map(|(_, m)| EmbeddingMeta::new("", m.cols(), 0))
+                .collect();
+            return Ok(EmbeddingStore { mats, meta });
+        }
+        if &magic != EMBED_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let schema = read_u32(r)?;
+        if schema != EMBED_SCHEMA {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported embedding-store schema version {schema}"),
+            ));
+        }
+        let count = read_u32(r)? as usize;
+        let mut out = EmbeddingStore::new();
+        for _ in 0..count {
+            let name = read_name(r, "name")?;
+            let city = read_name(r, "city id")?;
+            let dim = read_u32(r)?;
+            let checkpoint_hash = read_u64(r)?;
+            let m = read_matrix_payload(r)?;
+            out.mats.insert_unique(name, m)?;
+            out.meta.push(EmbeddingMeta {
+                city,
+                dim,
+                checkpoint_hash,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Save to a file (always version 2).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)?;
+        f.flush()
+    }
+
+    /// Load from a file (version 2, or version 1 with default metadata).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut f)
+    }
+}
+
+/// Convert a legacy store: every entry gets the same provenance stamp.
+impl From<MatrixStore> for EmbeddingStore {
+    fn from(mats: MatrixStore) -> Self {
+        let meta = mats
+            .iter()
+            .map(|(_, m)| EmbeddingMeta::new("", m.cols(), 0))
+            .collect();
+        EmbeddingStore { mats, meta }
+    }
+}
+
+// The dedicated round-trip/golden/compat suite lives in
+// `tests/embed_store.rs`; only the invariants between the parallel
+// structures are unit-tested here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_replace_keeps_meta_aligned() {
+        let mut s = EmbeddingStore::new();
+        s.insert(
+            "a",
+            Matrix::filled(1, 2, 1.0),
+            EmbeddingMeta::new("x", 2, 1),
+        );
+        s.insert(
+            "b",
+            Matrix::filled(1, 2, 2.0),
+            EmbeddingMeta::new("y", 2, 2),
+        );
+        s.insert(
+            "a",
+            Matrix::filled(1, 2, 3.0),
+            EmbeddingMeta::new("z", 2, 3),
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.meta("a").expect("a").city, "z");
+        assert_eq!(s.meta("b").expect("b").city, "y");
+        s.remove("a");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.meta("b").expect("b").checkpoint_hash, 2);
+        assert!(s.meta("a").is_none());
+    }
+
+    #[test]
+    fn write_rejects_oversized_dimensions() {
+        let mut s = EmbeddingStore::new();
+        s.insert(
+            "huge",
+            Matrix::zeros((u32::MAX as usize) + 2, 0),
+            EmbeddingMeta::default(),
+        );
+        let mut buf = Vec::new();
+        let err = s.write_to(&mut buf).expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -51,6 +51,7 @@
 //! ```
 
 pub mod conv;
+pub mod embed;
 pub mod fastmath;
 mod gemm;
 pub mod graph;
@@ -65,6 +66,7 @@ pub mod sample;
 pub mod sparse;
 
 pub use conv::{ConvMeta, PoolMeta};
+pub use embed::{EmbeddingMeta, EmbeddingStore};
 pub use graph::{CsrPair, Graph, NodeId};
 pub use init::{seeded_rng, Rng64};
 pub use matrix::Matrix;

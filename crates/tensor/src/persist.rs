@@ -8,18 +8,52 @@
 //! count  : u32
 //! entry* : name_len u32 | name bytes (utf-8) | rows u32 | cols u32 | f32*
 //! ```
+//!
+//! Version 2 (`UVDT0002`) extends each entry with embedding metadata and a
+//! schema-version field; see [`crate::embed`].
 
 use crate::matrix::Matrix;
 use crate::param::ParamSet;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"UVDT0001";
+pub(crate) const MAGIC: &[u8; 8] = b"UVDT0001";
+
+/// Longest serializable name / city-id string (guards hostile headers).
+pub(crate) const MAX_NAME_LEN: usize = 1 << 20;
+/// Largest deserializable matrix in elements (guards hostile headers).
+pub(crate) const MAX_ELEMS: usize = 1 << 28;
+
+/// Checked conversion for on-disk `u32` fields. The old truncating `as u32`
+/// casts silently wrote corrupt files for dimensions above `u32::MAX`.
+pub(crate) fn u32_field(n: usize, what: &str) -> io::Result<u32> {
+    u32::try_from(n).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{what} {n} does not fit the u32 format field"),
+        )
+    })
+}
 
 /// An ordered collection of named matrices.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Lookups go through a name→index map kept in lockstep with the entry
+/// vector, so `get`/`insert` are O(1) in the store size — `restore_params`
+/// on an m-parameter model over an n-entry store is O(m), not O(n·m), and
+/// the embedding-store bulk-insert path does not degrade quadratically.
+#[derive(Clone, Debug, Default)]
 pub struct MatrixStore {
     entries: Vec<(String, Matrix)>,
+    index: HashMap<String, usize>,
+}
+
+impl PartialEq for MatrixStore {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is derived state; two stores are equal iff their
+        // ordered entries are.
+        self.entries == other.entries
+    }
 }
 
 impl MatrixStore {
@@ -30,16 +64,23 @@ impl MatrixStore {
     /// Insert (or replace) a named matrix.
     pub fn insert(&mut self, name: impl Into<String>, m: Matrix) {
         let name = name.into();
-        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
-            e.1 = m;
-        } else {
-            self.entries.push((name, m));
+        match self.index.get(&name) {
+            Some(&i) => self.entries[i].1 = m,
+            None => {
+                self.index.insert(name.clone(), self.entries.len());
+                self.entries.push((name, m));
+            }
         }
     }
 
     /// Look up a matrix by name.
     pub fn get(&self, name: &str) -> Option<&Matrix> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+        self.index.get(name).map(|&i| &self.entries[i].1)
+    }
+
+    /// Position of a named entry in insertion order.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
     }
 
     pub fn len(&self) -> usize {
@@ -54,6 +95,11 @@ impl MatrixStore {
         self.entries.iter().map(|(n, _)| n.as_str())
     }
 
+    /// Iterate `(name, matrix)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.entries.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
     /// Capture every parameter of a set (by parameter name).
     pub fn capture_params(&mut self, params: &ParamSet) {
         for p in params.iter() {
@@ -63,8 +109,15 @@ impl MatrixStore {
 
     /// Remove a named matrix, returning it if present.
     pub fn remove(&mut self, name: &str) -> Option<Matrix> {
-        let i = self.entries.iter().position(|(n, _)| n == name)?;
-        Some(self.entries.remove(i).1)
+        let i = self.index.remove(name)?;
+        let (_, m) = self.entries.remove(i);
+        // Entries after the removed slot shifted down by one.
+        for (n, _) in &self.entries[i..] {
+            if let Some(slot) = self.index.get_mut(n) {
+                *slot -= 1;
+            }
+        }
+        Some(m)
     }
 
     /// Check that every parameter of a set is present in the store with a
@@ -95,7 +148,8 @@ impl MatrixStore {
 
     /// Restore parameters of a set from the store by name. Every parameter
     /// must be present with a matching shape; validation runs up front so a
-    /// failure leaves every parameter untouched.
+    /// failure leaves every parameter untouched. Each lookup is O(1)
+    /// through the store's name index.
     pub fn restore_params(&self, params: &ParamSet) -> io::Result<()> {
         self.validate_params(params)?;
         for p in params.iter() {
@@ -105,19 +159,28 @@ impl MatrixStore {
         Ok(())
     }
 
-    /// Serialize to a writer.
+    /// FNV-1a hash over names, shapes and value bits — a cheap fingerprint
+    /// identifying the producing checkpoint in embedding-store metadata.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (name, m) in &self.entries {
+            h = fnv1a(h, name.as_bytes());
+            h = fnv1a(h, &(m.rows() as u64).to_le_bytes());
+            h = fnv1a(h, &(m.cols() as u64).to_le_bytes());
+            for &v in m.as_slice() {
+                h = fnv1a(h, &v.to_le_bytes());
+            }
+        }
+        h
+    }
+
+    /// Serialize to a writer. Fails with `InvalidInput` (writing nothing
+    /// useful) if any count or dimension overflows the format's u32 fields.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         w.write_all(MAGIC)?;
-        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        w.write_all(&u32_field(self.entries.len(), "entry count")?.to_le_bytes())?;
         for (name, m) in &self.entries {
-            let bytes = name.as_bytes();
-            w.write_all(&(bytes.len() as u32).to_le_bytes())?;
-            w.write_all(bytes)?;
-            w.write_all(&(m.rows() as u32).to_le_bytes())?;
-            w.write_all(&(m.cols() as u32).to_le_bytes())?;
-            for &v in m.as_slice() {
-                w.write_all(&v.to_le_bytes())?;
-            }
+            write_entry_payload(w, name, m)?;
         }
         Ok(())
     }
@@ -129,34 +192,34 @@ impl MatrixStore {
         if &magic != MAGIC {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
         }
+        Self::read_v1_body(r)
+    }
+
+    /// Parse the version-1 body (everything after the magic). Shared with
+    /// the embedding store's backward-compatible `UVDT0001` read path.
+    pub(crate) fn read_v1_body(r: &mut impl Read) -> io::Result<Self> {
         let count = read_u32(r)? as usize;
-        let mut entries = Vec::with_capacity(count);
+        let mut store = MatrixStore::new();
         for _ in 0..count {
-            let name_len = read_u32(r)? as usize;
-            if name_len > 1 << 20 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "name too long"));
-            }
-            let mut name = vec![0u8; name_len];
-            r.read_exact(&mut name)?;
-            let name = String::from_utf8(name)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 name"))?;
-            let rows = read_u32(r)? as usize;
-            let cols = read_u32(r)? as usize;
-            if rows.checked_mul(cols).is_none_or(|n| n > 1 << 28) {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "matrix too large",
-                ));
-            }
-            let mut data = vec![0.0f32; rows * cols];
-            let mut buf = [0u8; 4];
-            for v in &mut data {
-                r.read_exact(&mut buf)?;
-                *v = f32::from_le_bytes(buf);
-            }
-            entries.push((name, Matrix::from_vec(rows, cols, data)));
+            let name = read_name(r, "name")?;
+            let m = read_matrix_payload(r)?;
+            store.insert_unique(name, m)?;
         }
-        Ok(MatrixStore { entries })
+        Ok(store)
+    }
+
+    /// Insert rejecting duplicates — the read path uses this so a corrupt
+    /// or crafted file with two entries of the same name is an error
+    /// instead of one copy silently shadowing the other.
+    pub(crate) fn insert_unique(&mut self, name: String, m: Matrix) -> io::Result<()> {
+        if self.index.contains_key(&name) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("duplicate entry '{name}'"),
+            ));
+        }
+        self.insert(name, m);
+        Ok(())
     }
 
     /// Save to a file.
@@ -173,10 +236,71 @@ impl MatrixStore {
     }
 }
 
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+pub(crate) fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
+}
+
+pub(crate) fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Read a length-prefixed utf-8 string with the hostile-header length guard.
+pub(crate) fn read_name(r: &mut impl Read, what: &str) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > MAX_NAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{what} too long"),
+        ));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("non-utf8 {what}")))
+}
+
+/// Write one `name | rows | cols | f32*` entry payload (shared by both
+/// format versions), with checked u32 conversions throughout.
+pub(crate) fn write_entry_payload(w: &mut impl Write, name: &str, m: &Matrix) -> io::Result<()> {
+    let bytes = name.as_bytes();
+    w.write_all(&u32_field(bytes.len(), "name length")?.to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.write_all(&u32_field(m.rows(), "row count")?.to_le_bytes())?;
+    w.write_all(&u32_field(m.cols(), "column count")?.to_le_bytes())?;
+    for &v in m.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Read one `rows | cols | f32*` matrix payload with the size guard.
+pub(crate) fn read_matrix_payload(r: &mut impl Read) -> io::Result<Matrix> {
+    let rows = read_u32(r)? as usize;
+    let cols = read_u32(r)? as usize;
+    if rows.checked_mul(cols).is_none_or(|n| n > MAX_ELEMS) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "matrix too large",
+        ));
+    }
+    let mut data = vec![0.0f32; rows * cols];
+    let mut buf = [0u8; 4];
+    for v in &mut data {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
 }
 
 #[cfg(test)]
@@ -254,6 +378,24 @@ mod tests {
     }
 
     #[test]
+    fn remove_keeps_index_consistent() {
+        let mut store = MatrixStore::new();
+        store.insert("a", Matrix::filled(1, 1, 1.0));
+        store.insert("b", Matrix::filled(1, 1, 2.0));
+        store.insert("c", Matrix::filled(1, 1, 3.0));
+        store.remove("a");
+        // Later entries shifted down; lookups must still land on the right
+        // matrices, and replacement must hit the shifted slot.
+        assert_eq!(store.get("b").expect("b").get(0, 0), 2.0);
+        assert_eq!(store.get("c").expect("c").get(0, 0), 3.0);
+        store.insert("b", Matrix::filled(1, 1, 20.0));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("b").expect("b").get(0, 0), 20.0);
+        assert_eq!(store.position("b"), Some(0));
+        assert_eq!(store.position("c"), Some(1));
+    }
+
+    #[test]
     fn restore_rejects_shape_mismatch() {
         let p = ParamRef::new("w", Matrix::zeros(2, 2));
         let mut set = ParamSet::new();
@@ -276,6 +418,49 @@ mod tests {
     fn read_rejects_bad_magic() {
         let buf = b"NOTMAGIC\0\0\0\0".to_vec();
         assert!(MatrixStore::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn read_rejects_duplicate_names() {
+        // A store can never hold duplicates, so craft the bytes by hand:
+        // two entries both named "w".
+        let mut store = MatrixStore::new();
+        store.insert("w", Matrix::filled(1, 1, 1.0));
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).expect("write");
+        // Append a second copy of the single entry and bump the count.
+        let entry = buf[12..].to_vec();
+        buf.extend_from_slice(&entry);
+        buf[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let err = MatrixStore::read_from(&mut buf.as_slice()).expect_err("duplicate must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn write_rejects_oversized_dimensions() {
+        // rows > u32::MAX with cols = 0 is constructible without
+        // allocating: the data vector is empty.
+        let huge = Matrix::zeros((u32::MAX as usize) + 2, 0);
+        let mut store = MatrixStore::new();
+        store.insert("huge", huge);
+        let mut buf = Vec::new();
+        let err = store.write_to(&mut buf).expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn content_hash_tracks_values_and_names() {
+        let mut a = MatrixStore::new();
+        a.insert("w", Matrix::filled(2, 2, 1.0));
+        let h0 = a.content_hash();
+        let mut b = a.clone();
+        assert_eq!(h0, b.content_hash());
+        b.insert("w", Matrix::filled(2, 2, 1.5));
+        assert_ne!(h0, b.content_hash());
+        let mut c = MatrixStore::new();
+        c.insert("v", Matrix::filled(2, 2, 1.0));
+        assert_ne!(h0, c.content_hash());
     }
 
     #[test]

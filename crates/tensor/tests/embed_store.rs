@@ -1,0 +1,207 @@
+//! `EmbeddingStore` format suite: proptest round-trips for `UVDT0002`,
+//! a frozen-bytes golden file pinning the on-disk layout, the
+//! backward-compatible `UVDT0001` read path, and rejection of corrupt
+//! inputs (duplicate names, hostile headers, truncation).
+
+// Exact float equality is intended throughout: the format is bit-exact.
+#![allow(clippy::float_cmp)]
+
+use proptest::prelude::*;
+use uvd_tensor::{EmbeddingMeta, EmbeddingStore, Matrix, MatrixStore};
+
+fn entry_strategy() -> impl Strategy<Value = (String, usize, usize, Vec<f32>, String, u64)> {
+    (
+        0u32..10_000,
+        0usize..6,
+        0usize..6,
+        proptest::collection::vec(-1e6f32..1e6, 36),
+        0u32..100,
+        0u64..u64::MAX,
+    )
+        .prop_map(|(name_salt, rows, cols, data, city_salt, hash)| {
+            (
+                format!("e{name_salt}.w"),
+                rows,
+                cols,
+                data[..rows * cols].to_vec(),
+                format!("city{city_salt}"),
+                hash,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any store survives a v2 write/read round trip bit-exactly —
+    /// matrices, metadata, and entry order.
+    #[test]
+    fn v2_roundtrip(entries in proptest::collection::vec(entry_strategy(), 0..8)) {
+        let mut store = EmbeddingStore::new();
+        for (name, rows, cols, data, city, hash) in entries {
+            store.insert(
+                name,
+                Matrix::from_vec(rows, cols, data),
+                EmbeddingMeta { city, dim: cols as u32, checkpoint_hash: hash },
+            );
+        }
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).expect("write");
+        let back = EmbeddingStore::read_from(&mut buf.as_slice()).expect("read");
+        prop_assert_eq!(&store, &back);
+        let names_a: Vec<&str> = store.names().collect();
+        let names_b: Vec<&str> = back.names().collect();
+        prop_assert_eq!(names_a, names_b);
+    }
+
+    /// Truncating a valid v2 byte stream anywhere strictly inside never
+    /// panics and always errors.
+    #[test]
+    fn v2_truncation_errors(cut_frac in 0.0f64..1.0) {
+        let mut store = EmbeddingStore::new();
+        store.insert(
+            "emb.city",
+            Matrix::from_vec(3, 4, (0..12).map(|i| i as f32).collect()),
+            EmbeddingMeta::new("city", 4, 42),
+        );
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).expect("write");
+        let cut = ((buf.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(EmbeddingStore::read_from(&mut buf[..cut].to_vec().as_slice()).is_err());
+    }
+}
+
+/// The golden store every layout-pinning assertion uses: two entries with
+/// non-trivial metadata and exactly representable values.
+fn golden_store() -> EmbeddingStore {
+    let mut store = EmbeddingStore::new();
+    store.insert(
+        "emb.tiny",
+        Matrix::from_vec(2, 3, vec![1.0, -2.5, 0.25, 4.0, -0.125, 8.0]),
+        EmbeddingMeta::new("tiny", 3, 0x0123_4567_89ab_cdef),
+    );
+    store.insert(
+        "task.head.w",
+        Matrix::from_vec(3, 1, vec![0.5, -1.5, 2.0]),
+        EmbeddingMeta::new("tiny", 3, 0x0123_4567_89ab_cdef),
+    );
+    store
+}
+
+/// The committed golden file pins the on-disk layout: if serialization
+/// changes in any way — field order, widths, endianness — this fails and
+/// forces a deliberate format-version bump instead of a silent break.
+#[test]
+fn golden_bytes_are_pinned() {
+    let golden: &[u8] = include_bytes!("data/embed_golden.uvdt2");
+    let mut buf = Vec::new();
+    golden_store().write_to(&mut buf).expect("write");
+    assert_eq!(
+        buf, golden,
+        "UVDT0002 byte layout drifted from the committed golden file"
+    );
+    let back = EmbeddingStore::read_from(&mut buf.as_slice()).expect("read");
+    assert_eq!(back, golden_store());
+}
+
+#[test]
+fn golden_header_fields() {
+    let golden: &[u8] = include_bytes!("data/embed_golden.uvdt2");
+    assert_eq!(&golden[0..8], b"UVDT0002");
+    assert_eq!(u32::from_le_bytes(golden[8..12].try_into().unwrap()), 2);
+    assert_eq!(u32::from_le_bytes(golden[12..16].try_into().unwrap()), 2);
+}
+
+/// A `UVDT0001` file (no metadata) loads into an `EmbeddingStore` with
+/// default provenance — old checkpoints stay readable as embedding sources.
+#[test]
+fn v1_file_reads_forward_compatibly() {
+    let mut v1 = MatrixStore::new();
+    v1.insert("emb.old", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+    let mut buf = Vec::new();
+    v1.write_to(&mut buf).expect("write v1");
+    assert_eq!(&buf[0..8], b"UVDT0001");
+
+    let store = EmbeddingStore::read_from(&mut buf.as_slice()).expect("read v1 as embedding");
+    assert_eq!(store.len(), 1);
+    assert_eq!(
+        store.get("emb.old").expect("entry").as_slice(),
+        v1.get("emb.old").unwrap().as_slice()
+    );
+    let meta = store.meta("emb.old").expect("meta");
+    assert_eq!(meta.city, "");
+    assert_eq!(meta.dim, 2);
+    assert_eq!(meta.checkpoint_hash, 0);
+}
+
+#[test]
+fn v2_read_rejects_duplicate_names() {
+    let mut store = EmbeddingStore::new();
+    store.insert(
+        "w",
+        Matrix::filled(1, 1, 1.0),
+        EmbeddingMeta::new("c", 1, 7),
+    );
+    let mut buf = Vec::new();
+    store.write_to(&mut buf).expect("write");
+    // Duplicate the single entry payload and bump the count (magic 8 +
+    // schema 4 + count 4 = 16-byte header).
+    let entry = buf[16..].to_vec();
+    buf.extend_from_slice(&entry);
+    buf[12..16].copy_from_slice(&2u32.to_le_bytes());
+    let err = EmbeddingStore::read_from(&mut buf.as_slice()).expect_err("duplicate must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("duplicate"), "{err}");
+}
+
+#[test]
+fn v2_read_rejects_future_schema() {
+    let mut store = EmbeddingStore::new();
+    store.insert("w", Matrix::zeros(1, 1), EmbeddingMeta::default());
+    let mut buf = Vec::new();
+    store.write_to(&mut buf).expect("write");
+    buf[8..12].copy_from_slice(&3u32.to_le_bytes());
+    let err = EmbeddingStore::read_from(&mut buf.as_slice()).expect_err("future schema");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("schema"), "{err}");
+}
+
+#[test]
+fn v2_read_rejects_oversized_matrix_header() {
+    let mut store = EmbeddingStore::new();
+    store.insert("w", Matrix::zeros(1, 1), EmbeddingMeta::default());
+    let mut buf = Vec::new();
+    store.write_to(&mut buf).expect("write");
+    // Entry payload after the 16-byte header: name_len(4)+name(1)+
+    // city_len(4)+city(0)+dim(4)+hash(8) = 21 bytes, then rows at offset 37.
+    let rows_off = 16 + 4 + 1 + 4 + 4 + 8;
+    buf[rows_off..rows_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    buf[rows_off + 4..rows_off + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = EmbeddingStore::read_from(&mut buf.as_slice()).expect_err("oversized header");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn v1_duplicate_names_rejected_via_embed_path() {
+    let mut v1 = MatrixStore::new();
+    v1.insert("w", Matrix::filled(1, 1, 1.0));
+    let mut buf = Vec::new();
+    v1.write_to(&mut buf).expect("write");
+    let entry = buf[12..].to_vec();
+    buf.extend_from_slice(&entry);
+    buf[8..12].copy_from_slice(&2u32.to_le_bytes());
+    assert!(EmbeddingStore::read_from(&mut buf.as_slice()).is_err());
+    assert!(MatrixStore::read_from(&mut buf.as_slice()).is_err());
+}
+
+#[test]
+fn file_roundtrip() {
+    let dir = std::env::temp_dir().join("uvd_embed_store_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("emb.uvdt2");
+    let store = golden_store();
+    store.save(&path).expect("save");
+    let back = EmbeddingStore::load(&path).expect("load");
+    assert_eq!(store, back);
+    let _ = std::fs::remove_file(&path);
+}
